@@ -1,0 +1,61 @@
+// Command experiments regenerates the tables of EXPERIMENTS.md: every
+// figure/theorem/claim of the paper has one experiment (see DESIGN.md's
+// index).
+//
+// Usage:
+//
+//	experiments            # run all experiments at full size
+//	experiments -e E3      # run one experiment
+//	experiments -quick     # trimmed sweeps (what the tests run)
+//	experiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	id := flag.String("e", "", "run only this experiment (E1..E13)")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
+	list := flag.Bool("list", false, "list experiments and exit")
+	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+	flag.Parse()
+
+	if err := run(os.Stdout, *id, *quick, *list, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, id string, quick, list, md bool) error {
+	render := func(tab experiments.Table) {
+		if md {
+			tab.RenderMarkdown(w)
+		} else {
+			tab.Render(w)
+		}
+	}
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-4s %s\n", e.ID, e.Desc)
+		}
+		return nil
+	}
+	if id != "" {
+		e, ok := experiments.Find(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		render(e.Run(quick))
+		return nil
+	}
+	for _, e := range experiments.All() {
+		render(e.Run(quick))
+	}
+	return nil
+}

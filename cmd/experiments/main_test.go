@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1 ", "E13"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunOneQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "E5", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig1a (Example 1)") {
+		t.Fatalf("E5 output wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(&out, "E5", true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| structure |") {
+		t.Fatalf("markdown output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "E99", true, false, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

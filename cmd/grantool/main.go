@@ -1,0 +1,219 @@
+// Command grantool inspects granularities: the granules around a civil
+// instant, the minsize/maxsize/mingap tables the Figure-3 conversion uses,
+// the relationship between two granularities, and a constraint conversion.
+//
+// Usage:
+//
+//	grantool -list
+//	grantool -g b-day -at 1996-07-04
+//	grantool -g month -metrics 1,2,12
+//	grantool -relate b-day,week
+//	grantool -convert "[0,5]b-day->week"
+//	grantool -grans roster.gran -g roster -at 1996-07-04
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/calendar"
+	"repro/internal/cli"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+)
+
+func main() {
+	gransFlag := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	list := flag.Bool("list", false, "list registered granularities")
+	g := flag.String("g", "", "granularity to inspect")
+	at := flag.String("at", "", "civil date (YYYY-MM-DD[THH:MM:SS]): show the covering granule and its neighbours")
+	metrics := flag.String("metrics", "", "comma-separated k values: print minsize/maxsize/mingap")
+	relate := flag.String("relate", "", "a,b: classify the relationship of a versus b")
+	convert := flag.String("convert", "", `constraint conversion, e.g. "[0,5]b-day->week"`)
+	flag.Parse()
+
+	if err := run(os.Stdout, *gransFlag, *list, *g, *at, *metrics, *relate, *convert); err != nil {
+		fmt.Fprintln(os.Stderr, "grantool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, gransFlag string, list bool, gName, at, metricsArg, relateArg, convertArg string) error {
+	sys, err := cli.LoadSystem(gransFlag)
+	if err != nil {
+		return err
+	}
+	did := false
+	if list {
+		did = true
+		for _, name := range sys.Names() {
+			fmt.Fprintln(out, name)
+		}
+	}
+	if relateArg != "" {
+		did = true
+		parts := strings.SplitN(relateArg, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-relate wants a,b")
+		}
+		a, ok := sys.Get(strings.TrimSpace(parts[0]))
+		if !ok {
+			return fmt.Errorf("unknown granularity %q", parts[0])
+		}
+		b, ok := sys.Get(strings.TrimSpace(parts[1]))
+		if !ok {
+			return fmt.Errorf("unknown granularity %q", parts[1])
+		}
+		r := granularity.Relate(a, b, 60)
+		fmt.Fprintf(out, "%s vs %s: finer-than=%v groups-into=%v partitions=%v\n",
+			a.Name(), b.Name(), r.FinerThan, r.GroupsInto, r.Partitions)
+	}
+	if convertArg != "" {
+		did = true
+		if err := runConvert(out, sys, convertArg); err != nil {
+			return err
+		}
+	}
+	if at != "" || metricsArg != "" {
+		if gName == "" {
+			return fmt.Errorf("-at and -metrics require -g")
+		}
+		g, ok := sys.Get(gName)
+		if !ok {
+			return fmt.Errorf("unknown granularity %q", gName)
+		}
+		if at != "" {
+			did = true
+			if err := runAt(out, g, at); err != nil {
+				return err
+			}
+		}
+		if metricsArg != "" {
+			did = true
+			m := sys.Metrics(gName)
+			for _, part := range strings.Split(metricsArg, ",") {
+				k, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+				if err != nil || k < 1 {
+					return fmt.Errorf("bad k %q", part)
+				}
+				fmt.Fprintf(out, "%s k=%d: minsize=%d maxsize=%d mingap=%d (seconds)\n",
+					gName, k, m.MinSize(k), m.MaxSize(k), m.MinGap(k))
+			}
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to do; see -h")
+	}
+	return nil
+}
+
+// runAt shows the granule covering a civil instant and its neighbours.
+func runAt(out io.Writer, g granularity.Granularity, at string) error {
+	t, err := parseCivil(at)
+	if err != nil {
+		return err
+	}
+	z, ok := g.TickOf(t)
+	if !ok {
+		fmt.Fprintf(out, "%s: %s is in a gap of %s\n", g.Name(), event.Civil(t), g.Name())
+		return nil
+	}
+	for _, dz := range []int64{-1, 0, 1} {
+		zi := z + dz
+		ivs, ok := g.Intervals(zi)
+		if !ok {
+			continue
+		}
+		marker := " "
+		if dz == 0 {
+			marker = "*"
+		}
+		parts := make([]string, len(ivs))
+		for i, iv := range ivs {
+			parts[i] = fmt.Sprintf("%s .. %s", event.Civil(iv.First), event.Civil(iv.Last))
+		}
+		fmt.Fprintf(out, "%s %s granule %d: %s\n", marker, g.Name(), zi, strings.Join(parts, " + "))
+	}
+	return nil
+}
+
+// runConvert parses "[m,n]src->dst" and applies the Figure-3 conversion.
+func runConvert(out io.Writer, sys *granularity.System, arg string) error {
+	open := strings.Index(arg, "[")
+	closeIdx := strings.Index(arg, "]")
+	arrow := strings.Index(arg, "->")
+	if open != 0 || closeIdx < 0 || arrow < closeIdx {
+		return fmt.Errorf(`-convert wants "[m,n]src->dst"`)
+	}
+	bounds := strings.SplitN(arg[1:closeIdx], ",", 2)
+	if len(bounds) != 2 {
+		return fmt.Errorf("bad bounds in %q", arg)
+	}
+	m, err1 := strconv.ParseInt(strings.TrimSpace(bounds[0]), 10, 64)
+	n, err2 := strconv.ParseInt(strings.TrimSpace(bounds[1]), 10, 64)
+	if err1 != nil || err2 != nil || m > n {
+		return fmt.Errorf("bad bounds in %q", arg)
+	}
+	src := strings.TrimSpace(arg[closeIdx+1 : arrow])
+	dst := strings.TrimSpace(arg[arrow+2:])
+	if _, ok := sys.Get(src); !ok {
+		return fmt.Errorf("unknown granularity %q", src)
+	}
+	if _, ok := sys.Get(dst); !ok {
+		return fmt.Errorf("unknown granularity %q", dst)
+	}
+	if !sys.ConversionFeasible(src, dst) {
+		fmt.Fprintf(out, "conversion %s -> %s is infeasible (%s does not cover %s)\n", src, dst, dst, src)
+		return nil
+	}
+	conv := propagate.NewConverter(sys, src, dst)
+	lo, hi := conv.Interval(m, n)
+	fmt.Fprintf(out, "[%d,%d]%s -> [%d,%d]%s\n", m, n, src, lo, hi, dst)
+	return nil
+}
+
+// parseCivil parses YYYY-MM-DD with an optional THH:MM:SS suffix.
+func parseCivil(s string) (int64, error) {
+	datePart := s
+	var hh, mm, ss int
+	if i := strings.IndexByte(s, 'T'); i >= 0 {
+		datePart = s[:i]
+		timeParts := strings.Split(s[i+1:], ":")
+		if len(timeParts) != 3 {
+			return 0, fmt.Errorf("bad time in %q", s)
+		}
+		var errs [3]error
+		hh, errs[0] = atoi(timeParts[0])
+		mm, errs[1] = atoi(timeParts[1])
+		ss, errs[2] = atoi(timeParts[2])
+		for _, err := range errs {
+			if err != nil {
+				return 0, fmt.Errorf("bad time in %q", s)
+			}
+		}
+	}
+	dp := strings.Split(datePart, "-")
+	if len(dp) != 3 {
+		return 0, fmt.Errorf("bad date %q (want YYYY-MM-DD)", s)
+	}
+	y, err1 := atoi(dp[0])
+	mo, err2 := atoi(dp[1])
+	d, err3 := atoi(dp[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, fmt.Errorf("bad date %q", s)
+	}
+	if !(calendar.Date{Year: y, Month: mo, Day: d}).Valid() {
+		return 0, fmt.Errorf("nonexistent date %q", s)
+	}
+	if hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 59 {
+		return 0, fmt.Errorf("bad time in %q", s)
+	}
+	return event.At(y, mo, d, hh, mm, ss), nil
+}
+
+func atoi(s string) (int, error) { return strconv.Atoi(strings.TrimSpace(s)) }

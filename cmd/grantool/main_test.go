@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, list bool, g, at, metrics, relate, convert string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(&out, "", list, g, at, metrics, relate, convert)
+	return out.String(), err
+}
+
+func TestList(t *testing.T) {
+	got, err := runTool(t, true, "", "", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"second", "b-day", "month"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("list missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	got, err := runTool(t, false, "b-day", "1996-07-04", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1996-07-04 was a Thursday: a b-day (no holidays in the default set).
+	if !strings.Contains(got, "* b-day granule") {
+		t.Fatalf("missing covering granule:\n%s", got)
+	}
+	// A Saturday is a gap.
+	got, err = runTool(t, false, "b-day", "1996-07-06T12:00:00", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "gap") {
+		t.Fatalf("Saturday should be reported as a gap:\n%s", got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	got, err := runTool(t, false, "month", "", "1,12", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "k=1: minsize=2419200 maxsize=2678400") {
+		t.Fatalf("month metrics wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "k=12") {
+		t.Fatalf("missing k=12 row:\n%s", got)
+	}
+}
+
+func TestRelate(t *testing.T) {
+	got, err := runTool(t, false, "", "", "", "day,week", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "finer-than=true groups-into=true partitions=true") {
+		t.Fatalf("day vs week wrong:\n%s", got)
+	}
+	got, err = runTool(t, false, "", "", "", "b-day,week", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "finer-than=true groups-into=false") {
+		t.Fatalf("b-day vs week wrong:\n%s", got)
+	}
+}
+
+func TestConvert(t *testing.T) {
+	got, err := runTool(t, false, "", "", "", "", "[1,1]b-day->week")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "[0,1]week") {
+		t.Fatalf("conversion wrong:\n%s", got)
+	}
+	got, err = runTool(t, false, "", "", "", "", "[0,0]day->b-day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "infeasible") {
+		t.Fatalf("infeasible conversion not reported:\n%s", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		g, at, metrics, relate, convert string
+	}{
+		{"", "", "", "", ""},                // nothing to do
+		{"", "1996-01-01", "", "", ""},      // -at without -g
+		{"nope", "1996-01-01", "", "", ""},  // unknown granularity
+		{"month", "1996-13-01", "", "", ""}, // bad date
+		{"month", "1996-02-30", "", "", ""}, // nonexistent date
+		{"month", "1996-01-01T9:99:00", "", "", ""},
+		{"month", "", "0", "", ""},          // bad k
+		{"", "", "", "day", ""},             // relate wants two names
+		{"", "", "", "day,nope", ""},        // unknown relate arg
+		{"", "", "", "", "junk"},            // bad convert syntax
+		{"", "", "", "", "[5,1]day->week"},  // inverted bounds
+		{"", "", "", "", "[0,1]nope->week"}, // unknown source
+	}
+	for i, c := range cases {
+		if _, err := runTool(t, false, c.g, c.at, c.metrics, c.relate, c.convert); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseCivil(t *testing.T) {
+	a, err := parseCivil("1996-06-03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseCivil("1996-06-03T00:00:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("date with and without midnight time should agree")
+	}
+	c, err := parseCivil("1996-06-03T01:02:03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a+3723 {
+		t.Fatalf("time offset wrong: %d vs %d", c, a)
+	}
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func writeMinerFiles(t *testing.T) (spec, seq string) {
+	t.Helper()
+	dir := t.TempDir()
+	spec = filepath.Join(dir, "structure.json")
+	body := `{
+	  "edges": [
+	    {"from":"X0","to":"X1","constraints":[{"min":0,"max":0,"gran":"b-day"},{"min":1,"max":4,"gran":"hour"}]},
+	    {"from":"X1","to":"X2","constraints":[{"min":1,"max":1,"gran":"b-day"}]}
+	  ]
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq = filepath.Join(dir, "events.txt")
+	s := event.GeneratePlant(event.PlantFaultConfig{
+		Machines: 2, StartYear: 1996, Days: 60, Seed: 17, CascadeProb: 0.8,
+	})
+	f, err := os.Create(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := event.Encode(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return spec, seq
+}
+
+func TestMinerOptimizedAndNaiveAgree(t *testing.T) {
+	spec, seq := writeMinerFiles(t)
+	var opt, naive bytes.Buffer
+	if err := run(&opt, spec, "", seq, "overheat-m0", "", 0.5, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&naive, spec, "", seq, "overheat-m0", "", 0.5, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := "X0=overheat-m0 X1=malfunction-m0 X2=shutdown-m0"
+	if !strings.Contains(opt.String(), wantLine) {
+		t.Fatalf("optimized output missing the cascade:\n%s", opt.String())
+	}
+	if !strings.Contains(naive.String(), wantLine) {
+		t.Fatalf("naive output missing the cascade:\n%s", naive.String())
+	}
+	// Same discovery lines (ignore the stats header).
+	filter := func(s string) []string {
+		var out []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "freq=") {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	o, n := filter(opt.String()), filter(naive.String())
+	if len(o) != len(n) {
+		t.Fatalf("solution counts differ: %v vs %v", o, n)
+	}
+	for i := range o {
+		if o[i] != n[i] {
+			t.Fatalf("solutions differ: %q vs %q", o[i], n[i])
+		}
+	}
+}
+
+func TestMinerNoSolutions(t *testing.T) {
+	spec, seq := writeMinerFiles(t)
+	var out bytes.Buffer
+	if err := run(&out, spec, "", seq, "overheat-m0", "", 0.999, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no complex event type exceeds confidence") {
+		t.Fatalf("expected empty result message:\n%s", out.String())
+	}
+}
+
+func TestMinerErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "x", "", 0.5, false, 0); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	spec, seq := writeMinerFiles(t)
+	if err := run(&out, spec, "", seq, "", "", 0.5, false, 0); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+	if err := run(&out, spec, "", seq, "ghost", "", 0.5, false, 0); err == nil {
+		t.Fatal("absent reference accepted")
+	}
+}
+
+func TestMinerProblemSpec(t *testing.T) {
+	_, seq := writeMinerFiles(t)
+	dir := t.TempDir()
+	problem := filepath.Join(dir, "problem.json")
+	body := `{
+	  "structure": {
+	    "edges": [
+	      {"from":"X0","to":"X1","constraints":[{"min":0,"max":0,"gran":"b-day"},{"min":1,"max":4,"gran":"hour"}]},
+	      {"from":"X1","to":"X2","constraints":[{"min":1,"max":1,"gran":"b-day"}]}
+	    ]
+	  },
+	  "min_confidence": 0.5,
+	  "reference": "overheat-m0",
+	  "candidates": {"X1": ["malfunction-m0","pressure-drop-m0"], "X2": ["shutdown-m0"]},
+	  "workers": 4
+	}`
+	if err := os.WriteFile(problem, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, "", problem, seq, "", "", 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "X1=malfunction-m0 X2=shutdown-m0") {
+		t.Fatalf("problem-spec run missing the cascade:\n%s", out.String())
+	}
+	// Granule-anchored problem.
+	anchored := filepath.Join(dir, "anchored.json")
+	body2 := `{
+	  "structure": {
+	    "edges": [
+	      {"from":"W","to":"X","constraints":[{"min":0,"max":0,"gran":"week"}]}
+	    ]
+	  },
+	  "min_confidence": 0.8,
+	  "granule_anchor": "week",
+	  "candidates": {"X": ["overheat-m0"]}
+	}`
+	if err := os.WriteFile(anchored, []byte(body2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(&out, "", anchored, seq, "", "", 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "references=") {
+		t.Fatalf("anchored run produced no stats:\n%s", out.String())
+	}
+	// Spec errors.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"structure":{"edges":[]},"min_confidence":0.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&out, "", bad, seq, "", "", 0, false, 0); err == nil {
+		t.Fatal("empty structure and no reference accepted")
+	}
+}
+
+func TestMinerExplain(t *testing.T) {
+	spec, seq := writeMinerFiles(t)
+	var out bytes.Buffer
+	if err := run(&out, spec, "", seq, "overheat-m0", "", 0.5, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "witness @ ") {
+		t.Fatalf("missing witnesses:\n%s", got)
+	}
+	if n := strings.Count(got, "witness @ "); n > 2 {
+		t.Fatalf("explain limit ignored: %d witnesses", n)
+	}
+}
+
+func TestMinerDSLSpec(t *testing.T) {
+	_, seq := writeMinerFiles(t)
+	dsl := filepath.Join(t.TempDir(), "cascade.tcg")
+	body := "X0 -> X1 : [0,0]b-day [1,4]hour\nX1 -> X2 : [1,1]b-day\n"
+	if err := os.WriteFile(dsl, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, dsl, "", seq, "overheat-m0", "", 0.5, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "X1=malfunction-m0 X2=shutdown-m0") {
+		t.Fatalf("DSL spec run missing the cascade:\n%s", out.String())
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+func writeFiles(t *testing.T) (spec, seq string) {
+	t.Helper()
+	dir := t.TempDir()
+	spec = filepath.Join(dir, "type.json")
+	body := `{
+	  "edges": [
+	    {"from":"A","to":"B","constraints":[{"min":0,"max":0,"gran":"day"},{"min":2,"max":23,"gran":"hour"}]}
+	  ],
+	  "assign": {"A":"deposit","B":"withdrawal"}
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq = filepath.Join(dir, "events.txt")
+	s := event.Sequence{
+		{Type: "deposit", Time: event.At(1996, 6, 3, 9, 0, 0)},
+		{Type: "noise", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		{Type: "withdrawal", Time: event.At(1996, 6, 3, 14, 0, 0)},
+		{Type: "deposit", Time: event.At(1996, 6, 4, 22, 0, 0)},
+		{Type: "withdrawal", Time: event.At(1996, 6, 5, 1, 0, 0)}, // crosses midnight
+	}
+	f, err := os.Create(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := event.Encode(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return spec, seq
+}
+
+func TestRunWholeSequence(t *testing.T) {
+	spec, seq := writeFiles(t)
+	var out bytes.Buffer
+	if err := run(&out, spec, seq, "", "", "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "accepted=true") {
+		t.Fatalf("expected acceptance:\n%s", got)
+	}
+	if !strings.Contains(got, "TAG: ") || !strings.Contains(got, "-->") {
+		t.Fatalf("expected automaton dump:\n%s", got)
+	}
+}
+
+func TestRunAnchored(t *testing.T) {
+	spec, seq := writeFiles(t)
+	var out bytes.Buffer
+	if err := run(&out, spec, seq, "deposit", "", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Two deposits; only the first has a same-day withdrawal.
+	if !strings.Contains(got, "references=2 matches=1 frequency=0.500") {
+		t.Fatalf("unexpected anchored summary:\n%s", got)
+	}
+}
+
+func TestRunErrorsTagrun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "", "", false, false); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	spec, seq := writeFiles(t)
+	if err := run(&out, spec, seq, "ghost-type", "", "", false, false); err == nil {
+		t.Fatal("absent anchor accepted")
+	}
+	// Spec without an assignment is rejected.
+	dir := t.TempDir()
+	noAssign := filepath.Join(dir, "s.json")
+	sp := core.ToSpec(core.Fig1a(), nil)
+	f, _ := os.Create(noAssign)
+	if err := core.WriteSpec(f, sp); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(&out, noAssign, seq, "", "", "", false, false); err == nil {
+		t.Fatal("spec without assignment accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const fig1aSpec = `{
+  "edges": [
+    {"from":"X0","to":"X1","constraints":[{"min":1,"max":1,"gran":"b-day"}]},
+    {"from":"X0","to":"X2","constraints":[{"min":0,"max":5,"gran":"b-day"}]},
+    {"from":"X1","to":"X3","constraints":[{"min":0,"max":1,"gran":"week"}]},
+    {"from":"X2","to":"X3","constraints":[{"min":0,"max":8,"gran":"hour"}]}
+  ]
+}`
+
+func TestRunPropagationOnly(t *testing.T) {
+	path := writeSpec(t, fig1aSpec)
+	var out bytes.Buffer
+	if err := run(&out, path, "", "", false, 1996, 1996); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"not refuted", "(X0,X3) [0,2]week", "(X0,X3) [0,200]hour"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunExact(t *testing.T) {
+	path := writeSpec(t, fig1aSpec)
+	var out bytes.Buffer
+	if err := run(&out, path, "", "", true, 1996, 1996); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "exact: SATISFIABLE") {
+		t.Fatalf("expected satisfiable verdict:\n%s", out.String())
+	}
+}
+
+func TestRunInconsistent(t *testing.T) {
+	spec := `{"edges":[{"from":"A","to":"B","constraints":[
+		{"min":0,"max":0,"gran":"day"},{"min":30,"max":40,"gran":"hour"}]}]}`
+	path := writeSpec(t, spec)
+	var out bytes.Buffer
+	if err := run(&out, path, "", "", false, 1996, 1996); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INCONSISTENT") {
+		t.Fatalf("expected inconsistency:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, filepath.Join(t.TempDir(), "missing.json"), "", "", false, 1996, 1996); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeSpec(t, `{"edges":[]}`)
+	if err := run(&out, bad, "", "", false, 1996, 1996); err == nil {
+		t.Fatal("empty structure accepted")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := writeSpec(t, fig1aSpec)
+	dotPath := filepath.Join(t.TempDir(), "s.dot")
+	var out bytes.Buffer
+	if err := run(&out, path, "", dotPath, false, 1996, 1996); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "doublecircle") {
+		t.Fatalf("DOT output wrong:\n%s", data)
+	}
+}

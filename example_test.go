@@ -1,0 +1,84 @@
+package tempo_test
+
+import (
+	"fmt"
+
+	tempo "repro"
+)
+
+// ExampleTCG_Satisfied shows the paper's central point: [0,0]day is not a
+// 24-hour window.
+func ExampleTCG_Satisfied() {
+	sys := tempo.DefaultSystem()
+	sameDay := tempo.MustTCG(0, 0, "day")
+
+	late := tempo.At(1996, 6, 3, 23, 0, 0)
+	nextEarly := tempo.At(1996, 6, 4, 1, 0, 0) // 2 hours later, next day
+	within := tempo.At(1996, 6, 3, 1, 0, 0)    // 22 hours earlier, same day
+
+	fmt.Println(sameDay.Satisfied(sys, late, nextEarly))
+	fmt.Println(sameDay.Satisfied(sys, within, late))
+	// Output:
+	// false
+	// true
+}
+
+// ExamplePropagate derives the paper's Figure-1(a) constraints.
+func ExamplePropagate() {
+	sys := tempo.DefaultSystem()
+	res, err := tempo.Propagate(sys, tempo.Fig1a(), tempo.PropagateOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range res.DerivedBounds("X0", "X3") {
+		if b.Gran != "second" {
+			fmt.Println(b)
+		}
+	}
+	// Output:
+	// [0,200]hour
+	// [0,2]week
+}
+
+// ExampleCompileTAG compiles and runs the paper's Example 1.
+func ExampleCompileTAG() {
+	sys := tempo.DefaultSystem()
+	ct, _ := tempo.NewComplexType(tempo.Fig1a(), tempo.Example1Assignment())
+	a, _ := tempo.CompileTAG(ct)
+
+	seq := tempo.Sequence{
+		{Type: "IBM-rise", Time: tempo.At(1996, 6, 3, 10, 0, 0)},
+		{Type: "IBM-earnings-report", Time: tempo.At(1996, 6, 4, 17, 0, 0)},
+		{Type: "HP-rise", Time: tempo.At(1996, 6, 5, 9, 0, 0)},
+		{Type: "IBM-fall", Time: tempo.At(1996, 6, 5, 11, 0, 0)},
+	}
+	ok, _ := a.Accepts(sys, seq, tempo.RunOptions{})
+	fmt.Println("states:", a.NumStates(), "occurs:", ok)
+	// Output:
+	// states: 6 occurs: true
+}
+
+// ExampleMineOptimized discovers the planted cascade in a plant log.
+func ExampleMineOptimized() {
+	sys := tempo.DefaultSystem()
+	seq := tempo.GeneratePlant(tempo.PlantFaultConfig{
+		Machines: 1, StartYear: 1996, Days: 90, Seed: 7, CascadeProb: 0.9,
+	})
+	s := tempo.NewStructure()
+	s.MustConstrain("X0", "X1", tempo.MustTCG(0, 0, "b-day"), tempo.MustTCG(1, 4, "hour"))
+	s.MustConstrain("X1", "X2", tempo.MustTCG(1, 1, "b-day"))
+
+	ds, _, err := tempo.MineOptimized(sys, tempo.Problem{
+		Structure:     s,
+		MinConfidence: 0.5,
+		Reference:     "overheat-m0",
+	}, seq, tempo.PipelineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range ds {
+		fmt.Println(d.Assign["X1"], d.Assign["X2"])
+	}
+	// Output:
+	// malfunction-m0 shutdown-m0
+}

@@ -1,0 +1,73 @@
+// Plant: discovering malfunction cascades in an industrial plant log — one
+// of the paper's motivating domains. The generator plants a causal chain
+// (overheat, then a malfunction on the same business day, then a shutdown
+// the next business day) for a fraction of the overheats; the discovery
+// problem recovers it, and the pipeline statistics show what each of the
+// paper's optimization steps saves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	tempo "repro"
+)
+
+func main() {
+	sys := tempo.DefaultSystem()
+	seq := tempo.GeneratePlant(tempo.PlantFaultConfig{
+		Machines:    3,
+		StartYear:   1996,
+		Days:        150,
+		Seed:        7,
+		CascadeProb: 0.7,
+	})
+	fmt.Printf("generated %d plant events\n", len(seq))
+
+	// The cascade structure: all constraints in business-day and hour
+	// granularities.
+	s := tempo.NewStructure()
+	s.MustConstrain("X0", "X1", tempo.MustTCG(0, 0, "b-day"), tempo.MustTCG(1, 4, "hour"))
+	s.MustConstrain("X1", "X2", tempo.MustTCG(1, 1, "b-day"))
+
+	problem := tempo.Problem{
+		Structure:     s,
+		MinConfidence: 0.5,
+		Reference:     "overheat-m1",
+	}
+
+	naive, nstats, err := tempo.MineNaive(sys, problem, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, ostats, err := tempo.MineOptimized(sys, problem, seq, tempo.PipelineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("naive:     %d candidates scanned, %d TAG runs\n",
+		nstats.CandidatesScanned, nstats.TagRuns)
+	fmt.Printf("optimized: %d candidates scanned, %d TAG runs "+
+		"(%d types screened at k=1, %d pairs at k=2, %d/%d events kept)\n",
+		ostats.CandidatesScanned, ostats.TagRuns,
+		ostats.ScreenedByK1, ostats.ScreenedByK2,
+		ostats.ReducedEvents, ostats.SequenceEvents)
+
+	if len(naive) != len(opt) {
+		log.Fatalf("solver disagreement: %d vs %d solutions", len(naive), len(opt))
+	}
+	fmt.Printf("both solvers found %d frequent cascade typings:\n", len(opt))
+	for _, d := range opt {
+		vars := make([]string, 0, len(d.Assign))
+		for v := range d.Assign {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		fmt.Printf("  freq=%.3f:", d.Frequency)
+		for _, v := range vars {
+			fmt.Printf(" %s=%s", v, d.Assign[tempo.Variable(v)])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,83 @@
+// Roster: two Section-6 extensions working together. A factory runs two
+// shifts per day as a user-defined periodic granularity; the quality
+// pattern "calibration at most 2 hours into a shift, then a defect spike
+// within the same shift" is unrolled three times ("three shifts in a row
+// with the same problem") and matched against a synthetic log.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tempo "repro"
+)
+
+func main() {
+	sys := tempo.DefaultSystem()
+
+	// Shifts: 06:00-14:00 and 14:00-22:00 of every day.
+	shift := tempo.MustPeriodic(tempo.PeriodicSpec{
+		Name:   "shift",
+		Period: 86400,
+		Anchor: 1,
+		Granules: []tempo.PeriodicGranule{
+			{Spans: []tempo.PeriodicSpan{{First: 6 * 3600, Last: 14*3600 - 1}}},
+			{Spans: []tempo.PeriodicSpan{{First: 14 * 3600, Last: 22*3600 - 1}}},
+		},
+	})
+	sys.Add(shift)
+
+	// One repetition: calibration, then a defect spike in the same shift
+	// at least an hour later.
+	base := tempo.NewStructure()
+	base.MustConstrain("Cal", "Spike",
+		tempo.MustTCG(0, 0, "shift"), tempo.MustTCG(1, 7, "hour"))
+
+	// Three repetitions, each starting the next shift.
+	repeated, err := tempo.Unroll(base, 3, "Spike", []tempo.TCG{tempo.MustTCG(1, 1, "shift")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unrolled structure: %d variables, %d constraints\n",
+		repeated.NumVariables(), repeated.NumEdges())
+
+	assign := tempo.UnrollAssignment(3, map[tempo.Variable]tempo.EventType{
+		"Cal": "calibration", "Spike": "defect-spike",
+	})
+	ct, err := tempo.NewComplexType(repeated, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := tempo.CompileTAG(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TAG: %d states, %d clocks\n", a.NumStates(), len(a.Clocks()))
+
+	// A log with the problem in three consecutive shifts of 1996-06-03/04.
+	at := func(d, h, m int) int64 { return tempo.At(1996, 6, d, h, m, 0) }
+	seq := tempo.Sequence{
+		{Type: "calibration", Time: at(3, 6, 30)},
+		{Type: "noise", Time: at(3, 9, 0)},
+		{Type: "defect-spike", Time: at(3, 10, 15)},
+		{Type: "calibration", Time: at(3, 14, 20)},
+		{Type: "defect-spike", Time: at(3, 17, 0)},
+		{Type: "calibration", Time: at(4, 7, 0)},
+		{Type: "defect-spike", Time: at(4, 9, 45)},
+	}
+	witness, ok, _ := a.FindOccurrence(sys, seq, tempo.RunOptions{})
+	fmt.Printf("three-shift pattern occurs: %v\n", ok)
+	if ok {
+		for copyIdx := 1; copyIdx <= 3; copyIdx++ {
+			v := tempo.RenamedVariable("Spike", copyIdx)
+			fmt.Printf("  repetition %d spike at %s\n",
+				copyIdx, tempo.Civil(seq[witness[string(v)]].Time))
+		}
+	}
+
+	// Break the middle shift: the spike drifts into the next shift.
+	seq[4].Time = at(3, 23, 0)
+	seq.Sort()
+	_, ok, _ = a.FindOccurrence(sys, seq, tempo.RunOptions{})
+	fmt.Printf("with the middle spike off-shift: %v\n", ok)
+}

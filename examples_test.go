@@ -1,0 +1,53 @@
+package tempo_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end (skipped under
+// -short): each must exit 0 and print its headline result.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped with -short")
+	}
+	expect := map[string]string{
+		"quickstart": "pattern occurs: true",
+		"stock":      "Figure 2 TAG: 6 states",
+		"atm":        "cross-midnight false positives",
+		"plant":      "both solvers found",
+		"roster":     "three-shift pattern occurs: true",
+		"intrusion":  "first incident on host 0",
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(expect) {
+		t.Fatalf("examples/ has %d entries, expectations cover %d — keep them in sync", len(entries), len(expect))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		want, ok := expect[name]
+		if !ok {
+			t.Errorf("no expectation for example %q", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+}

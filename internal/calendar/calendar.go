@@ -1,0 +1,239 @@
+// Package calendar implements proleptic Gregorian date arithmetic from
+// scratch on an integer day line. It is the substrate the granularity
+// package uses to realize calendar temporal types (day, week, month, year,
+// business day, …) over the paper's second timeline.
+//
+// The package works in "rata" day numbers: day 1 is 1800-01-01, the anchor
+// the paper's own year example uses. Negative and zero rata values are
+// valid dates before the anchor; the granularity layer only ever asks about
+// positive ones.
+package calendar
+
+import "fmt"
+
+// Anchor is the civil date of rata day 1.
+const (
+	AnchorYear  = 1800
+	AnchorMonth = 1
+	AnchorDay   = 1
+)
+
+// SecondsPerDay is the length of a civil day on the discrete timeline.
+const SecondsPerDay = 86400
+
+// Weekday numbers days of the week with Monday == 0, matching ISO-8601
+// week alignment used by the week granularity.
+type Weekday int
+
+// Weekday values.
+const (
+	Monday Weekday = iota
+	Tuesday
+	Wednesday
+	Thursday
+	Friday
+	Saturday
+	Sunday
+)
+
+var weekdayNames = [...]string{
+	"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+}
+
+// String returns the English weekday name.
+func (w Weekday) String() string {
+	if w < Monday || w > Sunday {
+		return fmt.Sprintf("Weekday(%d)", int(w))
+	}
+	return weekdayNames[w]
+}
+
+// Date is a proleptic Gregorian civil date.
+type Date struct {
+	Year  int
+	Month int // 1..12
+	Day   int // 1..31
+}
+
+// String formats the date as YYYY-MM-DD.
+func (d Date) String() string {
+	return fmt.Sprintf("%04d-%02d-%02d", d.Year, d.Month, d.Day)
+}
+
+// Valid reports whether the date denotes an existing Gregorian day.
+func (d Date) Valid() bool {
+	if d.Month < 1 || d.Month > 12 {
+		return false
+	}
+	return d.Day >= 1 && d.Day <= DaysInMonth(d.Year, d.Month)
+}
+
+// IsLeap reports whether year is a Gregorian leap year.
+func IsLeap(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}
+
+var monthLengths = [...]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// DaysInMonth returns the number of days in the given month of year.
+func DaysInMonth(year, month int) int {
+	if month == 2 && IsLeap(year) {
+		return 29
+	}
+	return monthLengths[month-1]
+}
+
+// DaysInYear returns 365 or 366.
+func DaysInYear(year int) int {
+	if IsLeap(year) {
+		return 366
+	}
+	return 365
+}
+
+// daysFromCivil converts a civil date to a serial day count with day 0 ==
+// 1970-01-01, using era decomposition (no loops, valid over the full proleptic
+// Gregorian range).
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	var era int64
+	yy := int64(y)
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468       // serial day, 0 = 1970-01-01
+}
+
+// civilFromDays is the inverse of daysFromCivil.
+func civilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// anchorSerial is the serial day (1970-based) of the anchor date; rata day r
+// corresponds to serial anchorSerial + r - 1.
+var anchorSerial = daysFromCivil(AnchorYear, AnchorMonth, AnchorDay)
+
+// RataOf returns the rata day number (1 == 1800-01-01) of a civil date.
+func RataOf(d Date) int64 {
+	return daysFromCivil(d.Year, d.Month, d.Day) - anchorSerial + 1
+}
+
+// DateOf returns the civil date of a rata day number.
+func DateOf(rata int64) Date {
+	y, m, d := civilFromDays(rata - 1 + anchorSerial)
+	return Date{Year: y, Month: m, Day: d}
+}
+
+// WeekdayOf returns the weekday of a rata day.
+func WeekdayOf(rata int64) Weekday {
+	// Serial day 0 (1970-01-01) was a Thursday.
+	s := rata - 1 + anchorSerial
+	w := (s + 3) % 7 // +3: Thursday -> index 3 with Monday == 0
+	if w < 0 {
+		w += 7
+	}
+	return Weekday(w)
+}
+
+// MonthIndexOf returns the 1-based month index of a rata day, where month 1
+// is January 1800. Works for rata >= 1 only (panics otherwise): the paper's
+// timeline is the positive integers.
+func MonthIndexOf(rata int64) int64 {
+	d := DateOf(rata)
+	return monthIndex(d.Year, d.Month)
+}
+
+func monthIndex(year, month int) int64 {
+	return int64(year-AnchorYear)*12 + int64(month-AnchorMonth) + 1
+}
+
+// MonthSpan returns the first and last rata days of 1-based month index z
+// (month 1 = January 1800).
+func MonthSpan(z int64) (first, last int64) {
+	y := AnchorYear + int((z-1)/12)
+	m := AnchorMonth + int((z-1)%12)
+	if z < 1 {
+		// Handle negative flooring for completeness.
+		q := (z - 12) / 12
+		y = AnchorYear + int(q)
+		m = int(z - q*12)
+	}
+	first = RataOf(Date{Year: y, Month: m, Day: 1})
+	last = first + int64(DaysInMonth(y, m)) - 1
+	return first, last
+}
+
+// YearIndexOf returns the 1-based year index (year 1 = 1800) of a rata day.
+func YearIndexOf(rata int64) int64 {
+	return int64(DateOf(rata).Year - AnchorYear + 1)
+}
+
+// YearSpan returns the first and last rata days of 1-based year index z.
+func YearSpan(z int64) (first, last int64) {
+	y := AnchorYear + int(z) - 1
+	first = RataOf(Date{Year: y, Month: 1, Day: 1})
+	last = RataOf(Date{Year: y, Month: 12, Day: 31})
+	return first, last
+}
+
+// WeekIndexOf returns the 1-based week index of a rata day. Weeks run
+// Monday..Sunday; week 1 is the (partial) week containing rata day 1.
+// 1800-01-01 was a Wednesday, so week 1 has 5 days (Wed..Sun).
+func WeekIndexOf(rata int64) int64 {
+	// Shift so that the Monday of the week containing day 1 is origin.
+	off := int64(WeekdayOf(1)) // days from that Monday to day 1
+	d := rata - 1 + off        // 0-based day within the shifted line
+	var w int64
+	if d >= 0 {
+		w = d / 7
+	} else {
+		w = (d - 6) / 7
+	}
+	return w + 1
+}
+
+// WeekSpan returns the first and last rata days of 1-based week index z,
+// clipped to the timeline start for the partial first week.
+func WeekSpan(z int64) (first, last int64) {
+	off := int64(WeekdayOf(1))
+	first = (z-1)*7 + 1 - off
+	last = first + 6
+	if z == 1 && first < 1 {
+		first = 1
+	}
+	return first, last
+}

@@ -1,0 +1,335 @@
+package calendar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnchorIsDay1(t *testing.T) {
+	if got := RataOf(Date{1800, 1, 1}); got != 1 {
+		t.Fatalf("RataOf(1800-01-01) = %d, want 1", got)
+	}
+	if got := DateOf(1); got != (Date{1800, 1, 1}) {
+		t.Fatalf("DateOf(1) = %v, want 1800-01-01", got)
+	}
+}
+
+func TestAnchorWeekday(t *testing.T) {
+	// 1800-01-01 was a Wednesday.
+	if got := WeekdayOf(1); got != Wednesday {
+		t.Fatalf("WeekdayOf(1) = %v, want Wednesday", got)
+	}
+	// 2000-01-01 was a Saturday.
+	if got := WeekdayOf(RataOf(Date{2000, 1, 1})); got != Saturday {
+		t.Fatalf("WeekdayOf(2000-01-01) = %v, want Saturday", got)
+	}
+	// 1996-06-03 (PODS'96 week, Montreal) was a Monday.
+	if got := WeekdayOf(RataOf(Date{1996, 6, 3})); got != Monday {
+		t.Fatalf("WeekdayOf(1996-06-03) = %v, want Monday", got)
+	}
+}
+
+func TestLeapYears(t *testing.T) {
+	cases := []struct {
+		year int
+		leap bool
+	}{
+		{1800, false}, {1900, false}, {2000, true}, {1996, true},
+		{1997, false}, {2100, false}, {2400, true}, {1804, true},
+	}
+	for _, c := range cases {
+		if IsLeap(c.year) != c.leap {
+			t.Errorf("IsLeap(%d) = %v, want %v", c.year, !c.leap, c.leap)
+		}
+	}
+}
+
+func TestDaysInMonth(t *testing.T) {
+	if DaysInMonth(1996, 2) != 29 {
+		t.Errorf("Feb 1996 should have 29 days")
+	}
+	if DaysInMonth(1900, 2) != 28 {
+		t.Errorf("Feb 1900 should have 28 days")
+	}
+	if DaysInMonth(1800, 12) != 31 {
+		t.Errorf("Dec 1800 should have 31 days")
+	}
+}
+
+func TestRataRoundTrip(t *testing.T) {
+	f := func(offset int32) bool {
+		rata := int64(offset%200000) + 1
+		if rata < 1 {
+			rata = -rata + 1
+		}
+		d := DateOf(rata)
+		return RataOf(d) == rata && d.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRataMonotoneDates(t *testing.T) {
+	prev := DateOf(1)
+	for rata := int64(2); rata <= 2000; rata++ {
+		cur := DateOf(rata)
+		if !less(prev, cur) {
+			t.Fatalf("dates not strictly increasing at rata %d: %v !< %v", rata, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func less(a, b Date) bool {
+	if a.Year != b.Year {
+		return a.Year < b.Year
+	}
+	if a.Month != b.Month {
+		return a.Month < b.Month
+	}
+	return a.Day < b.Day
+}
+
+func TestWeekdayCycles(t *testing.T) {
+	for rata := int64(1); rata < 100; rata++ {
+		a, b := WeekdayOf(rata), WeekdayOf(rata+7)
+		if a != b {
+			t.Fatalf("weekday at %d (%v) != weekday at %d (%v)", rata, a, rata+7, b)
+		}
+	}
+}
+
+func TestMonthIndex(t *testing.T) {
+	if MonthIndexOf(1) != 1 {
+		t.Fatalf("month of day 1 should be 1")
+	}
+	// 1800-02-01 starts month 2.
+	feb := RataOf(Date{1800, 2, 1})
+	if MonthIndexOf(feb) != 2 || MonthIndexOf(feb-1) != 1 {
+		t.Fatalf("month boundary wrong at 1800-02-01")
+	}
+	// January 1801 is month 13.
+	if MonthIndexOf(RataOf(Date{1801, 1, 15})) != 13 {
+		t.Fatalf("1801-01 should be month 13")
+	}
+}
+
+func TestMonthSpan(t *testing.T) {
+	for z := int64(1); z <= 60; z++ {
+		first, last := MonthSpan(z)
+		if MonthIndexOf(first) != z || MonthIndexOf(last) != z {
+			t.Fatalf("span of month %d [%d,%d] maps back incorrectly", z, first, last)
+		}
+		if z > 1 {
+			if MonthIndexOf(first-1) != z-1 {
+				t.Fatalf("day before month %d is not in month %d", z, z-1)
+			}
+		}
+		if MonthIndexOf(last+1) != z+1 {
+			t.Fatalf("day after month %d is not in month %d", z, z+1)
+		}
+		length := last - first + 1
+		if length < 28 || length > 31 {
+			t.Fatalf("month %d has %d days", z, length)
+		}
+	}
+}
+
+func TestYearSpan(t *testing.T) {
+	for z := int64(1); z <= 10; z++ {
+		first, last := YearSpan(z)
+		if YearIndexOf(first) != z || YearIndexOf(last) != z {
+			t.Fatalf("year %d span wrong", z)
+		}
+		n := last - first + 1
+		want := int64(DaysInYear(AnchorYear + int(z) - 1))
+		if n != want {
+			t.Fatalf("year %d has %d days, want %d", z, n, want)
+		}
+	}
+}
+
+func TestWeekIndexAndSpan(t *testing.T) {
+	// Week 1 is partial: Wed 1800-01-01 .. Sun 1800-01-05 (5 days).
+	f1, l1 := WeekSpan(1)
+	if f1 != 1 || l1 != 5 {
+		t.Fatalf("week 1 span = [%d,%d], want [1,5]", f1, l1)
+	}
+	for d := f1; d <= l1; d++ {
+		if WeekIndexOf(d) != 1 {
+			t.Fatalf("day %d should be in week 1", d)
+		}
+	}
+	// Week 2 starts Monday 1800-01-06.
+	f2, l2 := WeekSpan(2)
+	if f2 != 6 || l2 != 12 {
+		t.Fatalf("week 2 span = [%d,%d], want [6,12]", f2, l2)
+	}
+	if WeekdayOf(f2) != Monday {
+		t.Fatalf("week 2 should start on Monday, got %v", WeekdayOf(f2))
+	}
+	// Indices and spans agree over a long prefix.
+	for rata := int64(1); rata <= 1000; rata++ {
+		z := WeekIndexOf(rata)
+		f, l := WeekSpan(z)
+		if rata < f || rata > l {
+			t.Fatalf("day %d not inside its own week %d span [%d,%d]", rata, z, f, l)
+		}
+	}
+}
+
+func TestWeekSpansTile(t *testing.T) {
+	prevLast := int64(0)
+	for z := int64(1); z <= 200; z++ {
+		f, l := WeekSpan(z)
+		if f != prevLast+1 {
+			t.Fatalf("week %d starts at %d, want %d", z, f, prevLast+1)
+		}
+		if z > 1 && l-f+1 != 7 {
+			t.Fatalf("week %d has %d days, want 7", z, l-f+1)
+		}
+		prevLast = l
+	}
+}
+
+func TestNthWeekday(t *testing.T) {
+	// Thanksgiving 1996: 4th Thursday of November = Nov 28.
+	rata, ok := nthWeekday(1996, 11, Thursday, 4)
+	if !ok {
+		t.Fatal("no 4th Thursday in Nov 1996?")
+	}
+	if DateOf(rata) != (Date{1996, 11, 28}) {
+		t.Fatalf("Thanksgiving 1996 = %v, want 1996-11-28", DateOf(rata))
+	}
+	// Memorial Day 1996: last Monday of May = May 27.
+	rata, ok = nthWeekday(1996, 5, Monday, -1)
+	if !ok {
+		t.Fatal("no last Monday in May 1996?")
+	}
+	if DateOf(rata) != (Date{1996, 5, 27}) {
+		t.Fatalf("Memorial Day 1996 = %v, want 1996-05-27", DateOf(rata))
+	}
+	// A 5th Friday that does not exist.
+	if _, ok := nthWeekday(1996, 2, Friday, 5); ok {
+		t.Fatal("Feb 1996 should not have a 5th Friday")
+	}
+}
+
+func TestUSFederalHolidays(t *testing.T) {
+	hs := USFederal()
+	july4 := RataOf(Date{1996, 7, 4}) // Thursday
+	if !hs.IsHoliday(july4) {
+		t.Error("1996-07-04 should be a holiday")
+	}
+	xmas94 := RataOf(Date{1994, 12, 25}) // Sunday -> observed Monday 26
+	if hs.IsHoliday(xmas94) {
+		t.Error("1994-12-25 (Sunday) should be shifted to Monday")
+	}
+	if !hs.IsHoliday(xmas94 + 1) {
+		t.Error("1994-12-26 (Monday) should be the observed Christmas")
+	}
+}
+
+func TestIsBusinessDay(t *testing.T) {
+	hs := USFederal()
+	mon := RataOf(Date{1996, 6, 3})
+	sat := RataOf(Date{1996, 6, 1})
+	july4 := RataOf(Date{1996, 7, 4})
+	if !IsBusinessDay(mon, hs) {
+		t.Error("1996-06-03 (Mon) should be a business day")
+	}
+	if IsBusinessDay(sat, hs) {
+		t.Error("1996-06-01 (Sat) should not be a business day")
+	}
+	if IsBusinessDay(july4, hs) {
+		t.Error("1996-07-04 should not be a business day")
+	}
+	if !IsBusinessDay(sat, nil) == false {
+		t.Error("Saturday is never a business day even with nil holidays")
+	}
+	if !IsBusinessDay(july4, nil) {
+		t.Error("with nil holiday set, 1996-07-04 (Thu) is a business day")
+	}
+}
+
+func TestRuleSetCopiesRules(t *testing.T) {
+	rules := []HolidayRule{{Name: "X", Kind: KindFixed, Month: 3, Day: 3}}
+	rs := NewRuleSet(rules)
+	rules[0].Month = 4 // must not affect rs
+	rata := RataOf(Date{1900, 3, 3})
+	if !rs.IsHoliday(rata) {
+		t.Fatal("rule set should have copied the original rules")
+	}
+	got := rs.Rules()
+	got[0].Month = 9
+	if rs.Rules()[0].Month != 3 {
+		t.Fatal("Rules() must return a copy")
+	}
+}
+
+func TestWeekdayString(t *testing.T) {
+	if Monday.String() != "Monday" || Sunday.String() != "Sunday" {
+		t.Fatal("weekday names wrong")
+	}
+	if Weekday(42).String() != "Weekday(42)" {
+		t.Fatal("out-of-range weekday should format numerically")
+	}
+}
+
+func TestDateValid(t *testing.T) {
+	if (Date{1996, 2, 30}).Valid() {
+		t.Error("Feb 30 should be invalid")
+	}
+	if !(Date{1996, 2, 29}).Valid() {
+		t.Error("Feb 29 1996 should be valid")
+	}
+	if (Date{1996, 13, 1}).Valid() || (Date{1996, 0, 1}).Valid() {
+		t.Error("month out of range should be invalid")
+	}
+	if (Date{1996, 6, 0}).Valid() {
+		t.Error("day 0 should be invalid")
+	}
+}
+
+func TestEasterSunday(t *testing.T) {
+	// Known Easter dates (Gregorian).
+	cases := []struct {
+		year       int
+		month, day int
+	}{
+		{1996, 4, 7}, {2000, 4, 23}, {2008, 3, 23}, {2011, 4, 24},
+		{1818, 3, 22}, {1943, 4, 25}, {2024, 3, 31}, {2026, 4, 5},
+	}
+	for _, c := range cases {
+		got := DateOf(EasterSunday(c.year))
+		if got.Month != c.month || got.Day != c.day {
+			t.Errorf("Easter %d = %v, want %04d-%02d-%02d", c.year, got, c.year, c.month, c.day)
+		}
+		// Easter is always a Sunday.
+		if WeekdayOf(EasterSunday(c.year)) != Sunday {
+			t.Errorf("Easter %d not a Sunday", c.year)
+		}
+	}
+}
+
+func TestEasterRule(t *testing.T) {
+	rs := NewRuleSet([]HolidayRule{
+		{Name: "Good Friday", Kind: KindEaster, Offset: -2},
+		{Name: "Easter Monday", Kind: KindEaster, Offset: 1},
+	})
+	// 1996: Easter Apr 7 -> Good Friday Apr 5, Easter Monday Apr 8.
+	if !rs.IsHoliday(RataOf(Date{1996, 4, 5})) {
+		t.Error("Good Friday 1996 missing")
+	}
+	if !rs.IsHoliday(RataOf(Date{1996, 4, 8})) {
+		t.Error("Easter Monday 1996 missing")
+	}
+	if rs.IsHoliday(RataOf(Date{1996, 4, 7})) {
+		t.Error("Easter Sunday itself not in this rule set")
+	}
+	// A business-day granularity with Easter holidays skips Good Friday.
+	if IsBusinessDay(RataOf(Date{1996, 4, 5}), rs) {
+		t.Error("Good Friday 1996 should not be a business day")
+	}
+}

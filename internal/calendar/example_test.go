@@ -1,0 +1,19 @@
+package calendar_test
+
+import (
+	"fmt"
+
+	"repro/internal/calendar"
+)
+
+// Example shows the day-line arithmetic anchored at the paper's 1800 epoch.
+func Example() {
+	rata := calendar.RataOf(calendar.Date{Year: 1996, Month: 6, Day: 3})
+	fmt.Println(calendar.DateOf(rata), calendar.WeekdayOf(rata))
+	fmt.Println("business day:", calendar.IsBusinessDay(rata, calendar.USFederal()))
+	fmt.Println("Easter 1996:", calendar.DateOf(calendar.EasterSunday(1996)))
+	// Output:
+	// 1996-06-03 Monday
+	// business day: true
+	// Easter 1996: 1996-04-07
+}

@@ -1,0 +1,184 @@
+package calendar
+
+import "sync"
+
+// HolidayRule describes one recurring holiday. Exactly one of the rule kinds
+// is active, selected by Kind.
+type HolidayRule struct {
+	Name string
+	Kind RuleKind
+
+	// Fixed-date rules (KindFixed): Month/Day each year.
+	Month int
+	Day   int
+
+	// Nth-weekday rules (KindNthWeekday): the Nth occurrence (1-based) of
+	// Weekday in Month; N == -1 means the last occurrence.
+	Weekday Weekday
+	N       int
+
+	// Easter-relative rules (KindEaster): days after Easter Sunday
+	// (negative = before).
+	Offset int
+
+	// Observed shifts a fixed-date holiday falling on a weekend to the
+	// nearest weekday (Saturday -> Friday, Sunday -> Monday).
+	Observed bool
+}
+
+// RuleKind selects how a HolidayRule picks its day.
+type RuleKind int
+
+// Rule kinds.
+const (
+	KindFixed RuleKind = iota
+	KindNthWeekday
+	// KindEaster selects the day Offset days after Easter Sunday
+	// (Gregorian computus): Offset -2 is Good Friday, +1 Easter Monday,
+	// +39 Ascension, +50 Whit Monday.
+	KindEaster
+)
+
+// HolidaySet decides whether a rata day is a holiday. Implementations must
+// be deterministic and cheap: the granularity layer calls them per day.
+type HolidaySet interface {
+	IsHoliday(rata int64) bool
+}
+
+// NoHolidays is a HolidaySet with no holidays.
+type NoHolidays struct{}
+
+// IsHoliday always reports false.
+func (NoHolidays) IsHoliday(int64) bool { return false }
+
+// RuleSet is a HolidaySet driven by recurring rules, with a per-year cache.
+// It is safe for concurrent use.
+type RuleSet struct {
+	rules []HolidayRule
+
+	mu    sync.Mutex
+	cache map[int]map[int64]bool
+}
+
+// NewRuleSet builds a RuleSet from rules. The slice is copied.
+func NewRuleSet(rules []HolidayRule) *RuleSet {
+	rs := &RuleSet{rules: append([]HolidayRule(nil), rules...), cache: make(map[int]map[int64]bool)}
+	return rs
+}
+
+// Rules returns a copy of the rule list.
+func (rs *RuleSet) Rules() []HolidayRule {
+	return append([]HolidayRule(nil), rs.rules...)
+}
+
+// IsHoliday reports whether the rata day is selected by any rule.
+func (rs *RuleSet) IsHoliday(rata int64) bool {
+	year := DateOf(rata).Year
+	rs.mu.Lock()
+	days, ok := rs.cache[year]
+	if !ok {
+		days = rs.computeYear(year)
+		rs.cache[year] = days
+	}
+	rs.mu.Unlock()
+	return days[rata]
+}
+
+func (rs *RuleSet) computeYear(year int) map[int64]bool {
+	days := make(map[int64]bool)
+	for _, r := range rs.rules {
+		switch r.Kind {
+		case KindFixed:
+			d := Date{Year: year, Month: r.Month, Day: r.Day}
+			if !d.Valid() {
+				continue
+			}
+			rata := RataOf(d)
+			if r.Observed {
+				switch WeekdayOf(rata) {
+				case Saturday:
+					rata--
+				case Sunday:
+					rata++
+				}
+			}
+			days[rata] = true
+		case KindNthWeekday:
+			if rata, ok := nthWeekday(year, r.Month, r.Weekday, r.N); ok {
+				days[rata] = true
+			}
+		case KindEaster:
+			days[EasterSunday(year)+int64(r.Offset)] = true
+		}
+	}
+	return days
+}
+
+// nthWeekday returns the rata day of the Nth (1-based, -1 = last) Weekday of
+// the month, or ok=false if the month has no such occurrence.
+func nthWeekday(year, month int, w Weekday, n int) (int64, bool) {
+	first := RataOf(Date{Year: year, Month: month, Day: 1})
+	firstW := WeekdayOf(first)
+	delta := (int64(w) - int64(firstW) + 7) % 7
+	if n == -1 {
+		last := first + int64(DaysInMonth(year, month)) - 1
+		lastW := WeekdayOf(last)
+		back := (int64(lastW) - int64(w) + 7) % 7
+		return last - back, true
+	}
+	rata := first + delta + int64(n-1)*7
+	if rata > first+int64(DaysInMonth(year, month))-1 {
+		return 0, false
+	}
+	return rata, true
+}
+
+// EasterSunday returns the rata day of Gregorian Easter Sunday in the
+// given year, by the anonymous Gregorian computus (Meeus/Jones/Butcher).
+func EasterSunday(year int) int64 {
+	a := year % 19
+	b := year / 100
+	c := year % 100
+	d := b / 4
+	e := b % 4
+	f := (b + 8) / 25
+	g := (b - f + 1) / 3
+	h := (19*a + b - d - g + 15) % 30
+	i := c / 4
+	k := c % 4
+	l := (32 + 2*e + 2*i - h - k) % 7
+	m := (a + 11*h + 22*l) / 451
+	month := (h + l - 7*m + 114) / 31
+	day := (h+l-7*m+114)%31 + 1
+	return RataOf(Date{Year: year, Month: month, Day: day})
+}
+
+// USFederal returns a rule set approximating the modern US federal holiday
+// calendar (fixed rules applied proleptically across the whole timeline;
+// the experiments only need a realistic, deterministic gap structure, not
+// historical accuracy).
+func USFederal() *RuleSet {
+	return NewRuleSet([]HolidayRule{
+		{Name: "New Year's Day", Kind: KindFixed, Month: 1, Day: 1, Observed: true},
+		{Name: "Martin Luther King Jr. Day", Kind: KindNthWeekday, Month: 1, Weekday: Monday, N: 3},
+		{Name: "Washington's Birthday", Kind: KindNthWeekday, Month: 2, Weekday: Monday, N: 3},
+		{Name: "Memorial Day", Kind: KindNthWeekday, Month: 5, Weekday: Monday, N: -1},
+		{Name: "Independence Day", Kind: KindFixed, Month: 7, Day: 4, Observed: true},
+		{Name: "Labor Day", Kind: KindNthWeekday, Month: 9, Weekday: Monday, N: 1},
+		{Name: "Thanksgiving Day", Kind: KindNthWeekday, Month: 11, Weekday: Thursday, N: 4},
+		{Name: "Christmas Day", Kind: KindFixed, Month: 12, Day: 25, Observed: true},
+	})
+}
+
+// IsBusinessDay reports whether a rata day is a weekday that is not a
+// holiday under hs. A nil hs means no holidays.
+func IsBusinessDay(rata int64, hs HolidaySet) bool {
+	w := WeekdayOf(rata)
+	if w == Saturday || w == Sunday {
+		return false
+	}
+	if hs != nil && hs.IsHoliday(rata) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+// Package cli holds the helpers the cmd/ tools share: building a
+// granularity system extended with user-defined periodic granularities
+// loaded from spec files, and opening sequence inputs.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/periodic"
+)
+
+// LoadSystem returns the default granularity system, extended with the
+// periodic granularities from the given spec files (comma-separated paths;
+// empty string loads none). Each file holds one periodic.Spec in its line
+// format.
+func LoadSystem(gransFlag string) (*granularity.System, error) {
+	sys := granularity.Default()
+	if gransFlag == "" {
+		return sys, nil
+	}
+	for _, path := range strings.Split(gransFlag, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := periodic.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		g, err := periodic.New(*sp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if _, exists := sys.Get(g.Name()); exists {
+			return nil, fmt.Errorf("%s: granularity %q already defined", path, g.Name())
+		}
+		sys.Add(g)
+	}
+	return sys, nil
+}
+
+// ReadSequence reads an event sequence from the given path, or from stdin
+// when the path is empty.
+func ReadSequence(path string) (event.Sequence, error) {
+	in := os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	return event.Decode(in)
+}
+
+// LoadStructure reads an event structure (with optional typing) from a
+// file, auto-detecting the format: files whose first non-space byte is '{'
+// are parsed as the JSON Spec, anything else as the text DSL
+// (core.ParseDSL).
+func LoadStructure(path string) (*core.EventStructure, map[core.Variable]event.Type, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		sp, err := core.ReadSpec(strings.NewReader(trimmed))
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sp.Structure()
+		if err != nil {
+			return nil, nil, err
+		}
+		assign := make(map[core.Variable]event.Type, len(sp.Assign))
+		for v, t := range sp.Assign {
+			assign[core.Variable(v)] = event.Type(t)
+		}
+		return s, assign, nil
+	}
+	return core.ParseDSL(strings.NewReader(trimmed))
+}

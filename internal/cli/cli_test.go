@@ -1,0 +1,118 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/event"
+)
+
+const rosterSpec = `name roster
+period 86400
+anchor 1
+granule 21600-50399
+granule 50400-79199
+`
+
+func writeFile(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSystemDefault(t *testing.T) {
+	sys, err := LoadSystem("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Get("b-day"); !ok {
+		t.Fatal("default system incomplete")
+	}
+}
+
+func TestLoadSystemWithPeriodic(t *testing.T) {
+	path := writeFile(t, "roster.gran", rosterSpec)
+	sys, err := LoadSystem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := sys.Get("roster")
+	if !ok {
+		t.Fatal("roster not registered")
+	}
+	// 06:00 is inside the first shift.
+	if _, ok := g.TickOf(event.At(1800, 1, 1, 6, 0, 0)); !ok {
+		t.Fatal("06:00 should be covered")
+	}
+	// 03:00 is not.
+	if _, ok := g.TickOf(event.At(1800, 1, 1, 3, 0, 0)); ok {
+		t.Fatal("03:00 should be a gap")
+	}
+}
+
+func TestLoadSystemErrors(t *testing.T) {
+	if _, err := LoadSystem("/does/not/exist.gran"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeFile(t, "bad.gran", "name x\nperiod notanumber\n")
+	if _, err := LoadSystem(bad); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	// Clashing with a builtin name is rejected.
+	clash := writeFile(t, "clash.gran", "name day\nperiod 86400\nanchor 1\ngranule 0-86399\n")
+	if _, err := LoadSystem(clash); err == nil {
+		t.Fatal("name clash accepted")
+	}
+	// Several files, comma separated (with blanks tolerated).
+	a := writeFile(t, "a.gran", rosterSpec)
+	sys, err := LoadSystem(a + ", ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Get("roster"); !ok {
+		t.Fatal("roster missing after list load")
+	}
+}
+
+func TestReadSequence(t *testing.T) {
+	path := writeFile(t, "seq.txt", "10 a\n20 b\n")
+	seq, err := ReadSequence(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || seq[1].Type != "b" {
+		t.Fatalf("seq = %v", seq)
+	}
+	if _, err := ReadSequence(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing sequence accepted")
+	}
+}
+
+func TestLoadStructureFormats(t *testing.T) {
+	jsonSpec := writeFile(t, "s.json", `{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":1,"gran":"day"}]}],"assign":{"A":"x"}}`)
+	s, assign, err := LoadStructure(jsonSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 1 || assign["A"] != "x" {
+		t.Fatalf("json load: %d edges, assign %v", s.NumEdges(), assign)
+	}
+	dsl := writeFile(t, "s.tcg", "# dsl\nA -> B : [0,1]day\nassign A = x\n")
+	s2, assign2, err := LoadStructure(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != s.String() || assign2["A"] != "x" {
+		t.Fatal("dsl load differs from json load")
+	}
+	if _, _, err := LoadStructure(writeFile(t, "bad.txt", "not a structure")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := LoadStructure(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// OccursBrute decides whether the complex type occurs in the sequence by
+// exhaustive search over injective bindings of events to variables. It is
+// exponential in the number of variables and exists as the reference
+// implementation the TAG simulation is validated against (Theorem 3) and as
+// the comparison point for Theorem-4 runtime experiments.
+func OccursBrute(sys *granularity.System, ct *ComplexType, seq event.Sequence) bool {
+	b, ok := FindOccurrenceBrute(sys, ct, seq)
+	_ = b
+	return ok
+}
+
+// FindOccurrenceBrute is OccursBrute returning a witness binding.
+func FindOccurrenceBrute(sys *granularity.System, ct *ComplexType, seq event.Sequence) (Binding, bool) {
+	s := ct.Structure
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, false
+	}
+	// Candidate events per variable: those with the assigned type.
+	cands := make(map[Variable][]event.Event, len(order))
+	for _, v := range order {
+		typ := ct.Assign[v]
+		for _, e := range seq {
+			if e.Type == typ {
+				cands[v] = append(cands[v], e)
+			}
+		}
+		if len(cands[v]) == 0 {
+			return nil, false
+		}
+	}
+	b := Binding{}
+	used := make(map[event.Event]bool)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		v := order[k]
+		for _, e := range cands[v] {
+			if used[e] {
+				continue
+			}
+			ok := true
+			for u, eu := range b {
+				for _, c := range s.Constraints(u, v) {
+					if !c.Satisfied(sys, eu.Time, e.Time) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+				for _, c := range s.Constraints(v, u) {
+					if !c.Satisfied(sys, e.Time, eu.Time) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			b[v] = e
+			used[e] = true
+			if rec(k + 1) {
+				return true
+			}
+			delete(b, v)
+			delete(used, e)
+		}
+		return false
+	}
+	if rec(0) {
+		return b, true
+	}
+	return nil, false
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// ComplexType is the paper's complex event type: an event structure whose
+// variables are instantiated with event types.
+type ComplexType struct {
+	Structure *EventStructure
+	Assign    map[Variable]event.Type
+}
+
+// NewComplexType validates that the assignment is total over the
+// structure's variables.
+func NewComplexType(s *EventStructure, assign map[Variable]event.Type) (*ComplexType, error) {
+	for _, v := range s.Variables() {
+		if _, ok := assign[v]; !ok {
+			return nil, fmt.Errorf("core: variable %s unassigned", v)
+		}
+	}
+	cp := make(map[Variable]event.Type, len(assign))
+	for v, t := range assign {
+		if !s.HasVariable(v) {
+			return nil, fmt.Errorf("core: assignment mentions unknown variable %s", v)
+		}
+		cp[v] = t
+	}
+	return &ComplexType{Structure: s, Assign: cp}, nil
+}
+
+// Binding maps each variable of a structure to a concrete event; a valid
+// binding is a complex event matching the structure.
+type Binding map[Variable]event.Event
+
+// Matches reports whether the binding is a complex event matching the
+// structure under sys: for every arc (Xi, Xj), the bound timestamps satisfy
+// every TCG in Γ(Xi, Xj). The binding must be total and one-to-one over
+// events (the paper's ψ is injective).
+func Matches(sys *granularity.System, s *EventStructure, b Binding) bool {
+	if len(b) != s.NumVariables() {
+		return false
+	}
+	seen := make(map[event.Event]bool, len(b))
+	for _, v := range s.Variables() {
+		e, ok := b[v]
+		if !ok {
+			return false
+		}
+		if seen[e] {
+			return false // ψ must be one-to-one
+		}
+		seen[e] = true
+	}
+	for _, edge := range s.Edges() {
+		e1, e2 := b[edge.From], b[edge.To]
+		for _, c := range edge.TCGs {
+			if !c.Satisfied(sys, e1.Time, e2.Time) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsOccurrence reports whether the binding is an occurrence of the complex
+// type: it matches the structure and every variable is bound to an event of
+// its assigned type.
+func (ct *ComplexType) IsOccurrence(sys *granularity.System, b Binding) bool {
+	for v, typ := range ct.Assign {
+		if b[v].Type != typ {
+			return false
+		}
+	}
+	return Matches(sys, ct.Structure, b)
+}
+
+// Fig1a builds the event structure of the paper's Figure 1(a):
+//
+//	X0 --[1,1]b-day--> X1 --[0,1]week--> X3
+//	X0 --[0,5]b-day--> X2 --[0,8]hour--> X3
+//
+// With X0..X3 assigned IBM-rise, IBM-earnings-report, HP-rise, IBM-fall it
+// is the paper's Example 1.
+func Fig1a() *EventStructure {
+	s := NewStructure()
+	s.MustConstrain("X0", "X1", MustTCG(1, 1, "b-day"))
+	s.MustConstrain("X0", "X2", MustTCG(0, 5, "b-day"))
+	s.MustConstrain("X1", "X3", MustTCG(0, 1, "week"))
+	s.MustConstrain("X2", "X3", MustTCG(0, 8, "hour"))
+	return s
+}
+
+// Example1Assignment is the paper's Example 1 typing of Fig1a.
+func Example1Assignment() map[Variable]event.Type {
+	return map[Variable]event.Type{
+		"X0": "IBM-rise",
+		"X1": "IBM-earnings-report",
+		"X2": "HP-rise",
+		"X3": "IBM-fall",
+	}
+}
+
+// Fig1b builds the event structure of the paper's Figure 1(b), the
+// month/year gadget whose mixed granularities imply the disjunction
+// X2 − X0 ∈ {0, 12} months:
+//
+//	X0 --[0,12]month--> X2
+//	X0 --[11,11]month + [0,0]year--> X1
+//	X2 --[11,11]month + [0,0]year--> X3
+//
+// X1 is 11 months after X0 yet in the same year, which pins X0 to the first
+// month of a year; X3 pins X2 the same way. With 0 <= X2−X0 <= 12 months
+// and both in first months, the distance must be exactly 0 or 12 months —
+// the implicit disjunction Theorem 1 exploits.
+func Fig1b() *EventStructure {
+	s := NewStructure()
+	s.MustConstrain("X0", "X2", MustTCG(0, 12, "month"))
+	s.MustConstrain("X0", "X1", MustTCG(11, 11, "month"), MustTCG(0, 0, "year"))
+	s.MustConstrain("X2", "X3", MustTCG(11, 11, "month"), MustTCG(0, 0, "year"))
+	return s
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+var sys = granularity.Default()
+
+func TestTCGValidation(t *testing.T) {
+	if _, err := NewTCG(0, 5, "day"); err != nil {
+		t.Fatalf("valid TCG rejected: %v", err)
+	}
+	for _, bad := range []struct{ m, n int64 }{{-1, 5}, {3, 2}} {
+		if _, err := NewTCG(bad.m, bad.n, "day"); err == nil {
+			t.Errorf("TCG [%d,%d] should be invalid", bad.m, bad.n)
+		}
+	}
+	if _, err := NewTCG(0, 1, ""); err == nil {
+		t.Error("empty granularity should be invalid")
+	}
+	if got := MustTCG(1, 1, "month").String(); got != "[1,1]month" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMustTCGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTCG should panic on invalid input")
+		}
+	}()
+	MustTCG(5, 1, "day")
+}
+
+func TestTCGSameDaySemantics(t *testing.T) {
+	// The paper's central example: [0,0]day is satisfied by events within
+	// the same calendar day and NOT by events 5 hours apart across
+	// midnight, while [0,86399]second accepts the latter.
+	sameDay := MustTCG(0, 0, "day")
+	t1 := event.At(1996, 6, 3, 23, 0, 0) // 11pm
+	t2 := event.At(1996, 6, 4, 4, 0, 0)  // 4am next day
+	if sameDay.Satisfied(sys, t1, t2) {
+		t.Fatal("[0,0]day must reject a cross-midnight pair")
+	}
+	t3 := event.At(1996, 6, 3, 1, 0, 0)
+	t4 := event.At(1996, 6, 3, 23, 59, 59)
+	if !sameDay.Satisfied(sys, t3, t4) {
+		t.Fatal("[0,0]day must accept a same-day pair 23 hours apart")
+	}
+	// The naive second translation disagrees on the first pair.
+	sec := MustTCG(0, 86399, "second")
+	if !sec.Satisfied(sys, t1, t2) {
+		t.Fatal("[0,86399]second accepts the cross-midnight pair (the paper's point)")
+	}
+}
+
+func TestTCGOrderAndGaps(t *testing.T) {
+	c := MustTCG(0, 2, "hour")
+	if c.Satisfied(sys, 100, 50) {
+		t.Fatal("t1 > t2 must fail")
+	}
+	if !c.Satisfied(sys, 50, 50) {
+		t.Fatal("equal timestamps with [0,..] must hold")
+	}
+	// b-day constraint undefined on a weekend timestamp.
+	b := MustTCG(0, 1, "b-day")
+	sat := event.At(1996, 6, 1, 12, 0, 0)
+	mon := event.At(1996, 6, 3, 12, 0, 0)
+	if b.Satisfied(sys, sat, mon) {
+		t.Fatal("constraint with an uncovered endpoint must fail")
+	}
+	tue := event.At(1996, 6, 4, 12, 0, 0)
+	if !b.Satisfied(sys, mon, tue) {
+		t.Fatal("Mon->Tue is 1 b-day")
+	}
+	// Unknown granularity never satisfied.
+	u := TCG{Min: 0, Max: 1, Gran: "fortnight"}
+	if u.Satisfied(sys, 1, 2) {
+		t.Fatal("unknown granularity should fail closed")
+	}
+}
+
+func TestTCGMonthExample(t *testing.T) {
+	// Paper: e1, e2 satisfy [1,1]month iff e2 occurs in the next month.
+	c := MustTCG(1, 1, "month")
+	e1 := event.At(1996, 3, 31, 10, 0, 0)
+	e2 := event.At(1996, 4, 1, 9, 0, 0)
+	if !c.Satisfied(sys, e1, e2) {
+		t.Fatal("Mar 31 -> Apr 1 is one month apart")
+	}
+	e3 := event.At(1996, 3, 1, 0, 0, 0)
+	if c.Satisfied(sys, e3, e1) {
+		t.Fatal("same-month pair is 0 months apart")
+	}
+}
+
+func TestTCGIntersect(t *testing.T) {
+	a := MustTCG(0, 5, "day")
+	b := MustTCG(2, 9, "day")
+	r, ok := a.Intersect(b)
+	if !ok || r.Min != 2 || r.Max != 5 {
+		t.Fatalf("intersect = %v,%v", r, ok)
+	}
+	c := MustTCG(7, 9, "day")
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint ranges should report empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-granularity intersect should panic")
+		}
+	}()
+	a.Intersect(MustTCG(0, 1, "hour"))
+}
+
+func TestStructureBasics(t *testing.T) {
+	s := Fig1a()
+	if s.NumVariables() != 4 || s.NumEdges() != 4 {
+		t.Fatalf("Fig1a has %d vars, %d edges", s.NumVariables(), s.NumEdges())
+	}
+	root, err := s.Root()
+	if err != nil || root != "X0" {
+		t.Fatalf("Root = %v, %v", root, err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Fig1a invalid: %v", err)
+	}
+	grans := s.Granularities()
+	want := []string{"b-day", "hour", "week"}
+	if len(grans) != 3 || grans[0] != want[0] || grans[1] != want[1] || grans[2] != want[2] {
+		t.Fatalf("Granularities = %v", grans)
+	}
+	if !s.HasPath("X0", "X3") || s.HasPath("X1", "X2") || s.HasPath("X3", "X0") {
+		t.Fatal("HasPath wrong")
+	}
+	leaves := s.Leaves()
+	if len(leaves) != 1 || leaves[0] != "X3" {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+	cs := s.Constraints("X0", "X1")
+	if len(cs) != 1 || cs[0].String() != "[1,1]b-day" {
+		t.Fatalf("Constraints(X0,X1) = %v", cs)
+	}
+	if s.Constraints("X1", "X0") != nil {
+		t.Fatal("reverse arc should have no constraints")
+	}
+	if got := s.String(); !strings.Contains(got, "X0 -> X1 : [1,1]b-day") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestStructureRejectsSelfLoop(t *testing.T) {
+	s := NewStructure()
+	if err := s.AddConstraint("X", "X", MustTCG(0, 1, "day")); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestStructureCycleDetection(t *testing.T) {
+	s := NewStructure()
+	s.MustConstrain("A", "B", MustTCG(0, 1, "day"))
+	s.MustConstrain("B", "C", MustTCG(0, 1, "day"))
+	if !s.IsAcyclic() {
+		t.Fatal("chain should be acyclic")
+	}
+	s.MustConstrain("C", "A", MustTCG(0, 1, "day"))
+	if s.IsAcyclic() {
+		t.Fatal("cycle not detected")
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("cyclic structure should fail validation")
+	}
+}
+
+func TestStructureRootedness(t *testing.T) {
+	s := NewStructure()
+	s.MustConstrain("A", "C", MustTCG(0, 1, "day"))
+	s.MustConstrain("B", "C", MustTCG(0, 1, "day"))
+	if _, err := s.Root(); err == nil {
+		t.Fatal("two sources should mean no root")
+	}
+	single := NewStructure()
+	single.AddVariable("Z")
+	root, err := single.Root()
+	if err != nil || root != "Z" {
+		t.Fatalf("singleton root = %v, %v", root, err)
+	}
+	empty := NewStructure()
+	if _, err := empty.Root(); err == nil {
+		t.Fatal("empty structure should have no root")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	s := Fig1a()
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[Variable]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range s.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topo order violates edge %s->%s", e.From, e.To)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := Fig1a()
+	c := s.Clone()
+	c.MustConstrain("X3", "X4", MustTCG(0, 1, "day"))
+	if s.HasVariable("X4") {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.NumEdges() != s.NumEdges()+1 {
+		t.Fatal("clone edge count wrong")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	s := Fig1a()
+	sub := s.InducedSubgraph([]Variable{"X0", "X1", "X3"})
+	if sub.NumVariables() != 3 {
+		t.Fatalf("subgraph vars = %d", sub.NumVariables())
+	}
+	// Only X0->X1 and X1->X3 survive.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("subgraph edges = %d", sub.NumEdges())
+	}
+	if sub.Constraints("X0", "X3") != nil {
+		t.Fatal("no direct X0->X3 arc exists in Fig1a")
+	}
+}
+
+func TestMatchesFig1a(t *testing.T) {
+	s := Fig1a()
+	// Construct a satisfying scenario:
+	// X0 IBM-rise Mon 1996-06-03 10:00; X1 earnings Tue 06-04 17:00 (next
+	// b-day); X3 IBM-fall Wed 06-05 11:00 (same week as X1);
+	// X2 HP-rise Wed 06-05 09:00 (2 b-days after X0, 2 hours before X3).
+	b := Binding{
+		"X0": {Type: "IBM-rise", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		"X1": {Type: "IBM-earnings-report", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		"X2": {Type: "HP-rise", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		"X3": {Type: "IBM-fall", Time: event.At(1996, 6, 5, 11, 0, 0)},
+	}
+	if !Matches(sys, s, b) {
+		t.Fatal("valid Fig1a scenario rejected")
+	}
+	ct, err := NewComplexType(s, Example1Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.IsOccurrence(sys, b) {
+		t.Fatal("scenario should be an occurrence of Example 1's type")
+	}
+	// Wrong type on X2 breaks the occurrence but not the match.
+	b2 := Binding{}
+	for k, v := range b {
+		b2[k] = v
+	}
+	b2["X2"] = event.Event{Type: "HP-fall", Time: b["X2"].Time}
+	if !Matches(sys, s, b2) {
+		t.Fatal("match is type-agnostic")
+	}
+	if ct.IsOccurrence(sys, b2) {
+		t.Fatal("occurrence must respect the type assignment")
+	}
+}
+
+func TestMatchesRejects(t *testing.T) {
+	s := Fig1a()
+	base := Binding{
+		"X0": {Type: "a", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		"X1": {Type: "b", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		"X2": {Type: "c", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		"X3": {Type: "d", Time: event.At(1996, 6, 5, 11, 0, 0)},
+	}
+	// Partial binding.
+	part := Binding{"X0": base["X0"]}
+	if Matches(sys, s, part) {
+		t.Fatal("partial binding accepted")
+	}
+	// Non-injective binding.
+	dup := Binding{}
+	for k, v := range base {
+		dup[k] = v
+	}
+	dup["X1"] = dup["X0"]
+	if Matches(sys, s, dup) {
+		t.Fatal("non-injective binding accepted")
+	}
+	// X1 on the same b-day as X0 violates [1,1]b-day.
+	bad := Binding{}
+	for k, v := range base {
+		bad[k] = v
+	}
+	bad["X1"] = event.Event{Type: "b", Time: event.At(1996, 6, 3, 17, 0, 0)}
+	if Matches(sys, s, bad) {
+		t.Fatal("[1,1]b-day violation accepted")
+	}
+	// X3 more than 8 hours after X2 violates [0,8]hour.
+	bad2 := Binding{}
+	for k, v := range base {
+		bad2[k] = v
+	}
+	bad2["X3"] = event.Event{Type: "d", Time: event.At(1996, 6, 5, 19, 0, 0)}
+	if Matches(sys, s, bad2) {
+		t.Fatal("[0,8]hour violation accepted")
+	}
+}
+
+func TestNewComplexTypeValidation(t *testing.T) {
+	s := Fig1a()
+	if _, err := NewComplexType(s, map[Variable]event.Type{"X0": "a"}); err == nil {
+		t.Fatal("partial assignment accepted")
+	}
+	full := Example1Assignment()
+	full["X9"] = "ghost"
+	if _, err := NewComplexType(s, full); err == nil {
+		t.Fatal("assignment with unknown variable accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := Fig1a()
+	sp := ToSpec(s, Example1Assignment())
+	var buf strings.Builder
+	if err := WriteSpec(&buf, sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := got.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != s.String() {
+		t.Fatalf("round trip changed structure:\n%s\nvs\n%s", s2, s)
+	}
+	ct, err := got.ComplexType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Assign["X0"] != "IBM-rise" {
+		t.Fatal("assignment lost in round trip")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := []string{
+		`{"edges":[{"from":"A","to":"B","constraints":[]}]}`,
+		`{"edges":[{"from":"A","to":"B","constraints":[{"min":3,"max":1,"gran":"day"}]}]}`,
+		`{"edges":[{"from":"A","to":"A","constraints":[{"min":0,"max":1,"gran":"day"}]}]}`,
+		`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":1,"gran":"day"}]},{"from":"B","to":"A","constraints":[{"min":0,"max":1,"gran":"day"}]}]}`,
+		`{"unknown_field":1,"edges":[]}`,
+		`not json`,
+	}
+	for _, in := range cases {
+		sp, err := ReadSpec(strings.NewReader(in))
+		if err != nil {
+			continue // decode-level rejection is fine
+		}
+		if _, err := sp.Structure(); err == nil {
+			t.Errorf("spec %q should fail", in)
+		}
+	}
+	// Structure without assignment cannot become a complex type.
+	sp, err := ReadSpec(strings.NewReader(`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":1,"gran":"day"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.ComplexType(); err == nil {
+		t.Fatal("spec without assignment should not build a complex type")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	s := Fig1b()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Fig1b invalid: %v", err)
+	}
+	root, _ := s.Root()
+	if root != "X0" {
+		t.Fatalf("Fig1b root = %s", root)
+	}
+	if got := len(s.Constraints("X0", "X1")); got != 2 {
+		t.Fatalf("Fig1b X0->X1 should carry 2 TCGs, got %d", got)
+	}
+}
+
+func TestFig1bDisjunctionSemantics(t *testing.T) {
+	// Direct check of the paper's Section 3.1 claim on concrete events:
+	// any binding satisfying Fig1b has X2 in the same or next January.
+	s := Fig1b()
+	jan96 := event.At(1996, 1, 10, 0, 0, 0)
+	dec96 := event.At(1996, 12, 10, 0, 0, 0)
+	jan97 := event.At(1997, 1, 5, 0, 0, 0)
+	dec97 := event.At(1997, 12, 20, 0, 0, 0)
+	jul96 := event.At(1996, 7, 1, 0, 0, 0)
+
+	bind := func(x0, x2 int64) Binding {
+		// X1 must be 11 months after X0 in the same year; pick December of
+		// X0's year. Same for X3 relative to X2.
+		return Binding{
+			"X0": {Type: "e0", Time: x0},
+			"X1": {Type: "e1", Time: dec96},
+			"X2": {Type: "e2", Time: x2},
+			"X3": {Type: "e3", Time: x2yearDec(x2, dec96, dec97)},
+		}
+	}
+	if !Matches(sys, s, bind(jan96, jan96+3600)) {
+		t.Fatal("0-month distance should match")
+	}
+	if !Matches(sys, s, bind(jan96, jan97)) {
+		t.Fatal("12-month distance should match")
+	}
+	if Matches(sys, s, bind(jan96, jul96)) {
+		t.Fatal("6-month distance must not match (X2 not in January)")
+	}
+}
+
+func x2yearDec(x2, dec96, dec97 int64) int64 {
+	if x2 >= event.At(1997, 1, 1, 0, 0, 0) {
+		return dec97
+	}
+	return dec96
+}
+
+func TestStructureWriteDOT(t *testing.T) {
+	var b strings.Builder
+	if err := Fig1a().WriteDOT(&b, "fig1a"); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{`digraph "fig1a"`, `"X0" [shape=doublecircle]`, `"X0" -> "X1"`, "[1,1]b-day"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// A small text DSL for event structures, friendlier than the JSON spec for
+// hand-written files:
+//
+//	# Figure 1(a)
+//	X0 -> X1 : [1,1]b-day
+//	X0 -> X2 : [0,5]b-day
+//	X1 -> X3 : [0,1]week
+//	X2 -> X3 : [0,8]hour
+//	assign X0 = IBM-rise
+//	assign X3 = IBM-fall
+//
+// Each arc line is "From -> To : tcg [tcg ...]" with TCGs written exactly
+// as the paper does, "[m,n]granularity". Optional "assign VAR = TYPE" lines
+// type variables (producing a complex event type or restricting mining
+// pools). Blank lines and '#' comments are ignored.
+
+// ParseDSL reads the DSL and returns the structure and the (possibly
+// empty) assignment. The structure is validated (rooted DAG).
+func ParseDSL(r io.Reader) (*EventStructure, map[Variable]event.Type, error) {
+	s := NewStructure()
+	assign := make(map[Variable]event.Type)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, "assign "); ok {
+			parts := strings.SplitN(rest, "=", 2)
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("core: line %d: want \"assign VAR = TYPE\"", line)
+			}
+			v := Variable(strings.TrimSpace(parts[0]))
+			typ := event.Type(strings.TrimSpace(parts[1]))
+			if v == "" || typ == "" {
+				return nil, nil, fmt.Errorf("core: line %d: empty variable or type", line)
+			}
+			assign[v] = typ
+			continue
+		}
+		arrow := strings.Index(text, "->")
+		colon := strings.Index(text, ":")
+		if arrow < 0 || colon < arrow {
+			return nil, nil, fmt.Errorf("core: line %d: want \"From -> To : [m,n]gran ...\"", line)
+		}
+		from := Variable(strings.TrimSpace(text[:arrow]))
+		to := Variable(strings.TrimSpace(text[arrow+2 : colon]))
+		if from == "" || to == "" {
+			return nil, nil, fmt.Errorf("core: line %d: empty variable name", line)
+		}
+		tcgs, err := parseTCGList(text[colon+1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: line %d: %w", line, err)
+		}
+		if len(tcgs) == 0 {
+			return nil, nil, fmt.Errorf("core: line %d: arc without constraints", line)
+		}
+		for _, c := range tcgs {
+			if err := s.AddConstraint(from, to, c); err != nil {
+				return nil, nil, fmt.Errorf("core: line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	for v := range assign {
+		if !s.HasVariable(v) {
+			return nil, nil, fmt.Errorf("core: assignment mentions unknown variable %s", v)
+		}
+	}
+	return s, assign, nil
+}
+
+// parseTCGList parses whitespace-separated "[m,n]gran" items.
+func parseTCGList(text string) ([]TCG, error) {
+	var out []TCG
+	for _, tok := range strings.Fields(text) {
+		c, err := ParseTCG(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ParseTCG parses one constraint in the paper's "[m,n]granularity" syntax.
+func ParseTCG(tok string) (TCG, error) {
+	if !strings.HasPrefix(tok, "[") {
+		return TCG{}, fmt.Errorf("bad TCG %q (want [m,n]gran)", tok)
+	}
+	close := strings.Index(tok, "]")
+	if close < 0 || close+1 >= len(tok) {
+		return TCG{}, fmt.Errorf("bad TCG %q (want [m,n]gran)", tok)
+	}
+	bounds := strings.SplitN(tok[1:close], ",", 2)
+	if len(bounds) != 2 {
+		return TCG{}, fmt.Errorf("bad TCG bounds in %q", tok)
+	}
+	m, err1 := strconv.ParseInt(strings.TrimSpace(bounds[0]), 10, 64)
+	n, err2 := strconv.ParseInt(strings.TrimSpace(bounds[1]), 10, 64)
+	if err1 != nil || err2 != nil {
+		return TCG{}, fmt.Errorf("bad TCG bounds in %q", tok)
+	}
+	return NewTCG(m, n, tok[close+1:])
+}
+
+// WriteDSL renders the structure (and optional assignment) in ParseDSL's
+// format; the output round-trips.
+func WriteDSL(w io.Writer, s *EventStructure, assign map[Variable]event.Type) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range s.Edges() {
+		parts := make([]string, len(e.TCGs))
+		for i, c := range e.TCGs {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(bw, "%s -> %s : %s\n", e.From, e.To, strings.Join(parts, " "))
+	}
+	for _, v := range s.Variables() {
+		if typ, ok := assign[v]; ok {
+			fmt.Fprintf(bw, "assign %s = %s\n", v, typ)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1aDSL = `
+# Figure 1(a)
+X0 -> X1 : [1,1]b-day
+X0 -> X2 : [0,5]b-day
+X1 -> X3 : [0,1]week
+X2 -> X3 : [0,8]hour
+assign X0 = IBM-rise
+assign X3 = IBM-fall
+`
+
+func TestParseDSL(t *testing.T) {
+	s, assign, err := ParseDSL(strings.NewReader(fig1aDSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != Fig1a().String() {
+		t.Fatalf("DSL parse differs from Fig1a:\n%s\nvs\n%s", s, Fig1a())
+	}
+	if assign["X0"] != "IBM-rise" || assign["X3"] != "IBM-fall" {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestDSLRoundTrip(t *testing.T) {
+	s, assign, err := ParseDSL(strings.NewReader(fig1aDSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDSL(&sb, s, assign); err != nil {
+		t.Fatal(err)
+	}
+	s2, assign2, err := ParseDSL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+	}
+	if s2.String() != s.String() {
+		t.Fatal("round trip changed the structure")
+	}
+	if len(assign2) != len(assign) {
+		t.Fatal("round trip changed the assignment")
+	}
+}
+
+func TestParseDSLMultipleTCGsPerArc(t *testing.T) {
+	in := "A -> B : [0,0]day [2,23]hour\n"
+	s, _, err := ParseDSL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Constraints("A", "B")
+	if len(cs) != 2 || cs[0].String() != "[0,0]day" || cs[1].String() != "[2,23]hour" {
+		t.Fatalf("constraints = %v", cs)
+	}
+}
+
+func TestParseDSLErrors(t *testing.T) {
+	cases := []string{
+		"A B : [0,1]day",                       // no arrow
+		"A -> B [0,1]day",                      // no colon
+		"A -> B :",                             // no constraints
+		"A -> B : (0,1)day",                    // bad TCG syntax
+		"A -> B : [x,1]day",                    // bad bound
+		"A -> B : [5,1]day",                    // inverted bounds
+		"A -> B : [0,1]",                       // missing granularity
+		" -> B : [0,1]day",                     // empty variable
+		"assign = x",                           // empty assign variable
+		"assign Z",                             // malformed assign
+		"A -> B : [0,1]day\nassign C = x",      // assign of unknown variable
+		"A -> B : [0,1]day\nB -> A : [0,1]day", // cycle
+	}
+	for i, in := range cases {
+		if _, _, err := ParseDSL(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q) accepted", i, in)
+		}
+	}
+}
+
+func TestParseTCG(t *testing.T) {
+	c, err := ParseTCG("[0,8]hour")
+	if err != nil || c.String() != "[0,8]hour" {
+		t.Fatalf("ParseTCG = %v, %v", c, err)
+	}
+	if _, err := ParseTCG("[ 1 , 2 ]month"); err != nil {
+		t.Fatalf("spaces inside bounds should parse: %v", err)
+	}
+	if _, err := ParseTCG("0,8]hour"); err == nil {
+		t.Fatal("missing bracket accepted")
+	}
+}
+
+// FuzzParseDSL: the DSL parser must never panic; accepted inputs must
+// round-trip through WriteDSL.
+func FuzzParseDSL(f *testing.F) {
+	f.Add(fig1aDSL)
+	f.Add("A -> B : [0,1]day\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, assign, err := ParseDSL(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteDSL(&sb, s, assign); err != nil {
+			t.Fatalf("accepted structure failed to write: %v", err)
+		}
+		s2, _, err := ParseDSL(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if s2.String() != s.String() {
+			t.Fatalf("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Unroll implements the paper's Section-6 "repetitive" extension: event
+// structures are acyclic, so a pattern that repeats k times is expressed by
+// unrolling — k renamed copies of the structure chained by step
+// constraints from a link variable of copy i to the root of copy i+1.
+//
+// Variables of copy i (1-based) are renamed "X@i". The result is again a
+// rooted DAG, so everything downstream (propagation, TAG compilation,
+// mining) applies unchanged; RenamedVariable recovers copy-local names.
+//
+// link must be a variable of s (typically the root or a leaf); step is the
+// conjunctive TCG set between copy i's link and copy i+1's root, and must
+// be non-empty so the unrolled graph stays connected and rooted.
+func Unroll(s *EventStructure, k int, link Variable, step []TCG) (*EventStructure, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: Unroll requires k >= 1")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.HasVariable(link) {
+		return nil, fmt.Errorf("core: link variable %s not in structure", link)
+	}
+	if k > 1 && len(step) == 0 {
+		return nil, fmt.Errorf("core: Unroll needs step constraints for k > 1")
+	}
+	for _, c := range step {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	root, err := s.Root()
+	if err != nil {
+		return nil, err
+	}
+	out := NewStructure()
+	for copyIdx := 1; copyIdx <= k; copyIdx++ {
+		for _, v := range s.Variables() {
+			out.AddVariable(RenamedVariable(v, copyIdx))
+		}
+		for _, e := range s.Edges() {
+			for _, c := range e.TCGs {
+				if err := out.AddConstraint(RenamedVariable(e.From, copyIdx), RenamedVariable(e.To, copyIdx), c); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if copyIdx > 1 {
+			from := RenamedVariable(link, copyIdx-1)
+			to := RenamedVariable(root, copyIdx)
+			for _, c := range step {
+				if err := out.AddConstraint(from, to, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: unrolled structure invalid: %w", err)
+	}
+	return out, nil
+}
+
+// RenamedVariable is the name of variable v in copy i of an unrolled
+// structure.
+func RenamedVariable(v Variable, copyIdx int) Variable {
+	return Variable(fmt.Sprintf("%s@%d", v, copyIdx))
+}
+
+// UnrollAssignment lifts a per-copy typing to an unrolled structure: the
+// same assignment applied to every copy.
+func UnrollAssignment(k int, assign map[Variable]event.Type) map[Variable]event.Type {
+	out := make(map[Variable]event.Type, len(assign)*k)
+	for copyIdx := 1; copyIdx <= k; copyIdx++ {
+		for v, typ := range assign {
+			out[RenamedVariable(v, copyIdx)] = typ
+		}
+	}
+	return out
+}
+
+// Concat composes two event structures sequentially: a renamed copy of s1
+// (variables "X@1") followed by a renamed copy of s2 ("X@2"), with the step
+// TCGs from s1's link variable to s2's root. Unroll(s, k, ...) is the
+// special case of concatenating s with itself k-1 times. The result is a
+// rooted DAG compatible with everything downstream.
+func Concat(s1 *EventStructure, link Variable, step []TCG, s2 *EventStructure) (*EventStructure, error) {
+	if err := s1.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s2.Validate(); err != nil {
+		return nil, err
+	}
+	if !s1.HasVariable(link) {
+		return nil, fmt.Errorf("core: link variable %s not in first structure", link)
+	}
+	if len(step) == 0 {
+		return nil, fmt.Errorf("core: Concat needs step constraints")
+	}
+	for _, c := range step {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	root2, err := s2.Root()
+	if err != nil {
+		return nil, err
+	}
+	out := NewStructure()
+	copyInto := func(s *EventStructure, idx int) error {
+		for _, v := range s.Variables() {
+			out.AddVariable(RenamedVariable(v, idx))
+		}
+		for _, e := range s.Edges() {
+			for _, c := range e.TCGs {
+				if err := out.AddConstraint(RenamedVariable(e.From, idx), RenamedVariable(e.To, idx), c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := copyInto(s1, 1); err != nil {
+		return nil, err
+	}
+	if err := copyInto(s2, 2); err != nil {
+		return nil, err
+	}
+	from := RenamedVariable(link, 1)
+	to := RenamedVariable(root2, 2)
+	for _, c := range step {
+		if err := out.AddConstraint(from, to, c); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: concatenated structure invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestUnrollShape(t *testing.T) {
+	base := NewStructure()
+	base.MustConstrain("A", "B", MustTCG(0, 0, "day"), MustTCG(1, 4, "hour"))
+	step := []TCG{MustTCG(1, 1, "day")}
+
+	u, err := Unroll(base, 3, "B", step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumVariables() != 6 {
+		t.Fatalf("unrolled vars = %d, want 6", u.NumVariables())
+	}
+	// 3 copies x 1 arc + 2 step arcs = 5.
+	if u.NumEdges() != 5 {
+		t.Fatalf("unrolled edges = %d, want 5", u.NumEdges())
+	}
+	root, err := u.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != RenamedVariable("A", 1) {
+		t.Fatalf("root = %s", root)
+	}
+	// Step constraints land between B@i and A@i+1.
+	cs := u.Constraints(RenamedVariable("B", 1), RenamedVariable("A", 2))
+	if len(cs) != 1 || cs[0].String() != "[1,1]day" {
+		t.Fatalf("step constraints = %v", cs)
+	}
+	// k=1 is just a rename.
+	u1, err := Unroll(base, 1, "B", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.NumVariables() != 2 || u1.NumEdges() != 1 {
+		t.Fatal("k=1 unroll should copy the structure once")
+	}
+}
+
+func TestUnrollValidation(t *testing.T) {
+	base := NewStructure()
+	base.MustConstrain("A", "B", MustTCG(0, 1, "day"))
+	if _, err := Unroll(base, 0, "B", nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Unroll(base, 2, "Z", []TCG{MustTCG(1, 1, "day")}); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if _, err := Unroll(base, 2, "B", nil); err == nil {
+		t.Error("missing step constraints accepted")
+	}
+	if _, err := Unroll(base, 2, "B", []TCG{{Min: 3, Max: 1, Gran: "day"}}); err == nil {
+		t.Error("invalid step TCG accepted")
+	}
+	bad := NewStructure()
+	bad.MustConstrain("A", "C", MustTCG(0, 1, "day"))
+	bad.MustConstrain("B", "C", MustTCG(0, 1, "day"))
+	if _, err := Unroll(bad, 2, "C", []TCG{MustTCG(1, 1, "day")}); err == nil {
+		t.Error("unrooted base accepted")
+	}
+}
+
+func TestUnrollAssignment(t *testing.T) {
+	assign := map[Variable]event.Type{"A": "overheat", "B": "shutdown"}
+	lifted := UnrollAssignment(2, assign)
+	if len(lifted) != 4 {
+		t.Fatalf("lifted size = %d", len(lifted))
+	}
+	if lifted["A@1"] != "overheat" || lifted["B@2"] != "shutdown" {
+		t.Fatalf("lifted = %v", lifted)
+	}
+}
+
+// TestUnrollMatchesRepetition: a three-peat of "A then B 1-4 hours later,
+// next repetition starts the next day" matches exactly when three daily
+// occurrences line up.
+func TestUnrollMatchesRepetition(t *testing.T) {
+	base := NewStructure()
+	base.MustConstrain("A", "B", MustTCG(0, 0, "day"), MustTCG(1, 4, "hour"))
+	u, err := Unroll(base, 3, "B", []TCG{MustTCG(1, 1, "day")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := UnrollAssignment(3, map[Variable]event.Type{"A": "a", "B": "b"})
+	ct, err := NewComplexType(u, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := func(d, h int) int64 { return event.At(1996, 6, 3+d, h, 0, 0) }
+	full := event.Sequence{
+		{Type: "a", Time: day(0, 9)}, {Type: "b", Time: day(0, 11)},
+		{Type: "a", Time: day(1, 9)}, {Type: "b", Time: day(1, 12)},
+		{Type: "a", Time: day(2, 10)}, {Type: "b", Time: day(2, 13)},
+	}
+	if b, ok := FindOccurrenceBrute(sys, ct, full); !ok {
+		t.Fatal("three clean repetitions should match")
+	} else if !Matches(sys, u, b) {
+		t.Fatal("witness invalid")
+	}
+	// Breaking the middle repetition (B five hours later) kills the match.
+	broken := append(event.Sequence{}, full...)
+	broken[3].Time = day(1, 15)
+	if _, ok := FindOccurrenceBrute(sys, ct, broken); ok {
+		t.Fatal("broken middle repetition should not match")
+	}
+	// A gap day between repetitions kills the [1,1]day step.
+	gapped := append(event.Sequence{}, full...)
+	gapped[4].Time = day(3, 10)
+	gapped[5].Time = day(3, 13)
+	if _, ok := FindOccurrenceBrute(sys, ct, gapped); ok {
+		t.Fatal("gapped repetition should not match")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	// "Same-day A then B" followed, two days later, by "C then D within an
+	// hour".
+	s1 := NewStructure()
+	s1.MustConstrain("A", "B", MustTCG(0, 0, "day"))
+	s2 := NewStructure()
+	s2.MustConstrain("C", "D", MustTCG(0, 1, "hour"))
+	cat, err := Concat(s1, "B", []TCG{MustTCG(2, 2, "day")}, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumVariables() != 4 || cat.NumEdges() != 3 {
+		t.Fatalf("concat shape: %d vars, %d edges", cat.NumVariables(), cat.NumEdges())
+	}
+	root, err := cat.Root()
+	if err != nil || root != RenamedVariable("A", 1) {
+		t.Fatalf("root = %v, %v", root, err)
+	}
+	cs := cat.Constraints(RenamedVariable("B", 1), RenamedVariable("C", 2))
+	if len(cs) != 1 || cs[0].String() != "[2,2]day" {
+		t.Fatalf("step constraints = %v", cs)
+	}
+	// Semantics: a concrete scenario spanning both halves.
+	b := Binding{
+		RenamedVariable("A", 1): {Type: "a", Time: event.At(1996, 6, 3, 9, 0, 0)},
+		RenamedVariable("B", 1): {Type: "b", Time: event.At(1996, 6, 3, 15, 0, 0)},
+		RenamedVariable("C", 2): {Type: "c", Time: event.At(1996, 6, 5, 10, 0, 0)},
+		RenamedVariable("D", 2): {Type: "d", Time: event.At(1996, 6, 5, 10, 30, 0)},
+	}
+	if !Matches(sys, cat, b) {
+		t.Fatal("valid scenario rejected")
+	}
+	// Breaking the step distance fails.
+	b[RenamedVariable("C", 2)] = event.Event{Type: "c", Time: event.At(1996, 6, 4, 10, 0, 0)}
+	if Matches(sys, cat, b) {
+		t.Fatal("wrong step distance accepted")
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	ok1 := NewStructure()
+	ok1.MustConstrain("A", "B", MustTCG(0, 0, "day"))
+	ok2 := NewStructure()
+	ok2.MustConstrain("C", "D", MustTCG(0, 1, "hour"))
+	step := []TCG{MustTCG(1, 1, "day")}
+	if _, err := Concat(ok1, "Z", step, ok2); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if _, err := Concat(ok1, "B", nil, ok2); err == nil {
+		t.Error("missing step accepted")
+	}
+	if _, err := Concat(ok1, "B", []TCG{{Min: 2, Max: 1, Gran: "day"}}, ok2); err == nil {
+		t.Error("invalid step TCG accepted")
+	}
+	bad := NewStructure()
+	bad.MustConstrain("P", "R", MustTCG(0, 1, "day"))
+	bad.MustConstrain("Q", "R", MustTCG(0, 1, "day"))
+	if _, err := Concat(ok1, "B", step, bad); err == nil {
+		t.Error("unrooted second structure accepted")
+	}
+}
+
+// TestUnrollIsSelfConcat: Unroll(s, 2, link, step) and Concat(s, link,
+// step, s) are the same structure — the two composition APIs agree.
+func TestUnrollIsSelfConcat(t *testing.T) {
+	s := NewStructure()
+	s.MustConstrain("A", "B", MustTCG(0, 0, "day"), MustTCG(1, 4, "hour"))
+	s.MustConstrain("A", "C", MustTCG(0, 2, "day"))
+	step := []TCG{MustTCG(1, 1, "b-day")}
+	u, err := Unroll(s, 2, "B", step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Concat(s, "B", step, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.String() != c.String() {
+		t.Fatalf("Unroll(2) != self-Concat:\n%s\nvs\n%s", u, c)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+)
+
+// Spec is the JSON wire form of an event structure (and optionally a
+// complex event type), consumed by the cmd/ tools.
+type Spec struct {
+	Variables []string   `json:"variables,omitempty"`
+	Edges     []EdgeSpec `json:"edges"`
+	// Assign, when present, instantiates variables with event types,
+	// turning the structure into a complex event type.
+	Assign map[string]string `json:"assign,omitempty"`
+}
+
+// EdgeSpec is one arc of a Spec.
+type EdgeSpec struct {
+	From        string    `json:"from"`
+	To          string    `json:"to"`
+	Constraints []TCGSpec `json:"constraints"`
+}
+
+// TCGSpec is one TCG of an EdgeSpec.
+type TCGSpec struct {
+	Min  int64  `json:"min"`
+	Max  int64  `json:"max"`
+	Gran string `json:"gran"`
+}
+
+// ReadSpec decodes a Spec from JSON.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("core: decoding spec: %w", err)
+	}
+	return &sp, nil
+}
+
+// Structure materializes the spec into an EventStructure, validating it.
+func (sp *Spec) Structure() (*EventStructure, error) {
+	s := NewStructure()
+	for _, v := range sp.Variables {
+		s.AddVariable(Variable(v))
+	}
+	for _, e := range sp.Edges {
+		if len(e.Constraints) == 0 {
+			return nil, fmt.Errorf("core: edge %s->%s has no constraints", e.From, e.To)
+		}
+		for _, c := range e.Constraints {
+			tcg, err := NewTCG(c.Min, c.Max, c.Gran)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.AddConstraint(Variable(e.From), Variable(e.To), tcg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ComplexType materializes the spec's structure plus assignment.
+func (sp *Spec) ComplexType() (*ComplexType, error) {
+	s, err := sp.Structure()
+	if err != nil {
+		return nil, err
+	}
+	if len(sp.Assign) == 0 {
+		return nil, fmt.Errorf("core: spec has no assignment")
+	}
+	assign := make(map[Variable]event.Type, len(sp.Assign))
+	for v, t := range sp.Assign {
+		assign[Variable(v)] = event.Type(t)
+	}
+	return NewComplexType(s, assign)
+}
+
+// ToSpec renders an event structure (and optional assignment) as a Spec.
+func ToSpec(s *EventStructure, assign map[Variable]event.Type) *Spec {
+	sp := &Spec{}
+	for _, v := range s.Variables() {
+		sp.Variables = append(sp.Variables, string(v))
+	}
+	for _, e := range s.Edges() {
+		es := EdgeSpec{From: string(e.From), To: string(e.To)}
+		for _, c := range e.TCGs {
+			es.Constraints = append(es.Constraints, TCGSpec{Min: c.Min, Max: c.Max, Gran: c.Gran})
+		}
+		sp.Edges = append(sp.Edges, es)
+	}
+	if assign != nil {
+		sp.Assign = make(map[string]string, len(assign))
+		for v, t := range assign {
+			sp.Assign[string(v)] = string(t)
+		}
+	}
+	return sp
+}
+
+// WriteSpec encodes the spec as indented JSON.
+func WriteSpec(w io.Writer, sp *Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sp)
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Variable names an event variable of an event structure.
+type Variable string
+
+// Edge is a directed constraint edge of an event structure with its
+// conjunctive set of TCGs.
+type Edge struct {
+	From, To Variable
+	TCGs     []TCG
+}
+
+// EventStructure is the paper's event structure: a rooted DAG (W, A, Γ)
+// where W is a set of event variables, A ⊆ W×W, and Γ assigns each arc a
+// finite set of TCGs taken in conjunction.
+//
+// The zero value is not usable; build with NewStructure.
+type EventStructure struct {
+	vars  []Variable
+	index map[Variable]int
+	arcs  map[Variable]map[Variable][]TCG // from -> to -> conjunctive TCGs
+	preds map[Variable][]Variable
+}
+
+// NewStructure returns an empty event structure.
+func NewStructure() *EventStructure {
+	return &EventStructure{
+		index: make(map[Variable]int),
+		arcs:  make(map[Variable]map[Variable][]TCG),
+		preds: make(map[Variable][]Variable),
+	}
+}
+
+// AddVariable registers a variable; adding an existing variable is a no-op.
+func (s *EventStructure) AddVariable(v Variable) {
+	if _, ok := s.index[v]; ok {
+		return
+	}
+	s.index[v] = len(s.vars)
+	s.vars = append(s.vars, v)
+}
+
+// AddConstraint adds a TCG to the arc (from, to), creating variables and
+// the arc as needed. It rejects self-loops and invalid TCGs.
+func (s *EventStructure) AddConstraint(from, to Variable, c TCG) error {
+	if from == to {
+		return fmt.Errorf("core: self-loop on %s", from)
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	s.AddVariable(from)
+	s.AddVariable(to)
+	m, ok := s.arcs[from]
+	if !ok {
+		m = make(map[Variable][]TCG)
+		s.arcs[from] = m
+	}
+	if _, existed := m[to]; !existed {
+		s.preds[to] = append(s.preds[to], from)
+	}
+	m[to] = append(m[to], c)
+	return nil
+}
+
+// MustConstrain is AddConstraint that panics on error; for building
+// constant structures in tests and examples.
+func (s *EventStructure) MustConstrain(from, to Variable, cs ...TCG) {
+	for _, c := range cs {
+		if err := s.AddConstraint(from, to, c); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Variables returns the variables in insertion order.
+func (s *EventStructure) Variables() []Variable {
+	return append([]Variable(nil), s.vars...)
+}
+
+// NumVariables returns |W|.
+func (s *EventStructure) NumVariables() int { return len(s.vars) }
+
+// HasVariable reports whether v belongs to the structure.
+func (s *EventStructure) HasVariable(v Variable) bool {
+	_, ok := s.index[v]
+	return ok
+}
+
+// Constraints returns the conjunctive TCG set on arc (from, to); nil when
+// the arc does not exist.
+func (s *EventStructure) Constraints(from, to Variable) []TCG {
+	if m, ok := s.arcs[from]; ok {
+		return append([]TCG(nil), m[to]...)
+	}
+	return nil
+}
+
+// Successors returns the arc targets of v in a deterministic order.
+func (s *EventStructure) Successors(v Variable) []Variable {
+	m := s.arcs[v]
+	out := make([]Variable, 0, len(m))
+	for to := range m {
+		out = append(out, to)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.index[out[i]] < s.index[out[j]] })
+	return out
+}
+
+// Predecessors returns the arc sources pointing at v, in insertion order.
+func (s *EventStructure) Predecessors(v Variable) []Variable {
+	return append([]Variable(nil), s.preds[v]...)
+}
+
+// Edges returns every arc with its TCGs, ordered by (from, to) insertion
+// indices.
+func (s *EventStructure) Edges() []Edge {
+	var out []Edge
+	for _, from := range s.vars {
+		for _, to := range s.Successors(from) {
+			out = append(out, Edge{From: from, To: to, TCGs: s.Constraints(from, to)})
+		}
+	}
+	return out
+}
+
+// NumEdges returns |A|.
+func (s *EventStructure) NumEdges() int {
+	n := 0
+	for _, m := range s.arcs {
+		n += len(m)
+	}
+	return n
+}
+
+// Granularities returns the distinct granularity names appearing in Γ,
+// sorted.
+func (s *EventStructure) Granularities() []string {
+	set := make(map[string]bool)
+	for _, m := range s.arcs {
+		for _, cs := range m {
+			for _, c := range cs {
+				set[c.Gran] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Root returns the structure's root: the unique variable from which every
+// other variable is reachable. It errors when no such variable exists.
+func (s *EventStructure) Root() (Variable, error) {
+	if len(s.vars) == 0 {
+		return "", fmt.Errorf("core: empty structure has no root")
+	}
+	var roots []Variable
+	for _, v := range s.vars {
+		if len(s.preds[v]) == 0 {
+			roots = append(roots, v)
+		}
+	}
+	if len(roots) != 1 {
+		return "", fmt.Errorf("core: structure has %d in-degree-0 variables, want exactly 1", len(roots))
+	}
+	root := roots[0]
+	if n := s.countReachable(root); n != len(s.vars) {
+		return "", fmt.Errorf("core: root %s reaches %d of %d variables", root, n, len(s.vars))
+	}
+	return root, nil
+}
+
+func (s *EventStructure) countReachable(from Variable) int {
+	seen := map[Variable]bool{from: true}
+	stack := []Variable{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for to := range s.arcs[v] {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// HasPath reports whether v is reachable from u via one or more arcs.
+func (s *EventStructure) HasPath(u, v Variable) bool {
+	if u == v {
+		return false
+	}
+	seen := map[Variable]bool{u: true}
+	stack := []Variable{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for to := range s.arcs[x] {
+			if to == v {
+				return true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}
+
+// IsAcyclic reports whether the arc relation has no directed cycle.
+func (s *EventStructure) IsAcyclic() bool {
+	_, err := s.TopoOrder()
+	return err == nil
+}
+
+// TopoOrder returns the variables in a topological order of the arcs, or an
+// error if the graph has a cycle. Among ready variables, insertion order
+// breaks ties, so the order is deterministic.
+func (s *EventStructure) TopoOrder() ([]Variable, error) {
+	indeg := make(map[Variable]int, len(s.vars))
+	for _, v := range s.vars {
+		indeg[v] = len(s.preds[v])
+	}
+	var ready []Variable
+	for _, v := range s.vars {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	var out []Variable
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		out = append(out, v)
+		for _, to := range s.Successors(v) {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	if len(out) != len(s.vars) {
+		return nil, fmt.Errorf("core: structure has a cycle")
+	}
+	return out, nil
+}
+
+// Validate checks the paper's structural requirements: acyclic and rooted.
+func (s *EventStructure) Validate() error {
+	if !s.IsAcyclic() {
+		return fmt.Errorf("core: event structure must be acyclic")
+	}
+	_, err := s.Root()
+	return err
+}
+
+// Leaves returns the variables with no outgoing arcs, in insertion order.
+func (s *EventStructure) Leaves() []Variable {
+	var out []Variable
+	for _, v := range s.vars {
+		if len(s.arcs[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *EventStructure) Clone() *EventStructure {
+	c := NewStructure()
+	for _, v := range s.vars {
+		c.AddVariable(v)
+	}
+	for from, m := range s.arcs {
+		for to, cs := range m {
+			for _, tcg := range cs {
+				// Constraints were validated on insertion.
+				_ = c.AddConstraint(from, to, tcg)
+			}
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the structure on the given variable subset with
+// only the original arcs between them (this is *not* the paper's induced
+// approximate sub-structure, which also carries derived constraints; see
+// internal/propagate).
+func (s *EventStructure) InducedSubgraph(keep []Variable) *EventStructure {
+	set := make(map[Variable]bool, len(keep))
+	for _, v := range keep {
+		set[v] = true
+	}
+	out := NewStructure()
+	for _, v := range s.vars {
+		if set[v] {
+			out.AddVariable(v)
+		}
+	}
+	for from, m := range s.arcs {
+		if !set[from] {
+			continue
+		}
+		for to, cs := range m {
+			if !set[to] {
+				continue
+			}
+			for _, tcg := range cs {
+				_ = out.AddConstraint(from, to, tcg)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the structure as one "from -> to : [m,n]g ..." line per
+// arc.
+func (s *EventStructure) String() string {
+	out := ""
+	for _, e := range s.Edges() {
+		out += fmt.Sprintf("%s -> %s :", e.From, e.To)
+		for _, c := range e.TCGs {
+			out += " " + c.String()
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// WriteDOT renders the event structure as a Graphviz digraph in the style
+// of the paper's Figure 1: variables as nodes, arcs labeled with their
+// conjunctive TCG sets, the root drawn with a double circle.
+func (s *EventStructure) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n  edge [fontsize=9];\n")
+	root, rootErr := s.Root()
+	for _, v := range s.vars {
+		shape := "circle"
+		if rootErr == nil && v == root {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", v, shape)
+	}
+	for _, e := range s.Edges() {
+		parts := make([]string, len(e.TCGs))
+		for i, c := range e.TCGs {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, strings.Join(parts, "\\n"))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,116 @@
+// Package core implements the paper's primary contribution: temporal
+// constraints with granularities (TCGs), event structures (rooted DAGs of
+// event variables with conjunctive TCG sets on edges), complex event types
+// and complex events (Section 3 of the paper).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// TCG is a temporal constraint with granularity [m,n]g: two second
+// timestamps t1 <= t2 satisfy it iff both are covered by granules of g and
+// the granule indices differ by at least Min and at most Max.
+//
+// The paper's key observation holds here: [0,0]day is not expressible as
+// any [m,n]second — granules, not durations, are constrained.
+type TCG struct {
+	Min, Max int64
+	Gran     string // granularity name, resolved against a granularity.System
+}
+
+// NewTCG validates and builds a TCG: 0 <= m <= n and a non-empty
+// granularity name. (The paper restricts m, n to non-negative integers;
+// directionality comes from the edge orientation.)
+func NewTCG(min, max int64, gran string) (TCG, error) {
+	c := TCG{Min: min, Max: max, Gran: gran}
+	if err := c.Validate(); err != nil {
+		return TCG{}, err
+	}
+	return c, nil
+}
+
+// MustTCG is NewTCG for constant constraints; it panics on invalid input.
+func MustTCG(min, max int64, gran string) TCG {
+	c, err := NewTCG(min, max, gran)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate checks the TCG's well-formedness.
+func (c TCG) Validate() error {
+	if c.Gran == "" {
+		return fmt.Errorf("core: TCG with empty granularity")
+	}
+	if c.Min < 0 {
+		return fmt.Errorf("core: TCG %v has negative lower bound", c)
+	}
+	if c.Min > c.Max {
+		return fmt.Errorf("core: TCG %v has min > max", c)
+	}
+	return nil
+}
+
+// String formats the constraint as the paper writes it: [m,n]gran.
+func (c TCG) String() string {
+	return fmt.Sprintf("[%d,%d]%s", c.Min, c.Max, c.Gran)
+}
+
+// Satisfied reports whether the ordered timestamp pair (t1, t2) satisfies
+// the constraint under the granularities registered in sys. Per the paper's
+// definition it requires (1) t1 <= t2, (2) both cover operations defined,
+// (3) Min <= ⌈t2⌉ − ⌈t1⌉ <= Max.
+func (c TCG) Satisfied(sys *granularity.System, t1, t2 int64) bool {
+	if t1 > t2 {
+		return false
+	}
+	g, ok := sys.Get(c.Gran)
+	if !ok {
+		return false
+	}
+	z1, ok := granularity.CoverSecond(g, t1)
+	if !ok {
+		return false
+	}
+	z2, ok := granularity.CoverSecond(g, t2)
+	if !ok {
+		return false
+	}
+	d := z2 - z1
+	return c.Min <= d && d <= c.Max
+}
+
+// SatisfiedEvents applies Satisfied to two events' timestamps.
+func (c TCG) SatisfiedEvents(sys *granularity.System, e1, e2 event.Event) bool {
+	return c.Satisfied(sys, e1.Time, e2.Time)
+}
+
+// Intersect returns the conjunction of two same-granularity TCGs and
+// whether the result is non-empty. Calling it with different granularities
+// is a programming error and panics.
+func (c TCG) Intersect(o TCG) (TCG, bool) {
+	if c.Gran != o.Gran {
+		panic("core: intersecting TCGs with different granularities")
+	}
+	r := TCG{Gran: c.Gran, Min: maxInt64(c.Min, o.Min), Max: minInt64(c.Max, o.Max)}
+	return r, r.Min <= r.Max
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,301 @@
+package episode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Kind selects the episode class.
+type Kind int
+
+// Episode kinds: Serial episodes are ordered, Parallel are unordered.
+const (
+	Serial Kind = iota
+	Parallel
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Serial {
+		return "serial"
+	}
+	return "parallel"
+}
+
+// Episode is a serial (ordered) or parallel (unordered) episode over event
+// types. Parallel episodes keep Types sorted; a type may repeat.
+type Episode struct {
+	Kind  Kind
+	Types []event.Type
+}
+
+// NewSerial builds a serial episode.
+func NewSerial(types ...event.Type) Episode {
+	return Episode{Kind: Serial, Types: append([]event.Type(nil), types...)}
+}
+
+// NewParallel builds a parallel episode (canonically sorted).
+func NewParallel(types ...event.Type) Episode {
+	ts := append([]event.Type(nil), types...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return Episode{Kind: Parallel, Types: ts}
+}
+
+// Key canonicalizes the episode for set membership.
+func (ep Episode) Key() string {
+	parts := make([]string, len(ep.Types))
+	for i, t := range ep.Types {
+		parts[i] = string(t)
+	}
+	sep := "->"
+	if ep.Kind == Parallel {
+		sep = "+"
+	}
+	return ep.Kind.String() + ":" + strings.Join(parts, sep)
+}
+
+// String renders the episode.
+func (ep Episode) String() string { return ep.Key() }
+
+// windowStarts returns the set of window start positions t such that the
+// episode occurs within [t, t+win-1], clipped to the admissible range of
+// window starts over the sequence (windows overlapping the sequence, as in
+// MTV95).
+func windowStarts(seq event.Sequence, ep Episode, win int64) intervalSet {
+	if len(seq) == 0 || len(ep.Types) == 0 || win <= 0 {
+		return nil
+	}
+	first, last := seq.Span()
+	lo, hi := first-win+1, last // admissible window starts
+	var set intervalSet
+	switch ep.Kind {
+	case Serial:
+		set = serialStarts(seq, ep.Types, win)
+	default:
+		set = parallelStarts(seq, ep.Types, win)
+	}
+	return normalize(set).clip(lo, hi)
+}
+
+// serialStarts: for each greedy occurrence with span [s, e], e-s < win, the
+// episode is inside every window starting in [e-win+1, s].
+func serialStarts(seq event.Sequence, types []event.Type, win int64) intervalSet {
+	var set intervalSet
+	for i, e := range seq {
+		if e.Type != types[0] {
+			continue
+		}
+		s := e.Time
+		pos := i
+		okAll := true
+		var end int64 = s
+		for _, typ := range types[1:] {
+			found := false
+			for j := pos + 1; j < len(seq); j++ {
+				if seq[j].Type == typ {
+					pos = j
+					end = seq[j].Time
+					found = true
+					break
+				}
+			}
+			if !found {
+				okAll = false
+				break
+			}
+		}
+		if okAll && end-s < win {
+			set = append(set, span{end - win + 1, s})
+		}
+	}
+	return set
+}
+
+// parallelStarts: the intersection over types of the window-start sets
+// covering at least one occurrence of the type; repeated types require
+// distinct events, handled by requiring the m-th closest occurrence.
+func parallelStarts(seq event.Sequence, types []event.Type, win int64) intervalSet {
+	// Count multiplicity per type.
+	mult := map[event.Type]int{}
+	for _, t := range types {
+		mult[t]++
+	}
+	var result intervalSet
+	firstType := true
+	for typ, m := range mult {
+		times := seq.Occurrences(typ)
+		var set intervalSet
+		// A window holds m events of typ iff it contains times[i..i+m-1]
+		// for some i: starts in [times[i+m-1]-win+1, times[i]].
+		for i := 0; i+m <= len(times); i++ {
+			f := times[i+m-1] - win + 1
+			l := times[i]
+			if f <= l {
+				set = append(set, span{f, l})
+			}
+		}
+		set = normalize(set)
+		if firstType {
+			result = set
+			firstType = false
+		} else {
+			result = intersect(result, set)
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return result
+}
+
+// Frequency returns the episode's MTV95 window frequency: the fraction of
+// the windows overlapping the sequence that contain the episode.
+func Frequency(seq event.Sequence, ep Episode, win int64) float64 {
+	if len(seq) == 0 || win <= 0 {
+		return 0
+	}
+	first, last := seq.Span()
+	total := last - first + win // number of admissible starts
+	covered := windowStarts(seq, ep, win).measure()
+	return float64(covered) / float64(total)
+}
+
+// Result is one frequent episode with its frequency.
+type Result struct {
+	Episode   Episode
+	Frequency float64
+}
+
+// Config drives Mine.
+type Config struct {
+	Kind    Kind
+	Window  int64   // window width in seconds
+	MinFreq float64 // keep episodes with Frequency >= MinFreq
+	MaxSize int     // largest episode length explored (default 3)
+	// UseMinimalOccurrences switches the frequency measure to the KDD'96
+	// minimal-occurrence support: an episode is frequent when it has at
+	// least MinSupport minimal occurrences of width <= Window. MinFreq is
+	// ignored in this mode. Both measures are anti-monotone, so the
+	// level-wise search is unchanged.
+	UseMinimalOccurrences bool
+	MinSupport            int
+}
+
+// Mine runs the level-wise MTV95 algorithm: frequent 1-episodes, then
+// candidates built by extending frequent (k-1)-episodes with frequent
+// 1-episodes, pruned by the sub-episode (Apriori) property and verified by
+// exact window counting.
+func Mine(seq event.Sequence, cfg Config) ([]Result, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("episode: window must be positive")
+	}
+	if cfg.MinFreq < 0 || cfg.MinFreq > 1 {
+		return nil, fmt.Errorf("episode: min frequency %v outside [0,1]", cfg.MinFreq)
+	}
+	maxSize := cfg.MaxSize
+	if maxSize <= 0 {
+		maxSize = 3
+	}
+	if cfg.UseMinimalOccurrences && cfg.MinSupport < 1 {
+		return nil, fmt.Errorf("episode: minimal-occurrence mode needs MinSupport >= 1")
+	}
+	frequentEnough := func(ep Episode) (float64, bool) {
+		if cfg.UseMinimalOccurrences {
+			n := SupportMO(seq, ep, cfg.Window)
+			return float64(n), n >= cfg.MinSupport
+		}
+		f := Frequency(seq, ep, cfg.Window)
+		return f, f >= cfg.MinFreq
+	}
+	types := seq.Types()
+
+	var out []Result
+	frequent := map[string]bool{}
+	var level []Episode
+	for _, t := range types {
+		var ep Episode
+		if cfg.Kind == Serial {
+			ep = NewSerial(t)
+		} else {
+			ep = NewParallel(t)
+		}
+		if f, ok := frequentEnough(ep); ok {
+			out = append(out, Result{ep, f})
+			level = append(level, ep)
+			frequent[ep.Key()] = true
+		}
+	}
+	ones := append([]Episode(nil), level...)
+
+	for size := 2; size <= maxSize && len(level) > 0; size++ {
+		cands := map[string]Episode{}
+		for _, base := range level {
+			for _, one := range ones {
+				var ep Episode
+				if cfg.Kind == Serial {
+					ep = NewSerial(append(append([]event.Type{}, base.Types...), one.Types[0])...)
+				} else {
+					ep = NewParallel(append(append([]event.Type{}, base.Types...), one.Types[0])...)
+				}
+				if _, dup := cands[ep.Key()]; dup {
+					continue
+				}
+				if !subEpisodesFrequent(ep, frequent) {
+					continue
+				}
+				cands[ep.Key()] = ep
+			}
+		}
+		keys := make([]string, 0, len(cands))
+		for k := range cands {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var next []Episode
+		for _, k := range keys {
+			ep := cands[k]
+			if f, ok := frequentEnough(ep); ok {
+				out = append(out, Result{ep, f})
+				next = append(next, ep)
+				frequent[ep.Key()] = true
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Episode.Types) != len(out[j].Episode.Types) {
+			return len(out[i].Episode.Types) < len(out[j].Episode.Types)
+		}
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return out[i].Episode.Key() < out[j].Episode.Key()
+	})
+	return out, nil
+}
+
+// subEpisodesFrequent applies the Apriori prune: every (k-1)-sub-episode
+// (dropping one element, keeping order for serial) must be frequent.
+func subEpisodesFrequent(ep Episode, frequent map[string]bool) bool {
+	if len(ep.Types) <= 1 {
+		return true
+	}
+	for drop := range ep.Types {
+		sub := make([]event.Type, 0, len(ep.Types)-1)
+		sub = append(sub, ep.Types[:drop]...)
+		sub = append(sub, ep.Types[drop+1:]...)
+		var se Episode
+		if ep.Kind == Serial {
+			se = NewSerial(sub...)
+		} else {
+			se = NewParallel(sub...)
+		}
+		if !frequent[se.Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,336 @@
+package episode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestIntervalOps(t *testing.T) {
+	s := normalize(intervalSet{{5, 9}, {1, 3}, {8, 12}})
+	if len(s) != 2 || s[0] != (span{1, 3}) || s[1] != (span{5, 12}) {
+		t.Fatalf("normalize = %v", s)
+	}
+	if s.measure() != 3+8 {
+		t.Fatalf("measure = %d", s.measure())
+	}
+	c := s.clip(2, 10)
+	if c.measure() != 2+6 {
+		t.Fatalf("clip measure = %d (%v)", c.measure(), c)
+	}
+	a := intervalSet{{1, 5}, {10, 20}}
+	b := intervalSet{{4, 12}, {18, 30}}
+	got := intersect(a, b)
+	want := intervalSet{{4, 5}, {10, 12}, {18, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("intersect = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSerialFrequencyExact(t *testing.T) {
+	// Events: A@10, B@14. Windows of width 10 overlap [1..19] starts
+	// (first-win+1 .. last) = [1,19] -> 19 windows... width 10: starts in
+	// [10-10+1, 14] = [1,14], total = last-first+win = 14-10+10 = 14.
+	// A->B occurs in windows containing both: starts in [14-10+1, 10] =
+	// [5,10] -> 6 windows. Frequency = 6/14.
+	seq := event.Sequence{{Type: "A", Time: 10}, {Type: "B", Time: 14}}
+	got := Frequency(seq, NewSerial("A", "B"), 10)
+	want := 6.0 / 14.0
+	if got != want {
+		t.Fatalf("Frequency = %v, want %v", got, want)
+	}
+	// B->A never occurs.
+	if f := Frequency(seq, NewSerial("B", "A"), 10); f != 0 {
+		t.Fatalf("B->A frequency = %v, want 0", f)
+	}
+	// Parallel {A,B} has the same windows as serial A->B here.
+	if f := Frequency(seq, NewParallel("B", "A"), 10); f != want {
+		t.Fatalf("parallel frequency = %v, want %v", f, want)
+	}
+}
+
+func TestSerialOrderMatters(t *testing.T) {
+	seq := event.Sequence{{Type: "B", Time: 10}, {Type: "A", Time: 14}}
+	if f := Frequency(seq, NewSerial("A", "B"), 10); f != 0 {
+		t.Fatalf("A->B should not occur, got %v", f)
+	}
+	if f := Frequency(seq, NewParallel("A", "B"), 10); f == 0 {
+		t.Fatal("parallel {A,B} should occur")
+	}
+}
+
+func TestParallelMultiplicity(t *testing.T) {
+	seq := event.Sequence{{Type: "A", Time: 10}, {Type: "A", Time: 12}, {Type: "A", Time: 100}}
+	// {A,A} needs two A events within one window.
+	if f := Frequency(seq, NewParallel("A", "A"), 5); f == 0 {
+		t.Fatal("two As three seconds apart fit a 5-window")
+	}
+	if f := Frequency(seq, NewParallel("A", "A"), 2); f != 0 {
+		t.Fatalf("two As cannot fit a 2-window, got %v", f)
+	}
+}
+
+func TestWindowWiderThanSpanCounts(t *testing.T) {
+	seq := event.Sequence{{Type: "A", Time: 100}}
+	f := Frequency(seq, NewSerial("A"), 1000)
+	if f != 1.0 {
+		t.Fatalf("singleton with huge window should be 1.0, got %v", f)
+	}
+}
+
+func TestFrequencyMonotoneInWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var seq event.Sequence
+	for i := 0; i < 60; i++ {
+		seq = append(seq, event.Event{
+			Type: event.Type([]string{"A", "B", "C"}[rng.Intn(3)]),
+			Time: int64(rng.Intn(5000) + 1),
+		})
+	}
+	seq.Sort()
+	ep := NewSerial("A", "B")
+	prevCovered := int64(-1)
+	for _, win := range []int64{10, 50, 100, 500, 1000} {
+		covered := windowStarts(seq, ep, win).measure()
+		if covered < prevCovered {
+			t.Fatalf("covered starts decreased with wider window: %d -> %d at win=%d", prevCovered, covered, win)
+		}
+		prevCovered = covered
+	}
+}
+
+// TestFrequencyMatchesBruteForce cross-checks the interval arithmetic
+// against direct per-window evaluation on small sequences.
+func TestFrequencyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	types := []event.Type{"A", "B", "C"}
+	for trial := 0; trial < 200; trial++ {
+		var seq event.Sequence
+		n := rng.Intn(8) + 2
+		for i := 0; i < n; i++ {
+			seq = append(seq, event.Event{Type: types[rng.Intn(3)], Time: int64(rng.Intn(40) + 1)})
+		}
+		seq.Sort()
+		win := int64(rng.Intn(15) + 2)
+		eps := []Episode{
+			NewSerial("A", "B"),
+			NewSerial("B", "C", "A"),
+			NewParallel("A", "B"),
+			NewParallel("A", "A"),
+		}
+		for _, ep := range eps {
+			got := windowStarts(seq, ep, win).measure()
+			want := bruteWindows(seq, ep, win)
+			if got != want {
+				t.Fatalf("trial %d ep %v win %d: interval count %d != brute %d\nseq=%v",
+					trial, ep, win, got, want, seq)
+			}
+		}
+	}
+}
+
+// bruteWindows counts window starts containing the episode by direct
+// evaluation.
+func bruteWindows(seq event.Sequence, ep Episode, win int64) int64 {
+	first, last := seq.Span()
+	var count int64
+	for t := first - win + 1; t <= last; t++ {
+		inWin := seq.Between(t, t+win-1)
+		if containsEpisode(inWin, ep) {
+			count++
+		}
+	}
+	return count
+}
+
+func containsEpisode(seq event.Sequence, ep Episode) bool {
+	if ep.Kind == Serial {
+		i := 0
+		for _, e := range seq {
+			if i < len(ep.Types) && e.Type == ep.Types[i] {
+				i++
+			}
+		}
+		return i == len(ep.Types)
+	}
+	need := map[event.Type]int{}
+	for _, t := range ep.Types {
+		need[t]++
+	}
+	for _, e := range seq {
+		if need[e.Type] > 0 {
+			need[e.Type]--
+		}
+	}
+	for _, n := range need {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMineLevelWise(t *testing.T) {
+	// Strong A->B->C signal with period 100, window 50.
+	var seq event.Sequence
+	for i := int64(0); i < 50; i++ {
+		base := i*100 + 1
+		seq = append(seq,
+			event.Event{Type: "A", Time: base},
+			event.Event{Type: "B", Time: base + 10},
+			event.Event{Type: "C", Time: base + 20},
+		)
+	}
+	res, err := Mine(seq, Config{Kind: Serial, Window: 50, MinFreq: 0.2, MaxSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]float64{}
+	for _, r := range res {
+		keys[r.Episode.Key()] = r.Frequency
+	}
+	for _, want := range []string{"serial:A", "serial:A->B", "serial:A->B->C"} {
+		if _, ok := keys[want]; !ok {
+			t.Fatalf("missing frequent episode %s in %v", want, keys)
+		}
+	}
+	if _, ok := keys["serial:C->A->B"]; ok {
+		// C->A spans two periods: distance 81 > window 50 minus ...
+		// C@base+20, next A@base+100: 80 apart, window 50 cannot hold
+		// C->A->B.
+		t.Fatal("C->A->B should be infrequent at window 50")
+	}
+}
+
+func TestMineParallel(t *testing.T) {
+	var seq event.Sequence
+	for i := int64(0); i < 30; i++ {
+		base := i*100 + 1
+		seq = append(seq,
+			event.Event{Type: "B", Time: base},
+			event.Event{Type: "A", Time: base + 5},
+		)
+	}
+	res, err := Mine(seq, Config{Kind: Parallel, Window: 40, MinFreq: 0.3, MaxSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.Episode.Key() == "parallel:A+B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("parallel A+B not found in %v", res)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	seq := event.Sequence{{Type: "A", Time: 1}}
+	if _, err := Mine(seq, Config{Window: 0, MinFreq: 0.1}); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := Mine(seq, Config{Window: 10, MinFreq: 1.5}); err == nil {
+		t.Fatal("bad frequency accepted")
+	}
+}
+
+func TestEpisodeKeyCanonical(t *testing.T) {
+	if NewParallel("B", "A").Key() != NewParallel("A", "B").Key() {
+		t.Fatal("parallel episodes should canonicalize")
+	}
+	if NewSerial("B", "A").Key() == NewSerial("A", "B").Key() {
+		t.Fatal("serial order must matter")
+	}
+}
+
+func TestRules(t *testing.T) {
+	// Strong A->B->C signal: prefix rules should have confidence ~1.
+	var seq event.Sequence
+	for i := int64(0); i < 60; i++ {
+		base := i*100 + 1
+		seq = append(seq,
+			event.Event{Type: "A", Time: base},
+			event.Event{Type: "B", Time: base + 10},
+			event.Event{Type: "C", Time: base + 20},
+		)
+		if i%3 == 0 { // a dangling A that is not followed within the window
+			seq = append(seq, event.Event{Type: "A", Time: base + 60})
+		}
+	}
+	seq.Sort()
+	res, err := Mine(seq, Config{Kind: Serial, Window: 40, MinFreq: 0.05, MaxSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := Rules(res, 0.3)
+	if len(rules) == 0 {
+		t.Fatal("no rules derived")
+	}
+	byKey := map[string]Rule{}
+	for _, r := range rules {
+		byKey[r.Antecedent.Key()+"=>"+r.Consequent.Key()] = r
+		if r.Confidence < 0.3 || r.Confidence > 1.0001 {
+			t.Fatalf("confidence out of range: %v", r)
+		}
+		// Consequent frequency never exceeds antecedent frequency.
+		if r.Frequency > r.Confidence*1.0001*freqOf(res, r.Antecedent) {
+			t.Fatalf("frequencies inconsistent: %v", r)
+		}
+	}
+	ab := byKey["serial:A=>serial:A->B"]
+	if ab.Confidence == 0 {
+		t.Fatalf("rule A => A->B missing; got %v", rules)
+	}
+	// Sorted by confidence descending.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func freqOf(res []Result, ep Episode) float64 {
+	for _, r := range res {
+		if r.Episode.Key() == ep.Key() {
+			return r.Frequency
+		}
+	}
+	return 0
+}
+
+func TestRulesMinConfidenceFilters(t *testing.T) {
+	res := []Result{
+		{Episode: NewSerial("A"), Frequency: 0.8},
+		{Episode: NewSerial("B"), Frequency: 0.5},
+		{Episode: NewSerial("A", "B"), Frequency: 0.2},
+	}
+	all := Rules(res, 0)
+	if len(all) == 0 {
+		t.Fatal("no rules at conf 0")
+	}
+	high := Rules(res, 0.9)
+	for _, r := range high {
+		if r.Confidence < 0.9 {
+			t.Fatalf("filter leaked %v", r)
+		}
+	}
+	// A => A->B has confidence 0.25; B => A->B has 0.4.
+	found := map[string]float64{}
+	for _, r := range all {
+		found[r.Antecedent.Key()] = r.Confidence
+	}
+	if f := found["serial:A"]; f < 0.2499 || f > 0.2501 {
+		t.Fatalf("conf(A => A->B) = %v, want 0.25", f)
+	}
+	if f := found["serial:B"]; f < 0.3999 || f > 0.4001 {
+		t.Fatalf("conf(B => A->B) = %v, want 0.4", f)
+	}
+}

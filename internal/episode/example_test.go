@@ -1,0 +1,39 @@
+package episode_test
+
+import (
+	"fmt"
+
+	"repro/internal/episode"
+	"repro/internal/event"
+)
+
+// Example mines frequent serial episodes from a periodic stream, MTV95
+// style, and derives rules from them.
+func Example() {
+	var seq event.Sequence
+	for i := int64(0); i < 50; i++ {
+		base := i*100 + 1
+		seq = append(seq,
+			event.Event{Type: "A", Time: base},
+			event.Event{Type: "B", Time: base + 10},
+		)
+	}
+	res, err := episode.Mine(seq, episode.Config{
+		Kind: episode.Serial, Window: 40, MinFreq: 0.3, MaxSize: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res {
+		if len(r.Episode.Types) == 2 {
+			fmt.Printf("%s freq=%.2f\n", r.Episode, r.Frequency)
+		}
+	}
+	for _, rule := range episode.Rules(res, 0.7) {
+		fmt.Println(rule.Antecedent, "=>", rule.Consequent)
+	}
+	// Output:
+	// serial:A->B freq=0.30
+	// serial:A => serial:A->B
+	// serial:B => serial:A->B
+}

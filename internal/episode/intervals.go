@@ -1,0 +1,86 @@
+// Package episode implements the frequent-episode mining of Mannila,
+// Toivonen and Verkamo (KDD'95) — the paper's closest related work and the
+// single-granularity baseline of the experiments: serial and parallel
+// episodes recognized in a sliding window of fixed width, mined level-wise
+// from frequent sub-episodes.
+package episode
+
+import "sort"
+
+// intervalSet is a set of integers represented as sorted disjoint closed
+// intervals [first, last].
+type intervalSet []span
+
+type span struct{ first, last int64 }
+
+// normalize sorts and coalesces the spans.
+func normalize(s intervalSet) intervalSet {
+	if len(s) <= 1 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].first < s[j].first })
+	out := s[:1]
+	for _, sp := range s[1:] {
+		last := &out[len(out)-1]
+		if sp.first <= last.last+1 {
+			if sp.last > last.last {
+				last.last = sp.last
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// measure returns the number of integers covered.
+func (s intervalSet) measure() int64 {
+	var n int64
+	for _, sp := range s {
+		n += sp.last - sp.first + 1
+	}
+	return n
+}
+
+// clip intersects the set with [lo, hi].
+func (s intervalSet) clip(lo, hi int64) intervalSet {
+	var out intervalSet
+	for _, sp := range s {
+		f, l := sp.first, sp.last
+		if f < lo {
+			f = lo
+		}
+		if l > hi {
+			l = hi
+		}
+		if f <= l {
+			out = append(out, span{f, l})
+		}
+	}
+	return out
+}
+
+// intersect returns the intersection of two normalized sets.
+func intersect(a, b intervalSet) intervalSet {
+	var out intervalSet
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		f := a[i].first
+		if b[j].first > f {
+			f = b[j].first
+		}
+		l := a[i].last
+		if b[j].last < l {
+			l = b[j].last
+		}
+		if f <= l {
+			out = append(out, span{f, l})
+		}
+		if a[i].last < b[j].last {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package episode
+
+import "repro/internal/event"
+
+// Minimal occurrences — the alternative frequency measure of Mannila &
+// Toivonen's follow-up work (KDD'96): an occurrence interval [ts, te] of an
+// episode is minimal if no proper sub-interval also contains an occurrence.
+// Support is then the number of minimal occurrences, optionally restricted
+// to a maximal width.
+
+// Occurrence is a closed time interval containing an episode occurrence.
+type Occurrence struct {
+	Start, End int64
+}
+
+// Width returns the occurrence's width in seconds.
+func (o Occurrence) Width() int64 { return o.End - o.Start + 1 }
+
+// MinimalOccurrences returns the minimal occurrence intervals of the
+// episode in the sequence, in increasing order of start time.
+func MinimalOccurrences(seq event.Sequence, ep Episode) []Occurrence {
+	if len(ep.Types) == 0 || len(seq) == 0 {
+		return nil
+	}
+	var raw []Occurrence
+	switch ep.Kind {
+	case Serial:
+		raw = serialOccurrences(seq, ep.Types)
+	default:
+		raw = parallelOccurrences(seq, ep.Types)
+	}
+	return filterMinimal(raw)
+}
+
+// serialOccurrences lists, for each end position, the tightest occurrence
+// ending there: scan each potential start and greedily match forward; the
+// greedy-from-start occurrence is the tightest with that start.
+func serialOccurrences(seq event.Sequence, types []event.Type) []Occurrence {
+	var out []Occurrence
+	for i, e := range seq {
+		if e.Type != types[0] {
+			continue
+		}
+		pos := i
+		end := e.Time
+		ok := true
+		for _, typ := range types[1:] {
+			found := false
+			for j := pos + 1; j < len(seq); j++ {
+				if seq[j].Type == typ {
+					pos = j
+					end = seq[j].Time
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, Occurrence{Start: e.Time, End: end})
+		}
+	}
+	return out
+}
+
+// parallelOccurrences lists, for each start index, the tightest window
+// starting there that contains the multiset of types.
+func parallelOccurrences(seq event.Sequence, types []event.Type) []Occurrence {
+	need := map[event.Type]int{}
+	for _, t := range types {
+		need[t]++
+	}
+	var out []Occurrence
+	for i := range seq {
+		if need[seq[i].Type] == 0 {
+			continue
+		}
+		remaining := make(map[event.Type]int, len(need))
+		for k, v := range need {
+			remaining[k] = v
+		}
+		missing := len(types)
+		end := int64(0)
+		for j := i; j < len(seq); j++ {
+			if remaining[seq[j].Type] > 0 {
+				remaining[seq[j].Type]--
+				missing--
+				end = seq[j].Time
+				if missing == 0 {
+					break
+				}
+			}
+		}
+		if missing == 0 {
+			out = append(out, Occurrence{Start: seq[i].Time, End: end})
+		}
+	}
+	return out
+}
+
+// filterMinimal keeps the occurrences containing no other occurrence.
+// Inputs are tightest-per-start, sorted by start; an occurrence is minimal
+// iff no later-starting occurrence ends at or before its end.
+func filterMinimal(raw []Occurrence) []Occurrence {
+	var out []Occurrence
+	for i, o := range raw {
+		minimal := true
+		for j := i + 1; j < len(raw); j++ {
+			if raw[j].Start > o.End {
+				break
+			}
+			if raw[j].End <= o.End && (raw[j].Start > o.Start || raw[j].End < o.End) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			// Dedup identical intervals (possible with repeated starts).
+			if len(out) > 0 && out[len(out)-1] == o {
+				continue
+			}
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SupportMO returns the number of minimal occurrences with width at most
+// maxWidth (0 = unbounded), the KDD'96 support measure.
+func SupportMO(seq event.Sequence, ep Episode, maxWidth int64) int {
+	n := 0
+	for _, o := range MinimalOccurrences(seq, ep) {
+		if maxWidth > 0 && o.Width() > maxWidth {
+			continue
+		}
+		n++
+	}
+	return n
+}

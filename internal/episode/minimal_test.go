@@ -1,0 +1,161 @@
+package episode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestMinimalOccurrencesSerial(t *testing.T) {
+	// A@10 A@20 B@30 B@40: minimal A->B is [20,30] only.
+	seq := event.Sequence{{Type: "A", Time: 10}, {Type: "A", Time: 20}, {Type: "B", Time: 30}, {Type: "B", Time: 40}}
+	got := MinimalOccurrences(seq, NewSerial("A", "B"))
+	if len(got) != 1 || got[0] != (Occurrence{20, 30}) {
+		t.Fatalf("minimal = %v, want [20,30]", got)
+	}
+	// A@10 B@15 A@20 B@30: two minimal occurrences.
+	seq = event.Sequence{{Type: "A", Time: 10}, {Type: "B", Time: 15}, {Type: "A", Time: 20}, {Type: "B", Time: 30}}
+	got = MinimalOccurrences(seq, NewSerial("A", "B"))
+	if len(got) != 2 || got[0] != (Occurrence{10, 15}) || got[1] != (Occurrence{20, 30}) {
+		t.Fatalf("minimal = %v", got)
+	}
+	// No occurrence.
+	if got := MinimalOccurrences(seq, NewSerial("B", "A", "B", "A")); len(got) != 0 {
+		t.Fatalf("impossible episode has occurrences: %v", got)
+	}
+}
+
+func TestMinimalOccurrencesParallel(t *testing.T) {
+	// B@10 A@20 B@30: minimal {A,B} windows: [10,20] and [20,30].
+	seq := event.Sequence{{Type: "B", Time: 10}, {Type: "A", Time: 20}, {Type: "B", Time: 30}}
+	got := MinimalOccurrences(seq, NewParallel("A", "B"))
+	if len(got) != 2 || got[0] != (Occurrence{10, 20}) || got[1] != (Occurrence{20, 30}) {
+		t.Fatalf("minimal = %v", got)
+	}
+	// Multiplicity: {B,B} needs two Bs.
+	got = MinimalOccurrences(seq, NewParallel("B", "B"))
+	if len(got) != 1 || got[0] != (Occurrence{10, 30}) {
+		t.Fatalf("minimal {B,B} = %v", got)
+	}
+}
+
+func TestSupportMO(t *testing.T) {
+	seq := event.Sequence{{Type: "A", Time: 10}, {Type: "B", Time: 15}, {Type: "A", Time: 100}, {Type: "B", Time: 200}}
+	if got := SupportMO(seq, NewSerial("A", "B"), 0); got != 2 {
+		t.Fatalf("unbounded support = %d, want 2", got)
+	}
+	if got := SupportMO(seq, NewSerial("A", "B"), 50); got != 1 {
+		t.Fatalf("width-50 support = %d, want 1 (the [100,200] one is too wide)", got)
+	}
+}
+
+// TestMinimalOccurrencesBrute cross-checks against the definition: an
+// interval is a minimal occurrence iff it contains the episode and no
+// proper sub-interval does.
+func TestMinimalOccurrencesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	types := []event.Type{"A", "B", "C"}
+	eps := []Episode{NewSerial("A", "B"), NewSerial("A", "B", "C"), NewParallel("A", "B"), NewParallel("B", "B")}
+	for trial := 0; trial < 150; trial++ {
+		var seq event.Sequence
+		n := rng.Intn(8) + 2
+		used := map[int64]bool{}
+		for len(seq) < n {
+			tm := int64(rng.Intn(30) + 1)
+			if used[tm] {
+				continue
+			}
+			used[tm] = true
+			seq = append(seq, event.Event{Type: types[rng.Intn(3)], Time: tm})
+		}
+		seq.Sort()
+		for _, ep := range eps {
+			got := MinimalOccurrences(seq, ep)
+			want := bruteMinimal(seq, ep)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d ep %v: got %v want %v (seq %v)", trial, ep, got, want, seq)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d ep %v: got %v want %v (seq %v)", trial, ep, got, want, seq)
+				}
+			}
+		}
+	}
+}
+
+// bruteMinimal enumerates all event-time intervals and keeps the minimal
+// containing ones.
+func bruteMinimal(seq event.Sequence, ep Episode) []Occurrence {
+	var all []Occurrence
+	for i := range seq {
+		for j := i; j < len(seq); j++ {
+			w := seq.Between(seq[i].Time, seq[j].Time)
+			if containsEpisode(w, ep) {
+				all = append(all, Occurrence{seq[i].Time, seq[j].Time})
+			}
+		}
+	}
+	var out []Occurrence
+	for _, o := range all {
+		minimal := true
+		for _, p := range all {
+			if p == o {
+				continue
+			}
+			if p.Start >= o.Start && p.End <= o.End {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			dup := false
+			for _, q := range out {
+				if q == o {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+func TestMineWithMinimalOccurrences(t *testing.T) {
+	var seq event.Sequence
+	for i := int64(0); i < 40; i++ {
+		base := i*100 + 1
+		seq = append(seq,
+			event.Event{Type: "A", Time: base},
+			event.Event{Type: "B", Time: base + 10},
+		)
+		if i%4 == 0 {
+			seq = append(seq, event.Event{Type: "C", Time: base + 20})
+		}
+	}
+	res, err := Mine(seq, Config{
+		Kind: Serial, Window: 30, MaxSize: 2,
+		UseMinimalOccurrences: true, MinSupport: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]float64{}
+	for _, r := range res {
+		found[r.Episode.Key()] = r.Frequency
+	}
+	if found["serial:A->B"] != 40 {
+		t.Fatalf("A->B MO support = %v, want 40 (keys %v)", found["serial:A->B"], found)
+	}
+	if _, ok := found["serial:A->C"]; ok {
+		t.Fatal("A->C has only 10 minimal occurrences; must be infrequent at support 20")
+	}
+	// Validation of the mode.
+	if _, err := Mine(seq, Config{Kind: Serial, Window: 30, UseMinimalOccurrences: true}); err == nil {
+		t.Fatal("MO mode without MinSupport accepted")
+	}
+}

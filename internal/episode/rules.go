@@ -1,0 +1,105 @@
+package episode
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// Rule is an MTV95 episode rule "antecedent ⇒ consequent": whenever the
+// antecedent occurs in a window, the full consequent occurs in that window
+// with the given confidence (fr(consequent)/fr(antecedent)).
+type Rule struct {
+	Antecedent Episode
+	Consequent Episode
+	// Confidence is fr(consequent)/fr(antecedent) in [0,1].
+	Confidence float64
+	// Frequency is the consequent's window frequency.
+	Frequency float64
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (conf %.3f, freq %.3f)", r.Antecedent, r.Consequent, r.Confidence, r.Frequency)
+}
+
+// Rules derives episode rules from a frequent-episode result set (as
+// produced by Mine): for every frequent episode of size >= 2, each
+// immediate sub-episode that is itself frequent yields one rule; serial
+// episodes additionally yield prefix rules (the classic "having seen the
+// prefix, the rest follows" form). Rules below minConfidence are dropped.
+func Rules(results []Result, minConfidence float64) []Rule {
+	freq := make(map[string]float64, len(results))
+	for _, r := range results {
+		freq[r.Episode.Key()] = r.Frequency
+	}
+	var out []Rule
+	emit := func(ante, cons Episode, consFreq float64) {
+		af, ok := freq[ante.Key()]
+		if !ok || af == 0 {
+			return
+		}
+		conf := consFreq / af
+		if conf >= minConfidence {
+			out = append(out, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Confidence: conf,
+				Frequency:  consFreq,
+			})
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		ep := r.Episode
+		if len(ep.Types) < 2 {
+			continue
+		}
+		// Immediate sub-episodes (drop one element).
+		for drop := range ep.Types {
+			sub := ep.dropAt(drop)
+			key := sub.Key() + "=>" + ep.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			emit(sub, ep, r.Frequency)
+		}
+		// Prefix rules for serial episodes.
+		if ep.Kind == Serial {
+			for cut := 1; cut < len(ep.Types); cut++ {
+				pre := NewSerial(ep.Types[:cut]...)
+				key := pre.Key() + "=>" + ep.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				emit(pre, ep, r.Frequency)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Consequent.Key()+out[i].Antecedent.Key() <
+			out[j].Consequent.Key()+out[j].Antecedent.Key()
+	})
+	return out
+}
+
+// dropAt returns the episode without element i (order preserved for
+// serial, re-canonicalized for parallel).
+func (ep Episode) dropAt(i int) Episode {
+	sub := make([]event.Type, 0, len(ep.Types)-1)
+	for j, t := range ep.Types {
+		if j != i {
+			sub = append(sub, t)
+		}
+	}
+	if ep.Kind == Serial {
+		return NewSerial(sub...)
+	}
+	return NewParallel(sub...)
+}

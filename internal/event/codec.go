@@ -1,0 +1,57 @@
+package event
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the sequence in the line format "<timestamp> <type>", one
+// event per line. The format round-trips through Decode.
+func Encode(w io.Writer, s Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range s {
+		if strings.ContainsAny(string(e.Type), " \t\n") {
+			return fmt.Errorf("event: type %q contains whitespace", e.Type)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s\n", e.Time, e.Type); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a sequence in Encode's format. Blank lines and lines
+// starting with '#' are skipped. The result is sorted and validated.
+func Decode(r io.Reader) (Sequence, error) {
+	var s Sequence
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("event: line %d: want \"<timestamp> <type>\", got %q", line, text)
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("event: line %d: bad timestamp: %v", line, err)
+		}
+		s = append(s, Event{Type: Type(fields[1]), Time: ts})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

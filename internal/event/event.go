@@ -1,0 +1,213 @@
+// Package event defines event types, timestamped events and event
+// sequences — the raw input of the paper's pattern-matching and mining
+// machinery — together with deterministic synthetic workload generators for
+// the domains the paper's introduction motivates (stock ticks, ATM
+// transactions, industrial-plant malfunctions).
+//
+// Timestamps are 1-based second indices on the timeline of
+// internal/calendar (second 1 = 1800-01-01T00:00:00).
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/calendar"
+)
+
+// Type names a kind of event, e.g. "IBM-rise" or "deposit".
+type Type string
+
+// Event is an occurrence of a Type at a second timestamp.
+type Event struct {
+	Type Type
+	Time int64
+}
+
+// String formats the event as "type@time".
+func (e Event) String() string { return fmt.Sprintf("%s@%d", e.Type, e.Time) }
+
+// Sequence is an event sequence ordered by timestamp (ties allowed, stable
+// by insertion). The paper's sequences are sets; we keep duplicates out by
+// construction in the generators but do not forbid them.
+type Sequence []Event
+
+// Sort orders the sequence by time, preserving the relative order of equal
+// timestamps.
+func (s Sequence) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Time < s[j].Time })
+}
+
+// Validate checks that timestamps are positive and non-decreasing.
+func (s Sequence) Validate() error {
+	prev := int64(0)
+	for i, e := range s {
+		if e.Time < 1 {
+			return fmt.Errorf("event: event %d (%s) has non-positive timestamp", i, e.Type)
+		}
+		if e.Time < prev {
+			return fmt.Errorf("event: sequence not sorted at index %d", i)
+		}
+		if e.Type == "" {
+			return errors.New("event: empty event type")
+		}
+		prev = e.Time
+	}
+	return nil
+}
+
+// Types returns the distinct event types occurring in s, sorted by name.
+func (s Sequence) Types() []Type {
+	set := make(map[Type]bool, 16)
+	for _, e := range s {
+		set[e.Type] = true
+	}
+	out := make([]Type, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Span returns the first and last timestamps, or (0, 0) for an empty
+// sequence.
+func (s Sequence) Span() (first, last int64) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	return s[0].Time, s[len(s)-1].Time
+}
+
+// Between returns the subsequence with lo <= Time <= hi. The result aliases
+// s's backing array.
+func (s Sequence) Between(lo, hi int64) Sequence {
+	i := sort.Search(len(s), func(k int) bool { return s[k].Time >= lo })
+	j := sort.Search(len(s), func(k int) bool { return s[k].Time > hi })
+	return s[i:j]
+}
+
+// From returns the suffix with Time >= lo. The result aliases s.
+func (s Sequence) From(lo int64) Sequence {
+	i := sort.Search(len(s), func(k int) bool { return s[k].Time >= lo })
+	return s[i:]
+}
+
+// Occurrences returns the timestamps at which typ occurs, in order.
+func (s Sequence) Occurrences(typ Type) []int64 {
+	var out []int64
+	for _, e := range s {
+		if e.Type == typ {
+			out = append(out, e.Time)
+		}
+	}
+	return out
+}
+
+// CountType returns the number of events of typ.
+func (s Sequence) CountType(typ Type) int {
+	n := 0
+	for _, e := range s {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns the events satisfying keep, in order.
+func (s Sequence) Filter(keep func(Event) bool) Sequence {
+	var out Sequence
+	for _, e := range s {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Merge merges two sorted sequences into a new sorted sequence.
+func Merge(a, b Sequence) Sequence {
+	out := make(Sequence, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Time <= b[j].Time {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// At builds a second timestamp from a civil instant, a convenience for
+// tests and examples.
+func At(year, month, day, hh, mm, ss int) int64 {
+	rata := calendar.RataOf(calendar.Date{Year: year, Month: month, Day: day})
+	return (rata-1)*calendar.SecondsPerDay + int64(hh)*3600 + int64(mm)*60 + int64(ss) + 1
+}
+
+// Civil renders a second timestamp as "YYYY-MM-DD hh:mm:ss".
+func Civil(t int64) string {
+	rata := (t - 1) / calendar.SecondsPerDay
+	rem := (t - 1) % calendar.SecondsPerDay
+	d := calendar.DateOf(rata + 1)
+	return fmt.Sprintf("%s %02d:%02d:%02d", d, rem/3600, (rem%3600)/60, rem%60)
+}
+
+// Stats summarizes a sequence: its span, event count and per-type counts.
+type Stats struct {
+	Events     int
+	TypeCounts map[Type]int
+	First      int64
+	Last       int64
+}
+
+// Summarize computes a sequence's Stats.
+func Summarize(s Sequence) Stats {
+	st := Stats{Events: len(s), TypeCounts: make(map[Type]int, 16)}
+	if len(s) == 0 {
+		return st
+	}
+	st.First, st.Last = s.Span()
+	for _, e := range s {
+		st.TypeCounts[e.Type]++
+	}
+	return st
+}
+
+// SpanDays returns the sequence's span in fractional days.
+func (st Stats) SpanDays() float64 {
+	if st.Events == 0 {
+		return 0
+	}
+	return float64(st.Last-st.First+1) / float64(calendar.SecondsPerDay)
+}
+
+// Dedupe returns the sequence without exact duplicate events (same type
+// and timestamp); the input must be sorted. Order is preserved.
+func (s Sequence) Dedupe() Sequence {
+	if len(s) < 2 {
+		return s
+	}
+	out := make(Sequence, 0, len(s))
+	seenAt := map[Type]bool{}
+	var cur int64
+	for _, e := range s {
+		if e.Time != cur {
+			cur = e.Time
+			seenAt = map[Type]bool{}
+		}
+		if seenAt[e.Type] {
+			continue
+		}
+		seenAt[e.Type] = true
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package event
+
+import "sort"
+
+// Index is a per-type occurrence index over a sequence: it answers "does
+// type T occur in [lo, hi]?" and "list T's occurrences in [lo, hi]" by
+// binary search instead of scanning, which the mining pipeline's window
+// screening does many thousands of times.
+type Index struct {
+	times map[Type][]int64
+}
+
+// NewIndex builds the index; the sequence must be sorted (as Sequence
+// always is after Sort).
+func NewIndex(s Sequence) *Index {
+	idx := &Index{times: make(map[Type][]int64, 16)}
+	for _, e := range s {
+		idx.times[e.Type] = append(idx.times[e.Type], e.Time)
+	}
+	return idx
+}
+
+// Types returns the number of distinct types indexed.
+func (ix *Index) Types() int { return len(ix.times) }
+
+// AnyIn reports whether typ occurs at some time in [lo, hi].
+func (ix *Index) AnyIn(typ Type, lo, hi int64) bool {
+	ts := ix.times[typ]
+	i := sort.Search(len(ts), func(k int) bool { return ts[k] >= lo })
+	return i < len(ts) && ts[i] <= hi
+}
+
+// In returns typ's occurrence times within [lo, hi]; the result aliases the
+// index's backing array.
+func (ix *Index) In(typ Type, lo, hi int64) []int64 {
+	ts := ix.times[typ]
+	i := sort.Search(len(ts), func(k int) bool { return ts[k] >= lo })
+	j := sort.Search(len(ts), func(k int) bool { return ts[k] > hi })
+	return ts[i:j]
+}
+
+// Count returns the number of occurrences of typ.
+func (ix *Index) Count(typ Type) int { return len(ix.times[typ]) }

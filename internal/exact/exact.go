@@ -1,0 +1,345 @@
+// Package exact decides consistency of event structures with multiple
+// granularities by exhaustive, propagation-pruned backtracking over a
+// bounded time horizon. The problem is NP-hard (the paper's Theorem 1), so
+// this solver is meant for ground truth on small instances — the
+// disjunction gadget of Figure 1(b), the SUBSET-SUM reduction instances —
+// and as the exact comparator the experiments measure the approximate
+// propagation against.
+//
+// Completeness within the horizon rests on a discretization argument: if a
+// matching complex event exists with timestamps inside the horizon, one
+// exists with every timestamp on a granule-interval boundary. Snapping each
+// timestamp down to the latest interval start (over all granularities in
+// the structure) at or before it keeps the timestamp inside the same
+// interval of the same granule of every granularity, so every cover — and
+// hence every TCG — is preserved. The search therefore enumerates only
+// boundary points.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+	"repro/internal/stp"
+)
+
+// Options configures Solve.
+type Options struct {
+	// Start and End bound the candidate timestamps (second indices,
+	// inclusive). Required: End > Start >= 1.
+	Start, End int64
+	// MaxNodes bounds the number of search-tree nodes expanded; Solve
+	// errors when exceeded. 0 means DefaultMaxNodes.
+	MaxNodes int64
+}
+
+// DefaultMaxNodes is the default search budget.
+const DefaultMaxNodes = 20_000_000
+
+// Verdict is the outcome of an exact consistency check.
+type Verdict struct {
+	// Satisfiable reports whether a matching complex event exists with all
+	// timestamps inside the horizon.
+	Satisfiable bool
+	// Witness maps each variable to a timestamp when Satisfiable.
+	Witness map[core.Variable]int64
+	// Nodes is the number of search nodes expanded.
+	Nodes int64
+	// RefutedByPropagation is set when the approximate propagation already
+	// proved inconsistency and no search ran.
+	RefutedByPropagation bool
+}
+
+// Solve decides bounded-horizon consistency of s under sys.
+func Solve(sys *granularity.System, s *core.EventStructure, opt Options) (*Verdict, error) {
+	if opt.Start < 1 || opt.End <= opt.Start {
+		return nil, fmt.Errorf("exact: invalid horizon [%d,%d]", opt.Start, opt.End)
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	prop, err := propagate.Run(sys, s, propagate.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !prop.Consistent {
+		return &Verdict{Satisfiable: false, RefutedByPropagation: true}, nil
+	}
+
+	points := boundaryPoints(sys, s.Granularities(), opt.Start, opt.End)
+	if len(points) == 0 {
+		return &Verdict{Satisfiable: false}, nil
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	sv := &solver{
+		sys:      sys,
+		s:        s,
+		prop:     prop,
+		points:   points,
+		order:    order,
+		assigned: make(map[core.Variable]int64, len(order)),
+		maxNodes: maxNodes,
+	}
+	sv.precomputeBounds()
+	found, err := sv.search(0)
+	if err != nil {
+		return nil, err
+	}
+	v := &Verdict{Satisfiable: found, Nodes: sv.nodes}
+	if found {
+		v.Witness = make(map[core.Variable]int64, len(sv.assigned))
+		for k, t := range sv.assigned {
+			v.Witness[k] = t
+		}
+	}
+	return v, nil
+}
+
+// boundaryPoints collects the sorted, deduplicated starts of every granule
+// interval of the named granularities intersecting [start, end].
+func boundaryPoints(sys *granularity.System, grans []string, start, end int64) []int64 {
+	set := make(map[int64]bool)
+	for _, name := range grans {
+		g := sys.MustGet(name)
+		for z := granularity.FirstTouching(g, start); ; z++ {
+			ivs, ok := g.Intervals(z)
+			if !ok {
+				break
+			}
+			if len(ivs) == 0 || ivs[0].First > end {
+				break
+			}
+			for _, iv := range ivs {
+				if iv.First <= end && iv.Last >= start {
+					p := iv.First
+					if p < start {
+						p = start
+					}
+					set[p] = true
+				}
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type solver struct {
+	sys      *granularity.System
+	s        *core.EventStructure
+	prop     *propagate.Result
+	points   []int64
+	order    []core.Variable
+	assigned map[core.Variable]int64
+	nodes    int64
+	maxNodes int64
+	// bounds[i][j] are the second-distance bounds from order[i] to order[j]
+	// derived by propagation (j < i used during search).
+	lo, hi [][]int64
+}
+
+func (sv *solver) precomputeBounds() {
+	n := len(sv.order)
+	sv.lo = make([][]int64, n)
+	sv.hi = make([][]int64, n)
+	for i := range sv.order {
+		sv.lo[i] = make([]int64, n)
+		sv.hi[i] = make([]int64, n)
+		for j := range sv.order {
+			if i == j {
+				continue
+			}
+			l, h := sv.prop.SecondBounds(sv.sys, sv.order[i], sv.order[j])
+			sv.lo[i][j], sv.hi[i][j] = l, h
+		}
+	}
+}
+
+// search assigns order[k..]; returns whether a full assignment was found.
+func (sv *solver) search(k int) (bool, error) {
+	if k == len(sv.order) {
+		return true, nil
+	}
+	v := sv.order[k]
+	// Intersect the windows implied by every assigned variable.
+	winLo, winHi := sv.points[0], sv.points[len(sv.points)-1]
+	for j := 0; j < k; j++ {
+		tj := sv.assigned[sv.order[j]]
+		if l := sv.lo[j][k]; l > -stp.Inf {
+			if nl := tj + l; nl > winLo {
+				winLo = nl
+			}
+		}
+		if h := sv.hi[j][k]; h < stp.Inf {
+			if nh := tj + h; nh < winHi {
+				winHi = nh
+			}
+		}
+	}
+	if winLo > winHi {
+		return false, nil
+	}
+	first := sort.Search(len(sv.points), func(i int) bool { return sv.points[i] >= winLo })
+	for i := first; i < len(sv.points) && sv.points[i] <= winHi; i++ {
+		sv.nodes++
+		if sv.nodes > sv.maxNodes {
+			return false, fmt.Errorf("exact: search budget of %d nodes exceeded", sv.maxNodes)
+		}
+		t := sv.points[i]
+		if !sv.consistentWithAssigned(v, t) {
+			continue
+		}
+		sv.assigned[v] = t
+		ok, err := sv.search(k + 1)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		delete(sv.assigned, v)
+	}
+	return false, nil
+}
+
+// consistentWithAssigned checks every explicit TCG between v and the
+// already-assigned variables.
+func (sv *solver) consistentWithAssigned(v core.Variable, t int64) bool {
+	for u, tu := range sv.assigned {
+		for _, c := range sv.s.Constraints(u, v) {
+			if !c.Satisfied(sv.sys, tu, t) {
+				return false
+			}
+		}
+		for _, c := range sv.s.Constraints(v, u) {
+			if !c.Satisfied(sv.sys, t, tu) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Enumerate returns up to limit distinct satisfying assignments (boundary
+// witnesses) of the structure within the horizon, in the search's
+// deterministic order. It reuses Solve's machinery but continues past the
+// first witness. Distinctness is per boundary-point assignment; the full
+// (uncountable in general) solution space collapses onto boundary points by
+// the same snapping argument Solve's completeness rests on.
+func Enumerate(sys *granularity.System, s *core.EventStructure, opt Options, limit int) ([]map[core.Variable]int64, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("exact: limit must be positive")
+	}
+	if opt.Start < 1 || opt.End <= opt.Start {
+		return nil, fmt.Errorf("exact: invalid horizon [%d,%d]", opt.Start, opt.End)
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	prop, err := propagate.Run(sys, s, propagate.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !prop.Consistent {
+		return nil, nil
+	}
+	points := boundaryPoints(sys, s.Granularities(), opt.Start, opt.End)
+	if len(points) == 0 {
+		return nil, nil
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	sv := &solver{
+		sys:      sys,
+		s:        s,
+		prop:     prop,
+		points:   points,
+		order:    order,
+		assigned: make(map[core.Variable]int64, len(order)),
+		maxNodes: maxNodes,
+	}
+	sv.precomputeBounds()
+	var out []map[core.Variable]int64
+	err = sv.enumerate(0, func() bool {
+		w := make(map[core.Variable]int64, len(sv.assigned))
+		for k, t := range sv.assigned {
+			w[k] = t
+		}
+		out = append(out, w)
+		return len(out) < limit
+	})
+	if err != nil && err != errStopEnumeration {
+		return nil, err
+	}
+	return out, nil
+}
+
+// enumerate is search generalized to visit every full assignment; emit
+// returns false to stop early. The boolean result is "keep going".
+func (sv *solver) enumerate(k int, emit func() bool) error {
+	if k == len(sv.order) {
+		if !emit() {
+			return errStopEnumeration
+		}
+		return nil
+	}
+	v := sv.order[k]
+	winLo, winHi := sv.points[0], sv.points[len(sv.points)-1]
+	for j := 0; j < k; j++ {
+		tj := sv.assigned[sv.order[j]]
+		if l := sv.lo[j][k]; l > -stp.Inf {
+			if nl := tj + l; nl > winLo {
+				winLo = nl
+			}
+		}
+		if h := sv.hi[j][k]; h < stp.Inf {
+			if nh := tj + h; nh < winHi {
+				winHi = nh
+			}
+		}
+	}
+	if winLo > winHi {
+		return nil
+	}
+	first := sort.Search(len(sv.points), func(i int) bool { return sv.points[i] >= winLo })
+	for i := first; i < len(sv.points) && sv.points[i] <= winHi; i++ {
+		sv.nodes++
+		if sv.nodes > sv.maxNodes {
+			return fmt.Errorf("exact: search budget of %d nodes exceeded", sv.maxNodes)
+		}
+		t := sv.points[i]
+		if !sv.consistentWithAssigned(v, t) {
+			continue
+		}
+		sv.assigned[v] = t
+		err := sv.enumerate(k+1, emit)
+		delete(sv.assigned, v)
+		if err != nil {
+			if err == errStopEnumeration {
+				return err
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// errStopEnumeration signals the emit callback asked to stop; Enumerate
+// swallows it.
+var errStopEnumeration = errors.New("exact: stop enumeration")

@@ -1,0 +1,329 @@
+package exact
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+)
+
+var sys = granularity.Default()
+
+func yearHorizon(y0, y1 int) (int64, int64) {
+	return event.At(y0, 1, 1, 0, 0, 0), event.At(y1, 12, 31, 23, 59, 59)
+}
+
+func TestSolveFig1aSatisfiable(t *testing.T) {
+	start, end := yearHorizon(1996, 1996)
+	v, err := Solve(sys, core.Fig1a(), Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Satisfiable {
+		t.Fatal("Fig1a should be satisfiable")
+	}
+	// The witness must actually match the structure.
+	b := core.Binding{}
+	for x, tm := range v.Witness {
+		b[x] = event.Event{Type: event.Type("t-" + string(x)), Time: tm}
+	}
+	if !core.Matches(sys, core.Fig1a(), b) {
+		t.Fatalf("witness does not match the structure: %v", v.Witness)
+	}
+}
+
+func TestSolveDetectsInconsistency(t *testing.T) {
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(30, 40, "hour"))
+	start, end := yearHorizon(1996, 1996)
+	v, err := Solve(sys, s, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Satisfiable {
+		t.Fatal("inconsistent structure declared satisfiable")
+	}
+	if !v.RefutedByPropagation {
+		t.Fatal("propagation should refute this without search")
+	}
+}
+
+func TestSolveFindsDisjunctionBranches(t *testing.T) {
+	// Figure 1(b) plus a pin: with the extra constraint "X2 between 1 and
+	// 11 months after X0", both branches of the implied disjunction {0,12}
+	// are refuted, so the structure is unsatisfiable — something
+	// propagation alone cannot see.
+	start, end := yearHorizon(1996, 1999)
+
+	base, err := Solve(sys, core.Fig1b(), Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Satisfiable {
+		t.Fatal("Fig1b should be satisfiable")
+	}
+
+	// Force distance in [1,11]: unsatisfiable.
+	s2 := core.Fig1b()
+	s2.MustConstrain("X0", "X2", core.MustTCG(1, 11, "month"))
+	v2, err := Solve(sys, s2, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Satisfiable {
+		t.Fatal("pinned Fig1b should be unsatisfiable (distance must be 0 or 12)")
+	}
+	if v2.RefutedByPropagation {
+		t.Fatal("this refutation needs search; propagation keeps [1,11]")
+	}
+
+	// Force distance 12 exactly: satisfiable.
+	s3 := core.Fig1b()
+	s3.MustConstrain("X0", "X2", core.MustTCG(12, 12, "month"))
+	v3, err := Solve(sys, s3, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v3.Satisfiable {
+		t.Fatal("distance 12 branch should be satisfiable")
+	}
+	m := granularity.Month()
+	z0, _ := m.TickOf(v3.Witness["X0"])
+	z2, _ := m.TickOf(v3.Witness["X2"])
+	if z2-z0 != 12 {
+		t.Fatalf("witness distance = %d months, want 12", z2-z0)
+	}
+}
+
+func TestSolveHorizonValidation(t *testing.T) {
+	if _, err := Solve(sys, core.Fig1a(), Options{Start: 0, End: 10}); err == nil {
+		t.Fatal("invalid horizon accepted")
+	}
+	if _, err := Solve(sys, core.Fig1a(), Options{Start: 10, End: 10}); err == nil {
+		t.Fatal("empty horizon accepted")
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	start, end := yearHorizon(1996, 1996)
+	_, err := Solve(sys, core.Fig1a(), Options{Start: start, End: end, MaxNodes: 1})
+	if err == nil {
+		t.Fatal("budget of 1 node should be exceeded")
+	}
+}
+
+func TestSolveSameDayChain(t *testing.T) {
+	// A -> B -> C all within the same day, B at least 4 hours after A,
+	// C at least 4 hours after B: satisfiable (e.g. 00:00, 04:00, 08:00).
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(4, 23, "hour"))
+	s.MustConstrain("B", "C", core.MustTCG(0, 0, "day"), core.MustTCG(4, 23, "hour"))
+	start, end := event.At(1996, 6, 3, 0, 0, 0), event.At(1996, 6, 10, 0, 0, 0)
+	v, err := Solve(sys, s, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Satisfiable {
+		t.Fatal("same-day chain should fit")
+	}
+	d := granularity.Day()
+	za, _ := d.TickOf(v.Witness["A"])
+	zc, _ := d.TickOf(v.Witness["C"])
+	if za != zc {
+		t.Fatal("witness not in a single day")
+	}
+	// Tighten to three 9-hour gaps in one day: impossible.
+	s2 := core.NewStructure()
+	s2.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(9, 23, "hour"))
+	s2.MustConstrain("B", "C", core.MustTCG(0, 0, "day"), core.MustTCG(9, 23, "hour"))
+	s2.MustConstrain("C", "D", core.MustTCG(0, 0, "day"), core.MustTCG(9, 23, "hour"))
+	v2, err := Solve(sys, s2, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Satisfiable {
+		t.Fatal("27 hours cannot fit in a day")
+	}
+}
+
+func TestSolveBusinessDayWeekendGap(t *testing.T) {
+	// A on a b-day, B exactly 1 b-day later but at most 30 hours later in
+	// hours: satisfiable only via adjacent weekdays (not across a
+	// weekend), so a witness must exist and not straddle Sat/Sun.
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(1, 1, "b-day"), core.MustTCG(0, 30, "hour"))
+	start, end := event.At(1996, 6, 1, 0, 0, 0), event.At(1996, 6, 14, 0, 0, 0)
+	v, err := Solve(sys, s, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Satisfiable {
+		t.Fatal("adjacent weekdays satisfy this")
+	}
+	day := granularity.Day()
+	da, _ := day.TickOf(v.Witness["A"])
+	db, _ := day.TickOf(v.Witness["B"])
+	if db-da > 1 {
+		t.Fatalf("witness days %d..%d should be adjacent", da, db)
+	}
+}
+
+func TestEnumerateFig1bBranches(t *testing.T) {
+	// Enumerating the disjunction gadget must produce witnesses on BOTH
+	// branches: some with X2-X0 = 0 months and some with 12.
+	start, end := yearHorizon(1996, 1998)
+	ws, err := Enumerate(sys, core.Fig1b(), Options{Start: start, End: end}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("no witnesses enumerated")
+	}
+	m := granularity.Month()
+	branches := map[int64]bool{}
+	for _, w := range ws {
+		z0, ok0 := m.TickOf(w["X0"])
+		z2, ok2 := m.TickOf(w["X2"])
+		if !ok0 || !ok2 {
+			t.Fatal("witness timestamp uncovered")
+		}
+		d := z2 - z0
+		if d != 0 && d != 12 {
+			t.Fatalf("witness with month distance %d — the gadget must force {0,12}", d)
+		}
+		branches[d] = true
+	}
+	if !branches[0] || !branches[12] {
+		t.Fatalf("both branches should appear among %d witnesses; got %v", len(ws), branches)
+	}
+}
+
+func TestEnumerateLimitAndValidity(t *testing.T) {
+	start, end := yearHorizon(1996, 1996)
+	ws, err := Enumerate(sys, core.Fig1a(), Options{Start: start, End: end}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 7 {
+		t.Fatalf("limit not honored: %d witnesses", len(ws))
+	}
+	// Each witness matches the structure, and they are pairwise distinct.
+	seen := map[string]bool{}
+	for _, w := range ws {
+		b := core.Binding{}
+		for x, tm := range w {
+			b[x] = event.Event{Type: event.Type("t-" + string(x)), Time: tm}
+		}
+		if !core.Matches(sys, core.Fig1a(), b) {
+			t.Fatalf("enumerated witness invalid: %v", w)
+		}
+		key := fmt.Sprint(w)
+		if seen[key] {
+			t.Fatalf("duplicate witness: %v", w)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	start, end := yearHorizon(1996, 1996)
+	if _, err := Enumerate(sys, core.Fig1a(), Options{Start: start, End: end}, 0); err == nil {
+		t.Fatal("limit 0 accepted")
+	}
+	if _, err := Enumerate(sys, core.Fig1a(), Options{Start: 0, End: 10}, 5); err == nil {
+		t.Fatal("bad horizon accepted")
+	}
+	// Inconsistent structure: empty result, no error.
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(30, 40, "hour"))
+	ws, err := Enumerate(sys, s, Options{Start: start, End: end}, 5)
+	if err != nil || len(ws) != 0 {
+		t.Fatalf("inconsistent structure: %v, %v", ws, err)
+	}
+}
+
+// TestRefutationSoundnessFuzz: whenever propagation refutes a random
+// structure, the exact solver must agree no witness exists in a generous
+// horizon (the contrapositive of Theorem 2's soundness, on random inputs
+// rather than the paper's examples).
+func TestRefutationSoundnessFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grans := []string{"hour", "day", "b-day", "week", "month"}
+	start, end := yearHorizon(1996, 1997)
+	refuted := 0
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(3)
+		s := core.NewStructure()
+		for i := 1; i < n; i++ {
+			g := grans[rng.Intn(len(grans))]
+			lo := int64(rng.Intn(3))
+			s.MustConstrain(
+				core.Variable(string(rune('A'+i-1))),
+				core.Variable(string(rune('A'+i))),
+				core.MustTCG(lo, lo+int64(rng.Intn(3)), g),
+			)
+			if rng.Intn(3) == 0 {
+				g2 := grans[rng.Intn(len(grans))]
+				s.MustConstrain(
+					core.Variable(string(rune('A'+i-1))),
+					core.Variable(string(rune('A'+i))),
+					core.MustTCG(0, int64(rng.Intn(6))+1, g2),
+				)
+			}
+		}
+		r, err := propagate.Run(sys, s, propagate.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Consistent {
+			continue
+		}
+		refuted++
+		// Search WITHOUT the propagation shortcut: rebuild windows from a
+		// fresh Solve would just return RefutedByPropagation, so verify by
+		// brute sampling instead — plant candidate bindings densely and
+		// check none matches.
+		if witnessBySampling(t, s, start, end, rng) {
+			t.Fatalf("trial %d: propagation refuted a satisfiable structure:\n%s", trial, s)
+		}
+	}
+	if refuted < 5 {
+		t.Skipf("only %d refuted structures sampled; fuzz uninformative", refuted)
+	}
+}
+
+// witnessBySampling searches for a matching binding by planting random
+// offset chains (a weaker but propagation-independent check).
+func witnessBySampling(t *testing.T, s *core.EventStructure, start, end int64, rng *rand.Rand) bool {
+	t.Helper()
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 3000; attempt++ {
+		b := core.Binding{}
+		cur := start + rng.Int63n(end-start-90*86400)
+		ok := true
+		for i, v := range order {
+			b[v] = event.Event{Type: event.Type(string(rune('a' + i))), Time: cur}
+			switch rng.Intn(4) {
+			case 0:
+				cur += rng.Int63n(6*3600) + 1
+			case 1:
+				cur += 86400 + rng.Int63n(12*3600)
+			case 2:
+				cur += rng.Int63n(5)*86400 + 3600
+			default:
+				cur += rng.Int63n(35) * 86400
+			}
+		}
+		if ok && core.Matches(sys, s, b) {
+			return true
+		}
+	}
+	return false
+}

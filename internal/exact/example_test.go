@@ -1,0 +1,31 @@
+package exact_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/exact"
+	"repro/internal/granularity"
+)
+
+// Example decides the paper's Figure-1(b) disjunction exactly: pinning the
+// month distance to a value propagation cannot refute, the search still
+// discovers unsatisfiability.
+func Example() {
+	sys := granularity.Default()
+	s := core.Fig1b()
+	s.MustConstrain("X0", "X2", core.MustTCG(1, 11, "month"))
+	v, err := exact.Solve(sys, s, exact.Options{
+		Start: event.At(1996, 1, 1, 0, 0, 0),
+		End:   event.At(1998, 12, 31, 0, 0, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("satisfiable:", v.Satisfiable)
+	fmt.Println("refuted by propagation alone:", v.RefutedByPropagation)
+	// Output:
+	// satisfiable: false
+	// refuted by propagation alone: false
+}

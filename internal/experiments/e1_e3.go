@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/granularity"
+	"repro/internal/hardness"
+	"repro/internal/propagate"
+)
+
+// E1 reproduces the paper's Section-5.1 prose around Figure 1(a): the
+// constraints propagation derives on (X0, X3) and the other pairs. The
+// paper quotes Γ'(X0,X3) ⊇ {[0,1]week, [1,175]hour} from tables it does not
+// publish; our Figure-3 tables (second primitive) derive [0,2]week and
+// [0,200]hour. EXPERIMENTS.md analyzes the difference — the paper's hour
+// upper bound 175 excludes realizable scenarios (the true tightest is 199),
+// so it cannot come from a sound conversion.
+func E1(quick bool) Table {
+	t := Table{
+		ID:     "E1",
+		Title:  "Figure 1(a) derived constraints",
+		Header: []string{"pair", "granularity", "derived", "paper"},
+	}
+	sys := granularity.Default()
+	s := core.Fig1a()
+	r, err := propagate.Run(sys, s, propagate.Options{})
+	if err != nil {
+		t.Note("ERROR: %v", err)
+		return t
+	}
+	paper := map[string]string{
+		"X0,X3 week": "[0,1]week",
+		"X0,X3 hour": "[1,175]hour",
+	}
+	pairs := [][2]core.Variable{{"X0", "X1"}, {"X0", "X2"}, {"X0", "X3"}, {"X1", "X3"}, {"X2", "X3"}}
+	for _, p := range pairs {
+		for _, b := range r.DerivedBounds(p[0], p[1]) {
+			if b.Gran == "second" {
+				continue // order-group bookkeeping, not a paper constraint
+			}
+			key := fmt.Sprintf("%s,%s %s", p[0], p[1], b.Gran)
+			t.AddRow(fmt.Sprintf("(%s,%s)", p[0], p[1]), b.Gran, b.String(), paper[key])
+		}
+	}
+	t.Note("consistent=%v iterations=%d", r.Consistent, r.Iterations)
+	t.Note("paper values come from unpublished tables; see EXPERIMENTS.md E1 for the soundness analysis")
+	// Ablation of this implementation's order group (the "second" group
+	// carrying the TCGs' t1<=t2 facts across granularities).
+	r2, err := propagate.Run(sys, s, propagate.Options{DisableOrderGroup: true})
+	if err == nil && r2.Consistent {
+		hb, _ := r.Bounds("hour", "X0", "X3")
+		hb2, _ := r2.Bounds("hour", "X0", "X3")
+		t.Note("order-group ablation: hour bound (X0,X3) %s with order facts vs %s without", hb, hb2)
+	}
+	return t
+}
+
+// E2 reproduces Section 3.1 / Figure 1(b): the granularities imply the
+// disjunction X2−X0 ∈ {0,12} months. The exact solver confirms exactly the
+// distances 0 and 12 are realizable while the approximate propagation keeps
+// the whole interval [0,12] — the approximation gap the paper describes.
+func E2(quick bool) Table {
+	t := Table{
+		ID:     "E2",
+		Title:  "Figure 1(b) implicit disjunction",
+		Header: []string{"pinned X2-X0 (months)", "exact satisfiable", "propagation verdict"},
+	}
+	sys := granularity.Default()
+	start := int64(1)
+	end, _ := granularity.Year().Span(5)
+	distances := []int64{0, 1, 5, 6, 11, 12}
+	if !quick {
+		distances = []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	}
+	for _, d := range distances {
+		s := core.Fig1b()
+		s.MustConstrain("X0", "X2", core.MustTCG(d, d, "month"))
+		v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end.Last})
+		if err != nil {
+			t.Note("ERROR at d=%d: %v", d, err)
+			continue
+		}
+		r, err := propagate.Run(sys, s, propagate.Options{})
+		if err != nil {
+			t.Note("ERROR at d=%d: %v", d, err)
+			continue
+		}
+		verdict := "consistent (approx)"
+		if !r.Consistent {
+			verdict = "refuted"
+		}
+		t.AddRow(d, v.Satisfiable, verdict)
+	}
+	t.Note("paper: only 0 and 12 are realizable; the sound approximation refutes some but not all")
+	t.Note("of 1..11 (conversion slack keeps 1 and 2 alive), while the exact solver refutes them all")
+	return t
+}
+
+// E3 exercises the Theorem-1 reduction: for pairwise-coprime SUBSET-SUM
+// instances, reduced-structure consistency (exact, bounded horizon) agrees
+// with the DP solver, witnesses decode to subsets, and the exact search
+// cost grows steeply with k while propagation stays flat.
+func E3(quick bool) Table {
+	t := Table{
+		ID:     "E3",
+		Title:  "SUBSET-SUM reduction (Theorem 1)",
+		Header: []string{"k", "instance", "solvable(DP)", "consistent(exact)", "agree", "nodes", "exactTime", "propTime"},
+	}
+	ks := []int{2, 3}
+	if !quick {
+		ks = []int{2, 3, 4}
+	}
+	for _, k := range ks {
+		for _, solvable := range []bool{true, false} {
+			in := hardness.Generate(k, solvable, int64(40+k))
+			sys := granularity.Default()
+			s, err := hardness.Reduce(in, sys)
+			if err != nil {
+				t.Note("ERROR: %v", err)
+				continue
+			}
+			var propDur time.Duration
+			propDur = timed(func() {
+				_, err = propagate.Run(sys, s, propagate.Options{})
+			})
+			if err != nil {
+				t.Note("ERROR: %v", err)
+				continue
+			}
+			start, end := hardness.Horizon(in)
+			var v *exact.Verdict
+			exactDur := timed(func() {
+				v, err = exact.Solve(sys, s, exact.Options{Start: start, End: end})
+			})
+			if err != nil {
+				t.Note("ERROR on %v: %v", in, err)
+				continue
+			}
+			agree := v.Satisfiable == solvable
+			if v.Satisfiable {
+				if _, ok := hardness.ExtractSubset(in, v.Witness); !ok {
+					agree = false
+				}
+			}
+			t.AddRow(k, in.String(), solvable, v.Satisfiable, agree, v.Nodes, exactDur, propDur)
+		}
+	}
+	t.Note("exact nodes grow steeply with k (NP-hard); propagation is polynomial and never refutes these gadgets")
+	return t
+}

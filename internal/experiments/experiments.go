@@ -1,0 +1,160 @@
+// Package experiments regenerates every table of EXPERIMENTS.md: one
+// experiment per figure/theorem/claim of the paper, as indexed in
+// DESIGN.md. Each experiment is a pure function from a seed to a Table, so
+// `cmd/experiments` and the root benchmarks print exactly the same rows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note line.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(sep, "  "))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMarkdown writes the table as GitHub-flavored Markdown.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a named experiment runner. Quick trims sweeps for test and
+// benchmark use; the cmd runner passes quick=false.
+type Experiment struct {
+	ID   string
+	Run  func(quick bool) Table
+	Desc string
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1, "Figure 1(a): propagation derives the paper's Γ'(X0,X3)"},
+		{"E2", E2, "Figure 1(b): the implicit disjunction {0,12} months"},
+		{"E3", E3, "Theorem 1: SUBSET-SUM reduction, exact vs approximate cost"},
+		{"E4", E4, "Theorem 2: propagation runtime scaling"},
+		{"E5", E5, "Figure 2 / Theorem 3: TAG compilation shape and cost"},
+		{"E6", E6, "Theorem 4: TAG matching runtime vs sequence length and K"},
+		{"E7", E7, "Section 5: optimized mining pipeline vs naive"},
+		{"E8", E8, "Granularity semantics vs MTV95 window baseline"},
+		{"E9", E9, "Figure 3: conversion soundness and tightness"},
+		{"E10", E10, "Example 2: discovery precision/recall on planted patterns"},
+		{"E11", E11, "Ablation: chain cover quality (the p exponent)"},
+		{"E12", E12, "Ablation: pipeline steps contribution"},
+		{"E13", E13, "Section-6 extensions: anchors, reference sets, unrolling, parallel scan"},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// timed measures f.
+func timed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// bestOf runs f n times (after one untimed warm-up to populate the
+// granularity caches) and returns the fastest measurement.
+func bestOf(n int, f func()) time.Duration {
+	f()
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < n; i++ {
+		if d := timed(f); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode: they
+// must produce rows, contain no ERROR notes, and render.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(true)
+			if tab.ID != e.ID {
+				t.Fatalf("table ID %q != experiment %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("%s row width %d != header %d", e.ID, len(row), len(tab.Header))
+				}
+			}
+			for _, n := range tab.Notes {
+				if strings.Contains(n, "ERROR") {
+					t.Fatalf("%s note: %s", e.ID, n)
+				}
+				if strings.Contains(n, "CHANGED SOLUTIONS") {
+					t.Fatalf("%s ablation lost solutions: %s", e.ID, n)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("render lost the ID")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("e7"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+// TestE1ValuesStable pins the headline E1 numbers: the derived (X0,X3)
+// bounds are part of the reproduction's contract.
+func TestE1ValuesStable(t *testing.T) {
+	tab := E1(true)
+	var week, hour string
+	for _, row := range tab.Rows {
+		if row[0] == "(X0,X3)" && row[1] == "week" {
+			week = row[2]
+		}
+		if row[0] == "(X0,X3)" && row[1] == "hour" {
+			hour = row[2]
+		}
+	}
+	if week != "[0,2]week" {
+		t.Fatalf("E1 week bound = %q, want [0,2]week", week)
+	}
+	if hour != "[0,200]hour" {
+		t.Fatalf("E1 hour bound = %q, want [0,200]hour", hour)
+	}
+}
+
+// TestE2Disjunction pins E2's semantics: only 0 and 12 satisfiable.
+func TestE2Disjunction(t *testing.T) {
+	tab := E2(true)
+	for _, row := range tab.Rows {
+		d, sat := row[0], row[1]
+		want := "false"
+		if d == "0" || d == "12" {
+			want = "true"
+		}
+		if sat != want {
+			t.Fatalf("E2 distance %s: satisfiable=%s, want %s", d, sat, want)
+		}
+	}
+}
+
+// TestE9AllSound pins E9's soundness column.
+func TestE9AllSound(t *testing.T) {
+	tab := E9(true)
+	for _, row := range tab.Rows {
+		if row[4] != "true" {
+			t.Fatalf("E9 conversion %s %s unsound: converted %s, empirical %s", row[0], row[1], row[2], row[3])
+		}
+	}
+}
+
+// TestE8FalsePositivesGrow pins E8's shape: the window baseline's false
+// positives increase with the cross-midnight bias and are zero only at
+// bias 0... even at bias 0 a 2-5h follow-up near 22h can cross; the planted
+// daytime pairs cannot, so bias 0 is exactly zero.
+func TestE8FalsePositivesGrow(t *testing.T) {
+	tab := E8(true)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E8 rows = %d", len(tab.Rows))
+	}
+	var fps []string
+	for _, row := range tab.Rows {
+		fps = append(fps, row[4])
+	}
+	if fps[0] != "0" {
+		t.Fatalf("bias 0 should have no false positives, got %s", fps[0])
+	}
+	if fps[2] == "0" {
+		t.Fatal("bias 1 should have false positives")
+	}
+}
+
+// TestE13UnrollLinearGrowth pins the unrolling rows: TAG states grow
+// linearly (2k+1) in the repetition count.
+func TestE13UnrollLinearGrowth(t *testing.T) {
+	tab := E13(true)
+	got := map[string]string{}
+	for _, row := range tab.Rows {
+		if row[0] == "unroll" {
+			got[row[1]] = row[2]
+		}
+	}
+	for k, wantStates := range map[string]string{"k=1 repetitions": "TAG 3 states", "k=2 repetitions": "TAG 5 states", "k=3 repetitions": "TAG 7 states"} {
+		if !strings.HasPrefix(got[k], wantStates) {
+			t.Fatalf("%s: %q, want prefix %q", k, got[k], wantStates)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package granularity
+
+import (
+	"sync"
+
+	"repro/internal/calendar"
+)
+
+// BusinessDay is the b-day granularity: granule z is the z-th weekday that
+// is not a holiday. Weekends and holidays are gaps. Safe for concurrent
+// use.
+type BusinessDay struct {
+	name     string
+	holidays calendar.HolidaySet
+
+	mu sync.Mutex
+	// days[z-1] is the rata day of business day z; extended on demand.
+	days []int64
+	// scanned is the last rata day examined while building days.
+	scanned int64
+}
+
+// NewBusinessDay builds a business-day granularity over the given holiday
+// set (nil means weekends only). The conventional name is "b-day".
+func NewBusinessDay(name string, hs calendar.HolidaySet) *BusinessDay {
+	return &BusinessDay{name: name, holidays: hs}
+}
+
+// BDay returns the business-day granularity with no holidays.
+func BDay() *BusinessDay { return NewBusinessDay("b-day", nil) }
+
+// BDayUS returns the business-day granularity under the US federal holiday
+// rules.
+func BDayUS() *BusinessDay { return NewBusinessDay("b-day-us", calendar.USFederal()) }
+
+// Name implements Granularity.
+func (b *BusinessDay) Name() string { return b.name }
+
+// extendTo scans forward until rata days up to and including r have been
+// classified.
+func (b *BusinessDay) extendTo(r int64) {
+	for b.scanned < r {
+		b.scanned++
+		if calendar.IsBusinessDay(b.scanned, b.holidays) {
+			b.days = append(b.days, b.scanned)
+		}
+	}
+}
+
+// rataOf returns the rata day of business day z.
+func (b *BusinessDay) rataOf(z int64) (int64, bool) {
+	if z < 1 {
+		return 0, false
+	}
+	b.mu.Lock()
+	// Business days occur at least 5 out of every 7 days minus holidays;
+	// scanning 2x the target in calendar days always suffices.
+	for int64(len(b.days)) < z {
+		b.extendTo(b.scanned + 64)
+	}
+	r := b.days[z-1]
+	b.mu.Unlock()
+	return r, true
+}
+
+// TickOf implements Granularity.
+func (b *BusinessDay) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	rata := rataOfSecond(t)
+	if !calendar.IsBusinessDay(rata, b.holidays) {
+		return 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.extendTo(rata)
+	// Binary search for rata in b.days.
+	lo, hi := 0, len(b.days)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case b.days[mid] == rata:
+			return int64(mid) + 1, true
+		case b.days[mid] < rata:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return 0, false
+}
+
+// Span implements Granularity.
+func (b *BusinessDay) Span(z int64) (Interval, bool) {
+	rata, ok := b.rataOf(z)
+	if !ok {
+		return Interval{}, false
+	}
+	return secondsOfDays(rata, rata), true
+}
+
+// Intervals implements Granularity.
+func (b *BusinessDay) Intervals(z int64) ([]Interval, bool) { return convexIntervals(b, z) }
+
+// businessIn is a granularity whose granule z is the union of the business
+// days inside granule z of a base calendar granularity (week or month).
+// It realizes the paper's business-week and business-month examples of
+// temporal types with non-convex granules.
+//
+// Every base granule must contain at least one business day: with weekday
+// holidays only, every week and month does, which keeps the paper's
+// "no empty granule before a non-empty one" condition.
+type businessIn struct {
+	name     string
+	base     Granularity
+	holidays calendar.HolidaySet
+}
+
+// NewBusinessWeek builds the b-week granularity: granule z is the union of
+// the business days in week z.
+func NewBusinessWeek(name string, hs calendar.HolidaySet) Granularity {
+	return &businessIn{name: name, base: Week(), holidays: hs}
+}
+
+// BWeek returns the business-week granularity with no holidays.
+func BWeek() Granularity { return NewBusinessWeek("b-week", nil) }
+
+// NewBusinessMonth builds the b-month granularity: granule z is the union of
+// the business days in month z.
+func NewBusinessMonth(name string, hs calendar.HolidaySet) Granularity {
+	return &businessIn{name: name, base: Month(), holidays: hs}
+}
+
+// BMonth returns the business-month granularity with no holidays.
+func BMonth() Granularity { return &businessIn{name: "b-month", base: Month(), holidays: nil} }
+
+// BMonthUS returns the business-month granularity under US federal holidays.
+func BMonthUS() Granularity {
+	return &businessIn{name: "b-month-us", base: Month(), holidays: calendar.USFederal()}
+}
+
+func (g *businessIn) Name() string { return g.name }
+
+func (g *businessIn) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	if !calendar.IsBusinessDay(rataOfSecond(t), g.holidays) {
+		return 0, false
+	}
+	return g.base.TickOf(t)
+}
+
+func (g *businessIn) Span(z int64) (Interval, bool) {
+	ivs, ok := g.Intervals(z)
+	if !ok || len(ivs) == 0 {
+		return Interval{}, false
+	}
+	return Interval{First: ivs[0].First, Last: ivs[len(ivs)-1].Last}, true
+}
+
+func (g *businessIn) Intervals(z int64) ([]Interval, bool) {
+	span, ok := g.base.Span(z)
+	if !ok {
+		return nil, false
+	}
+	firstRata := rataOfSecond(span.First)
+	lastRata := rataOfSecond(span.Last)
+	var ivs []Interval
+	for r := firstRata; r <= lastRata; r++ {
+		if calendar.IsBusinessDay(r, g.holidays) {
+			ivs = append(ivs, secondsOfDays(r, r))
+		}
+	}
+	if len(ivs) == 0 {
+		return nil, false
+	}
+	return mergeAdjacent(ivs), true
+}
+
+// weekendG is the weekend granularity: granule z is the Saturday and Sunday
+// of week z (a single two-day interval).
+type weekendG struct{}
+
+// Weekend returns the weekend granularity.
+func Weekend() Granularity { return weekendG{} }
+
+func (weekendG) Name() string { return "weekend" }
+
+func (weekendG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	rata := rataOfSecond(t)
+	w := calendar.WeekdayOf(rata)
+	if w != calendar.Saturday && w != calendar.Sunday {
+		return 0, false
+	}
+	return Week().TickOf(t)
+}
+
+func (weekendG) Span(z int64) (Interval, bool) {
+	span, ok := Week().Span(z)
+	if !ok {
+		return Interval{}, false
+	}
+	lastRata := rataOfSecond(span.Last) // Sunday
+	return secondsOfDays(lastRata-1, lastRata), true
+}
+
+func (w weekendG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(w, z) }

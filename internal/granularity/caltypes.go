@@ -1,0 +1,98 @@
+package granularity
+
+import "repro/internal/calendar"
+
+// secondsOfDays converts an inclusive rata-day range to a second interval.
+func secondsOfDays(firstRata, lastRata int64) Interval {
+	return Interval{
+		First: (firstRata-1)*calendar.SecondsPerDay + 1,
+		Last:  lastRata * calendar.SecondsPerDay,
+	}
+}
+
+// rataOfSecond returns the rata day containing second t (t >= 1).
+func rataOfSecond(t int64) int64 {
+	return (t-1)/calendar.SecondsPerDay + 1
+}
+
+// weekG is the calendar week granularity: granules are Monday..Sunday day
+// ranges, except week 1, which is the partial week containing day 1
+// (1800-01-01 was a Wednesday, so week 1 has 5 days). Making week 1 partial
+// rather than leaving a leading gap keeps week a total cover of the
+// timeline, which the conversion-feasibility condition needs; the only cost
+// is that minsize(week, k) is 2 days smaller than 7k days, a sound
+// loosening.
+type weekG struct{}
+
+// Week returns the calendar week granularity.
+func Week() Granularity { return weekG{} }
+
+func (weekG) Name() string { return "week" }
+
+func (weekG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	return calendar.WeekIndexOf(rataOfSecond(t)), true
+}
+
+func (weekG) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	first, last := calendar.WeekSpan(z)
+	return secondsOfDays(first, last), true
+}
+
+func (w weekG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(w, z) }
+
+// monthG is the calendar month granularity; month 1 is January 1800.
+type monthG struct{}
+
+// Month returns the calendar month granularity.
+func Month() Granularity { return monthG{} }
+
+func (monthG) Name() string { return "month" }
+
+func (monthG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	return calendar.MonthIndexOf(rataOfSecond(t)), true
+}
+
+func (monthG) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	first, last := calendar.MonthSpan(z)
+	return secondsOfDays(first, last), true
+}
+
+func (m monthG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(m, z) }
+
+// yearG is the calendar year granularity; year 1 is 1800 (the paper's own
+// anchoring example).
+type yearG struct{}
+
+// Year returns the calendar year granularity.
+func Year() Granularity { return yearG{} }
+
+func (yearG) Name() string { return "year" }
+
+func (yearG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	return calendar.YearIndexOf(rataOfSecond(t)), true
+}
+
+func (yearG) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	first, last := calendar.YearSpan(z)
+	return secondsOfDays(first, last), true
+}
+
+func (y yearG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(y, z) }

@@ -1,0 +1,130 @@
+package granularity
+
+import "fmt"
+
+// groupBy is a granularity whose granule z is the union of n consecutive
+// granules of a base granularity. It realizes the paper's n-month types
+// (used by the Theorem-1 reduction): "grouping each consecutive n ticks of
+// month into a single tick".
+type groupBy struct {
+	name string
+	base Granularity
+	n    int64
+}
+
+// GroupBy groups every n consecutive granules of base into one granule.
+// It panics on n < 1.
+func GroupBy(name string, base Granularity, n int64) Granularity {
+	if n < 1 {
+		panic("granularity: GroupBy requires n >= 1")
+	}
+	return &groupBy{name: name, base: base, n: n}
+}
+
+// NMonth returns the n-month granularity of the Theorem-1 reduction, named
+// "<n>-month".
+func NMonth(n int64) Granularity {
+	return GroupBy(fmt.Sprintf("%d-month", n), Month(), n)
+}
+
+// Quarter groups 3 months.
+func Quarter() Granularity { return GroupBy("quarter", Month(), 3) }
+
+// Semester groups 6 months.
+func Semester() Granularity { return GroupBy("semester", Month(), 6) }
+
+func (g *groupBy) Name() string { return g.name }
+
+func (g *groupBy) TickOf(t int64) (int64, bool) {
+	z, ok := g.base.TickOf(t)
+	if !ok {
+		return 0, false
+	}
+	return (z-1)/g.n + 1, true
+}
+
+func (g *groupBy) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	first, ok := g.base.Span((z-1)*g.n + 1)
+	if !ok {
+		return Interval{}, false
+	}
+	last, ok := g.base.Span(z * g.n)
+	if !ok {
+		return Interval{}, false
+	}
+	return Interval{First: first.First, Last: last.Last}, true
+}
+
+func (g *groupBy) Intervals(z int64) ([]Interval, bool) {
+	if z < 1 {
+		return nil, false
+	}
+	var ivs []Interval
+	for i := (z-1)*g.n + 1; i <= z*g.n; i++ {
+		sub, ok := g.base.Intervals(i)
+		if !ok {
+			return nil, false
+		}
+		ivs = append(ivs, sub...)
+	}
+	return mergeAdjacent(ivs), true
+}
+
+// shifted is a granularity whose granule indices are offset against a base:
+// granule z of shifted is granule z+offset of base. It is used to build
+// phase-shifted copies of calendar types in tests and experiments.
+type shifted struct {
+	name   string
+	base   Granularity
+	offset int64
+}
+
+// Shift returns a granularity whose granule z is granule z+offset of base.
+// offset must be >= 0 so granule 1 remains valid.
+func Shift(name string, base Granularity, offset int64) Granularity {
+	if offset < 0 {
+		panic("granularity: Shift requires offset >= 0")
+	}
+	return &shifted{name: name, base: base, offset: offset}
+}
+
+func (s *shifted) Name() string { return s.name }
+
+func (s *shifted) TickOf(t int64) (int64, bool) {
+	z, ok := s.base.TickOf(t)
+	if !ok || z <= s.offset {
+		return 0, false
+	}
+	return z - s.offset, true
+}
+
+func (s *shifted) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	return s.base.Span(z + s.offset)
+}
+
+func (s *shifted) Intervals(z int64) ([]Interval, bool) {
+	if z < 1 {
+		return nil, false
+	}
+	return s.base.Intervals(z + s.offset)
+}
+
+// FiscalYear returns a 12-month grouping whose year starts at the given
+// calendar month (1 = January, 10 = October for the US federal fiscal
+// year). Fiscal year 1 is the first complete fiscal year on the timeline.
+func FiscalYear(name string, startMonth int) Granularity {
+	if startMonth < 1 || startMonth > 12 {
+		panic("granularity: FiscalYear start month must be 1..12")
+	}
+	offset := int64(startMonth - 1)
+	if offset == 0 {
+		return GroupBy(name, Month(), 12)
+	}
+	return GroupBy(name, Shift(name+"-months", Month(), offset), 12)
+}

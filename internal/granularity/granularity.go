@@ -1,0 +1,161 @@
+// Package granularity implements the paper's temporal types: mappings from
+// tick (granule) indices to sets of absolute time instants, monotone and
+// possibly partial. The absolute timeline is the discrete, 1-based second
+// line anchored at 1800-01-01T00:00:00 (see internal/calendar).
+//
+// A granule may be a non-convex set of seconds (e.g. business-month is the
+// union of the business days of a month), and a granularity may leave gaps
+// between granules (e.g. business-day leaves weekends uncovered, week leaves
+// the partial days before the first Monday uncovered). The cover operator
+// ⌈z⌉ν_μ of the paper is Cover; it is undefined exactly when granule z of μ
+// is not a subset of any single granule of ν.
+package granularity
+
+import "fmt"
+
+// Interval is an inclusive range [First, Last] of second indices.
+type Interval struct {
+	First, Last int64
+}
+
+// Len returns the number of seconds in the interval.
+func (iv Interval) Len() int64 { return iv.Last - iv.First + 1 }
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t int64) bool { return iv.First <= t && t <= iv.Last }
+
+// String formats the interval as [first,last].
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.First, iv.Last) }
+
+// Granularity is a temporal type in the paper's sense. Granule indices z and
+// second indices t are 1-based positive integers.
+//
+// Implementations must satisfy the paper's two conditions: granules are
+// pairwise disjoint and ordered (z < z' implies every second of granule z
+// precedes every second of granule z'), and an empty granule is followed
+// only by empty granules.
+type Granularity interface {
+	// Name identifies the granularity; two granularities with the same name
+	// are treated as identical by the constraint machinery.
+	Name() string
+
+	// TickOf returns the index of the granule whose set contains second t.
+	// ok is false when t falls in a gap (no granule covers it) or t < 1.
+	TickOf(t int64) (z int64, ok bool)
+
+	// Span returns the convex hull [first,last] of granule z in seconds.
+	// ok is false when granule z is empty (z < 1, or beyond the last
+	// non-empty granule of a finite type).
+	Span(z int64) (Interval, bool)
+
+	// Intervals returns the maximal intervals composing granule z, in
+	// increasing order. ok is false exactly when Span's is.
+	Intervals(z int64) ([]Interval, bool)
+}
+
+// Cover implements the paper's ⌈z⌉ν_μ: the index z' of the granule of ν that
+// contains granule z of μ as a subset, or ok=false when no such granule
+// exists (granule z empty, straddles two ν granules, or overlaps a ν gap).
+func Cover(nu, mu Granularity, z int64) (int64, bool) {
+	ivs, ok := mu.Intervals(z)
+	if !ok || len(ivs) == 0 {
+		return 0, false
+	}
+	zp, ok := nu.TickOf(ivs[0].First)
+	if !ok {
+		return 0, false
+	}
+	target, ok := nu.Intervals(zp)
+	if !ok {
+		return 0, false
+	}
+	for _, iv := range ivs {
+		if !intervalSubset(iv, target) {
+			return 0, false
+		}
+	}
+	return zp, true
+}
+
+// CoverSecond returns the granule of g containing second t: it is ⌈t⌉g with
+// the timeline's primitive type (second) as source.
+func CoverSecond(g Granularity, t int64) (int64, bool) {
+	return g.TickOf(t)
+}
+
+// intervalSubset reports whether iv is contained in the union of the sorted
+// disjoint intervals set.
+func intervalSubset(iv Interval, set []Interval) bool {
+	rest := iv
+	for _, s := range set {
+		if s.Last < rest.First {
+			continue
+		}
+		if s.First > rest.First {
+			return false // uncovered prefix
+		}
+		if s.Last >= rest.Last {
+			return true
+		}
+		rest.First = s.Last + 1
+	}
+	return false
+}
+
+// FirstTouching returns the smallest granule index whose span ends at or
+// after second t: the granule containing t, or the first one after it.
+// For finite granularities that end before t it returns the first index
+// with an undefined span. It runs in O(log z) via exponential + binary
+// search over the monotone spans.
+func FirstTouching(g Granularity, t int64) int64 {
+	hi := int64(1)
+	for {
+		iv, ok := g.Span(hi)
+		if !ok || iv.Last >= t {
+			break
+		}
+		hi *= 2
+	}
+	lo := int64(1)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		iv, ok := g.Span(mid)
+		if !ok || iv.Last >= t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// mergeAdjacent coalesces sorted intervals that touch or overlap.
+func mergeAdjacent(ivs []Interval) []Interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.First <= last.Last+1 {
+			if iv.Last > last.Last {
+				last.Last = iv.Last
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// convexSpan is a helper for granularities whose granules are single
+// intervals: it adapts Span to Intervals.
+func convexIntervals(g interface {
+	Span(int64) (Interval, bool)
+}, z int64) ([]Interval, bool) {
+	iv, ok := g.Span(z)
+	if !ok {
+		return nil, false
+	}
+	return []Interval{iv}, true
+}

@@ -1,0 +1,571 @@
+package granularity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/calendar"
+)
+
+// secondAt returns the second index of a civil instant.
+func secondAt(y, m, d, hh, mm, ss int) int64 {
+	rata := calendar.RataOf(calendar.Date{Year: y, Month: m, Day: d})
+	return (rata-1)*calendar.SecondsPerDay + int64(hh)*3600 + int64(mm)*60 + int64(ss) + 1
+}
+
+func TestUniformRoundTrip(t *testing.T) {
+	for _, u := range []*Uniform{Second(), Minute(), Hour(), Day()} {
+		for _, tt := range []int64{1, 59, 60, 61, 3600, 3601, 86400, 86401, 1 << 30} {
+			z, ok := u.TickOf(tt)
+			if !ok {
+				t.Fatalf("%s.TickOf(%d) undefined", u.Name(), tt)
+			}
+			iv, ok := u.Span(z)
+			if !ok || !iv.Contains(tt) {
+				t.Fatalf("%s granule %d span %v does not contain %d", u.Name(), z, iv, tt)
+			}
+			if iv.Len() != u.Size() {
+				t.Fatalf("%s granule length %d, want %d", u.Name(), iv.Len(), u.Size())
+			}
+		}
+		if _, ok := u.TickOf(0); ok {
+			t.Fatalf("%s.TickOf(0) should be undefined", u.Name())
+		}
+		if _, ok := u.Span(0); ok {
+			t.Fatalf("%s.Span(0) should be undefined", u.Name())
+		}
+	}
+}
+
+func TestUniformBoundaries(t *testing.T) {
+	h := Hour()
+	if z, _ := h.TickOf(3600); z != 1 {
+		t.Fatalf("second 3600 should be in hour 1")
+	}
+	if z, _ := h.TickOf(3601); z != 2 {
+		t.Fatalf("second 3601 should be in hour 2")
+	}
+}
+
+// checkTiling verifies spans tile (span z+1 starts right after span z) and
+// TickOf is consistent with Span for the first n granules of a gapless type.
+func checkTiling(t *testing.T, g Granularity, n int64) {
+	t.Helper()
+	prevLast := int64(0)
+	for z := int64(1); z <= n; z++ {
+		iv, ok := g.Span(z)
+		if !ok {
+			t.Fatalf("%s.Span(%d) undefined", g.Name(), z)
+		}
+		if iv.First != prevLast+1 {
+			t.Fatalf("%s granule %d starts at %d, want %d", g.Name(), z, iv.First, prevLast+1)
+		}
+		for _, probe := range []int64{iv.First, iv.Last, (iv.First + iv.Last) / 2} {
+			got, ok := g.TickOf(probe)
+			if !ok || got != z {
+				t.Fatalf("%s.TickOf(%d) = %d,%v, want %d", g.Name(), probe, got, ok, z)
+			}
+		}
+		prevLast = iv.Last
+	}
+}
+
+func TestCalendarTypesTile(t *testing.T) {
+	checkTiling(t, Week(), 300)
+	checkTiling(t, Month(), 120)
+	checkTiling(t, Year(), 20)
+	checkTiling(t, Quarter(), 40)
+}
+
+func TestWeekOneIsPartial(t *testing.T) {
+	iv, ok := Week().Span(1)
+	if !ok {
+		t.Fatal("week 1 undefined")
+	}
+	if iv.Len() != 5*calendar.SecondsPerDay {
+		t.Fatalf("week 1 has %d seconds, want 5 days", iv.Len())
+	}
+	iv2, _ := Week().Span(2)
+	if iv2.Len() != 7*calendar.SecondsPerDay {
+		t.Fatalf("week 2 has %d seconds, want 7 days", iv2.Len())
+	}
+	// Week 2 starts on a Monday.
+	if calendar.WeekdayOf(rataOfSecond(iv2.First)) != calendar.Monday {
+		t.Fatal("week 2 should start on Monday")
+	}
+}
+
+func TestBusinessDayGaps(t *testing.T) {
+	b := BDay()
+	sat := secondAt(1996, 6, 1, 12, 0, 0) // Saturday
+	mon := secondAt(1996, 6, 3, 9, 30, 0) // Monday
+	if _, ok := b.TickOf(sat); ok {
+		t.Fatal("Saturday second should not be covered by b-day")
+	}
+	z, ok := b.TickOf(mon)
+	if !ok {
+		t.Fatal("Monday second should be covered by b-day")
+	}
+	iv, ok := b.Span(z)
+	if !ok || !iv.Contains(mon) || iv.Len() != calendar.SecondsPerDay {
+		t.Fatalf("b-day granule %d span %v wrong", z, iv)
+	}
+}
+
+func TestBusinessDaySequence(t *testing.T) {
+	b := BDay()
+	// Jan 1800: day 1 = Wed. b-days: 1(Wed),2(Thu),3(Fri),6(Mon),7,8,9,10,13...
+	wantRatas := []int64{1, 2, 3, 6, 7, 8, 9, 10, 13}
+	for i, want := range wantRatas {
+		iv, ok := b.Span(int64(i) + 1)
+		if !ok {
+			t.Fatalf("b-day %d undefined", i+1)
+		}
+		if got := rataOfSecond(iv.First); got != want {
+			t.Fatalf("b-day %d is rata %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestBusinessDayWithHolidays(t *testing.T) {
+	b := BDayUS()
+	july4 := secondAt(1996, 7, 4, 10, 0, 0) // Thursday, holiday
+	july5 := secondAt(1996, 7, 5, 10, 0, 0) // Friday
+	if _, ok := b.TickOf(july4); ok {
+		t.Fatal("1996-07-04 should be a b-day-us gap")
+	}
+	z4ok := false
+	if z, ok := b.TickOf(july5); ok {
+		z4ok = true
+		// The previous business day must be July 3.
+		iv, _ := b.Span(z - 1)
+		if rataOfSecond(iv.First) != calendar.RataOf(calendar.Date{Year: 1996, Month: 7, Day: 3}) {
+			t.Fatal("business day before 1996-07-05 should be 1996-07-03")
+		}
+	}
+	if !z4ok {
+		t.Fatal("1996-07-05 should be a business day")
+	}
+}
+
+func TestBusinessMonthNonConvex(t *testing.T) {
+	bm := BMonth()
+	// June 1996: June 1 is a Saturday. First b-day is Mon June 3.
+	z, ok := bm.TickOf(secondAt(1996, 6, 3, 0, 0, 0))
+	if !ok {
+		t.Fatal("Mon 1996-06-03 should be in a b-month granule")
+	}
+	if _, ok := bm.TickOf(secondAt(1996, 6, 1, 0, 0, 0)); ok {
+		t.Fatal("Sat 1996-06-01 should not be covered by b-month")
+	}
+	ivs, ok := bm.Intervals(z)
+	if !ok {
+		t.Fatal("b-month intervals undefined")
+	}
+	if len(ivs) < 2 {
+		t.Fatalf("June 1996 b-month should be non-convex, got %d intervals", len(ivs))
+	}
+	// Total business days in June 1996: 20 (June has 30 days, 5 weekends).
+	var days int64
+	for _, iv := range ivs {
+		days += iv.Len() / calendar.SecondsPerDay
+	}
+	if days != 20 {
+		t.Fatalf("June 1996 has %d business days, want 20", days)
+	}
+	// Same granule index as plain month.
+	zm, _ := Month().TickOf(secondAt(1996, 6, 3, 0, 0, 0))
+	if z != zm {
+		t.Fatalf("b-month granule %d should match month granule %d", z, zm)
+	}
+}
+
+func TestBusinessWeek(t *testing.T) {
+	bw := BWeek()
+	mon := secondAt(1996, 6, 3, 0, 0, 0)
+	z, ok := bw.TickOf(mon)
+	if !ok {
+		t.Fatal("Monday should be in b-week")
+	}
+	ivs, _ := bw.Intervals(z)
+	if len(ivs) != 1 {
+		t.Fatalf("holiday-free b-week should be one Mon-Fri interval, got %d", len(ivs))
+	}
+	if ivs[0].Len() != 5*calendar.SecondsPerDay {
+		t.Fatalf("b-week interval is %d seconds, want 5 days", ivs[0].Len())
+	}
+	if _, ok := bw.TickOf(secondAt(1996, 6, 1, 0, 0, 0)); ok {
+		t.Fatal("Saturday not in b-week")
+	}
+}
+
+func TestWeekend(t *testing.T) {
+	we := Weekend()
+	sat := secondAt(1996, 6, 1, 13, 0, 0)
+	z, ok := we.TickOf(sat)
+	if !ok {
+		t.Fatal("Saturday should be in weekend")
+	}
+	iv, _ := we.Span(z)
+	if iv.Len() != 2*calendar.SecondsPerDay {
+		t.Fatalf("weekend is %d seconds, want 2 days", iv.Len())
+	}
+	if _, ok := we.TickOf(secondAt(1996, 6, 3, 0, 0, 0)); ok {
+		t.Fatal("Monday not in weekend")
+	}
+	// The weekend and week granule indices agree.
+	zw, _ := Week().TickOf(sat)
+	if z != zw {
+		t.Fatalf("weekend index %d != week index %d", z, zw)
+	}
+}
+
+func TestGroupByNMonth(t *testing.T) {
+	g3 := NMonth(3)
+	if g3.Name() != "3-month" {
+		t.Fatalf("NMonth(3) name = %q", g3.Name())
+	}
+	// Granule 1 = Jan+Feb+Mar 1800.
+	iv, ok := g3.Span(1)
+	if !ok {
+		t.Fatal("3-month granule 1 undefined")
+	}
+	want := int64(31+28+31) * calendar.SecondsPerDay
+	if iv.Len() != want {
+		t.Fatalf("3-month granule 1 is %d seconds, want %d", iv.Len(), want)
+	}
+	checkTiling(t, g3, 40)
+	// Cover: month 4 (Apr 1800) is inside 3-month granule 2.
+	z, ok := Cover(g3, Month(), 4)
+	if !ok || z != 2 {
+		t.Fatalf("Cover(3-month, month, 4) = %d,%v, want 2", z, ok)
+	}
+}
+
+func TestGroupByPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GroupBy with n=0 should panic")
+		}
+	}()
+	GroupBy("bad", Month(), 0)
+}
+
+func TestShift(t *testing.T) {
+	s := Shift("month+1", Month(), 1)
+	iv, ok := s.Span(1)
+	if !ok {
+		t.Fatal("shifted span undefined")
+	}
+	base, _ := Month().Span(2)
+	if iv != base {
+		t.Fatalf("shifted granule 1 = %v, want month 2 = %v", iv, base)
+	}
+	// Seconds in month 1 are not covered by the shifted type.
+	if _, ok := s.TickOf(1); ok {
+		t.Fatal("second 1 should be a gap of month+1")
+	}
+	z, ok := s.TickOf(base.First)
+	if !ok || z != 1 {
+		t.Fatalf("TickOf start of month 2 = %d,%v, want 1", z, ok)
+	}
+}
+
+func TestCoverBasic(t *testing.T) {
+	// Any day is inside its month.
+	for _, rata := range []int64{1, 31, 32, 59, 60, 1000} {
+		z, ok := Cover(Month(), Day(), rata)
+		if !ok {
+			t.Fatalf("Cover(month, day, %d) undefined", rata)
+		}
+		if want := calendar.MonthIndexOf(rata); z != want {
+			t.Fatalf("Cover(month, day, %d) = %d, want %d", rata, z, want)
+		}
+	}
+	// A week straddling two months has no covering month (paper's example).
+	// Week of Mon 1996-07-29 .. Sun 1996-08-04 straddles July and August.
+	zWeek, _ := Week().TickOf(secondAt(1996, 7, 30, 0, 0, 0))
+	if _, ok := Cover(Month(), Week(), zWeek); ok {
+		t.Fatal("week straddling a month boundary should have undefined cover")
+	}
+	// A week fully inside a month is covered.
+	zIn, _ := Week().TickOf(secondAt(1996, 7, 10, 0, 0, 0)) // Mon Jul 8..Sun Jul 14
+	if z, ok := Cover(Month(), Week(), zIn); !ok {
+		t.Fatal("inner week should be covered by its month")
+	} else if want, _ := Month().TickOf(secondAt(1996, 7, 10, 0, 0, 0)); z != want {
+		t.Fatalf("cover month = %d, want %d", z, want)
+	}
+}
+
+func TestCoverBDayInDay(t *testing.T) {
+	// ⌈z⌉day_b-day is always defined (paper: each b-day is one day)...
+	b := BDay()
+	for z := int64(1); z <= 50; z++ {
+		if _, ok := Cover(Day(), b, z); !ok {
+			t.Fatalf("b-day %d should be covered by a day", z)
+		}
+	}
+	// ...but ⌈z⌉b-day_day is undefined for weekends (paper: dze b-day/day is
+	// undefined if day z is a Saturday/Sunday/holiday).
+	sat := int64(4) // 1800-01-04 was a Saturday
+	if _, ok := Cover(b, Day(), sat); ok {
+		t.Fatal("Saturday should have no covering b-day")
+	}
+	wed := int64(1)
+	if z, ok := Cover(b, Day(), wed); !ok || z != 1 {
+		t.Fatalf("Cover(b-day, day, 1) = %d,%v, want 1", z, ok)
+	}
+}
+
+func TestCoverNonConvexTarget(t *testing.T) {
+	// A b-day is covered by its b-month even though b-month is non-convex.
+	b, bm := BDay(), BMonth()
+	for z := int64(1); z <= 80; z++ {
+		iv, _ := b.Span(z)
+		zb, ok := Cover(bm, b, z)
+		if !ok {
+			t.Fatalf("b-day %d should be covered by a b-month", z)
+		}
+		zm, _ := Month().TickOf(iv.First)
+		if zb != zm {
+			t.Fatalf("b-month cover %d != month index %d", zb, zm)
+		}
+	}
+	// A week is never covered by a b-month (weekends stick out).
+	if _, ok := Cover(BMonth(), Week(), 3); ok {
+		t.Fatal("a full week cannot be inside a b-month")
+	}
+}
+
+func TestCoverSecond(t *testing.T) {
+	tt := secondAt(1996, 3, 15, 8, 0, 0)
+	z, ok := CoverSecond(Month(), tt)
+	if !ok {
+		t.Fatal("every second is in a month")
+	}
+	want := calendar.MonthIndexOf(calendar.RataOf(calendar.Date{Year: 1996, Month: 3, Day: 15}))
+	if z != want {
+		t.Fatalf("month of 1996-03-15 = %d, want %d", z, want)
+	}
+}
+
+func TestIntervalSubset(t *testing.T) {
+	set := []Interval{{1, 5}, {10, 20}}
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{2, 4}, true},
+		{Interval{1, 5}, true},
+		{Interval{10, 20}, true},
+		{Interval{4, 11}, false},
+		{Interval{6, 9}, false},
+		{Interval{15, 25}, false},
+		{Interval{0, 2}, false},
+	}
+	for _, c := range cases {
+		if got := intervalSubset(c.iv, set); got != c.want {
+			t.Errorf("intervalSubset(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestMergeAdjacent(t *testing.T) {
+	got := mergeAdjacent([]Interval{{1, 3}, {4, 6}, {8, 9}, {9, 12}})
+	want := []Interval{{1, 6}, {8, 12}}
+	if len(got) != len(want) {
+		t.Fatalf("merge -> %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge -> %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTickOfMonotone(t *testing.T) {
+	// Property: TickOf is monotone non-decreasing in t for every type.
+	grans := []Granularity{Second(), Hour(), Day(), Week(), Month(), Year(), BDay(), BMonth(), Weekend()}
+	f := func(a, b uint32) bool {
+		t1, t2 := int64(a%5000000)+1, int64(b%5000000)+1
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		for _, g := range grans {
+			z1, ok1 := g.TickOf(t1)
+			z2, ok2 := g.TickOf(t2)
+			if ok1 && ok2 && z1 > z2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGranulesDisjointOrdered(t *testing.T) {
+	// Property (paper condition 1): for z < z', every second of granule z
+	// precedes every second of granule z'.
+	grans := []Granularity{Week(), Month(), BDay(), BMonth(), BWeek(), Weekend(), NMonth(5)}
+	for _, g := range grans {
+		prevLast := int64(0)
+		for z := int64(1); z <= 60; z++ {
+			ivs, ok := g.Intervals(z)
+			if !ok {
+				t.Fatalf("%s granule %d undefined", g.Name(), z)
+			}
+			for _, iv := range ivs {
+				if iv.First <= prevLast {
+					t.Fatalf("%s granule %d overlaps or precedes granule %d", g.Name(), z, z-1)
+				}
+				if iv.First > iv.Last {
+					t.Fatalf("%s granule %d has empty interval %v", g.Name(), z, iv)
+				}
+				prevLast = iv.Last
+			}
+		}
+	}
+}
+
+func TestFiscalYear(t *testing.T) {
+	// US federal fiscal year: starts in October. Fiscal granule 1 is
+	// Oct 1800 .. Sep 1801.
+	fy := FiscalYear("fy-us", 10)
+	iv, ok := fy.Span(1)
+	if !ok {
+		t.Fatal("fiscal year 1 undefined")
+	}
+	wantFirst := secondAt(1800, 10, 1, 0, 0, 0)
+	if iv.First != wantFirst {
+		t.Fatalf("fy 1 starts at %d, want Oct 1 1800 (%d)", iv.First, wantFirst)
+	}
+	z, ok := fy.TickOf(secondAt(1801, 9, 30, 23, 0, 0))
+	if !ok || z != 1 {
+		t.Fatalf("Sep 30 1801 in fy %d,%v, want 1", z, ok)
+	}
+	z, ok = fy.TickOf(secondAt(1801, 10, 1, 0, 0, 0))
+	if !ok || z != 2 {
+		t.Fatalf("Oct 1 1801 in fy %d,%v, want 2", z, ok)
+	}
+	// Months before the first fiscal year are a gap.
+	if _, ok := fy.TickOf(secondAt(1800, 3, 1, 0, 0, 0)); ok {
+		t.Fatal("pre-fiscal months should be a gap")
+	}
+	// January start degenerates to the 12-month grouping (calendar years).
+	cal := FiscalYear("fy-jan", 1)
+	got, _ := cal.Span(1)
+	want, _ := Year().Span(1)
+	if got != want {
+		t.Fatalf("January fiscal year %v != calendar year %v", got, want)
+	}
+	// Fiscal years tile from their (gapped) start onward.
+	prev, _ := fy.Span(1)
+	for z := int64(2); z <= 20; z++ {
+		cur, ok := fy.Span(z)
+		if !ok || cur.First != prev.Last+1 {
+			t.Fatalf("fiscal year %d does not abut year %d", z, z-1)
+		}
+		prev = cur
+	}
+}
+
+func TestFiscalYearPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("month 13 accepted")
+		}
+	}()
+	FiscalYear("bad", 13)
+}
+
+func TestConvenienceConstructors(t *testing.T) {
+	// Variants not exercised elsewhere.
+	if Semester().Name() != "semester" {
+		t.Fatal("semester name")
+	}
+	iv, ok := Semester().Span(1)
+	if !ok || iv.Len() != int64(31+28+31+30+31+30)*86400 {
+		t.Fatalf("semester 1 = %v", iv)
+	}
+	bmUS := BMonthUS()
+	if bmUS.Name() != "b-month-us" {
+		t.Fatal("b-month-us name")
+	}
+	// 1996-07-04 (a Thursday, US holiday) is not covered by b-month-us
+	// but is covered by the holiday-free b-month.
+	july4 := secondAt(1996, 7, 4, 10, 0, 0)
+	if _, ok := bmUS.TickOf(july4); ok {
+		t.Fatal("July 4 covered by b-month-us")
+	}
+	if _, ok := BMonth().TickOf(july4); !ok {
+		t.Fatal("July 4 not covered by plain b-month")
+	}
+	custom := NewBusinessWeek("b-week-x", nil)
+	if custom.Name() != "b-week-x" {
+		t.Fatal("custom b-week name")
+	}
+	if (Interval{3, 9}).String() != "[3,9]" {
+		t.Fatal("interval string")
+	}
+	m := NewMetrics(Month(), 0)
+	if m.Granularity().Name() != "month" {
+		t.Fatal("metrics granularity accessor")
+	}
+}
+
+func TestTickOfNegativeInputs(t *testing.T) {
+	for _, g := range []Granularity{Week(), Month(), Year(), Shift("m1", Month(), 1), NthOf("n", Week(), Day(), 2)} {
+		if _, ok := g.TickOf(0); ok {
+			t.Errorf("%s.TickOf(0) defined", g.Name())
+		}
+		if _, ok := g.TickOf(-5); ok {
+			t.Errorf("%s.TickOf(-5) defined", g.Name())
+		}
+	}
+	// Shift intervals delegate.
+	s := Shift("m2", Month(), 2)
+	ivs, ok := s.Intervals(1)
+	if !ok || len(ivs) != 1 {
+		t.Fatal("shift intervals")
+	}
+	want, _ := Month().Intervals(3)
+	if ivs[0] != want[0] {
+		t.Fatal("shift intervals misaligned")
+	}
+	if _, ok := s.Intervals(0); ok {
+		t.Fatal("shift Intervals(0) defined")
+	}
+	if _, ok := s.Span(0); ok {
+		t.Fatal("shift Span(0) defined")
+	}
+	// GroupBy Span out of range.
+	if _, ok := GroupBy("g", Month(), 3).Span(0); ok {
+		t.Fatal("GroupBy Span(0) defined")
+	}
+	// NthOf Intervals delegates to the picked inner granule.
+	n := NthOf("payday2", Month(), BDay(), -1)
+	nivs, ok := n.Intervals(1)
+	if !ok || len(nivs) != 1 || nivs[0].Len() != 86400 {
+		t.Fatalf("NthOf intervals = %v", nivs)
+	}
+}
+
+func TestNewUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 accepted")
+		}
+	}()
+	NewUniform("zero", 0)
+}
+
+func TestShiftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative offset accepted")
+		}
+	}()
+	Shift("bad", Month(), -1)
+}

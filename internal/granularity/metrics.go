@@ -1,0 +1,347 @@
+package granularity
+
+import "sync"
+
+// Metrics computes the paper's minsize, maxsize and mingap functions for a
+// granularity: the minimum/maximum length, in primitive ticks (seconds), of
+// k consecutive granules, and the minimum distance between a granule and the
+// k-th granule after it.
+//
+// Values for k below the scanning horizon are exact (computed from granule
+// spans). Beyond the horizon they are extrapolated by the linear-combination
+// rule the paper's appendix names; the extrapolation is always on the sound
+// side for the conversion algorithm's uses (MinSize and MinGap are true
+// lower bounds, MaxSize a true upper bound).
+type Metrics struct {
+	g       Granularity
+	uniform int64 // >0 when closed forms apply
+
+	starts, ends []int64 // exact spans of granules 1..len(starts)
+
+	mu           sync.Mutex
+	minSizeCache map[int64]int64
+	maxSizeCache map[int64]int64
+	minGapCache  map[int64]int64
+	maxGap1      int64 // max gap between consecutive granules, lazily set (-1 = unset)
+}
+
+// DefaultHorizon is the number of granules scanned for exact metric values.
+// 720 months is 60 years; all experiment constraints fall well inside it.
+const DefaultHorizon = 720
+
+// NewMetrics builds a Metrics for g scanning the given number of granules
+// (DefaultHorizon when horizon <= 0).
+func NewMetrics(g Granularity, horizon int) *Metrics {
+	m := &Metrics{
+		g:            g,
+		minSizeCache: make(map[int64]int64),
+		maxSizeCache: make(map[int64]int64),
+		minGapCache:  make(map[int64]int64),
+		maxGap1:      -1,
+	}
+	if u, ok := g.(*Uniform); ok {
+		m.uniform = u.uniformSize()
+		return m
+	}
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	for z := int64(1); z <= int64(horizon); z++ {
+		iv, ok := g.Span(z)
+		if !ok {
+			break
+		}
+		m.starts = append(m.starts, iv.First)
+		m.ends = append(m.ends, iv.Last)
+	}
+	if len(m.starts) < 2 {
+		panic("granularity: metrics horizon too small for " + g.Name())
+	}
+	return m
+}
+
+// Granularity returns the underlying granularity.
+func (m *Metrics) Granularity() Granularity { return m.g }
+
+// exactLimit returns the number of scanned granules.
+func (m *Metrics) exactLimit() int64 { return int64(len(m.starts)) }
+
+// exactK returns the largest k treated as exact: half the horizon, so every
+// scan aggregates at least horizon/2 windows and captures the periodic
+// structure (e.g. leap years) instead of a single unlucky window.
+func (m *Metrics) exactK() int64 {
+	k := m.exactLimit() / 2
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// MinSize returns the paper's minsize(g, k): the minimum span, in seconds,
+// of k consecutive granules. k must be >= 1.
+func (m *Metrics) MinSize(k int64) int64 {
+	if k < 1 {
+		panic("granularity: MinSize requires k >= 1")
+	}
+	if m.uniform > 0 {
+		return k * m.uniform
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.minSizeLocked(k)
+}
+
+func (m *Metrics) minSizeLocked(k int64) int64 {
+	if v, ok := m.minSizeCache[k]; ok {
+		return v
+	}
+	var v int64
+	if k <= m.exactK() {
+		v = m.scanMinSize(k)
+	} else {
+		// Superadditive chunking: span(k1+k2) >= minsize(k1)+minsize(k2),
+		// so summing exact chunks is a sound lower bound. Closed form so
+		// conversions of huge bounds stay O(1).
+		step := m.exactK()
+		q, r := k/step, k%step
+		v = q * m.minSizeLocked(step)
+		if r > 0 {
+			v += m.minSizeLocked(r)
+		}
+	}
+	m.minSizeCache[k] = v
+	return v
+}
+
+func (m *Metrics) scanMinSize(k int64) int64 {
+	best := int64(1) << 62
+	for i := int64(0); i+k <= m.exactLimit(); i++ {
+		s := m.ends[i+k-1] - m.starts[i] + 1
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// MaxSize returns the paper's maxsize(g, k): the maximum span, in seconds,
+// of k consecutive granules. k must be >= 1.
+func (m *Metrics) MaxSize(k int64) int64 {
+	if k < 1 {
+		panic("granularity: MaxSize requires k >= 1")
+	}
+	if m.uniform > 0 {
+		return k * m.uniform
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxSizeLocked(k)
+}
+
+func (m *Metrics) maxSizeLocked(k int64) int64 {
+	if v, ok := m.maxSizeCache[k]; ok {
+		return v
+	}
+	var v int64
+	if k <= m.exactK() {
+		v = m.scanMaxSize(k)
+	} else {
+		// span(k1+k2) <= maxsize(k1) + maxsize(k2) + maxgap(1) - 1:
+		// chunked sum is a sound upper bound, in closed form.
+		step := m.exactK()
+		q, r := k/step, k%step
+		v = q * m.maxSizeLocked(step)
+		junctions := q - 1
+		if r > 0 {
+			v += m.maxSizeLocked(r)
+			junctions++
+		}
+		v += junctions * (m.maxGapOne() - 1)
+	}
+	m.maxSizeCache[k] = v
+	return v
+}
+
+func (m *Metrics) scanMaxSize(k int64) int64 {
+	best := int64(0)
+	for i := int64(0); i+k <= m.exactLimit(); i++ {
+		s := m.ends[i+k-1] - m.starts[i] + 1
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func (m *Metrics) maxGapOne() int64 {
+	if m.uniform > 0 {
+		return 1
+	}
+	if m.maxGap1 >= 0 {
+		return m.maxGap1
+	}
+	best := int64(1)
+	for i := int64(0); i+1 < m.exactLimit(); i++ {
+		g := m.starts[i+1] - m.ends[i]
+		if g > best {
+			best = g
+		}
+	}
+	m.maxGap1 = best
+	return best
+}
+
+// MinGap returns the paper's mingap(g, k): the minimum distance, in seconds,
+// from the last second of a granule to the first second of the k-th granule
+// after it. MinGap(0) is 0 by convention (an m=0 lower bound converts to an
+// m=0 lower bound).
+func (m *Metrics) MinGap(k int64) int64 {
+	if k < 0 {
+		panic("granularity: MinGap requires k >= 0")
+	}
+	if k == 0 {
+		return 0
+	}
+	if m.uniform > 0 {
+		return (k-1)*m.uniform + 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.minGapLocked(k)
+}
+
+func (m *Metrics) minGapLocked(k int64) int64 {
+	if v, ok := m.minGapCache[k]; ok {
+		return v
+	}
+	var v int64
+	limit := m.exactK()
+	if k <= limit {
+		v = m.scanMinGap(k)
+	} else {
+		// mingap(a+b) >= mingap(a) + mingap(b) + minsize(1) - 1:
+		// chunked sum is a sound lower bound, in closed form.
+		q, r := k/limit, k%limit
+		v = q * m.minGapLocked(limit)
+		junctions := q - 1
+		if r > 0 {
+			v += m.minGapLocked(r)
+			junctions++
+		}
+		v += junctions * (m.minSizeLocked(1) - 1)
+	}
+	m.minGapCache[k] = v
+	return v
+}
+
+func (m *Metrics) scanMinGap(k int64) int64 {
+	best := int64(1) << 62
+	for i := int64(0); i+k < m.exactLimit(); i++ {
+		g := m.starts[i+k] - m.ends[i]
+		if g < best {
+			best = g
+		}
+	}
+	return best
+}
+
+// Covers reports whether every second belonging to a granule of src is
+// covered by some granule of dst, verified over the span of dst's first
+// nGranules granules. This is the feasibility condition of the paper's
+// conversion algorithm: a constraint in src may be converted into dst only
+// if dst covers at least the span of time src covers.
+//
+// The check walks dst's gaps (the uncovered stretches between its granule
+// intervals) and asks whether src covers any second inside one — so the
+// verification horizon is measured on the coarse side, where gaps live, and
+// a fine-grained src (e.g. second) cannot defeat the sampling.
+func Covers(dst, src Granularity, nGranules int64) bool {
+	if nGranules <= 0 {
+		nGranules = 256
+	}
+	pos := int64(1) // next uncovered-candidate second
+	for z := int64(1); z <= nGranules; z++ {
+		ivs, ok := dst.Intervals(z)
+		if !ok {
+			break // finite dst: everything after is a gap
+		}
+		for _, iv := range ivs {
+			if iv.First > pos {
+				if coversAny(src, Interval{First: pos, Last: iv.First - 1}) {
+					return false
+				}
+			}
+			if iv.Last+1 > pos {
+				pos = iv.Last + 1
+			}
+		}
+	}
+	return true
+}
+
+// AlwaysCovered reports whether each of the first nGranules granules of src
+// lies inside a single granule of dst (the cover operation ⌈z⌉dst_src is
+// total over the sample). When true, two timestamps in the same src granule
+// are always in the same dst granule — a refinement the interval conversion
+// uses for zero bounds.
+func AlwaysCovered(dst, src Granularity, nGranules int64) bool {
+	if nGranules <= 0 {
+		nGranules = 256
+	}
+	for z := int64(1); z <= nGranules; z++ {
+		if _, ok := src.Span(z); !ok {
+			break
+		}
+		if _, ok := Cover(dst, src, z); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// coversAny reports whether src covers at least one second of iv. It
+// locates the first granule ending at or after iv.First by exponential +
+// binary search over granule indices (granule spans are monotone), then
+// scans forward while granules start within the interval.
+func coversAny(src Granularity, iv Interval) bool {
+	// Exponential search for an upper bracket.
+	hi := int64(1)
+	for {
+		span, ok := src.Span(hi)
+		if !ok {
+			// Finite type ran out below iv; the last granule may still
+			// reach into iv, handled by the scan below from lo.
+			break
+		}
+		if span.Last >= iv.First {
+			break
+		}
+		hi *= 2
+	}
+	// Binary search the smallest z in [1, hi] with Span(z).Last >= iv.First
+	// (or Span undefined, for finite types).
+	lo := int64(1)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		span, ok := src.Span(mid)
+		if !ok || span.Last >= iv.First {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for z := lo; ; z++ {
+		ivs, ok := src.Intervals(z)
+		if !ok {
+			return false
+		}
+		for _, giv := range ivs {
+			if giv.First > iv.Last {
+				return false
+			}
+			if giv.Last >= iv.First {
+				return true
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package granularity
+
+import (
+	"testing"
+
+	"repro/internal/calendar"
+)
+
+const day = int64(calendar.SecondsPerDay)
+
+func TestUniformMetrics(t *testing.T) {
+	m := NewMetrics(Hour(), 0)
+	if m.MinSize(1) != 3600 || m.MaxSize(1) != 3600 {
+		t.Fatal("hour size should be 3600")
+	}
+	if m.MinSize(24) != day || m.MaxSize(24) != day {
+		t.Fatal("24 hours should be one day")
+	}
+	if m.MinGap(1) != 1 {
+		t.Fatalf("mingap(hour,1) = %d, want 1", m.MinGap(1))
+	}
+	if m.MinGap(2) != 3601 {
+		t.Fatalf("mingap(hour,2) = %d, want 3601", m.MinGap(2))
+	}
+	if m.MinGap(0) != 0 {
+		t.Fatal("mingap(_,0) is 0 by convention")
+	}
+}
+
+func TestMonthMetricsMatchPaper(t *testing.T) {
+	// Paper: minsize(month,1)=28, maxsize(month,1)=31 (days); we measure in
+	// seconds.
+	m := NewMetrics(Month(), 0)
+	if got := m.MinSize(1); got != 28*day {
+		t.Fatalf("minsize(month,1) = %d, want 28 days", got)
+	}
+	if got := m.MaxSize(1); got != 31*day {
+		t.Fatalf("maxsize(month,1) = %d, want 31 days", got)
+	}
+	if got := m.MinSize(12); got != 365*day {
+		t.Fatalf("minsize(month,12) = %d, want 365 days", got)
+	}
+	if got := m.MaxSize(12); got != 366*day {
+		t.Fatalf("maxsize(month,12) = %d, want 366 days", got)
+	}
+	if got := m.MinGap(1); got != 1 {
+		t.Fatalf("mingap(month,1) = %d, want 1 (months are adjacent)", got)
+	}
+}
+
+func TestBDayMetricsMatchPaper(t *testing.T) {
+	// Paper: maxsize(b-day, 2) = 4 when day is the primitive type: two
+	// consecutive business days spanning Fri..Mon.
+	m := NewMetrics(BDay(), 0)
+	if got := m.MaxSize(2); got != 4*day {
+		t.Fatalf("maxsize(b-day,2) = %d, want 4 days", got)
+	}
+	if got := m.MinSize(2); got != 2*day {
+		t.Fatalf("minsize(b-day,2) = %d, want 2 days", got)
+	}
+	// Five consecutive business days span at most 7 calendar days
+	// (Thu..Wed); six span at most 8.
+	if got := m.MaxSize(5); got != 7*day {
+		t.Fatalf("maxsize(b-day,5) = %d, want 7 days", got)
+	}
+	if got := m.MaxSize(6); got != 8*day {
+		t.Fatalf("maxsize(b-day,6) = %d, want 8 days", got)
+	}
+	// mingap(b-day,1) = 1 second (midnight boundary of adjacent weekdays).
+	if got := m.MinGap(1); got != 1 {
+		t.Fatalf("mingap(b-day,1) = %d, want 1", got)
+	}
+	// mingap(b-day,5): Mon..next Mon start = 7 days minus the length of
+	// Monday plus 1.
+	if got := m.MinGap(5); got != 7*day-day+1 {
+		t.Fatalf("mingap(b-day,5) = %d, want %d", got, 7*day-day+1)
+	}
+}
+
+func TestWeekMetrics(t *testing.T) {
+	m := NewMetrics(Week(), 0)
+	// Week 1 is partial (5 days), so the global minimum for k=1 is 5 days.
+	if got := m.MinSize(1); got != 5*day {
+		t.Fatalf("minsize(week,1) = %d, want 5 days (partial week 1)", got)
+	}
+	if got := m.MaxSize(1); got != 7*day {
+		t.Fatalf("maxsize(week,1) = %d, want 7 days", got)
+	}
+	if got := m.MaxSize(2); got != 14*day {
+		t.Fatalf("maxsize(week,2) = %d, want 14 days", got)
+	}
+}
+
+func TestExtrapolationSoundness(t *testing.T) {
+	// A Metrics with a small horizon must stay on the sound side of one
+	// with a large horizon: MinSize/MinGap never above the exact value,
+	// MaxSize never below.
+	small := NewMetrics(Month(), 72)
+	large := NewMetrics(Month(), 600)
+	for _, k := range []int64{25, 30, 48, 100, 240} {
+		if small.MinSize(k) > large.MinSize(k) {
+			t.Errorf("minsize extrapolation unsound at k=%d: %d > %d", k, small.MinSize(k), large.MinSize(k))
+		}
+		if small.MaxSize(k) < large.MaxSize(k) {
+			t.Errorf("maxsize extrapolation unsound at k=%d: %d < %d", k, small.MaxSize(k), large.MaxSize(k))
+		}
+		if small.MinGap(k) > large.MinGap(k) {
+			t.Errorf("mingap extrapolation unsound at k=%d: %d > %d", k, small.MinGap(k), large.MinGap(k))
+		}
+	}
+}
+
+func TestMetricsPanicOnBadK(t *testing.T) {
+	m := NewMetrics(Month(), 0)
+	for _, f := range []func(){
+		func() { m.MinSize(0) },
+		func() { m.MaxSize(0) },
+		func() { m.MinGap(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid k")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCovers(t *testing.T) {
+	cases := []struct {
+		dst, src Granularity
+		want     bool
+	}{
+		{Day(), BDay(), true},    // every b-day second is in a day
+		{BDay(), Day(), false},   // weekends are not covered by b-day
+		{Week(), BDay(), true},   // weeks cover everything
+		{Month(), Day(), true},   // months cover everything
+		{Month(), Week(), true},  // months cover everything weeks cover
+		{BDay(), BMonth(), true}, // b-month seconds are exactly b-day seconds
+		{BMonth(), BDay(), true},
+		{Day(), Weekend(), true},
+		{Weekend(), Day(), false},
+		{Hour(), Month(), true}, // uniform total types cover everything
+		{Year(), Month(), true},
+	}
+	for _, c := range cases {
+		if got := Covers(c.dst, c.src, 60); got != c.want {
+			t.Errorf("Covers(%s, %s) = %v, want %v", c.dst.Name(), c.src.Name(), got, c.want)
+		}
+	}
+}
+
+func TestSystemBasics(t *testing.T) {
+	s := Default()
+	for _, name := range []string{"second", "minute", "hour", "day", "week", "month", "year", "b-day", "b-week", "b-month", "weekend"} {
+		if _, ok := s.Get(name); !ok {
+			t.Errorf("default system missing %q", name)
+		}
+	}
+	if _, ok := s.Get("fortnight"); ok {
+		t.Error("unexpected granularity")
+	}
+	m := s.Metrics("month")
+	if m != s.Metrics("month") {
+		t.Error("metrics should be cached")
+	}
+	if !s.ConversionFeasible("b-day", "week") {
+		t.Error("b-day -> week should be feasible")
+	}
+	if s.ConversionFeasible("day", "b-day") {
+		t.Error("day -> b-day should be infeasible (weekend seconds uncovered)")
+	}
+	if !s.ConversionFeasible("hour", "hour") {
+		t.Error("identity conversion is always feasible")
+	}
+}
+
+func TestSystemMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on unknown name should panic")
+		}
+	}()
+	Default().MustGet("nope")
+}
+
+func TestSystemAddReplaces(t *testing.T) {
+	s := Default()
+	s.Metrics("month") // populate cache
+	s.Add(Month())     // replace; caches must drop
+	if _, ok := s.Get("month"); !ok {
+		t.Fatal("month should still be present")
+	}
+	names := s.Names()
+	seen := map[string]int{}
+	for _, n := range names {
+		seen[n]++
+	}
+	if seen["month"] != 1 {
+		t.Fatalf("month should appear once in Names, got %d", seen["month"])
+	}
+}
+
+func TestConversionRoundFig3BDayToWeek(t *testing.T) {
+	// Manual application of the Figure-3 algorithm for [1,1]b-day -> week,
+	// which E1's propagation relies on:
+	//   nbar = min{s : minsize(week,s) >= maxsize(b-day,2)-1}
+	//   mbar = min{r : maxsize(week,r) > mingap(b-day,1)} - 1
+	bd := NewMetrics(BDay(), 0)
+	wk := NewMetrics(Week(), 0)
+	need := bd.MaxSize(2) - 1 // 4 days - 1 second
+	s := int64(1)
+	for wk.MinSize(s) < need {
+		s++
+	}
+	if s != 1 {
+		t.Fatalf("[1,1]b-day upper bound in weeks = %d, want 1", s)
+	}
+	gap := bd.MinGap(1)
+	r := int64(1)
+	for wk.MaxSize(r) <= gap {
+		r++
+	}
+	if r-1 != 0 {
+		t.Fatalf("[1,1]b-day lower bound in weeks = %d, want 0", r-1)
+	}
+}

@@ -1,0 +1,158 @@
+package granularity
+
+import "sync"
+
+// nthOf selects, from each granule of an outer granularity, the n-th inner
+// granule fully contained in it (n = 1 is the first, n = -1 the last) —
+// the "slicing" operator of the interval-collection calendar algebra the
+// paper cites (Leban, McDonald & Foster, AAAI'86). Examples:
+//
+//	NthOf("payday", Month(), BDay(), -1)   // last business day of each month
+//	NthOf("opening", Month(), BDay(), 1)   // first business day of each month
+//	NthOf("hump", Week(), Day(), 3)        // third day of each week
+//
+// Outer granules with fewer than |n| contained inner granules yield an
+// empty selection; to keep the temporal-type monotonicity condition (no
+// empty granule before a non-empty one), such outer granules are skipped —
+// granule indices of the result are therefore dense and do NOT align with
+// the outer granularity's.
+type nthOf struct {
+	name  string
+	outer Granularity
+	inner Granularity
+	n     int
+
+	mu sync.Mutex
+	// picks[i] is the inner-granule index selected for result granule i+1;
+	// extended on demand.
+	picks     []int64
+	nextOuter int64 // next outer granule to examine
+}
+
+// NthOf builds the selection granularity; n must be non-zero. It panics on
+// n == 0 (a programming error).
+func NthOf(name string, outer, inner Granularity, n int) Granularity {
+	if n == 0 {
+		panic("granularity: NthOf requires n != 0")
+	}
+	return &nthOf{name: name, outer: outer, inner: inner, n: n, nextOuter: 1}
+}
+
+func (g *nthOf) Name() string { return g.name }
+
+// stallLimit bounds how many consecutive outer granules may be skipped
+// before extension gives up and treats the type as exhausted: a selection
+// like "the 8th day of a week" never picks anything and must not scan the
+// infinite outer granularity forever.
+const stallLimit = 4096
+
+// extend materializes result granules until at least count picks exist,
+// the outer granularity is exhausted, or stallLimit consecutive outer
+// granules yielded no pick.
+func (g *nthOf) extend(count int64) {
+	stalls := 0
+	for int64(len(g.picks)) < count {
+		span, ok := g.outer.Span(g.nextOuter)
+		if !ok {
+			return // finite outer: nothing more to select
+		}
+		inside := g.innerWithin(span)
+		g.nextOuter++
+		picked := false
+		if len(inside) > 0 {
+			idx := g.n
+			if idx > 0 && idx <= len(inside) {
+				g.picks = append(g.picks, inside[idx-1])
+				picked = true
+			} else if idx < 0 && -idx <= len(inside) {
+				g.picks = append(g.picks, inside[len(inside)+idx])
+				picked = true
+			}
+		}
+		if picked {
+			stalls = 0
+		} else {
+			stalls++
+			if stalls >= stallLimit {
+				return
+			}
+		}
+	}
+}
+
+// innerWithin lists the inner granule indices fully contained in the span.
+func (g *nthOf) innerWithin(span Interval) []int64 {
+	var out []int64
+	z := FirstTouching(g.inner, span.First)
+	for ; ; z++ {
+		iv, ok := g.inner.Span(z)
+		if !ok || iv.First > span.Last {
+			break
+		}
+		if iv.First >= span.First && iv.Last <= span.Last {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+func (g *nthOf) TickOf(t int64) (int64, bool) {
+	zi, ok := g.inner.TickOf(t)
+	if !ok {
+		return 0, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Materialize picks until the candidate inner granule is reachable.
+	for {
+		before := int64(len(g.picks))
+		g.extend(before + 64)
+		n := int64(len(g.picks))
+		if n > 0 && g.picks[n-1] >= zi {
+			break
+		}
+		if n == before {
+			return 0, false // exhausted or stalled without reaching zi
+		}
+	}
+	// Binary search zi among picks.
+	lo, hi := int64(0), int64(len(g.picks))-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.picks[mid] == zi:
+			return mid + 1, true
+		case g.picks[mid] < zi:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return 0, false
+}
+
+func (g *nthOf) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.extend(z)
+	if int64(len(g.picks)) < z {
+		return Interval{}, false
+	}
+	return g.inner.Span(g.picks[z-1])
+}
+
+func (g *nthOf) Intervals(z int64) ([]Interval, bool) {
+	if z < 1 {
+		return nil, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.extend(z)
+	if int64(len(g.picks)) < z {
+		return nil, false
+	}
+	return g.inner.Intervals(g.picks[z-1])
+}

@@ -1,0 +1,137 @@
+package granularity
+
+import (
+	"testing"
+
+	"repro/internal/calendar"
+)
+
+func rataStart(y, m, d int) int64 {
+	return (calendar.RataOf(calendar.Date{Year: y, Month: m, Day: d})-1)*calendar.SecondsPerDay + 1
+}
+
+func TestNthOfFirstBusinessDayOfMonth(t *testing.T) {
+	g := NthOf("month-open", Month(), BDay(), 1)
+	if g.Name() != "month-open" {
+		t.Fatal("name lost")
+	}
+	// Granule 1: first b-day of Jan 1800 = Wed 1800-01-01.
+	iv, ok := g.Span(1)
+	if !ok || iv.First != 1 {
+		t.Fatalf("granule 1 = %v,%v, want start of day 1", iv, ok)
+	}
+	// June 1996 starts on a Saturday; its first business day is Mon June 3.
+	// Find June 1996's index among picks via TickOf.
+	june3 := rataStart(1996, 6, 3)
+	z, ok := g.TickOf(june3 + 3600)
+	if !ok {
+		t.Fatal("first b-day of June 1996 not selected")
+	}
+	iv, _ = g.Span(z)
+	if iv.First != june3 {
+		t.Fatalf("selected span %v, want June 3", iv)
+	}
+	// June 4 is a b-day but not the first of a month.
+	if _, ok := g.TickOf(rataStart(1996, 6, 4) + 10); ok {
+		t.Fatal("June 4 selected")
+	}
+	// Saturday June 1 is not even a b-day.
+	if _, ok := g.TickOf(rataStart(1996, 6, 1) + 10); ok {
+		t.Fatal("Saturday selected")
+	}
+}
+
+func TestNthOfLastBusinessDayOfMonth(t *testing.T) {
+	g := NthOf("payday", Month(), BDay(), -1)
+	// Last b-day of June 1996 (June 30 is a Sunday) = Fri June 28.
+	z, ok := g.TickOf(rataStart(1996, 6, 28) + 5)
+	if !ok {
+		t.Fatal("June 28 not selected as payday")
+	}
+	iv, _ := g.Span(z)
+	if iv.First != rataStart(1996, 6, 28) {
+		t.Fatalf("payday span %v", iv)
+	}
+	if _, ok := g.TickOf(rataStart(1996, 6, 27) + 5); ok {
+		t.Fatal("June 27 wrongly selected")
+	}
+}
+
+func TestNthOfDenseMonotone(t *testing.T) {
+	g := NthOf("w3", Week(), Day(), 3)
+	prevLast := int64(0)
+	for z := int64(1); z <= 60; z++ {
+		iv, ok := g.Span(z)
+		if !ok {
+			t.Fatalf("granule %d missing", z)
+		}
+		if iv.First <= prevLast {
+			t.Fatalf("granule %d not after granule %d", z, z-1)
+		}
+		if iv.Len() != calendar.SecondsPerDay {
+			t.Fatalf("granule %d is %d seconds", z, iv.Len())
+		}
+		// Round trip.
+		got, ok := g.TickOf(iv.First + 100)
+		if !ok || got != z {
+			t.Fatalf("TickOf round trip failed at %d: %d,%v", z, got, ok)
+		}
+		prevLast = iv.Last
+	}
+}
+
+func TestNthOfSkipsShortOuters(t *testing.T) {
+	// 6th day of each week: week 1 of the timeline has only 5 days and
+	// must be skipped; granule 1 is then the 6th day of week 2 (Saturday
+	// 1800-01-11, rata 11).
+	g := NthOf("sixth", Week(), Day(), 6)
+	iv, ok := g.Span(1)
+	if !ok {
+		t.Fatal("granule 1 missing")
+	}
+	if got := rataOfSecond(iv.First); got != 11 {
+		t.Fatalf("granule 1 is day %d, want 11", got)
+	}
+}
+
+func TestNthOfOutOfRangeN(t *testing.T) {
+	// The 8th day of a week never exists: every granule is skipped and
+	// the type is empty.
+	g := NthOf("eighth", Week(), Day(), 8)
+	// Bound the scan: Span must return false once extension gives up...
+	// weeks are infinite, so extension would scan forever; cap via a
+	// finite outer (a shifted month view is still infinite). Use a
+	// periodic-free check: TickOf of a day-aligned timestamp must fail
+	// fast because the inner granule is never picked. Use a small probe.
+	if _, ok := g.TickOf(86400*3 + 5); ok {
+		t.Fatal("selected an 8th day of a 7-day week")
+	}
+	_ = g
+}
+
+func TestNthOfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 accepted")
+		}
+	}()
+	NthOf("bad", Month(), Day(), 0)
+}
+
+func TestNthOfInSystem(t *testing.T) {
+	s := Default()
+	s.Add(NthOf("month-open", Month(), BDay(), 1))
+	m := s.Metrics("month-open")
+	// Openings are one b-day long.
+	if m.MinSize(1) != 86400 {
+		t.Fatalf("minsize = %d", m.MinSize(1))
+	}
+	// Consecutive openings are roughly a month apart.
+	if g := m.MinGap(1); g < 26*86400 || g > 32*86400 {
+		t.Fatalf("mingap = %d days-ish", g/86400)
+	}
+	// Conversion feasibility: day covers openings.
+	if !s.ConversionFeasible("month-open", "day") {
+		t.Fatal("month-open -> day should be feasible")
+	}
+}

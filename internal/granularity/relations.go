@@ -1,0 +1,125 @@
+package granularity
+
+// Relationships between granularities, in the vocabulary the authors'
+// granularity framework established (Bettini, Wang & Jajodia; the paper's
+// [WBBJ] reference): finer-than, groups-into and partitions. All three are
+// verified by sampling the first nGranules granules (256 when nGranules
+// <= 0) — the same bounded-verification approach the conversion
+// feasibility check uses, adequate for the periodic types a real system
+// manipulates.
+
+// FinerThan reports whether every granule of a is contained in some granule
+// of b (a "is finer than" b): each b-day is inside a day, each day inside a
+// month. It is exactly AlwaysCovered with the arguments in framework
+// order.
+func FinerThan(a, b Granularity, nGranules int64) bool {
+	return AlwaysCovered(b, a, nGranules)
+}
+
+// GroupsInto reports whether every granule of b is exactly a union of
+// granules of a (a "groups into" b): days group into weeks and months;
+// b-days do NOT group into weeks (weekend seconds of the week are not
+// covered by any b-day), though b-days do group into b-weeks.
+func GroupsInto(a, b Granularity, nGranules int64) bool {
+	if nGranules <= 0 {
+		nGranules = 256
+	}
+	for zb := int64(1); zb <= nGranules; zb++ {
+		ivs, ok := b.Intervals(zb)
+		if !ok {
+			break
+		}
+		for _, iv := range ivs {
+			if !exactlyTiledBy(a, iv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// exactlyTiledBy reports whether the interval is exactly the union of
+// full granule-intervals of g: every second covered, and no covering
+// granule interval sticks out of iv.
+func exactlyTiledBy(g Granularity, iv Interval) bool {
+	pos := iv.First
+	for pos <= iv.Last {
+		z, ok := g.TickOf(pos)
+		if !ok {
+			return false // a hole b covers that a does not
+		}
+		ivs, ok := g.Intervals(z)
+		if !ok {
+			return false
+		}
+		advanced := false
+		for _, giv := range ivs {
+			if !giv.Contains(pos) {
+				continue
+			}
+			if giv.First < iv.First || giv.Last > iv.Last {
+				return false // the a-granule interval sticks out of b's
+			}
+			pos = giv.Last + 1
+			advanced = true
+			break
+		}
+		if !advanced {
+			return false
+		}
+	}
+	return true
+}
+
+// Partitions reports whether a both groups into b and covers exactly what
+// b covers — for gapless pairs this is the textbook "a partitions b".
+// Days partition weeks and months; hours partition days.
+func Partitions(a, b Granularity, nGranules int64) bool {
+	// GroupsInto already gives "b's coverage ⊆ a's"; equality additionally
+	// needs every second a covers to be covered by b.
+	return GroupsInto(a, b, nGranules) && Covers(b, a, nGranules)
+}
+
+// Relation summarizes the pairwise relationship of a and b over the sample.
+type Relation struct {
+	FinerThan  bool // every a-granule inside one b-granule
+	GroupsInto bool // every b-granule a union of a-granules
+	Partitions bool // GroupsInto plus equal coverage
+}
+
+// Relate computes all three relationship flags of a versus b.
+func Relate(a, b Granularity, nGranules int64) Relation {
+	return Relation{
+		FinerThan:  FinerThan(a, b, nGranules),
+		GroupsInto: GroupsInto(a, b, nGranules),
+		Partitions: Partitions(a, b, nGranules),
+	}
+}
+
+// Equivalent reports whether a and b have identical granules over the
+// first nGranules granules (256 when <= 0): same intervals at the same
+// indices. Useful for validating periodic samplings of computed types.
+func Equivalent(a, b Granularity, nGranules int64) bool {
+	if nGranules <= 0 {
+		nGranules = 256
+	}
+	for z := int64(1); z <= nGranules; z++ {
+		ia, oka := a.Intervals(z)
+		ib, okb := b.Intervals(z)
+		if oka != okb {
+			return false
+		}
+		if !oka {
+			return true // both finite, exhausted together
+		}
+		if len(ia) != len(ib) {
+			return false
+		}
+		for i := range ia {
+			if ia[i] != ib[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package granularity
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/calendar"
+)
+
+func TestFinerThan(t *testing.T) {
+	cases := []struct {
+		a, b Granularity
+		want bool
+	}{
+		{Day(), Week(), true},
+		{Day(), Month(), true},
+		{Week(), Month(), false}, // weeks straddle month boundaries
+		{BDay(), Day(), true},
+		{BDay(), Week(), true},
+		{Day(), BDay(), false},
+		{Hour(), Day(), true},
+		{Month(), Year(), true},
+		{BDay(), BMonth(), true},
+		{Weekend(), Week(), true},
+	}
+	for _, c := range cases {
+		if got := FinerThan(c.a, c.b, 60); got != c.want {
+			t.Errorf("FinerThan(%s, %s) = %v, want %v", c.a.Name(), c.b.Name(), got, c.want)
+		}
+	}
+}
+
+func TestGroupsInto(t *testing.T) {
+	cases := []struct {
+		a, b Granularity
+		want bool
+	}{
+		{Day(), Week(), true},
+		{Day(), Month(), true},
+		{Hour(), Day(), true},
+		{Month(), Year(), true},
+		{Month(), NMonth(3), true},
+		{BDay(), Week(), false},  // weekends uncovered by b-day
+		{BDay(), BWeek(), true},  // b-weeks are exactly unions of b-days
+		{BDay(), BMonth(), true}, // likewise
+		{Week(), Month(), false},
+		{Day(), BDay(), true}, // each b-day granule is exactly one day
+	}
+	for _, c := range cases {
+		if got := GroupsInto(c.a, c.b, 40); got != c.want {
+			t.Errorf("GroupsInto(%s, %s) = %v, want %v", c.a.Name(), c.b.Name(), got, c.want)
+		}
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	if !Partitions(Day(), Week(), 40) {
+		t.Error("days partition weeks")
+	}
+	if !Partitions(Hour(), Day(), 40) {
+		t.Error("hours partition days")
+	}
+	// Days group into b-days but do not partition them (days cover more).
+	if Partitions(Day(), BDay(), 40) {
+		t.Error("days do not partition b-days (coverage differs)")
+	}
+}
+
+func TestRelate(t *testing.T) {
+	r := Relate(Day(), Week(), 40)
+	if !r.FinerThan || !r.GroupsInto || !r.Partitions {
+		t.Fatalf("Relate(day, week) = %+v", r)
+	}
+	r = Relate(Week(), Day(), 40)
+	if r.FinerThan || r.GroupsInto || r.Partitions {
+		t.Fatalf("Relate(week, day) = %+v", r)
+	}
+	// b-day vs week: finer-than but not groups-into.
+	r = Relate(BDay(), Week(), 40)
+	if !r.FinerThan || r.GroupsInto {
+		t.Fatalf("Relate(b-day, week) = %+v", r)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !Equivalent(Day(), NewUniform("day2", 86400), 100) {
+		t.Error("identical uniform types should be equivalent")
+	}
+	if Equivalent(Day(), Hour(), 10) {
+		t.Error("day and hour are not equivalent")
+	}
+	if Equivalent(Day(), BDay(), 10) {
+		t.Error("day and b-day differ at weekends")
+	}
+	// A 12-month grouping is equivalent to the calendar year.
+	if !Equivalent(Year(), GroupBy("12m", Month(), 12), 20) {
+		t.Error("12-month grouping should equal calendar years")
+	}
+}
+
+func ExampleNthOf() {
+	payday := NthOf("payday", Month(), BDay(), -1)
+	// The last business day of June 1996 (June 29/30 are a weekend).
+	t := int64(0)
+	for z := int64(1); ; z++ {
+		iv, ok := payday.Span(z)
+		if !ok {
+			break
+		}
+		if iv.First > secondAt(1996, 7, 1, 0, 0, 0) {
+			break
+		}
+		t = iv.First
+	}
+	d := (t - 1) / 86400 // rata-1
+	_ = d
+	fmt.Println(calendar.DateOf(d + 1))
+	// Output: 1996-06-28
+}

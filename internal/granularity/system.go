@@ -1,0 +1,171 @@
+package granularity
+
+import (
+	"fmt"
+	"sync"
+)
+
+// System is a granularity system: a named collection of temporal types with
+// shared metric and conversion-feasibility caches. The constraint machinery
+// resolves granularity names against a System.
+type System struct {
+	mu       sync.Mutex
+	grans    map[string]Granularity
+	order    []string
+	metrics  map[string]*Metrics
+	feasible map[[2]string]bool
+	coverAll map[[2]string]bool
+	horizon  int
+	coverage int64
+}
+
+// NewSystem builds an empty system. horizon is the Metrics scanning horizon
+// (0 means DefaultHorizon); coverGranules is the number of granules sampled
+// by conversion-feasibility checks (0 means 256).
+func NewSystem(horizon int, coverGranules int64) *System {
+	if coverGranules <= 0 {
+		coverGranules = 256
+	}
+	return &System{
+		grans:    make(map[string]Granularity),
+		metrics:  make(map[string]*Metrics),
+		feasible: make(map[[2]string]bool),
+		coverAll: make(map[[2]string]bool),
+		horizon:  horizon,
+		coverage: coverGranules,
+	}
+}
+
+// Add registers g. Re-adding the same name replaces the granularity and
+// drops its caches.
+func (s *System) Add(g Granularity) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := g.Name()
+	if _, exists := s.grans[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.grans[name] = g
+	delete(s.metrics, name)
+	for key := range s.feasible {
+		if key[0] == name || key[1] == name {
+			delete(s.feasible, key)
+		}
+	}
+	for key := range s.coverAll {
+		if key[0] == name || key[1] == name {
+			delete(s.coverAll, key)
+		}
+	}
+}
+
+// Get returns the granularity registered under name.
+func (s *System) Get(name string) (Granularity, bool) {
+	s.mu.Lock()
+	g, ok := s.grans[name]
+	s.mu.Unlock()
+	return g, ok
+}
+
+// MustGet is Get that panics on unknown names; for use by code that has
+// already validated the structure against the system.
+func (s *System) MustGet(name string) Granularity {
+	g, ok := s.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("granularity: %q not registered", name))
+	}
+	return g
+}
+
+// Names returns the registered names in insertion order.
+func (s *System) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Metrics returns the (cached) Metrics for the named granularity.
+func (s *System) Metrics(name string) *Metrics {
+	s.mu.Lock()
+	if m, ok := s.metrics[name]; ok {
+		s.mu.Unlock()
+		return m
+	}
+	g, ok := s.grans[name]
+	s.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("granularity: %q not registered", name))
+	}
+	// Built outside the lock: scanning spans can be slow and may itself
+	// use the system-backed granularity.
+	m := NewMetrics(g, s.horizon)
+	s.mu.Lock()
+	if prior, ok := s.metrics[name]; ok {
+		m = prior // another goroutine won the race
+	} else {
+		s.metrics[name] = m
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// ConversionFeasible reports whether a constraint in src may be soundly
+// converted into dst (dst covers everything src covers). Results are cached.
+func (s *System) ConversionFeasible(src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	key := [2]string{src, dst}
+	s.mu.Lock()
+	if v, ok := s.feasible[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := Covers(s.MustGet(dst), s.MustGet(src), s.coverage)
+	s.mu.Lock()
+	s.feasible[key] = v
+	s.mu.Unlock()
+	return v
+}
+
+// CoverAlways reports whether every granule of src (sampled over the
+// verification horizon) is contained in a single granule of dst. Results
+// are cached.
+func (s *System) CoverAlways(src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	key := [2]string{src, dst}
+	s.mu.Lock()
+	if v, ok := s.coverAll[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := AlwaysCovered(s.MustGet(dst), s.MustGet(src), s.coverage)
+	s.mu.Lock()
+	s.coverAll[key] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Default returns a system preloaded with the standard types the paper uses:
+// second, minute, hour, day, week, month, year, b-day, b-week, b-month and
+// weekend (holiday-free business types; register BDayUS etc. for holiday-
+// aware variants).
+func Default() *System {
+	s := NewSystem(0, 0)
+	s.Add(Second())
+	s.Add(Minute())
+	s.Add(Hour())
+	s.Add(Day())
+	s.Add(Week())
+	s.Add(Month())
+	s.Add(Year())
+	s.Add(BDay())
+	s.Add(BWeek())
+	s.Add(BMonth())
+	s.Add(Weekend())
+	return s
+}

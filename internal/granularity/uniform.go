@@ -1,0 +1,62 @@
+package granularity
+
+// Uniform is a gapless granularity whose granules all have the same length
+// in seconds, aligned to the timeline start: granule 1 is [1, size].
+// second, minute, hour and day are Uniform.
+type Uniform struct {
+	name string
+	size int64
+}
+
+// NewUniform builds a uniform granularity of the given size in seconds.
+// It panics on a non-positive size: that is a programming error, not a
+// runtime condition.
+func NewUniform(name string, size int64) *Uniform {
+	if size <= 0 {
+		panic("granularity: uniform size must be positive")
+	}
+	return &Uniform{name: name, size: size}
+}
+
+// Name implements Granularity.
+func (u *Uniform) Name() string { return u.name }
+
+// Size returns the granule length in seconds.
+func (u *Uniform) Size() int64 { return u.size }
+
+// TickOf implements Granularity.
+func (u *Uniform) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	return (t-1)/u.size + 1, true
+}
+
+// Span implements Granularity.
+func (u *Uniform) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	return Interval{First: (z-1)*u.size + 1, Last: z * u.size}, true
+}
+
+// Intervals implements Granularity.
+func (u *Uniform) Intervals(z int64) ([]Interval, bool) {
+	return convexIntervals(u, z)
+}
+
+// uniformMetrics lets Metrics use closed forms for Uniform granularities.
+func (u *Uniform) uniformSize() int64 { return u.size }
+
+// Standard uniform granularities. Each call returns a fresh value, but all
+// values with the same name are interchangeable.
+func Second() *Uniform { return NewUniform("second", 1) }
+
+// Minute is 60 seconds.
+func Minute() *Uniform { return NewUniform("minute", 60) }
+
+// Hour is 3600 seconds.
+func Hour() *Uniform { return NewUniform("hour", 3600) }
+
+// Day is 86400 seconds; the timeline has no daylight-saving shifts.
+func Day() *Uniform { return NewUniform("day", 86400) }

@@ -1,0 +1,36 @@
+package hardness_test
+
+import (
+	"fmt"
+
+	"repro/internal/exact"
+	"repro/internal/granularity"
+	"repro/internal/hardness"
+)
+
+// Example runs the Theorem-1 reduction end to end: a SUBSET-SUM instance
+// becomes an event structure whose consistency encodes solvability, and
+// the exact witness decodes back to the chosen subset.
+func Example() {
+	in := hardness.Instance{Numbers: []int64{2, 3, 5}, Target: 8}
+	sys := granularity.Default()
+	s, err := hardness.Reduce(in, sys)
+	if err != nil {
+		panic(err)
+	}
+	start, end := hardness.Horizon(in)
+	v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("consistent:", v.Satisfiable)
+	subset, _ := hardness.ExtractSubset(in, v.Witness)
+	sum := int64(0)
+	for _, i := range subset {
+		sum += in.Numbers[i]
+	}
+	fmt.Println("subset sums to:", sum)
+	// Output:
+	// consistent: true
+	// subset sums to: 8
+}

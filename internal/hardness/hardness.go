@@ -1,0 +1,246 @@
+// Package hardness realizes the paper's Theorem-1 machinery: SUBSET-SUM
+// instances, an exact dynamic-programming subset-sum solver, and the
+// reduction from SUBSET SUM to event-structure consistency built from
+// n-month granularities (Appendix A.2).
+//
+// One honest deviation from the extended abstract: the published gadget
+// pins each X_i to the last month of a fixed n_i-month block and of a fixed
+// n_{i-1}-month block simultaneously. For arbitrary n_i these alignment
+// congruences can be unsolvable even when the subset-sum instance is
+// solvable (e.g. numbers {2,3,4}, target 3), so the literal reduction is
+// only correct in the consistent ⇒ solvable direction. We therefore
+// restrict generated instances to pairwise-coprime numbers, for which the
+// Chinese Remainder Theorem guarantees the alignment is always satisfiable
+// and the reduction is exact in both directions. The experiments (E3)
+// verify both directions on such instances.
+package hardness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/granularity"
+)
+
+// Instance is a SUBSET-SUM instance: does some subset of Numbers sum to
+// Target?
+type Instance struct {
+	Numbers []int64
+	Target  int64
+}
+
+// String formats the instance.
+func (in Instance) String() string {
+	return fmt.Sprintf("subset-sum(%v, target=%d)", in.Numbers, in.Target)
+}
+
+// Validate checks the instance is well-formed for the reduction: at least
+// one number, all numbers >= 2, target >= 0.
+func (in Instance) Validate() error {
+	if len(in.Numbers) == 0 {
+		return fmt.Errorf("hardness: empty instance")
+	}
+	for _, n := range in.Numbers {
+		if n < 2 {
+			return fmt.Errorf("hardness: numbers must be >= 2 (got %d)", n)
+		}
+	}
+	if in.Target < 0 {
+		return fmt.Errorf("hardness: negative target")
+	}
+	return nil
+}
+
+// SolveSubsetSum decides the instance exactly by dynamic programming over
+// achievable sums and returns one witness subset (indices into Numbers)
+// when solvable.
+func SolveSubsetSum(in Instance) ([]int, bool) {
+	if in.Target == 0 {
+		return []int{}, true
+	}
+	// from[s] = index of the number whose inclusion first achieved sum s,
+	// -1 when unreached.
+	from := make([]int, in.Target+1)
+	for i := range from {
+		from[i] = -1
+	}
+	from[0] = len(in.Numbers) // sentinel: sum 0 reachable with no numbers
+	for idx, n := range in.Numbers {
+		if n > in.Target {
+			continue
+		}
+		for s := in.Target; s >= n; s-- {
+			if from[s] == -1 && from[s-n] != -1 && from[s-n] != idx {
+				// from[s-n] != idx is guaranteed by the downward sweep
+				// (each number used at most once), kept as a guard.
+				from[s] = idx
+			}
+		}
+	}
+	if from[in.Target] == -1 {
+		return nil, false
+	}
+	var subset []int
+	s := in.Target
+	for s > 0 {
+		idx := from[s]
+		subset = append(subset, idx)
+		s -= in.Numbers[idx]
+	}
+	sort.Ints(subset)
+	return subset, true
+}
+
+// coprimePool is a pool of pairwise-coprime candidates >= 2 used by the
+// generators: primes and prime powers with distinct bases.
+var coprimePool = []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43}
+
+// Generate builds a pairwise-coprime instance with k numbers: the k
+// smallest pool values (keeping lcm — and with it the exact solver's
+// CRT horizon — small), with a randomized target. When solvable, the
+// target is the sum of a random non-empty proper subset; otherwise the
+// target is perturbed until the DP solver confirms unsolvability.
+// Deterministic per seed.
+func Generate(k int, solvable bool, seed int64) Instance {
+	if k < 2 || k > len(coprimePool) {
+		panic(fmt.Sprintf("hardness: k must be in [2,%d]", len(coprimePool)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nums := make([]int64, k)
+	copy(nums, coprimePool[:k])
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	var total int64
+	for _, n := range nums {
+		total += n
+	}
+	if solvable {
+		var target int64
+		for target == 0 || target == total {
+			target = 0
+			for _, n := range nums {
+				if rng.Intn(2) == 1 {
+					target += n
+				}
+			}
+		}
+		return Instance{Numbers: nums, Target: target}
+	}
+	// Walk targets from 1 upward until one is unreachable; since the
+	// numbers are distinct and >= 2, small non-sums always exist (1 is
+	// never a sum, but use a random unreachable one for variety).
+	start := rng.Int63n(total) + 1
+	for off := int64(0); off <= total; off++ {
+		t := (start+off)%total + 1
+		in := Instance{Numbers: nums, Target: t}
+		if _, ok := SolveSubsetSum(in); !ok {
+			return in
+		}
+	}
+	return Instance{Numbers: nums, Target: 1} // 1 is never a sum of n>=2
+}
+
+// Reduce builds the Theorem-1 event structure for the instance and
+// registers the needed n-month granularities in sys. Variables are named
+// X1..X{k+1}, V1..Vk, U1..Uk as in the paper.
+func Reduce(in Instance, sys *granularity.System) (*core.EventStructure, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s := core.NewStructure()
+	k := len(in.Numbers)
+	x := func(i int) core.Variable { return core.Variable(fmt.Sprintf("X%d", i)) }
+	for i, n := range in.Numbers {
+		name := fmt.Sprintf("%d-month", n)
+		if _, ok := sys.Get(name); !ok {
+			sys.Add(granularity.NMonth(n))
+		}
+		vi := core.Variable(fmt.Sprintf("V%d", i+1))
+		ui := core.Variable(fmt.Sprintf("U%d", i+1))
+		// (X_i, X_{i+1}) ∈ [0, n_i]month.
+		s.MustConstrain(x(i+1), x(i+2), core.MustTCG(0, n, "month"))
+		// (V_i, X_i): same n_i-month granule, exactly n_i−1 months apart —
+		// pins X_i to the last month of its block.
+		s.MustConstrain(vi, x(i+1), core.MustTCG(0, 0, name), core.MustTCG(n-1, n-1, "month"))
+		// (U_i, X_{i+1}): pins X_{i+1} the same way.
+		s.MustConstrain(ui, x(i+2), core.MustTCG(0, 0, name), core.MustTCG(n-1, n-1, "month"))
+	}
+	// (X_1, X_{k+1}) ∈ [s, s]month.
+	s.MustConstrain(x(1), x(k+1), core.MustTCG(in.Target, in.Target, "month"))
+	return s, nil
+}
+
+// Horizon returns a second horizon [start, end] large enough that the
+// reduced structure is satisfiable within it whenever the instance is
+// solvable: the CRT alignment has a solution within any window of
+// lcm(numbers) months — we allow two periods so the V gadget months stay
+// positive — and the chain extends at most target months beyond it.
+func Horizon(in Instance) (start, end int64) {
+	l := int64(1)
+	for _, n := range in.Numbers {
+		l = lcm(l, n)
+	}
+	months := 2*l + in.Target + maxOf(in.Numbers) + 2
+	month := granularity.Month()
+	iv, ok := month.Span(months)
+	if !ok {
+		panic("hardness: horizon span undefined")
+	}
+	return 1, iv.Last
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+func maxOf(ns []int64) int64 {
+	m := ns[0]
+	for _, n := range ns[1:] {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// ExtractSubset recovers the chosen subset from a consistency witness of
+// the reduced structure: index i is in the subset iff X_{i+1} is n_i months
+// after X_i. ok is false if the witness does not decode to a valid subset
+// (which would indicate a solver bug).
+func ExtractSubset(in Instance, witness map[core.Variable]int64) ([]int, bool) {
+	month := granularity.Month()
+	monthOf := func(v core.Variable) (int64, bool) {
+		t, ok := witness[v]
+		if !ok {
+			return 0, false
+		}
+		return month.TickOf(t)
+	}
+	var subset []int
+	var sum int64
+	for i, n := range in.Numbers {
+		a, ok1 := monthOf(core.Variable(fmt.Sprintf("X%d", i+1)))
+		b, ok2 := monthOf(core.Variable(fmt.Sprintf("X%d", i+2)))
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		switch b - a {
+		case 0:
+		case n:
+			subset = append(subset, i)
+			sum += n
+		default:
+			return nil, false
+		}
+	}
+	if sum != in.Target {
+		return nil, false
+	}
+	return subset, true
+}

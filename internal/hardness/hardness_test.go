@@ -1,0 +1,211 @@
+package hardness
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+)
+
+func TestSolveSubsetSumBasics(t *testing.T) {
+	cases := []struct {
+		nums   []int64
+		target int64
+		want   bool
+	}{
+		{[]int64{2, 3, 5}, 5, true},
+		{[]int64{2, 3, 5}, 10, true},
+		{[]int64{2, 3, 5}, 4, false},
+		{[]int64{2, 3, 5}, 1, false},
+		{[]int64{2, 3, 5}, 0, true},
+		{[]int64{7, 11, 13}, 18, true},
+		{[]int64{7, 11, 13}, 19, false},
+		{[]int64{5, 5, 5}, 15, true},
+		{[]int64{5, 5, 5}, 12, false},
+	}
+	for _, c := range cases {
+		in := Instance{Numbers: c.nums, Target: c.target}
+		subset, ok := SolveSubsetSum(in)
+		if ok != c.want {
+			t.Errorf("%v: solvable=%v, want %v", in, ok, c.want)
+			continue
+		}
+		if ok {
+			var sum int64
+			seen := map[int]bool{}
+			for _, i := range subset {
+				if seen[i] {
+					t.Errorf("%v: witness reuses index %d", in, i)
+				}
+				seen[i] = true
+				sum += c.nums[i]
+			}
+			if sum != c.target {
+				t.Errorf("%v: witness sums to %d", in, sum)
+			}
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} {
+		for seed := int64(0); seed < 5; seed++ {
+			yes := Generate(k, true, seed)
+			if err := yes.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := SolveSubsetSum(yes); !ok {
+				t.Fatalf("Generate(solvable) gave unsolvable %v", yes)
+			}
+			no := Generate(k, false, seed)
+			if _, ok := SolveSubsetSum(no); ok {
+				t.Fatalf("Generate(unsolvable) gave solvable %v", no)
+			}
+			// Pairwise coprime.
+			for i := range yes.Numbers {
+				for j := i + 1; j < len(yes.Numbers); j++ {
+					if gcd(yes.Numbers[i], yes.Numbers[j]) != 1 {
+						t.Fatalf("numbers %v not pairwise coprime", yes.Numbers)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(4, true, 7)
+	b := Generate(4, true, 7)
+	if a.Target != b.Target || len(a.Numbers) != len(b.Numbers) {
+		t.Fatal("same seed should reproduce the instance")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	sys := granularity.Default()
+	in := Instance{Numbers: []int64{2, 3}, Target: 5}
+	s, err := Reduce(in, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2: X1..X3, V1,V2, U1,U2 = 7 variables.
+	if s.NumVariables() != 7 {
+		t.Fatalf("reduction has %d variables, want 7", s.NumVariables())
+	}
+	// Arcs: 2 chain + 1 sum + 2V + 2U = 7.
+	if s.NumEdges() != 7 {
+		t.Fatalf("reduction has %d edges, want 7", s.NumEdges())
+	}
+	if !s.IsAcyclic() {
+		t.Fatal("reduction must be acyclic")
+	}
+	if _, ok := sys.Get("2-month"); !ok {
+		t.Fatal("2-month granularity not registered")
+	}
+	if _, ok := sys.Get("3-month"); !ok {
+		t.Fatal("3-month granularity not registered")
+	}
+	cs := s.Constraints("V1", "X1")
+	if len(cs) != 2 {
+		t.Fatalf("V1->X1 should carry 2 TCGs, got %v", cs)
+	}
+}
+
+func TestReduceRejectsBadInstance(t *testing.T) {
+	sys := granularity.Default()
+	if _, err := Reduce(Instance{Numbers: []int64{1, 3}, Target: 3}, sys); err == nil {
+		t.Fatal("numbers < 2 should be rejected")
+	}
+	if _, err := Reduce(Instance{}, sys); err == nil {
+		t.Fatal("empty instance should be rejected")
+	}
+}
+
+// TestReductionFaithful is the heart of E3: for small pairwise-coprime
+// instances, the reduced structure is consistent (within the CRT horizon)
+// exactly when the subset-sum instance is solvable, and witnesses decode to
+// valid subsets.
+func TestReductionFaithful(t *testing.T) {
+	cases := []Instance{
+		{Numbers: []int64{2, 3}, Target: 5},     // yes: {2,3}
+		{Numbers: []int64{2, 3}, Target: 2},     // yes: {2}
+		{Numbers: []int64{2, 3}, Target: 4},     // no
+		{Numbers: []int64{2, 3}, Target: 1},     // no
+		{Numbers: []int64{2, 5}, Target: 7},     // yes
+		{Numbers: []int64{3, 5}, Target: 4},     // no
+		{Numbers: []int64{2, 3, 5}, Target: 8},  // yes: {3,5}
+		{Numbers: []int64{2, 3, 5}, Target: 9},  // no
+		{Numbers: []int64{2, 3, 5}, Target: 10}, // yes: all
+	}
+	for _, in := range cases {
+		sys := granularity.Default()
+		s, err := Reduce(in, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := SolveSubsetSum(in)
+		start, end := Horizon(in)
+		v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end})
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if v.Satisfiable != want {
+			t.Fatalf("%v: consistency=%v but subset-sum solvable=%v", in, v.Satisfiable, want)
+		}
+		if v.Satisfiable {
+			subset, ok := ExtractSubset(in, v.Witness)
+			if !ok {
+				t.Fatalf("%v: witness does not decode to a subset: %v", in, v.Witness)
+			}
+			var sum int64
+			for _, i := range subset {
+				sum += in.Numbers[i]
+			}
+			if sum != in.Target {
+				t.Fatalf("%v: decoded subset sums to %d", in, sum)
+			}
+		}
+	}
+}
+
+// TestPropagationCannotRefuteSolvableShapes shows the approximation gap:
+// the unsolvable instances above are never refuted by propagation alone
+// (their refutation needs the implicit disjunction).
+func TestPropagationIncompleteOnReduction(t *testing.T) {
+	in := Instance{Numbers: []int64{2, 3}, Target: 4} // unsolvable
+	sys := granularity.Default()
+	s, err := Reduce(in, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := propagate.Run(sys, s, propagate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Fatal("propagation unexpectedly refuted the gadget (it is sound but should be too weak here)")
+	}
+	start, end := Horizon(in)
+	v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Satisfiable {
+		t.Fatal("exact solver must refute the unsolvable instance")
+	}
+}
+
+func TestHorizonCoversLCM(t *testing.T) {
+	in := Instance{Numbers: []int64{2, 3, 5}, Target: 10}
+	start, end := Horizon(in)
+	if start != 1 {
+		t.Fatalf("start = %d", start)
+	}
+	// 2*30 + 10 + 5 + 2 = 77 months.
+	m := granularity.Month()
+	iv, _ := m.Span(77)
+	if end != iv.Last {
+		t.Fatalf("end = %d, want end of month 77 = %d", end, iv.Last)
+	}
+}

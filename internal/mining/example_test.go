@@ -1,0 +1,39 @@
+package mining_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/mining"
+)
+
+// Example runs an event-discovery problem end to end: the plant workload's
+// cascade is mined back out with the optimized pipeline.
+func Example() {
+	sys := granularity.Default()
+	seq := event.GeneratePlant(event.PlantFaultConfig{
+		Machines: 1, StartYear: 1996, Days: 90, Seed: 7, CascadeProb: 0.9,
+	})
+	s := core.NewStructure()
+	s.MustConstrain("X0", "X1", core.MustTCG(0, 0, "b-day"), core.MustTCG(1, 4, "hour"))
+	s.MustConstrain("X1", "X2", core.MustTCG(1, 1, "b-day"))
+
+	ds, _, err := mining.Optimized(sys, mining.Problem{
+		Structure:     s,
+		MinConfidence: 0.5,
+		Reference:     "overheat-m0",
+	}, seq, mining.PipelineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range ds {
+		vars := []string{"X1", "X2"}
+		sort.Strings(vars)
+		fmt.Println(d.Assign["X1"], "then", d.Assign["X2"])
+	}
+	// Output:
+	// malfunction-m0 then shutdown-m0
+}

@@ -1,0 +1,310 @@
+package mining
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+func TestGranuleReferences(t *testing.T) {
+	seq := plantWorkload(3, 30, 0.8)
+	withRefs, typ, err := GranuleReferences(sys, seq, "week")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != "granule:week" {
+		t.Fatalf("pseudo type = %q", typ)
+	}
+	anchors := withRefs.Occurrences(typ)
+	if len(anchors) < 4 || len(anchors) > 8 {
+		t.Fatalf("30 days should span 5-7 weeks, got %d anchors", len(anchors))
+	}
+	// Every anchor is a week start (Monday midnight, or the timeline's
+	// partial week 1 start).
+	wk := weekOf(t)
+	for _, a := range anchors {
+		iv, ok := wk.Span(mustTick(t, wk, a))
+		if !ok || iv.First != a {
+			t.Fatalf("anchor %d is not a week start", a)
+		}
+	}
+	if err := withRefs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, _, err := GranuleReferences(sys, seq, "fortnight"); err == nil {
+		t.Fatal("unknown granularity accepted")
+	}
+	if _, _, err := GranuleReferences(sys, nil, "week"); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+}
+
+// TestWhatHappensInMostWeeks runs the paper's "what happens in most of the
+// weeks?" extension end to end: the plant workload has overheats of machine
+// 0 nearly every week, so the discovery anchored at week starts finds them.
+func TestWhatHappensInMostWeeks(t *testing.T) {
+	seq := plantWorkload(5, 120, 0.9)
+	withRefs, typ, err := GranuleReferences(sys, seq, "week")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewStructure()
+	s.MustConstrain("Week", "X", core.MustTCG(0, 0, "week"))
+	p := Problem{
+		Structure:     s,
+		MinConfidence: 0.7,
+		Reference:     typ,
+	}
+	ds, stats, err := Optimized(sys, p, withRefs, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReferenceOccurrences < 15 {
+		t.Fatalf("expected ~17 week anchors, got %d", stats.ReferenceOccurrences)
+	}
+	found := map[event.Type]bool{}
+	for _, d := range ds {
+		found[d.Assign["X"]] = true
+	}
+	if !found["A"] {
+		t.Fatalf("A occurs every week and must be found; got %v", found)
+	}
+	if found["R"] {
+		t.Fatal("rare type R must not occur in most weeks")
+	}
+}
+
+func TestReferenceSet(t *testing.T) {
+	// Two reference types A and A2, where A2 is A shifted; B follows both.
+	seq := plantWorkload(19, 60, 0.9)
+	// Rename a third of the As to A2.
+	mod := append(event.Sequence{}, seq...)
+	n := 0
+	for i := range mod {
+		if mod[i].Type == "A" {
+			n++
+			if n%3 == 0 {
+				mod[i].Type = "A2"
+			}
+		}
+	}
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.4,
+		References:    []event.Type{"A", "A2"},
+		Candidates: map[core.Variable][]event.Type{
+			"X1": {"B"}, "X2": {"C"},
+		},
+	}
+	nd, ns, err := Naive(sys, p, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, os, err := Optimized(sys, p, mod, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.ReferenceOccurrences != mod.CountType("A")+mod.CountType("A2") {
+		t.Fatalf("reference count %d wrong", ns.ReferenceOccurrences)
+	}
+	if os.ReferenceOccurrences != ns.ReferenceOccurrences {
+		t.Fatal("solvers disagree on reference count")
+	}
+	if !sameDiscoveries(nd, od) {
+		t.Fatalf("solvers disagree: %v vs %v", summarize(nd), summarize(od))
+	}
+	// Solutions exist for both root typings (each root type is frequent
+	// enough relative to the union at tau=0.4? A is 2/3 of refs, A2 1/3 —
+	// at tau=0.4 only the A-rooted typing survives).
+	roots := map[event.Type]bool{}
+	for _, d := range nd {
+		roots[d.Assign["X0"]] = true
+	}
+	if !roots["A"] {
+		t.Fatalf("A-rooted solution missing: %v", summarize(nd))
+	}
+	if roots["A2"] {
+		t.Fatal("A2 is only a third of the references; cannot exceed tau=0.4")
+	}
+	// Lower tau admits both roots.
+	p.MinConfidence = 0.2
+	nd2, _, err := Naive(sys, p, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots = map[event.Type]bool{}
+	for _, d := range nd2 {
+		roots[d.Assign["X0"]] = true
+	}
+	if !roots["A"] || !roots["A2"] {
+		t.Fatalf("both roots should appear at tau=0.2: %v", summarize(nd2))
+	}
+}
+
+func TestTypeConstraints(t *testing.T) {
+	seq := plantWorkload(23, 50, 0.9)
+	base := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.0,
+		Reference:     "A",
+	}
+	// Unconstrained: solutions with X1 == X2 types exist at tau=0.
+	nd, _, err := Naive(sys, base, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasEqual, hasDistinct := false, false
+	for _, d := range nd {
+		if d.Assign["X1"] == d.Assign["X2"] {
+			hasEqual = true
+		} else {
+			hasDistinct = true
+		}
+	}
+	if !hasEqual || !hasDistinct {
+		t.Skip("workload does not produce both shapes; adjust seeds")
+	}
+	// DistinctType filters the equal ones.
+	p := base
+	p.DistinctType = [][2]core.Variable{{"X1", "X2"}}
+	dd, _, err := Naive(sys, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dd {
+		if d.Assign["X1"] == d.Assign["X2"] {
+			t.Fatalf("distinct-type constraint violated: %v", d.Assign)
+		}
+	}
+	// SameType keeps only the equal ones; optimized agrees.
+	p = base
+	p.SameType = [][2]core.Variable{{"X1", "X2"}}
+	sd, _, err := Naive(sys, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sd {
+		if d.Assign["X1"] != d.Assign["X2"] {
+			t.Fatalf("same-type constraint violated: %v", d.Assign)
+		}
+	}
+	so, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(sd, so) {
+		t.Fatalf("solvers disagree under type constraints: %v vs %v", summarize(sd), summarize(so))
+	}
+	if len(sd)+len(dd) != len(nd) {
+		t.Fatalf("same (%d) + distinct (%d) should partition all (%d)", len(sd), len(dd), len(nd))
+	}
+}
+
+func TestTypeConstraintValidation(t *testing.T) {
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+		SameType:      [][2]core.Variable{{"X1", "X9"}},
+	}
+	if _, _, err := Naive(sys, p, plantWorkload(1, 10, 0.5)); err == nil {
+		t.Fatal("unknown variable in type constraint accepted")
+	}
+}
+
+// helpers
+
+func weekOf(t *testing.T) granularity.Granularity {
+	t.Helper()
+	g, ok := sys.Get("week")
+	if !ok {
+		t.Fatal("week missing")
+	}
+	return g
+}
+
+func mustTick(t *testing.T, g granularity.Granularity, tm int64) int64 {
+	t.Helper()
+	z, ok := g.TickOf(tm)
+	if !ok {
+		t.Fatalf("timestamp %d uncovered", tm)
+	}
+	return z
+}
+
+func TestParallelScanMatchesSerial(t *testing.T) {
+	seq := plantWorkload(29, 60, 0.8)
+	p := Problem{Structure: plantStructure(), MinConfidence: 0.3, Reference: "A"}
+	serial, ss, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, ps, err := Optimized(sys, p, seq, PipelineOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(serial, parallel) {
+		t.Fatalf("parallel scan changed solutions: %v vs %v", summarize(serial), summarize(parallel))
+	}
+	if ss.TagRuns != ps.TagRuns || ss.CandidatesScanned != ps.CandidatesScanned {
+		t.Fatalf("parallel scan changed work accounting: %+v vs %+v", ss, ps)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	seq := plantWorkload(37, 50, 0.9)
+	p := Problem{Structure: plantStructure(), MinConfidence: 0.5, Reference: "A"}
+	ds, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *Discovery
+	for i := range ds {
+		if ds[i].Assign["X1"] == "B" && ds[i].Assign["X2"] == "C" {
+			target = &ds[i]
+		}
+	}
+	if target == nil {
+		t.Fatalf("planted pattern not discovered: %v", summarize(ds))
+	}
+	ws, err := Explain(sys, p, seq, *target, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("no witnesses")
+	}
+	if len(ws) > 5 {
+		t.Fatalf("maxWitnesses ignored: %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.Reference.Type != "A" {
+			t.Fatalf("witness anchored at %v", w.Reference)
+		}
+		if w.Binding["X0"] != w.Reference {
+			t.Fatal("root binding must be the reference event")
+		}
+		if !core.Matches(sys, p.Structure, w.Binding) {
+			t.Fatalf("witness does not match the structure: %v", w.Binding)
+		}
+	}
+	// Unlimited enough to count all matches: witness count == Matches.
+	all, err := Explain(sys, p, seq, *target, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != target.Matches {
+		t.Fatalf("witness count %d != matches %d", len(all), target.Matches)
+	}
+	// Errors.
+	if _, err := Explain(sys, p, seq, *target, 0); err == nil {
+		t.Fatal("maxWitnesses 0 accepted")
+	}
+	bad := Discovery{Assign: map[core.Variable]event.Type{"X1": "B"}}
+	if _, err := Explain(sys, p, seq, bad, 3); err == nil {
+		t.Fatal("discovery without root assignment accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+var sys = granularity.Default()
+
+// plantWorkload builds a sequence over nDays business days where the
+// pattern A -> B (next b-day, morning) -> C (same b-day as B, within 4
+// hours) is planted for hitRate of the A occurrences, plus decoy types.
+func plantWorkload(seed int64, nDays int, hitRate float64) event.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	var s event.Sequence
+	day0 := event.At(1996, 1, 1, 0, 0, 0) // Monday
+	bdays := []int64{}
+	for d := 0; len(bdays) < nDays; d++ {
+		t := day0 + int64(d)*86400
+		if _, ok := granularity.BDay().TickOf(t); ok {
+			bdays = append(bdays, t)
+		}
+	}
+	for i := 0; i+1 < len(bdays); i++ {
+		t := bdays[i] + 9*3600 + rng.Int63n(3600)
+		s = append(s, event.Event{Type: "A", Time: t})
+		if rng.Float64() < hitRate {
+			tb := bdays[i+1] + 8*3600 + rng.Int63n(3600)
+			s = append(s, event.Event{Type: "B", Time: tb})
+			s = append(s, event.Event{Type: "C", Time: tb + 1800 + rng.Int63n(3*3600)})
+		}
+		// Decoys.
+		if rng.Float64() < 0.7 {
+			s = append(s, event.Event{Type: "D", Time: bdays[i] + 12*3600 + rng.Int63n(3600)})
+		}
+		if rng.Float64() < 0.4 {
+			s = append(s, event.Event{Type: "B", Time: bdays[i] + 15*3600 + rng.Int63n(1800)})
+		}
+		// R is rare: the k=1 screen removes it from every pool at any
+		// confidence above its incidence.
+		if rng.Float64() < 0.05 {
+			s = append(s, event.Event{Type: "R", Time: bdays[i] + 10*3600 + rng.Int63n(1800)})
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// plantStructure is the structure of the planted pattern.
+func plantStructure() *core.EventStructure {
+	s := core.NewStructure()
+	s.MustConstrain("X0", "X1", core.MustTCG(1, 1, "b-day"))
+	s.MustConstrain("X1", "X2", core.MustTCG(0, 0, "b-day"), core.MustTCG(0, 4, "hour"))
+	return s
+}
+
+func TestNaiveFindsPlantedPattern(t *testing.T) {
+	seq := plantWorkload(3, 60, 0.9)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	ds, stats, err := Naive(sys, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReferenceOccurrences == 0 {
+		t.Fatal("no references")
+	}
+	found := false
+	for _, d := range ds {
+		if d.Assign["X1"] == "B" && d.Assign["X2"] == "C" {
+			found = true
+			if d.Frequency <= 0.5 {
+				t.Fatalf("planted pattern frequency %v too low", d.Frequency)
+			}
+			if d.Assign["X0"] != "A" {
+				t.Fatal("root must carry the reference type")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted pattern not discovered; got %v", ds)
+	}
+	// Decoy assignment X1=D,X2=D should not be a solution at tau=0.5.
+	for _, d := range ds {
+		if d.Assign["X1"] == "D" && d.Assign["X2"] == "D" {
+			t.Fatalf("decoy discovered with frequency %v", d.Frequency)
+		}
+	}
+}
+
+func TestOptimizedMatchesNaive(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, tau := range []float64{0.0, 0.3, 0.6, 0.9} {
+			seq := plantWorkload(seed, 40, 0.7)
+			p := Problem{
+				Structure:     plantStructure(),
+				MinConfidence: tau,
+				Reference:     "A",
+			}
+			nd, _, err := Naive(sys, p, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			od, ostats, err := Optimized(sys, p, seq, PipelineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDiscoveries(nd, od) {
+				t.Fatalf("seed %d tau %v: naive %v != optimized %v", seed, tau, summarize(nd), summarize(od))
+			}
+			if ostats.CandidatesScanned > int(ostats.CandidatesTotal) {
+				t.Fatal("scanned more than the space")
+			}
+		}
+	}
+}
+
+func TestOptimizedPrunes(t *testing.T) {
+	seq := plantWorkload(7, 60, 0.8)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	_, ns, err := Naive(sys, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, os, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.CandidatesScanned >= ns.CandidatesScanned {
+		t.Fatalf("screening did not reduce candidates: %d vs %d", os.CandidatesScanned, ns.CandidatesScanned)
+	}
+	if os.TagRuns >= ns.TagRuns {
+		t.Fatalf("pipeline did not reduce TAG runs: %d vs %d", os.TagRuns, ns.TagRuns)
+	}
+	if os.ScreenedByK1 == 0 {
+		t.Fatal("expected k=1 screening to remove some types")
+	}
+}
+
+func TestSequenceReduction(t *testing.T) {
+	// Add weekend noise; every variable of the structure is b-day
+	// constrained, so reduction must drop it.
+	seq := plantWorkload(11, 30, 0.8)
+	sat := event.At(1996, 1, 6, 12, 0, 0) // Saturday
+	noisy := append(event.Sequence{}, seq...)
+	for i := 0; i < 10; i++ {
+		noisy = append(noisy, event.Event{Type: "W", Time: sat + int64(i)*7*86400})
+	}
+	noisy.Sort()
+	p := Problem{Structure: plantStructure(), MinConfidence: 0.5, Reference: "A"}
+	_, stats, err := Optimized(sys, p, noisy, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReducedEvents != len(seq) {
+		t.Fatalf("reduction kept %d events, want %d (weekend noise dropped)", stats.ReducedEvents, len(seq))
+	}
+	// Solutions identical to naive on the noisy input.
+	nd, _, err := Naive(sys, p, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, _, err := Optimized(sys, p, noisy, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(nd, od) {
+		t.Fatalf("reduction changed solutions: %v vs %v", summarize(nd), summarize(od))
+	}
+}
+
+func TestInconsistentProblemDiscarded(t *testing.T) {
+	s := core.NewStructure()
+	s.MustConstrain("X0", "X1", core.MustTCG(0, 0, "day"), core.MustTCG(30, 40, "hour"))
+	p := Problem{Structure: s, MinConfidence: 0.1, Reference: "A"}
+	seq := plantWorkload(5, 20, 0.5)
+	ds, stats, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Inconsistent || len(ds) != 0 {
+		t.Fatal("inconsistent structure should be discarded in step 1")
+	}
+	if stats.TagRuns != 0 {
+		t.Fatal("no TAG should run for an inconsistent structure")
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	seq := plantWorkload(5, 10, 0.5)
+	base := Problem{Structure: plantStructure(), MinConfidence: 0.5, Reference: "A"}
+
+	p := base
+	p.Structure = nil
+	if _, _, err := Naive(sys, p, seq); err == nil {
+		t.Error("nil structure accepted")
+	}
+	p = base
+	p.MinConfidence = 1.5
+	if _, _, err := Naive(sys, p, seq); err == nil {
+		t.Error("confidence out of range accepted")
+	}
+	p = base
+	p.Reference = ""
+	if _, _, err := Naive(sys, p, seq); err == nil {
+		t.Error("empty reference accepted")
+	}
+	p = base
+	p.Reference = "NOPE"
+	if _, _, err := Naive(sys, p, seq); err == nil {
+		t.Error("absent reference accepted")
+	}
+	if _, _, err := Optimized(sys, p, seq, PipelineOptions{}); err == nil {
+		t.Error("absent reference accepted by pipeline")
+	}
+}
+
+func TestCandidateRestriction(t *testing.T) {
+	seq := plantWorkload(9, 40, 0.9)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+		Candidates: map[core.Variable][]event.Type{
+			"X1": {"B"},
+			"X2": {"C", "D"},
+		},
+	}
+	ds, stats, err := Naive(sys, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CandidatesTotal != 2 {
+		t.Fatalf("candidate space = %d, want 2", stats.CandidatesTotal)
+	}
+	for _, d := range ds {
+		if d.Assign["X1"] != "B" {
+			t.Fatal("candidate restriction violated")
+		}
+	}
+}
+
+func TestExample2Shape(t *testing.T) {
+	// The paper's Example 2: Fig1a with X3 pinned to IBM-fall and the rest
+	// free, reference IBM-rise. Run it end to end on a generated stock
+	// sequence; the discovery must not error and every solution must pin
+	// X0=IBM-rise, X3=IBM-fall.
+	seq := event.GenerateStock(event.StockConfig{
+		Symbols: []string{"IBM", "HP"}, StartYear: 1996, Days: 40, Seed: 5, MoveProb: 0.08,
+	})
+	p := Problem{
+		Structure:     core.Fig1a(),
+		MinConfidence: 0.1,
+		Reference:     "IBM-rise",
+		Candidates: map[core.Variable][]event.Type{
+			"X3": {"IBM-fall"},
+		},
+	}
+	ds, stats, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReferenceOccurrences == 0 {
+		t.Fatal("no IBM-rise occurrences generated")
+	}
+	for _, d := range ds {
+		if d.Assign["X0"] != "IBM-rise" || d.Assign["X3"] != "IBM-fall" {
+			t.Fatalf("solution violates pinning: %v", d.Assign)
+		}
+		if d.Frequency <= 0.1 || d.Frequency > 1 {
+			t.Fatalf("frequency %v out of range", d.Frequency)
+		}
+	}
+}
+
+func TestAblationFlagsPreserveSolutions(t *testing.T) {
+	seq := plantWorkload(13, 40, 0.7)
+	p := Problem{Structure: plantStructure(), MinConfidence: 0.4, Reference: "A"}
+	want, _, err := Naive(sys, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []PipelineOptions{
+		{DisableSequenceReduction: true},
+		{DisableReferencePruning: true},
+		{DisableCandidateScreening: true},
+		{DisablePairScreening: true},
+		{DisableSequenceReduction: true, DisableReferencePruning: true, DisableCandidateScreening: true, DisablePairScreening: true},
+	}
+	for i, opt := range variants {
+		got, _, err := Optimized(sys, p, seq, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDiscoveries(want, got) {
+			t.Fatalf("variant %d changed solutions: %v vs %v", i, summarize(want), summarize(got))
+		}
+	}
+}
+
+func sameDiscoveries(a, b []Discovery) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := map[string]int{}
+	for _, d := range a {
+		am[AssignKey(d.Assign)] = d.Matches
+	}
+	for _, d := range b {
+		m, ok := am[AssignKey(d.Assign)]
+		if !ok || m != d.Matches {
+			return false
+		}
+	}
+	return true
+}
+
+func summarize(ds []Discovery) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, AssignKey(d.Assign))
+	}
+	return out
+}

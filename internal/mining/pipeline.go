@@ -1,0 +1,365 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+	"repro/internal/tag"
+)
+
+// PipelineOptions toggles the optimized pipeline's steps (all enabled by
+// default) so the experiments can ablate them.
+type PipelineOptions struct {
+	DisableConsistencyCheck   bool // step 1
+	DisableSequenceReduction  bool // step 2
+	DisableReferencePruning   bool // step 3
+	DisableCandidateScreening bool // step 4 (k=1)
+	DisablePairScreening      bool // step 4 extension (k=2 sub-chains)
+	// Workers runs the step-5 TAG scans of different candidates on this
+	// many goroutines (candidates are independent; the granularity layer
+	// is safe for concurrent use). 0 or 1 means serial; results are
+	// identical either way.
+	Workers int
+}
+
+// Optimized solves the problem with the paper's five-step strategy.
+func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) ([]Discovery, Stats, error) {
+	root, rest, err := p.validate()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{SequenceEvents: len(seq)}
+
+	// Step 1: discard inconsistent structures via approximate propagation.
+	prop, err := propagate.Run(sys, p.Structure, propagate.Options{})
+	if err != nil {
+		return nil, stats, err
+	}
+	if !opt.DisableConsistencyCheck && !prop.Consistent {
+		stats.Inconsistent = true
+		return nil, stats, nil
+	}
+
+	// Windows from the root per variable (seconds), for steps 3-5.
+	winLo := make(map[core.Variable]int64, len(rest))
+	winHi := make(map[core.Variable]int64, len(rest))
+	maxHi := int64(0)
+	allBounded := true
+	for _, v := range rest {
+		lo, hi, ok := prop.WindowSeconds(sys, root, v)
+		if !ok {
+			winHi[v] = infiniteWindow
+			allBounded = false
+			continue
+		}
+		winLo[v], winHi[v] = lo, hi
+		if hi > maxHi {
+			maxHi = hi
+		}
+	}
+	scanWindow := int64(0) // 0 = unbounded suffix
+	if allBounded {
+		scanWindow = maxHi
+	}
+
+	// Step 2: reduce the sequence. An event can bind some variable only if
+	// its timestamp is covered by every granularity constraining that
+	// variable; events covered by no variable's requirement set can never
+	// participate and are dropped. (The paper's example: with only b-day
+	// and derived constraints on every variable, non-business-day events
+	// are discarded.)
+	work := seq
+	if !opt.DisableSequenceReduction {
+		req := requiredGranularities(p.Structure)
+		work = seq.Filter(func(e event.Event) bool {
+			for _, names := range req {
+				ok := true
+				for _, name := range names {
+					g, found := sys.Get(name)
+					if !found {
+						ok = false
+						break
+					}
+					if _, covered := g.TickOf(e.Time); !covered {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true // usable for at least one variable
+				}
+			}
+			return false
+		})
+	}
+	stats.ReducedEvents = len(work)
+	index := event.NewIndex(work)
+
+	// The frequency denominator is the reference count in the ORIGINAL
+	// sequence: reduction may drop unmatchable reference events, which
+	// still count as failures.
+	rootPool := p.rootPool()
+	totalRefs := 0
+	for _, rt := range rootPool {
+		totalRefs += seq.CountType(rt)
+	}
+	stats.ReferenceOccurrences = totalRefs
+	if totalRefs == 0 {
+		return nil, stats, fmt.Errorf("mining: no reference type occurs")
+	}
+	refByType := refIndexesByType(work, rootPool)
+	var refIdx []int
+	for _, rt := range rootPool {
+		refIdx = append(refIdx, refByType[rt]...)
+	}
+	sort.Ints(refIdx)
+
+	// Step 3: prune reference occurrences whose derived windows are empty
+	// of events; the automaton can never complete from them.
+	if !opt.DisableReferencePruning {
+		keep := func(i int) bool {
+			t0 := work[i].Time
+			for _, v := range rest {
+				hi := winHi[v]
+				if hi == infiniteWindow {
+					continue
+				}
+				if len(work.Between(t0+winLo[v], t0+hi)) == 0 {
+					return false
+				}
+			}
+			return true
+		}
+		var kept []int
+		for _, i := range refIdx {
+			if keep(i) {
+				kept = append(kept, i)
+			}
+		}
+		refIdx = kept
+		for rt, idx := range refByType {
+			var keptT []int
+			for _, i := range idx {
+				if keep(i) {
+					keptT = append(keptT, i)
+				}
+			}
+			refByType[rt] = keptT
+		}
+	}
+	stats.ReferencesScanned = len(refIdx)
+
+	pools := p.pools(rest, work)
+	stats.CandidatesTotal = candidateSpace(rest, pools)
+
+	// Step 4 (k=1): screen candidate types through the induced
+	// sub-structures {root, X}. A type E stays in X's pool only if E
+	// occurs in X's window for more than τ of the reference occurrences
+	// (anti-monotonicity: a frequent full assignment needs a frequent
+	// single-variable restriction).
+	if !opt.DisableCandidateScreening && len(refIdx) > 0 {
+		for _, v := range rest {
+			hi := winHi[v]
+			if hi == infiniteWindow {
+				continue
+			}
+			var keep []event.Type
+			for _, typ := range pools[v] {
+				hits := 0
+				for _, i := range refIdx {
+					t0 := work[i].Time
+					if index.AnyIn(typ, t0+winLo[v], t0+hi) {
+						hits++
+					}
+				}
+				if float64(hits)/float64(totalRefs) > p.MinConfidence {
+					keep = append(keep, typ)
+				} else {
+					stats.ScreenedByK1++
+				}
+			}
+			pools[v] = keep
+		}
+	}
+
+	// Step 4 (k=2): screen type pairs through induced sub-chains
+	// root -> X -> Y. A pair (E,F) is admissible only if, for more than τ
+	// of the references, some E event in X's window has an F event within
+	// the derived (X,Y) window after it.
+	banned := make(map[pairKey]bool)
+	if !opt.DisablePairScreening && len(refIdx) > 0 {
+		for _, x := range rest {
+			if winHi[x] == infiniteWindow {
+				continue
+			}
+			for _, y := range rest {
+				if x == y || !p.Structure.HasPath(x, y) {
+					continue
+				}
+				lo2, hi2, ok := prop.WindowSeconds(sys, x, y)
+				if !ok {
+					continue
+				}
+				for _, ex := range pools[x] {
+					for _, ey := range pools[y] {
+						hits := 0
+						for _, i := range refIdx {
+							t0 := work[i].Time
+							if pairWitness(index, t0+winLo[x], t0+winHi[x], ex, lo2, hi2, ey) {
+								hits++
+							}
+						}
+						if float64(hits)/float64(totalRefs) <= p.MinConfidence {
+							banned[pairKey{x, y, ex, ey}] = true
+							stats.ScreenedByK2++
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if len(refIdx) == 0 {
+		return nil, stats, nil // every reference was pruned; nothing can match
+	}
+
+	// Step 5: the naive TAG scan over the surviving candidates and
+	// references, with the scan window bounding each suffix. The chain
+	// cover depends only on the structure, so it is computed once and the
+	// per-candidate compilation just relabels symbols.
+	chains, err := tag.Chains(p.Structure)
+	if err != nil {
+		return nil, stats, err
+	}
+	baseTAG, err := tag.FromChains(p.Structure, chains, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	// Collect the admissible full assignments, then scan them serially or
+	// on a worker pool.
+	type job struct {
+		full     map[core.Variable]event.Type
+		rootType event.Type
+	}
+	var jobs []job
+	err = enumerate(rest, pools, func(assign map[core.Variable]event.Type) error {
+		for key := range banned {
+			if assign[key.x] == key.ex && assign[key.y] == key.ey {
+				return nil
+			}
+		}
+		for _, rootType := range rootPool {
+			full := make(map[core.Variable]event.Type, len(assign)+1)
+			for k, v := range assign {
+				full[k] = v
+			}
+			full[root] = rootType
+			if !p.typeConstraintsOK(full) {
+				continue
+			}
+			jobs = append(jobs, job{full: full, rootType: rootType})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.CandidatesScanned = len(jobs)
+
+	type scanResult struct {
+		matches int
+		tagRuns int
+		err     error
+	}
+	results := make([]scanResult, len(jobs))
+	scanOne := func(i int) {
+		j := jobs[i]
+		a := baseTAG.Relabel(j.full)
+		results[i].matches = countMatches(sys, a, work, refByType[j.rootType], scanWindow, &results[i].tagRuns)
+	}
+	workers := opt.Workers
+	if workers <= 1 || len(jobs) < 2 {
+		for i := range jobs {
+			scanOne(i)
+		}
+	} else {
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					scanOne(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var out []Discovery
+	for i, r := range results {
+		if r.err != nil {
+			return nil, stats, r.err
+		}
+		stats.TagRuns += r.tagRuns
+		freq := float64(r.matches) / float64(totalRefs)
+		if freq > p.MinConfidence {
+			out = append(out, Discovery{Assign: jobs[i].full, Matches: r.matches, Frequency: freq})
+		}
+	}
+	sortDiscoveries(out)
+	return out, stats, nil
+}
+
+type pairKey struct {
+	x, y   core.Variable
+	ex, ey event.Type
+}
+
+// pairWitness reports whether the window [xlo,xhi] holds an ex event with
+// an ey event in [t+lo2, t+hi2] after it.
+func pairWitness(index *event.Index, xlo, xhi int64, ex event.Type, lo2, hi2 int64, ey event.Type) bool {
+	for _, tx := range index.In(ex, xlo, xhi) {
+		if index.AnyIn(ey, tx+lo2, tx+hi2) {
+			return true
+		}
+	}
+	return false
+}
+
+// requiredGranularities returns, per variable, the granularity names of the
+// TCGs on arcs incident to it: any event bound to the variable must be
+// covered by each of them.
+func requiredGranularities(s *core.EventStructure) map[core.Variable][]string {
+	out := make(map[core.Variable][]string, s.NumVariables())
+	add := func(v core.Variable, g string) {
+		for _, x := range out[v] {
+			if x == g {
+				return
+			}
+		}
+		out[v] = append(out[v], g)
+	}
+	for _, v := range s.Variables() {
+		out[v] = nil
+	}
+	for _, e := range s.Edges() {
+		for _, c := range e.TCGs {
+			add(e.From, c.Gran)
+			add(e.To, c.Gran)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package mining
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// ProblemSpec is the JSON wire form of a full event-discovery problem: the
+// structure plus the mining parameters, consumed by cmd/miner -problem.
+type ProblemSpec struct {
+	// Structure is the event structure (core.Spec's "edges"; an "assign"
+	// entry restricts candidate pools as in cmd/miner -spec).
+	Structure core.Spec `json:"structure"`
+	// MinConfidence is τ.
+	MinConfidence float64 `json:"min_confidence"`
+	// Reference / References name E0 (exactly one must be set, unless
+	// GranuleAnchor is used).
+	Reference  string   `json:"reference,omitempty"`
+	References []string `json:"references,omitempty"`
+	// GranuleAnchor, when set, anchors the root at the start of every
+	// granule of this granularity instead of at an event type ("what
+	// happens in most weeks?" — Section 6).
+	GranuleAnchor string `json:"granule_anchor,omitempty"`
+	// Candidates restricts pools per variable (overrides Structure.Assign).
+	Candidates map[string][]string `json:"candidates,omitempty"`
+	// SameType / DistinctType are pairs of variables constrained to equal
+	// (resp. different) event types.
+	SameType     [][2]string `json:"same_type,omitempty"`
+	DistinctType [][2]string `json:"distinct_type,omitempty"`
+	// Workers parallelizes the final TAG scan.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ReadProblemSpec decodes a ProblemSpec from JSON.
+func ReadProblemSpec(r io.Reader) (*ProblemSpec, error) {
+	var ps ProblemSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ps); err != nil {
+		return nil, fmt.Errorf("mining: decoding problem spec: %w", err)
+	}
+	return &ps, nil
+}
+
+// Build materializes the spec against a system and sequence: it resolves
+// the structure, candidate pools and — for GranuleAnchor problems — the
+// synthesized reference events. It returns the problem, the (possibly
+// augmented) sequence to mine, and the pipeline options.
+func (ps *ProblemSpec) Build(sys *granularity.System, seq event.Sequence) (Problem, event.Sequence, PipelineOptions, error) {
+	var zero Problem
+	s, err := ps.Structure.Structure()
+	if err != nil {
+		return zero, nil, PipelineOptions{}, err
+	}
+	p := Problem{
+		Structure:     s,
+		MinConfidence: ps.MinConfidence,
+		Reference:     event.Type(ps.Reference),
+	}
+	for _, r := range ps.References {
+		p.References = append(p.References, event.Type(r))
+	}
+	anchored := ps.GranuleAnchor != ""
+	set := 0
+	if ps.Reference != "" {
+		set++
+	}
+	if len(ps.References) > 0 {
+		set++
+	}
+	if anchored {
+		set++
+	}
+	if set != 1 {
+		return zero, nil, PipelineOptions{}, fmt.Errorf("mining: exactly one of reference, references, granule_anchor must be set")
+	}
+	work := seq
+	if anchored {
+		var pseudo event.Type
+		work, pseudo, err = GranuleReferences(sys, seq, ps.GranuleAnchor)
+		if err != nil {
+			return zero, nil, PipelineOptions{}, err
+		}
+		p.Reference = pseudo
+	}
+	// Candidate pools: explicit candidates win; otherwise the structure's
+	// assign entries pin single types.
+	cands := make(map[core.Variable][]event.Type)
+	for v, typ := range ps.Structure.Assign {
+		cands[core.Variable(v)] = []event.Type{event.Type(typ)}
+	}
+	for v, types := range ps.Candidates {
+		var pool []event.Type
+		for _, t := range types {
+			pool = append(pool, event.Type(t))
+		}
+		cands[core.Variable(v)] = pool
+	}
+	if len(cands) > 0 {
+		p.Candidates = cands
+	}
+	for _, pair := range ps.SameType {
+		p.SameType = append(p.SameType, [2]core.Variable{core.Variable(pair[0]), core.Variable(pair[1])})
+	}
+	for _, pair := range ps.DistinctType {
+		p.DistinctType = append(p.DistinctType, [2]core.Variable{core.Variable(pair[0]), core.Variable(pair[1])})
+	}
+	return p, work, PipelineOptions{Workers: ps.Workers}, nil
+}

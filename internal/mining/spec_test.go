@@ -1,0 +1,101 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const problemJSON = `{
+  "structure": {
+    "edges": [
+      {"from":"X0","to":"X1","constraints":[{"min":0,"max":0,"gran":"b-day"},{"min":1,"max":4,"gran":"hour"}]},
+      {"from":"X1","to":"X2","constraints":[{"min":1,"max":1,"gran":"b-day"}]}
+    ]
+  },
+  "min_confidence": 0.5,
+  "reference": "A",
+  "candidates": {"X1": ["B"], "X2": ["C","D"]},
+  "same_type": [["X1","X1"]],
+  "workers": 3
+}`
+
+func TestReadProblemSpecAndBuild(t *testing.T) {
+	ps, err := ReadProblemSpec(strings.NewReader(problemJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := plantWorkload(3, 20, 0.8)
+	p, work, opt, err := ps.Build(sys, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reference != "A" || p.MinConfidence != 0.5 {
+		t.Fatalf("problem header wrong: %+v", p)
+	}
+	if len(work) != len(seq) {
+		t.Fatal("non-anchored build must not alter the sequence")
+	}
+	if opt.Workers != 3 {
+		t.Fatalf("workers = %d", opt.Workers)
+	}
+	if got := p.Candidates[core.Variable("X2")]; len(got) != 2 {
+		t.Fatalf("X2 candidates = %v", got)
+	}
+	if len(p.SameType) != 1 {
+		t.Fatal("same_type lost")
+	}
+	// The built problem actually runs.
+	if _, _, err := Optimized(sys, p, work, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProblemSpecAnchored(t *testing.T) {
+	body := `{
+	  "structure": {"edges":[{"from":"W","to":"X","constraints":[{"min":0,"max":0,"gran":"week"}]}]},
+	  "min_confidence": 0.6,
+	  "granule_anchor": "week"
+	}`
+	ps, err := ReadProblemSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := plantWorkload(5, 30, 0.9)
+	p, work, _, err := ps.Build(sys, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reference != GranulePseudoType("week") {
+		t.Fatalf("reference = %q", p.Reference)
+	}
+	if len(work) <= len(seq) {
+		t.Fatal("anchored build must add pseudo-events")
+	}
+}
+
+func TestProblemSpecValidation(t *testing.T) {
+	cases := []string{
+		// no reference at all
+		`{"structure":{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":1,"gran":"day"}]}]},"min_confidence":0.5}`,
+		// two reference mechanisms
+		`{"structure":{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":1,"gran":"day"}]}]},"min_confidence":0.5,"reference":"x","granule_anchor":"week"}`,
+		// unknown field
+		`{"nope":1}`,
+		// broken structure
+		`{"structure":{"edges":[]},"min_confidence":0.5,"reference":"x"}`,
+		// unknown anchor granularity
+		`{"structure":{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":1,"gran":"day"}]}]},"min_confidence":0.5,"granule_anchor":"fortnight"}`,
+	}
+	seq := plantWorkload(1, 10, 0.5)
+	for i, body := range cases {
+		ps, err := ReadProblemSpec(strings.NewReader(body))
+		if err != nil {
+			continue // decode-level rejection is fine
+		}
+		if _, _, _, err := ps.Build(sys, seq); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package periodic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode: the periodic-spec decoder must never panic; accepted specs
+// must validate, materialize, and round-trip through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add("name x\nperiod 10\nanchor 1\ngranule 0-3\ngranule 5-8\n")
+	f.Add("name x\nperiod 10\nanchor 1\ngranule 0-2,4-6\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid spec: %v", err)
+		}
+		g, err := New(*sp)
+		if err != nil {
+			t.Fatalf("validated spec failed to materialize: %v", err)
+		}
+		// Monotonicity spot-check on the first granules.
+		prevLast := int64(0)
+		for z := int64(1); z <= 10; z++ {
+			iv, ok := g.Span(z)
+			if !ok {
+				t.Fatalf("granule %d of accepted spec undefined", z)
+			}
+			if iv.First <= prevLast {
+				t.Fatalf("granule %d overlaps granule %d", z, z-1)
+			}
+			prevLast = iv.Last
+		}
+		var sb strings.Builder
+		if err := Encode(&sb, sp); err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		if _, err := Decode(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("encoded spec failed to re-decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,321 @@
+// Package periodic implements a finite symbolic representation of
+// user-defined temporal types: a granularity is given by a repeating
+// pattern of granule shapes over a fixed period, anchored on the second
+// timeline. This realizes the paper's Section-6 remark that "a real system
+// can only treat ... infinite temporal types that have finite
+// representations", in the spirit of the periodic representations it cites
+// (Niezette & Stevenne, CIKM'92; Leban et al., AAAI'86).
+//
+// A Spec lists the granules of one period as offset intervals relative to
+// the period start; granule i of the type is granule (i-1) mod n of the
+// pattern shifted by ((i-1) div n) * Period seconds. Examples expressible
+// this way: "first Monday-ish slot of every week", "maintenance windows on
+// the 1st and 15th of a 30-day cycle", academic semesters over a 364-day
+// year, shifts of a factory roster.
+package periodic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/granularity"
+)
+
+// Span is one interval of a granule shape, in seconds relative to the
+// period start: offsets First..Last inclusive, 0-based.
+type Span struct {
+	First, Last int64
+}
+
+// Granule is one granule shape of the pattern: an ordered list of disjoint
+// spans.
+type Granule struct {
+	Spans []Span
+}
+
+// Spec is the finite symbolic representation.
+type Spec struct {
+	// Name identifies the resulting granularity.
+	Name string
+	// Period is the pattern length in seconds (> 0).
+	Period int64
+	// Anchor is the second index at which period 0 starts (>= 1).
+	Anchor int64
+	// Granules are the granule shapes of one period, in order.
+	Granules []Granule
+}
+
+// Validate checks structural well-formedness: positive period, anchored on
+// the timeline, at least one granule, spans in-range, strictly increasing
+// within and across granules (the temporal-type monotonicity condition
+// within a period; across periods it follows from the period shift).
+func (sp *Spec) Validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf("periodic: empty name")
+	}
+	if sp.Period <= 0 {
+		return fmt.Errorf("periodic: period must be positive")
+	}
+	if sp.Anchor < 1 {
+		return fmt.Errorf("periodic: anchor must be >= 1")
+	}
+	if len(sp.Granules) == 0 {
+		return fmt.Errorf("periodic: no granules")
+	}
+	prev := int64(-1)
+	for gi, g := range sp.Granules {
+		if len(g.Spans) == 0 {
+			return fmt.Errorf("periodic: granule %d has no spans", gi)
+		}
+		for si, s := range g.Spans {
+			if s.First < 0 || s.Last >= sp.Period {
+				return fmt.Errorf("periodic: granule %d span %d out of period range", gi, si)
+			}
+			if s.First > s.Last {
+				return fmt.Errorf("periodic: granule %d span %d inverted", gi, si)
+			}
+			if s.First <= prev {
+				return fmt.Errorf("periodic: granule %d span %d overlaps or is out of order", gi, si)
+			}
+			prev = s.Last
+		}
+	}
+	return nil
+}
+
+// granType adapts a Spec to granularity.Granularity.
+type granType struct {
+	spec Spec
+	// flat[i] = (granule index within pattern, span) sorted by First, for
+	// TickOf binary search.
+	flat []flatSpan
+}
+
+type flatSpan struct {
+	granule int
+	span    Span
+}
+
+// New materializes the spec as a Granularity. The spec is copied.
+func New(sp Spec) (granularity.Granularity, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	cp := sp
+	cp.Granules = append([]Granule(nil), sp.Granules...)
+	g := &granType{spec: cp}
+	for gi, gr := range cp.Granules {
+		for _, s := range gr.Spans {
+			g.flat = append(g.flat, flatSpan{granule: gi, span: s})
+		}
+	}
+	sort.Slice(g.flat, func(i, j int) bool { return g.flat[i].span.First < g.flat[j].span.First })
+	return g, nil
+}
+
+// MustNew is New that panics on invalid specs (for constants in tests and
+// examples).
+func MustNew(sp Spec) granularity.Granularity {
+	g, err := New(sp)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements Granularity.
+func (g *granType) Name() string { return g.spec.Name }
+
+// n returns the granules per period.
+func (g *granType) n() int64 { return int64(len(g.spec.Granules)) }
+
+// TickOf implements Granularity.
+func (g *granType) TickOf(t int64) (int64, bool) {
+	if t < g.spec.Anchor {
+		return 0, false
+	}
+	off := t - g.spec.Anchor
+	period := off / g.spec.Period
+	rel := off % g.spec.Period
+	// Binary search the last flat span with First <= rel.
+	i := sort.Search(len(g.flat), func(k int) bool { return g.flat[k].span.First > rel }) - 1
+	if i < 0 {
+		return 0, false
+	}
+	fs := g.flat[i]
+	if rel > fs.span.Last {
+		return 0, false
+	}
+	return period*g.n() + int64(fs.granule) + 1, true
+}
+
+// Span implements Granularity.
+func (g *granType) Span(z int64) (granularity.Interval, bool) {
+	ivs, ok := g.Intervals(z)
+	if !ok {
+		return granularity.Interval{}, false
+	}
+	return granularity.Interval{First: ivs[0].First, Last: ivs[len(ivs)-1].Last}, true
+}
+
+// Intervals implements Granularity.
+func (g *granType) Intervals(z int64) ([]granularity.Interval, bool) {
+	if z < 1 {
+		return nil, false
+	}
+	period := (z - 1) / g.n()
+	idx := (z - 1) % g.n()
+	base := g.spec.Anchor + period*g.spec.Period
+	gr := g.spec.Granules[idx]
+	out := make([]granularity.Interval, len(gr.Spans))
+	for i, s := range gr.Spans {
+		out[i] = granularity.Interval{First: base + s.First, Last: base + s.Last}
+	}
+	return out, true
+}
+
+// Encode writes the spec in a line format:
+//
+//	name <name>
+//	period <seconds>
+//	anchor <second>
+//	granule <first>-<last>[,<first>-<last>...]
+func Encode(w io.Writer, sp *Spec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "name %s\n", sp.Name)
+	fmt.Fprintf(bw, "period %d\n", sp.Period)
+	fmt.Fprintf(bw, "anchor %d\n", sp.Anchor)
+	for _, g := range sp.Granules {
+		parts := make([]string, len(g.Spans))
+		for i, s := range g.Spans {
+			parts[i] = fmt.Sprintf("%d-%d", s.First, s.Last)
+		}
+		fmt.Fprintf(bw, "granule %s\n", strings.Join(parts, ","))
+	}
+	return bw.Flush()
+}
+
+// Decode reads Encode's format; blank lines and '#' comments are skipped.
+func Decode(r io.Reader) (*Spec, error) {
+	sp := &Spec{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.SplitN(text, " ", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("periodic: line %d: malformed", line)
+		}
+		key, val := fields[0], strings.TrimSpace(fields[1])
+		switch key {
+		case "name":
+			sp.Name = val
+		case "period":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("periodic: line %d: %v", line, err)
+			}
+			sp.Period = v
+		case "anchor":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("periodic: line %d: %v", line, err)
+			}
+			sp.Anchor = v
+		case "granule":
+			var g Granule
+			for _, part := range strings.Split(val, ",") {
+				bounds := strings.SplitN(part, "-", 2)
+				if len(bounds) != 2 {
+					return nil, fmt.Errorf("periodic: line %d: bad span %q", line, part)
+				}
+				first, err1 := strconv.ParseInt(strings.TrimSpace(bounds[0]), 10, 64)
+				last, err2 := strconv.ParseInt(strings.TrimSpace(bounds[1]), 10, 64)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("periodic: line %d: bad span %q", line, part)
+				}
+				g.Spans = append(g.Spans, Span{First: first, Last: last})
+			}
+			sp.Granules = append(sp.Granules, g)
+		default:
+			return nil, fmt.Errorf("periodic: line %d: unknown key %q", line, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// FromGranularity samples an existing granularity into a periodic Spec:
+// the first nGranules granules must fit inside one period, and the sampled
+// pattern must actually repeat over the following periods (an error is
+// returned otherwise). It is the bridge from computed calendar types to
+// the finite representation.
+func FromGranularity(g granularity.Granularity, name string, period int64, nGranules int64) (*Spec, error) {
+	if nGranules < 1 {
+		return nil, fmt.Errorf("periodic: need at least one granule")
+	}
+	first, ok := g.Span(1)
+	if !ok {
+		return nil, fmt.Errorf("periodic: source has no granule 1")
+	}
+	anchor := first.First
+	sp := &Spec{Name: name, Period: period, Anchor: anchor}
+	for z := int64(1); z <= nGranules; z++ {
+		ivs, ok := g.Intervals(z)
+		if !ok {
+			return nil, fmt.Errorf("periodic: source granule %d undefined", z)
+		}
+		var gr Granule
+		for _, iv := range ivs {
+			gr.Spans = append(gr.Spans, Span{First: iv.First - anchor, Last: iv.Last - anchor})
+		}
+		sp.Granules = append(sp.Granules, gr)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	// Verify periodicity over the following periods.
+	pg, err := New(*sp)
+	if err != nil {
+		return nil, err
+	}
+	for z := nGranules + 1; z <= nGranules+8*max64(nGranules, 1); z++ {
+		want, wok := g.Intervals(z)
+		got, gok := pg.Intervals(z)
+		if wok != gok {
+			return nil, fmt.Errorf("periodic: source is not %d-periodic at granule %d", period, z)
+		}
+		if !wok {
+			continue
+		}
+		if len(want) != len(got) {
+			return nil, fmt.Errorf("periodic: source is not %d-periodic at granule %d", period, z)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return nil, fmt.Errorf("periodic: source is not %d-periodic at granule %d", period, z)
+			}
+		}
+	}
+	return sp, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,268 @@
+package periodic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/calendar"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// shiftSpec is a factory roster: within a 10-second "day", two shifts of 4
+// seconds each with a 1-second changeover gap.
+func shiftSpec() Spec {
+	return Spec{
+		Name:   "shift",
+		Period: 10,
+		Anchor: 1,
+		Granules: []Granule{
+			{Spans: []Span{{0, 3}}},
+			{Spans: []Span{{5, 8}}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := shiftSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Period = 0 },
+		func(s *Spec) { s.Anchor = 0 },
+		func(s *Spec) { s.Granules = nil },
+		func(s *Spec) { s.Granules[0].Spans = nil },
+		func(s *Spec) { s.Granules[0].Spans[0].Last = 99 },     // beyond period
+		func(s *Spec) { s.Granules[0].Spans[0].First = 7 },     // inverted vs Last=3
+		func(s *Spec) { s.Granules[1].Spans[0].First = 2 },     // overlap with granule 0
+		func(s *Spec) { s.Granules[0].Spans[0].First = -1 },    // negative offset
+		func(s *Spec) { s.Granules[1].Spans[0] = Span{5, 10} }, // Last == Period
+	}
+	for i, mut := range cases {
+		sp := shiftSpec()
+		mut(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestTickOfAndSpans(t *testing.T) {
+	g := MustNew(shiftSpec())
+	// Period 0 (seconds 1..10): granule 1 = 1..4, granule 2 = 6..9.
+	cases := []struct {
+		t  int64
+		z  int64
+		ok bool
+	}{
+		{1, 1, true}, {4, 1, true}, {5, 0, false}, {6, 2, true},
+		{9, 2, true}, {10, 0, false},
+		{11, 3, true}, {14, 3, true}, {16, 4, true},
+		{101, 21, true}, // period 10
+	}
+	for _, c := range cases {
+		z, ok := g.TickOf(c.t)
+		if ok != c.ok || (ok && z != c.z) {
+			t.Errorf("TickOf(%d) = %d,%v, want %d,%v", c.t, z, ok, c.z, c.ok)
+		}
+	}
+	iv, ok := g.Span(2)
+	if !ok || iv.First != 6 || iv.Last != 9 {
+		t.Fatalf("Span(2) = %v,%v", iv, ok)
+	}
+	if _, ok := g.Span(0); ok {
+		t.Fatal("Span(0) defined")
+	}
+	if _, ok := g.TickOf(0); ok {
+		t.Fatal("TickOf(0) defined")
+	}
+}
+
+func TestNonConvexGranule(t *testing.T) {
+	sp := Spec{
+		Name:   "split",
+		Period: 20,
+		Anchor: 1,
+		Granules: []Granule{
+			{Spans: []Span{{0, 2}, {5, 7}}}, // non-convex granule
+			{Spans: []Span{{10, 12}}},
+		},
+	}
+	g := MustNew(sp)
+	ivs, ok := g.Intervals(1)
+	if !ok || len(ivs) != 2 {
+		t.Fatalf("Intervals(1) = %v,%v", ivs, ok)
+	}
+	// Second 4 (offset 3) is a hole inside granule 1's hull.
+	if _, ok := g.TickOf(4); ok {
+		t.Fatal("hole covered")
+	}
+	if z, ok := g.TickOf(6); !ok || z != 1 {
+		t.Fatalf("TickOf(6) = %d,%v", z, ok)
+	}
+	iv, _ := g.Span(1)
+	if iv.First != 1 || iv.Last != 8 {
+		t.Fatalf("hull = %v", iv)
+	}
+}
+
+func TestMonotonicityProperty(t *testing.T) {
+	g := MustNew(shiftSpec())
+	f := func(a, b uint16) bool {
+		t1, t2 := int64(a)+1, int64(b)+1
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		z1, ok1 := g.TickOf(t1)
+		z2, ok2 := g.TickOf(t2)
+		if ok1 && ok2 && z1 > z2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanTickRoundTrip(t *testing.T) {
+	g := MustNew(shiftSpec())
+	for z := int64(1); z <= 100; z++ {
+		ivs, ok := g.Intervals(z)
+		if !ok {
+			t.Fatalf("granule %d undefined", z)
+		}
+		for _, iv := range ivs {
+			for _, probe := range []int64{iv.First, iv.Last} {
+				got, ok := g.TickOf(probe)
+				if !ok || got != z {
+					t.Fatalf("TickOf(%d) = %d,%v, want %d", probe, got, ok, z)
+				}
+			}
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	sp := shiftSpec()
+	var sb strings.Builder
+	if err := Encode(&sb, &sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sp.Name || got.Period != sp.Period || got.Anchor != sp.Anchor {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Granules) != len(sp.Granules) {
+		t.Fatalf("granule count mismatch")
+	}
+	for i := range sp.Granules {
+		if len(got.Granules[i].Spans) != len(sp.Granules[i].Spans) {
+			t.Fatalf("granule %d span count mismatch", i)
+		}
+		for j := range sp.Granules[i].Spans {
+			if got.Granules[i].Spans[j] != sp.Granules[i].Spans[j] {
+				t.Fatalf("granule %d span %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"name x\nperiod ten\nanchor 1\ngranule 0-1",
+		"name x\nperiod 10\nanchor 1\ngranule 0:1",
+		"name x\nperiod 10\nanchor 1\ngranule 0-zz",
+		"name x\nperiod 10\nanchor 1\nwhat 3",
+		"junk",
+		"name x\nperiod 10\nanchor 1", // no granules -> Validate fails
+	}
+	for _, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("Decode(%q) should fail", in)
+		}
+	}
+	// Comments and blanks are fine.
+	ok := "# roster\n\nname x\nperiod 10\nanchor 1\ngranule 0-3\ngranule 5-8\n"
+	if _, err := Decode(strings.NewReader(ok)); err != nil {
+		t.Fatalf("commented spec rejected: %v", err)
+	}
+}
+
+func TestFromGranularityWeek(t *testing.T) {
+	// Weeks after the partial week 1 are 7-day periodic; sample one full
+	// week via a shifted view (one granule per period).
+	shifted := granularity.Shift("week+1", granularity.Week(), 1)
+	sp, err := FromGranularity(shifted, "pweek", 7*86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := MustNew(*sp)
+	// Compare over several periods.
+	for z := int64(1); z <= 12; z++ {
+		want, _ := shifted.Span(z)
+		got, ok := pg.Span(z)
+		if !ok || got != want {
+			t.Fatalf("pweek granule %d = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func TestFromGranularityRejectsNonPeriodic(t *testing.T) {
+	// Months are not 30-day periodic.
+	if _, err := FromGranularity(granularity.Month(), "pmonth", 30*86400, 3); err == nil {
+		t.Fatal("non-periodic sampling accepted")
+	}
+}
+
+// TestPeriodicInConstraintSystem exercises a user-defined granularity end
+// to end: register it, use it in a TCG, propagate and match.
+func TestPeriodicInConstraintSystem(t *testing.T) {
+	// Maintenance slots: the first hour of each 6-hour block.
+	slot := MustNew(Spec{
+		Name:   "slot",
+		Period: 6 * 3600,
+		Anchor: 1,
+		Granules: []Granule{
+			{Spans: []Span{{0, 3599}}},
+		},
+	})
+	sys := granularity.Default()
+	sys.Add(slot)
+
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(1, 1, "slot"))
+	c := core.MustTCG(1, 1, "slot")
+	a := event.At(1800, 1, 1, 0, 10, 0) // inside slot 1
+	b := event.At(1800, 1, 1, 6, 30, 0) // inside slot 2
+	if !c.Satisfied(sys, a, b) {
+		t.Fatal("adjacent maintenance slots should satisfy [1,1]slot")
+	}
+	gap := event.At(1800, 1, 1, 3, 0, 0) // between slots
+	if c.Satisfied(sys, a, gap) {
+		t.Fatal("gap timestamp must not satisfy a slot constraint")
+	}
+	// Metrics over the periodic type.
+	m := sys.Metrics("slot")
+	if m.MinSize(1) != 3600 {
+		t.Fatalf("minsize(slot,1) = %d", m.MinSize(1))
+	}
+	if m.MinGap(1) != 5*3600+1 {
+		t.Fatalf("mingap(slot,1) = %d, want %d", m.MinGap(1), 5*3600+1)
+	}
+	// Coverage: hour covers slot seconds (slots are hour-aligned).
+	if !sys.ConversionFeasible("slot", "hour") {
+		t.Fatal("slot -> hour should be feasible")
+	}
+	if sys.ConversionFeasible("hour", "slot") {
+		t.Fatal("hour -> slot should be infeasible")
+	}
+	_ = calendar.SecondsPerDay
+}

@@ -1,0 +1,167 @@
+// Package propagate implements the paper's approximate constraint
+// propagation for event structures with multiple granularities (Section 3.2
+// and Appendix A.1): constraints are partitioned into per-granularity
+// groups, each group is closed under path consistency (an STP), and
+// constraints are translated between groups with the Figure-3 conversion
+// algorithm until a fixpoint. The algorithm is sound (Theorem 2): every
+// complex event matching the input structure also satisfies every derived
+// constraint; reported inconsistency is definitive, reported consistency is
+// not (consistency checking is NP-hard, Theorem 1).
+package propagate
+
+import (
+	"sort"
+
+	"repro/internal/granularity"
+	"repro/internal/stp"
+)
+
+// ConvertUpper implements step 1 of the paper's Figure-3 algorithm: given
+// that the granule difference of two timestamps in the source granularity
+// is at most n (n >= 0), it returns the implied upper bound on their
+// granule difference in the target granularity:
+//
+//	nbar = min{ s : minsize(target, s) >= maxsize(source, n+1) - 1 }
+func ConvertUpper(src, dst *granularity.Metrics, n int64) int64 {
+	return granuleUpper(dst, src.MaxSize(n+1)-1)
+}
+
+// ConvertLower implements step 2 of Figure 3: given that the source granule
+// difference is at least m (m >= 0), it returns the implied lower bound in
+// the target granularity:
+//
+//	mbar = min{ r : maxsize(target, r) > mingap(source, m) } - 1
+func ConvertLower(src, dst *granularity.Metrics, m int64) int64 {
+	if m <= 0 {
+		return 0
+	}
+	return granuleLower(dst, src.MinGap(m))
+}
+
+// granuleUpper converts a seconds upper bound d on t2−t1 (d >= 0) into a
+// granule-difference upper bound: the smallest s whose s-granule minimum
+// span reaches d. A difference of s+1 granules forces a distance exceeding
+// minsize(s), so distance <= d caps the difference at s.
+func granuleUpper(dst *granularity.Metrics, d int64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	// minsize is nondecreasing and minsize(s) >= s, so the answer is in
+	// [1, d]; binary search it.
+	return 1 + int64(sort.Search(int(d-1), func(i int) bool {
+		return dst.MinSize(int64(i)+1) >= d
+	}))
+}
+
+// granuleLower converts a seconds lower bound d on t2−t1 (d >= 1) into a
+// granule-difference lower bound: a difference of r granules allows a
+// distance of at most maxsize(r+1)−1, so distance >= d forces the
+// difference past every r with maxsize(r+1) <= d.
+func granuleLower(dst *granularity.Metrics, d int64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	// maxsize is nondecreasing and maxsize(r) >= r; smallest r with
+	// maxsize(r) > d is in [1, d+1].
+	r := 1 + int64(sort.Search(int(d), func(i int) bool {
+		return dst.MaxSize(int64(i)+1) > d
+	}))
+	return r - 1
+}
+
+// Converter translates granule-difference intervals between two
+// granularities of a system. Unlike the raw Figure-3 steps, Converter is
+// sound for *unordered* pairs: a TCG guarantees t1 <= t2, but bounds
+// derived by path consistency between arbitrary variables do not, and a
+// source difference of 0 leaves the timestamp order open (the target
+// difference can then be negative). Converter routes every bound through
+// an explicit seconds-distance interval with correct sign handling.
+type Converter struct {
+	src, dst *granularity.Metrics
+	// coverAlways: every src granule sits inside one dst granule, so a
+	// source difference of exactly 0 forces a target difference of 0.
+	coverAlways bool
+}
+
+// NewConverter builds a Converter between two granularity names registered
+// in sys.
+func NewConverter(sys *granularity.System, src, dst string) *Converter {
+	return &Converter{
+		src:         sys.Metrics(src),
+		dst:         sys.Metrics(dst),
+		coverAlways: sys.CoverAlways(src, dst),
+	}
+}
+
+// secondsUpper returns the largest possible t2−t1 given a source granule
+// difference of at most hi.
+func (c *Converter) secondsUpper(hi int64) int64 {
+	if hi >= 0 {
+		return c.src.MaxSize(hi+1) - 1
+	}
+	return -c.src.MinGap(-hi)
+}
+
+// secondsLower returns the smallest possible t2−t1 given a source granule
+// difference of at least lo.
+func (c *Converter) secondsLower(lo int64) int64 {
+	if lo >= 1 {
+		return c.src.MinGap(lo)
+	}
+	return -(c.src.MaxSize(-lo+1) - 1)
+}
+
+// Interval converts the source granule-difference interval [lo, hi] into an
+// implied target interval. Either side may be open (±stp.Inf).
+func (c *Converter) Interval(lo, hi int64) (nlo, nhi int64) {
+	switch {
+	case hi >= stp.Inf:
+		nhi = stp.Inf
+	case hi == 0 && c.coverAlways:
+		// Same-or-earlier src granule; same granule ⇒ same dst granule,
+		// earlier granule ⇒ earlier timestamps ⇒ dst diff <= 0.
+		nhi = 0
+	default:
+		s := c.secondsUpper(hi)
+		if s >= 0 {
+			nhi = granuleUpper(c.dst, s)
+		} else {
+			// t1−t2 >= −s > 0: the reversed pair is at least −s apart.
+			nhi = -granuleLower(c.dst, -s)
+		}
+	}
+	switch {
+	case lo <= -stp.Inf:
+		nlo = -stp.Inf
+	case lo == 0 && c.coverAlways:
+		nlo = 0
+	default:
+		s := c.secondsLower(lo)
+		if s > 0 {
+			nlo = granuleLower(c.dst, s)
+		} else {
+			// t1−t2 <= −s: the reversed pair is at most −s apart.
+			nlo = -granuleUpper(c.dst, -s)
+		}
+	}
+	return nlo, nhi
+}
+
+// feasiblePairs returns the ordered granularity pairs (src, dst) between
+// which conversion is admissible under sys, for the granularity names in M.
+func feasiblePairs(sys *granularity.System, m []string) [][2]string {
+	sorted := append([]string(nil), m...)
+	sort.Strings(sorted)
+	var out [][2]string
+	for _, src := range sorted {
+		for _, dst := range sorted {
+			if src == dst {
+				continue
+			}
+			if sys.ConversionFeasible(src, dst) {
+				out = append(out, [2]string{src, dst})
+			}
+		}
+	}
+	return out
+}

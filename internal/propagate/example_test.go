@@ -1,0 +1,53 @@
+package propagate_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+)
+
+// Example reproduces the paper's Section-5.1 derivation: propagation over
+// Figure 1(a) yields the Γ′(X0,X3) constraints.
+func Example() {
+	sys := granularity.Default()
+	r, err := propagate.Run(sys, core.Fig1a(), propagate.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("consistent:", r.Consistent)
+	for _, b := range r.DerivedBounds("X0", "X3") {
+		if b.Gran != "second" {
+			fmt.Println(b)
+		}
+	}
+	// Output:
+	// consistent: true
+	// [0,200]hour
+	// [0,2]week
+}
+
+// ExampleConverter applies the Figure-3 conversion to the paper's worked
+// case: one business day apart is zero or one calendar week apart.
+func ExampleConverter() {
+	sys := granularity.Default()
+	conv := propagate.NewConverter(sys, "b-day", "week")
+	lo, hi := conv.Interval(1, 1)
+	fmt.Printf("[1,1]b-day -> [%d,%d]week\n", lo, hi)
+	// Output:
+	// [1,1]b-day -> [0,1]week
+}
+
+// ExampleRun_inconsistent shows propagation refuting a structure whose
+// granularities contradict each other: same calendar day but at least 30
+// hours apart.
+func ExampleRun_inconsistent() {
+	sys := granularity.Default()
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(30, 40, "hour"))
+	r, _ := propagate.Run(sys, s, propagate.Options{})
+	fmt.Println("refuted:", !r.Consistent)
+	// Output:
+	// refuted: true
+}

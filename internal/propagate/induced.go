@@ -1,0 +1,46 @@
+package propagate
+
+import (
+	"repro/internal/core"
+)
+
+// InducedSubStructure builds the paper's induced approximated sub-structure
+// (Section 5.1) for a variable subset W′ of the propagated structure s:
+// arcs are the pairs (X, Y) ⊆ W′×W′ with a path from X to Y in s and at
+// least one derived constraint; each arc carries the derived TCGs of every
+// granularity group.
+//
+// The paper's running example: in Figure 1(a) the induced sub-structure on
+// {X0, X3} has the single arc (X0, X3) carrying the week- and hour-group
+// constraints propagation derived.
+func InducedSubStructure(r *Result, s *core.EventStructure, keep []core.Variable) *core.EventStructure {
+	out := core.NewStructure()
+	for _, v := range keep {
+		if s.HasVariable(v) {
+			out.AddVariable(v)
+		}
+	}
+	for _, x := range keep {
+		for _, y := range keep {
+			if x == y || !s.HasPath(x, y) {
+				continue
+			}
+			for _, tcg := range r.DerivedTCGs(x, y) {
+				// Derived TCGs are well-formed by construction.
+				_ = out.AddConstraint(x, y, tcg)
+			}
+		}
+	}
+	return out
+}
+
+// AugmentedStructure returns a copy of s carrying, on every path-connected
+// ordered pair, all the TCGs propagation derived (the original constraints
+// are subsumed by the derived ones, which are at least as tight). It is
+// the full-variable-set generalization of InducedSubStructure: a
+// "compiled" structure whose explicit arcs already contain the implied
+// windows, useful for display (cmd/tcgcheck), serialization, and as a
+// tighter input to downstream matching.
+func AugmentedStructure(r *Result, s *core.EventStructure) *core.EventStructure {
+	return InducedSubStructure(r, s, s.Variables())
+}

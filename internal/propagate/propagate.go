@@ -1,0 +1,336 @@
+package propagate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/granularity"
+	"repro/internal/stp"
+)
+
+// Options tunes Run.
+type Options struct {
+	// MaxIterations bounds the fixpoint loop as a safety net; Theorem 2
+	// guarantees termination, the bound only guards against bugs. 0 means
+	// a generous default.
+	MaxIterations int
+	// DisableOrderGroup drops the implicit "second" group that carries the
+	// TCGs' timestamp-order facts between granularity groups. Only the
+	// experiments use it, to measure how much precision the order group
+	// buys; disabling it keeps the algorithm sound but looser.
+	DisableOrderGroup bool
+}
+
+// DefaultMaxIterations is the fixpoint safety bound.
+const DefaultMaxIterations = 4096
+
+// Result is the outcome of constraint propagation: one minimized STP per
+// granularity group, or a proof of inconsistency.
+type Result struct {
+	// Consistent is false when propagation derived an empty constraint:
+	// the structure has no matching complex event (definitive). True means
+	// "not refuted" only.
+	Consistent bool
+	// Iterations is the number of fixpoint rounds executed.
+	Iterations int
+
+	vars   []core.Variable
+	index  map[core.Variable]int
+	groups map[string]*stp.Network // per granularity name
+	grans  []string
+}
+
+// Bound is a derived granule-difference constraint between two variables in
+// one granularity. Lo may be negative; either side may be infinite
+// (LoOpen/HiOpen).
+type Bound struct {
+	Gran   string
+	Lo, Hi int64
+	LoOpen bool
+	HiOpen bool
+}
+
+// String renders the bound like the paper's TCGs, with "-inf"/"inf" for
+// open ends.
+func (b Bound) String() string {
+	lo, hi := fmt.Sprint(b.Lo), fmt.Sprint(b.Hi)
+	if b.LoOpen {
+		lo = "-inf"
+	}
+	if b.HiOpen {
+		hi = "inf"
+	}
+	return fmt.Sprintf("[%s,%s]%s", lo, hi, b.Gran)
+}
+
+// Run executes the approximate propagation algorithm on s under sys.
+// It errors on structurally invalid input (unknown granularity, cyclic
+// graph); inconsistency of a valid structure is reported via
+// Result.Consistent, not an error. Rootedness is not required here — it is
+// a requirement of the mining setting, not of consistency checking (the
+// Theorem-1 reduction gadgets have several source variables).
+func Run(sys *granularity.System, s *core.EventStructure, opt Options) (*Result, error) {
+	if !s.IsAcyclic() {
+		return nil, fmt.Errorf("propagate: event structure must be acyclic")
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+
+	vars := s.Variables()
+	index := make(map[core.Variable]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	grans := s.Granularities()
+	for _, g := range grans {
+		if _, ok := sys.Get(g); !ok {
+			return nil, fmt.Errorf("propagate: granularity %q not in system", g)
+		}
+	}
+	// A TCG [m,n]g on an arc also asserts timestamp order (its condition
+	// t1 <= t2). The STP groups hold granule differences only, so the order
+	// facts are kept in a "second" group seeded with [0, +inf) per arc;
+	// conversions carry them into the other groups. Without this, Figure-3
+	// conversions between unaligned granularities would have to assume both
+	// timestamp orders for every pair and lose most of their power.
+	orderGran := "second"
+	if _, ok := sys.Get(orderGran); !ok || opt.DisableOrderGroup {
+		orderGran = ""
+	}
+	if orderGran != "" && !contains(grans, orderGran) {
+		grans = append([]string{orderGran}, grans...)
+	}
+
+	r := &Result{
+		Consistent: true,
+		vars:       vars,
+		index:      index,
+		groups:     make(map[string]*stp.Network, len(grans)),
+		grans:      grans,
+	}
+	for _, g := range grans {
+		r.groups[g] = stp.New(len(vars))
+	}
+	// Seed the groups with the explicit TCGs and the order facts.
+	for _, e := range s.Edges() {
+		for _, c := range e.TCGs {
+			r.groups[c.Gran].Constrain(index[e.From], index[e.To], c.Min, c.Max)
+		}
+		if orderGran != "" {
+			r.groups[orderGran].Constrain(index[e.From], index[e.To], 0, stp.Inf)
+		}
+	}
+
+	pairs := feasiblePairs(sys, grans)
+	converters := make(map[[2]string]*Converter, len(pairs))
+	for _, p := range pairs {
+		converters[p] = NewConverter(sys, p[0], p[1])
+	}
+	n := len(vars)
+	// Step 1, once: path consistency within each group. Afterwards every
+	// group is kept minimal incrementally (ConstrainRepair), so the
+	// per-iteration Floyd–Warshall of the paper's description is not
+	// needed — an O(n²)-per-derived-constraint improvement with identical
+	// results (the repair is property-tested equal to re-minimization).
+	for _, g := range grans {
+		if !r.groups[g].Minimize() {
+			r.Consistent = false
+			return r, nil
+		}
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		r.Iterations = iter
+		// Step 2: translate each group's constraints into every feasible
+		// target group, repairing minimality as we go.
+		changed := false
+		for _, p := range pairs {
+			src, dst := r.groups[p[0]], r.groups[p[1]]
+			conv := converters[p]
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					lo, hi := src.Bounds(i, j)
+					if lo <= -stp.Inf && hi >= stp.Inf {
+						continue
+					}
+					nlo, nhi := conv.Interval(lo, hi)
+					plo, phi := dst.Bounds(i, j)
+					if nlo > plo || nhi < phi {
+						if !dst.ConstrainRepair(i, j, nlo, nhi) {
+							r.Consistent = false
+							return r, nil
+						}
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("propagate: no fixpoint after %d iterations", maxIter)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Granularities returns the granularity names of the groups, sorted.
+func (r *Result) Granularities() []string {
+	return append([]string(nil), r.grans...)
+}
+
+// Variables returns the structure's variables in index order.
+func (r *Result) Variables() []core.Variable {
+	return append([]core.Variable(nil), r.vars...)
+}
+
+// Bounds returns the derived granule-difference bounds of (to − from) in
+// the given granularity group; ok is false when the granularity is not a
+// group or a variable is unknown.
+func (r *Result) Bounds(gran string, from, to core.Variable) (Bound, bool) {
+	nw, ok := r.groups[gran]
+	if !ok {
+		return Bound{}, false
+	}
+	i, iok := r.index[from]
+	j, jok := r.index[to]
+	if !iok || !jok {
+		return Bound{}, false
+	}
+	lo, hi := nw.Bounds(i, j)
+	return Bound{
+		Gran:   gran,
+		Lo:     lo,
+		Hi:     hi,
+		LoOpen: lo <= -stp.Inf,
+		HiOpen: hi >= stp.Inf,
+	}, true
+}
+
+// DerivedBounds returns, for the ordered pair (from, to), every group's
+// bound that constrains the pair at all (at least one finite side), sorted
+// by granularity name.
+func (r *Result) DerivedBounds(from, to core.Variable) []Bound {
+	var out []Bound
+	for _, g := range r.grans {
+		b, ok := r.Bounds(g, from, to)
+		if !ok {
+			continue
+		}
+		if b.LoOpen && b.HiOpen {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// DerivedTCGs renders the derived constraints on (from, to) as TCGs, for
+// groups whose derived bounds fit the TCG form (finite upper bound).
+// A negative derived lower bound is clamped to zero: a TCG already requires
+// t_from <= t_to, under which the clamped constraint is equivalent.
+func (r *Result) DerivedTCGs(from, to core.Variable) []core.TCG {
+	var out []core.TCG
+	for _, b := range r.DerivedBounds(from, to) {
+		if b.HiOpen || b.Hi < 0 {
+			continue
+		}
+		lo := b.Lo
+		if b.LoOpen || lo < 0 {
+			lo = 0
+		}
+		if lo > b.Hi {
+			continue
+		}
+		out = append(out, core.TCG{Min: lo, Max: b.Hi, Gran: b.Gran})
+	}
+	return out
+}
+
+// SecondBounds returns sound bounds on the second distance t_to − t_from
+// implied by all derived granule bounds on the pair. Either side may be
+// infinite (±stp.Inf). Unlike WindowSeconds, the lower bound may be
+// negative (sibling variables are not ordered).
+func (r *Result) SecondBounds(sys *granularity.System, from, to core.Variable) (lo, hi int64) {
+	lo, hi = -stp.Inf, stp.Inf
+	for _, b := range r.DerivedBounds(from, to) {
+		m := sys.Metrics(b.Gran)
+		if !b.HiOpen {
+			var h int64
+			if b.Hi >= 0 {
+				// Granule diff <= Hi: distance <= maxsize(Hi+1) - 1.
+				h = m.MaxSize(b.Hi+1) - 1
+			} else {
+				// Granule diff <= Hi < 0: reversed distance >= mingap(-Hi).
+				h = -m.MinGap(-b.Hi)
+			}
+			if h < hi {
+				hi = h
+			}
+		}
+		if !b.LoOpen {
+			var l int64
+			if b.Lo > 0 {
+				// Granule diff >= Lo: distance >= mingap(Lo).
+				l = m.MinGap(b.Lo)
+			} else {
+				// Granule diff >= Lo (<= 0): reversed diff <= -Lo, so the
+				// reversed distance <= maxsize(-Lo+1) - 1.
+				l = -(m.MaxSize(-b.Lo+1) - 1)
+			}
+			if l > lo {
+				lo = l
+			}
+		}
+	}
+	return lo, hi
+}
+
+// WindowSeconds returns a sound second-distance window [lo, hi] for
+// (t_to − t_from) implied by all derived bounds on the pair, clamped to
+// lo >= 0 — appropriate when from precedes to on every path (e.g. from is
+// the root). The mining pipeline's reference pruning (Section 5, step 3)
+// slides this window over each reference occurrence. ok is false when no
+// group bounds the pair from above (hi would be infinite).
+func (r *Result) WindowSeconds(sys *granularity.System, from, to core.Variable) (lo, hi int64, ok bool) {
+	lo, hi = r.SecondBounds(sys, from, to)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= stp.Inf {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Render writes a human-readable table of every derived bound, one line
+// per constrained ordered pair per granularity group (cmd/tcgcheck's
+// output).
+func (r *Result) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if !r.Consistent {
+		fmt.Fprintln(bw, "INCONSISTENT")
+		return bw.Flush()
+	}
+	for _, x := range r.vars {
+		for _, y := range r.vars {
+			if x == y {
+				continue
+			}
+			for _, b := range r.DerivedBounds(x, y) {
+				fmt.Fprintf(bw, "(%s,%s) %s\n", x, y, b)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,472 @@
+package propagate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/stp"
+)
+
+var sys = granularity.Default()
+
+func metrics(name string) *granularity.Metrics { return sys.Metrics(name) }
+
+func TestConvertUpperUniformPairs(t *testing.T) {
+	// 60 minutes are one hour with exact conversion factors (the paper's
+	// footnote): diff <= 60 minutes -> seconds distance <= 61*60-1 = 3659
+	// -> hour diff <= ceil(3659/3600) = 2.
+	if got := ConvertUpper(metrics("minute"), metrics("hour"), 60); got != 2 {
+		t.Fatalf("ConvertUpper(minute->hour, 60) = %d, want 2", got)
+	}
+	// diff <= 0 hours -> distance <= 3599 -> minute diff <= 60.
+	if got := ConvertUpper(metrics("hour"), metrics("minute"), 0); got != 60 {
+		t.Fatalf("ConvertUpper(hour->minute, 0) = %d, want 60", got)
+	}
+	// Same-granule seconds convert to 0.
+	if got := ConvertUpper(metrics("second"), metrics("day"), 0); got != 0 {
+		t.Fatalf("ConvertUpper(second->day, 0) = %d, want 0", got)
+	}
+}
+
+func TestConvertLowerUniformPairs(t *testing.T) {
+	// diff >= 2 hours -> distance >= 3601 -> day diff >= ... maxsize(day,1)
+	// = 86400 > 3601 -> 0.
+	if got := ConvertLower(metrics("hour"), metrics("day"), 2); got != 0 {
+		t.Fatalf("ConvertLower(hour->day, 2) = %d, want 0", got)
+	}
+	// diff >= 25 hours -> distance >= 24*3600+1 -> day diff >= 1.
+	if got := ConvertLower(metrics("hour"), metrics("day"), 25); got != 1 {
+		t.Fatalf("ConvertLower(hour->day, 25) = %d, want 1", got)
+	}
+	if got := ConvertLower(metrics("hour"), metrics("day"), 0); got != 0 {
+		t.Fatal("m=0 must convert to 0")
+	}
+}
+
+func TestConvertBDayToWeekMatchesFig3(t *testing.T) {
+	// [1,1]b-day -> [0,1]week (worked through in the granularity tests).
+	conv := NewConverter(sys, "b-day", "week")
+	lo, hi := conv.Interval(1, 1)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("[1,1]b-day -> [%d,%d]week, want [0,1]", lo, hi)
+	}
+	// [0,5]b-day: 6 b-days span at most 8 days - 1s; weeks of >= that
+	// need 2 granules.
+	lo, hi = conv.Interval(0, 5)
+	if lo != 0 || hi != 2 {
+		t.Fatalf("[0,5]b-day -> [%d,%d]week, want [0,2]", lo, hi)
+	}
+}
+
+func TestConvertIntervalSignsAndInf(t *testing.T) {
+	// Open ends stay open.
+	conv := NewConverter(sys, "hour", "day")
+	lo, hi := conv.Interval(-stp.Inf, stp.Inf)
+	if lo != -stp.Inf || hi != stp.Inf {
+		t.Fatalf("open interval mangled: [%d,%d]", lo, hi)
+	}
+	// Negative bounds convert via the reversed direction: diff in
+	// [-49h,-25h] means the pair is 1..x days apart the other way.
+	lo, hi = conv.Interval(-49, -25)
+	if hi != -1 {
+		t.Fatalf("hi of [-49,-25]hour in days = %d, want -1", hi)
+	}
+	if lo > -2 {
+		t.Fatalf("lo of [-49,-25]hour in days = %d, want <= -2", lo)
+	}
+	// Mixed sign.
+	lo, hi = conv.Interval(-25, 25)
+	if lo != -2 || hi != 2 {
+		t.Fatalf("[-25,25]hour -> [%d,%d]day, want [-2,2]", lo, hi)
+	}
+}
+
+// TestConversionSoundnessSampled verifies the Figure-3 conversion on random
+// concrete timestamp pairs: whenever the source granule difference is
+// within [m,n], the target granule difference is within the converted
+// interval.
+func TestConversionSoundnessSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	names := []string{"second", "minute", "hour", "day", "week", "month", "b-day", "b-week", "b-month"}
+	base := event.At(1995, 1, 1, 0, 0, 0)
+	span := int64(400 * 86400)
+	for _, srcName := range names {
+		for _, dstName := range names {
+			if srcName == dstName || !sys.ConversionFeasible(srcName, dstName) {
+				continue
+			}
+			src, dst := sys.MustGet(srcName), sys.MustGet(dstName)
+			conv := NewConverter(sys, srcName, dstName)
+			checked := 0
+			for trial := 0; trial < 4000 && checked < 300; trial++ {
+				t1 := base + rng.Int63n(span)
+				t2 := t1 + rng.Int63n(40*86400)
+				z1, ok1 := src.TickOf(t1)
+				z2, ok2 := src.TickOf(t2)
+				if !ok1 || !ok2 {
+					continue
+				}
+				d := z2 - z1
+				// Treat the observed difference as the constraint [d,d].
+				nlo, nhi := conv.Interval(d, d)
+				w1, ok1 := dst.TickOf(t1)
+				w2, ok2 := dst.TickOf(t2)
+				if !ok1 || !ok2 {
+					t.Fatalf("%s->%s: feasible conversion but target gap at %d/%d", srcName, dstName, t1, t2)
+				}
+				dd := w2 - w1
+				if dd < nlo || dd > nhi {
+					t.Fatalf("%s->%s unsound: src diff %d converts to [%d,%d] but target diff is %d (t1=%s t2=%s)",
+						srcName, dstName, d, nlo, nhi, dd, event.Civil(t1), event.Civil(t2))
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Fatalf("%s->%s: no valid samples", srcName, dstName)
+			}
+		}
+	}
+}
+
+func TestRunFig1aDerivesPaperConstraints(t *testing.T) {
+	s := core.Fig1a()
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Fatal("Fig1a must not be refuted")
+	}
+	// Section 5.1: Γ'(X0,X3) contains a week constraint and an hour
+	// constraint. The paper quotes [0,1]week and [1,175]hour from its
+	// (unpublished) tables; our Figure-3 tables give the sound
+	// [0,2]week and [0,200]hour. See EXPERIMENTS.md E1 for the analysis —
+	// the true tightest hour upper bound is 199, so [.,175] cannot come
+	// from a sound conversion.
+	wb, ok := r.Bounds("week", "X0", "X3")
+	if !ok || wb.LoOpen || wb.HiOpen {
+		t.Fatalf("no finite week bound derived: %+v", wb)
+	}
+	if wb.Lo != 0 || wb.Hi != 2 {
+		t.Fatalf("week bound (X0,X3) = %s, want [0,2]week", wb)
+	}
+	hb, ok := r.Bounds("hour", "X0", "X3")
+	if !ok || hb.HiOpen {
+		t.Fatalf("no finite hour bound derived: %+v", hb)
+	}
+	if hb.Lo != 0 || hb.Hi != 200 {
+		t.Fatalf("hour bound (X0,X3) = %s, want [0,200]hour", hb)
+	}
+	// The b-day group must NOT have a bound on (X0,X3): nothing converts
+	// into b-day (week and hour cover weekend seconds), matching the paper,
+	// which lists only week and hour constraints in Γ'(X0,X3).
+	bb, ok := r.Bounds("b-day", "X0", "X3")
+	if !ok {
+		t.Fatal("b-day group missing")
+	}
+	if !bb.HiOpen {
+		t.Fatalf("unexpected finite b-day bound %s on (X0,X3): hour/week must not convert into b-day", bb)
+	}
+}
+
+// TestRunFig1aSoundOnScenarios samples bindings; every binding matching the
+// structure must satisfy every derived bound (Theorem 2 soundness).
+func TestRunFig1aSoundOnScenarios(t *testing.T) {
+	s := core.Fig1a()
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	base := event.At(1996, 5, 1, 0, 0, 0)
+	vars := s.Variables()
+	matched := 0
+	for trial := 0; trial < 60000 && matched < 80; trial++ {
+		b := core.Binding{}
+		t0 := base + rng.Int63n(30*86400)
+		b["X0"] = event.Event{Type: "e0", Time: t0}
+		b["X1"] = event.Event{Type: "e1", Time: t0 + rng.Int63n(4*86400)}
+		b["X2"] = event.Event{Type: "e2", Time: t0 + rng.Int63n(9*86400)}
+		b["X3"] = event.Event{Type: "e3", Time: b["X2"].Time + rng.Int63n(10*3600)}
+		if !core.Matches(sys, s, b) {
+			continue
+		}
+		matched++
+		for _, x := range vars {
+			for _, y := range vars {
+				if x == y {
+					continue
+				}
+				for _, db := range r.DerivedBounds(x, y) {
+					g := sys.MustGet(db.Gran)
+					z1, ok1 := g.TickOf(b[x].Time)
+					z2, ok2 := g.TickOf(b[y].Time)
+					if !ok1 || !ok2 {
+						continue
+					}
+					d := z2 - z1
+					if (!db.LoOpen && d < db.Lo) || (!db.HiOpen && d > db.Hi) {
+						t.Fatalf("matching binding violates derived %s on (%s,%s): diff %d", db, x, y, d)
+					}
+				}
+			}
+		}
+	}
+	if matched < 20 {
+		t.Fatalf("only %d matching scenarios sampled; test too weak", matched)
+	}
+}
+
+func TestRunDetectsPlainInconsistency(t *testing.T) {
+	// Two contradictory same-granularity constraints on one arc.
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 1, "day"))
+	s.MustConstrain("A", "C", core.MustTCG(5, 9, "day"))
+	s.MustConstrain("B", "C", core.MustTCG(0, 1, "day"))
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent {
+		t.Fatal("day-group inconsistency not detected")
+	}
+}
+
+func TestRunDetectsCrossGranularityInconsistency(t *testing.T) {
+	// A->B within the same day ([0,0]day) but at least 30 hours apart:
+	// only conversion between groups can refute it.
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(30, 40, "hour"))
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent {
+		t.Fatal("cross-granularity inconsistency not detected")
+	}
+}
+
+func TestRunFig1bStaysApproximate(t *testing.T) {
+	// Figure 1(b) is consistent; the month-group bound on (X0,X2) stays
+	// [0,12] even though the true solution set is {0,12} — exactly the
+	// approximation the paper describes.
+	s := core.Fig1b()
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Fatal("Fig1b wrongly refuted")
+	}
+	mb, ok := r.Bounds("month", "X0", "X2")
+	if !ok || mb.Lo != 0 || mb.Hi != 12 {
+		t.Fatalf("month bound (X0,X2) = %v, want [0,12]", mb)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// Unknown granularity.
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 1, "fortnight"))
+	if _, err := Run(sys, s, Options{}); err == nil {
+		t.Fatal("unknown granularity accepted")
+	}
+	// Unrooted (multi-source) structures are fine for consistency checking;
+	// cyclic ones are not.
+	s2 := core.NewStructure()
+	s2.MustConstrain("A", "C", core.MustTCG(0, 1, "day"))
+	s2.MustConstrain("B", "C", core.MustTCG(0, 1, "day"))
+	if _, err := Run(sys, s2, Options{}); err != nil {
+		t.Fatalf("multi-source structure rejected: %v", err)
+	}
+	s3 := core.NewStructure()
+	s3.MustConstrain("A", "B", core.MustTCG(0, 1, "day"))
+	s3.MustConstrain("B", "A", core.MustTCG(0, 1, "day"))
+	if _, err := Run(sys, s3, Options{}); err == nil {
+		t.Fatal("cyclic structure accepted")
+	}
+}
+
+func TestDerivedTCGsAndWindow(t *testing.T) {
+	s := core.Fig1a()
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcgs := r.DerivedTCGs("X0", "X3")
+	if len(tcgs) == 0 {
+		t.Fatal("no derived TCGs on (X0,X3)")
+	}
+	for _, c := range tcgs {
+		if c.Validate() != nil {
+			t.Fatalf("derived TCG %v invalid", c)
+		}
+	}
+	lo, hi, ok := r.WindowSeconds(sys, "X0", "X3")
+	if !ok {
+		t.Fatal("no second window for (X0,X3)")
+	}
+	// [1,1]b-day forces X1 at least one second after X0, and X3 is not
+	// before X1, so the order group derives lo = 1.
+	if lo != 1 {
+		t.Fatalf("window lo = %d, want 1", lo)
+	}
+	// The order (second) group composes the X2 path directly:
+	// [0,5]b-day gives at most maxsize(b-day,6)-1 = 691199 seconds and
+	// [0,8]hour at most 32399 more.
+	if hi != 691199+32399 {
+		t.Fatalf("window hi = %d, want %d", hi, 691199+32399)
+	}
+	// Sibling pair (X1,X2): path consistency in the b-day group bounds
+	// X2−X1 within [-1,4] b-days, so a finite window exists with
+	// hi = maxsize(b-day,5)-1 = 7 days - 1.
+	lo2, hi2, ok := r.WindowSeconds(sys, "X1", "X2")
+	if !ok {
+		t.Fatal("sibling pair should get a finite window via the b-day group")
+	}
+	if lo2 != 0 || hi2 != 7*86400-1 {
+		t.Fatalf("sibling window = [%d,%d], want [0,%d]", lo2, hi2, 7*86400-1)
+	}
+}
+
+func TestInducedSubStructure(t *testing.T) {
+	s := core.Fig1a()
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := InducedSubStructure(r, s, []core.Variable{"X0", "X3"})
+	if sub.NumVariables() != 2 {
+		t.Fatalf("induced vars = %d", sub.NumVariables())
+	}
+	cs := sub.Constraints("X0", "X3")
+	if len(cs) < 2 {
+		t.Fatalf("induced arc should carry week and hour TCGs, got %v", cs)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("induced sub-structure invalid: %v", err)
+	}
+	// No arc in the reverse direction.
+	if sub.Constraints("X3", "X0") != nil {
+		t.Fatal("reverse arc should not exist")
+	}
+	// Siblings without a path induce no arc.
+	sub2 := InducedSubStructure(r, s, []core.Variable{"X1", "X2"})
+	if sub2.NumEdges() != 0 {
+		t.Fatalf("X1,X2 have no path; got %d edges", sub2.NumEdges())
+	}
+}
+
+func TestRunTerminatesQuicklyOnFig1a(t *testing.T) {
+	r, err := Run(sys, core.Fig1a(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iterations > 20 {
+		t.Fatalf("fixpoint took %d iterations; expected a handful", r.Iterations)
+	}
+}
+
+func TestAugmentedStructure(t *testing.T) {
+	s := core.Fig1a()
+	r, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := AugmentedStructure(r, s)
+	if aug.NumVariables() != s.NumVariables() {
+		t.Fatal("variables lost")
+	}
+	if err := aug.Validate(); err != nil {
+		t.Fatalf("augmented structure invalid: %v", err)
+	}
+	// The derived (X0,X3) arc exists with week and hour TCGs.
+	cs := aug.Constraints("X0", "X3")
+	if len(cs) < 2 {
+		t.Fatalf("augmented (X0,X3) = %v", cs)
+	}
+	// Every binding matching the original matches the augmented structure
+	// (soundness of derivation, structural form).
+	b := core.Binding{
+		"X0": {Type: "a", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		"X1": {Type: "b", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		"X2": {Type: "c", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		"X3": {Type: "d", Time: event.At(1996, 6, 5, 11, 0, 0)},
+	}
+	if !core.Matches(sys, s, b) {
+		t.Fatal("scenario should match the original")
+	}
+	if !core.Matches(sys, aug, b) {
+		t.Fatal("scenario must match the augmented structure too")
+	}
+}
+
+func TestOrderGroupAblation(t *testing.T) {
+	s := core.Fig1a()
+	with, err := Run(sys, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(sys, s, Options{DisableOrderGroup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !with.Consistent || !without.Consistent {
+		t.Fatal("Fig1a refuted")
+	}
+	// Both derive finite hour bounds on (X0,X3); the order group can only
+	// tighten, never loosen.
+	hw, _ := with.Bounds("hour", "X0", "X3")
+	ho, _ := without.Bounds("hour", "X0", "X3")
+	if hw.HiOpen || ho.HiOpen {
+		t.Fatal("hour bound missing")
+	}
+	if hw.Hi > ho.Hi || hw.Lo < ho.Lo {
+		t.Fatalf("order group loosened bounds: with=%s without=%s", hw, ho)
+	}
+	// The seconds window benefits concretely: with order facts the window
+	// is tighter or equal.
+	_, hiWith, okW := with.WindowSeconds(sys, "X0", "X3")
+	_, hiWithout, okO := without.WindowSeconds(sys, "X0", "X3")
+	if !okW || !okO {
+		t.Fatal("windows missing")
+	}
+	if hiWith > hiWithout {
+		t.Fatalf("order group widened the window: %d > %d", hiWith, hiWithout)
+	}
+	// The order group is what detects some cross-granularity conflicts
+	// earlier; soundness must hold in both modes on a scenario.
+	b := core.Binding{
+		"X0": {Type: "a", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		"X1": {Type: "b", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		"X2": {Type: "c", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		"X3": {Type: "d", Time: event.At(1996, 6, 5, 11, 0, 0)},
+	}
+	if !core.Matches(sys, s, b) {
+		t.Fatal("scenario must match")
+	}
+	for _, r := range []*Result{with, without} {
+		for _, x := range s.Variables() {
+			for _, y := range s.Variables() {
+				if x == y {
+					continue
+				}
+				for _, db := range r.DerivedBounds(x, y) {
+					g := sys.MustGet(db.Gran)
+					z1, ok1 := g.TickOf(b[x].Time)
+					z2, ok2 := g.TickOf(b[y].Time)
+					if !ok1 || !ok2 {
+						continue
+					}
+					d := z2 - z1
+					if (!db.LoOpen && d < db.Lo) || (!db.HiOpen && d > db.Hi) {
+						t.Fatalf("derived %s violated on (%s,%s)", db, x, y)
+					}
+				}
+			}
+		}
+	}
+}

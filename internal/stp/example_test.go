@@ -1,0 +1,27 @@
+package stp_test
+
+import (
+	"fmt"
+
+	"repro/internal/stp"
+)
+
+// Example composes two difference constraints to path consistency, the
+// single-granularity engine inside each propagation group.
+func Example() {
+	nw := stp.New(3)
+	nw.Constrain(0, 1, 1, 2) // t1 − t0 ∈ [1,2]
+	nw.Constrain(1, 2, 3, 4) // t2 − t1 ∈ [3,4]
+	if !nw.Minimize() {
+		panic("inconsistent")
+	}
+	lo, hi := nw.Bounds(0, 2)
+	fmt.Printf("t2 − t0 ∈ [%d,%d]\n", lo, hi)
+	// An incremental tightening keeps the network minimal in O(n²).
+	nw.ConstrainRepair(0, 2, 5, 5)
+	lo, hi = nw.Bounds(0, 1)
+	fmt.Printf("t1 − t0 ∈ [%d,%d]\n", lo, hi)
+	// Output:
+	// t2 − t0 ∈ [4,6]
+	// t1 − t0 ∈ [1,2]
+}

@@ -1,0 +1,221 @@
+// Package stp implements the Simple Temporal Problem of Dechter, Meiri and
+// Pearl (the paper's [DMP91]): binary difference constraints
+// lo <= t_j − t_i <= hi over integer variables, solved to path consistency
+// with Floyd–Warshall on the distance graph. It is the single-granularity
+// engine the approximate propagation algorithm runs within each granularity
+// group.
+package stp
+
+import "fmt"
+
+// Inf is the distance-matrix infinity: no constraint. It is chosen so that
+// Add(Inf, anything finite) cannot overflow int64.
+const Inf = int64(1) << 60
+
+// Add is overflow-safe addition in the tropical semiring: anything plus
+// Inf is Inf.
+func Add(a, b int64) int64 {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	return a + b
+}
+
+// Network is an STP instance over n variables. d[i][j] is the tightest
+// known upper bound on t_j − t_i (Inf when unconstrained); the implied
+// lower bound on t_j − t_i is −d[j][i].
+type Network struct {
+	n int
+	d [][]int64
+}
+
+// New returns a network of n unconstrained variables.
+func New(n int) *Network {
+	if n < 0 {
+		panic("stp: negative variable count")
+	}
+	d := make([][]int64, n)
+	cells := make([]int64, n*n)
+	for i := range d {
+		d[i], cells = cells[:n], cells[n:]
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = Inf
+			}
+		}
+	}
+	return &Network{n: n, d: d}
+}
+
+// N returns the number of variables.
+func (nw *Network) N() int { return nw.n }
+
+// Constrain intersects the constraint lo <= t_j − t_i <= hi into the
+// network. Pass hi = Inf for no upper bound and lo = -Inf for no lower
+// bound. Indices must be in range (programming error otherwise).
+func (nw *Network) Constrain(i, j int, lo, hi int64) {
+	if i < 0 || j < 0 || i >= nw.n || j >= nw.n {
+		panic(fmt.Sprintf("stp: index out of range (%d,%d) with n=%d", i, j, nw.n))
+	}
+	if hi < nw.d[i][j] {
+		nw.d[i][j] = hi
+	}
+	if neg := negate(lo); neg < nw.d[j][i] {
+		nw.d[j][i] = neg
+	}
+}
+
+func negate(v int64) int64 {
+	if v <= -Inf {
+		return Inf
+	}
+	return -v
+}
+
+// Minimize runs Floyd–Warshall to the minimal (path-consistent) network.
+// It returns false when the network is inconsistent (a negative cycle
+// exists); the matrix contents are then unspecified.
+func (nw *Network) Minimize() bool {
+	d := nw.d
+	n := nw.n
+	for k := 0; k < n; k++ {
+		dk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik >= Inf {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < n; j++ {
+				if v := Add(dik, dk[j]); v < di[j] {
+					di[j] = v
+				}
+			}
+		}
+	}
+	return nw.Consistent()
+}
+
+// Consistent reports whether no variable has a negative self-distance. It
+// is only meaningful after Minimize.
+func (nw *Network) Consistent() bool {
+	for i := 0; i < nw.n; i++ {
+		if nw.d[i][i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the tightest known bounds on t_j − t_i: lo may be -Inf
+// (reported as -Inf value) and hi may be Inf.
+func (nw *Network) Bounds(i, j int) (lo, hi int64) {
+	hi = nw.d[i][j]
+	lo = negate(nw.d[j][i])
+	if lo == Inf { // negate(-Inf)
+		lo = -Inf
+	}
+	return lo, hi
+}
+
+// Upper returns d[i][j], the upper bound on t_j − t_i.
+func (nw *Network) Upper(i, j int) int64 { return nw.d[i][j] }
+
+// Clone returns a deep copy.
+func (nw *Network) Clone() *Network {
+	c := New(nw.n)
+	for i := 0; i < nw.n; i++ {
+		copy(c.d[i], nw.d[i])
+	}
+	return c
+}
+
+// Equal reports whether two networks have identical matrices.
+func (nw *Network) Equal(o *Network) bool {
+	if nw.n != o.n {
+		return false
+	}
+	for i := 0; i < nw.n; i++ {
+		for j := 0; j < nw.n; j++ {
+			if nw.d[i][j] != o.d[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Solution returns one satisfying assignment of the minimized network,
+// anchored at variable 0 = 0: the standard earliest-time solution
+// t_i = −d[i][0]... A minimal STP admits t_i = d[0][i] (latest) and
+// t_i = −d[i][0] (earliest); we return the earliest. Call only after a
+// successful Minimize; ok=false if some variable is unbounded relative to
+// variable 0 (still consistent, but no anchored finite solution).
+func (nw *Network) Solution() ([]int64, bool) {
+	out := make([]int64, nw.n)
+	for i := 0; i < nw.n; i++ {
+		if nw.d[i][0] >= Inf {
+			return nil, false
+		}
+		out[i] = -nw.d[i][0]
+	}
+	return out, true
+}
+
+// ConstrainRepair intersects lo <= t_j − t_i <= hi into an ALREADY MINIMAL
+// network and restores minimality incrementally in O(n²) (the standard
+// single-constraint repair: every shortest distance either stays or now
+// routes through the tightened arc). It returns false when the update
+// makes the network inconsistent; the matrix contents are then
+// unspecified.
+//
+// Calling it on a non-minimal network is a programming error: the repair
+// only considers paths through the new arc.
+func (nw *Network) ConstrainRepair(i, j int, lo, hi int64) bool {
+	if i < 0 || j < 0 || i >= nw.n || j >= nw.n {
+		panic(fmt.Sprintf("stp: index out of range (%d,%d) with n=%d", i, j, nw.n))
+	}
+	ok := true
+	if hi < nw.d[i][j] {
+		ok = nw.repairOne(i, j, hi) && ok
+	}
+	if neg := negate(lo); neg < nw.d[j][i] {
+		ok = nw.repairOne(j, i, neg) && ok
+	}
+	return ok
+}
+
+// repairOne lowers d[i][j] to w and propagates: d[a][b] may improve only
+// via a path a..i -> j..b. Row i itself is handled by the sweep (a == i
+// with d[i][i] == 0 triggers it), so d[i][j] must NOT be pre-assigned —
+// that would mask row i's update.
+func (nw *Network) repairOne(i, j int, w int64) bool {
+	d := nw.d
+	if i == j {
+		if w < d[i][i] {
+			d[i][i] = w
+		}
+		return nw.Consistent()
+	}
+	dj := d[j]
+	for a := 0; a < nw.n; a++ {
+		ai := d[a][i]
+		if ai >= Inf {
+			continue
+		}
+		aj := Add(ai, w)
+		if aj >= d[a][j] {
+			continue
+		}
+		da := d[a]
+		da[j] = aj
+		for b := 0; b < nw.n; b++ {
+			if v := Add(aj, dj[b]); v < da[b] {
+				da[b] = v
+			}
+		}
+	}
+	return nw.Consistent()
+}

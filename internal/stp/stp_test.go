@@ -1,0 +1,292 @@
+package stp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSaturates(t *testing.T) {
+	if Add(Inf, 5) != Inf || Add(5, Inf) != Inf || Add(Inf, Inf) != Inf {
+		t.Fatal("Inf must absorb")
+	}
+	if Add(2, 3) != 5 {
+		t.Fatal("finite addition broken")
+	}
+	if Add(Inf, -100) != Inf {
+		t.Fatal("Inf plus negative must stay Inf")
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	// t1 - t0 in [1,2], t2 - t1 in [3,4] => t2 - t0 in [4,6].
+	nw := New(3)
+	nw.Constrain(0, 1, 1, 2)
+	nw.Constrain(1, 2, 3, 4)
+	if !nw.Minimize() {
+		t.Fatal("consistent network reported inconsistent")
+	}
+	lo, hi := nw.Bounds(0, 2)
+	if lo != 4 || hi != 6 {
+		t.Fatalf("Bounds(0,2) = [%d,%d], want [4,6]", lo, hi)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	nw := New(2)
+	nw.Constrain(0, 1, 0, 10)
+	nw.Constrain(0, 1, 5, 20)
+	if !nw.Minimize() {
+		t.Fatal("inconsistent")
+	}
+	lo, hi := nw.Bounds(0, 1)
+	if lo != 5 || hi != 10 {
+		t.Fatalf("Bounds = [%d,%d], want [5,10]", lo, hi)
+	}
+}
+
+func TestInconsistencyDetection(t *testing.T) {
+	// t1 - t0 >= 5 and t1 - t0 <= 3.
+	nw := New(2)
+	nw.Constrain(0, 1, 5, Inf)
+	nw.Constrain(0, 1, -Inf, 3)
+	if nw.Minimize() {
+		t.Fatal("negative cycle not detected")
+	}
+}
+
+func TestTriangleInconsistency(t *testing.T) {
+	// A->B in [3,3], B->C in [3,3], A->C in [0,5]: needs 6, max 5.
+	nw := New(3)
+	nw.Constrain(0, 1, 3, 3)
+	nw.Constrain(1, 2, 3, 3)
+	nw.Constrain(0, 2, 0, 5)
+	if nw.Minimize() {
+		t.Fatal("triangle inconsistency not detected")
+	}
+}
+
+func TestUnconstrainedBounds(t *testing.T) {
+	nw := New(2)
+	if !nw.Minimize() {
+		t.Fatal("empty network inconsistent?")
+	}
+	lo, hi := nw.Bounds(0, 1)
+	if lo != -Inf || hi != Inf {
+		t.Fatalf("unconstrained bounds = [%d,%d]", lo, hi)
+	}
+}
+
+func TestSolutionSatisfies(t *testing.T) {
+	nw := New(4)
+	nw.Constrain(0, 1, 1, 5)
+	nw.Constrain(1, 2, 2, 2)
+	nw.Constrain(0, 3, 0, 10)
+	nw.Constrain(3, 2, 0, Inf)
+	if !nw.Minimize() {
+		t.Fatal("inconsistent")
+	}
+	sol, ok := nw.Solution()
+	if !ok {
+		t.Fatal("no anchored solution")
+	}
+	check := func(i, j int, lo, hi int64) {
+		d := sol[j] - sol[i]
+		if d < lo || d > hi {
+			t.Fatalf("solution violates %d->%d in [%d,%d]: got %d", i, j, lo, hi, d)
+		}
+	}
+	check(0, 1, 1, 5)
+	check(1, 2, 2, 2)
+	check(0, 3, 0, 10)
+	if sol[2]-sol[3] < 0 {
+		t.Fatal("solution violates 3->2 >= 0")
+	}
+}
+
+func TestSolutionUnboundedVariable(t *testing.T) {
+	nw := New(2) // variable 1 floats freely
+	nw.Minimize()
+	if _, ok := nw.Solution(); ok {
+		t.Fatal("floating variable should have no anchored solution")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	nw := New(3)
+	nw.Constrain(0, 1, 1, 2)
+	c := nw.Clone()
+	if !nw.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Constrain(1, 2, 0, 1)
+	if nw.Equal(c) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if nw.Equal(New(4)) {
+		t.Fatal("different sizes equal")
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	nw := New(5)
+	nw.Constrain(0, 1, 1, 3)
+	nw.Constrain(1, 2, 0, 4)
+	nw.Constrain(0, 4, 2, 9)
+	nw.Constrain(2, 3, 1, 1)
+	nw.Minimize()
+	c := nw.Clone()
+	nw.Minimize()
+	if !nw.Equal(c) {
+		t.Fatal("Minimize not idempotent")
+	}
+}
+
+func TestConstrainPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Constrain(0, 2, 0, 1)
+}
+
+// TestRandomConsistencyAgainstEnumeration cross-checks Minimize against a
+// brute-force search over small integer assignments.
+func TestRandomConsistencyAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Any consistent set of 4 difference constraints with |bound| <= 6 over
+	// 4 variables has a solution of spread <= 18, and solutions translate
+	// freely, so searching [0,19)^4 is exhaustive.
+	const n, vmax = 4, 19
+	for trial := 0; trial < 150; trial++ {
+		nw := New(n)
+		type con struct {
+			i, j   int
+			lo, hi int64
+		}
+		var cons []con
+		for c := 0; c < 4; c++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			lo := int64(rng.Intn(7) - 3)
+			hi := lo + int64(rng.Intn(4))
+			nw.Constrain(i, j, lo, hi)
+			cons = append(cons, con{i, j, lo, hi})
+		}
+		got := nw.Minimize()
+		// Brute force: all assignments in [0,vmax)^n with t0 = 0.
+		want := false
+		var vals [n]int64
+		var rec func(k int)
+		rec = func(k int) {
+			if want {
+				return
+			}
+			if k == n {
+				for _, c := range cons {
+					d := vals[c.j] - vals[c.i]
+					if d < c.lo || d > c.hi {
+						return
+					}
+				}
+				want = true
+				return
+			}
+			for v := int64(0); v < vmax; v++ {
+				vals[k] = v
+				rec(k + 1)
+			}
+		}
+		rec(0)
+		if got != want {
+			t.Fatalf("trial %d: Minimize=%v, brute force=%v (constraints %v)", trial, got, want, cons)
+		}
+	}
+}
+
+// TestBoundsAreTight verifies minimality: after Minimize, every finite
+// bound is achieved by some solution (spot-checked via the earliest/latest
+// solutions on chains).
+func TestBoundsAreTight(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		lo1, w1 := int64(a%5), int64(b%4)
+		lo2, w2 := int64(c%5), int64(a%3)
+		nw := New(3)
+		nw.Constrain(0, 1, lo1, lo1+w1)
+		nw.Constrain(1, 2, lo2, lo2+w2)
+		nw.Minimize()
+		lo, hi := nw.Bounds(0, 2)
+		return lo == lo1+lo2 && hi == lo1+w1+lo2+w2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConstrainRepairEqualsMinimize: on random minimal networks, an
+// incremental repair produces exactly the matrix a full re-minimization
+// would.
+func TestConstrainRepairEqualsMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		n := 3 + rng.Intn(4)
+		nw := New(n)
+		for c := 0; c < n; c++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			lo := int64(rng.Intn(9) - 4)
+			nw.Constrain(i, j, lo, lo+int64(rng.Intn(5)))
+		}
+		if !nw.Minimize() {
+			continue
+		}
+		// Apply one more random constraint both ways.
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		lo := int64(rng.Intn(9) - 4)
+		hi := lo + int64(rng.Intn(5))
+
+		full := nw.Clone()
+		full.Constrain(i, j, lo, hi)
+		fullOK := full.Minimize()
+
+		inc := nw.Clone()
+		incOK := inc.ConstrainRepair(i, j, lo, hi)
+
+		if fullOK != incOK {
+			t.Fatalf("trial %d: repair consistency %v != full %v", trial, incOK, fullOK)
+		}
+		if fullOK && !inc.Equal(full) {
+			t.Fatalf("trial %d: repair matrix differs from full minimization", trial)
+		}
+	}
+}
+
+func TestConstrainRepairDetectsInconsistency(t *testing.T) {
+	nw := New(2)
+	nw.Constrain(0, 1, 5, 10)
+	if !nw.Minimize() {
+		t.Fatal("setup inconsistent")
+	}
+	if nw.ConstrainRepair(0, 1, -3, 2) {
+		t.Fatal("conflicting repair accepted")
+	}
+}
+
+func TestConstrainRepairPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nw := New(2)
+	nw.Minimize()
+	nw.ConstrainRepair(0, 5, 0, 1)
+}

@@ -1,0 +1,372 @@
+package tag
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Chains decomposes a rooted event structure into root-to-leaf chains such
+// that every arc lies on at least one chain (Step 1 of the Theorem-3
+// construction). The greedy cover routes each new chain through an
+// uncovered arc, so it uses at most |A| chains and in practice close to the
+// minimum; the paper only needs *some* cover — fewer chains mean a smaller
+// cross product (the p exponent of Theorem 4), which experiment E11
+// ablates.
+func Chains(s *core.EventStructure) ([][]core.Variable, error) {
+	root, err := s.Root()
+	if err != nil {
+		return nil, err
+	}
+	uncovered := make(map[[2]core.Variable]bool)
+	for _, e := range s.Edges() {
+		uncovered[[2]core.Variable{e.From, e.To}] = true
+	}
+	if len(uncovered) == 0 {
+		// Single-variable structure: one trivial chain.
+		return [][]core.Variable{{root}}, nil
+	}
+	var chains [][]core.Variable
+	for len(uncovered) > 0 {
+		// Pick an uncovered arc in deterministic order.
+		var pick [2]core.Variable
+		found := false
+		for _, e := range s.Edges() {
+			if uncovered[[2]core.Variable{e.From, e.To}] {
+				pick = [2]core.Variable{e.From, e.To}
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		chain := pathBetween(s, root, pick[0])
+		chain = append(chain, pick[1])
+		// Extend to a leaf, preferring uncovered arcs.
+		cur := pick[1]
+		for {
+			succs := s.Successors(cur)
+			if len(succs) == 0 {
+				break
+			}
+			next := succs[0]
+			for _, cand := range succs {
+				if uncovered[[2]core.Variable{cur, cand}] {
+					next = cand
+					break
+				}
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			delete(uncovered, [2]core.Variable{chain[i], chain[i+1]})
+		}
+		chains = append(chains, chain)
+	}
+	return chains, nil
+}
+
+// NaiveChains builds one chain per arc (root → arc → leaf): the worst
+// admissible cover, used by the E11 ablation to measure the effect of the
+// chain count p.
+func NaiveChains(s *core.EventStructure) ([][]core.Variable, error) {
+	root, err := s.Root()
+	if err != nil {
+		return nil, err
+	}
+	edges := s.Edges()
+	if len(edges) == 0 {
+		return [][]core.Variable{{root}}, nil
+	}
+	var chains [][]core.Variable
+	for _, e := range edges {
+		chain := pathBetween(s, root, e.From)
+		chain = append(chain, e.To)
+		cur := e.To
+		for {
+			succs := s.Successors(cur)
+			if len(succs) == 0 {
+				break
+			}
+			chain = append(chain, succs[0])
+			cur = succs[0]
+		}
+		chains = append(chains, chain)
+	}
+	return chains, nil
+}
+
+// pathBetween returns some path from src to dst (inclusive); src == dst
+// yields the singleton. The structure is rooted, so a path exists from the
+// root to every variable.
+func pathBetween(s *core.EventStructure, src, dst core.Variable) []core.Variable {
+	if src == dst {
+		return []core.Variable{src}
+	}
+	parent := map[core.Variable]core.Variable{src: src}
+	queue := []core.Variable{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, to := range s.Successors(v) {
+			if _, seen := parent[to]; seen {
+				continue
+			}
+			parent[to] = v
+			if to == dst {
+				var rev []core.Variable
+				for cur := dst; ; cur = parent[cur] {
+					rev = append(rev, cur)
+					if cur == src {
+						break
+					}
+				}
+				out := make([]core.Variable, len(rev))
+				for i := range rev {
+					out[i] = rev[len(rev)-1-i]
+				}
+				return out
+			}
+			queue = append(queue, to)
+		}
+	}
+	panic(fmt.Sprintf("tag: no path %s -> %s in rooted structure", src, dst))
+}
+
+// FromChains compiles a TAG from an explicit chain cover (Steps 2-4 of the
+// Theorem-3 construction): per-chain automata combined by cross product
+// over reachable tuples, ANY self-loops for event skipping, and symbol
+// substitution via assign (nil leaves variables as symbols).
+func FromChains(s *core.EventStructure, chains [][]core.Variable, assign map[core.Variable]event.Type) (*TAG, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("tag: empty chain cover")
+	}
+	a := NewTAG()
+
+	// Per-chain metadata: clock sets and variable positions (1-based).
+	type chainInfo struct {
+		vars   []core.Variable
+		pos    map[core.Variable]int
+		clocks []Clock
+		guards []Formula // guards[j] guards the transition into position j+1
+	}
+	infos := make([]chainInfo, len(chains))
+	for l, chain := range chains {
+		info := chainInfo{vars: chain, pos: make(map[core.Variable]int, len(chain))}
+		granSet := make(map[string]bool)
+		for i, v := range chain {
+			if info.pos[v] != 0 {
+				return nil, fmt.Errorf("tag: chain %d repeats variable %s", l, v)
+			}
+			info.pos[v] = i + 1
+			if i > 0 {
+				cs := s.Constraints(chain[i-1], v)
+				if len(cs) == 0 {
+					return nil, fmt.Errorf("tag: chain %d uses missing arc %s->%s", l, chain[i-1], v)
+				}
+				for _, c := range cs {
+					granSet[c.Gran] = true
+				}
+			}
+		}
+		for g := range granSet {
+			info.clocks = append(info.clocks, Clock{Chain: l, Gran: g})
+		}
+		sortClocks(info.clocks)
+		for _, c := range info.clocks {
+			a.AddClock(c)
+		}
+		info.guards = make([]Formula, len(chain))
+		info.guards[0] = True{}
+		for i := 1; i < len(chain); i++ {
+			var conj And
+			for _, c := range s.Constraints(chain[i-1], chain[i]) {
+				clk := Clock{Chain: l, Gran: c.Gran}
+				conj = append(conj, GE{Clock: clk, K: c.Min}, LE{Clock: clk, K: c.Max})
+			}
+			info.guards[i] = conj
+		}
+		infos[l] = info
+	}
+
+	// Cross product over reachable tuples.
+	symbol := func(v core.Variable) event.Type {
+		if assign != nil {
+			return assign[v]
+		}
+		return event.Type(v)
+	}
+	tupleName := func(t []int) string {
+		parts := make([]string, len(t))
+		for l, p := range t {
+			parts[l] = fmt.Sprintf("S%d", p)
+		}
+		return strings.Join(parts, "")
+	}
+	type tupleKey string
+	keyOf := func(t []int) tupleKey {
+		return tupleKey(fmt.Sprint(t))
+	}
+	stateOf := make(map[tupleKey]int)
+	var tuples [][]int
+	intern := func(t []int) int {
+		k := keyOf(t)
+		if id, ok := stateOf[k]; ok {
+			return id
+		}
+		id := a.AddState(tupleName(t))
+		stateOf[k] = id
+		tuples = append(tuples, append([]int(nil), t...))
+		accepting := true
+		for l, p := range t {
+			if p != len(infos[l].vars) {
+				accepting = false
+				break
+			}
+		}
+		if accepting {
+			a.MarkAccept(id)
+		}
+		return id
+	}
+	start := make([]int, len(chains))
+	startID := intern(start)
+	a.MarkStart(startID)
+
+	vars := s.Variables()
+	for qi := 0; qi < len(tuples); qi++ {
+		cur := tuples[qi]
+		curID := stateOf[keyOf(cur)]
+		for _, v := range vars {
+			// All chains containing v must be positioned just before it.
+			ready := true
+			moving := false
+			for l := range infos {
+				p, in := infos[l].pos[v]
+				if !in {
+					continue
+				}
+				moving = true
+				if cur[l] != p-1 {
+					ready = false
+					break
+				}
+			}
+			if !moving || !ready {
+				continue
+			}
+			next := append([]int(nil), cur...)
+			var resets []Clock
+			var guard And
+			for l := range infos {
+				p, in := infos[l].pos[v]
+				if !in {
+					continue
+				}
+				next[l] = p
+				resets = append(resets, infos[l].clocks...)
+				if g, ok := infos[l].guards[p-1].(And); ok {
+					guard = append(guard, g...)
+				} else {
+					guard = append(guard, infos[l].guards[p-1])
+				}
+			}
+			nextID := intern(next)
+			a.AddTransition(Transition{
+				From:   curID,
+				To:     nextID,
+				Symbol: symbol(v),
+				Reset:  resets,
+				Guard:  simplify(guard),
+				Binds:  string(v),
+			})
+		}
+	}
+	// Skip transitions: ANY self-loops everywhere.
+	for id := range tuples {
+		a.AddTransition(Transition{From: id, To: id, Any: true, Guard: True{}})
+	}
+	return a, nil
+}
+
+// simplify flattens trivial conjunctions.
+func simplify(f And) Formula {
+	out := make(And, 0, len(f))
+	for _, g := range f {
+		if _, ok := g.(True); ok {
+			continue
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		return True{}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+// CompileStructure compiles an event structure into a TAG whose input
+// symbols are the variable names themselves (the intermediate object of the
+// Theorem-3 proof, before Step 4's substitution).
+func CompileStructure(s *core.EventStructure) (*TAG, error) {
+	chains, err := Chains(s)
+	if err != nil {
+		return nil, err
+	}
+	return FromChains(s, chains, nil)
+}
+
+// Compile compiles a complex event type into a TAG that accepts an event
+// sequence iff the complex type occurs in it (Theorem 3), using the fast
+// greedy chain cover. CompileMinimal spends more time computing the
+// provably minimum cover.
+func Compile(ct *core.ComplexType) (*TAG, error) {
+	chains, err := Chains(ct.Structure)
+	if err != nil {
+		return nil, err
+	}
+	return FromChains(ct.Structure, chains, ct.Assign)
+}
+
+// CompileMinimal is Compile with the minimum chain cover (MinChains): the
+// smallest p in Theorem 4's (|V|K)^p bound.
+func CompileMinimal(ct *core.ComplexType) (*TAG, error) {
+	chains, err := MinChains(ct.Structure)
+	if err != nil {
+		return nil, err
+	}
+	return FromChains(ct.Structure, chains, ct.Assign)
+}
+
+// Relabel returns a copy of the automaton with each variable-binding
+// transition's input symbol replaced by assign[variable]. The mining
+// pipeline compiles a structure's variable-symbol TAG once and relabels it
+// per candidate assignment — the cross product, guards and clocks are
+// shared, only the symbols differ.
+func (a *TAG) Relabel(assign map[core.Variable]event.Type) *TAG {
+	out := &TAG{
+		names:      a.names,
+		starts:     a.starts,
+		accept:     a.accept,
+		clocks:     a.clocks,
+		clockIndex: a.clockIndex,
+		trans:      make([][]Transition, len(a.trans)),
+	}
+	for from, ts := range a.trans {
+		nts := make([]Transition, len(ts))
+		copy(nts, ts)
+		for i := range nts {
+			if nts[i].Binds != "" {
+				nts[i].Symbol = assign[core.Variable(nts[i].Binds)]
+			}
+		}
+		out.trans[from] = nts
+	}
+	return out
+}

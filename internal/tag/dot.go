@@ -1,0 +1,70 @@
+package tag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the automaton in Graphviz DOT format, in the visual
+// style of the paper's Figure 2: double circles for accepting states, an
+// entry arrow into each start state, guards and resets as edge labels, and
+// ANY self-loops drawn dashed.
+func (a *TAG) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n  edge [fontsize=9];\n")
+	for id, name := range a.names {
+		shape := "circle"
+		if a.accept[id] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", id, name, shape)
+	}
+	for i, s := range a.starts {
+		fmt.Fprintf(&b, "  start%d [shape=point];\n  start%d -> n%d;\n", i, i, s)
+	}
+	// Deterministic edge order.
+	type edge struct {
+		from int
+		t    Transition
+	}
+	var edges []edge
+	for from, ts := range a.trans {
+		for _, t := range ts {
+			edges = append(edges, edge{from, t})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].t.To != edges[j].t.To {
+			return edges[i].t.To < edges[j].t.To
+		}
+		return edges[i].t.Symbol < edges[j].t.Symbol
+	})
+	for _, e := range edges {
+		label := string(e.t.Symbol)
+		style := ""
+		if e.t.Any {
+			label = "ANY"
+			style = ", style=dashed"
+		}
+		if _, isTrue := e.t.Guard.(True); !isTrue {
+			label += "\\n" + e.t.Guard.String()
+		}
+		if len(e.t.Reset) > 0 {
+			parts := make([]string, len(e.t.Reset))
+			for i, c := range e.t.Reset {
+				parts[i] = c.String()
+			}
+			label += "\\nreset " + strings.Join(parts, ",")
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q%s];\n", e.from, e.t.To, label, style)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,56 @@
+package tag_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/tag"
+)
+
+// Example compiles the paper's Example 1 into the Figure-2 automaton and
+// matches it against a concrete scenario.
+func Example() {
+	sys := granularity.Default()
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := tag.Compile(ct)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("states=%d clocks=%d\n", a.NumStates(), len(a.Clocks()))
+
+	seq := event.Sequence{
+		{Type: "IBM-rise", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		{Type: "IBM-earnings-report", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		{Type: "HP-rise", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		{Type: "IBM-fall", Time: event.At(1996, 6, 5, 11, 0, 0)},
+	}
+	ok, _ := a.Accepts(sys, seq, tag.RunOptions{})
+	fmt.Println("occurs:", ok)
+	// Output:
+	// states=6 clocks=4
+	// occurs: true
+}
+
+// ExampleTAG_NewRunner feeds events online and stops at acceptance.
+func ExampleTAG_NewRunner() {
+	sys := granularity.Default()
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "day"))
+	ct, _ := core.NewComplexType(s, map[core.Variable]event.Type{"A": "open", "B": "close"})
+	a, _ := tag.Compile(ct)
+
+	r := a.NewRunner(sys, tag.RunOptions{})
+	for _, e := range []event.Event{
+		{Type: "open", Time: event.At(1996, 6, 3, 9, 0, 0)},
+		{Type: "noise", Time: event.At(1996, 6, 3, 12, 0, 0)},
+		{Type: "close", Time: event.At(1996, 6, 3, 17, 0, 0)},
+	} {
+		if acc, _ := r.Feed(e); acc {
+			fmt.Println("accepted after", r.Steps(), "events")
+		}
+	}
+	// Output:
+	// accepted after 3 events
+}

@@ -1,0 +1,233 @@
+// Package tag implements the paper's timed finite automata with
+// granularities (TAGs, Section 4): finite automata whose transitions are
+// guarded by constraints over clocks that tick in different time
+// granularities. It provides the polynomial-time compilation of a complex
+// event type into a TAG (Theorem 3: chain decomposition, per-chain
+// automata, cross product, skip transitions, symbol substitution) and the
+// NDFA-style simulation that decides acceptance over an event sequence
+// (Theorem 4).
+package tag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clock identifies one automaton clock: the paper writes x^l_μ for the
+// clock of chain l ticking in granularity μ.
+type Clock struct {
+	Chain int
+	Gran  string
+}
+
+// String renders the clock as x{chain}_{gran}.
+func (c Clock) String() string { return fmt.Sprintf("x%d_%s", c.Chain, c.Gran) }
+
+// Formula is a clock constraint: the paper's Φ(C) is x <= k, k <= x, and
+// boolean combinations. Eval reads clock values via read, which reports
+// ok=false for clocks whose value is currently undefined (a granularity gap
+// was crossed since the last reset); any atom over an undefined clock is
+// false, and Not is evaluated with three-valued caution (Not of an
+// undefined atom is also false) so that guards never fire on undefined
+// readings.
+type Formula interface {
+	Eval(read func(Clock) (int64, bool)) bool
+	String() string
+	// Clocks appends the clocks mentioned by the formula.
+	Clocks(dst []Clock) []Clock
+	// Dead reports whether the formula can never become true for a run
+	// that stays in its current state: clock values only grow with time
+	// and undefined clocks stay undefined until a reset (which requires a
+	// transition). The simulation prunes runs all of whose outgoing
+	// transitions are dead. Dead must be conservative: false when unsure.
+	Dead(read func(Clock) (int64, bool)) bool
+}
+
+// True is the guard of unconstrained transitions.
+type True struct{}
+
+// Eval implements Formula.
+func (True) Eval(func(Clock) (int64, bool)) bool { return true }
+
+// String implements Formula.
+func (True) String() string { return "true" }
+
+// Clocks implements Formula.
+func (True) Clocks(dst []Clock) []Clock { return dst }
+
+// Dead implements Formula.
+func (True) Dead(func(Clock) (int64, bool)) bool { return false }
+
+// LE is the atom clock <= K.
+type LE struct {
+	Clock Clock
+	K     int64
+}
+
+// Eval implements Formula.
+func (f LE) Eval(read func(Clock) (int64, bool)) bool {
+	v, ok := read(f.Clock)
+	return ok && v <= f.K
+}
+
+// String implements Formula.
+func (f LE) String() string { return fmt.Sprintf("%s<=%d", f.Clock, f.K) }
+
+// Clocks implements Formula.
+func (f LE) Clocks(dst []Clock) []Clock { return append(dst, f.Clock) }
+
+// Dead implements Formula: an exceeded upper bound never recovers, and an
+// undefined clock never satisfies an atom.
+func (f LE) Dead(read func(Clock) (int64, bool)) bool {
+	v, ok := read(f.Clock)
+	return !ok || v > f.K
+}
+
+// GE is the atom K <= clock.
+type GE struct {
+	Clock Clock
+	K     int64
+}
+
+// Eval implements Formula.
+func (f GE) Eval(read func(Clock) (int64, bool)) bool {
+	v, ok := read(f.Clock)
+	return ok && v >= f.K
+}
+
+// String implements Formula.
+func (f GE) String() string { return fmt.Sprintf("%d<=%s", f.K, f.Clock) }
+
+// Clocks implements Formula.
+func (f GE) Clocks(dst []Clock) []Clock { return append(dst, f.Clock) }
+
+// Dead implements Formula: a lower bound not yet reached can still be
+// reached (values grow), so only an undefined clock is dead.
+func (f GE) Dead(read func(Clock) (int64, bool)) bool {
+	_, ok := read(f.Clock)
+	return !ok
+}
+
+// And is conjunction; an empty And is true.
+type And []Formula
+
+// Eval implements Formula.
+func (fs And) Eval(read func(Clock) (int64, bool)) bool {
+	for _, f := range fs {
+		if !f.Eval(read) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Formula.
+func (fs And) String() string {
+	if len(fs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Clocks implements Formula.
+func (fs And) Clocks(dst []Clock) []Clock {
+	for _, f := range fs {
+		dst = f.Clocks(dst)
+	}
+	return dst
+}
+
+// Dead implements Formula.
+func (fs And) Dead(read func(Clock) (int64, bool)) bool {
+	for _, f := range fs {
+		if f.Dead(read) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or is disjunction; an empty Or is false.
+type Or []Formula
+
+// Eval implements Formula.
+func (fs Or) Eval(read func(Clock) (int64, bool)) bool {
+	for _, f := range fs {
+		if f.Eval(read) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Formula.
+func (fs Or) String() string {
+	if len(fs) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = "(" + f.String() + ")"
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Clocks implements Formula.
+func (fs Or) Clocks(dst []Clock) []Clock {
+	for _, f := range fs {
+		dst = f.Clocks(dst)
+	}
+	return dst
+}
+
+// Dead implements Formula: an empty Or is false forever.
+func (fs Or) Dead(read func(Clock) (int64, bool)) bool {
+	for _, f := range fs {
+		if !f.Dead(read) {
+			return false
+		}
+	}
+	return true
+}
+
+// Not negates a formula. Note that atoms over undefined clocks evaluate to
+// false, so Not(LE{x,k}) is NOT "x > k or undefined": a guard containing
+// Not still cannot fire on an undefined clock if written in the usual
+// negation-of-atom form — which keeps the run semantics conservative.
+type Not struct{ F Formula }
+
+// Eval implements Formula.
+func (f Not) Eval(read func(Clock) (int64, bool)) bool {
+	// Refuse to fire when the negated sub-formula touches an undefined
+	// clock: collect and check.
+	for _, c := range f.F.Clocks(nil) {
+		if _, ok := read(c); !ok {
+			return false
+		}
+	}
+	return !f.F.Eval(read)
+}
+
+// String implements Formula.
+func (f Not) String() string { return "!(" + f.F.String() + ")" }
+
+// Clocks implements Formula.
+func (f Not) Clocks(dst []Clock) []Clock { return f.F.Clocks(dst) }
+
+// Dead implements Formula conservatively: negations are never pruned.
+func (Not) Dead(func(Clock) (int64, bool)) bool { return false }
+
+// sortClocks orders clocks deterministically.
+func sortClocks(cs []Clock) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Chain != cs[j].Chain {
+			return cs[i].Chain < cs[j].Chain
+		}
+		return cs[i].Gran < cs[j].Gran
+	})
+}

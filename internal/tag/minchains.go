@@ -1,0 +1,170 @@
+package tag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// MinChains computes a MINIMUM chain cover: the smallest number of
+// root-to-leaf paths covering every arc of the structure — exactly the
+// "minimal number of chains" Step 1 of the Theorem-3 construction asks
+// for (Chains is the fast greedy approximation; the chain count is the p
+// exponent of Theorem 4's bound, so shaving it matters for wide
+// structures).
+//
+// Formulation: a chain cover is an integral flow on the DAG where every
+// arc carries at least one unit, augmented with source→root and leaf→sink
+// arcs; the cover size is the flow value. MinChains finds a feasible flow
+// (from the greedy cover) and then cancels flow along residual sink→source
+// paths until no reduction remains, which is optimal for min-flow with
+// lower bounds. The flow is then decomposed into unit root-to-leaf paths.
+func MinChains(s *core.EventStructure) ([][]core.Variable, error) {
+	greedy, err := Chains(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(greedy) <= 1 {
+		return greedy, nil
+	}
+	root, err := s.Root()
+	if err != nil {
+		return nil, err
+	}
+
+	// Flow on structure arcs, seeded by the greedy cover.
+	flow := make(map[[2]core.Variable]int)
+	for _, chain := range greedy {
+		for i := 0; i+1 < len(chain); i++ {
+			flow[[2]core.Variable{chain[i], chain[i+1]}]++
+		}
+	}
+	leaves := make(map[core.Variable]bool)
+	for _, v := range s.Leaves() {
+		leaves[v] = true
+	}
+	// leafFlow[v] = chains ending at leaf v; rootFlow = total chains.
+	leafFlow := make(map[core.Variable]int)
+	for _, chain := range greedy {
+		leafFlow[chain[len(chain)-1]]++
+	}
+	total := len(greedy)
+
+	// Residual search: find a path from some leaf with leafFlow > 0 to the
+	// root, moving either backward along an arc with flow > lower bound
+	// (cancel a unit) or forward along any arc (add a unit). Each such
+	// path reduces the total by one.
+	type node struct {
+		v    core.Variable
+		prev *node
+		fwd  bool // arrived by adding flow on (prev.v is the arc head)
+	}
+	for {
+		// BFS from the set of leaves with spare chain-endings toward root.
+		var queue []*node
+		visited := make(map[core.Variable]bool)
+		for v := range leaves {
+			if leafFlow[v] > 0 {
+				queue = append(queue, &node{v: v})
+				visited[v] = true
+			}
+		}
+		// Deterministic order.
+		sort.Slice(queue, func(i, j int) bool { return queue[i].v < queue[j].v })
+		var goal *node
+		for len(queue) > 0 && goal == nil {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.v == root && cur.prev != nil {
+				goal = cur
+				break
+			}
+			// Backward over arcs (u, cur.v) with flow > 1: cancel a unit.
+			for _, u := range s.Predecessors(cur.v) {
+				if visited[u] {
+					continue
+				}
+				if flow[[2]core.Variable{u, cur.v}] > 1 {
+					visited[u] = true
+					queue = append(queue, &node{v: u, prev: cur, fwd: false})
+				}
+			}
+			// Forward over arcs (cur.v, w): adding a unit is always
+			// allowed (infinite capacity), and lets another chain be
+			// rerouted; but the path must eventually reach root going
+			// backward, so forward moves only help via later backward
+			// moves — include them.
+			for _, w := range s.Successors(cur.v) {
+				if visited[w] {
+					continue
+				}
+				visited[w] = true
+				queue = append(queue, &node{v: w, prev: cur, fwd: true})
+			}
+		}
+		if goal == nil {
+			break
+		}
+		// Apply the reduction along the path goal..leaf: walking from root
+		// back to the starting leaf, each backward step cancels a unit,
+		// each forward step adds one.
+		start := goal.v
+		for cur := goal; cur.prev != nil; cur = cur.prev {
+			if cur.fwd {
+				// cur arrived from cur.prev by a FORWARD move over the arc
+				// (cur.prev.v, cur.v): add a unit there.
+				flow[[2]core.Variable{cur.prev.v, cur.v}]++
+			} else {
+				// Backward move over (cur.v, cur.prev.v): cancel a unit.
+				flow[[2]core.Variable{cur.v, cur.prev.v}]--
+			}
+			start = cur.prev.v
+		}
+		leafFlow[start]--
+		total--
+		if total < 1 {
+			return nil, fmt.Errorf("tag: min-flow reduced below one chain")
+		}
+	}
+
+	// Decompose the flow into chains: repeatedly walk root→leaf along
+	// arcs with remaining flow, preferring arcs with the most flow.
+	remaining := make(map[[2]core.Variable]int, len(flow))
+	for k, v := range flow {
+		remaining[k] = v
+	}
+	var out [][]core.Variable
+	for i := 0; i < total; i++ {
+		chain := []core.Variable{root}
+		cur := root
+		for {
+			succs := s.Successors(cur)
+			if len(succs) == 0 {
+				break
+			}
+			var next core.Variable
+			best := -1
+			for _, w := range succs {
+				if f := remaining[[2]core.Variable{cur, w}]; f > best {
+					best = f
+					next = w
+				}
+			}
+			if best < 1 {
+				return nil, fmt.Errorf("tag: flow decomposition stuck at %s", cur)
+			}
+			remaining[[2]core.Variable{cur, next}]--
+			chain = append(chain, next)
+			cur = next
+		}
+		out = append(out, chain)
+	}
+	// Every arc must be covered.
+	for _, e := range s.Edges() {
+		if flow[[2]core.Variable{e.From, e.To}] < 1 {
+			return nil, fmt.Errorf("tag: min-flow uncovered arc %s->%s", e.From, e.To)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package tag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// checkCover validates that chains form a legal arc cover of s.
+func checkCover(t *testing.T, s *core.EventStructure, chains [][]core.Variable) {
+	t.Helper()
+	root, err := s.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[[2]core.Variable]bool{}
+	for _, ch := range chains {
+		if len(ch) == 0 || ch[0] != root {
+			t.Fatalf("chain %v does not start at root", ch)
+		}
+		if len(s.Successors(ch[len(ch)-1])) != 0 {
+			t.Fatalf("chain %v does not end at a leaf", ch)
+		}
+		for i := 0; i+1 < len(ch); i++ {
+			if s.Constraints(ch[i], ch[i+1]) == nil {
+				t.Fatalf("chain %v uses non-arc %s->%s", ch, ch[i], ch[i+1])
+			}
+			covered[[2]core.Variable{ch[i], ch[i+1]}] = true
+		}
+	}
+	if len(covered) != s.NumEdges() {
+		t.Fatalf("cover hits %d of %d arcs", len(covered), s.NumEdges())
+	}
+}
+
+func TestMinChainsKnownOptima(t *testing.T) {
+	// Fig1a: optimum 2.
+	chains, err := MinChains(core.Fig1a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, core.Fig1a(), chains)
+	if len(chains) != 2 {
+		t.Fatalf("Fig1a min cover = %d chains, want 2", len(chains))
+	}
+
+	// Shortcut structure: R->A->B->L plus R->B and A->L; optimum 3 (no two
+	// root-leaf paths can cover all five arcs).
+	s := core.NewStructure()
+	day := core.MustTCG(0, 1, "day")
+	s.MustConstrain("R", "A", day)
+	s.MustConstrain("A", "B", day)
+	s.MustConstrain("B", "L", day)
+	s.MustConstrain("R", "B", day)
+	s.MustConstrain("A", "L", day)
+	chains, err = MinChains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, s, chains)
+	if len(chains) != 3 {
+		t.Fatalf("shortcut min cover = %d chains, want 3", len(chains))
+	}
+
+	// Out-degree forces the count: B has two leaves, plus A and C branches.
+	w := core.NewStructure()
+	w.MustConstrain("R", "A", day)
+	w.MustConstrain("R", "B", day)
+	w.MustConstrain("R", "C", day)
+	w.MustConstrain("A", "L1", day)
+	w.MustConstrain("B", "L1", day)
+	w.MustConstrain("B", "L2", day)
+	w.MustConstrain("C", "L2", day)
+	chains, err = MinChains(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, w, chains)
+	if len(chains) != 4 {
+		t.Fatalf("W-shape min cover = %d chains, want 4", len(chains))
+	}
+
+	// Singleton.
+	single := core.NewStructure()
+	single.AddVariable("X")
+	chains, err = MinChains(single)
+	if err != nil || len(chains) != 1 {
+		t.Fatalf("singleton = %v, %v", chains, err)
+	}
+}
+
+// TestMinChainsNeverWorseFuzz: on random rooted DAGs the min cover is valid,
+// no larger than the greedy one, and the compiled automata accept the same
+// scenarios.
+func TestMinChainsNeverWorseFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	day := core.MustTCG(0, 2, "day")
+	for trial := 0; trial < 120; trial++ {
+		n := 4 + rng.Intn(4)
+		s := core.NewStructure()
+		v := func(i int) core.Variable { return core.Variable(fmt.Sprintf("V%d", i)) }
+		for i := 1; i < n; i++ {
+			// Ensure rootedness: connect from a random earlier node.
+			s.MustConstrain(v(rng.Intn(i)), v(i), day)
+			// Extra forward arc sometimes.
+			if i >= 2 && rng.Intn(2) == 0 {
+				a, b := rng.Intn(i), i
+				if s.Constraints(v(a), v(b)) == nil && a != b {
+					s.MustConstrain(v(a), v(b), day)
+				}
+			}
+		}
+		if err := s.Validate(); err != nil {
+			continue // multi-source graphs can slip in; skip them
+		}
+		greedy, err := Chains(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minimum, err := MinChains(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, s)
+		}
+		checkCover(t, s, minimum)
+		if len(minimum) > len(greedy) {
+			t.Fatalf("trial %d: min cover %d > greedy %d\n%s", trial, len(minimum), len(greedy), s)
+		}
+		// Behavioural equivalence of the compiled automata on a planted
+		// scenario.
+		ag, err := FromChains(s, greedy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, err := FromChains(s, minimum, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := mustTopo(s)
+		var seq event.Sequence
+		cur := event.At(1996, 4, 1, 8, 0, 0)
+		for _, x := range order {
+			seq = append(seq, event.Event{Type: event.Type(x), Time: cur})
+			cur += rng.Int63n(2*86400) + 1
+		}
+		g1, _ := ag.Accepts(sys, seq, RunOptions{})
+		g2, _ := am.Accepts(sys, seq, RunOptions{})
+		if g1 != g2 {
+			t.Fatalf("trial %d: greedy %v != min %v on %v\n%s", trial, g1, g2, seq, s)
+		}
+	}
+}

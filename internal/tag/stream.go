@@ -1,0 +1,179 @@
+package tag
+
+import (
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// Runner is an online TAG simulation: events are fed one at a time (in
+// non-decreasing timestamp order) and acceptance is reported as soon as it
+// happens — the monitoring mode the paper's introduction motivates
+// (watching accesses, transactions or plant telemetry as they arrive)
+// rather than batch scanning a stored sequence.
+//
+// A Runner holds the same deduplicated frontier as Accepts; feeding the
+// events of a sequence one by one reports acceptance at exactly the same
+// event. Runners are not safe for concurrent use.
+type Runner struct {
+	a        *TAG
+	sys      *granularity.System
+	opt      RunOptions
+	frontier map[string]runState
+	curCover []int64
+	curOK    []bool
+	prevOK   []bool
+	progress [][]Transition
+	steps    int
+	accepted bool
+	binding  map[string]int
+	maxFront int
+	prevTime int64
+}
+
+// NewRunner starts an online simulation.
+func (a *TAG) NewRunner(sys *granularity.System, opt RunOptions) *Runner {
+	r := &Runner{
+		a:        a,
+		sys:      sys,
+		opt:      opt,
+		frontier: make(map[string]runState),
+		curCover: make([]int64, len(a.clocks)),
+		curOK:    make([]bool, len(a.clocks)),
+		prevOK:   make([]bool, len(a.clocks)),
+		progress: make([][]Transition, len(a.trans)),
+	}
+	for s, ts := range a.trans {
+		for _, t := range ts {
+			if t.To != t.From {
+				r.progress[s] = append(r.progress[s], t)
+			}
+		}
+	}
+	for _, s := range a.starts {
+		if a.accept[s] {
+			r.accepted = true
+			r.binding = map[string]int{}
+			continue
+		}
+		rs := runState{
+			state:   s,
+			vals:    make([]int64, len(a.clocks)),
+			invalid: make([]bool, len(a.clocks)),
+		}
+		r.frontier[rs.key()] = rs
+	}
+	return r
+}
+
+// Accepted reports whether an accepting run has been reached.
+func (r *Runner) Accepted() bool { return r.accepted }
+
+// Binding returns the witness of the accepting run (variable name → index
+// of the fed event, 0-based in feeding order), or nil before acceptance.
+func (r *Runner) Binding() map[string]int { return r.binding }
+
+// Steps returns the number of events fed so far.
+func (r *Runner) Steps() int { return r.steps }
+
+// MaxFrontier returns the peak deduplicated run count.
+func (r *Runner) MaxFrontier() int { return r.maxFront }
+
+// Feed consumes one event and reports whether the automaton has accepted
+// (sticky: once true, further feeding is a no-op). Events must arrive in
+// non-decreasing timestamp order; out-of-order events are rejected with
+// ok=false without being consumed.
+func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
+	if r.accepted {
+		return true, true
+	}
+	if r.steps > 0 && e.Time < r.prevTime {
+		return false, false
+	}
+	idx := r.steps
+	r.steps++
+	copy(r.prevOK, r.curOK)
+	for ci, c := range r.a.clocks {
+		g, found := r.sys.Get(c.Gran)
+		if !found {
+			r.curOK[ci] = false
+			continue
+		}
+		r.curCover[ci], r.curOK[ci] = g.TickOf(e.Time)
+	}
+	if idx == 0 {
+		for k, rs := range r.frontier {
+			copy(rs.vals, r.curCover)
+			for ci := range rs.invalid {
+				rs.invalid[ci] = !r.curOK[ci]
+			}
+			r.frontier[k] = rs
+		}
+	} else if r.opt.Strict {
+		for ci := range r.a.clocks {
+			if !r.curOK[ci] || !r.prevOK[ci] {
+				r.frontier = map[string]runState{}
+				break
+			}
+		}
+	}
+	r.prevTime = e.Time
+
+	next := make(map[string]runState, len(r.frontier))
+	for _, rs := range r.frontier {
+		rs := rs
+		read := func(c Clock) (int64, bool) {
+			ci := r.a.clockIndex[c]
+			if rs.invalid[ci] || !r.curOK[ci] {
+				return 0, false
+			}
+			return r.curCover[ci] - rs.vals[ci], true
+		}
+		for _, t := range r.a.trans[rs.state] {
+			if !t.Any && t.Symbol != e.Type {
+				continue
+			}
+			if r.opt.Anchored && idx == 0 && t.Any && t.To == t.From {
+				continue
+			}
+			if !t.Guard.Eval(read) {
+				continue
+			}
+			nr := runState{
+				state:   t.To,
+				vals:    append([]int64(nil), rs.vals...),
+				invalid: append([]bool(nil), rs.invalid...),
+				binding: rs.binding,
+			}
+			if t.Binds != "" {
+				nb := make(map[string]int, len(rs.binding)+1)
+				for k, v := range rs.binding {
+					nb[k] = v
+				}
+				nb[t.Binds] = idx
+				nr.binding = nb
+			}
+			for _, c := range t.Reset {
+				ci := r.a.clockIndex[c]
+				nr.vals[ci] = r.curCover[ci]
+				nr.invalid[ci] = !r.curOK[ci]
+			}
+			if r.a.accept[nr.state] {
+				r.accepted = true
+				r.binding = nr.binding
+				return true, true
+			}
+			if r.a.runDoomed(&nr, r.curCover, r.curOK, r.progress[nr.state]) {
+				continue
+			}
+			next[nr.key()] = nr
+		}
+	}
+	r.frontier = next
+	if len(next) > r.maxFront {
+		r.maxFront = len(next)
+	}
+	if r.opt.MaxFrontier > 0 && len(next) > r.opt.MaxFrontier {
+		r.frontier = map[string]runState{}
+	}
+	return false, true
+}

@@ -1,0 +1,136 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+func TestRunnerMatchesBatch(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fig1aScenario()
+	wantOK, wantStats := a.Accepts(sys, seq, RunOptions{})
+	r := a.NewRunner(sys, RunOptions{})
+	acceptedAt := -1
+	for i, e := range seq {
+		acc, ok := r.Feed(e)
+		if !ok {
+			t.Fatalf("in-order event %d rejected", i)
+		}
+		if acc && acceptedAt < 0 {
+			acceptedAt = i
+		}
+	}
+	if r.Accepted() != wantOK {
+		t.Fatalf("streaming accepted=%v, batch=%v", r.Accepted(), wantOK)
+	}
+	if acceptedAt != wantStats.AcceptedAt {
+		t.Fatalf("streaming accepted at %d, batch at %d", acceptedAt, wantStats.AcceptedAt)
+	}
+	// The streaming witness matches the structure.
+	b := core.Binding{}
+	for v, idx := range r.Binding() {
+		b[core.Variable(v)] = seq[idx]
+	}
+	if !core.Matches(sys, core.Fig1a(), b) {
+		t.Fatalf("streaming witness invalid: %v", r.Binding())
+	}
+	// Further feeding is a sticky no-op.
+	if acc, ok := r.Feed(event.Event{Type: "noise", Time: seq[len(seq)-1].Time + 1}); !acc || !ok {
+		t.Fatal("acceptance must be sticky")
+	}
+}
+
+func TestRunnerRejectsOutOfOrder(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, _ := Compile(ct)
+	r := a.NewRunner(sys, RunOptions{})
+	if _, ok := r.Feed(event.Event{Type: "x", Time: 1000}); !ok {
+		t.Fatal("first event rejected")
+	}
+	if _, ok := r.Feed(event.Event{Type: "y", Time: 999}); ok {
+		t.Fatal("out-of-order event accepted")
+	}
+	if r.Steps() != 1 {
+		t.Fatalf("rejected event consumed: steps=%d", r.Steps())
+	}
+}
+
+// TestRunnerEquivalentToBatchFuzz: streaming and batch agree on random
+// inputs (acceptance and accept position).
+func TestRunnerEquivalentToBatchFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := diamondStructure()
+	assign := map[core.Variable]event.Type{"X0": "a", "X1": "b", "X2": "c", "X3": "d"}
+	ct, _ := core.NewComplexType(s, assign)
+	a, _ := Compile(ct)
+	types := []event.Type{"a", "b", "c", "d"}
+	positives := 0
+	for trial := 0; trial < 300; trial++ {
+		seq := randomSeq(rng, types, 5, event.At(1996, 4, 1, 0, 0, 0), 15*86400)
+		base := event.At(1996, 4, 1, 0, 0, 0) + rng.Int63n(8*86400)
+		cur := base
+		for _, v := range mustTopo(s) {
+			seq = append(seq, event.Event{Type: assign[v], Time: cur})
+			cur += rng.Int63n(2*86400) + 1
+		}
+		seq.Sort()
+		seq = dedupTimes(seq)
+		batchOK, batchStats := a.Accepts(sys, seq, RunOptions{})
+		r := a.NewRunner(sys, RunOptions{})
+		streamAt := -1
+		for i, e := range seq {
+			if acc, _ := r.Feed(e); acc && streamAt < 0 {
+				streamAt = i
+			}
+		}
+		if r.Accepted() != batchOK {
+			t.Fatalf("trial %d: stream %v != batch %v", trial, r.Accepted(), batchOK)
+		}
+		if batchOK {
+			positives++
+			if streamAt != batchStats.AcceptedAt {
+				t.Fatalf("trial %d: stream accepts at %d, batch at %d", trial, streamAt, batchStats.AcceptedAt)
+			}
+		}
+	}
+	if positives < 10 {
+		t.Fatalf("only %d positives sampled", positives)
+	}
+}
+
+func TestRunnerAnchoredAndValve(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, _ := Compile(ct)
+	seq := fig1aScenario()
+	// Anchored at the noise event: never accepts.
+	r := a.NewRunner(sys, RunOptions{Anchored: true})
+	for _, e := range seq {
+		r.Feed(e)
+	}
+	if r.Accepted() {
+		t.Fatal("anchored runner must bind the first event to the root")
+	}
+	// Anchored at the real root occurrence: accepts.
+	r = a.NewRunner(sys, RunOptions{Anchored: true})
+	for _, e := range seq[1:] {
+		r.Feed(e)
+	}
+	if !r.Accepted() {
+		t.Fatal("anchored at the root occurrence should accept")
+	}
+	// The frontier valve empties the run set instead of growing past it.
+	r = a.NewRunner(sys, RunOptions{MaxFrontier: 1})
+	for _, e := range seq {
+		r.Feed(e)
+	}
+	if r.MaxFrontier() > 1+1 {
+		t.Fatalf("valve ignored: maxFrontier=%d", r.MaxFrontier())
+	}
+}

@@ -1,0 +1,366 @@
+package tag
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// Transition is one edge of a TAG: from state From to state To on input
+// Symbol (or on any symbol when Any is set), resetting the clocks in Reset,
+// enabled when Guard holds under the current clock valuation.
+type Transition struct {
+	From, To int
+	Symbol   event.Type
+	Any      bool
+	Reset    []Clock
+	Guard    Formula
+	// Binds names the event variable this transition consumes an event
+	// for; empty on skip transitions. Set by the compiler so witnesses can
+	// be extracted from accepting runs.
+	Binds string
+}
+
+// TAG is a timed finite automaton with granularities: the 6-tuple
+// (Σ, S, S0, C, T, F) of the paper's Section 4.
+type TAG struct {
+	names  []string // state names, index = state id
+	starts []int
+	accept map[int]bool
+	clocks []Clock
+	trans  [][]Transition // outgoing, indexed by From
+	// clockIndex maps a clock to its slot in run valuations.
+	clockIndex map[Clock]int
+}
+
+// NewTAG builds an empty automaton; use AddState/AddTransition.
+func NewTAG() *TAG {
+	return &TAG{accept: make(map[int]bool), clockIndex: make(map[Clock]int)}
+}
+
+// AddState adds a state with a diagnostic name and returns its id.
+func (a *TAG) AddState(name string) int {
+	a.names = append(a.names, name)
+	a.trans = append(a.trans, nil)
+	return len(a.names) - 1
+}
+
+// MarkStart marks a state as a start state.
+func (a *TAG) MarkStart(s int) { a.starts = append(a.starts, s) }
+
+// MarkAccept marks a state as accepting.
+func (a *TAG) MarkAccept(s int) { a.accept[s] = true }
+
+// AddClock registers a clock (idempotent).
+func (a *TAG) AddClock(c Clock) {
+	if _, ok := a.clockIndex[c]; ok {
+		return
+	}
+	a.clockIndex[c] = len(a.clocks)
+	a.clocks = append(a.clocks, c)
+}
+
+// AddTransition appends a transition; its clocks must have been registered.
+func (a *TAG) AddTransition(t Transition) {
+	for _, c := range t.Reset {
+		if _, ok := a.clockIndex[c]; !ok {
+			panic(fmt.Sprintf("tag: unregistered clock %s in reset", c))
+		}
+	}
+	for _, c := range t.Guard.Clocks(nil) {
+		if _, ok := a.clockIndex[c]; !ok {
+			panic(fmt.Sprintf("tag: unregistered clock %s in guard", c))
+		}
+	}
+	a.trans[t.From] = append(a.trans[t.From], t)
+}
+
+// NumStates returns |S|.
+func (a *TAG) NumStates() int { return len(a.names) }
+
+// NumTransitions returns |T|.
+func (a *TAG) NumTransitions() int {
+	n := 0
+	for _, ts := range a.trans {
+		n += len(ts)
+	}
+	return n
+}
+
+// Clocks returns the clock set.
+func (a *TAG) Clocks() []Clock { return append([]Clock(nil), a.clocks...) }
+
+// StateName returns the diagnostic name of a state.
+func (a *TAG) StateName(s int) string { return a.names[s] }
+
+// String renders the automaton, one transition per line.
+func (a *TAG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states=%d starts=%v clocks=%v\n", len(a.names), a.starts, a.clocks)
+	for from, ts := range a.trans {
+		for _, t := range ts {
+			sym := string(t.Symbol)
+			if t.Any {
+				sym = "ANY"
+			}
+			acc := ""
+			if a.accept[t.To] {
+				acc = " (accept)"
+			}
+			fmt.Fprintf(&b, "%s --%s[%s]{reset %v}--> %s%s\n",
+				a.names[from], sym, t.Guard, t.Reset, a.names[t.To], acc)
+		}
+	}
+	return b.String()
+}
+
+// RunOptions tunes the NDFA simulation.
+type RunOptions struct {
+	// Anchored disables the skip self-loop on start states, forcing the
+	// first event of the input to take a real transition. The mining layer
+	// uses this to bind the structure's root to a specific reference
+	// occurrence.
+	Anchored bool
+	// Strict applies the paper's literal run semantics: a run dies as soon
+	// as ANY clock update is undefined (the event timestamp or the
+	// previous one falls in a granularity gap), even if no guard mentions
+	// the clock. The default (lazy) semantics instead marks the clock
+	// undefined until its next reset; guards over undefined clocks cannot
+	// fire. Lazy accepts a superset of strict and is what mining over
+	// real sequences (weekends between trading days!) needs.
+	Strict bool
+	// MaxFrontier caps the deduplicated run-set size as a safety valve;
+	// 0 means unlimited.
+	MaxFrontier int
+}
+
+// RunStats reports simulation effort for the Theorem-4 experiments.
+type RunStats struct {
+	// Steps is the number of events consumed.
+	Steps int
+	// MaxFrontier is the peak number of distinct (state, valuation) runs.
+	MaxFrontier int
+	// AcceptedAt is the index (into the input) of the event on which an
+	// accepting state was first reached, or -1.
+	AcceptedAt int
+}
+
+// runState is one NDFA run: a state plus a clock valuation. The valuation
+// is stored as the granule index at each clock's last reset (vals[i]), so a
+// reading is cover(now) − vals[i]: this telescopes to the paper's
+// accumulated value when every intermediate cover is defined, and recovers
+// after an unrelated gap event under the lazy semantics. invalid marks
+// clocks reset at an uncovered timestamp.
+type runState struct {
+	state   int
+	vals    []int64
+	invalid []bool
+	// binding records, per variable name, the index of the event each
+	// binding transition consumed. It is carried along but deliberately
+	// NOT part of the dedup key: runs differing only in their witness are
+	// interchangeable for acceptance, and keeping one of them suffices.
+	binding map[string]int
+}
+
+// key builds a dedup key for the run.
+func (r runState) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", r.state)
+	for i, v := range r.vals {
+		if r.invalid[i] {
+			b.WriteString("|x")
+		} else {
+			fmt.Fprintf(&b, "|%d", v)
+		}
+	}
+	return b.String()
+}
+
+// runDoomed reports whether the run can never reach an accepting state:
+// every state-changing transition's guard is permanently dead. Clock
+// values only grow while the run waits in its state, and an invalid clock
+// (reset at an uncovered timestamp) stays invalid, so LE atoms past their
+// bound and atoms over invalid clocks never recover. A transiently
+// uncovered current timestamp is NOT permanent: such clocks read as very
+// small values here so no atom is considered dead because of them.
+func (a *TAG) runDoomed(r *runState, curCover []int64, curOK []bool, progress []Transition) bool {
+	if len(progress) == 0 {
+		return true
+	}
+	read := func(c Clock) (int64, bool) {
+		ci := a.clockIndex[c]
+		if r.invalid[ci] {
+			return 0, false
+		}
+		if !curOK[ci] {
+			return -(1 << 60), true // unknown but recoverable: never dead
+		}
+		return curCover[ci] - r.vals[ci], true
+	}
+	for _, t := range progress {
+		if !t.Guard.Dead(read) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepts reports whether the automaton accepts the sequence: whether some
+// run reaches an accepting state at some prefix. (Compiled TAGs keep skip
+// self-loops on accepting states, so prefix acceptance and end-of-input
+// acceptance coincide; stopping at the first acceptance is an optimization,
+// not a semantic change.)
+func (a *TAG) Accepts(sys *granularity.System, seq event.Sequence, opt RunOptions) (bool, RunStats) {
+	_, ok, stats := a.run(sys, seq, opt, false)
+	return ok, stats
+}
+
+// FindOccurrence is Accepts returning a witness: the index in seq of the
+// event bound to each variable of the accepting run (for compiled TAGs,
+// the variables of the source structure). ok is false when the automaton
+// rejects.
+func (a *TAG) FindOccurrence(sys *granularity.System, seq event.Sequence, opt RunOptions) (map[string]int, bool, RunStats) {
+	return a.run(sys, seq, opt, true)
+}
+
+func (a *TAG) run(sys *granularity.System, seq event.Sequence, opt RunOptions, witness bool) (map[string]int, bool, RunStats) {
+	stats := RunStats{AcceptedAt: -1}
+	frontier := make(map[string]runState)
+	addRun := func(r runState) {
+		frontier[r.key()] = r
+	}
+	for _, s := range a.starts {
+		if a.accept[s] {
+			stats.AcceptedAt = 0
+			return map[string]int{}, true, stats
+		}
+		addRun(runState{
+			state:   s,
+			vals:    make([]int64, len(a.clocks)),
+			invalid: make([]bool, len(a.clocks)),
+		})
+	}
+
+	// Per-clock current cover indices are shared across runs: they depend
+	// only on the current timestamp.
+	curCover := make([]int64, len(a.clocks))
+	curOK := make([]bool, len(a.clocks))
+	prevOK := make([]bool, len(a.clocks))
+
+	// progress[s] are the state-changing transitions out of s; a run whose
+	// progress transitions are all permanently dead can never accept and
+	// is pruned.
+	progress := make([][]Transition, len(a.trans))
+	for s, ts := range a.trans {
+		for _, t := range ts {
+			if t.To != t.From {
+				progress[s] = append(progress[s], t)
+			}
+		}
+	}
+
+	for idx, e := range seq {
+		stats.Steps++
+		copy(prevOK, curOK)
+		for ci, c := range a.clocks {
+			g, ok := sys.Get(c.Gran)
+			if !ok {
+				curOK[ci] = false
+				continue
+			}
+			curCover[ci], curOK[ci] = g.TickOf(e.Time)
+		}
+		if idx == 0 {
+			// Initiation: all clocks read 0 at the first event, i.e. they
+			// behave as if reset there.
+			for k, r := range frontier {
+				copy(r.vals, curCover)
+				for ci := range r.invalid {
+					r.invalid[ci] = !curOK[ci]
+				}
+				frontier[k] = r
+			}
+		} else if opt.Strict {
+			// Paper-literal semantics: the update value must be defined
+			// for every clock at every step, or the run cannot continue —
+			// and the deltas are shared, so all runs die together.
+			for ci := range a.clocks {
+				if !curOK[ci] || !prevOK[ci] {
+					frontier = nil
+					break
+				}
+			}
+		}
+
+		read := func(r *runState) func(Clock) (int64, bool) {
+			return func(c Clock) (int64, bool) {
+				ci := a.clockIndex[c]
+				if r.invalid[ci] || !curOK[ci] {
+					return 0, false
+				}
+				return curCover[ci] - r.vals[ci], true
+			}
+		}
+		next := make(map[string]runState, len(frontier))
+		for _, r := range frontier {
+			r := r
+			rd := read(&r)
+			for _, t := range a.trans[r.state] {
+				if !t.Any && t.Symbol != e.Type {
+					continue
+				}
+				if opt.Anchored && idx == 0 && t.Any && t.To == t.From {
+					continue // no skipping the anchor event
+				}
+				if !t.Guard.Eval(rd) {
+					continue
+				}
+				nr := runState{
+					state:   t.To,
+					vals:    append([]int64(nil), r.vals...),
+					invalid: append([]bool(nil), r.invalid...),
+					binding: r.binding,
+				}
+				if witness && t.Binds != "" {
+					nb := make(map[string]int, len(r.binding)+1)
+					for k, v := range r.binding {
+						nb[k] = v
+					}
+					nb[t.Binds] = idx
+					nr.binding = nb
+				}
+				for _, c := range t.Reset {
+					ci := a.clockIndex[c]
+					nr.vals[ci] = curCover[ci]
+					nr.invalid[ci] = !curOK[ci]
+				}
+				if a.accept[nr.state] {
+					stats.AcceptedAt = idx
+					if len(next) > stats.MaxFrontier {
+						stats.MaxFrontier = len(next)
+					}
+					return nr.binding, true, stats
+				}
+				if a.runDoomed(&nr, curCover, curOK, progress[nr.state]) {
+					continue
+				}
+				next[nr.key()] = nr
+			}
+		}
+		frontier = next
+		if len(frontier) > stats.MaxFrontier {
+			stats.MaxFrontier = len(frontier)
+		}
+		if opt.MaxFrontier > 0 && len(frontier) > opt.MaxFrontier {
+			// Safety valve: refuse to blow up. Report non-acceptance with
+			// the stats gathered so far.
+			break
+		}
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return nil, false, stats
+}

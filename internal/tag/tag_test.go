@@ -1,0 +1,616 @@
+package tag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+var sys = granularity.Default()
+
+func TestFormulaEval(t *testing.T) {
+	x := Clock{Chain: 0, Gran: "hour"}
+	y := Clock{Chain: 1, Gran: "day"}
+	vals := map[Clock]int64{x: 5}
+	read := func(c Clock) (int64, bool) {
+		v, ok := vals[c]
+		return v, ok
+	}
+	if !(LE{x, 5}).Eval(read) || (LE{x, 4}).Eval(read) {
+		t.Fatal("LE wrong")
+	}
+	if !(GE{x, 5}).Eval(read) || (GE{x, 6}).Eval(read) {
+		t.Fatal("GE wrong")
+	}
+	if (LE{y, 100}).Eval(read) {
+		t.Fatal("atom over undefined clock must be false")
+	}
+	if !(And{LE{x, 9}, GE{x, 1}}).Eval(read) {
+		t.Fatal("And wrong")
+	}
+	if (And{LE{x, 9}, LE{y, 9}}).Eval(read) {
+		t.Fatal("And with undefined atom must fail")
+	}
+	if !(Or{LE{y, 9}, GE{x, 5}}).Eval(read) {
+		t.Fatal("Or wrong")
+	}
+	if !(And{}).Eval(read) || (Or{}).Eval(read) {
+		t.Fatal("empty And is true, empty Or is false")
+	}
+	if (Not{LE{x, 9}}).Eval(read) {
+		t.Fatal("Not of true atom")
+	}
+	if !(Not{LE{x, 4}}).Eval(read) {
+		t.Fatal("Not of false atom over defined clock")
+	}
+	if (Not{LE{y, 4}}).Eval(read) {
+		t.Fatal("Not must not fire over undefined clocks")
+	}
+	if (True{}).String() != "true" {
+		t.Fatal("True string")
+	}
+}
+
+func TestChainsCoverFig1a(t *testing.T) {
+	s := core.Fig1a()
+	chains, err := Chains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig1a decomposes into exactly 2 chains: X0,X1,X3 and X0,X2,X3.
+	if len(chains) != 2 {
+		t.Fatalf("Fig1a chain cover has %d chains, want 2: %v", len(chains), chains)
+	}
+	covered := map[[2]core.Variable]bool{}
+	for _, ch := range chains {
+		if ch[0] != "X0" {
+			t.Fatalf("chain %v does not start at root", ch)
+		}
+		if len(s.Successors(ch[len(ch)-1])) != 0 {
+			t.Fatalf("chain %v does not end at a leaf", ch)
+		}
+		for i := 0; i+1 < len(ch); i++ {
+			if s.Constraints(ch[i], ch[i+1]) == nil {
+				t.Fatalf("chain %v uses non-arc %s->%s", ch, ch[i], ch[i+1])
+			}
+			covered[[2]core.Variable{ch[i], ch[i+1]}] = true
+		}
+	}
+	if len(covered) != s.NumEdges() {
+		t.Fatalf("cover hits %d of %d arcs", len(covered), s.NumEdges())
+	}
+}
+
+func TestNaiveChainsCover(t *testing.T) {
+	s := core.Fig1a()
+	chains, err := NaiveChains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != s.NumEdges() {
+		t.Fatalf("naive cover has %d chains, want one per arc (%d)", len(chains), s.NumEdges())
+	}
+}
+
+func TestChainsSingleVariable(t *testing.T) {
+	s := core.NewStructure()
+	s.AddVariable("X0")
+	chains, err := Chains(s)
+	if err != nil || len(chains) != 1 || len(chains[0]) != 1 {
+		t.Fatalf("singleton chains = %v, %v", chains, err)
+	}
+}
+
+func TestCompileFig1aShape(t *testing.T) {
+	// Figure 2 of the paper: the cross product of two 4-state chains,
+	// restricted to reachable tuples, with ANY self-loops everywhere.
+	ct, err := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachable tuples: S0S0, S1S1, S1S2, S2S1, S2S2, S3S3 — the paper's
+	// Figure 2 shows exactly these six.
+	if a.NumStates() != 6 {
+		t.Fatalf("Fig2 TAG has %d states, want 6\n%s", a.NumStates(), a)
+	}
+	// Clocks: chain {X0,X1,X3} uses b-day and week; chain {X0,X2,X3} uses
+	// b-day and hour.
+	if len(a.Clocks()) != 4 {
+		t.Fatalf("Fig2 TAG has %d clocks, want 4: %v", len(a.Clocks()), a.Clocks())
+	}
+	// Every state has an ANY self-loop.
+	loops := 0
+	for st := 0; st < a.NumStates(); st++ {
+		for _, tr := range a.trans[st] {
+			if tr.Any && tr.From == tr.To {
+				loops++
+			}
+		}
+	}
+	if loops != a.NumStates() {
+		t.Fatalf("%d ANY loops for %d states", loops, a.NumStates())
+	}
+}
+
+// fig1aScenario returns a sequence containing one occurrence of Example 1's
+// complex type plus noise.
+func fig1aScenario() event.Sequence {
+	s := event.Sequence{
+		{Type: "noise", Time: event.At(1996, 6, 3, 9, 0, 0)},
+		{Type: "IBM-rise", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		{Type: "HP-fall", Time: event.At(1996, 6, 3, 15, 0, 0)},
+		{Type: "IBM-earnings-report", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		{Type: "HP-rise", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		{Type: "noise", Time: event.At(1996, 6, 5, 10, 0, 0)},
+		{Type: "IBM-fall", Time: event.At(1996, 6, 5, 11, 0, 0)},
+		{Type: "noise", Time: event.At(1996, 6, 5, 12, 0, 0)},
+	}
+	return s
+}
+
+func TestAcceptsExample1(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, stats := a.Accepts(sys, fig1aScenario(), RunOptions{})
+	if !ok {
+		t.Fatalf("Example 1 scenario not accepted; stats %+v", stats)
+	}
+	if stats.AcceptedAt != 6 {
+		t.Fatalf("accepted at index %d, want 6 (the IBM-fall)", stats.AcceptedAt)
+	}
+	// Removing the HP-rise breaks it.
+	seq := fig1aScenario()
+	broken := seq.Filter(func(e event.Event) bool { return e.Type != "HP-rise" })
+	if ok, _ := a.Accepts(sys, broken, RunOptions{}); ok {
+		t.Fatal("accepted without the HP-rise event")
+	}
+	// Moving IBM-earnings-report to the same day as the rise violates
+	// [1,1]b-day.
+	sameDay := fig1aScenario()
+	for i := range sameDay {
+		if sameDay[i].Type == "IBM-earnings-report" {
+			sameDay[i].Time = event.At(1996, 6, 3, 17, 0, 0)
+		}
+	}
+	sameDay.Sort()
+	if ok, _ := a.Accepts(sys, sameDay, RunOptions{}); ok {
+		t.Fatal("accepted with earnings on the same b-day as the rise")
+	}
+}
+
+func TestAcceptsAnchored(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, _ := Compile(ct)
+	seq := fig1aScenario()
+	// Anchored at the noise event: the root cannot bind, reject.
+	if ok, _ := a.Accepts(sys, seq, RunOptions{Anchored: true}); ok {
+		t.Fatal("anchored run must bind the first event to the root")
+	}
+	// Anchored at the IBM-rise: accept.
+	if ok, _ := a.Accepts(sys, seq[1:], RunOptions{Anchored: true}); !ok {
+		t.Fatal("anchored at the true root occurrence must accept")
+	}
+}
+
+func TestStrictVsLazyGapSemantics(t *testing.T) {
+	// A weekend event between the pattern events kills strict runs (the
+	// b-day clock update is undefined across it) but not lazy ones: the
+	// clocks the guards need are reset after the gap event is skipped...
+	// they are not — so both semantics reject unless no guard needs the
+	// poisoned clock. Construct a pattern whose guards only constrain
+	// weeks, with a weekend noise event in between.
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(1, 1, "week"))
+	ct, _ := core.NewComplexType(s, map[core.Variable]event.Type{"A": "a", "B": "b"})
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := event.Sequence{
+		{Type: "a", Time: event.At(1996, 6, 5, 10, 0, 0)},  // Wednesday
+		{Type: "zz", Time: event.At(1996, 6, 8, 12, 0, 0)}, // Saturday
+		{Type: "b", Time: event.At(1996, 6, 12, 10, 0, 0)}, // next Wednesday
+	}
+	if ok, _ := a.Accepts(sys, seq, RunOptions{}); !ok {
+		t.Fatal("lazy semantics should accept (week clock never undefined)")
+	}
+	if ok, _ := a.Accepts(sys, seq, RunOptions{Strict: true}); !ok {
+		t.Fatal("strict semantics should also accept: week covers Saturdays")
+	}
+
+	// Now constrain in b-day: the Saturday event poisons the b-day clock.
+	s2 := core.NewStructure()
+	s2.MustConstrain("A", "B", core.MustTCG(1, 10, "b-day"))
+	ct2, _ := core.NewComplexType(s2, map[core.Variable]event.Type{"A": "a", "B": "b"})
+	a2, err := Compile(ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := a2.Accepts(sys, seq, RunOptions{}); !ok {
+		t.Fatal("lazy semantics must recover: the b-day ticks of a and b are both defined")
+	}
+	if ok, _ := a2.Accepts(sys, seq, RunOptions{Strict: true}); ok {
+		t.Fatal("strict semantics must kill runs crossing the weekend event")
+	}
+}
+
+// TestTAGEquivalentToBruteForce is the Theorem-3 equivalence check: over
+// random small scenarios with distinct timestamps, TAG acceptance agrees
+// with exhaustive binding search. (With simultaneous events the automaton
+// input order can hide occurrences — a tie-handling caveat the paper's
+// extended abstract glosses over — so the generator avoids ties.)
+func TestTAGEquivalentToBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	structures := []*core.EventStructure{
+		core.Fig1a(),
+		chainStructure(),
+		diamondStructure(),
+	}
+	types := []event.Type{"a", "b", "c", "d"}
+	for si, s := range structures {
+		assign := map[core.Variable]event.Type{}
+		for i, v := range s.Variables() {
+			assign[v] = types[i%len(types)]
+		}
+		ct, err := core.NewComplexType(s, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Compile(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agreePos, agreeNeg := 0, 0
+		for trial := 0; trial < 400; trial++ {
+			seq := randomSeq(rng, types, 4, event.At(1996, 4, 1, 0, 0, 0), 20*86400)
+			// Plant a jittered near-occurrence so both outcomes are
+			// sampled: events in topological order with offsets that
+			// sometimes satisfy and sometimes violate the constraints.
+			base := event.At(1996, 4, 1, 0, 0, 0) + rng.Int63n(10*86400)
+			cur := base
+			for _, v := range mustTopo(s) {
+				seq = append(seq, event.Event{Type: assign[v], Time: cur})
+				cur += rng.Int63n(3*86400) + 1
+			}
+			seq.Sort()
+			seq = dedupTimes(seq)
+			want := core.OccursBrute(sys, ct, seq)
+			got, _ := a.Accepts(sys, seq, RunOptions{})
+			if got != want {
+				t.Fatalf("structure %d trial %d: TAG=%v brute=%v\nseq=%v\n%s", si, trial, got, want, seq, a)
+			}
+			if want {
+				agreePos++
+			} else {
+				agreeNeg++
+			}
+		}
+		if agreePos == 0 {
+			t.Fatalf("structure %d: no positive cases sampled; weaken constraints or widen generator", si)
+		}
+		if agreeNeg == 0 {
+			t.Fatalf("structure %d: no negative cases sampled", si)
+		}
+	}
+}
+
+func chainStructure() *core.EventStructure {
+	s := core.NewStructure()
+	s.MustConstrain("X0", "X1", core.MustTCG(1, 1, "day"))
+	s.MustConstrain("X1", "X2", core.MustTCG(0, 1, "week"))
+	return s
+}
+
+func diamondStructure() *core.EventStructure {
+	s := core.NewStructure()
+	s.MustConstrain("X0", "X1", core.MustTCG(0, 3, "day"))
+	s.MustConstrain("X0", "X2", core.MustTCG(0, 5, "day"))
+	s.MustConstrain("X1", "X3", core.MustTCG(0, 1, "week"))
+	s.MustConstrain("X2", "X3", core.MustTCG(0, 48, "hour"))
+	return s
+}
+
+func mustTopo(s *core.EventStructure) []core.Variable {
+	order, err := s.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
+// dedupTimes drops events sharing a timestamp with an earlier event (the
+// equivalence test avoids simultaneity; see the caveat above).
+func dedupTimes(s event.Sequence) event.Sequence {
+	var out event.Sequence
+	seen := map[int64]bool{}
+	for _, e := range s {
+		if seen[e.Time] {
+			continue
+		}
+		seen[e.Time] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// randomSeq builds a sequence of n events with distinct timestamps.
+func randomSeq(rng *rand.Rand, types []event.Type, n int, base, span int64) event.Sequence {
+	used := map[int64]bool{}
+	var s event.Sequence
+	for len(s) < n {
+		tm := base + rng.Int63n(span)
+		if used[tm] {
+			continue
+		}
+		used[tm] = true
+		s = append(s, event.Event{Type: types[rng.Intn(len(types))], Time: tm})
+	}
+	s.Sort()
+	return s
+}
+
+func TestRunStatsFrontierBound(t *testing.T) {
+	// Theorem 4: the frontier stays bounded by (|V|K)^p-ish, not by the
+	// sequence length, for a fixed pattern with small K.
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, _ := Compile(ct)
+	seq := event.GenerateStock(event.StockConfig{
+		Symbols: []string{"IBM", "HP"}, StartYear: 1996, Days: 60, Seed: 3,
+	})
+	_, stats := a.Accepts(sys, seq, RunOptions{})
+	if stats.MaxFrontier > 4096 {
+		t.Fatalf("frontier exploded to %d", stats.MaxFrontier)
+	}
+}
+
+func TestMaxFrontierValve(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, _ := Compile(ct)
+	seq := event.GenerateStock(event.StockConfig{
+		Symbols: []string{"IBM", "HP"}, StartYear: 1997, Days: 30, Seed: 9, RiseProb: 0.01,
+	})
+	// A valve of 1 truncates the search; it must not panic and must not
+	// return acceptance it did not verify.
+	ok, stats := a.Accepts(sys, seq, RunOptions{MaxFrontier: 1})
+	_ = ok
+	if stats.Steps == 0 && len(seq) > 0 {
+		t.Fatal("no steps executed")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	// Unrooted structure cannot compile.
+	s := core.NewStructure()
+	s.MustConstrain("A", "C", core.MustTCG(0, 1, "day"))
+	s.MustConstrain("B", "C", core.MustTCG(0, 1, "day"))
+	if _, err := CompileStructure(s); err == nil {
+		t.Fatal("unrooted structure compiled")
+	}
+	// Chain with a repeated variable is rejected by FromChains.
+	ok := core.Fig1a()
+	if _, err := FromChains(ok, [][]core.Variable{{"X0", "X1", "X3"}, {"X0", "X2", "X3", "X3"}}, nil); err == nil {
+		t.Fatal("repeated variable in chain accepted")
+	}
+	// Chain using a non-arc is rejected.
+	if _, err := FromChains(ok, [][]core.Variable{{"X0", "X3"}}, nil); err == nil {
+		t.Fatal("non-arc chain accepted")
+	}
+	// Empty cover.
+	if _, err := FromChains(ok, nil, nil); err == nil {
+		t.Fatal("empty cover accepted")
+	}
+}
+
+func TestCompileStructureSymbolsAreVariables(t *testing.T) {
+	a, err := CompileStructure(chainStructure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := event.Sequence{
+		{Type: "X0", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		{Type: "X1", Time: event.At(1996, 6, 4, 10, 0, 0)},
+		{Type: "X2", Time: event.At(1996, 6, 10, 10, 0, 0)},
+	}
+	if ok, _ := a.Accepts(sys, seq, RunOptions{}); !ok {
+		t.Fatal("variable-symbol TAG should accept the canonical witness")
+	}
+}
+
+func TestFindOccurrenceWitness(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fig1aScenario()
+	binding, ok, _ := a.FindOccurrence(sys, seq, RunOptions{})
+	if !ok {
+		t.Fatal("occurrence exists but not found")
+	}
+	// Every variable bound, to an event of the assigned type, and the
+	// binding is a matching complex event.
+	b := core.Binding{}
+	for _, v := range core.Fig1a().Variables() {
+		idx, bound := binding[string(v)]
+		if !bound {
+			t.Fatalf("variable %s unbound in witness %v", v, binding)
+		}
+		e := seq[idx]
+		if e.Type != ct.Assign[v] {
+			t.Fatalf("witness binds %s to a %s event", v, e.Type)
+		}
+		b[v] = e
+	}
+	if !core.Matches(sys, core.Fig1a(), b) {
+		t.Fatalf("witness does not match the structure: %v", binding)
+	}
+	// Rejection carries no witness.
+	broken := seq.Filter(func(e event.Event) bool { return e.Type != "HP-rise" })
+	if w, ok, _ := a.FindOccurrence(sys, broken, RunOptions{}); ok || w != nil {
+		t.Fatal("rejection must not produce a witness")
+	}
+}
+
+func TestFindOccurrenceAgreesWithBruteWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s := diamondStructure()
+	assign := map[core.Variable]event.Type{"X0": "a", "X1": "b", "X2": "c", "X3": "d"}
+	ct, _ := core.NewComplexType(s, assign)
+	a, _ := Compile(ct)
+	types := []event.Type{"a", "b", "c", "d"}
+	positives := 0
+	for trial := 0; trial < 300 && positives < 40; trial++ {
+		seq := randomSeq(rng, types, 4, event.At(1996, 4, 1, 0, 0, 0), 20*86400)
+		base := event.At(1996, 4, 1, 0, 0, 0) + rng.Int63n(10*86400)
+		cur := base
+		for _, v := range mustTopo(s) {
+			seq = append(seq, event.Event{Type: assign[v], Time: cur})
+			cur += rng.Int63n(2*86400) + 1
+		}
+		seq.Sort()
+		seq = dedupTimes(seq)
+		w, ok, _ := a.FindOccurrence(sys, seq, RunOptions{})
+		if !ok {
+			continue
+		}
+		positives++
+		b := core.Binding{}
+		for _, v := range s.Variables() {
+			b[v] = seq[w[string(v)]]
+		}
+		if !core.Matches(sys, s, b) {
+			t.Fatalf("trial %d: extracted witness invalid: %v", trial, w)
+		}
+	}
+	if positives < 10 {
+		t.Fatalf("only %d positives sampled", positives)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, _ := Compile(ct)
+	var buf strings.Builder
+	if err := a.WriteDOT(&buf, "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{
+		"digraph \"fig2\"", "doublecircle", "IBM-rise", "style=dashed",
+		"reset ", "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// One node line per state, one accepting state.
+	if n := strings.Count(dot, "doublecircle"); n != 1 {
+		t.Fatalf("%d accepting nodes, want 1", n)
+	}
+}
+
+func TestRelabelMatchesFromChains(t *testing.T) {
+	s := core.Fig1a()
+	chains, err := Chains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := FromChains(s, chains, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := core.Example1Assignment()
+	relabeled := base.Relabel(assign)
+	direct, err := FromChains(s, chains, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structure...
+	if relabeled.NumStates() != direct.NumStates() || relabeled.NumTransitions() != direct.NumTransitions() {
+		t.Fatal("relabel changed the automaton shape")
+	}
+	// ...and same behaviour on scenarios.
+	seqs := []event.Sequence{fig1aScenario()}
+	broken := fig1aScenario().Filter(func(e event.Event) bool { return e.Type != "HP-rise" })
+	seqs = append(seqs, broken)
+	for i, seq := range seqs {
+		a1, _ := relabeled.Accepts(sys, seq, RunOptions{})
+		a2, _ := direct.Accepts(sys, seq, RunOptions{})
+		if a1 != a2 {
+			t.Fatalf("seq %d: relabel %v != direct %v", i, a1, a2)
+		}
+	}
+	// The base automaton is untouched: it still accepts variable symbols.
+	varSeq := event.Sequence{
+		{Type: "X0", Time: event.At(1996, 6, 3, 10, 0, 0)},
+		{Type: "X1", Time: event.At(1996, 6, 4, 17, 0, 0)},
+		{Type: "X2", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		{Type: "X3", Time: event.At(1996, 6, 5, 11, 0, 0)},
+	}
+	if ok, _ := base.Accepts(sys, varSeq, RunOptions{}); !ok {
+		t.Fatal("relabel mutated the base automaton")
+	}
+}
+
+func TestCompileMinimal(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := CompileMinimal(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 6 {
+		t.Fatalf("minimal compile states = %d, want 6", a.NumStates())
+	}
+	if ok, _ := a.Accepts(sys, fig1aScenario(), RunOptions{}); !ok {
+		t.Fatal("minimal-cover automaton rejects the Example 1 scenario")
+	}
+}
+
+func TestFormulaStringsAndDead(t *testing.T) {
+	x := Clock{Chain: 0, Gran: "hour"}
+	or := Or{LE{x, 3}, GE{x, 9}}
+	if or.String() != "(x0_hour<=3) | (9<=x0_hour)" {
+		t.Fatalf("Or string = %q", or.String())
+	}
+	if (Or{}).String() != "false" {
+		t.Fatal("empty Or string")
+	}
+	not := Not{LE{x, 3}}
+	if not.String() != "!(x0_hour<=3)" {
+		t.Fatalf("Not string = %q", not.String())
+	}
+	if len(not.Clocks(nil)) != 1 || len(or.Clocks(nil)) != 2 {
+		t.Fatal("clock collection wrong")
+	}
+	read5 := func(Clock) (int64, bool) { return 5, true }
+	readBad := func(Clock) (int64, bool) { return 0, false }
+	// Or is dead only when all branches are dead.
+	if or.Dead(read5) {
+		t.Fatal("Or with a live GE branch must not be dead")
+	}
+	deadOr := Or{LE{x, 3}, LE{x, 4}}
+	if !deadOr.Dead(read5) {
+		t.Fatal("Or of exceeded LEs must be dead")
+	}
+	if !or.Dead(readBad) {
+		t.Fatal("Or over invalid clocks must be dead")
+	}
+	// Not is never pruned.
+	if not.Dead(read5) || not.Dead(readBad) {
+		t.Fatal("Not must be conservative")
+	}
+	if (And{}).String() != "true" {
+		t.Fatal("empty And string")
+	}
+}

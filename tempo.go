@@ -1,0 +1,339 @@
+// Package tempo is the public surface of this reproduction of Bettini,
+// Wang & Jajodia, "Testing Complex Temporal Relationships Involving
+// Multiple Granularities and Its Application to Data Mining" (PODS 1996).
+//
+// It re-exports the library's building blocks:
+//
+//   - temporal types (granularities) over a discrete second timeline
+//     anchored at 1800-01-01 (package internal/granularity);
+//   - temporal constraints with granularities (TCGs) and event structures
+//     (internal/core);
+//   - the approximate multi-granularity constraint propagation of the
+//     paper's Section 3.2 (internal/propagate) and an exact
+//     bounded-horizon consistency solver (internal/exact);
+//   - timed automata with granularities (internal/tag);
+//   - event-discovery mining, naive and optimized (internal/mining);
+//   - the MTV95 frequent-episode baseline (internal/episode);
+//   - event sequences and synthetic workload generators (internal/event).
+//
+// A minimal end-to-end flow:
+//
+//	sys := tempo.DefaultSystem()
+//	s := tempo.NewStructure()
+//	s.MustConstrain("X0", "X1", tempo.MustTCG(1, 1, "b-day"))
+//	res, _ := tempo.Propagate(sys, s, tempo.PropagateOptions{})
+//	ct, _ := tempo.NewComplexType(s, map[tempo.Variable]tempo.EventType{
+//		"X0": "IBM-rise", "X1": "IBM-earnings-report",
+//	})
+//	a, _ := tempo.CompileTAG(ct)
+//	ok, _ := a.Accepts(sys, seq, tempo.RunOptions{})
+package tempo
+
+import (
+	"repro/internal/core"
+	"repro/internal/episode"
+	"repro/internal/event"
+	"repro/internal/exact"
+	"repro/internal/granularity"
+	"repro/internal/mining"
+	"repro/internal/periodic"
+	"repro/internal/propagate"
+	"repro/internal/tag"
+)
+
+// Granularity layer.
+type (
+	// Granularity is a temporal type: a monotone mapping from granule
+	// indices to sets of seconds.
+	Granularity = granularity.Granularity
+	// System is a named collection of granularities with shared caches.
+	System = granularity.System
+	// Metrics exposes the paper's minsize/maxsize/mingap functions.
+	Metrics = granularity.Metrics
+	// Interval is an inclusive range of second indices.
+	Interval = granularity.Interval
+)
+
+// Core layer.
+type (
+	// TCG is a temporal constraint with granularity [m,n]g.
+	TCG = core.TCG
+	// Variable names an event variable.
+	Variable = core.Variable
+	// EventStructure is a rooted DAG of variables with TCG sets on arcs.
+	EventStructure = core.EventStructure
+	// ComplexType is an event structure with variables typed.
+	ComplexType = core.ComplexType
+	// Binding maps variables to concrete events.
+	Binding = core.Binding
+	// Spec is the JSON wire form of structures and complex types.
+	Spec = core.Spec
+)
+
+// Event layer.
+type (
+	// EventType names a kind of event.
+	EventType = event.Type
+	// Event is a typed occurrence at a second timestamp.
+	Event = event.Event
+	// Sequence is a time-ordered event sequence.
+	Sequence = event.Sequence
+)
+
+// Reasoning layer.
+type (
+	// PropagateOptions tunes the approximate propagation.
+	PropagateOptions = propagate.Options
+	// PropagateResult holds the derived per-granularity constraints.
+	PropagateResult = propagate.Result
+	// ExactOptions tunes the exact bounded-horizon solver.
+	ExactOptions = exact.Options
+	// ExactVerdict is the exact solver's outcome.
+	ExactVerdict = exact.Verdict
+	// TAG is a timed automaton with granularities.
+	TAG = tag.TAG
+	// RunOptions tunes TAG simulation.
+	RunOptions = tag.RunOptions
+	// RunStats reports TAG simulation effort.
+	RunStats = tag.RunStats
+)
+
+// Mining layer.
+type (
+	// Problem is an event-discovery problem (S, tau, E0, Phi).
+	Problem = mining.Problem
+	// Discovery is one mined solution.
+	Discovery = mining.Discovery
+	// MiningStats quantifies solver work.
+	MiningStats = mining.Stats
+	// PipelineOptions ablates the optimized pipeline's steps.
+	PipelineOptions = mining.PipelineOptions
+	// Episode is an MTV95 serial or parallel episode.
+	Episode = episode.Episode
+	// EpisodeConfig drives the episode miner.
+	EpisodeConfig = episode.Config
+	// EpisodeResult is a frequent episode with its window frequency.
+	EpisodeResult = episode.Result
+	// ProblemSpec is the JSON wire form of a full discovery problem.
+	ProblemSpec = mining.ProblemSpec
+	// SequenceIndex answers per-type window queries by binary search.
+	SequenceIndex = event.Index
+	// MiningWitness is one concrete occurrence behind a Discovery.
+	MiningWitness = mining.Witness
+)
+
+// Standard granularities (fresh values; identity is by name).
+var (
+	Second  = granularity.Second
+	Minute  = granularity.Minute
+	Hour    = granularity.Hour
+	Day     = granularity.Day
+	Week    = granularity.Week
+	Month   = granularity.Month
+	Year    = granularity.Year
+	BDay    = granularity.BDay
+	BWeek   = granularity.BWeek
+	BMonth  = granularity.BMonth
+	Weekend = granularity.Weekend
+	NMonth  = granularity.NMonth
+	Quarter = granularity.Quarter
+	GroupBy = granularity.GroupBy
+)
+
+// DefaultSystem returns a system with the standard types registered.
+func DefaultSystem() *System { return granularity.Default() }
+
+// NewSystem builds an empty granularity system.
+func NewSystem(horizon int, coverGranules int64) *System {
+	return granularity.NewSystem(horizon, coverGranules)
+}
+
+// Cover is the paper's ⌈z⌉ν_μ operator.
+func Cover(nu, mu Granularity, z int64) (int64, bool) { return granularity.Cover(nu, mu, z) }
+
+// Granularity relationship classifiers (the framework vocabulary of the
+// paper's [WBBJ] reference), plus the LMF86-style selection combinator.
+var (
+	// FinerThan: every granule of a inside some granule of b.
+	FinerThan = granularity.FinerThan
+	// GroupsInto: every granule of b a union of granules of a.
+	GroupsInto = granularity.GroupsInto
+	// Partitions: GroupsInto plus equal coverage.
+	Partitions = granularity.Partitions
+	// Relate computes all three flags.
+	Relate = granularity.Relate
+	// NthOf selects the n-th inner granule of each outer granule
+	// ("last business day of each month").
+	NthOf = granularity.NthOf
+	// Shift offsets a granularity's indices.
+	Shift = granularity.Shift
+	// FiscalYear groups 12 months starting at a chosen calendar month.
+	FiscalYear = granularity.FiscalYear
+)
+
+// Structure building.
+var (
+	// NewStructure returns an empty event structure.
+	NewStructure = core.NewStructure
+	// NewTCG validates and builds a TCG.
+	NewTCG = core.NewTCG
+	// MustTCG is NewTCG for constants; panics on invalid input.
+	MustTCG = core.MustTCG
+	// NewComplexType types an event structure's variables.
+	NewComplexType = core.NewComplexType
+	// Matches decides whether a binding is a complex event matching a
+	// structure.
+	Matches = core.Matches
+	// Fig1a builds the paper's Figure 1(a) structure.
+	Fig1a = core.Fig1a
+	// Fig1b builds the paper's Figure 1(b) disjunction gadget.
+	Fig1b = core.Fig1b
+	// Example1Assignment types Fig1a as in the paper's Example 1.
+	Example1Assignment = core.Example1Assignment
+	// ReadSpec decodes a JSON structure spec.
+	ReadSpec = core.ReadSpec
+	// ToSpec renders a structure (and optional typing) as a Spec.
+	ToSpec = core.ToSpec
+	// WriteSpec encodes a Spec as JSON.
+	WriteSpec = core.WriteSpec
+	// ParseDSL / WriteDSL are the text format for structures
+	// ("X0 -> X1 : [1,1]b-day", "assign X0 = IBM-rise").
+	ParseDSL = core.ParseDSL
+	WriteDSL = core.WriteDSL
+	// ParseTCG parses one "[m,n]granularity" constraint.
+	ParseTCG = core.ParseTCG
+)
+
+// Propagate runs the paper's approximate constraint propagation
+// (Theorem 2: sound, terminating, polynomial).
+func Propagate(sys *System, s *EventStructure, opt PropagateOptions) (*PropagateResult, error) {
+	return propagate.Run(sys, s, opt)
+}
+
+// SolveExact decides bounded-horizon consistency exactly (the problem is
+// NP-hard in general, Theorem 1).
+func SolveExact(sys *System, s *EventStructure, opt ExactOptions) (*ExactVerdict, error) {
+	return exact.Solve(sys, s, opt)
+}
+
+// EnumerateExact returns up to limit distinct boundary witnesses of the
+// structure within the horizon.
+func EnumerateExact(sys *System, s *EventStructure, opt ExactOptions, limit int) ([]map[Variable]int64, error) {
+	return exact.Enumerate(sys, s, opt, limit)
+}
+
+// CompileTAG compiles a complex event type into a timed automaton with
+// granularities (Theorem 3), using the fast greedy chain cover.
+func CompileTAG(ct *ComplexType) (*TAG, error) { return tag.Compile(ct) }
+
+// CompileTAGMinimal is CompileTAG with the provably minimum chain cover
+// (smallest p in Theorem 4's bound), computed by min-flow.
+func CompileTAGMinimal(ct *ComplexType) (*TAG, error) { return tag.CompileMinimal(ct) }
+
+// Mining entry points.
+var (
+	// MineNaive is the paper's naive discovery algorithm.
+	MineNaive = mining.Naive
+	// MineOptimized is the paper's five-step optimized pipeline.
+	MineOptimized = mining.Optimized
+	// MineEpisodes is the MTV95 baseline.
+	MineEpisodes = episode.Mine
+	// EpisodeFrequency is the exact MTV95 window frequency of one episode.
+	EpisodeFrequency = episode.Frequency
+	// NewSerialEpisode builds an ordered episode.
+	NewSerialEpisode = episode.NewSerial
+	// NewParallelEpisode builds an unordered episode.
+	NewParallelEpisode = episode.NewParallel
+	// MinimalOccurrences lists the KDD'96 minimal occurrence intervals.
+	MinimalOccurrences = episode.MinimalOccurrences
+	// SupportMO is the minimal-occurrence support measure.
+	SupportMO = episode.SupportMO
+)
+
+// Periodic user-defined granularities (the finite symbolic representation
+// of the paper's Section 6).
+type (
+	// PeriodicSpec is the finite representation of a periodic granularity.
+	PeriodicSpec = periodic.Spec
+	// PeriodicGranule is one granule shape of a PeriodicSpec.
+	PeriodicGranule = periodic.Granule
+	// PeriodicSpan is one interval of a granule shape.
+	PeriodicSpan = periodic.Span
+)
+
+// Periodic constructors and codecs.
+var (
+	// NewPeriodic materializes a PeriodicSpec as a Granularity.
+	NewPeriodic = periodic.New
+	// MustPeriodic is NewPeriodic for constants.
+	MustPeriodic = periodic.MustNew
+	// EncodePeriodic / DecodePeriodic serialize specs.
+	EncodePeriodic = periodic.Encode
+	DecodePeriodic = periodic.Decode
+	// PeriodicFromGranularity samples a computed granularity into a spec.
+	PeriodicFromGranularity = periodic.FromGranularity
+)
+
+// Section-6 extensions.
+var (
+	// Unroll expresses repetitive patterns by unrolling a structure k
+	// times with step constraints between copies.
+	Unroll = core.Unroll
+	// Concat composes two structures sequentially.
+	Concat = core.Concat
+	// RenamedVariable names variable v in copy i of an unrolled structure.
+	RenamedVariable = core.RenamedVariable
+	// UnrollAssignment lifts a per-copy typing to an unrolled structure.
+	UnrollAssignment = core.UnrollAssignment
+	// GranuleReferences synthesizes "beginning of each granule" reference
+	// pseudo-events for mining ("what happens in most weeks?").
+	GranuleReferences = mining.GranuleReferences
+	// ExplainDiscovery extracts concrete witness occurrences behind a
+	// Discovery's frequency.
+	ExplainDiscovery = mining.Explain
+	// EpisodeRules derives MTV95 episode rules from frequent episodes.
+	EpisodeRules = episode.Rules
+)
+
+// EpisodeRule is an MTV95 rule with its confidence.
+type EpisodeRule = episode.Rule
+
+// Event utilities.
+var (
+	// At builds a second timestamp from a civil instant.
+	At = event.At
+	// Civil renders a second timestamp as a civil instant.
+	Civil = event.Civil
+	// EncodeSequence writes a sequence in the line format.
+	EncodeSequence = event.Encode
+	// DecodeSequence reads a sequence in the line format.
+	DecodeSequence = event.Decode
+	// EncodeSequenceBinary / DecodeSequenceBinary are the compact codec.
+	EncodeSequenceBinary = event.EncodeBinary
+	DecodeSequenceBinary = event.DecodeBinary
+	// NewSequenceIndex builds a per-type occurrence index.
+	NewSequenceIndex = event.NewIndex
+	// ReadProblemSpec decodes a full discovery-problem spec.
+	ReadProblemSpec = mining.ReadProblemSpec
+	// GenerateStock produces the stock-tick workload of Example 1.
+	GenerateStock = event.GenerateStock
+	// GenerateATM produces the ATM-transaction workload.
+	GenerateATM = event.GenerateATM
+	// GeneratePlant produces the plant-malfunction workload.
+	GeneratePlant = event.GeneratePlant
+	// GenerateAccess produces the network-access workload with planted
+	// intrusion chains.
+	GenerateAccess = event.GenerateAccess
+)
+
+// Workload configs.
+type (
+	// StockConfig drives GenerateStock.
+	StockConfig = event.StockConfig
+	// ATMConfig drives GenerateATM.
+	ATMConfig = event.ATMConfig
+	// PlantFaultConfig drives GeneratePlant.
+	PlantFaultConfig = event.PlantFaultConfig
+	// AccessConfig drives GenerateAccess.
+	AccessConfig = event.AccessConfig
+)

@@ -1,0 +1,110 @@
+package tempo_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	tempo "repro"
+)
+
+// TestTestdataArtifacts keeps the checked-in artifacts under testdata/
+// valid: the specs parse and validate, the granularity spec loads, the
+// sample sequence decodes, and the cascade problem mines the planted
+// pattern out of the sample log — the same flow the README walkthrough
+// shows.
+func TestTestdataArtifacts(t *testing.T) {
+	open := func(name string) *os.File {
+		t.Helper()
+		f, err := os.Open(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+	sys := tempo.DefaultSystem()
+
+	// The DSL artifact parses to the same structure as the JSON one.
+	dslS, _, err := tempo.ParseDSL(open("cascade.tcg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonSP, err := tempo.ReadSpec(open("cascade.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonS, err := jsonSP.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dslS.String() != jsonS.String() {
+		t.Fatalf("cascade.tcg and cascade.json disagree:\n%s\nvs\n%s", dslS, jsonS)
+	}
+
+	// Structures.
+	for _, name := range []string{"fig1a.json", "cascade.json"} {
+		sp, err := tempo.ReadSpec(open(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := sp.Structure(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// Complex type.
+	sp, err := tempo.ReadSpec(open("example1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sp.ComplexType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tempo.CompileTAG(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 6 {
+		t.Fatalf("example1 TAG has %d states, want the Figure-2 six", a.NumStates())
+	}
+	// Periodic granularity.
+	gsp, err := tempo.DecodePeriodic(open("shifts.gran"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift, err := tempo.NewPeriodic(*gsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Add(shift)
+	if _, ok := shift.TickOf(tempo.At(1996, 7, 4, 9, 0, 0)); !ok {
+		t.Fatal("09:00 should be inside the first shift")
+	}
+	// Sequence + end-to-end problem.
+	seq, err := tempo.DecodeSequence(open("plant45.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tempo.ReadProblemSpec(open("cascade_problem.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, work, opt, err := ps.Build(sys, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := tempo.MineOptimized(sys, p, work, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range ds {
+		if d.Assign["X1"] == "malfunction-m0" && d.Assign["X2"] == "shutdown-m0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cascade not found in the checked-in log; got %v", ds)
+	}
+}
