@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: build + vet + gofmt + race-enabled tests.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments

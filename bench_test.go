@@ -27,6 +27,7 @@ var benchSys = granularity.Default()
 // BenchmarkE1PropagationFig1a: the Figure-1(a) propagation that derives the
 // paper's Γ'(X0,X3).
 func BenchmarkE1PropagationFig1a(b *testing.B) {
+	b.ReportAllocs()
 	s := core.Fig1a()
 	for i := 0; i < b.N; i++ {
 		r, err := propagate.Run(benchSys, s, propagate.Options{})
@@ -39,6 +40,7 @@ func BenchmarkE1PropagationFig1a(b *testing.B) {
 // BenchmarkE2DisjunctionGadget: exact solving of Figure 1(b)'s pinned
 // variants (the {0,12} disjunction).
 func BenchmarkE2DisjunctionGadget(b *testing.B) {
+	b.ReportAllocs()
 	end, _ := granularity.Year().Span(4)
 	for i := 0; i < b.N; i++ {
 		s := core.Fig1b()
@@ -53,6 +55,7 @@ func BenchmarkE2DisjunctionGadget(b *testing.B) {
 // BenchmarkE3SubsetSumReduction: building and exactly solving a k=3
 // Theorem-1 reduction instance.
 func BenchmarkE3SubsetSumReduction(b *testing.B) {
+	b.ReportAllocs()
 	in := hardness.Generate(3, true, 11)
 	start, end := hardness.Horizon(in)
 	for i := 0; i < b.N; i++ {
@@ -70,6 +73,7 @@ func BenchmarkE3SubsetSumReduction(b *testing.B) {
 // BenchmarkE4PropagationScaling: propagation over a 16-variable random
 // structure with three granularities.
 func BenchmarkE4PropagationScaling(b *testing.B) {
+	b.ReportAllocs()
 	tab := experiments.E4 // table variant covered by the experiment; bench a fixed point
 	_ = tab
 	s := benchRandomStructure(16)
@@ -97,6 +101,7 @@ func benchRandomStructure(n int) *core.EventStructure {
 // BenchmarkE5TAGConstruction: compiling Example 1's complex type into the
 // Figure-2 automaton.
 func BenchmarkE5TAGConstruction(b *testing.B) {
+	b.ReportAllocs()
 	ct, err := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
 	if err != nil {
 		b.Fatal(err)
@@ -111,6 +116,7 @@ func BenchmarkE5TAGConstruction(b *testing.B) {
 // BenchmarkE6TAGMatching: a full-sequence scan of a 120-day stock workload
 // (~reported per op; divide by the event count for per-event cost).
 func BenchmarkE6TAGMatching(b *testing.B) {
+	b.ReportAllocs()
 	assign := core.Example1Assignment()
 	assign["X3"] = "IBM-split" // absent: force full scans
 	ct, err := core.NewComplexType(core.Fig1a(), assign)
@@ -136,6 +142,7 @@ func BenchmarkE6TAGMatching(b *testing.B) {
 // BenchmarkE7MiningPipeline and BenchmarkE7MiningNaive: the Section-5
 // comparison on the plant workload.
 func BenchmarkE7MiningPipeline(b *testing.B) {
+	b.ReportAllocs()
 	seq, p := benchMiningSetup()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mining.Optimized(benchSys, p, seq, mining.PipelineOptions{}); err != nil {
@@ -146,6 +153,7 @@ func BenchmarkE7MiningPipeline(b *testing.B) {
 
 // BenchmarkE7MiningNaive is the baseline of E7.
 func BenchmarkE7MiningNaive(b *testing.B) {
+	b.ReportAllocs()
 	seq, p := benchMiningSetup()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mining.Naive(benchSys, p, seq); err != nil {
@@ -167,6 +175,7 @@ func benchMiningSetup() (event.Sequence, mining.Problem) {
 // BenchmarkE8EpisodeBaseline: the MTV95 window-frequency computation the E8
 // comparison uses.
 func BenchmarkE8EpisodeBaseline(b *testing.B) {
+	b.ReportAllocs()
 	seq := event.GenerateATM(event.ATMConfig{Accounts: 3, StartYear: 1996, Days: 90, Seed: 5})
 	ep := episode.NewSerial("deposit-0", "withdrawal-0")
 	for i := 0; i < b.N; i++ {
@@ -177,6 +186,7 @@ func BenchmarkE8EpisodeBaseline(b *testing.B) {
 // BenchmarkE9ConversionTightness: the Figure-3 interval conversion between
 // calendar granularities.
 func BenchmarkE9ConversionTightness(b *testing.B) {
+	b.ReportAllocs()
 	conv := propagate.NewConverter(benchSys, "b-day", "week")
 	for i := 0; i < b.N; i++ {
 		conv.Interval(0, 5)
@@ -186,6 +196,7 @@ func BenchmarkE9ConversionTightness(b *testing.B) {
 // BenchmarkE10DiscoveryRecall: the full optimized discovery on the planted
 // plant workload.
 func BenchmarkE10DiscoveryRecall(b *testing.B) {
+	b.ReportAllocs()
 	seq := event.GeneratePlant(event.PlantFaultConfig{
 		Machines: 2, StartYear: 1996, Days: 90, Seed: 31, CascadeProb: 0.9,
 	})
@@ -203,11 +214,13 @@ func BenchmarkE10DiscoveryRecall(b *testing.B) {
 // BenchmarkE11ChainAblationGreedy / PerArc: TAG matching cost under the two
 // chain covers.
 func BenchmarkE11ChainAblationGreedy(b *testing.B) {
+	b.ReportAllocs()
 	benchChainCover(b, false)
 }
 
 // BenchmarkE11ChainAblationPerArc is the per-arc (worst) cover.
 func BenchmarkE11ChainAblationPerArc(b *testing.B) {
+	b.ReportAllocs()
 	benchChainCover(b, true)
 }
 
@@ -243,6 +256,7 @@ func benchChainCover(b *testing.B, naive bool) {
 // BenchmarkE12PipelineAblation: the pipeline with all optimizations off
 // (the "naive with windows" ablation floor).
 func BenchmarkE12PipelineAblation(b *testing.B) {
+	b.ReportAllocs()
 	seq, p := benchMiningSetup()
 	opt := mining.PipelineOptions{
 		DisableSequenceReduction: true, DisableReferencePruning: true,
@@ -259,6 +273,7 @@ func BenchmarkE12PipelineAblation(b *testing.B) {
 
 // BenchmarkSTPMinimize: Floyd-Warshall on a 32-variable network.
 func BenchmarkSTPMinimize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		nw := stp.New(32)
@@ -272,6 +287,7 @@ func BenchmarkSTPMinimize(b *testing.B) {
 
 // BenchmarkGranularityTickOf: month lookup for one timestamp.
 func BenchmarkGranularityTickOf(b *testing.B) {
+	b.ReportAllocs()
 	g := granularity.Month()
 	t := event.At(1996, 7, 4, 12, 0, 0)
 	for i := 0; i < b.N; i++ {
@@ -281,6 +297,7 @@ func BenchmarkGranularityTickOf(b *testing.B) {
 
 // BenchmarkBusinessDayTickOf: gap-aware lookup with the holiday calendar.
 func BenchmarkBusinessDayTickOf(b *testing.B) {
+	b.ReportAllocs()
 	g := granularity.BDayUS()
 	t := event.At(1996, 7, 5, 12, 0, 0)
 	g.TickOf(t) // warm the cache
@@ -292,6 +309,7 @@ func BenchmarkBusinessDayTickOf(b *testing.B) {
 
 // BenchmarkTCGSatisfied: one constraint check.
 func BenchmarkTCGSatisfied(b *testing.B) {
+	b.ReportAllocs()
 	c := core.MustTCG(0, 0, "day")
 	t1 := event.At(1996, 6, 3, 9, 0, 0)
 	t2 := event.At(1996, 6, 3, 17, 0, 0)
@@ -304,6 +322,7 @@ func BenchmarkTCGSatisfied(b *testing.B) {
 
 // BenchmarkMetricsMinSize: the minsize table lookup driving conversions.
 func BenchmarkMetricsMinSize(b *testing.B) {
+	b.ReportAllocs()
 	m := granularity.NewMetrics(granularity.Month(), 0)
 	m.MinSize(12)
 	b.ResetTimer()
@@ -314,6 +333,7 @@ func BenchmarkMetricsMinSize(b *testing.B) {
 
 // BenchmarkEpisodeMine: level-wise episode mining on an ATM stream.
 func BenchmarkEpisodeMine(b *testing.B) {
+	b.ReportAllocs()
 	seq := event.GenerateATM(event.ATMConfig{Accounts: 2, StartYear: 1996, Days: 30, Seed: 5})
 	for i := 0; i < b.N; i++ {
 		if _, err := episode.Mine(seq, episode.Config{Kind: episode.Serial, Window: 86400, MinFreq: 0.05, MaxSize: 2}); err != nil {
@@ -324,6 +344,7 @@ func BenchmarkEpisodeMine(b *testing.B) {
 
 // BenchmarkSubsetSumDP: the dynamic-programming comparator of E3.
 func BenchmarkSubsetSumDP(b *testing.B) {
+	b.ReportAllocs()
 	in := hardness.Generate(5, true, 3)
 	for i := 0; i < b.N; i++ {
 		hardness.SolveSubsetSum(in)
@@ -333,6 +354,7 @@ func BenchmarkSubsetSumDP(b *testing.B) {
 // BenchmarkE7MiningPipelineParallel: the step-5 scan fanned out to 8
 // workers (compare with BenchmarkE7MiningPipeline).
 func BenchmarkE7MiningPipelineParallel(b *testing.B) {
+	b.ReportAllocs()
 	seq, p := benchMiningSetup()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mining.Optimized(benchSys, p, seq, mining.PipelineOptions{Workers: 8}); err != nil {
@@ -343,6 +365,7 @@ func BenchmarkE7MiningPipelineParallel(b *testing.B) {
 
 // BenchmarkPeriodicTickOf: granule lookup in a user-defined periodic type.
 func BenchmarkPeriodicTickOf(b *testing.B) {
+	b.ReportAllocs()
 	g := periodic.MustNew(periodic.Spec{
 		Name: "shift", Period: 86400, Anchor: 1,
 		Granules: []periodic.Granule{
@@ -358,6 +381,7 @@ func BenchmarkPeriodicTickOf(b *testing.B) {
 
 // BenchmarkUnrollCompile: compiling a 3x-unrolled repetitive pattern.
 func BenchmarkUnrollCompile(b *testing.B) {
+	b.ReportAllocs()
 	base := core.NewStructure()
 	base.MustConstrain("A", "B", core.MustTCG(0, 0, "day"), core.MustTCG(1, 4, "hour"))
 	u, err := core.Unroll(base, 3, "B", []core.TCG{core.MustTCG(1, 1, "day")})

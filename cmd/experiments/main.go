@@ -8,6 +8,9 @@
 //	experiments -e E3      # run one experiment
 //	experiments -quick     # trimmed sweeps (what the tests run)
 //	experiments -list      # list experiment IDs
+//
+// The shared solver flags -timeout, -budget and -stats bound each solver
+// call and print the engine counter table after the tables.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -24,15 +28,18 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *id, *quick, *list, *md); err != nil {
+	if err := run(os.Stdout, *id, *quick, *list, *md, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, id string, quick, list, md bool) error {
+func run(w io.Writer, id string, quick, list, md bool, ef *cli.EngineFlags) error {
+	eng := ef.Config()
+	defer ef.Finish(w)
 	render := func(tab experiments.Table) {
 		if md {
 			tab.RenderMarkdown(w)
@@ -51,11 +58,11 @@ func run(w io.Writer, id string, quick, list, md bool) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", id)
 		}
-		render(e.Run(quick))
+		render(e.Run(quick, eng))
 		return nil
 	}
 	for _, e := range experiments.All() {
-		render(e.Run(quick))
+		render(e.Run(quick, eng))
 	}
 	return nil
 }

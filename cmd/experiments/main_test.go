@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", false, true, false); err != nil {
+	if err := run(&out, "", false, true, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"E1 ", "E13"} {
@@ -20,14 +24,14 @@ func TestList(t *testing.T) {
 
 func TestRunOneQuick(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "E5", true, false, false); err != nil {
+	if err := run(&out, "E5", true, false, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Fig1a (Example 1)") {
 		t.Fatalf("E5 output wrong:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run(&out, "E5", true, false, true); err != nil {
+	if err := run(&out, "E5", true, false, true, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "| structure |") {
@@ -37,7 +41,28 @@ func TestRunOneQuick(t *testing.T) {
 
 func TestRunUnknown(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "E99", true, false, false); err == nil {
+	if err := run(&out, "E99", true, false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestE4StatsObservability is the observability smoke test: running E4 with
+// -stats must print the engine table with a non-zero propagation-rounds
+// counter.
+func TestE4StatsObservability(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "E4", true, false, false, &cli.EngineFlags{Stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "--- engine stats ---") {
+		t.Fatalf("missing stats table:\n%s", s)
+	}
+	m := regexp.MustCompile(`propagate\.rounds\s+(\d+)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("missing propagate.rounds counter:\n%s", s)
+	}
+	if n, _ := strconv.Atoi(m[1]); n <= 0 {
+		t.Fatalf("propagate.rounds = %d, want > 0", n)
 	}
 }

@@ -6,6 +6,10 @@
 //
 //	miner -spec structure.json -seq events.txt -ref IBM-rise -tau 0.5 [-naive]
 //
+// The shared solver flags -timeout, -budget and -stats bound the optimized
+// pipeline and print the engine counter table; an interrupted mine reports
+// INTERRUPTED with the work done so far instead of failing.
+//
 // A spec with an "assign" entry restricts the candidate pool of the listed
 // variables (the paper's Φ); assign the root only via -ref.
 package main
@@ -32,15 +36,17 @@ func main() {
 	naive := flag.Bool("naive", false, "use the naive algorithm instead of the optimized pipeline")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	explain := flag.Int("explain", 0, "print up to N witness occurrences per discovery")
+	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *tau, *naive, *explain); err != nil {
+	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *tau, *naive, *explain, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "miner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag string, tau float64, naive bool, explain int) error {
+func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag string, tau float64, naive bool, explain int, ef *cli.EngineFlags) error {
+	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
 	if err != nil {
 		return err
@@ -91,9 +97,13 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag string, t
 	if naive {
 		ds, stats, err = mining.Naive(sys, p, seq)
 	} else {
+		opt.Engine = ef.Config()
 		ds, stats, err = mining.Optimized(sys, p, seq, opt)
 	}
 	if err != nil {
+		if cli.ReportInterrupted(out, err) {
+			return nil
+		}
 		return err
 	}
 	fmt.Fprintf(out, "events=%d (reduced %d) references=%d candidates=%d scanned=%d tagRuns=%d\n",

@@ -5,6 +5,10 @@
 //
 //	tagrun -spec type.json -seq events.txt [-anchor TYPE] [-print]
 //
+// The shared solver flags -timeout, -budget and -stats bound the simulation
+// and print the engine counter table; an interrupted scan reports
+// INTERRUPTED with the work done so far instead of failing.
+//
 // The spec must carry an "assign" map typing every variable. The sequence
 // file holds one "<timestamp> <type>" pair per line. Without -anchor, the
 // automaton scans the whole sequence once and reports acceptance; with
@@ -32,15 +36,18 @@ func main() {
 	strict := flag.Bool("strict", false, "use the paper's strict gap semantics")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	dot := flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
+	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *printTAG, *strict); err != nil {
+	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *printTAG, *strict, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tagrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, printTAG, strict bool) error {
+func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, printTAG, strict bool, ef *cli.EngineFlags) error {
+	eng := ef.Config()
+	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
 	if err != nil {
 		return err
@@ -90,7 +97,14 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, pr
 	}
 
 	if anchor == "" {
-		ok, stats := a.Accepts(sys, seq, tag.RunOptions{Strict: strict})
+		ex := eng.Start()
+		ok, stats, err := a.AcceptsExec(ex, sys, seq, tag.RunOptions{Strict: strict})
+		if err != nil {
+			if cli.ReportInterrupted(out, err) {
+				return nil
+			}
+			return err
+		}
 		fmt.Fprintf(out, "events=%d accepted=%v steps=%d maxFrontier=%d\n",
 			len(seq), ok, stats.Steps, stats.MaxFrontier)
 		if ok {
@@ -100,6 +114,7 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, pr
 		return nil
 	}
 
+	ex := eng.Start()
 	refs := 0
 	matches := 0
 	for i, e := range seq {
@@ -107,7 +122,13 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, pr
 			continue
 		}
 		refs++
-		ok, _ := a.Accepts(sys, seq[i:], tag.RunOptions{Anchored: true, Strict: strict})
+		ok, _, err := a.AcceptsExec(ex, sys, seq[i:], tag.RunOptions{Anchored: true, Strict: strict})
+		if err != nil {
+			if cli.ReportInterrupted(out, err) {
+				return nil
+			}
+			return err
+		}
 		if ok {
 			matches++
 			fmt.Fprintf(out, "match at %s\n", event.Civil(e.Time))

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+
+	"repro/internal/cli"
 )
 
 func writeFiles(t *testing.T) (spec, seq string) {
@@ -46,7 +48,7 @@ func writeFiles(t *testing.T) (spec, seq string) {
 func TestRunWholeSequence(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, seq, "", "", "", true, false); err != nil {
+	if err := run(&out, spec, seq, "", "", "", true, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -61,7 +63,7 @@ func TestRunWholeSequence(t *testing.T) {
 func TestRunAnchored(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, seq, "deposit", "", "", false, false); err != nil {
+	if err := run(&out, spec, seq, "deposit", "", "", false, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -73,11 +75,11 @@ func TestRunAnchored(t *testing.T) {
 
 func TestRunErrorsTagrun(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "", "", false, false); err == nil {
+	if err := run(&out, "", "", "", "", "", false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	spec, seq := writeFiles(t)
-	if err := run(&out, spec, seq, "ghost-type", "", "", false, false); err == nil {
+	if err := run(&out, spec, seq, "ghost-type", "", "", false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("absent anchor accepted")
 	}
 	// Spec without an assignment is rejected.
@@ -89,7 +91,7 @@ func TestRunErrorsTagrun(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(&out, noAssign, seq, "", "", "", false, false); err == nil {
+	if err := run(&out, noAssign, seq, "", "", "", false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("spec without assignment accepted")
 	}
 }

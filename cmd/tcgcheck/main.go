@@ -7,6 +7,10 @@
 //
 //	tcgcheck -spec structure.json [-exact] [-from 1996] [-to 1999]
 //
+// The shared solver flags -timeout, -budget and -stats bound the solve and
+// print the engine counter table; an interrupted solve reports INTERRUPTED
+// with the work done so far instead of failing.
+//
 // The spec format is the JSON form of core.Spec, e.g.:
 //
 //	{"edges":[{"from":"X0","to":"X1","constraints":[{"min":1,"max":1,"gran":"b-day"}]}]}
@@ -32,15 +36,18 @@ func main() {
 	toYear := flag.Int("to", 1999, "exact horizon end year")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	dot := flag.String("dot", "", "write the structure as Graphviz DOT to this file")
+	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *grans, *dot, *runExact, *fromYear, *toYear); err != nil {
+	if err := run(os.Stdout, *specPath, *grans, *dot, *runExact, *fromYear, *toYear, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tcgcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, fromYear, toYear int) error {
+func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, fromYear, toYear int, ef *cli.EngineFlags) error {
+	eng := ef.Config()
+	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
 	if err != nil {
 		return err
@@ -78,8 +85,11 @@ func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, from
 		}
 	}
 
-	r, err := propagate.Run(sys, s, propagate.Options{})
+	r, err := propagate.Run(sys, s, propagate.Options{Engine: eng})
 	if err != nil {
+		if cli.ReportInterrupted(out, err) {
+			return nil
+		}
 		return err
 	}
 	if !r.Consistent {
@@ -96,8 +106,11 @@ func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, from
 	}
 	start := event.At(fromYear, 1, 1, 0, 0, 0)
 	end := event.At(toYear, 12, 31, 23, 59, 59)
-	v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end})
+	v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end, Engine: eng})
 	if err != nil {
+		if cli.ReportInterrupted(out, err) {
+			return nil
+		}
 		return err
 	}
 	if !v.Satisfiable {

@@ -1,0 +1,92 @@
+package tempo_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	tempo "repro"
+	"repro/internal/hardness"
+)
+
+// TestExactSolveDeadline is the PR's acceptance test for the execution
+// engine: a hard Theorem-1 subset-sum instance (k=5, unsolvable — minutes of
+// backtracking unbounded) put through the exact solver with a 100ms deadline
+// must come back as a typed interruption with partial stats well under a
+// second, while an unbounded solve on a small instance still returns the
+// exact verdict.
+func TestExactSolveDeadline(t *testing.T) {
+	sys := tempo.DefaultSystem()
+
+	hard := hardness.Generate(5, false, 45)
+	s, err := hardness.Reduce(hard, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := hardness.Horizon(hard)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	c := tempo.NewEngineCounters()
+	t0 := time.Now()
+	_, err = tempo.SolveExact(sys, s, tempo.ExactOptions{
+		Start: start, End: end,
+		Engine: tempo.EngineConfig{Ctx: ctx, Observer: c},
+	})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, tempo.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	var ip *tempo.Interrupted
+	if !errors.As(err, &ip) {
+		t.Fatalf("err %T, want *Interrupted", err)
+	}
+	if ip.Reason != "context" {
+		t.Fatalf("reason %q, want %q", ip.Reason, "context")
+	}
+	if ip.Steps <= 0 || ip.Stats == nil {
+		t.Fatalf("partial progress missing: steps %d, stats %v", ip.Steps, ip.Stats)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline of 100ms honoured only after %v", elapsed)
+	}
+
+	// The engine must not change answers: small instances, unbounded, still
+	// agree with the direct subset-sum DP.
+	for _, solvable := range []bool{true, false} {
+		in := hardness.Generate(3, solvable, 43)
+		s, err := hardness.Reduce(in, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start, end := hardness.Horizon(in)
+		v, err := tempo.SolveExact(sys, s, tempo.ExactOptions{Start: start, End: end})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := hardness.SolveSubsetSum(in)
+		if v.Satisfiable != want {
+			t.Fatalf("solvable=%v: exact verdict %v, DP %v", solvable, v.Satisfiable, want)
+		}
+	}
+}
+
+// TestBudgetAcrossFacade spot-checks the re-exported engine types: a work
+// budget set through the tempo facade interrupts propagation with counters.
+func TestBudgetAcrossFacade(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	c := tempo.NewEngineCounters()
+	_, err := tempo.Propagate(sys, tempo.Fig1a(), tempo.PropagateOptions{
+		Engine: tempo.EngineConfig{Budget: 5, Observer: c},
+	})
+	if !errors.Is(err, tempo.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	var ip *tempo.Interrupted
+	if !errors.As(err, &ip) {
+		t.Fatalf("err %T, want *Interrupted", err)
+	}
+	if ip.Reason != "budget" || ip.Steps < 5 {
+		t.Fatalf("got reason %q steps %d, want budget exhaustion", ip.Reason, ip.Steps)
+	}
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counters is the standard Observer: mutex-guarded named counters plus
+// accumulated stage timings. Safe for concurrent use; the zero value is NOT
+// ready — use NewCounters.
+type Counters struct {
+	mu     sync.Mutex
+	counts map[string]int64
+	stages map[string]time.Duration
+	calls  map[string]int64 // stage invocation counts
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		counts: make(map[string]int64),
+		stages: make(map[string]time.Duration),
+		calls:  make(map[string]int64),
+	}
+}
+
+// Count implements Observer.
+func (c *Counters) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counts[name] += delta
+	c.mu.Unlock()
+}
+
+// Stage implements Observer: timings accumulate per stage name.
+func (c *Counters) Stage(name string, elapsed time.Duration) {
+	c.mu.Lock()
+	c.stages[name] += elapsed
+	c.calls[name]++
+	c.mu.Unlock()
+}
+
+// Get returns one counter's current value.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Snapshot implements Snapshotter: a copy of the counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Stages returns a copy of the accumulated stage timings.
+func (c *Counters) Stages() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, len(c.stages))
+	for k, v := range c.stages {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTable renders the counters and stage timings as an aligned
+// two-column table, sorted by name — the `-stats` output of the CLIs.
+func (c *Counters) WriteTable(w io.Writer) error {
+	c.mu.Lock()
+	type row struct {
+		name, value string
+	}
+	var rows []row
+	for k, v := range c.counts {
+		rows = append(rows, row{k, fmt.Sprint(v)})
+	}
+	for k, d := range c.stages {
+		v := d.Round(time.Microsecond).String()
+		if n := c.calls[k]; n > 1 {
+			v = fmt.Sprintf("%s (%d calls)", v, n)
+		}
+		rows = append(rows, row{k + ".time", v})
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	width := 0
+	for _, r := range rows {
+		if len(r.name) > width {
+			width = len(r.name)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "--- engine stats ---")
+	if len(rows) == 0 {
+		fmt.Fprintln(bw, "(no counters recorded)")
+	}
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%-*s  %s\n", width, r.name, r.value)
+	}
+	return bw.Flush()
+}

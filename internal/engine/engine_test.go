@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroConfigStartsNil(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if ex := c.Start(); ex != nil {
+		t.Fatal("zero config must start a nil Exec")
+	}
+}
+
+func TestNilExecMethodsAreSafe(t *testing.T) {
+	var ex *Exec
+	if err := ex.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Used() != 0 {
+		t.Fatal("nil Exec must report zero use")
+	}
+	ex.Count("x", 1)
+	ex.Stage("s")()
+	if got := ex.Seal(nil); got != nil {
+		t.Fatal("nil seal must pass through")
+	}
+	sentinel := errors.New("boom")
+	if got := ex.Seal(sentinel); got != sentinel {
+		t.Fatal("foreign errors must pass through")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	ex := Config{Budget: 10}.Start()
+	if ex == nil {
+		t.Fatal("budgeted config must start an Exec")
+	}
+	if err := ex.Step(10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := ex.Step(1)
+	if err == nil {
+		t.Fatal("budget must be enforced")
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err %v must match ErrInterrupted", err)
+	}
+	var ip *Interrupted
+	if !errors.As(err, &ip) {
+		t.Fatalf("err %T must be *Interrupted", err)
+	}
+	if ip.Reason != "budget" {
+		t.Fatalf("reason %q, want budget", ip.Reason)
+	}
+	if ip.Steps != 11 {
+		t.Fatalf("steps %d, want 11", ip.Steps)
+	}
+	// Sticky: further steps return the same interruption.
+	if err2 := ex.Step(1); !errors.Is(err2, ErrInterrupted) {
+		t.Fatalf("interruption must be sticky, got %v", err2)
+	}
+	if err2 := ex.Err(); !errors.Is(err2, ErrInterrupted) {
+		t.Fatalf("Err must report the sticky interruption, got %v", err2)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ex := Config{Ctx: ctx, CheckEvery: 1}.Start()
+	if err := ex.Step(1); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	err := ex.Step(1)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled context must interrupt, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interruption must unwrap to context.Canceled, got %v", err)
+	}
+	var ip *Interrupted
+	errors.As(err, &ip)
+	if ip.Reason != "context" {
+		t.Fatalf("reason %q, want context", ip.Reason)
+	}
+}
+
+func TestContextPollStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := Config{Ctx: ctx, CheckEvery: 100}.Start()
+	// Below the stride the (already cancelled) context is not yet polled.
+	if err := ex.Step(1); err != nil {
+		t.Fatalf("below stride: %v", err)
+	}
+	if err := ex.Step(99); err == nil {
+		t.Fatal("reaching the stride must poll and interrupt")
+	}
+}
+
+func TestErrPollsContextImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := Config{Ctx: ctx}.Start()
+	if err := ex.Err(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Err must poll the context regardless of stride, got %v", err)
+	}
+}
+
+func TestSealAttachesStats(t *testing.T) {
+	c := NewCounters()
+	ex := Config{Budget: 1, Observer: c}.Start()
+	ex.Count("layer.widgets", 7)
+	err := ex.Step(2)
+	if err == nil {
+		t.Fatal("budget must interrupt")
+	}
+	ex.Count("layer.widgets", 3) // work recorded after the interruption
+	sealed := ex.Seal(err)
+	var ip *Interrupted
+	if !errors.As(sealed, &ip) {
+		t.Fatalf("sealed %T", sealed)
+	}
+	if ip.Stats["layer.widgets"] != 10 {
+		t.Fatalf("sealed stats %v, want layer.widgets=10", ip.Stats)
+	}
+	if ip.Steps != 2 {
+		t.Fatalf("sealed steps %d, want 2", ip.Steps)
+	}
+	// Wrapped interruptions are refreshed too.
+	wrapped := ex.Seal(fmt.Errorf("outer: %w", err))
+	if !errors.Is(wrapped, ErrInterrupted) {
+		t.Fatal("wrapping must preserve the sentinel")
+	}
+}
+
+func TestCountersObserver(t *testing.T) {
+	c := NewCounters()
+	c.Count("a", 2)
+	c.Count("a", 3)
+	c.Stage("phase", 2*time.Millisecond)
+	c.Stage("phase", 3*time.Millisecond)
+	if c.Get("a") != 5 {
+		t.Fatalf("a = %d", c.Get("a"))
+	}
+	if c.Stages()["phase"] != 5*time.Millisecond {
+		t.Fatalf("phase = %v", c.Stages()["phase"])
+	}
+	snap := c.Snapshot()
+	c.Count("a", 1)
+	if snap["a"] != 5 {
+		t.Fatal("snapshot must be a copy")
+	}
+	var b strings.Builder
+	if err := c.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"a", "5", "phase.time", "(2 calls)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentStepAndCount(t *testing.T) {
+	c := NewCounters()
+	ex := Config{Budget: 1 << 40, Observer: c}.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := ex.Step(1); err != nil {
+					t.Error(err)
+					return
+				}
+				ex.Count("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if ex.Used() != 8000 {
+		t.Fatalf("used %d, want 8000", ex.Used())
+	}
+	if c.Get("n") != 8000 {
+		t.Fatalf("n %d, want 8000", c.Get("n"))
+	}
+}
+
+func TestStageTimer(t *testing.T) {
+	c := NewCounters()
+	ex := Config{Observer: c}.Start()
+	stop := ex.Stage("work")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if c.Stages()["work"] <= 0 {
+		t.Fatal("stage timer must record elapsed time")
+	}
+}

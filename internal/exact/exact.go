@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/granularity"
 	"repro/internal/propagate"
 	"repro/internal/stp"
@@ -35,6 +36,15 @@ type Options struct {
 	// MaxNodes bounds the number of search-tree nodes expanded; Solve
 	// errors when exceeded. 0 means DefaultMaxNodes.
 	MaxNodes int64
+	// Propagate configures the pruning propagation pass Solve and
+	// Enumerate run first. Its Engine field is ignored — the exact solver's
+	// own Engine governs the whole solve, propagation included.
+	Propagate propagate.Options
+	// Engine carries cancellation, the work budget (one unit per search
+	// node plus the propagation work beneath) and the observer
+	// ("exact.nodes", "exact.prunes"). The zero value is unbounded and
+	// silent; MaxNodes still applies either way.
+	Engine engine.Config
 }
 
 // DefaultMaxNodes is the default search budget.
@@ -56,6 +66,12 @@ type Verdict struct {
 
 // Solve decides bounded-horizon consistency of s under sys.
 func Solve(sys *granularity.System, s *core.EventStructure, opt Options) (*Verdict, error) {
+	ex := opt.Engine.Start()
+	v, err := solveExec(ex, sys, s, opt)
+	return v, ex.Seal(err)
+}
+
+func solveExec(ex *engine.Exec, sys *granularity.System, s *core.EventStructure, opt Options) (*Verdict, error) {
 	if opt.Start < 1 || opt.End <= opt.Start {
 		return nil, fmt.Errorf("exact: invalid horizon [%d,%d]", opt.Start, opt.End)
 	}
@@ -63,7 +79,7 @@ func Solve(sys *granularity.System, s *core.EventStructure, opt Options) (*Verdi
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
 	}
-	prop, err := propagate.Run(sys, s, propagate.Options{})
+	prop, err := propagate.RunExec(ex, sys, s, opt.Propagate)
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +104,12 @@ func Solve(sys *granularity.System, s *core.EventStructure, opt Options) (*Verdi
 		order:    order,
 		assigned: make(map[core.Variable]int64, len(order)),
 		maxNodes: maxNodes,
+		ex:       ex,
 	}
 	sv.precomputeBounds()
+	defer ex.Stage("exact.search")()
 	found, err := sv.search(0)
+	sv.flushCounters()
 	if err != nil {
 		return nil, err
 	}
@@ -146,9 +165,25 @@ type solver struct {
 	assigned map[core.Variable]int64
 	nodes    int64
 	maxNodes int64
+	// ex meters the search against the engine budget/deadline; nil means
+	// unbounded.
+	ex *engine.Exec
+	// prunes counts dead branches (empty windows, constraint rejections);
+	// flushed counters track the already-reported node/prune totals.
+	prunes                     int64
+	flushedNodes, flushedPrune int64
 	// bounds[i][j] are the second-distance bounds from order[i] to order[j]
 	// derived by propagation (j < i used during search).
 	lo, hi [][]int64
+}
+
+// flushCounters reports the not-yet-reported node and prune totals to the
+// observer; called periodically and on the way out so interrupted solves
+// still carry partial stats.
+func (sv *solver) flushCounters() {
+	sv.ex.Count("exact.nodes", sv.nodes-sv.flushedNodes)
+	sv.ex.Count("exact.prunes", sv.prunes-sv.flushedPrune)
+	sv.flushedNodes, sv.flushedPrune = sv.nodes, sv.prunes
 }
 
 func (sv *solver) precomputeBounds() {
@@ -190,6 +225,7 @@ func (sv *solver) search(k int) (bool, error) {
 		}
 	}
 	if winLo > winHi {
+		sv.prunes++
 		return false, nil
 	}
 	first := sort.Search(len(sv.points), func(i int) bool { return sv.points[i] >= winLo })
@@ -198,8 +234,12 @@ func (sv *solver) search(k int) (bool, error) {
 		if sv.nodes > sv.maxNodes {
 			return false, fmt.Errorf("exact: search budget of %d nodes exceeded", sv.maxNodes)
 		}
+		if err := sv.ex.Step(1); err != nil {
+			return false, err
+		}
 		t := sv.points[i]
 		if !sv.consistentWithAssigned(v, t) {
+			sv.prunes++
 			continue
 		}
 		sv.assigned[v] = t
@@ -240,6 +280,12 @@ func (sv *solver) consistentWithAssigned(v core.Variable, t int64) bool {
 // (uncountable in general) solution space collapses onto boundary points by
 // the same snapping argument Solve's completeness rests on.
 func Enumerate(sys *granularity.System, s *core.EventStructure, opt Options, limit int) ([]map[core.Variable]int64, error) {
+	ex := opt.Engine.Start()
+	out, err := enumerateExec(ex, sys, s, opt, limit)
+	return out, ex.Seal(err)
+}
+
+func enumerateExec(ex *engine.Exec, sys *granularity.System, s *core.EventStructure, opt Options, limit int) ([]map[core.Variable]int64, error) {
 	if limit < 1 {
 		return nil, fmt.Errorf("exact: limit must be positive")
 	}
@@ -250,7 +296,7 @@ func Enumerate(sys *granularity.System, s *core.EventStructure, opt Options, lim
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
 	}
-	prop, err := propagate.Run(sys, s, propagate.Options{})
+	prop, err := propagate.RunExec(ex, sys, s, opt.Propagate)
 	if err != nil {
 		return nil, err
 	}
@@ -273,8 +319,10 @@ func Enumerate(sys *granularity.System, s *core.EventStructure, opt Options, lim
 		order:    order,
 		assigned: make(map[core.Variable]int64, len(order)),
 		maxNodes: maxNodes,
+		ex:       ex,
 	}
 	sv.precomputeBounds()
+	defer ex.Stage("exact.enumerate")()
 	var out []map[core.Variable]int64
 	err = sv.enumerate(0, func() bool {
 		w := make(map[core.Variable]int64, len(sv.assigned))
@@ -284,6 +332,7 @@ func Enumerate(sys *granularity.System, s *core.EventStructure, opt Options, lim
 		out = append(out, w)
 		return len(out) < limit
 	})
+	sv.flushCounters()
 	if err != nil && err != errStopEnumeration {
 		return nil, err
 	}
@@ -322,6 +371,9 @@ func (sv *solver) enumerate(k int, emit func() bool) error {
 		sv.nodes++
 		if sv.nodes > sv.maxNodes {
 			return fmt.Errorf("exact: search budget of %d nodes exceeded", sv.maxNodes)
+		}
+		if err := sv.ex.Step(1); err != nil {
+			return err
 		}
 		t := sv.points[i]
 		if !sv.consistentWithAssigned(v, t) {

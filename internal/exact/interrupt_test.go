@@ -1,0 +1,122 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/granularity"
+	"repro/internal/hardness"
+	"repro/internal/propagate"
+)
+
+// TestSolveInterrupted drives the exact solver into each interruption mode
+// on a Theorem-1 gadget. The budget is chosen above the propagation cost
+// (~5k units on this instance) so the interruption lands mid-backtrack and
+// the partial stats carry visited nodes.
+func TestSolveInterrupted(t *testing.T) {
+	in := hardness.Generate(3, false, 43)
+	sys := granularity.Default()
+	s, err := hardness.Reduce(in, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := hardness.Horizon(in)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name     string
+		eng      func() engine.Config
+		reason   string
+		wantNode bool
+	}{
+		{"budget mid-backtrack", func() engine.Config {
+			return engine.Config{Budget: 6000, Observer: engine.NewCounters()}
+		}, "budget", true},
+		{"budget before search", func() engine.Config {
+			return engine.Config{Budget: 10, Observer: engine.NewCounters()}
+		}, "budget", false},
+		{"cancelled context", func() engine.Config {
+			return engine.Config{Ctx: cancelled, CheckEvery: 1, Observer: engine.NewCounters()}
+		}, "context", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Solve(sys, s, Options{Start: start, End: end, Engine: tc.eng()})
+			if !errors.Is(err, engine.ErrInterrupted) {
+				t.Fatalf("err = %v, want ErrInterrupted", err)
+			}
+			var ip *engine.Interrupted
+			if !errors.As(err, &ip) {
+				t.Fatalf("err %T, want *engine.Interrupted", err)
+			}
+			if ip.Reason != tc.reason {
+				t.Fatalf("reason %q, want %q", ip.Reason, tc.reason)
+			}
+			if ip.Stats == nil {
+				t.Fatal("partial stats missing")
+			}
+			if tc.wantNode && ip.Stats["exact.nodes"] <= 0 {
+				t.Fatalf("stats %v, want exact.nodes > 0", ip.Stats)
+			}
+		})
+	}
+	// The same instance, unbounded, still gets the exact verdict.
+	v, err := Solve(sys, s, Options{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Satisfiable {
+		t.Fatal("unsolvable gadget reported satisfiable")
+	}
+}
+
+// TestEnumerateInterrupted checks the enumeration path seals interruptions
+// the same way.
+func TestEnumerateInterrupted(t *testing.T) {
+	in := hardness.Generate(3, false, 43)
+	sys := granularity.Default()
+	s, err := hardness.Reduce(in, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := hardness.Horizon(in)
+	_, err = Enumerate(sys, s, Options{Start: start, End: end,
+		Engine: engine.Config{Budget: 6000, Observer: engine.NewCounters()}}, 10)
+	if !errors.Is(err, engine.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestSolvePropagateOptionsPassThrough pins the Options.Propagate fix: the
+// caller's propagation options must reach the inner propagate.Run. Dropping
+// the order group removes a whole STP group, so the relaxation counter
+// shrinks — it cannot if Solve still hardcodes propagate.Options{}.
+func TestSolvePropagateOptionsPassThrough(t *testing.T) {
+	sys := granularity.Default()
+	end, _ := granularity.Year().Span(2)
+	relaxations := func(popt propagate.Options) int64 {
+		c := engine.NewCounters()
+		v, err := Solve(sys, core.Fig1a(), Options{
+			Start:     1,
+			End:       end.Last,
+			Propagate: popt,
+			Engine:    engine.Config{Observer: c},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			t.Fatal("no verdict")
+		}
+		return c.Get("stp.relaxations")
+	}
+	full := relaxations(propagate.Options{})
+	ablated := relaxations(propagate.Options{DisableOrderGroup: true})
+	if ablated >= full {
+		t.Fatalf("stp.relaxations = %d with order group disabled, want < %d (Propagate options must pass through)",
+			ablated, full)
+	}
+}

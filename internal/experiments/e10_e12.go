@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/mining"
@@ -14,7 +15,7 @@ import (
 // cascade pattern is planted at a known per-reference rate; the discovery
 // problem must recover exactly the planted assignment above the matching
 // confidence and nothing else.
-func E10(quick bool) Table {
+func E10(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E10",
 		Title:  "Discovery precision/recall (Example 2 style)",
@@ -33,7 +34,7 @@ func E10(quick bool) Table {
 				MinConfidence: tau,
 				Reference:     "overheat-m0",
 			}
-			ds, _, err := mining.Optimized(sys, p, seq, mining.PipelineOptions{})
+			ds, _, err := mining.Optimized(sys, p, seq, mining.PipelineOptions{Engine: eng})
 			if err != nil {
 				t.Note("ERROR: %v", err)
 				continue
@@ -69,7 +70,7 @@ func E10(quick bool) Table {
 // E11 ablates the chain cover: compiling the same structures from the
 // greedy cover versus the naive one-chain-per-arc cover shows how the p
 // exponent of Theorem 4 inflates states, transitions and match effort.
-func E11(quick bool) Table {
+func E11(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E11",
 		Title:  "Chain-cover ablation (Theorem 4's p)",
@@ -108,7 +109,7 @@ func E11(quick bool) Table {
 			seq := variableSymbolWorkload(c.s, 400)
 			var stats tag.RunStats
 			d := bestOf(3, func() {
-				_, stats = a.Accepts(sys, seq, tag.RunOptions{})
+				_, stats = a.Accepts(sys, seq, tag.RunOptions{Engine: eng})
 			})
 			t.AddRow(c.name, name, len(chains), a.NumStates(), a.NumTransitions(), len(a.Clocks()), stats.MaxFrontier, d)
 		}
@@ -120,7 +121,7 @@ func E11(quick bool) Table {
 
 // E12 ablates the optimized pipeline: disabling each step shows its
 // contribution to candidate, reference and TAG-run counts.
-func E12(quick bool) Table {
+func E12(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E12",
 		Title:  "Pipeline-step ablation (Section 5 steps 2-4)",
@@ -149,6 +150,7 @@ func E12(quick bool) Table {
 	}
 	var baseline []mining.Discovery
 	for i, v := range variants {
+		v.opt.Engine = eng
 		var ds []mining.Discovery
 		var st mining.Stats
 		var err error

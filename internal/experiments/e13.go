@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/mining"
@@ -18,7 +19,7 @@ import (
 //   - repetitive patterns by structure unrolling, with the TAG growth the
 //     unrolling costs;
 //   - the parallel step-5 scan (identical results, wall-time change).
-func E13(quick bool) Table {
+func E13(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E13",
 		Title:  "Section-6 extensions",
@@ -39,7 +40,7 @@ func E13(quick bool) Table {
 		Structure:     s,
 		MinConfidence: 0.7,
 		Reference:     pseudo,
-	}, withRefs, mining.PipelineOptions{})
+	}, withRefs, mining.PipelineOptions{Engine: eng})
 	if err != nil {
 		t.Note("ERROR: %v", err)
 		return t
@@ -53,7 +54,7 @@ func E13(quick bool) Table {
 		MinConfidence: 0.3,
 		References:    []event.Type{"overheat-m0", "overheat-m1"},
 	}
-	ds2, stats2, err := mining.Optimized(sys, p2, seq, mining.PipelineOptions{})
+	ds2, stats2, err := mining.Optimized(sys, p2, seq, mining.PipelineOptions{Engine: eng})
 	if err != nil {
 		t.Note("ERROR: %v", err)
 		return t
@@ -92,14 +93,14 @@ func E13(quick bool) Table {
 	p4 := mining.Problem{Structure: cascadeStructure(), MinConfidence: 0.5, Reference: "overheat-m0"}
 	var serialDS, parDS []mining.Discovery
 	serialT := bestOf(3, func() {
-		serialDS, _, err = mining.Optimized(sys, p4, seq, mining.PipelineOptions{DisableCandidateScreening: true, DisablePairScreening: true})
+		serialDS, _, err = mining.Optimized(sys, p4, seq, mining.PipelineOptions{DisableCandidateScreening: true, DisablePairScreening: true, Engine: eng})
 	})
 	if err != nil {
 		t.Note("ERROR: %v", err)
 		return t
 	}
 	parT := bestOf(3, func() {
-		parDS, _, err = mining.Optimized(sys, p4, seq, mining.PipelineOptions{DisableCandidateScreening: true, DisablePairScreening: true, Workers: 8})
+		parDS, _, err = mining.Optimized(sys, p4, seq, mining.PipelineOptions{DisableCandidateScreening: true, DisablePairScreening: true, Workers: 8, Engine: eng})
 	})
 	if err != nil {
 		t.Note("ERROR: %v", err)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/granularity"
 	"repro/internal/hardness"
@@ -18,7 +19,7 @@ import (
 // [0,200]hour. EXPERIMENTS.md analyzes the difference — the paper's hour
 // upper bound 175 excludes realizable scenarios (the true tightest is 199),
 // so it cannot come from a sound conversion.
-func E1(quick bool) Table {
+func E1(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E1",
 		Title:  "Figure 1(a) derived constraints",
@@ -26,7 +27,7 @@ func E1(quick bool) Table {
 	}
 	sys := granularity.Default()
 	s := core.Fig1a()
-	r, err := propagate.Run(sys, s, propagate.Options{})
+	r, err := propagate.Run(sys, s, propagate.Options{Engine: eng})
 	if err != nil {
 		t.Note("ERROR: %v", err)
 		return t
@@ -62,7 +63,7 @@ func E1(quick bool) Table {
 // disjunction X2−X0 ∈ {0,12} months. The exact solver confirms exactly the
 // distances 0 and 12 are realizable while the approximate propagation keeps
 // the whole interval [0,12] — the approximation gap the paper describes.
-func E2(quick bool) Table {
+func E2(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E2",
 		Title:  "Figure 1(b) implicit disjunction",
@@ -78,12 +79,12 @@ func E2(quick bool) Table {
 	for _, d := range distances {
 		s := core.Fig1b()
 		s.MustConstrain("X0", "X2", core.MustTCG(d, d, "month"))
-		v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end.Last})
+		v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end.Last, Engine: eng})
 		if err != nil {
 			t.Note("ERROR at d=%d: %v", d, err)
 			continue
 		}
-		r, err := propagate.Run(sys, s, propagate.Options{})
+		r, err := propagate.Run(sys, s, propagate.Options{Engine: eng})
 		if err != nil {
 			t.Note("ERROR at d=%d: %v", d, err)
 			continue
@@ -103,7 +104,7 @@ func E2(quick bool) Table {
 // instances, reduced-structure consistency (exact, bounded horizon) agrees
 // with the DP solver, witnesses decode to subsets, and the exact search
 // cost grows steeply with k while propagation stays flat.
-func E3(quick bool) Table {
+func E3(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E3",
 		Title:  "SUBSET-SUM reduction (Theorem 1)",
@@ -124,7 +125,7 @@ func E3(quick bool) Table {
 			}
 			var propDur time.Duration
 			propDur = timed(func() {
-				_, err = propagate.Run(sys, s, propagate.Options{})
+				_, err = propagate.Run(sys, s, propagate.Options{Engine: eng})
 			})
 			if err != nil {
 				t.Note("ERROR: %v", err)
@@ -133,7 +134,7 @@ func E3(quick bool) Table {
 			start, end := hardness.Horizon(in)
 			var v *exact.Verdict
 			exactDur := timed(func() {
-				v, err = exact.Solve(sys, s, exact.Options{Start: start, End: end})
+				v, err = exact.Solve(sys, s, exact.Options{Start: start, End: end, Engine: eng})
 			})
 			if err != nil {
 				t.Note("ERROR on %v: %v", in, err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/propagate"
@@ -37,7 +38,7 @@ func randomStructure(n int, grans []string, w int64, seed int64) *core.EventStru
 // E4 measures propagation runtime while sweeping n (variables), |M|
 // (granularities) and w (range magnitude): the shape must stay polynomial
 // (Theorem 2's bound is O(n^5 |M|^2 w)).
-func E4(quick bool) Table {
+func E4(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E4",
 		Title:  "Propagation scaling (Theorem 2)",
@@ -61,7 +62,7 @@ func E4(quick bool) Table {
 				var r *propagate.Result
 				var err error
 				d := bestOf(3, func() {
-					r, err = propagate.Run(sys, s, propagate.Options{})
+					r, err = propagate.Run(sys, s, propagate.Options{Engine: eng})
 				})
 				if err != nil {
 					t.Note("ERROR: %v", err)
@@ -84,7 +85,7 @@ func E4(quick bool) Table {
 // E5 reproduces Figure 2: compiling Example 1's complex event type yields
 // the 6-state, 2-chain cross-product TAG the paper draws, in polynomial
 // time (Theorem 3).
-func E5(quick bool) Table {
+func E5(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E5",
 		Title:  "TAG compilation (Figure 2, Theorem 3)",
@@ -122,7 +123,7 @@ func E5(quick bool) Table {
 // E6 measures TAG acceptance cost while sweeping the sequence length and
 // the constraint magnitude K: Theorem 4 bounds the frontier by
 // (|V|K)^p, so for fixed pattern the cost is near-linear in the sequence.
-func E6(quick bool) Table {
+func E6(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E6",
 		Title:  "TAG matching cost (Theorem 4)",
@@ -162,7 +163,7 @@ func E6(quick bool) Table {
 			var ok bool
 			var stats tag.RunStats
 			d := bestOf(3, func() {
-				ok, stats = a.Accepts(sys, seq, tag.RunOptions{})
+				ok, stats = a.Accepts(sys, seq, tag.RunOptions{Engine: eng})
 			})
 			perEvent := "-"
 			if stats.Steps > 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/episode"
 	"repro/internal/event"
 	"repro/internal/granularity"
@@ -37,7 +38,7 @@ func cascadeStructure() *core.EventStructure {
 // E7 compares the naive discovery algorithm against the optimized
 // five-step pipeline (Section 5): candidate counts, TAG starts and wall
 // time, with identical solution sets.
-func E7(quick bool) Table {
+func E7(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:    "E7",
 		Title: "Mining pipeline vs naive (Section 5)",
@@ -64,7 +65,7 @@ func E7(quick bool) Table {
 			t.Note("ERROR: %v", err)
 			continue
 		}
-		odur := timed(func() { od, os, err = mining.Optimized(sys, p, seq, mining.PipelineOptions{}) })
+		odur := timed(func() { od, os, err = mining.Optimized(sys, p, seq, mining.PipelineOptions{Engine: eng}) })
 		if err != nil {
 			t.Note("ERROR: %v", err)
 			continue
@@ -96,7 +97,7 @@ func E7(quick bool) Table {
 // MTV95 must) admits cross-midnight pairs the day constraint rejects. Both
 // systems mine "B follows A"; TCG counts same-day pairs, the episode window
 // counts <=86400s pairs; the difference is the baseline's false positives.
-func E8(quick bool) Table {
+func E8(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E8",
 		Title:  "[0,0]day vs 86400-second window (MTV95 baseline)",
@@ -167,7 +168,7 @@ func crossMidnightWorkload(pairs int, bias float64, seed int64) event.Sequence {
 // constraints between standard granularity pairs, compare the converted
 // interval against the empirically tightest interval (scanned over
 // concrete timestamp pairs).
-func E9(quick bool) Table {
+func E9(quick bool, eng engine.Config) Table {
 	t := Table{
 		ID:     "E9",
 		Title:  "Conversion tightness (Figure 3)",

@@ -9,6 +9,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Table is one experiment's output.
@@ -103,10 +105,13 @@ func pad(s string, w int) string {
 }
 
 // Experiment is a named experiment runner. Quick trims sweeps for test and
-// benchmark use; the cmd runner passes quick=false.
+// benchmark use; the cmd runner passes quick=false. The engine.Config is
+// threaded into every solver call the experiment makes (each call starts
+// its own carrier, so a budget bounds individual solves); the zero value
+// reproduces the historical unbounded, silent behaviour.
 type Experiment struct {
 	ID   string
-	Run  func(quick bool) Table
+	Run  func(quick bool, eng engine.Config) Table
 	Desc string
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // TestAllExperimentsRunQuick executes every experiment in quick mode: they
@@ -12,7 +14,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab := e.Run(true)
+			tab := e.Run(true, engine.Config{})
 			if tab.ID != e.ID {
 				t.Fatalf("table ID %q != experiment %q", tab.ID, e.ID)
 			}
@@ -53,7 +55,7 @@ func TestFind(t *testing.T) {
 // TestE1ValuesStable pins the headline E1 numbers: the derived (X0,X3)
 // bounds are part of the reproduction's contract.
 func TestE1ValuesStable(t *testing.T) {
-	tab := E1(true)
+	tab := E1(true, engine.Config{})
 	var week, hour string
 	for _, row := range tab.Rows {
 		if row[0] == "(X0,X3)" && row[1] == "week" {
@@ -73,7 +75,7 @@ func TestE1ValuesStable(t *testing.T) {
 
 // TestE2Disjunction pins E2's semantics: only 0 and 12 satisfiable.
 func TestE2Disjunction(t *testing.T) {
-	tab := E2(true)
+	tab := E2(true, engine.Config{})
 	for _, row := range tab.Rows {
 		d, sat := row[0], row[1]
 		want := "false"
@@ -88,7 +90,7 @@ func TestE2Disjunction(t *testing.T) {
 
 // TestE9AllSound pins E9's soundness column.
 func TestE9AllSound(t *testing.T) {
-	tab := E9(true)
+	tab := E9(true, engine.Config{})
 	for _, row := range tab.Rows {
 		if row[4] != "true" {
 			t.Fatalf("E9 conversion %s %s unsound: converted %s, empirical %s", row[0], row[1], row[2], row[3])
@@ -101,7 +103,7 @@ func TestE9AllSound(t *testing.T) {
 // bias 0... even at bias 0 a 2-5h follow-up near 22h can cross; the planted
 // daytime pairs cannot, so bias 0 is exactly zero.
 func TestE8FalsePositivesGrow(t *testing.T) {
-	tab := E8(true)
+	tab := E8(true, engine.Config{})
 	if len(tab.Rows) != 3 {
 		t.Fatalf("E8 rows = %d", len(tab.Rows))
 	}
@@ -120,7 +122,7 @@ func TestE8FalsePositivesGrow(t *testing.T) {
 // TestE13UnrollLinearGrowth pins the unrolling rows: TAG states grow
 // linearly (2k+1) in the repetition count.
 func TestE13UnrollLinearGrowth(t *testing.T) {
-	tab := E13(true)
+	tab := E13(true, engine.Config{})
 	got := map[string]string{}
 	for _, row := range tab.Rows {
 		if row[0] == "unroll" {

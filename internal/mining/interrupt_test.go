@@ -1,0 +1,99 @@
+package mining
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestOptimizedInterrupted starves the pipeline at several points and checks
+// the typed error with partial stats, including a parallel-scan case where
+// the workers share one carrier.
+func TestOptimizedInterrupted(t *testing.T) {
+	seq := plantWorkload(3, 60, 0.9)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name    string
+		opt     func() PipelineOptions
+		reason  string
+		minStep int64
+	}{
+		{"budget mid-pipeline", func() PipelineOptions {
+			return PipelineOptions{Engine: engine.Config{Budget: 50, Observer: engine.NewCounters()}}
+		}, "budget", 50},
+		{"budget mid-scan", func() PipelineOptions {
+			// Enough for steps 1-4 on this workload; trips in step 5.
+			return PipelineOptions{Engine: engine.Config{Budget: 5000, Observer: engine.NewCounters()}}
+		}, "budget", 5000},
+		{"budget mid-scan parallel", func() PipelineOptions {
+			return PipelineOptions{Workers: 4,
+				Engine: engine.Config{Budget: 5000, Observer: engine.NewCounters()}}
+		}, "budget", 5000},
+		{"cancelled context", func() PipelineOptions {
+			return PipelineOptions{Engine: engine.Config{Ctx: cancelled, CheckEvery: 1, Observer: engine.NewCounters()}}
+		}, "context", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Optimized(sys, p, seq, tc.opt())
+			if !errors.Is(err, engine.ErrInterrupted) {
+				t.Fatalf("err = %v, want ErrInterrupted", err)
+			}
+			var ip *engine.Interrupted
+			if !errors.As(err, &ip) {
+				t.Fatalf("err %T, want *engine.Interrupted", err)
+			}
+			if ip.Reason != tc.reason {
+				t.Fatalf("reason %q, want %q", ip.Reason, tc.reason)
+			}
+			if ip.Steps < tc.minStep {
+				t.Fatalf("steps %d, want >= %d", ip.Steps, tc.minStep)
+			}
+			if ip.Stats == nil {
+				t.Fatal("partial stats missing")
+			}
+		})
+	}
+}
+
+// TestOptimizedEngineCounters checks an instrumented unbounded run: same
+// discoveries as the silent run, with the pipeline counters populated.
+func TestOptimizedEngineCounters(t *testing.T) {
+	seq := plantWorkload(3, 60, 0.9)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	silent, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := engine.NewCounters()
+	ds, stats, err := Optimized(sys, p, seq, PipelineOptions{Engine: engine.Config{Observer: c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(silent, ds) {
+		t.Fatalf("instrumented run diverged: %v vs %v", summarize(silent), summarize(ds))
+	}
+	if got := c.Get("mining.refs.scanned"); got != int64(stats.ReferenceOccurrences) {
+		t.Fatalf("mining.refs.scanned = %d, want %d", got, stats.ReferenceOccurrences)
+	}
+	if got := c.Get("mining.candidates.scanned"); got != int64(stats.CandidatesScanned) {
+		t.Fatalf("mining.candidates.scanned = %d, want %d", got, stats.CandidatesScanned)
+	}
+	for _, stage := range []string{"mining.step1_consistency", "mining.step5_scan"} {
+		if c.Stages()[stage] <= 0 {
+			t.Fatalf("stage %q not timed; stages %v", stage, c.Stages())
+		}
+	}
+}

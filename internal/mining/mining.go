@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/stp"
@@ -165,6 +166,14 @@ func enumerate(rest []core.Variable, pools map[core.Variable][]event.Type, yield
 // many extend to an occurrence. window limits how far past the reference
 // the scan looks (0 = to the end of the sequence).
 func countMatches(sys *granularity.System, a *tag.TAG, seq event.Sequence, refIdx []int, window int64, runs *int) int {
+	n, _ := countMatchesExec(nil, sys, a, seq, refIdx, window, runs)
+	return n
+}
+
+// countMatchesExec is countMatches under an execution carrier: each TAG run
+// spends the simulation's own budget, and an interruption aborts the count
+// with the matches tallied so far.
+func countMatchesExec(ex *engine.Exec, sys *granularity.System, a *tag.TAG, seq event.Sequence, refIdx []int, window int64, runs *int) (int, error) {
 	matches := 0
 	for _, i := range refIdx {
 		sub := seq[i:]
@@ -172,11 +181,15 @@ func countMatches(sys *granularity.System, a *tag.TAG, seq event.Sequence, refId
 			sub = seq[i:].Between(seq[i].Time, seq[i].Time+window)
 		}
 		*runs++
-		if ok, _ := a.Accepts(sys, sub, tag.RunOptions{Anchored: true}); ok {
+		ok, _, err := a.AcceptsExec(ex, sys, sub, tag.RunOptions{Anchored: true})
+		if err != nil {
+			return matches, err
+		}
+		if ok {
 			matches++
 		}
 	}
-	return matches
+	return matches, nil
 }
 
 // refIndexes returns the indexes of the reference occurrences.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/propagate"
@@ -25,10 +26,24 @@ type PipelineOptions struct {
 	// is safe for concurrent use). 0 or 1 means serial; results are
 	// identical either way.
 	Workers int
+	// Engine bounds and observes the pipeline. The zero value is unbounded
+	// and silent. Stage timers "mining.step1_consistency" through
+	// "mining.step5_scan" cover the five steps; counters report the
+	// candidate and reference volumes ("mining.candidates.scanned", ...)
+	// plus the inner propagation/TAG work. Exceeding the budget or a
+	// cancelled context aborts with engine.ErrInterrupted carrying partial
+	// stats. All worker goroutines share the one carrier.
+	Engine engine.Config
 }
 
 // Optimized solves the problem with the paper's five-step strategy.
 func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) ([]Discovery, Stats, error) {
+	ex := opt.Engine.Start()
+	out, stats, err := optimizedExec(ex, sys, p, seq, opt)
+	return out, stats, ex.Seal(err)
+}
+
+func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) ([]Discovery, Stats, error) {
 	root, rest, err := p.validate()
 	if err != nil {
 		return nil, Stats{}, err
@@ -36,7 +51,9 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	stats := Stats{SequenceEvents: len(seq)}
 
 	// Step 1: discard inconsistent structures via approximate propagation.
-	prop, err := propagate.Run(sys, p.Structure, propagate.Options{})
+	stop := ex.Stage("mining.step1_consistency")
+	prop, err := propagate.RunExec(ex, sys, p.Structure, propagate.Options{})
+	stop()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -75,6 +92,11 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	// are discarded.)
 	work := seq
 	if !opt.DisableSequenceReduction {
+		stop := ex.Stage("mining.step2_reduce")
+		if err := ex.Step(int64(len(seq))); err != nil {
+			stop()
+			return nil, stats, err
+		}
 		req := requiredGranularities(p.Structure)
 		work = seq.Filter(func(e event.Event) bool {
 			for _, names := range req {
@@ -96,6 +118,7 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 			}
 			return false
 		})
+		stop()
 	}
 	stats.ReducedEvents = len(work)
 	index := event.NewIndex(work)
@@ -122,6 +145,7 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	// Step 3: prune reference occurrences whose derived windows are empty
 	// of events; the automaton can never complete from them.
 	if !opt.DisableReferencePruning {
+		stop := ex.Stage("mining.step3_refprune")
 		keep := func(i int) bool {
 			t0 := work[i].Time
 			for _, v := range rest {
@@ -137,6 +161,10 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 		}
 		var kept []int
 		for _, i := range refIdx {
+			if err := ex.Step(1); err != nil {
+				stop()
+				return nil, stats, err
+			}
 			if keep(i) {
 				kept = append(kept, i)
 			}
@@ -151,8 +179,10 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 			}
 			refByType[rt] = keptT
 		}
+		stop()
 	}
 	stats.ReferencesScanned = len(refIdx)
+	ex.Count("mining.refs.scanned", int64(len(refIdx)))
 
 	pools := p.pools(rest, work)
 	stats.CandidatesTotal = candidateSpace(rest, pools)
@@ -163,6 +193,7 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	// (anti-monotonicity: a frequent full assignment needs a frequent
 	// single-variable restriction).
 	if !opt.DisableCandidateScreening && len(refIdx) > 0 {
+		stop := ex.Stage("mining.step4_screen")
 		for _, v := range rest {
 			hi := winHi[v]
 			if hi == infiniteWindow {
@@ -170,6 +201,10 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 			}
 			var keep []event.Type
 			for _, typ := range pools[v] {
+				if err := ex.Step(int64(len(refIdx))); err != nil {
+					stop()
+					return nil, stats, err
+				}
 				hits := 0
 				for _, i := range refIdx {
 					t0 := work[i].Time
@@ -185,6 +220,7 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 			}
 			pools[v] = keep
 		}
+		stop()
 	}
 
 	// Step 4 (k=2): screen type pairs through induced sub-chains
@@ -193,6 +229,7 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	// the derived (X,Y) window after it.
 	banned := make(map[pairKey]bool)
 	if !opt.DisablePairScreening && len(refIdx) > 0 {
+		stop := ex.Stage("mining.step4_screen")
 		for _, x := range rest {
 			if winHi[x] == infiniteWindow {
 				continue
@@ -205,23 +242,28 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 				if !ok {
 					continue
 				}
-				for _, ex := range pools[x] {
-					for _, ey := range pools[y] {
+				for _, tx := range pools[x] {
+					for _, ty := range pools[y] {
+						if err := ex.Step(int64(len(refIdx))); err != nil {
+							stop()
+							return nil, stats, err
+						}
 						hits := 0
 						for _, i := range refIdx {
 							t0 := work[i].Time
-							if pairWitness(index, t0+winLo[x], t0+winHi[x], ex, lo2, hi2, ey) {
+							if pairWitness(index, t0+winLo[x], t0+winHi[x], tx, lo2, hi2, ty) {
 								hits++
 							}
 						}
 						if float64(hits)/float64(totalRefs) <= p.MinConfidence {
-							banned[pairKey{x, y, ex, ey}] = true
+							banned[pairKey{x, y, tx, ty}] = true
 							stats.ScreenedByK2++
 						}
 					}
 				}
 			}
 		}
+		stop()
 	}
 
 	if len(refIdx) == 0 {
@@ -248,6 +290,9 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	}
 	var jobs []job
 	err = enumerate(rest, pools, func(assign map[core.Variable]event.Type) error {
+		if err := ex.Step(1); err != nil {
+			return err
+		}
 		for key := range banned {
 			if assign[key.x] == key.ex && assign[key.y] == key.ey {
 				return nil
@@ -270,6 +315,9 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 		return nil, stats, err
 	}
 	stats.CandidatesScanned = len(jobs)
+	ex.Count("mining.candidates.scanned", int64(len(jobs)))
+	ex.Count("mining.screened.k1", int64(stats.ScreenedByK1))
+	ex.Count("mining.screened.k2", int64(stats.ScreenedByK2))
 
 	type scanResult struct {
 		matches int
@@ -280,8 +328,9 @@ func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt Pipel
 	scanOne := func(i int) {
 		j := jobs[i]
 		a := baseTAG.Relabel(j.full)
-		results[i].matches = countMatches(sys, a, work, refByType[j.rootType], scanWindow, &results[i].tagRuns)
+		results[i].matches, results[i].err = countMatchesExec(ex, sys, a, work, refByType[j.rootType], scanWindow, &results[i].tagRuns)
 	}
+	defer ex.Stage("mining.step5_scan")()
 	workers := opt.Workers
 	if workers <= 1 || len(jobs) < 2 {
 		for i := range jobs {

@@ -1,0 +1,79 @@
+package propagate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/granularity"
+)
+
+// TestRunInterrupted drives propagation into each interruption mode and
+// checks the typed error and its partial stats.
+func TestRunInterrupted(t *testing.T) {
+	sys := granularity.Default()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name   string
+		eng    func() engine.Config
+		reason string
+	}{
+		{"budget mid-round", func() engine.Config {
+			return engine.Config{Budget: 3, Observer: engine.NewCounters()}
+		}, "budget"},
+		{"cancelled context", func() engine.Config {
+			return engine.Config{Ctx: cancelled, CheckEvery: 1, Observer: engine.NewCounters()}
+		}, "context"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(sys, core.Fig1a(), Options{Engine: tc.eng()})
+			if !errors.Is(err, engine.ErrInterrupted) {
+				t.Fatalf("err = %v, want ErrInterrupted", err)
+			}
+			var ip *engine.Interrupted
+			if !errors.As(err, &ip) {
+				t.Fatalf("err %T, want *engine.Interrupted", err)
+			}
+			if ip.Reason != tc.reason {
+				t.Fatalf("reason %q, want %q", ip.Reason, tc.reason)
+			}
+			if ip.Steps <= 0 {
+				t.Fatalf("steps %d, want > 0", ip.Steps)
+			}
+			if ip.Stats == nil {
+				t.Fatal("partial stats missing")
+			}
+		})
+	}
+}
+
+// TestRunEngineCounters checks the unbounded instrumented run: same result
+// as the silent run, with rounds and relaxations recorded.
+func TestRunEngineCounters(t *testing.T) {
+	sys := granularity.Default()
+	c := engine.NewCounters()
+	r, err := Run(sys, core.Fig1a(), Options{Engine: engine.Config{Observer: c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Fatal("Fig1a must be consistent")
+	}
+	if c.Get("propagate.rounds") != int64(r.Iterations) {
+		t.Fatalf("propagate.rounds = %d, want %d", c.Get("propagate.rounds"), r.Iterations)
+	}
+	if c.Get("stp.relaxations") <= 0 {
+		t.Fatal("stp.relaxations not recorded")
+	}
+	silent, err := Run(sys, core.Fig1a(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if silent.Iterations != r.Iterations {
+		t.Fatalf("instrumented run diverged: %d vs %d iterations", r.Iterations, silent.Iterations)
+	}
+}

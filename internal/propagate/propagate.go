@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/granularity"
 	"repro/internal/stp"
 )
@@ -21,6 +22,11 @@ type Options struct {
 	// experiments use it, to measure how much precision the order group
 	// buys; disabling it keeps the algorithm sound but looser.
 	DisableOrderGroup bool
+	// Engine carries cancellation, the work budget (one unit per examined
+	// pair cell plus the STP relaxation rows beneath) and the observer
+	// ("propagate.rounds", "propagate.conversions", "propagate.tightened",
+	// "stp.relaxations"). The zero value is unbounded and silent.
+	Engine engine.Config
 }
 
 // DefaultMaxIterations is the fixpoint safety bound.
@@ -72,6 +78,18 @@ func (b Bound) String() string {
 // a requirement of the mining setting, not of consistency checking (the
 // Theorem-1 reduction gadgets have several source variables).
 func Run(sys *granularity.System, s *core.EventStructure, opt Options) (*Result, error) {
+	ex := opt.Engine.Start()
+	r, err := RunExec(ex, sys, s, opt)
+	return r, ex.Seal(err)
+}
+
+// RunExec is Run threaded through an already-started execution carrier, for
+// layers (exact, mining) that share one budget and observer across several
+// solver calls. opt.Engine is ignored here — ex governs. On interruption
+// the typed engine error is returned with a nil Result; the observer's
+// counters hold the partial stats.
+func RunExec(ex *engine.Exec, sys *granularity.System, s *core.EventStructure, opt Options) (*Result, error) {
+	defer ex.Stage("propagate")()
 	if !s.IsAcyclic() {
 		return nil, fmt.Errorf("propagate: event structure must be acyclic")
 	}
@@ -137,13 +155,24 @@ func Run(sys *granularity.System, s *core.EventStructure, opt Options) (*Result,
 	// needed — an O(n²)-per-derived-constraint improvement with identical
 	// results (the repair is property-tested equal to re-minimization).
 	for _, g := range grans {
-		if !r.groups[g].Minimize() {
+		ok, err := r.groups[g].MinimizeExec(ex)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			r.Consistent = false
 			return r, nil
 		}
 	}
+	conversions, tightened := int64(0), int64(0)
+	flush := func() {
+		ex.Count("propagate.conversions", conversions)
+		ex.Count("propagate.tightened", tightened)
+		conversions, tightened = 0, 0
+	}
 	for iter := 1; iter <= maxIter; iter++ {
 		r.Iterations = iter
+		ex.Count("propagate.rounds", 1)
 		// Step 2: translate each group's constraints into every feasible
 		// target group, repairing minimality as we go.
 		changed := false
@@ -152,14 +181,26 @@ func Run(sys *granularity.System, s *core.EventStructure, opt Options) (*Result,
 			conv := converters[p]
 			for i := 0; i < n; i++ {
 				for j := i + 1; j < n; j++ {
+					if err := ex.Step(1); err != nil {
+						flush()
+						return nil, err
+					}
 					lo, hi := src.Bounds(i, j)
 					if lo <= -stp.Inf && hi >= stp.Inf {
 						continue
 					}
 					nlo, nhi := conv.Interval(lo, hi)
+					conversions++
 					plo, phi := dst.Bounds(i, j)
 					if nlo > plo || nhi < phi {
-						if !dst.ConstrainRepair(i, j, nlo, nhi) {
+						ok, err := dst.ConstrainRepairExec(ex, i, j, nlo, nhi)
+						if err != nil {
+							flush()
+							return nil, err
+						}
+						tightened++
+						if !ok {
+							flush()
 							r.Consistent = false
 							return r, nil
 						}
@@ -169,9 +210,11 @@ func Run(sys *granularity.System, s *core.EventStructure, opt Options) (*Result,
 			}
 		}
 		if !changed {
+			flush()
 			return r, nil
 		}
 	}
+	flush()
 	return nil, fmt.Errorf("propagate: no fixpoint after %d iterations", maxIter)
 }
 

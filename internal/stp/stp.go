@@ -6,7 +6,11 @@
 // group.
 package stp
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
 
 // Inf is the distance-matrix infinity: no constraint. It is chosen so that
 // Add(Inf, anything finite) cannot overflow int64.
@@ -78,11 +82,27 @@ func negate(v int64) int64 {
 // It returns false when the network is inconsistent (a negative cycle
 // exists); the matrix contents are then unspecified.
 func (nw *Network) Minimize() bool {
+	ok, _ := nw.MinimizeExec(nil)
+	return ok
+}
+
+// MinimizeExec is Minimize under an execution carrier: each relaxation row
+// (one (k,i) pair of the Floyd–Warshall sweep) spends one budget unit, and
+// the number of distance improvements is reported on the "stp.relaxations"
+// counter. A budget or cancellation interruption returns the carrier's
+// typed error with the matrix left in a sound-but-possibly-non-minimal
+// state; the boolean is then meaningless.
+func (nw *Network) MinimizeExec(ex *engine.Exec) (bool, error) {
 	d := nw.d
 	n := nw.n
+	relaxed := int64(0)
 	for k := 0; k < n; k++ {
 		dk := d[k]
 		for i := 0; i < n; i++ {
+			if err := ex.Step(1); err != nil {
+				ex.Count("stp.relaxations", relaxed)
+				return false, err
+			}
 			dik := d[i][k]
 			if dik >= Inf {
 				continue
@@ -91,11 +111,13 @@ func (nw *Network) Minimize() bool {
 			for j := 0; j < n; j++ {
 				if v := Add(dik, dk[j]); v < di[j] {
 					di[j] = v
+					relaxed++
 				}
 			}
 		}
 	}
-	return nw.Consistent()
+	ex.Count("stp.relaxations", relaxed)
+	return nw.Consistent(), nil
 }
 
 // Consistent reports whether no variable has a negative self-distance. It
@@ -174,24 +196,39 @@ func (nw *Network) Solution() ([]int64, bool) {
 // Calling it on a non-minimal network is a programming error: the repair
 // only considers paths through the new arc.
 func (nw *Network) ConstrainRepair(i, j int, lo, hi int64) bool {
+	ok, _ := nw.ConstrainRepairExec(nil, i, j, lo, hi)
+	return ok
+}
+
+// ConstrainRepairExec is ConstrainRepair under an execution carrier: each
+// repaired arc spends n budget units (the row sweep's size) and
+// improvements land on "stp.relaxations". On interruption the matrix is
+// sound but possibly non-minimal, and the typed carrier error is returned.
+func (nw *Network) ConstrainRepairExec(ex *engine.Exec, i, j int, lo, hi int64) (bool, error) {
 	if i < 0 || j < 0 || i >= nw.n || j >= nw.n {
 		panic(fmt.Sprintf("stp: index out of range (%d,%d) with n=%d", i, j, nw.n))
 	}
 	ok := true
 	if hi < nw.d[i][j] {
-		ok = nw.repairOne(i, j, hi) && ok
+		if err := ex.Step(int64(nw.n)); err != nil {
+			return false, err
+		}
+		ok = nw.repairOne(ex, i, j, hi) && ok
 	}
 	if neg := negate(lo); neg < nw.d[j][i] {
-		ok = nw.repairOne(j, i, neg) && ok
+		if err := ex.Step(int64(nw.n)); err != nil {
+			return false, err
+		}
+		ok = nw.repairOne(ex, j, i, neg) && ok
 	}
-	return ok
+	return ok, nil
 }
 
 // repairOne lowers d[i][j] to w and propagates: d[a][b] may improve only
 // via a path a..i -> j..b. Row i itself is handled by the sweep (a == i
 // with d[i][i] == 0 triggers it), so d[i][j] must NOT be pre-assigned —
 // that would mask row i's update.
-func (nw *Network) repairOne(i, j int, w int64) bool {
+func (nw *Network) repairOne(ex *engine.Exec, i, j int, w int64) bool {
 	d := nw.d
 	if i == j {
 		if w < d[i][i] {
@@ -199,6 +236,7 @@ func (nw *Network) repairOne(i, j int, w int64) bool {
 		}
 		return nw.Consistent()
 	}
+	relaxed := int64(0)
 	dj := d[j]
 	for a := 0; a < nw.n; a++ {
 		ai := d[a][i]
@@ -211,11 +249,14 @@ func (nw *Network) repairOne(i, j int, w int64) bool {
 		}
 		da := d[a]
 		da[j] = aj
+		relaxed++
 		for b := 0; b < nw.n; b++ {
 			if v := Add(aj, dj[b]); v < da[b] {
 				da[b] = v
+				relaxed++
 			}
 		}
 	}
+	ex.Count("stp.relaxations", relaxed)
 	return nw.Consistent()
 }

@@ -1,0 +1,125 @@
+package tag
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestAcceptsExecInterrupted drives a batch run into each interruption mode
+// and checks the typed error plus partial stats.
+func TestAcceptsExecInterrupted(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fig1aScenario()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		eng  func() engine.Config
+		// wantEvents: a pre-cancelled context trips before the first
+		// event is tallied, so only the budget case sees tag.events.
+		reason     string
+		wantEvents bool
+	}{
+		{"budget mid-sequence", func() engine.Config {
+			return engine.Config{Budget: 3, Observer: engine.NewCounters()}
+		}, "budget", true},
+		{"cancelled context", func() engine.Config {
+			return engine.Config{Ctx: cancelled, CheckEvery: 1, Observer: engine.NewCounters()}
+		}, "context", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.eng()
+			ex := cfg.Start()
+			ok, _, err := a.AcceptsExec(ex, sys, seq, RunOptions{})
+			err = ex.Seal(err)
+			if ok {
+				t.Fatal("interrupted run reported acceptance")
+			}
+			if !errors.Is(err, engine.ErrInterrupted) {
+				t.Fatalf("err = %v, want ErrInterrupted", err)
+			}
+			var ip *engine.Interrupted
+			if !errors.As(err, &ip) {
+				t.Fatalf("err %T, want *engine.Interrupted", err)
+			}
+			if ip.Reason != tc.reason {
+				t.Fatalf("reason %q, want %q", ip.Reason, tc.reason)
+			}
+			if ip.Steps <= 0 {
+				t.Fatalf("steps %d, want > 0", ip.Steps)
+			}
+			if ip.Stats == nil {
+				t.Fatal("partial stats missing")
+			}
+			if tc.wantEvents && ip.Stats["tag.events"] <= 0 {
+				t.Fatalf("stats %v, want tag.events > 0", ip.Stats)
+			}
+		})
+	}
+}
+
+// TestAcceptsInterruptedGraceful pins the untyped entry points: like the
+// MaxFrontier valve, an interrupted Accepts/FindOccurrence reports
+// non-acceptance instead of an error.
+func TestAcceptsInterruptedGraceful(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fig1aScenario()
+	opt := RunOptions{Engine: engine.Config{Budget: 3}}
+	if ok, _ := a.Accepts(sys, seq, opt); ok {
+		t.Fatal("budget-starved Accepts reported acceptance")
+	}
+	if _, ok, _ := a.FindOccurrence(sys, seq, opt); ok {
+		t.Fatal("budget-starved FindOccurrence reported a witness")
+	}
+	// Unbounded, the same sequence is accepted.
+	if ok, _ := a.Accepts(sys, seq, RunOptions{}); !ok {
+		t.Fatal("unbounded Accepts must still accept")
+	}
+}
+
+// TestRunnerInterrupted checks the streaming layer: a starved Runner rejects
+// further events and exposes the typed error via Err.
+func TestRunnerInterrupted(t *testing.T) {
+	ct, _ := core.NewComplexType(core.Fig1a(), core.Example1Assignment())
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fig1aScenario()
+	r := a.NewRunner(sys, RunOptions{Engine: engine.Config{Budget: 3, Observer: engine.NewCounters()}})
+	interrupted := false
+	for _, e := range seq {
+		if _, ok := r.Feed(e); !ok {
+			interrupted = true
+			break
+		}
+	}
+	if !interrupted {
+		t.Fatal("budget of 3 never tripped over the scenario")
+	}
+	if !errors.Is(r.Err(), engine.ErrInterrupted) {
+		t.Fatalf("Err() = %v, want ErrInterrupted", r.Err())
+	}
+	// Sticky: the next Feed is also refused.
+	if _, ok := r.Feed(seq[len(seq)-1]); ok {
+		t.Fatal("interrupted runner accepted another event")
+	}
+	// An unbounded runner is unaffected.
+	r2 := a.NewRunner(sys, RunOptions{})
+	if r2.Err() != nil {
+		t.Fatalf("fresh unbounded runner Err() = %v", r2.Err())
+	}
+}

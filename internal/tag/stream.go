@@ -1,6 +1,7 @@
 package tag
 
 import (
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 )
@@ -28,6 +29,8 @@ type Runner struct {
 	binding  map[string]int
 	maxFront int
 	prevTime int64
+	ex       *engine.Exec
+	err      error
 }
 
 // NewRunner starts an online simulation.
@@ -41,6 +44,7 @@ func (a *TAG) NewRunner(sys *granularity.System, opt RunOptions) *Runner {
 		curOK:    make([]bool, len(a.clocks)),
 		prevOK:   make([]bool, len(a.clocks)),
 		progress: make([][]Transition, len(a.trans)),
+		ex:       opt.Engine.Start(),
 	}
 	for s, ts := range a.trans {
 		for _, t := range ts {
@@ -78,6 +82,11 @@ func (r *Runner) Steps() int { return r.steps }
 // MaxFrontier returns the peak deduplicated run count.
 func (r *Runner) MaxFrontier() int { return r.maxFront }
 
+// Err returns the opt.Engine interruption that stopped the simulation, or
+// nil. Once set, further feeding is refused with ok=false; the error
+// matches engine.ErrInterrupted and carries the partial stats.
+func (r *Runner) Err() error { return r.err }
+
 // Feed consumes one event and reports whether the automaton has accepted
 // (sticky: once true, further feeding is a no-op). Events must arrive in
 // non-decreasing timestamp order; out-of-order events are rejected with
@@ -86,9 +95,18 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 	if r.accepted {
 		return true, true
 	}
+	if r.err != nil {
+		return false, false
+	}
 	if r.steps > 0 && e.Time < r.prevTime {
 		return false, false
 	}
+	if err := r.ex.Step(1 + int64(len(r.frontier))); err != nil {
+		r.err = r.ex.Seal(err)
+		return false, false
+	}
+	r.ex.Count("tag.events", 1)
+	r.ex.Count("tag.runs.alive", int64(len(r.frontier)))
 	idx := r.steps
 	r.steps++
 	copy(r.prevOK, r.curOK)
@@ -163,9 +181,14 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 				return true, true
 			}
 			if r.a.runDoomed(&nr, r.curCover, r.curOK, r.progress[nr.state]) {
+				r.ex.Count("tag.runs.killed", 1)
 				continue
 			}
-			next[nr.key()] = nr
+			k := nr.key()
+			if _, dup := next[k]; dup {
+				r.ex.Count("tag.runs.deduped", 1)
+			}
+			next[k] = nr
 		}
 	}
 	r.frontier = next

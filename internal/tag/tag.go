@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 )
@@ -134,6 +135,14 @@ type RunOptions struct {
 	// MaxFrontier caps the deduplicated run-set size as a safety valve;
 	// 0 means unlimited.
 	MaxFrontier int
+	// Engine bounds and observes the simulation. The zero value is
+	// unbounded and silent. Each consumed event spends one budget unit plus
+	// one per live run processed; counters report "tag.events" and the
+	// cumulative "tag.runs.alive" / "tag.runs.deduped" / "tag.runs.killed".
+	// Accepts and FindOccurrence treat an interruption like the MaxFrontier
+	// safety valve — they stop and report non-acceptance with partial stats;
+	// use AcceptsExec / FindOccurrenceExec to receive the typed error.
+	Engine engine.Config
 }
 
 // RunStats reports simulation effort for the Theorem-4 experiments.
@@ -213,19 +222,46 @@ func (a *TAG) runDoomed(r *runState, curCover []int64, curOK []bool, progress []
 // acceptance coincide; stopping at the first acceptance is an optimization,
 // not a semantic change.)
 func (a *TAG) Accepts(sys *granularity.System, seq event.Sequence, opt RunOptions) (bool, RunStats) {
-	_, ok, stats := a.run(sys, seq, opt, false)
+	ex := opt.Engine.Start()
+	_, ok, stats, err := a.run(ex, sys, seq, opt, false)
+	ex.Seal(err)
+	if err != nil {
+		return false, stats
+	}
 	return ok, stats
+}
+
+// AcceptsExec is Accepts under a caller-supplied execution carrier
+// (opt.Engine is ignored). Unlike Accepts, an interruption surfaces as the
+// carrier's typed error alongside the partial stats.
+func (a *TAG) AcceptsExec(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions) (bool, RunStats, error) {
+	_, ok, stats, err := a.run(ex, sys, seq, opt, false)
+	return ok, stats, ex.Seal(err)
 }
 
 // FindOccurrence is Accepts returning a witness: the index in seq of the
 // event bound to each variable of the accepting run (for compiled TAGs,
 // the variables of the source structure). ok is false when the automaton
-// rejects.
+// rejects. An opt.Engine interruption reports ok=false with partial stats.
 func (a *TAG) FindOccurrence(sys *granularity.System, seq event.Sequence, opt RunOptions) (map[string]int, bool, RunStats) {
-	return a.run(sys, seq, opt, true)
+	ex := opt.Engine.Start()
+	w, ok, stats, err := a.run(ex, sys, seq, opt, true)
+	ex.Seal(err)
+	if err != nil {
+		return nil, false, stats
+	}
+	return w, ok, stats
 }
 
-func (a *TAG) run(sys *granularity.System, seq event.Sequence, opt RunOptions, witness bool) (map[string]int, bool, RunStats) {
+// FindOccurrenceExec is FindOccurrence under a caller-supplied execution
+// carrier (opt.Engine is ignored); interruptions surface as the carrier's
+// typed error.
+func (a *TAG) FindOccurrenceExec(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions) (map[string]int, bool, RunStats, error) {
+	w, ok, stats, err := a.run(ex, sys, seq, opt, true)
+	return w, ok, stats, ex.Seal(err)
+}
+
+func (a *TAG) run(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions, witness bool) (map[string]int, bool, RunStats, error) {
 	stats := RunStats{AcceptedAt: -1}
 	frontier := make(map[string]runState)
 	addRun := func(r runState) {
@@ -234,7 +270,7 @@ func (a *TAG) run(sys *granularity.System, seq event.Sequence, opt RunOptions, w
 	for _, s := range a.starts {
 		if a.accept[s] {
 			stats.AcceptedAt = 0
-			return map[string]int{}, true, stats
+			return map[string]int{}, true, stats, nil
 		}
 		addRun(runState{
 			state:   s,
@@ -261,7 +297,21 @@ func (a *TAG) run(sys *granularity.System, seq event.Sequence, opt RunOptions, w
 		}
 	}
 
+	var events, alive, deduped, killed int64
+	flush := func() {
+		ex.Count("tag.events", events)
+		ex.Count("tag.runs.alive", alive)
+		ex.Count("tag.runs.deduped", deduped)
+		ex.Count("tag.runs.killed", killed)
+		events, alive, deduped, killed = 0, 0, 0, 0
+	}
 	for idx, e := range seq {
+		if err := ex.Step(1 + int64(len(frontier))); err != nil {
+			flush()
+			return nil, false, stats, err
+		}
+		events++
+		alive += int64(len(frontier))
 		stats.Steps++
 		copy(prevOK, curOK)
 		for ci, c := range a.clocks {
@@ -341,12 +391,18 @@ func (a *TAG) run(sys *granularity.System, seq event.Sequence, opt RunOptions, w
 					if len(next) > stats.MaxFrontier {
 						stats.MaxFrontier = len(next)
 					}
-					return nr.binding, true, stats
+					flush()
+					return nr.binding, true, stats, nil
 				}
 				if a.runDoomed(&nr, curCover, curOK, progress[nr.state]) {
+					killed++
 					continue
 				}
-				next[nr.key()] = nr
+				k := nr.key()
+				if _, dup := next[k]; dup {
+					deduped++
+				}
+				next[k] = nr
 			}
 		}
 		frontier = next
@@ -362,5 +418,6 @@ func (a *TAG) run(sys *granularity.System, seq event.Sequence, opt RunOptions, w
 			break
 		}
 	}
-	return nil, false, stats
+	flush()
+	return nil, false, stats, nil
 }

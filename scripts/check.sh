@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification: build, vet, tests with the race detector.
+# `make check` runs this; it is what CI should run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> go build ./...'
+go build ./...
+echo '>> go vet ./...'
+go vet ./...
+echo '>> gofmt -l .'
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+echo '>> go test -race ./...'
+go test -race ./...
+echo 'check: OK'

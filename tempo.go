@@ -31,6 +31,7 @@ package tempo
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/episode"
 	"repro/internal/event"
 	"repro/internal/exact"
@@ -96,6 +97,35 @@ type (
 	RunOptions = tag.RunOptions
 	// RunStats reports TAG simulation effort.
 	RunStats = tag.RunStats
+)
+
+// Execution engine: every solver Options struct embeds an EngineConfig
+// whose zero value is unbounded and silent. Configure a context, a step
+// budget, or an observer to make long solves cancellable, bounded and
+// measurable; interrupted solves return an error matching ErrInterrupted
+// that carries partial stats.
+type (
+	// EngineConfig bounds and observes one solver call.
+	EngineConfig = engine.Config
+	// EngineExec is the execution carrier layers thread through; built by
+	// EngineConfig.Start.
+	EngineExec = engine.Exec
+	// EngineObserver receives counters and stage timings.
+	EngineObserver = engine.Observer
+	// EngineCounters is the standard observer: named counters plus stage
+	// timers, with a printable table.
+	EngineCounters = engine.Counters
+	// Interrupted is the typed error of a budget- or context-interrupted
+	// solve, carrying partial stats.
+	Interrupted = engine.Interrupted
+)
+
+// Engine helpers.
+var (
+	// ErrInterrupted matches every interruption under errors.Is.
+	ErrInterrupted = engine.ErrInterrupted
+	// NewEngineCounters returns an empty counter set.
+	NewEngineCounters = engine.NewCounters
 )
 
 // Mining layer.
