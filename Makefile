@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments
+.PHONY: build test check bench experiments fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: build + vet + gofmt + race-enabled tests.
+# Full gate: build + vet + gofmt + race-enabled tests + short fuzz burst.
 check:
 	sh scripts/check.sh
+
+# Run every native fuzz target for a short burst (FUZZTIME=10s by default).
+fuzz-smoke:
+	sh scripts/fuzz_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

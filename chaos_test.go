@@ -1,0 +1,370 @@
+package tempo_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	tempo "repro"
+	"repro/internal/hardness"
+)
+
+// chaos_test.go sweeps deterministic fault injection across every solver
+// layer: for each operation it measures the total work W an uninterrupted
+// run spends, then re-runs the operation with a fault planted at (a dense
+// sample of) every interior work unit, asserting the three resilience
+// invariants — no panic, a typed ErrInterrupted with reason "fault", and no
+// silently truncated result. For the stateful layers (streaming TAG,
+// mining) it additionally proves the recovery guarantee: checkpointing at
+// the fault and resuming yields exactly the uninterrupted outcome.
+
+// findWork binary-searches the smallest budget under which op completes;
+// that is the total work of the uninterrupted run, and every fault planted
+// in [1, W] must trip.
+func findWork(t *testing.T, name string, op func(tempo.EngineConfig) error) int64 {
+	t.Helper()
+	hi := int64(1)
+	for ; hi < 1<<30; hi *= 2 {
+		if op(tempo.EngineConfig{Budget: hi}) == nil {
+			break
+		}
+	}
+	if hi >= 1<<30 {
+		t.Fatalf("%s: does not complete within 2^30 work units", name)
+	}
+	lo := hi/2 + 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if op(tempo.EngineConfig{Budget: mid}) == nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+// sweepFaults plants a fault at every stride-th work unit in [1, W] and
+// checks each run dies with the typed fault interruption.
+func sweepFaults(t *testing.T, name string, w int64, op func(tempo.EngineConfig) error) {
+	t.Helper()
+	stride := w / 256
+	if stride < 1 {
+		stride = 1
+	}
+	for n := int64(1); n <= w; n += stride {
+		err := op(tempo.EngineConfig{Fault: &tempo.FaultPlan{TripAt: n}})
+		if err == nil {
+			t.Fatalf("%s: fault at unit %d/%d did not interrupt", name, n, w)
+		}
+		if !errors.Is(err, tempo.ErrInterrupted) {
+			t.Fatalf("%s: fault at unit %d surfaced untyped: %v", name, n, err)
+		}
+		var ip *tempo.Interrupted
+		if !errors.As(err, &ip) {
+			t.Fatalf("%s: fault at unit %d: error %T lacks Interrupted", name, n, err)
+		}
+		if ip.Reason != "fault" {
+			t.Fatalf("%s: fault at unit %d reported reason %q", name, n, ip.Reason)
+		}
+	}
+}
+
+func TestChaosPropagate(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	op := func(cfg tempo.EngineConfig) error {
+		res, err := tempo.Propagate(sys, tempo.Fig1a(), tempo.PropagateOptions{Engine: cfg})
+		if err != nil && res != nil {
+			t.Fatalf("interrupted propagation leaked a result")
+		}
+		return err
+	}
+	w := findWork(t, "propagate", op)
+	sweepFaults(t, "propagate", w, op)
+}
+
+func TestChaosExact(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	in := hardness.Generate(3, true, 43)
+	s, err := hardness.Reduce(in, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := hardness.Horizon(in)
+	op := func(cfg tempo.EngineConfig) error {
+		v, err := tempo.SolveExact(sys, s, tempo.ExactOptions{Start: start, End: end, Engine: cfg})
+		if err != nil && v != nil {
+			t.Fatalf("interrupted exact solve leaked a verdict")
+		}
+		return err
+	}
+	w := findWork(t, "exact", op)
+	sweepFaults(t, "exact", w, op)
+}
+
+// chaosTAG builds a small automaton and a sequence it accepts at the final
+// event, so every interior fault lands mid-scan.
+func chaosTAG(t *testing.T) (*tempo.TAG, tempo.Sequence) {
+	t.Helper()
+	s := tempo.NewStructure()
+	s.MustConstrain("A", "B", tempo.MustTCG(0, 0, "day"), tempo.MustTCG(2, 23, "hour"))
+	ct, err := tempo.NewComplexType(s, map[tempo.Variable]tempo.EventType{
+		"A": "deposit", "B": "withdrawal",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tempo.CompileTAG(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq tempo.Sequence
+	t0 := tempo.At(1996, 6, 3, 8, 0, 0)
+	for i := 0; i < 8; i++ {
+		seq = append(seq, tempo.Event{Type: "noise", Time: t0 + int64(i)*1800})
+	}
+	seq = append(seq,
+		tempo.Event{Type: "deposit", Time: tempo.At(1996, 6, 3, 9, 0, 0)},
+		tempo.Event{Type: "noise", Time: tempo.At(1996, 6, 3, 10, 0, 0)},
+		tempo.Event{Type: "withdrawal", Time: tempo.At(1996, 6, 3, 14, 0, 0)},
+	)
+	seq.Sort()
+	return a, seq
+}
+
+func TestChaosTAGBatch(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	a, seq := chaosTAG(t)
+	op := func(cfg tempo.EngineConfig) error {
+		ex := cfg.Start()
+		ok, _, err := a.AcceptsExec(ex, sys, seq, tempo.RunOptions{})
+		if err != nil && ok {
+			t.Fatalf("interrupted batch scan claimed acceptance")
+		}
+		if err == nil && !ok {
+			t.Fatalf("uninterrupted batch scan must accept")
+		}
+		return err
+	}
+	w := findWork(t, "tag-batch", op)
+	sweepFaults(t, "tag-batch", w, op)
+}
+
+func bindingString(b map[string]int) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d;", k, b[k])
+	}
+	return sb.String()
+}
+
+// TestChaosTAGStreaming faults the online Runner at every interior work
+// unit; at each fault it snapshots, restores under a clean engine, feeds the
+// remaining events, and requires the acceptance event and witness binding to
+// equal the uninterrupted run's.
+func TestChaosTAGStreaming(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	a, seq := chaosTAG(t)
+
+	feedFrom := func(r *tempo.TAGRunner, from int) (int, bool) {
+		for i := from; i < len(seq); i++ {
+			acc, ok := r.Feed(seq[i])
+			if !ok {
+				return i, false
+			}
+			if acc {
+				break
+			}
+		}
+		return len(seq), true
+	}
+
+	base := a.NewRunner(sys, tempo.RunOptions{})
+	if _, done := feedFrom(base, 0); !done {
+		t.Fatal("unbounded streaming run was interrupted")
+	}
+	if !base.Accepted() {
+		t.Fatal("uninterrupted streaming run must accept")
+	}
+	wantSteps, wantBinding := base.Steps(), bindingString(base.Binding())
+
+	// Work of the uninterrupted stream, via a budgeted probe.
+	op := func(cfg tempo.EngineConfig) error {
+		r := a.NewRunner(sys, tempo.RunOptions{Engine: cfg})
+		if _, done := feedFrom(r, 0); !done {
+			return r.Err()
+		}
+		return nil
+	}
+	w := findWork(t, "tag-stream", op)
+
+	for n := int64(1); n <= w; n++ {
+		r := a.NewRunner(sys, tempo.RunOptions{Engine: tempo.EngineConfig{Fault: &tempo.FaultPlan{TripAt: n}}})
+		at, done := feedFrom(r, 0)
+		if done {
+			if n < w {
+				t.Fatalf("fault at %d/%d never tripped", n, w)
+			}
+			continue
+		}
+		if r.LastReject() != tempo.TAGRejectInterrupt {
+			t.Fatalf("fault at %d: reject reason %v", n, r.LastReject())
+		}
+		if !errors.Is(r.Err(), tempo.ErrInterrupted) {
+			t.Fatalf("fault at %d: untyped error %v", n, r.Err())
+		}
+		cp, err := r.Snapshot()
+		if err != nil {
+			t.Fatalf("fault at %d: snapshot: %v", n, err)
+		}
+		if cp.Steps != at {
+			t.Fatalf("fault at %d: snapshot at step %d, rejection at event %d", n, cp.Steps, at)
+		}
+		r2, err := tempo.RestoreTAGRunner(a, sys, tempo.RunOptions{}, &cp)
+		if err != nil {
+			t.Fatalf("fault at %d: restore: %v", n, err)
+		}
+		if _, done := feedFrom(r2, cp.Steps); !done {
+			t.Fatalf("fault at %d: clean resume interrupted", n)
+		}
+		if !r2.Accepted() || r2.Steps() != wantSteps || bindingString(r2.Binding()) != wantBinding {
+			t.Fatalf("fault at %d: resume diverged: accepted=%v steps=%d binding=%q, want steps=%d binding=%q",
+				n, r2.Accepted(), r2.Steps(), bindingString(r2.Binding()), wantSteps, wantBinding)
+		}
+	}
+}
+
+// chaosMiningProblem is a deliberately tiny discovery problem so the fault
+// sweep stays fast.
+func chaosMiningProblem() (tempo.Problem, tempo.Sequence) {
+	s := tempo.NewStructure()
+	s.MustConstrain("X0", "X1", tempo.MustTCG(0, 0, "day"))
+	var seq tempo.Sequence
+	day := tempo.At(1996, 6, 3, 0, 0, 0)
+	for d := 0; d < 5; d++ {
+		t0 := day + int64(d)*86400
+		seq = append(seq, tempo.Event{Type: "A", Time: t0 + 9*3600})
+		seq = append(seq, tempo.Event{Type: "B", Time: t0 + 11*3600})
+		if d%2 == 0 {
+			seq = append(seq, tempo.Event{Type: "C", Time: t0 + 15*3600})
+		}
+	}
+	seq.Sort()
+	return tempo.Problem{Structure: s, MinConfidence: 0.5, Reference: "A"}, seq
+}
+
+func discoveryKeys(ds []tempo.Discovery) []string {
+	out := make([]string, 0, len(ds))
+	for _, d := range ds {
+		vars := make([]string, 0, len(d.Assign))
+		for v := range d.Assign {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		var sb strings.Builder
+		for _, v := range vars {
+			fmt.Fprintf(&sb, "%s=%s;", v, d.Assign[tempo.Variable(v)])
+		}
+		fmt.Fprintf(&sb, "m=%d", d.Matches)
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestChaosMining faults the optimized pipeline at every interior work unit
+// and proves the full recovery loop: typed error, checkpoint, resume,
+// identical discovery set.
+func TestChaosMining(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	p, seq := chaosMiningProblem()
+	want, _, cp0, err := tempo.MineOptimizedCheckpoint(sys, p, seq, tempo.PipelineOptions{})
+	if err != nil || cp0 != nil {
+		t.Fatalf("unbounded mine: err=%v cp=%v", err, cp0)
+	}
+	if len(want) == 0 {
+		t.Fatal("uninterrupted mine found nothing; test is vacuous")
+	}
+	wantKeys := discoveryKeys(want)
+
+	op := func(cfg tempo.EngineConfig) error {
+		ds, _, _, err := tempo.MineOptimizedCheckpoint(sys, p, seq, tempo.PipelineOptions{Engine: cfg})
+		if err != nil && ds != nil {
+			t.Fatalf("interrupted mine leaked discoveries")
+		}
+		return err
+	}
+	w := findWork(t, "mining", op)
+
+	stride := w / 128
+	if stride < 1 {
+		stride = 1
+	}
+	for n := int64(1); n <= w; n += stride {
+		ds, _, cp, err := tempo.MineOptimizedCheckpoint(sys, p, seq, tempo.PipelineOptions{
+			Engine: tempo.EngineConfig{Fault: &tempo.FaultPlan{TripAt: n}},
+		})
+		if err == nil {
+			if n < w {
+				t.Fatalf("fault at %d/%d did not interrupt", n, w)
+			}
+			continue
+		}
+		if !errors.Is(err, tempo.ErrInterrupted) {
+			t.Fatalf("fault at %d: untyped error %v", n, err)
+		}
+		var ip *tempo.Interrupted
+		if !errors.As(err, &ip) || ip.Reason != "fault" {
+			t.Fatalf("fault at %d: want fault reason, got %v", n, err)
+		}
+		if ds != nil {
+			t.Fatalf("fault at %d: interrupted mine leaked discoveries", n)
+		}
+		if cp == nil {
+			t.Fatalf("fault at %d: no checkpoint", n)
+		}
+		got, _, cp2, err := tempo.MineResume(sys, p, seq, tempo.PipelineOptions{}, cp)
+		if err != nil {
+			t.Fatalf("fault at %d: resume: %v", n, err)
+		}
+		if cp2 != nil {
+			t.Fatalf("fault at %d: clean resume returned a checkpoint", n)
+		}
+		gotKeys := discoveryKeys(got)
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("fault at %d: discovery sets differ: %v vs %v", n, gotKeys, wantKeys)
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("fault at %d: discovery sets differ: %v vs %v", n, gotKeys, wantKeys)
+			}
+		}
+	}
+}
+
+// TestChaosEvery checks the repeating fault mode: with Every set, a long
+// scan dies at a seeded pseudo-random point in each window, and identical
+// seeds reproduce the same interruption step.
+func TestChaosEvery(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	a, seq := chaosTAG(t)
+	steps := func(seed int64) int64 {
+		ex := tempo.EngineConfig{Fault: &tempo.FaultPlan{Every: 7, Seed: seed}}.Start()
+		_, _, err := a.AcceptsExec(ex, sys, seq, tempo.RunOptions{})
+		var ip *tempo.Interrupted
+		if !errors.As(err, &ip) || ip.Reason != "fault" {
+			t.Fatalf("seed %d: want fault interruption, got %v", seed, err)
+		}
+		return ip.Steps
+	}
+	if a, b := steps(5), steps(5); a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+}

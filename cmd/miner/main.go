@@ -10,6 +10,12 @@
 // pipeline and print the engine counter table; an interrupted mine reports
 // INTERRUPTED with the work done so far instead of failing.
 //
+// With -checkpoint FILE (optimized pipeline only), an interrupted mine
+// writes a resumable snapshot of its per-candidate scan progress to FILE,
+// and a later invocation with the same flags loads it and continues —
+// reporting exactly the discovery set an uninterrupted mine would have. The
+// file is removed once the mine completes.
+//
 // A spec with an "assign" entry restricts the candidate pool of the listed
 // variables (the paper's Φ); assign the root only via -ref.
 package main
@@ -36,16 +42,17 @@ func main() {
 	naive := flag.Bool("naive", false, "use the naive algorithm instead of the optimized pipeline")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	explain := flag.Int("explain", 0, "print up to N witness occurrences per discovery")
+	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *tau, *naive, *explain, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *checkpoint, *tau, *naive, *explain, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "miner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag string, tau float64, naive bool, explain int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive bool, explain int, ef *cli.EngineFlags) error {
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
 	if err != nil {
@@ -92,11 +99,41 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag string, t
 		return fmt.Errorf("either -problem, or -spec and -ref, are required")
 	}
 
+	if cpPath != "" && naive {
+		return fmt.Errorf("-checkpoint requires the optimized pipeline (drop -naive)")
+	}
 	var ds []mining.Discovery
 	var stats mining.Stats
-	if naive {
+	switch {
+	case naive:
 		ds, stats, err = mining.Naive(sys, p, seq)
-	} else {
+	case cpPath != "":
+		opt.Engine = ef.Config()
+		var cp, next *mining.Checkpoint
+		loaded, lerr := cli.LoadCheckpoint(cpPath, func(rd io.Reader) error {
+			var derr error
+			cp, derr = mining.DecodeCheckpoint(rd)
+			return derr
+		})
+		if lerr != nil {
+			return lerr
+		}
+		if loaded {
+			fmt.Fprintf(out, "resumed from %s (stage %s)\n", cpPath, cp.Stage)
+			ds, stats, next, err = mining.Resume(sys, p, seq, opt, cp)
+		} else {
+			ds, stats, next, err = mining.OptimizedCheckpoint(sys, p, seq, opt)
+		}
+		if next != nil {
+			if serr := cli.SaveCheckpoint(cpPath, next.Encode); serr != nil {
+				return serr
+			}
+			fmt.Fprintf(out, "checkpoint written to %s (stage %s)\n", cpPath, next.Stage)
+		} else if err == nil {
+			// The mine finished; a leftover snapshot would resume a done run.
+			os.Remove(cpPath)
+		}
+	default:
 		opt.Engine = ef.Config()
 		ds, stats, err = mining.Optimized(sys, p, seq, opt)
 	}

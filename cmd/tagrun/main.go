@@ -9,6 +9,12 @@
 // and print the engine counter table; an interrupted scan reports
 // INTERRUPTED with the work done so far instead of failing.
 //
+// With -checkpoint FILE (unanchored runs only), an interrupted scan writes a
+// resumable snapshot to FILE before exiting, and a later invocation with the
+// same flags loads it and continues where the scan stopped — reporting
+// acceptance at the same event with the same witness binding as an
+// uninterrupted run. The file is removed once the scan completes.
+//
 // The spec must carry an "assign" map typing every variable. The sequence
 // file holds one "<timestamp> <type>" pair per line. Without -anchor, the
 // automaton scans the whole sequence once and reports acceptance; with
@@ -21,10 +27,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/granularity"
 	"repro/internal/tag"
 )
 
@@ -36,16 +44,17 @@ func main() {
 	strict := flag.Bool("strict", false, "use the paper's strict gap semantics")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	dot := flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
+	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *printTAG, *strict, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *checkpoint, *printTAG, *strict, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tagrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, printTAG, strict bool, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict bool, ef *cli.EngineFlags) error {
 	eng := ef.Config()
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
@@ -97,21 +106,10 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, pr
 	}
 
 	if anchor == "" {
-		ex := eng.Start()
-		ok, stats, err := a.AcceptsExec(ex, sys, seq, tag.RunOptions{Strict: strict})
-		if err != nil {
-			if cli.ReportInterrupted(out, err) {
-				return nil
-			}
-			return err
-		}
-		fmt.Fprintf(out, "events=%d accepted=%v steps=%d maxFrontier=%d\n",
-			len(seq), ok, stats.Steps, stats.MaxFrontier)
-		if ok {
-			fmt.Fprintf(out, "first acceptance at event index %d (%s)\n",
-				stats.AcceptedAt, event.Civil(seq[stats.AcceptedAt].Time))
-		}
-		return nil
+		return runStream(out, a, sys, seq, tag.RunOptions{Strict: strict, Engine: eng}, cpPath)
+	}
+	if cpPath != "" {
+		return fmt.Errorf("-checkpoint is only supported for unanchored runs (drop -anchor)")
 	}
 
 	ex := eng.Start()
@@ -139,5 +137,94 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath string, pr
 	}
 	fmt.Fprintf(out, "references=%d matches=%d frequency=%.3f\n",
 		refs, matches, float64(matches)/float64(refs))
+	return nil
+}
+
+// runStream drives the unanchored scan as an online Runner so it can be
+// checkpointed: if cpPath holds a snapshot the scan resumes from it, and an
+// engine interruption writes a fresh snapshot there before reporting.
+func runStream(out io.Writer, a *tag.TAG, sys *granularity.System, seq event.Sequence, opt tag.RunOptions, cpPath string) error {
+	var r *tag.Runner
+	skip := 0
+	if cpPath != "" {
+		var cp *tag.Checkpoint
+		loaded, err := cli.LoadCheckpoint(cpPath, func(rd io.Reader) error {
+			var derr error
+			cp, derr = tag.DecodeCheckpoint(rd)
+			return derr
+		})
+		if err != nil {
+			return err
+		}
+		if loaded {
+			r, err = tag.RestoreRunner(a, sys, opt, cp)
+			if err != nil {
+				return err
+			}
+			skip = cp.Steps
+			if skip > len(seq) {
+				return fmt.Errorf("checkpoint consumed %d events but the sequence has %d", skip, len(seq))
+			}
+			fmt.Fprintf(out, "resumed from %s at event %d\n", cpPath, skip)
+		}
+	}
+	if r == nil {
+		r = a.NewRunner(sys, opt)
+	}
+	for _, e := range seq[skip:] {
+		acc, ok := r.Feed(e)
+		if !ok {
+			if r.LastReject() == tag.RejectOutOfOrder {
+				return fmt.Errorf("event %s %s is out of order", event.Civil(e.Time), e.Type)
+			}
+			// Interrupted (budget, deadline or fault): persist the snapshot
+			// so a rerun picks up at this exact event boundary.
+			if cpPath != "" {
+				cp, err := r.Snapshot()
+				if err != nil {
+					return err
+				}
+				if err := cli.SaveCheckpoint(cpPath, cp.Encode); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "checkpoint written to %s at event %d\n", cpPath, cp.Steps)
+			}
+			if cli.ReportInterrupted(out, r.Err()) {
+				return nil
+			}
+			return r.Err()
+		}
+		if acc {
+			break
+		}
+	}
+	ok := r.Accepted()
+	fmt.Fprintf(out, "events=%d accepted=%v steps=%d maxFrontier=%d\n",
+		len(seq), ok, r.Steps(), r.MaxFrontier())
+	if r.Degraded() {
+		fmt.Fprintln(out, "WARNING: run frontier overflowed; non-acceptance is not a verdict")
+	}
+	if ok {
+		idx := r.Steps() - 1
+		fmt.Fprintf(out, "first acceptance at event index %d (%s)\n",
+			idx, event.Civil(seq[idx].Time))
+		if b := r.Binding(); len(b) > 0 {
+			vars := make([]string, 0, len(b))
+			for v := range b {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			fmt.Fprint(out, "binding:")
+			for _, v := range vars {
+				fmt.Fprintf(out, " %s=%d", v, b[v])
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	// The scan ran to a verdict; a leftover snapshot would resume a finished
+	// run, so drop it.
+	if cpPath != "" {
+		os.Remove(cpPath)
+	}
 	return nil
 }

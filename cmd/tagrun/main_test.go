@@ -48,7 +48,7 @@ func writeFiles(t *testing.T) (spec, seq string) {
 func TestRunWholeSequence(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, seq, "", "", "", true, false, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, spec, seq, "", "", "", "", true, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -63,7 +63,7 @@ func TestRunWholeSequence(t *testing.T) {
 func TestRunAnchored(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, seq, "deposit", "", "", false, false, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, spec, seq, "deposit", "", "", "", false, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -75,11 +75,11 @@ func TestRunAnchored(t *testing.T) {
 
 func TestRunErrorsTagrun(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "", "", false, false, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, "", "", "", "", "", "", false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	spec, seq := writeFiles(t)
-	if err := run(&out, spec, seq, "ghost-type", "", "", false, false, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, spec, seq, "ghost-type", "", "", "", false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("absent anchor accepted")
 	}
 	// Spec without an assignment is rejected.
@@ -91,7 +91,96 @@ func TestRunErrorsTagrun(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(&out, noAssign, seq, "", "", "", false, false, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, noAssign, seq, "", "", "", "", false, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("spec without assignment accepted")
+	}
+}
+
+// report keeps only the verdict lines, dropping resume/checkpoint chatter.
+func report(s string) string {
+	var keep []string
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.HasPrefix(ln, "events=") || strings.HasPrefix(ln, "first acceptance") ||
+			strings.HasPrefix(ln, "binding:") {
+			keep = append(keep, ln)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestRunCheckpointResume interrupts the streaming scan with a tiny budget,
+// resumes it from the written checkpoint until it finishes, and checks the
+// verdict — acceptance event and witness binding — matches an uninterrupted
+// run exactly.
+func TestRunCheckpointResume(t *testing.T) {
+	spec, _ := writeFiles(t)
+	dir := t.TempDir()
+	seq := filepath.Join(dir, "events.txt")
+	var s event.Sequence
+	t0 := event.At(1996, 6, 3, 9, 0, 0)
+	for i := 0; i < 30; i++ {
+		s = append(s, event.Event{Type: "noise", Time: t0 + int64(i)*3600})
+	}
+	s = append(s,
+		event.Event{Type: "deposit", Time: event.At(1996, 6, 5, 9, 0, 0)},
+		event.Event{Type: "withdrawal", Time: event.At(1996, 6, 5, 14, 0, 0)},
+	)
+	f, err := os.Create(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := event.Encode(f, s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var want bytes.Buffer
+	if err := run(&want, spec, seq, "", "", "", "", false, false, &cli.EngineFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(want.String(), "accepted=true") {
+		t.Fatalf("uninterrupted run did not accept:\n%s", want.String())
+	}
+
+	cp := filepath.Join(dir, "run.ckpt")
+	var last string
+	interrupts := 0
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("no convergence in 200 resumed runs")
+		}
+		var out bytes.Buffer
+		if err := run(&out, spec, seq, "", "", "", cp, false, false, &cli.EngineFlags{Budget: 6}); err != nil {
+			t.Fatal(err)
+		}
+		last = out.String()
+		if strings.Contains(last, "INTERRUPTED") {
+			interrupts++
+			if !strings.Contains(last, "checkpoint written to") {
+				t.Fatalf("interruption without checkpoint:\n%s", last)
+			}
+			continue
+		}
+		break
+	}
+	if interrupts == 0 {
+		t.Fatal("budget never interrupted; test is vacuous")
+	}
+	if report(last) != report(want.String()) {
+		t.Fatalf("resumed verdict differs:\n%s\nwant:\n%s", report(last), report(want.String()))
+	}
+	if _, err := os.Stat(cp); !os.IsNotExist(err) {
+		t.Fatalf("finished run left checkpoint behind (err=%v)", err)
+	}
+}
+
+// TestRunCheckpointAnchoredRefused ensures the flag combination is rejected
+// rather than silently ignored.
+func TestRunCheckpointAnchoredRefused(t *testing.T) {
+	spec, seq := writeFiles(t)
+	var out bytes.Buffer
+	err := run(&out, spec, seq, "deposit", "", "", filepath.Join(t.TempDir(), "c"), false, false, &cli.EngineFlags{})
+	if err == nil {
+		t.Fatal("-checkpoint with -anchor accepted")
 	}
 }

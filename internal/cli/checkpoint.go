@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// SaveCheckpoint writes a checkpoint file atomically: the encoder's output
+// goes to a temporary sibling which is fsynced and renamed over path, so a
+// crash mid-write can never leave a truncated checkpoint — the previous one
+// (or none) survives instead.
+func SaveCheckpoint(path string, encode func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cli: writing checkpoint: %w", err)
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cli: encoding checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cli: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cli: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cli: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint opens a checkpoint file and feeds it to decode. A missing
+// file is not an error: it reports (false, nil) so callers start fresh.
+func LoadCheckpoint(path string, decode func(io.Reader) error) (loaded bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("cli: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := decode(f); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -114,5 +115,77 @@ func TestLoadStructureFormats(t *testing.T) {
 	}
 	if _, _, err := LoadStructure(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestLoadSystemMalformedSpec: untrusted periodic spec files must come back
+// as typed errors from the error-returning constructor path, never a panic
+// and never a silently-registered granularity.
+func TestLoadSystemMalformedSpec(t *testing.T) {
+	cases := map[string]string{
+		"truncated":    "name x\nperiod",
+		"no-granules":  "name x\nperiod 10\nanchor 1\n",
+		"bad-span":     "name x\nperiod 10\nanchor 1\ngranule 8-2\n",
+		"out-of-range": "name x\nperiod 10\nanchor 1\ngranule 5-20\n",
+		"zero-period":  "name x\nperiod 0\nanchor 1\ngranule 0-3\n",
+		"overlap":      "name x\nperiod 10\nanchor 1\ngranule 0-5\ngranule 3-8\n",
+		"empty-name":   "name \nperiod 10\nanchor 1\ngranule 0-3\n",
+		"binary-junk":  "\x00\x01\x02\xff",
+	}
+	for name, body := range cases {
+		if _, err := LoadSystem(writeFile(t, name+".gran", body)); err == nil {
+			t.Errorf("%s: malformed spec accepted", name)
+		}
+	}
+	// A shadowing redefinition of a built-in is refused too.
+	dup := "name day\nperiod 86400\nanchor 1\ngranule 0-86399\n"
+	if _, err := LoadSystem(writeFile(t, "dup.gran", dup)); err == nil {
+		t.Error("redefinition of built-in granularity accepted")
+	}
+}
+
+// TestCheckpointHelpers covers the atomic save/load pair: missing files
+// report absent without error, writes land atomically, and decode failures
+// surface.
+func TestCheckpointHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	loaded, err := LoadCheckpoint(path, func(io.Reader) error { t.Fatal("decode called for a missing file"); return nil })
+	if loaded || err != nil {
+		t.Fatalf("missing file: loaded=%v err=%v", loaded, err)
+	}
+	if err := SaveCheckpoint(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file left behind")
+	}
+	var got []byte
+	loaded, err = LoadCheckpoint(path, func(r io.Reader) error {
+		var rerr error
+		got, rerr = io.ReadAll(r)
+		return rerr
+	})
+	if !loaded || err != nil || string(got) != "payload" {
+		t.Fatalf("loaded=%v err=%v got=%q", loaded, err, got)
+	}
+	// A failing encoder must not clobber the installed checkpoint.
+	if err := SaveCheckpoint(path, func(io.Writer) error { return os.ErrInvalid }); err == nil {
+		t.Fatal("failing encoder reported success")
+	}
+	loaded, err = LoadCheckpoint(path, func(r io.Reader) error {
+		var rerr error
+		got, rerr = io.ReadAll(r)
+		return rerr
+	})
+	if !loaded || err != nil || string(got) != "payload" {
+		t.Fatalf("failed save clobbered checkpoint: loaded=%v err=%v got=%q", loaded, err, got)
+	}
+	// Decoder errors propagate.
+	if _, err := LoadCheckpoint(path, func(io.Reader) error { return os.ErrInvalid }); err == nil {
+		t.Fatal("decoder error swallowed")
 	}
 }

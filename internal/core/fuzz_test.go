@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpec: the JSON spec decoder and the constructors behind it must
+// never panic on untrusted input; accepted specs must materialize and
+// round-trip through ToSpec/WriteSpec.
+func FuzzReadSpec(f *testing.F) {
+	f.Add(`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":0,"gran":"day"}]}]}`)
+	f.Add(`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"A":"x","B":"y"}}`)
+	f.Add(`{"variables":["A"],"edges":[]}`)
+	f.Add(`{"edges":[{"from":"A","to":"A","constraints":[{"min":0,"max":0,"gran":"day"}]}]}`)
+	f.Add(`{"edges":[{"from":"A","to":"B","constraints":[{"min":5,"max":1,"gran":""}]}]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := ReadSpec(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		s, err := sp.Structure()
+		if err != nil {
+			// Decoded but structurally invalid: the typed error is the
+			// contract; ComplexType must agree without panicking.
+			if _, err := sp.ComplexType(); err == nil {
+				t.Fatal("ComplexType accepted a spec Structure rejected")
+			}
+			return
+		}
+		ct, ctErr := sp.ComplexType()
+		if ctErr == nil && ct == nil {
+			t.Fatal("nil complex type without error")
+		}
+		// Round trip: a validated structure re-encodes and re-reads.
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, ToSpec(s, nil)); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		sp2, err := ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if _, err := sp2.Structure(); err != nil {
+			t.Fatalf("round-tripped structure invalid: %v", err)
+		}
+	})
+}

@@ -38,7 +38,7 @@ var ErrInterrupted = errors.New("engine: interrupted")
 // context is cancelled. It carries the partial stats gathered up to the
 // interruption so callers can report how far the solve got.
 type Interrupted struct {
-	// Reason is "budget" or "context".
+	// Reason is "budget", "context" or "fault" (injected by a FaultPlan).
 	Reason string
 	// Cause is the context's error for Reason "context", nil for "budget".
 	Cause error
@@ -54,6 +54,8 @@ func (e *Interrupted) Error() string {
 	switch e.Reason {
 	case "context":
 		return fmt.Sprintf("engine: interrupted after %d steps: %v", e.Steps, e.Cause)
+	case "fault":
+		return fmt.Sprintf("engine: interrupted after %d steps: injected fault", e.Steps)
 	default:
 		return fmt.Sprintf("engine: interrupted after %d steps: budget exhausted", e.Steps)
 	}
@@ -103,11 +105,14 @@ type Config struct {
 	// CheckEvery overrides the context poll stride (budget units between
 	// polls); 0 means DefaultCheckEvery.
 	CheckEvery int64
+	// Fault deterministically injects an interruption at planned work
+	// units (Reason "fault") — the chaos-testing harness. nil means none.
+	Fault *FaultPlan
 }
 
 // Enabled reports whether the config asks for any control or telemetry.
 func (c Config) Enabled() bool {
-	return c.Ctx != nil || c.Budget > 0 || c.Observer != nil
+	return c.Ctx != nil || c.Budget > 0 || c.Observer != nil || c.Fault.enabled()
 }
 
 // Start builds the Exec carrier for one solve. It returns nil for a zero
@@ -122,6 +127,9 @@ func (c Config) Start() *Exec {
 		budget:     c.Budget,
 		obs:        c.Observer,
 		checkEvery: c.CheckEvery,
+	}
+	if c.Fault.enabled() {
+		ex.fault = c.Fault
 	}
 	if ex.checkEvery <= 0 {
 		ex.checkEvery = DefaultCheckEvery
@@ -139,6 +147,7 @@ type Exec struct {
 	budget     int64
 	checkEvery int64
 	obs        Observer
+	fault      *FaultPlan
 
 	used      atomic.Int64
 	sincePoll atomic.Int64
@@ -159,6 +168,9 @@ func (ex *Exec) Step(n int64) error {
 	used := ex.used.Add(n)
 	if ex.budget > 0 && used > ex.budget {
 		return ex.interrupt("budget", nil)
+	}
+	if ex.fault != nil && ex.fault.trips(used-n, used) {
+		return ex.interrupt("fault", nil)
 	}
 	if ex.ctx != nil && ex.sincePoll.Add(n) >= ex.checkEvery {
 		ex.sincePoll.Store(0)

@@ -1,0 +1,70 @@
+package engine
+
+// FaultPlan deterministically injects interruptions at chosen points of a
+// solve, measured in the same abstract work units the budget counts. It is
+// the chaos-testing harness behind the resilience guarantees: a plan makes
+// "the process died after exactly N units of work" reproducible, so tests
+// can sweep an interrupt over every interior step of a solve and assert the
+// invariants (typed error, no panic, no silently truncated result, and —
+// with checkpoints — resume equals uninterrupted).
+//
+// A tripped plan surfaces exactly like an exhausted budget: the sticky
+// typed *Interrupted (Reason "fault") matching ErrInterrupted under
+// errors.Is, carrying partial stats.
+type FaultPlan struct {
+	// TripAt interrupts the solve once its cumulative work reaches TripAt
+	// units (> 0; the Nth unit of work trips the fault).
+	TripAt int64
+	// Every interrupts whenever cumulative work crosses a trip point placed
+	// in each successive window of Every units (> 0). With Seed zero the
+	// trip point is the window boundary itself; a non-zero Seed offsets the
+	// point pseudo-randomly (but reproducibly) within each window. An Exec
+	// is sticky after the first interruption, so Every matters when several
+	// Execs share one plan — each trips at its own deterministic point.
+	Every int64
+	// Seed varies Every-mode trip points between otherwise identical plans.
+	Seed int64
+}
+
+// enabled reports whether the plan can ever trip.
+func (f *FaultPlan) enabled() bool {
+	return f != nil && (f.TripAt > 0 || f.Every > 0)
+}
+
+// trips reports whether a trip point lies in the half-open work interval
+// (before, after]. Step calls it with the window its atomic add claimed, so
+// concurrent goroutines sharing one Exec observe disjoint intervals and
+// exactly one of them trips each point.
+func (f *FaultPlan) trips(before, after int64) bool {
+	if f.TripAt > 0 && before < f.TripAt && f.TripAt <= after {
+		return true
+	}
+	if f.Every > 0 {
+		// Trip point of window w (w = 0, 1, ...) is w*Every + offset(w),
+		// with offset in [1, Every].
+		for w := before / f.Every; w*f.Every < after; w++ {
+			p := w*f.Every + f.offset(w)
+			if before < p && p <= after {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// offset derives window w's trip offset in [1, Every] from the seed.
+func (f *FaultPlan) offset(w int64) int64 {
+	if f.Seed == 0 {
+		return f.Every
+	}
+	return splitmix(uint64(f.Seed)^uint64(w))%f.Every + 1
+}
+
+// splitmix is the SplitMix64 finalizer: a cheap deterministic scrambler.
+func splitmix(x uint64) int64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	v := x ^ (x >> 31)
+	return int64(v &^ (1 << 63))
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestFaultTripAt: a TripAt plan interrupts exactly when cumulative work
+// reaches the planned unit, regardless of the step batching.
+func TestFaultTripAt(t *testing.T) {
+	for _, batch := range []int64{1, 3, 7} {
+		ex := Config{Fault: &FaultPlan{TripAt: 10}}.Start()
+		if ex == nil {
+			t.Fatal("fault-only config must enable the carrier")
+		}
+		var err error
+		steps := 0
+		for err == nil && steps < 100 {
+			err = ex.Step(batch)
+			steps++
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("batch %d: err = %v, want ErrInterrupted", batch, err)
+		}
+		var ip *Interrupted
+		if !errors.As(err, &ip) || ip.Reason != "fault" {
+			t.Fatalf("batch %d: got %v, want fault reason", batch, err)
+		}
+		// The trip happens on the Step whose window covers unit 10.
+		if got := ex.Used(); got < 10 || got >= 10+batch {
+			t.Fatalf("batch %d: tripped at %d units, want within [10,%d)", batch, got, 10+batch)
+		}
+		// Sticky: further stepping keeps failing.
+		if err2 := ex.Step(1); !errors.Is(err2, ErrInterrupted) {
+			t.Fatalf("batch %d: fault not sticky: %v", batch, err2)
+		}
+	}
+}
+
+// TestFaultNeverTrips: work below the planned unit is unaffected.
+func TestFaultNeverTrips(t *testing.T) {
+	ex := Config{Fault: &FaultPlan{TripAt: 1000}}.Start()
+	for i := 0; i < 100; i++ {
+		if err := ex.Step(1); err != nil {
+			t.Fatalf("tripped early at %d: %v", ex.Used(), err)
+		}
+	}
+}
+
+// TestFaultEverySeeded: Every-mode places one deterministic trip point per
+// window; the same seed reproduces it, a different seed (usually) moves it.
+func TestFaultEverySeeded(t *testing.T) {
+	tripPoint := func(seed int64) int64 {
+		ex := Config{Fault: &FaultPlan{Every: 64, Seed: seed}}.Start()
+		for {
+			if err := ex.Step(1); err != nil {
+				return ex.Used()
+			}
+		}
+	}
+	a, b := tripPoint(42), tripPoint(42)
+	if a != b {
+		t.Fatalf("same seed tripped at %d and %d", a, b)
+	}
+	if a < 1 || a > 64 {
+		t.Fatalf("trip point %d outside the first window", a)
+	}
+	if tripPoint(0) != 64 {
+		t.Fatalf("unseeded Every must trip at the window boundary, got %d", tripPoint(0))
+	}
+	diverged := false
+	for seed := int64(1); seed <= 8; seed++ {
+		if tripPoint(seed) != a {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("eight different seeds all tripped at the same point")
+	}
+}
+
+// TestFaultConcurrent: goroutines sharing one Exec observe disjoint work
+// windows, so the plan trips exactly once and every worker sees the same
+// sticky interruption — no panics, no lost trip.
+func TestFaultConcurrent(t *testing.T) {
+	ex := Config{Fault: &FaultPlan{TripAt: 500}}.Start()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := ex.Step(1); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tripped := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		tripped++
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("worker saw %v, want ErrInterrupted", err)
+		}
+	}
+	if tripped == 0 {
+		t.Fatal("1600 units of shared work never hit the unit-500 fault")
+	}
+}

@@ -1,0 +1,246 @@
+package mining
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// CheckpointVersion is the wire version of the mining checkpoint format.
+// Decoding rejects other versions.
+const CheckpointVersion = 1
+
+// Pipeline stages a Checkpoint can record. The steps stage means the run was
+// interrupted before any durable per-candidate progress existed (steps 1-4
+// are cheap and deterministic, so Resume just re-runs them); the scan stage
+// means step 5 was reached and the checkpoint carries per-candidate scan
+// progress.
+const (
+	StageSteps = "steps"
+	StageScan  = "scan"
+)
+
+// Checkpoint is a serializable snapshot of an interrupted Optimized run: the
+// pipeline stage reached, the surviving candidate assignments, and — per
+// candidate — how many of its reference occurrences were already tallied and
+// with how many matches. Resume continues the run and produces exactly the
+// discovery set an uninterrupted run would have.
+//
+// The Fingerprint ties the snapshot to the problem and the event sequence it
+// was computed over; Resume refuses snapshots whose fingerprint does not
+// match, so progress can never be silently replayed against different data.
+type Checkpoint struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Stage is StageSteps or StageScan.
+	Stage string `json:"stage"`
+	// ScreenedByK1/K2 restore the step-4 stats (the screen itself is skipped
+	// on resume: the surviving candidates are already in Jobs).
+	ScreenedByK1 int `json:"screened_k1,omitempty"`
+	ScreenedByK2 int `json:"screened_k2,omitempty"`
+	// Jobs are the surviving full assignments with their scan progress, in
+	// the pipeline's deterministic enumeration order. Present only at
+	// StageScan.
+	Jobs []CheckpointJob `json:"jobs,omitempty"`
+}
+
+// CheckpointJob is one surviving candidate of a Checkpoint.
+type CheckpointJob struct {
+	// Assign is the full assignment, root variable included.
+	Assign map[string]string `json:"assign"`
+	// Done marks a fully tallied candidate; Matches/RefsDone/TagRuns then
+	// hold its final tallies.
+	Done bool `json:"done,omitempty"`
+	// Matches counts references that extended to an occurrence among the
+	// first RefsDone references of this candidate's root type.
+	Matches  int `json:"matches,omitempty"`
+	RefsDone int `json:"refs_done,omitempty"`
+	// TagRuns counts the anchored TAG executions already spent on this
+	// candidate (restored into Stats.TagRuns so totals stay comparable).
+	TagRuns int `json:"tag_runs,omitempty"`
+}
+
+// Fingerprint digests everything the pipeline's answer depends on: the event
+// structure (variables, arcs, TCGs), the confidence threshold, the reference
+// type(s), the candidate pools, the type constraints, the step toggles, a
+// probe of each referenced granularity's first granules (so "same name,
+// different definition" is caught), and the full event sequence. Workers and
+// Engine are excluded — they change scheduling, never results.
+func Fingerprint(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) string {
+	h := sha256.New()
+	if p.Structure != nil {
+		fmt.Fprintf(h, "vars:%v\n", p.Structure.Variables())
+		for _, e := range p.Structure.Edges() {
+			fmt.Fprintf(h, "edge:%s>%s", e.From, e.To)
+			for _, c := range e.TCGs {
+				fmt.Fprintf(h, ":%d,%d,%s", c.Min, c.Max, c.Gran)
+			}
+			fmt.Fprintln(h)
+		}
+		for _, name := range p.Structure.Granularities() {
+			fmt.Fprintf(h, "gran:%s", name)
+			if g, ok := sys.Get(name); ok {
+				for z := int64(1); z <= 4; z++ {
+					iv, ok := g.Span(z)
+					fmt.Fprintf(h, ":%v,%d,%d", ok, iv.First, iv.Last)
+				}
+			} else {
+				fmt.Fprint(h, ":missing")
+			}
+			fmt.Fprintln(h)
+		}
+	}
+	fmt.Fprintf(h, "tau:%v\nref:%s\nrefs:%v\n", p.MinConfidence, p.Reference, p.References)
+	vars := make([]string, 0, len(p.Candidates))
+	for v := range p.Candidates {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		fmt.Fprintf(h, "cand:%s:%v\n", v, p.Candidates[core.Variable(v)])
+	}
+	fmt.Fprintf(h, "same:%v\ndistinct:%v\n", p.SameType, p.DistinctType)
+	fmt.Fprintf(h, "opt:%v,%v,%v,%v,%v\n",
+		opt.DisableConsistencyCheck, opt.DisableSequenceReduction,
+		opt.DisableReferencePruning, opt.DisableCandidateScreening,
+		opt.DisablePairScreening)
+	fmt.Fprintf(h, "events:%d\n", len(seq))
+	for _, e := range seq {
+		fmt.Fprintf(h, "%d,%s\n", e.Time, e.Type)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// OptimizedCheckpoint is Optimized returning, when the run is interrupted
+// (engine budget, context or injected fault), a Checkpoint from which Resume
+// can continue. On success — or on a non-interruption error — the returned
+// checkpoint is nil.
+func OptimizedCheckpoint(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) ([]Discovery, Stats, *Checkpoint, error) {
+	return resumeExec(sys, p, seq, opt, nil)
+}
+
+// Resume continues an interrupted Optimized run from a checkpoint taken on
+// the same problem and sequence (enforced via the fingerprint). Steps 1-4
+// outcomes are restored or cheaply recomputed; the step-5 TAG scan picks up
+// each surviving candidate at its recorded reference offset. The discovery
+// set equals an uninterrupted run's. If the resumed run is itself
+// interrupted, a fresh checkpoint is returned.
+func Resume(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions, cp *Checkpoint) ([]Discovery, Stats, *Checkpoint, error) {
+	if cp == nil {
+		return nil, Stats{}, nil, fmt.Errorf("mining: nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, Stats{}, nil, fmt.Errorf("mining: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Stage != StageSteps && cp.Stage != StageScan {
+		return nil, Stats{}, nil, fmt.Errorf("mining: checkpoint has unknown stage %q", cp.Stage)
+	}
+	if got := Fingerprint(sys, p, seq, opt); got != cp.Fingerprint {
+		return nil, Stats{}, nil, fmt.Errorf("mining: checkpoint fingerprint %.12s... does not match problem/sequence %.12s...", cp.Fingerprint, got)
+	}
+	return resumeExec(sys, p, seq, opt, cp)
+}
+
+func resumeExec(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions, resume *Checkpoint) ([]Discovery, Stats, *Checkpoint, error) {
+	ex := opt.Engine.Start()
+	capture := &Checkpoint{Version: CheckpointVersion, Stage: StageSteps}
+	out, stats, err := optimizedExec(ex, sys, p, seq, opt, resume, capture)
+	err = ex.Seal(err)
+	if err != nil && errors.Is(err, engine.ErrInterrupted) {
+		capture.Fingerprint = Fingerprint(sys, p, seq, opt)
+		return nil, stats, capture, err
+	}
+	return out, stats, nil, err
+}
+
+// restoreJobs validates and converts a scan-stage checkpoint's jobs against
+// the (re-derived) problem shape.
+func (cp *Checkpoint) restoreJobs(p *Problem, root core.Variable, refByType map[event.Type][]int) ([]scanJob, error) {
+	want := make(map[core.Variable]bool)
+	for _, v := range p.Structure.Variables() {
+		want[v] = true
+	}
+	jobs := make([]scanJob, 0, len(cp.Jobs))
+	for i, cj := range cp.Jobs {
+		if len(cj.Assign) != len(want) {
+			return nil, fmt.Errorf("mining: checkpoint job %d assigns %d variables, structure has %d", i, len(cj.Assign), len(want))
+		}
+		full := make(map[core.Variable]event.Type, len(cj.Assign))
+		for v, t := range cj.Assign {
+			if !want[core.Variable(v)] {
+				return nil, fmt.Errorf("mining: checkpoint job %d assigns unknown variable %q", i, v)
+			}
+			full[core.Variable(v)] = event.Type(t)
+		}
+		rootType := full[root]
+		nRefs := len(refByType[rootType])
+		if cj.RefsDone < 0 || cj.RefsDone > nRefs {
+			return nil, fmt.Errorf("mining: checkpoint job %d has %d references done of %d", i, cj.RefsDone, nRefs)
+		}
+		if cj.Matches < 0 || cj.Matches > cj.RefsDone {
+			return nil, fmt.Errorf("mining: checkpoint job %d has %d matches in %d references", i, cj.Matches, cj.RefsDone)
+		}
+		if cj.TagRuns < 0 {
+			return nil, fmt.Errorf("mining: checkpoint job %d has negative TAG-run tally", i)
+		}
+		jobs = append(jobs, scanJob{
+			full:     full,
+			rootType: rootType,
+			done:     cj.Done,
+			matches:  cj.Matches,
+			refsDone: cj.RefsDone,
+			tagRuns:  cj.TagRuns,
+		})
+	}
+	return jobs, nil
+}
+
+// checkpointJobs records the scan progress of every job.
+func checkpointJobs(jobs []scanJob, results []scanResult) []CheckpointJob {
+	out := make([]CheckpointJob, len(jobs))
+	for i, j := range jobs {
+		assign := make(map[string]string, len(j.full))
+		for v, t := range j.full {
+			assign[string(v)] = string(t)
+		}
+		out[i] = CheckpointJob{
+			Assign:   assign,
+			Done:     results[i].done,
+			Matches:  results[i].matches,
+			RefsDone: results[i].refsDone,
+			TagRuns:  results[i].tagRuns,
+		}
+	}
+	return out
+}
+
+// Encode writes the checkpoint as JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads an Encode-formatted checkpoint. Arbitrary input
+// never panics; unknown fields and other versions are rejected.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("mining: decoding checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("mining: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}

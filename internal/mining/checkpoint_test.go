@@ -1,0 +1,335 @@
+package mining
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/event"
+)
+
+func checkpointProblem() Problem {
+	return Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+}
+
+// measureWork returns the total engine work units an uninterrupted
+// Optimized run spends on the problem.
+func measureWork(t *testing.T, p Problem, seq event.Sequence) int64 {
+	t.Helper()
+	ex := engine.Config{Budget: 1 << 40}.Start()
+	if _, _, err := optimizedExec(ex, sys, p, seq, PipelineOptions{}, nil, nil); err != nil {
+		t.Fatalf("measuring work: %v", err)
+	}
+	return ex.Used()
+}
+
+func TestCheckpointResumeEqualsUninterrupted(t *testing.T) {
+	seq := plantWorkload(7, 25, 0.7)
+	p := checkpointProblem()
+	want, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("uninterrupted run found nothing; test is vacuous")
+	}
+	w := measureWork(t, p, seq)
+	step := w / 40
+	if step < 1 {
+		step = 1
+	}
+	sawSteps, sawScan := false, false
+	for b := int64(1); b <= w; b += step {
+		out, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{Engine: engine.Config{Budget: b}})
+		if err == nil {
+			if !sameDiscoveries(out, want) {
+				t.Fatalf("budget %d: uninterrupted result differs: %v vs %v", b, summarize(out), summarize(want))
+			}
+			if cp != nil {
+				t.Fatalf("budget %d: checkpoint returned without interruption", b)
+			}
+			continue
+		}
+		if !errors.Is(err, engine.ErrInterrupted) {
+			t.Fatalf("budget %d: un-typed error %v", b, err)
+		}
+		if out != nil {
+			t.Fatalf("budget %d: interrupted run leaked results %v", b, summarize(out))
+		}
+		if cp == nil {
+			t.Fatalf("budget %d: interruption without checkpoint", b)
+		}
+		switch cp.Stage {
+		case StageSteps:
+			sawSteps = true
+		case StageScan:
+			sawScan = true
+		default:
+			t.Fatalf("budget %d: bad stage %q", b, cp.Stage)
+		}
+		got, _, cp2, err := Resume(sys, p, seq, PipelineOptions{}, cp)
+		if err != nil {
+			t.Fatalf("budget %d: resume: %v", b, err)
+		}
+		if cp2 != nil {
+			t.Fatalf("budget %d: unbounded resume returned a checkpoint", b)
+		}
+		if !sameDiscoveries(got, want) {
+			t.Fatalf("budget %d: resumed discoveries differ: %v vs %v", b, summarize(got), summarize(want))
+		}
+	}
+	if !sawSteps || !sawScan {
+		t.Fatalf("sweep never exercised both stages (steps=%v scan=%v); shrink the step", sawSteps, sawScan)
+	}
+}
+
+// TestCheckpointRepeatedResume drives the run to completion in many small
+// budget slices, round-tripping the checkpoint through the JSON codec
+// between every slice — the crash-recovery loop a long-running miner would
+// execute.
+func TestCheckpointRepeatedResume(t *testing.T) {
+	seq := plantWorkload(11, 25, 0.7)
+	p := checkpointProblem()
+	want, wantStats, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := measureWork(t, p, seq)
+	// A slice below the cost of reaching step 5 can never bank progress
+	// (steps-stage checkpoints re-run the cheap steps by design), so find
+	// that threshold and give every round a bit of scan budget on top.
+	scanStart := int64(1)
+	for lo, hi := int64(1), w; lo <= hi; {
+		mid := (lo + hi) / 2
+		_, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{Engine: engine.Config{Budget: mid}})
+		if err == nil || (cp != nil && cp.Stage == StageScan) {
+			scanStart, hi = mid, mid-1
+		} else {
+			lo = mid + 1
+		}
+	}
+	slice := scanStart + (w-scanStart)/6 + 10
+
+	eng := engine.Config{Budget: slice}
+	out, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{Engine: eng})
+	rounds := 0
+	var gotStats Stats
+	for err != nil {
+		if !errors.Is(err, engine.ErrInterrupted) {
+			t.Fatalf("round %d: %v", rounds, err)
+		}
+		if cp == nil {
+			t.Fatalf("round %d: no checkpoint", rounds)
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatalf("round %d: encode: %v", rounds, err)
+		}
+		cp, err = DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", rounds, err)
+		}
+		rounds++
+		if rounds > 100 {
+			t.Fatal("no convergence in 100 resume rounds")
+		}
+		out, gotStats, cp, err = Resume(sys, p, seq, PipelineOptions{Engine: eng}, cp)
+	}
+	if rounds == 0 {
+		t.Fatalf("budget slice %d never interrupted; test is vacuous", slice)
+	}
+	if !sameDiscoveries(out, want) {
+		t.Fatalf("after %d rounds discoveries differ: %v vs %v", rounds, summarize(out), summarize(want))
+	}
+	if gotStats.CandidatesScanned != wantStats.CandidatesScanned ||
+		gotStats.ScreenedByK1 != wantStats.ScreenedByK1 ||
+		gotStats.ScreenedByK2 != wantStats.ScreenedByK2 {
+		t.Fatalf("restored stats diverge: %+v vs %+v", gotStats, wantStats)
+	}
+}
+
+// TestCheckpointResumeWithWorkers checks the worker pool path yields the
+// same resumed results as the serial path.
+func TestCheckpointResumeWithWorkers(t *testing.T) {
+	seq := plantWorkload(13, 25, 0.7)
+	p := checkpointProblem()
+	want, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := measureWork(t, p, seq)
+	_, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{Engine: engine.Config{Budget: w * 3 / 4}})
+	if !errors.Is(err, engine.ErrInterrupted) || cp == nil {
+		t.Fatalf("no interruption at 3/4 budget: err=%v cp=%v", err, cp)
+	}
+	got, _, _, err := Resume(sys, p, seq, PipelineOptions{Workers: 4}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(got, want) {
+		t.Fatalf("worker-pool resume differs: %v vs %v", summarize(got), summarize(want))
+	}
+}
+
+// TestCheckpointFromFault checks the resilience path end to end: a
+// deterministically injected fault interrupts the scan, the checkpoint
+// captures it, and the resume recovers the full answer.
+func TestCheckpointFromFault(t *testing.T) {
+	seq := plantWorkload(17, 25, 0.7)
+	p := checkpointProblem()
+	want, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := measureWork(t, p, seq)
+	_, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{
+		Engine: engine.Config{Fault: &engine.FaultPlan{TripAt: w * 2 / 3}},
+	})
+	if !errors.Is(err, engine.ErrInterrupted) {
+		t.Fatalf("fault not surfaced as typed interruption: %v", err)
+	}
+	var intr *engine.Interrupted
+	if !errors.As(err, &intr) || intr.Reason != "fault" {
+		t.Fatalf("want fault reason, got %v", err)
+	}
+	if cp == nil {
+		t.Fatal("fault interruption without checkpoint")
+	}
+	got, _, _, err := Resume(sys, p, seq, PipelineOptions{}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(got, want) {
+		t.Fatalf("post-fault resume differs: %v vs %v", summarize(got), summarize(want))
+	}
+}
+
+func TestResumeRefusesMismatch(t *testing.T) {
+	seq := plantWorkload(19, 20, 0.7)
+	p := checkpointProblem()
+	w := measureWork(t, p, seq)
+	_, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{Engine: engine.Config{Budget: w * 3 / 4}})
+	if !errors.Is(err, engine.ErrInterrupted) || cp == nil || cp.Stage != StageScan {
+		t.Fatalf("setup: err=%v cp=%+v", err, cp)
+	}
+
+	if _, _, _, err := Resume(sys, p, seq, PipelineOptions{}, nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+	bad := *cp
+	bad.Version = 99
+	if _, _, _, err := Resume(sys, p, seq, PipelineOptions{}, &bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	bad = *cp
+	bad.Stage = "warp"
+	if _, _, _, err := Resume(sys, p, seq, PipelineOptions{}, &bad); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+	// Different sequence → different fingerprint.
+	other := plantWorkload(23, 20, 0.7)
+	if _, _, _, err := Resume(sys, p, other, PipelineOptions{}, cp); err == nil {
+		t.Fatal("foreign sequence accepted")
+	}
+	// Different step toggles → different fingerprint.
+	if _, _, _, err := Resume(sys, p, seq, PipelineOptions{DisablePairScreening: true}, cp); err == nil {
+		t.Fatal("different pipeline options accepted")
+	}
+	// Tampered jobs must be rejected structurally (fingerprint does not
+	// cover job progress, so these need their own validation).
+	tamper := func(mutate func(cp *Checkpoint)) error {
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(c2)
+		_, _, _, err = Resume(sys, p, seq, PipelineOptions{}, c2)
+		return err
+	}
+	if len(cp.Jobs) == 0 {
+		t.Fatal("setup: scan checkpoint with no jobs")
+	}
+	if err := tamper(func(c *Checkpoint) { c.Jobs[0].Assign["GHOST"] = "Z"; delete(c.Jobs[0].Assign, "X1") }); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+	if err := tamper(func(c *Checkpoint) { c.Jobs[0].Assign["EXTRA"] = "Z" }); err == nil {
+		t.Fatal("extra variable accepted")
+	}
+	if err := tamper(func(c *Checkpoint) { c.Jobs[0].RefsDone = 1 << 30 }); err == nil {
+		t.Fatal("out-of-range reference offset accepted")
+	}
+	if err := tamper(func(c *Checkpoint) { c.Jobs[0].RefsDone = 2; c.Jobs[0].Matches = 3 }); err == nil {
+		t.Fatal("matches > refsDone accepted")
+	}
+	if err := tamper(func(c *Checkpoint) { c.Jobs[0].TagRuns = -1 }); err == nil {
+		t.Fatal("negative TAG-run tally accepted")
+	}
+
+	// The untampered checkpoint still resumes after all that.
+	want, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := Resume(sys, p, seq, PipelineOptions{}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(got, want) {
+		t.Fatalf("happy-path resume differs: %v vs %v", summarize(got), summarize(want))
+	}
+}
+
+// FuzzMiningCheckpoint fuzzes the checkpoint codec: decoding arbitrary bytes
+// never panics, and whatever decodes re-encodes losslessly.
+func FuzzMiningCheckpoint(f *testing.F) {
+	seq := plantWorkload(29, 15, 0.7)
+	p := checkpointProblem()
+	ex := engine.Config{Budget: 1 << 40}.Start()
+	if _, _, err := optimizedExec(ex, sys, p, seq, PipelineOptions{}, nil, nil); err != nil {
+		f.Fatal(err)
+	}
+	if _, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{Engine: engine.Config{Budget: ex.Used() / 2}}); err != nil && cp != nil {
+		cp.Fingerprint = Fingerprint(sys, p, seq, PipelineOptions{})
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1,"stage":"scan","jobs":[{"assign":{"X0":"A"}}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		cp2, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		var a, b bytes.Buffer
+		if err := cp.Encode(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp2.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("round trip changed checkpoint: %s vs %s", a.String(), b.String())
+		}
+	})
+}

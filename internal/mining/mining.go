@@ -166,15 +166,16 @@ func enumerate(rest []core.Variable, pools map[core.Variable][]event.Type, yield
 // many extend to an occurrence. window limits how far past the reference
 // the scan looks (0 = to the end of the sequence).
 func countMatches(sys *granularity.System, a *tag.TAG, seq event.Sequence, refIdx []int, window int64, runs *int) int {
-	n, _ := countMatchesExec(nil, sys, a, seq, refIdx, window, runs)
+	n, _, _ := countMatchesExec(nil, sys, a, seq, refIdx, window, runs)
 	return n
 }
 
 // countMatchesExec is countMatches under an execution carrier: each TAG run
 // spends the simulation's own budget, and an interruption aborts the count
-// with the matches tallied so far.
-func countMatchesExec(ex *engine.Exec, sys *granularity.System, a *tag.TAG, seq event.Sequence, refIdx []int, window int64, runs *int) (int, error) {
-	matches := 0
+// with the matches tallied so far. refsDone reports how many leading
+// references were fully counted (an interrupted reference is NOT counted),
+// so checkpoint/resume can continue the tally at refIdx[refsDone:].
+func countMatchesExec(ex *engine.Exec, sys *granularity.System, a *tag.TAG, seq event.Sequence, refIdx []int, window int64, runs *int) (matches, refsDone int, err error) {
 	for _, i := range refIdx {
 		sub := seq[i:]
 		if window > 0 {
@@ -183,13 +184,14 @@ func countMatchesExec(ex *engine.Exec, sys *granularity.System, a *tag.TAG, seq 
 		*runs++
 		ok, _, err := a.AcceptsExec(ex, sys, sub, tag.RunOptions{Anchored: true})
 		if err != nil {
-			return matches, err
+			return matches, refsDone, err
 		}
 		if ok {
 			matches++
 		}
+		refsDone++
 	}
-	return matches, nil
+	return matches, refsDone, nil
 }
 
 // refIndexes returns the indexes of the reference occurrences.

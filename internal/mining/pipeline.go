@@ -39,11 +39,36 @@ type PipelineOptions struct {
 // Optimized solves the problem with the paper's five-step strategy.
 func Optimized(sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) ([]Discovery, Stats, error) {
 	ex := opt.Engine.Start()
-	out, stats, err := optimizedExec(ex, sys, p, seq, opt)
+	out, stats, err := optimizedExec(ex, sys, p, seq, opt, nil, nil)
 	return out, stats, ex.Seal(err)
 }
 
-func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions) ([]Discovery, Stats, error) {
+// scanJob is one step-5 candidate: a full assignment plus — when restored
+// from a checkpoint — the scan progress already banked for it.
+type scanJob struct {
+	full     map[core.Variable]event.Type
+	rootType event.Type
+	done     bool
+	matches  int
+	refsDone int
+	tagRuns  int
+}
+
+// scanResult is a job's cumulative tally after this run's scan pass.
+type scanResult struct {
+	matches  int
+	refsDone int
+	tagRuns  int
+	done     bool
+	err      error
+}
+
+// optimizedExec runs the pipeline under an execution carrier. resume, when
+// non-nil and at StageScan, replaces step 4 and candidate enumeration with
+// the checkpoint's surviving jobs (steps 1-3 are cheap and deterministic and
+// always re-run). capture, when non-nil, is filled with resumable state as
+// the run progresses so the caller can persist it if the run is interrupted.
+func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq event.Sequence, opt PipelineOptions, resume, capture *Checkpoint) ([]Discovery, Stats, error) {
 	root, rest, err := p.validate()
 	if err != nil {
 		return nil, Stats{}, err
@@ -187,12 +212,16 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 	pools := p.pools(rest, work)
 	stats.CandidatesTotal = candidateSpace(rest, pools)
 
+	// A scan-stage checkpoint already carries the step-4 survivors, so the
+	// screens and the candidate enumeration are skipped on resume.
+	restored := resume != nil && resume.Stage == StageScan
+
 	// Step 4 (k=1): screen candidate types through the induced
 	// sub-structures {root, X}. A type E stays in X's pool only if E
 	// occurs in X's window for more than τ of the reference occurrences
 	// (anti-monotonicity: a frequent full assignment needs a frequent
 	// single-variable restriction).
-	if !opt.DisableCandidateScreening && len(refIdx) > 0 {
+	if !opt.DisableCandidateScreening && len(refIdx) > 0 && !restored {
 		stop := ex.Stage("mining.step4_screen")
 		for _, v := range rest {
 			hi := winHi[v]
@@ -228,7 +257,7 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 	// of the references, some E event in X's window has an F event within
 	// the derived (X,Y) window after it.
 	banned := make(map[pairKey]bool)
-	if !opt.DisablePairScreening && len(refIdx) > 0 {
+	if !opt.DisablePairScreening && len(refIdx) > 0 && !restored {
 		stop := ex.Stage("mining.step4_screen")
 		for _, x := range rest {
 			if winHi[x] == infiniteWindow {
@@ -266,7 +295,7 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 		stop()
 	}
 
-	if len(refIdx) == 0 {
+	if len(refIdx) == 0 && !restored {
 		return nil, stats, nil // every reference was pruned; nothing can match
 	}
 
@@ -282,53 +311,68 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 	if err != nil {
 		return nil, stats, err
 	}
-	// Collect the admissible full assignments, then scan them serially or
-	// on a worker pool.
-	type job struct {
-		full     map[core.Variable]event.Type
-		rootType event.Type
-	}
-	var jobs []job
-	err = enumerate(rest, pools, func(assign map[core.Variable]event.Type) error {
-		if err := ex.Step(1); err != nil {
-			return err
+	// Collect the admissible full assignments (or restore them from the
+	// checkpoint), then scan them serially or on a worker pool.
+	var jobs []scanJob
+	if restored {
+		stats.ScreenedByK1 = resume.ScreenedByK1
+		stats.ScreenedByK2 = resume.ScreenedByK2
+		jobs, err = resume.restoreJobs(&p, root, refByType)
+		if err != nil {
+			return nil, stats, err
 		}
-		for key := range banned {
-			if assign[key.x] == key.ex && assign[key.y] == key.ey {
-				return nil
+	} else {
+		err = enumerate(rest, pools, func(assign map[core.Variable]event.Type) error {
+			if err := ex.Step(1); err != nil {
+				return err
 			}
+			for key := range banned {
+				if assign[key.x] == key.ex && assign[key.y] == key.ey {
+					return nil
+				}
+			}
+			for _, rootType := range rootPool {
+				full := make(map[core.Variable]event.Type, len(assign)+1)
+				for k, v := range assign {
+					full[k] = v
+				}
+				full[root] = rootType
+				if !p.typeConstraintsOK(full) {
+					continue
+				}
+				jobs = append(jobs, scanJob{full: full, rootType: rootType})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, stats, err
 		}
-		for _, rootType := range rootPool {
-			full := make(map[core.Variable]event.Type, len(assign)+1)
-			for k, v := range assign {
-				full[k] = v
-			}
-			full[root] = rootType
-			if !p.typeConstraintsOK(full) {
-				continue
-			}
-			jobs = append(jobs, job{full: full, rootType: rootType})
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, stats, err
 	}
 	stats.CandidatesScanned = len(jobs)
 	ex.Count("mining.candidates.scanned", int64(len(jobs)))
 	ex.Count("mining.screened.k1", int64(stats.ScreenedByK1))
 	ex.Count("mining.screened.k2", int64(stats.ScreenedByK2))
-
-	type scanResult struct {
-		matches int
-		tagRuns int
-		err     error
+	if capture != nil {
+		capture.Stage = StageScan
+		capture.ScreenedByK1 = stats.ScreenedByK1
+		capture.ScreenedByK2 = stats.ScreenedByK2
 	}
+
 	results := make([]scanResult, len(jobs))
 	scanOne := func(i int) {
 		j := jobs[i]
+		if j.done {
+			results[i] = scanResult{matches: j.matches, refsDone: j.refsDone, tagRuns: j.tagRuns, done: true}
+			return
+		}
+		refs := refByType[j.rootType]
 		a := baseTAG.Relabel(j.full)
-		results[i].matches, results[i].err = countMatchesExec(ex, sys, a, work, refByType[j.rootType], scanWindow, &results[i].tagRuns)
+		m, rd, err := countMatchesExec(ex, sys, a, work, refs[j.refsDone:], scanWindow, &results[i].tagRuns)
+		results[i].matches = j.matches + m
+		results[i].refsDone = j.refsDone + rd
+		results[i].tagRuns += j.tagRuns
+		results[i].err = err
+		results[i].done = err == nil
 	}
 	defer ex.Stage("mining.step5_scan")()
 	workers := opt.Workers
@@ -360,6 +404,9 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 	var out []Discovery
 	for i, r := range results {
 		if r.err != nil {
+			if capture != nil {
+				capture.Jobs = checkpointJobs(jobs, results)
+			}
 			return nil, stats, r.err
 		}
 		stats.TagRuns += r.tagRuns

@@ -44,3 +44,39 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzNew drives the error-returning constructor with raw, untrusted Spec
+// fields (the shape a decode path hands it): it must reject or accept with
+// an error, never panic, and accepted specs must behave monotonically.
+func FuzzNew(f *testing.F) {
+	f.Add("x", int64(10), int64(1), []byte{0, 3, 5, 8})
+	f.Add("", int64(0), int64(-1), []byte{9, 2})
+	f.Add("y", int64(86400), int64(1), []byte{0, 0})
+	f.Add("z", int64(5), int64(3), []byte{})
+	f.Fuzz(func(t *testing.T, name string, period, anchor int64, raw []byte) {
+		sp := Spec{Name: name, Period: period, Anchor: anchor}
+		// Decode raw bytes as span pairs, two granules alternating.
+		for i := 0; i+1 < len(raw); i += 2 {
+			g := Granule{Spans: []Span{{First: int64(raw[i]), Last: int64(raw[i+1])}}}
+			sp.Granules = append(sp.Granules, g)
+		}
+		g, err := New(sp)
+		if err != nil {
+			return
+		}
+		prevLast := int64(0)
+		for z := int64(1); z <= 8; z++ {
+			iv, ok := g.Span(z)
+			if !ok {
+				t.Fatalf("granule %d of accepted spec undefined", z)
+			}
+			if iv.First <= prevLast && z > 1 {
+				t.Fatalf("granule %d not after granule %d", z, z-1)
+			}
+			if tick, ok := g.TickOf(iv.First); !ok || tick != z {
+				t.Fatalf("TickOf(Span(%d).First) = %d,%v", z, tick, ok)
+			}
+			prevLast = iv.Last
+		}
+	})
+}

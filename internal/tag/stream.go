@@ -6,6 +6,43 @@ import (
 	"repro/internal/granularity"
 )
 
+// RejectReason explains why Runner.Feed refused an event. The zero value
+// RejectNone means the last Feed consumed its event (or reported sticky
+// acceptance).
+type RejectReason int
+
+const (
+	// RejectNone: the last Feed was not rejected.
+	RejectNone RejectReason = iota
+	// RejectOutOfOrder: the event's timestamp precedes the previous one; it
+	// was not consumed and the runner remains usable.
+	RejectOutOfOrder
+	// RejectInterrupted: the engine interrupted this Feed (budget, context
+	// or fault) before the event was consumed; Err() carries the typed
+	// error and the runner state is unchanged from the previous event
+	// boundary (so a Snapshot taken now resumes by re-feeding this event).
+	RejectInterrupted
+	// RejectSealed: a previous Feed was interrupted and the runner refuses
+	// all further events; Err() carries the original typed error.
+	RejectSealed
+)
+
+// String renders the reason for diagnostics.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNone:
+		return "none"
+	case RejectOutOfOrder:
+		return "out-of-order"
+	case RejectInterrupted:
+		return "interrupted"
+	case RejectSealed:
+		return "sealed"
+	default:
+		return "unknown"
+	}
+}
+
 // Runner is an online TAG simulation: events are fed one at a time (in
 // non-decreasing timestamp order) and acceptance is reported as soon as it
 // happens — the monitoring mode the paper's introduction motivates
@@ -31,6 +68,8 @@ type Runner struct {
 	prevTime int64
 	ex       *engine.Exec
 	err      error
+	reject   RejectReason
+	degraded bool
 }
 
 // NewRunner starts an online simulation.
@@ -87,24 +126,46 @@ func (r *Runner) MaxFrontier() int { return r.maxFront }
 // matches engine.ErrInterrupted and carries the partial stats.
 func (r *Runner) Err() error { return r.err }
 
+// LastReject explains the most recent Feed that returned ok=false:
+// RejectOutOfOrder, RejectInterrupted or RejectSealed. A successful Feed
+// resets it to RejectNone. Every rejection also bumps the
+// "tag.events.rejected" counter on the runner's engine observer.
+func (r *Runner) LastReject() RejectReason { return r.reject }
+
+// Degraded reports whether the MaxFrontier safety valve has tripped: the
+// run set overflowed and was emptied, so subsequent non-acceptance is NOT a
+// verdict — a real occurrence may have been dropped with the frontier.
+// Acceptance reports remain sound (an accepting run was really reached).
+// Each overflow bumps the "tag.frontier.overflows" counter.
+func (r *Runner) Degraded() bool { return r.degraded }
+
 // Feed consumes one event and reports whether the automaton has accepted
 // (sticky: once true, further feeding is a no-op). Events must arrive in
 // non-decreasing timestamp order; out-of-order events are rejected with
-// ok=false without being consumed.
+// ok=false without being consumed. LastReject distinguishes the rejection
+// causes (out-of-order, engine interruption, post-interruption refusal).
 func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 	if r.accepted {
+		r.reject = RejectNone
 		return true, true
 	}
 	if r.err != nil {
+		r.reject = RejectSealed
+		r.ex.Count("tag.events.rejected", 1)
 		return false, false
 	}
 	if r.steps > 0 && e.Time < r.prevTime {
+		r.reject = RejectOutOfOrder
+		r.ex.Count("tag.events.rejected", 1)
 		return false, false
 	}
 	if err := r.ex.Step(1 + int64(len(r.frontier))); err != nil {
 		r.err = r.ex.Seal(err)
+		r.reject = RejectInterrupted
+		r.ex.Count("tag.events.rejected", 1)
 		return false, false
 	}
+	r.reject = RejectNone
 	r.ex.Count("tag.events", 1)
 	r.ex.Count("tag.runs.alive", int64(len(r.frontier)))
 	idx := r.steps
@@ -137,6 +198,8 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 	r.prevTime = e.Time
 
 	next := make(map[string]runState, len(r.frontier))
+	var accBind map[string]int
+	accepted = false
 	for _, rs := range r.frontier {
 		rs := rs
 		read := func(c Clock) (int64, bool) {
@@ -176,20 +239,34 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 				nr.invalid[ci] = !r.curOK[ci]
 			}
 			if r.a.accept[nr.state] {
-				r.accepted = true
-				r.binding = nr.binding
-				return true, true
+				// Keep the canonically smallest witness among this event's
+				// accepting candidates — acceptance must not depend on map
+				// iteration order, or checkpoint/resume could report a
+				// different (if equally valid) binding.
+				if !accepted || bindingKey(nr.binding) < bindingKey(accBind) {
+					accBind = nr.binding
+				}
+				accepted = true
+				continue
 			}
 			if r.a.runDoomed(&nr, r.curCover, r.curOK, r.progress[nr.state]) {
 				r.ex.Count("tag.runs.killed", 1)
 				continue
 			}
 			k := nr.key()
-			if _, dup := next[k]; dup {
+			if old, dup := next[k]; dup {
 				r.ex.Count("tag.runs.deduped", 1)
+				if bindingKey(old.binding) <= bindingKey(nr.binding) {
+					continue
+				}
 			}
 			next[k] = nr
 		}
+	}
+	if accepted {
+		r.accepted = true
+		r.binding = accBind
+		return true, true
 	}
 	r.frontier = next
 	if len(next) > r.maxFront {
@@ -197,6 +274,8 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 	}
 	if r.opt.MaxFrontier > 0 && len(next) > r.opt.MaxFrontier {
 		r.frontier = map[string]runState{}
+		r.degraded = true
+		r.ex.Count("tag.frontier.overflows", 1)
 	}
 	return false, true
 }

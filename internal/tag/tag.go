@@ -2,6 +2,7 @@ package tag
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/engine"
@@ -171,6 +172,27 @@ type runState struct {
 	// NOT part of the dedup key: runs differing only in their witness are
 	// interchangeable for acceptance, and keeping one of them suffices.
 	binding map[string]int
+}
+
+// bindingKey canonicalizes a witness so winner selection among
+// interchangeable runs (same dedup key, different witness) is a pure
+// function of run content, not of map iteration order. Determinism here is
+// what makes checkpoint/resume reproduce the exact binding of an
+// uninterrupted run.
+func bindingKey(b map[string]int) string {
+	if len(b) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d;", k, b[k])
+	}
+	return sb.String()
 }
 
 // key builds a dedup key for the run.
@@ -354,6 +376,8 @@ func (a *TAG) run(ex *engine.Exec, sys *granularity.System, seq event.Sequence, 
 			}
 		}
 		next := make(map[string]runState, len(frontier))
+		var accBind map[string]int
+		accepted := false
 		for _, r := range frontier {
 			r := r
 			rd := read(&r)
@@ -387,23 +411,37 @@ func (a *TAG) run(ex *engine.Exec, sys *granularity.System, seq event.Sequence, 
 					nr.invalid[ci] = !curOK[ci]
 				}
 				if a.accept[nr.state] {
-					stats.AcceptedAt = idx
-					if len(next) > stats.MaxFrontier {
-						stats.MaxFrontier = len(next)
+					// Collect every accepting candidate of this event and
+					// keep the canonically smallest witness, so the
+					// reported binding does not depend on map iteration
+					// order (checkpoint/resume must reproduce it exactly).
+					if !accepted || bindingKey(nr.binding) < bindingKey(accBind) {
+						accBind = nr.binding
 					}
-					flush()
-					return nr.binding, true, stats, nil
+					accepted = true
+					continue
 				}
 				if a.runDoomed(&nr, curCover, curOK, progress[nr.state]) {
 					killed++
 					continue
 				}
 				k := nr.key()
-				if _, dup := next[k]; dup {
+				if old, dup := next[k]; dup {
 					deduped++
+					if bindingKey(old.binding) <= bindingKey(nr.binding) {
+						continue
+					}
 				}
 				next[k] = nr
 			}
+		}
+		if accepted {
+			stats.AcceptedAt = idx
+			if len(next) > stats.MaxFrontier {
+				stats.MaxFrontier = len(next)
+			}
+			flush()
+			return accBind, true, stats, nil
 		}
 		frontier = next
 		if len(frontier) > stats.MaxFrontier {

@@ -17,4 +17,6 @@ if [ -n "$fmt" ]; then
 fi
 echo '>> go test -race ./...'
 go test -race ./...
+echo '>> fuzz smoke'
+FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo 'check: OK'

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Fuzz smoke: discover every native Go fuzz target in the module and run
+# each for a short burst (FUZZTIME, default 10s). This is not a soak — it
+# shakes out shallow panics in the untrusted-input surfaces (spec parsers,
+# checkpoint codecs, periodic granularity constructors) on every gate run.
+# `make fuzz-smoke` runs this standalone; scripts/check.sh runs it with a
+# shorter burst.
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+found=0
+
+for pkg in $(go list ./...); do
+	targets=$(go test -list '^Fuzz' "$pkg" 2>/dev/null | grep '^Fuzz' || true)
+	[ -z "$targets" ] && continue
+	for target in $targets; do
+		found=$((found + 1))
+		echo ">> fuzz $pkg.$target ($FUZZTIME)"
+		go test -run "^$target\$" -fuzz "^$target\$" -fuzztime "$FUZZTIME" "$pkg"
+	done
+done
+
+if [ "$found" -eq 0 ]; then
+	echo "fuzz-smoke: no fuzz targets found" >&2
+	exit 1
+fi
+echo "fuzz-smoke: $found targets OK"

@@ -128,6 +128,51 @@ var (
 	NewEngineCounters = engine.NewCounters
 )
 
+// Resilience layer: streaming simulation, checkpoint/restore and
+// deterministic fault injection (see DESIGN.md, "Resilience").
+type (
+	// FaultPlan injects deterministic interruptions at planned work units
+	// (EngineConfig.Fault) for crash-recovery testing.
+	FaultPlan = engine.FaultPlan
+	// TAGRunner is the online TAG simulation: events fed one at a time,
+	// acceptance reported as it happens, snapshottable at event boundaries.
+	TAGRunner = tag.Runner
+	// TAGRejectReason explains a refused TAGRunner.Feed.
+	TAGRejectReason = tag.RejectReason
+	// TAGCheckpoint is a resumable, versioned snapshot of a TAGRunner.
+	TAGCheckpoint = tag.Checkpoint
+	// MiningCheckpoint is a resumable, versioned snapshot of an interrupted
+	// optimized mine.
+	MiningCheckpoint = mining.Checkpoint
+)
+
+// TAGRunner reject reasons.
+const (
+	TAGRejectNone       = tag.RejectNone
+	TAGRejectOutOfOrder = tag.RejectOutOfOrder
+	TAGRejectInterrupt  = tag.RejectInterrupted
+	TAGRejectSealed     = tag.RejectSealed
+)
+
+// Resilience helpers.
+var (
+	// RestoreTAGRunner rebuilds a streaming Runner from a checkpoint taken
+	// against the same automaton and granularity system.
+	RestoreTAGRunner = tag.RestoreRunner
+	// DecodeTAGCheckpoint reads a JSON Runner checkpoint.
+	DecodeTAGCheckpoint = tag.DecodeCheckpoint
+	// MineOptimizedCheckpoint is MineOptimized returning a resumable
+	// checkpoint when the run is interrupted.
+	MineOptimizedCheckpoint = mining.OptimizedCheckpoint
+	// MineResume continues an interrupted optimized mine from a checkpoint.
+	MineResume = mining.Resume
+	// DecodeMiningCheckpoint reads a JSON mining checkpoint.
+	DecodeMiningCheckpoint = mining.DecodeCheckpoint
+	// MiningFingerprint digests a (problem, sequence, options) triple the
+	// way mining checkpoints are bound to it.
+	MiningFingerprint = mining.Fingerprint
+)
+
 // Mining layer.
 type (
 	// Problem is an event-discovery problem (S, tau, E0, Phi).
