@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The parallel-determinism stress surface under the race detector: TAG
+# batches, mining worker pool, granularity cache fills, counter snapshots.
+race-stress:
+	$(GO) test -race -run 'Parallel|Concurrent|Batch|Counters|SingleFlight|Chaos' ./...
+
+# Full parallel benchmark run; writes BENCH_PR3.json and gates >20%
+# regressions against scripts/bench_baseline_pr3.json (regenerate the
+# baseline with `sh scripts/bench_compare.sh baseline`).
+bench-json:
+	sh scripts/bench_compare.sh
 
 experiments:
 	$(GO) run ./cmd/experiments

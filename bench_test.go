@@ -363,6 +363,104 @@ func BenchmarkE7MiningPipelineParallel(b *testing.B) {
 	}
 }
 
+// benchE13Setup: the E13 heavy-scan workload — screening off so every
+// candidate reaches step 5, which is where the worker pool earns its keep.
+func benchE13Setup() (event.Sequence, mining.Problem, mining.PipelineOptions) {
+	seq := event.GeneratePlant(event.PlantFaultConfig{
+		Machines: 3, StartYear: 1996, Days: 120, Seed: 53, CascadeProb: 0.9,
+	})
+	s := core.NewStructure()
+	s.MustConstrain("X0", "X1", core.MustTCG(0, 0, "b-day"), core.MustTCG(1, 4, "hour"))
+	s.MustConstrain("X1", "X2", core.MustTCG(1, 1, "b-day"))
+	p := mining.Problem{Structure: s, MinConfidence: 0.5, Reference: "overheat-m0"}
+	opt := mining.PipelineOptions{
+		DisableCandidateScreening: true,
+		DisablePairScreening:      true,
+	}
+	return seq, p, opt
+}
+
+// BenchmarkE13MiningSerial: the unscreened E13 scan on one goroutine — the
+// baseline for the parallel speedup recorded in BENCH_PR3.json.
+func BenchmarkE13MiningSerial(b *testing.B) {
+	b.ReportAllocs()
+	seq, p, opt := benchE13Setup()
+	opt.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mining.Optimized(benchSys, p, seq, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13MiningParallel: the same scan sharded over 8 workers. The
+// discovery output is byte-identical to the serial run; only wall-clock
+// should move (with headroom proportional to core count).
+func BenchmarkE13MiningParallel(b *testing.B) {
+	b.ReportAllocs()
+	seq, p, opt := benchE13Setup()
+	opt.Workers = 8
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mining.Optimized(benchSys, p, seq, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTAGBatchSetup compiles the cascade's first hop and collects the
+// anchored references of a dense plant workload.
+func benchTAGBatchSetup(b *testing.B) (*tag.TAG, event.Sequence, []int) {
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "b-day"), core.MustTCG(1, 4, "hour"))
+	ct, err := core.NewComplexType(s, map[core.Variable]event.Type{
+		"A": "overheat-m0", "B": "malfunction-m0",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := tag.Compile(ct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := event.GeneratePlant(event.PlantFaultConfig{
+		Machines: 2, StartYear: 1996, Days: 365, Seed: 29, CascadeProb: 0.7,
+	})
+	var refIdx []int
+	for i, e := range seq {
+		if e.Type == "overheat-m0" {
+			refIdx = append(refIdx, i)
+		}
+	}
+	if len(refIdx) == 0 {
+		b.Fatal("no anchors")
+	}
+	return a, seq, refIdx
+}
+
+// BenchmarkTAGBatchSerial: the anchored frequency count on one goroutine.
+func BenchmarkTAGBatchSerial(b *testing.B) {
+	b.ReportAllocs()
+	a, seq, refIdx := benchTAGBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AcceptsBatch(nil, benchSys, seq, refIdx, 0, 1, tag.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTAGBatchParallel: the same batch fanned out to 8 workers.
+func BenchmarkTAGBatchParallel(b *testing.B) {
+	b.ReportAllocs()
+	a, seq, refIdx := benchTAGBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AcceptsBatch(nil, benchSys, seq, refIdx, 0, 8, tag.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPeriodicTickOf: granule lookup in a user-defined periodic type.
 func BenchmarkPeriodicTickOf(b *testing.B) {
 	b.ReportAllocs()

@@ -18,6 +18,10 @@
 //
 // A spec with an "assign" entry restricts the candidate pool of the listed
 // variables (the paper's Φ); assign the root only via -ref.
+//
+// -workers N shards the step-5 candidate scans over N goroutines (default:
+// the problem spec's "workers", else one per core). Discoveries, stats and
+// checkpoints are byte-identical for every worker count.
 package main
 
 import (
@@ -43,16 +47,17 @@ func main() {
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	explain := flag.Int("explain", 0, "print up to N witness occurrences per discovery")
 	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
+	workers := cli.RegisterWorkersFlag(flag.CommandLine)
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *checkpoint, *tau, *naive, *explain, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *checkpoint, *tau, *naive, *explain, *workers, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "miner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive bool, explain int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive bool, explain, workers int, ef *cli.EngineFlags) error {
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
 	if err != nil {
@@ -102,6 +107,9 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 	if cpPath != "" && naive {
 		return fmt.Errorf("-checkpoint requires the optimized pipeline (drop -naive)")
 	}
+	// -workers beats the problem spec's "workers"; with neither, use every
+	// core. The scan output is byte-identical for every worker count.
+	opt.Workers = cli.ResolveWorkers(workers, opt.Workers)
 	var ds []mining.Discovery
 	var stats mining.Stats
 	switch {

@@ -20,6 +20,8 @@
 // automaton scans the whole sequence once and reports acceptance; with
 // -anchor E0, it is started (anchored) at every occurrence of E0 and the
 // per-occurrence matches are reported — the paper's frequency counting.
+// Anchored runs are independent, so -workers N fans them out to N goroutines
+// (default: one per core); the output is byte-identical for any worker count.
 package main
 
 import (
@@ -45,16 +47,17 @@ func main() {
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	dot := flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
 	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
+	workers := cli.RegisterWorkersFlag(flag.CommandLine)
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *checkpoint, *printTAG, *strict, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *checkpoint, *printTAG, *strict, *workers, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tagrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict bool, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict bool, workers int, ef *cli.EngineFlags) error {
 	eng := ef.Config()
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
@@ -112,31 +115,36 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath st
 		return fmt.Errorf("-checkpoint is only supported for unanchored runs (drop -anchor)")
 	}
 
-	ex := eng.Start()
-	refs := 0
-	matches := 0
+	var refIdx []int
 	for i, e := range seq {
-		if e.Type != event.Type(anchor) {
-			continue
-		}
-		refs++
-		ok, _, err := a.AcceptsExec(ex, sys, seq[i:], tag.RunOptions{Anchored: true, Strict: strict})
-		if err != nil {
-			if cli.ReportInterrupted(out, err) {
-				return nil
-			}
-			return err
-		}
-		if ok {
-			matches++
-			fmt.Fprintf(out, "match at %s\n", event.Civil(e.Time))
+		if e.Type == event.Type(anchor) {
+			refIdx = append(refIdx, i)
 		}
 	}
-	if refs == 0 {
+	if len(refIdx) == 0 {
 		return fmt.Errorf("anchor type %q does not occur", anchor)
 	}
+	// The anchored runs are independent jobs; AcceptsBatch fans them out to
+	// the worker pool and merges verdicts in reference order, so the output
+	// below is byte-identical for every worker count.
+	ex := eng.Start()
+	verdicts, err := a.AcceptsBatch(ex, sys, seq, refIdx, 0, cli.ResolveWorkers(workers, 0),
+		tag.RunOptions{Strict: strict})
+	if err != nil {
+		if cli.ReportInterrupted(out, err) {
+			return nil
+		}
+		return err
+	}
+	matches := 0
+	for slot, ok := range verdicts {
+		if ok {
+			matches++
+			fmt.Fprintf(out, "match at %s\n", event.Civil(seq[refIdx[slot]].Time))
+		}
+	}
 	fmt.Fprintf(out, "references=%d matches=%d frequency=%.3f\n",
-		refs, matches, float64(matches)/float64(refs))
+		len(refIdx), matches, float64(matches)/float64(len(refIdx)))
 	return nil
 }
 

@@ -1,0 +1,27 @@
+package cli
+
+import (
+	"flag"
+	"runtime"
+)
+
+// RegisterWorkersFlag registers the shared -workers flag: how many goroutines
+// the command may fan independent automaton runs out to. 0 defers to the
+// problem spec (miner) or the machine (ResolveWorkers).
+func RegisterWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for parallel scans (0 = auto: spec setting, else GOMAXPROCS)")
+}
+
+// ResolveWorkers picks the effective worker count: an explicit flag wins,
+// then a spec-provided default, then every core the runtime will schedule.
+// Parallel and serial scans produce byte-identical results, so this only
+// trades wall-clock for cores.
+func ResolveWorkers(flagVal, specVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if specVal > 0 {
+		return specVal
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -6,15 +6,23 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counters is the standard Observer: mutex-guarded named counters plus
-// accumulated stage timings. Safe for concurrent use; the zero value is NOT
-// ready — use NewCounters.
+// Counters is the standard Observer: named counters backed by per-counter
+// atomic cells, plus accumulated stage timings. Count is the hot path — the
+// mining worker pool hammers it from every goroutine — so it holds only the
+// read side of the lock: concurrent Counts proceed in parallel (shared read
+// lock, independent atomic adds), and the write lock is paid once per
+// counter name, ever. Snapshot takes the write side, which quiesces every
+// in-flight add and yields an atomic bulk cut of the whole counter set —
+// a merge of per-worker stats can never observe a torn view where one
+// counter reflects an update whose sibling update is still in flight. Safe
+// for concurrent use; the zero value is NOT ready — use NewCounters.
 type Counters struct {
-	mu     sync.Mutex
-	counts map[string]int64
+	mu     sync.RWMutex // read side: counting; write side: snapshots, stages
+	counts map[string]*atomic.Int64
 	stages map[string]time.Duration
 	calls  map[string]int64 // stage invocation counts
 }
@@ -22,20 +30,34 @@ type Counters struct {
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
 	return &Counters{
-		counts: make(map[string]int64),
+		counts: make(map[string]*atomic.Int64),
 		stages: make(map[string]time.Duration),
 		calls:  make(map[string]int64),
 	}
 }
 
-// Count implements Observer.
+// Count implements Observer. The add happens under the read lock, so it is
+// concurrent with other Counts but serialized against Snapshot's bulk cut.
 func (c *Counters) Count(name string, delta int64) {
+	c.mu.RLock()
+	if cell := c.counts[name]; cell != nil {
+		cell.Add(delta)
+		c.mu.RUnlock()
+		return
+	}
+	c.mu.RUnlock()
 	c.mu.Lock()
-	c.counts[name] += delta
+	cell := c.counts[name]
+	if cell == nil {
+		cell = new(atomic.Int64)
+		c.counts[name] = cell
+	}
+	cell.Add(delta)
 	c.mu.Unlock()
 }
 
-// Stage implements Observer: timings accumulate per stage name.
+// Stage implements Observer: timings accumulate per stage name. Stages stop
+// at most once per solver phase, so the plain mutex path is fine here.
 func (c *Counters) Stage(name string, elapsed time.Duration) {
 	c.mu.Lock()
 	c.stages[name] += elapsed
@@ -45,26 +67,44 @@ func (c *Counters) Stage(name string, elapsed time.Duration) {
 
 // Get returns one counter's current value.
 func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counts[name]
+	c.mu.RLock()
+	cell := c.counts[name]
+	c.mu.RUnlock()
+	if cell == nil {
+		return 0
+	}
+	return cell.Load()
 }
 
-// Snapshot implements Snapshotter: a copy of the counters.
+// Snapshot implements Snapshotter: a copy of the counters taken as one
+// atomic bulk cut — the write lock excludes every in-flight Count, so the
+// returned map is a consistent point-in-time view across ALL counters, not
+// a sequence of independent per-counter reads.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]int64, len(c.counts))
-	for k, v := range c.counts {
-		out[k] = v
+	for k, cell := range c.counts {
+		out[k] = cell.Load()
 	}
 	return out
 }
 
+// Merge bulk-adds a snapshot (e.g. another worker's Counters.Snapshot) into
+// this set. Deltas are additive and commutative, so merging per-worker stats
+// in any order yields the same totals as counting into one shared set.
+func (c *Counters) Merge(snap map[string]int64) {
+	for k, v := range snap {
+		if v != 0 {
+			c.Count(k, v)
+		}
+	}
+}
+
 // Stages returns a copy of the accumulated stage timings.
 func (c *Counters) Stages() map[string]time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[string]time.Duration, len(c.stages))
 	for k, v := range c.stages {
 		out[k] = v
@@ -80,8 +120,8 @@ func (c *Counters) WriteTable(w io.Writer) error {
 		name, value string
 	}
 	var rows []row
-	for k, v := range c.counts {
-		rows = append(rows, row{k, fmt.Sprint(v)})
+	for k, cell := range c.counts {
+		rows = append(rows, row{k, fmt.Sprint(cell.Load())})
 	}
 	for k, d := range c.stages {
 		v := d.Round(time.Microsecond).String()

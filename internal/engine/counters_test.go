@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersConcurrentCount hammers one Counters from many goroutines and
+// checks nothing is lost: the atomic-cell hot path must be exactly additive.
+func TestCountersConcurrentCount(t *testing.T) {
+	c := NewCounters()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Count("shared", 1)
+				c.Count(fmt.Sprintf("own.%d", w%4), 2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	snap := c.Snapshot()
+	total := int64(0)
+	for i := 0; i < 4; i++ {
+		total += snap[fmt.Sprintf("own.%d", i)]
+	}
+	if total != workers*perWorker*2 {
+		t.Fatalf("own.* total = %d, want %d", total, workers*perWorker*2)
+	}
+}
+
+// TestCountersSnapshotNotTorn runs Snapshot concurrently with paired
+// increments (a and b always bumped together by the same delta) and checks
+// every snapshot sees a consistent ordering: b can never be ahead of a,
+// because a is always incremented first and reads are atomic per cell.
+func TestCountersSnapshotNotTorn(t *testing.T) {
+	c := NewCounters()
+	c.Count("a", 0)
+	c.Count("b", 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.Count("a", 1)
+			c.Count("b", 1)
+		}
+	}()
+	for {
+		snap := c.Snapshot()
+		if snap["b"] > snap["a"] {
+			t.Fatalf("torn snapshot: b=%d ahead of a=%d", snap["b"], snap["a"])
+		}
+		select {
+		case <-done:
+			snap := c.Snapshot()
+			if snap["a"] != 5000 || snap["b"] != 5000 {
+				t.Fatalf("final snapshot %v, want a=b=5000", snap)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestCountersMerge checks per-worker merge totals equal shared counting.
+func TestCountersMerge(t *testing.T) {
+	shared := NewCounters()
+	var workers []*Counters
+	for w := 0; w < 3; w++ {
+		wc := NewCounters()
+		for i := 0; i <= w; i++ {
+			wc.Count("tag.runs", int64(10*(w+1)))
+			shared.Count("tag.runs", int64(10*(w+1)))
+		}
+		workers = append(workers, wc)
+	}
+	merged := NewCounters()
+	for _, wc := range workers {
+		merged.Merge(wc.Snapshot())
+	}
+	if got, want := merged.Get("tag.runs"), shared.Get("tag.runs"); got != want {
+		t.Fatalf("merged = %d, shared = %d", got, want)
+	}
+	// Merging zero-valued entries must not materialize noise rows.
+	merged.Merge(map[string]int64{"never": 0})
+	if _, ok := merged.Snapshot()["never"]; ok {
+		t.Fatal("zero-delta merge created a counter")
+	}
+}
+
+// TestCountersTableStillRenders pins the -stats table format after the
+// atomic-cell rework.
+func TestCountersTableStillRenders(t *testing.T) {
+	c := NewCounters()
+	c.Count("mining.refs.scanned", 7)
+	c.Stage("mining.step5_scan", 1500*time.Microsecond)
+	var sb strings.Builder
+	if err := c.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"--- engine stats ---", "mining.refs.scanned", "7", "mining.step5_scan.time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,20 +3,49 @@ package granularity
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // System is a granularity system: a named collection of temporal types with
 // shared metric and conversion-feasibility caches. The constraint machinery
 // resolves granularity names against a System.
+//
+// A System is safe for concurrent use and built for contention: the mining
+// worker pool resolves clock granularities for every event of every
+// candidate scan, so Get sits on the hottest path in the repository. Reads
+// go through a copy-on-write registry snapshot (one atomic pointer load, no
+// lock), and the derived caches (Metrics, ConversionFeasible, CoverAlways)
+// use per-entry single-flight fills under sync.Map: two workers asking for
+// the same expensive entry block only each other — never workers filling
+// different entries, and never plain lookups of already-filled ones.
 type System struct {
-	mu       sync.Mutex
-	grans    map[string]Granularity
-	order    []string
-	metrics  map[string]*Metrics
-	feasible map[[2]string]bool
-	coverAll map[[2]string]bool
+	mu       sync.Mutex // serializes mutations (Add); readers never take it
+	reg      atomic.Pointer[registry]
+	metrics  sync.Map // string -> *metricsEntry
+	feasible sync.Map // [2]string -> *coverEntry
+	coverAll sync.Map // [2]string -> *coverEntry
 	horizon  int
 	coverage int64
+}
+
+// registry is the immutable snapshot Get/Names read; Add installs a fresh
+// copy instead of mutating in place.
+type registry struct {
+	grans map[string]Granularity
+	order []string
+}
+
+// metricsEntry is a single-flight cache slot: the first goroutine to need
+// the entry fills it inside once; later ones just load.
+type metricsEntry struct {
+	once sync.Once
+	m    *Metrics
+}
+
+// coverEntry is the boolean analogue for the conversion caches.
+type coverEntry struct {
+	once sync.Once
+	v    bool
 }
 
 // NewSystem builds an empty system. horizon is the Metrics scanning horizon
@@ -26,14 +55,12 @@ func NewSystem(horizon int, coverGranules int64) *System {
 	if coverGranules <= 0 {
 		coverGranules = 256
 	}
-	return &System{
-		grans:    make(map[string]Granularity),
-		metrics:  make(map[string]*Metrics),
-		feasible: make(map[[2]string]bool),
-		coverAll: make(map[[2]string]bool),
+	s := &System{
 		horizon:  horizon,
 		coverage: coverGranules,
 	}
+	s.reg.Store(&registry{grans: map[string]Granularity{}})
+	return s
 }
 
 // Add registers g. Re-adding the same name replaces the granularity and
@@ -41,29 +68,38 @@ func NewSystem(horizon int, coverGranules int64) *System {
 func (s *System) Add(g Granularity) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	old := s.reg.Load()
 	name := g.Name()
-	if _, exists := s.grans[name]; !exists {
-		s.order = append(s.order, name)
+	next := &registry{
+		grans: make(map[string]Granularity, len(old.grans)+1),
+		order: old.order,
 	}
-	s.grans[name] = g
-	delete(s.metrics, name)
-	for key := range s.feasible {
-		if key[0] == name || key[1] == name {
-			delete(s.feasible, key)
-		}
+	for k, v := range old.grans {
+		next.grans[k] = v
 	}
-	for key := range s.coverAll {
-		if key[0] == name || key[1] == name {
-			delete(s.coverAll, key)
-		}
+	if _, exists := next.grans[name]; !exists {
+		next.order = append(append([]string(nil), old.order...), name)
 	}
+	next.grans[name] = g
+	s.reg.Store(next)
+	s.metrics.Delete(name)
+	dropPairs := func(m *sync.Map) {
+		m.Range(func(key, _ any) bool {
+			k := key.([2]string)
+			if k[0] == name || k[1] == name {
+				m.Delete(key)
+			}
+			return true
+		})
+	}
+	dropPairs(&s.feasible)
+	dropPairs(&s.coverAll)
 }
 
-// Get returns the granularity registered under name.
+// Get returns the granularity registered under name. Lock-free: one atomic
+// snapshot load plus a map lookup.
 func (s *System) Get(name string) (Granularity, bool) {
-	s.mu.Lock()
-	g, ok := s.grans[name]
-	s.mu.Unlock()
+	g, ok := s.reg.Load().grans[name]
 	return g, ok
 }
 
@@ -79,75 +115,54 @@ func (s *System) MustGet(name string) Granularity {
 
 // Names returns the registered names in insertion order.
 func (s *System) Names() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]string(nil), s.order...)
+	return append([]string(nil), s.reg.Load().order...)
 }
 
-// Metrics returns the (cached) Metrics for the named granularity.
+// Metrics returns the (cached) Metrics for the named granularity. The fill
+// is single-flight per name: concurrent callers for the same granularity
+// wait for one scan instead of duplicating it, and callers for different
+// granularities never contend.
 func (s *System) Metrics(name string) *Metrics {
-	s.mu.Lock()
-	if m, ok := s.metrics[name]; ok {
-		s.mu.Unlock()
-		return m
-	}
-	g, ok := s.grans[name]
-	s.mu.Unlock()
-	if !ok {
-		panic(fmt.Sprintf("granularity: %q not registered", name))
-	}
-	// Built outside the lock: scanning spans can be slow and may itself
-	// use the system-backed granularity.
-	m := NewMetrics(g, s.horizon)
-	s.mu.Lock()
-	if prior, ok := s.metrics[name]; ok {
-		m = prior // another goroutine won the race
-	} else {
-		s.metrics[name] = m
-	}
-	s.mu.Unlock()
-	return m
+	e, _ := s.metrics.LoadOrStore(name, &metricsEntry{})
+	entry := e.(*metricsEntry)
+	entry.once.Do(func() {
+		g, ok := s.Get(name)
+		if !ok {
+			panic(fmt.Sprintf("granularity: %q not registered", name))
+		}
+		entry.m = NewMetrics(g, s.horizon)
+	})
+	return entry.m
 }
 
 // ConversionFeasible reports whether a constraint in src may be soundly
-// converted into dst (dst covers everything src covers). Results are cached.
+// converted into dst (dst covers everything src covers). Results are cached
+// with a per-pair single-flight fill.
 func (s *System) ConversionFeasible(src, dst string) bool {
 	if src == dst {
 		return true
 	}
-	key := [2]string{src, dst}
-	s.mu.Lock()
-	if v, ok := s.feasible[key]; ok {
-		s.mu.Unlock()
-		return v
-	}
-	s.mu.Unlock()
-	v := Covers(s.MustGet(dst), s.MustGet(src), s.coverage)
-	s.mu.Lock()
-	s.feasible[key] = v
-	s.mu.Unlock()
-	return v
+	e, _ := s.feasible.LoadOrStore([2]string{src, dst}, &coverEntry{})
+	entry := e.(*coverEntry)
+	entry.once.Do(func() {
+		entry.v = Covers(s.MustGet(dst), s.MustGet(src), s.coverage)
+	})
+	return entry.v
 }
 
 // CoverAlways reports whether every granule of src (sampled over the
 // verification horizon) is contained in a single granule of dst. Results
-// are cached.
+// are cached with a per-pair single-flight fill.
 func (s *System) CoverAlways(src, dst string) bool {
 	if src == dst {
 		return true
 	}
-	key := [2]string{src, dst}
-	s.mu.Lock()
-	if v, ok := s.coverAll[key]; ok {
-		s.mu.Unlock()
-		return v
-	}
-	s.mu.Unlock()
-	v := AlwaysCovered(s.MustGet(dst), s.MustGet(src), s.coverage)
-	s.mu.Lock()
-	s.coverAll[key] = v
-	s.mu.Unlock()
-	return v
+	e, _ := s.coverAll.LoadOrStore([2]string{src, dst}, &coverEntry{})
+	entry := e.(*coverEntry)
+	entry.once.Do(func() {
+		entry.v = AlwaysCovered(s.MustGet(dst), s.MustGet(src), s.coverage)
+	})
+	return entry.v
 }
 
 // Default returns a system preloaded with the standard types the paper uses:

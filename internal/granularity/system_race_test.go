@@ -1,0 +1,127 @@
+package granularity
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingGran wraps a Granularity and counts Span calls, so tests can
+// observe how many times a cache fill actually scanned it.
+type countingGran struct {
+	Granularity
+	name  string
+	spans atomic.Int64
+}
+
+func (c *countingGran) Name() string { return c.name }
+
+func (c *countingGran) Span(z int64) (Interval, bool) {
+	c.spans.Add(1)
+	return c.Granularity.Span(z)
+}
+
+// TestSystemConcurrentCacheFills hammers every System cache from many
+// goroutines while a writer keeps registering fresh granularities. Run
+// under -race this is the contention test the parallel mining layer relies
+// on: lock-free Get snapshots, per-entry fills, no torn registry.
+func TestSystemConcurrentCacheFills(t *testing.T) {
+	sys := Default()
+	names := sys.Names()
+	pairs := [][2]string{
+		{"hour", "day"}, {"day", "week"}, {"day", "month"},
+		{"b-day", "week"}, {"month", "year"}, {"week", "b-week"},
+	}
+	var wg sync.WaitGroup
+	const readers = 8
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := names[(i+w)%len(names)]
+				if _, ok := sys.Get(name); !ok {
+					t.Errorf("registered %q vanished", name)
+					return
+				}
+				sys.Metrics(name)
+				p := pairs[(i+w)%len(pairs)]
+				sys.ConversionFeasible(p[0], p[1])
+				sys.CoverAlways(p[0], p[1])
+				if got := sys.Names(); len(got) < len(names) {
+					t.Errorf("Names shrank to %d", len(got))
+					return
+				}
+			}
+		}(w)
+	}
+	// A concurrent writer registering new types and re-registering an
+	// existing one (which drops its caches) must never disturb readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			sys.Add(&countingGran{Granularity: Day(), name: fmt.Sprintf("alias-%d", i%5)})
+			sys.Add(Hour())
+		}
+	}()
+	wg.Wait()
+	if _, ok := sys.Get("alias-0"); !ok {
+		t.Fatal("writer's granularities not visible after the storm")
+	}
+}
+
+// TestSystemMetricsSingleFlight checks a cache fill is not duplicated under
+// concurrency: with N goroutines racing for one cold Metrics entry, the
+// underlying granularity must be scanned exactly once.
+func TestSystemMetricsSingleFlight(t *testing.T) {
+	cg := &countingGran{Granularity: Month(), name: "counted-month"}
+	sys := NewSystem(0, 0)
+	sys.Add(cg)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var got [16]*Metrics
+	for w := 0; w < len(got); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			got[w] = sys.Metrics("counted-month")
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for _, m := range got {
+		if m != got[0] {
+			t.Fatal("concurrent callers received different Metrics instances")
+		}
+	}
+	scanned := cg.spans.Load()
+	// One fill scans the horizon once (plus one probe per bound check);
+	// a duplicated fill would at least double it.
+	if scanned == 0 || scanned > int64(DefaultHorizon)+2 {
+		t.Fatalf("expected exactly one horizon scan, saw %d Span calls", scanned)
+	}
+}
+
+// TestSystemAddInvalidatesCaches pins the replace semantics the old
+// mutex-based System had: re-adding a name drops its metric and pair caches.
+func TestSystemAddInvalidatesCaches(t *testing.T) {
+	cg := &countingGran{Granularity: Day(), name: "shifty"}
+	sys := NewSystem(0, 0)
+	sys.Add(cg)
+	sys.Add(Week())
+	m1 := sys.Metrics("shifty")
+	sys.ConversionFeasible("shifty", "week")
+	sys.Add(&countingGran{Granularity: Hour(), name: "shifty"})
+	if m2 := sys.Metrics("shifty"); m2 == m1 {
+		t.Fatal("re-Add did not drop the Metrics cache")
+	}
+	// The pair cache must have been dropped too: the hour-backed "shifty"
+	// granule no longer sits inside a single week the way a day does, so a
+	// stale cache would answer with day semantics.
+	if got := sys.Metrics("shifty").MinSize(1); got != 3600 {
+		t.Fatalf("replacement granularity not in effect: minsize(1)=%d", got)
+	}
+}

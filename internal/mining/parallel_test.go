@@ -1,0 +1,143 @@
+package mining
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestParallelScanProperty is the determinism property the worker pool must
+// uphold: for every seed, mining with 2 or 8 workers yields exactly the
+// discovery set, screening stats and aggregated engine counters of the
+// serial run. Stage TIMERS differ across worker counts (wall-clock is
+// schedule-dependent); everything the paper's algorithm computes must not.
+func TestParallelScanProperty(t *testing.T) {
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	mine := func(seed int64, workers int) ([]Discovery, Stats, map[string]int64) {
+		seq := plantWorkload(seed, 18, 0.7)
+		counters := engine.NewCounters()
+		ds, stats, err := Optimized(sys, p, seq, PipelineOptions{
+			Workers: workers,
+			Engine:  engine.Config{Observer: counters},
+		})
+		if err != nil {
+			t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+		}
+		return ds, stats, counters.Snapshot()
+	}
+	for seed := int64(0); seed <= 20; seed++ {
+		wantDs, wantStats, wantCounts := mine(seed, 1)
+		for _, workers := range []int{2, 8} {
+			ds, stats, counts := mine(seed, workers)
+			if !sameDiscoveries(ds, wantDs) {
+				t.Fatalf("seed %d workers %d: discoveries %v != serial %v",
+					seed, workers, summarize(ds), summarize(wantDs))
+			}
+			if stats != wantStats {
+				t.Fatalf("seed %d workers %d: stats %+v != serial %+v",
+					seed, workers, stats, wantStats)
+			}
+			if !reflect.DeepEqual(counts, wantCounts) {
+				t.Fatalf("seed %d workers %d: counters %v != serial %v",
+					seed, workers, counts, wantCounts)
+			}
+		}
+	}
+}
+
+// TestParallelInterruptResume interrupts a PARALLEL mine (budget trips while
+// several workers hold jobs mid-scan) and checks the captured checkpoint
+// resumes — at any worker count — to exactly the uninterrupted answer. This
+// is the guarantee that banked per-candidate progress survives concurrent
+// capture.
+func TestParallelInterruptResume(t *testing.T) {
+	seq := plantWorkload(23, 25, 0.7)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	want, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := measureWork(t, p, seq)
+	if work == 0 {
+		t.Fatal("no work metered")
+	}
+	for _, fracNum := range []int64{1, 2, 3} {
+		budget := work * fracNum / 4
+		_, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{
+			Workers: 4,
+			Engine:  engine.Config{Budget: budget},
+		})
+		if err == nil {
+			// With workers racing the budget the trip point shifts; a large
+			// fraction may finish. That is fine — only interrupted runs need
+			// a checkpoint.
+			continue
+		}
+		if !errors.Is(err, engine.ErrInterrupted) {
+			t.Fatalf("budget %d: unexpected error %v", budget, err)
+		}
+		if cp == nil {
+			t.Fatalf("budget %d: interrupted without checkpoint", budget)
+		}
+		for _, resumeWorkers := range []int{1, 4} {
+			got, _, next, err := Resume(sys, p, seq, PipelineOptions{Workers: resumeWorkers}, cp)
+			if err != nil {
+				t.Fatalf("budget %d resume workers %d: %v", budget, resumeWorkers, err)
+			}
+			if next != nil {
+				t.Fatalf("budget %d resume workers %d: unbounded resume left a checkpoint", budget, resumeWorkers)
+			}
+			if !sameDiscoveries(got, want) {
+				t.Fatalf("budget %d resume workers %d: %v != %v",
+					budget, resumeWorkers, summarize(got), summarize(want))
+			}
+		}
+	}
+}
+
+// TestParallelFaultCheckpoint re-runs the fault-injection recovery with a
+// worker pool active when the fault trips.
+func TestParallelFaultCheckpoint(t *testing.T) {
+	seq := plantWorkload(29, 25, 0.7)
+	p := Problem{
+		Structure:     plantStructure(),
+		MinConfidence: 0.5,
+		Reference:     "A",
+	}
+	want, _, err := Optimized(sys, p, seq, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := measureWork(t, p, seq)
+	_, _, cp, err := OptimizedCheckpoint(sys, p, seq, PipelineOptions{
+		Workers: 4,
+		Engine:  engine.Config{Fault: &engine.FaultPlan{TripAt: w / 2}},
+	})
+	if !errors.Is(err, engine.ErrInterrupted) {
+		t.Fatalf("fault under workers not surfaced: %v", err)
+	}
+	var intr *engine.Interrupted
+	if !errors.As(err, &intr) || intr.Reason != "fault" {
+		t.Fatalf("want fault reason, got %v", err)
+	}
+	if cp == nil {
+		t.Fatal("fault interruption without checkpoint")
+	}
+	got, _, _, err := Resume(sys, p, seq, PipelineOptions{Workers: 4}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDiscoveries(got, want) {
+		t.Fatalf("post-fault parallel resume differs: %v vs %v", summarize(got), summarize(want))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -376,29 +377,36 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 	}
 	defer ex.Stage("mining.step5_scan")()
 	workers := opt.Workers
-	if workers <= 1 || len(jobs) < 2 {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
 		for i := range jobs {
 			scanOne(i)
 		}
 	} else {
-		if workers > len(jobs) {
-			workers = len(jobs)
-		}
+		// Dynamic sharding off one atomic cursor: no feeder goroutine, no
+		// channel handoff per job, and a worker that hits a long candidate
+		// never blocks the others from draining the tail. Every job index is
+		// claimed exactly once, and jobs keep being visited after an
+		// interruption trips the shared carrier — countMatchesExec fails fast
+		// then, but scanOne still records the banked progress restored from a
+		// checkpoint, so the captured checkpoint never loses work.
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		next := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
 					scanOne(i)
 				}
 			}()
 		}
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
 		wg.Wait()
 	}
 	var out []Discovery

@@ -1,0 +1,90 @@
+package tag
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// AcceptsBatch anchors the automaton at every index in refIdx and reports,
+// per reference, whether the anchored run over the suffix accepts — the
+// paper's frequency-counting primitive, batched. window > 0 bounds each
+// suffix to [t0, t0+window] seconds after its reference.
+//
+// workers > 1 fans the anchored runs out to a pool: each reference's run is
+// independent (the TAG is immutable during simulation and the granularity
+// system is safe for concurrent use), so the verdicts are computed in
+// whatever order the pool reaches them but always MERGED in refIdx order —
+// the returned slice is identical for every worker count. workers <= 1 runs
+// serially.
+//
+// Every run shares the one carrier ex: a single budget, deadline and fault
+// plan governs the whole batch, and counters aggregate across workers. An
+// interruption surfaces as the carrier's typed error; the verdict slice is
+// nil then, because verdicts past the interruption point were never
+// computed. Serial and parallel batches may be interrupted at different
+// references (budget consumption interleaves), but an uninterrupted batch
+// is deterministic.
+func (a *TAG) AcceptsBatch(ex *engine.Exec, sys *granularity.System, seq event.Sequence, refIdx []int, window int64, workers int, opt RunOptions) ([]bool, error) {
+	opt.Anchored = true
+	verdicts := make([]bool, len(refIdx))
+	errs := make([]error, len(refIdx))
+	runOne := func(slot int) {
+		i := refIdx[slot]
+		sub := seq[i:]
+		if window > 0 {
+			sub = sub.Between(seq[i].Time, seq[i].Time+window)
+		}
+		verdicts[slot], _, errs[slot] = a.AcceptsExec(ex, sys, sub, opt)
+	}
+	if workers > len(refIdx) {
+		workers = len(refIdx)
+	}
+	if workers <= 1 {
+		for slot := range refIdx {
+			runOne(slot)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					slot := int(next.Add(1)) - 1
+					if slot >= len(refIdx) {
+						return
+					}
+					runOne(slot)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return verdicts, nil
+}
+
+// CountAccepts is AcceptsBatch reduced to the match tally mining and the
+// CLIs report: the number of references whose anchored run accepts.
+func (a *TAG) CountAccepts(ex *engine.Exec, sys *granularity.System, seq event.Sequence, refIdx []int, window int64, workers int, opt RunOptions) (int, error) {
+	verdicts, err := a.AcceptsBatch(ex, sys, seq, refIdx, window, workers, opt)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ok := range verdicts {
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}

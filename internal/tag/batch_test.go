@@ -1,0 +1,220 @@
+package tag
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/event"
+)
+
+// batchScenario compiles the plant cascade's first hop and generates a
+// workload with many overheat anchors, some of which extend to a match.
+func batchScenario(t testing.TB, seed int64) (*TAG, event.Sequence, []int) {
+	t.Helper()
+	s := core.NewStructure()
+	s.MustConstrain("A", "B", core.MustTCG(0, 0, "b-day"), core.MustTCG(1, 4, "hour"))
+	ct, err := core.NewComplexType(s, map[core.Variable]event.Type{
+		"A": "overheat-m0", "B": "malfunction-m0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Compile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := event.GeneratePlant(event.PlantFaultConfig{
+		Machines: 2, StartYear: 1996, Days: 365, Seed: seed, CascadeProb: 0.6,
+	})
+	var refIdx []int
+	for i, e := range seq {
+		if e.Type == "overheat-m0" {
+			refIdx = append(refIdx, i)
+		}
+	}
+	if len(refIdx) < 10 {
+		t.Fatalf("workload too thin: %d anchors", len(refIdx))
+	}
+	return a, seq, refIdx
+}
+
+// TestAcceptsBatchMatchesSerialLoop checks the batched API against the
+// one-at-a-time anchored loop it replaces, at several worker counts.
+func TestAcceptsBatchMatchesSerialLoop(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		a, seq, refIdx := batchScenario(t, seed)
+		want := make([]bool, len(refIdx))
+		for slot, i := range refIdx {
+			want[slot], _ = a.Accepts(sys, seq[i:], RunOptions{Anchored: true})
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			got, err := a.AcceptsBatch(nil, sys, seq, refIdx, 0, workers, RunOptions{})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			for slot := range want {
+				if got[slot] != want[slot] {
+					t.Fatalf("seed %d workers %d: verdict %d = %v, want %v",
+						seed, workers, slot, got[slot], want[slot])
+				}
+			}
+		}
+	}
+}
+
+// TestAcceptsBatchWindow checks the window bound cuts suffixes the same way
+// regardless of worker count.
+func TestAcceptsBatchWindow(t *testing.T) {
+	a, seq, refIdx := batchScenario(t, 7)
+	const window = int64(6 * 3600)
+	serial, err := a.AcceptsBatch(nil, sys, seq, refIdx, window, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := a.AcceptsBatch(nil, sys, seq, refIdx, window, 4, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrower := 0
+	full, _ := a.AcceptsBatch(nil, sys, seq, refIdx, 0, 1, RunOptions{})
+	for slot := range serial {
+		if serial[slot] != parallel[slot] {
+			t.Fatalf("windowed verdict %d differs across worker counts", slot)
+		}
+		if serial[slot] && !full[slot] {
+			t.Fatalf("window created a match at %d", slot)
+		}
+		if !serial[slot] && full[slot] {
+			narrower++
+		}
+	}
+	_ = narrower // the window may or may not cut matches; equality above is the point
+}
+
+// TestAcceptsBatchInterrupted checks a shared budget interrupts the whole
+// batch with the typed error, serially and in parallel.
+func TestAcceptsBatchInterrupted(t *testing.T) {
+	a, seq, refIdx := batchScenario(t, 13)
+	for _, workers := range []int{1, 4} {
+		ex := engine.Config{Budget: 50}.Start()
+		verdicts, err := a.AcceptsBatch(ex, sys, seq, refIdx, 0, workers, RunOptions{})
+		if !errors.Is(err, engine.ErrInterrupted) {
+			t.Fatalf("workers %d: err = %v, want ErrInterrupted", workers, err)
+		}
+		if verdicts != nil {
+			t.Fatalf("workers %d: interrupted batch leaked verdicts", workers)
+		}
+		var ip *engine.Interrupted
+		if !errors.As(err, &ip) || ip.Reason != "budget" {
+			t.Fatalf("workers %d: want budget reason, got %v", workers, err)
+		}
+	}
+}
+
+// TestAcceptsBatchCounters checks engine counters aggregate to the same
+// totals across worker counts: every reference's run does identical work,
+// only the interleaving changes.
+func TestAcceptsBatchCounters(t *testing.T) {
+	a, seq, refIdx := batchScenario(t, 17)
+	snap := func(workers int) map[string]int64 {
+		counters := engine.NewCounters()
+		ex := engine.Config{Observer: counters}.Start()
+		if _, err := a.AcceptsBatch(ex, sys, seq, refIdx, 0, workers, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return counters.Snapshot()
+	}
+	want := snap(1)
+	for _, workers := range []int{2, 8} {
+		got := snap(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers %d: counter sets differ: %v vs %v", workers, got, want)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("workers %d: counter %s = %d, want %d", workers, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestCountAccepts pins the tally reduction.
+func TestCountAccepts(t *testing.T) {
+	a, seq, refIdx := batchScenario(t, 19)
+	verdicts, err := a.AcceptsBatch(nil, sys, seq, refIdx, 0, 2, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, ok := range verdicts {
+		if ok {
+			want++
+		}
+	}
+	got, err := a.CountAccepts(nil, sys, seq, refIdx, 0, 2, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("CountAccepts = %d, want %d", got, want)
+	}
+	if want == 0 {
+		t.Fatal("workload planted no matches; test is vacuous")
+	}
+}
+
+// TestConcurrentRunnerBatches is the race/stress companion: many goroutines
+// drive independent Runners and batches over ONE automaton and ONE shared
+// granularity system (whose caches they all fill concurrently). Run under
+// -race; verdicts must agree with a quiet baseline run.
+func TestConcurrentRunnerBatches(t *testing.T) {
+	a, seq, refIdx := batchScenario(t, 23)
+	baseline, err := a.AcceptsBatch(nil, sys, seq, refIdx, 0, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				// Batch path.
+				got, err := a.AcceptsBatch(nil, sys, seq, refIdx, 0, 2, RunOptions{})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for slot := range baseline {
+					if got[slot] != baseline[slot] {
+						t.Errorf("worker %d: verdict %d diverged", w, slot)
+						return
+					}
+				}
+				return
+			}
+			// Streaming Runner path over the anchored suffix of each ref.
+			for slot, i := range refIdx {
+				r := a.NewRunner(sys, RunOptions{Anchored: true})
+				for _, e := range seq[i:] {
+					acc, ok := r.Feed(e)
+					if !ok {
+						t.Errorf("worker %d: runner rejected: %v", w, r.Err())
+						return
+					}
+					if acc {
+						break
+					}
+				}
+				if r.Accepted() != baseline[slot] {
+					t.Errorf("worker %d: runner verdict %d diverged", w, slot)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,145 @@
+package tempo_test
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	tempo "repro"
+)
+
+// runCLI executes one of the repo's commands via `go run` and returns its
+// combined output. The root parallel tests compare these outputs BYTE FOR
+// BYTE across worker counts: the worker pool must change wall-clock only,
+// never a single character of what the tools print.
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v failed: %v\n%s", args, err, out)
+	}
+	return out
+}
+
+// TestMinerParallelOutputByteIdentical mines the checked-in cascade problem
+// with 1, 2 and 8 workers and demands byte-identical stdout.
+func TestMinerParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	want := runCLI(t, "./cmd/miner",
+		"-problem", "testdata/cascade_problem.json", "-seq", "testdata/plant45.txt",
+		"-workers", "1")
+	for _, workers := range []string{"2", "8"} {
+		got := runCLI(t, "./cmd/miner",
+			"-problem", "testdata/cascade_problem.json", "-seq", "testdata/plant45.txt",
+			"-workers", workers)
+		if string(got) != string(want) {
+			t.Fatalf("workers=%s output diverged from serial:\n--- serial ---\n%s--- workers=%s ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("miner printed nothing; comparison is vacuous")
+	}
+}
+
+// TestTagrunParallelOutputByteIdentical drives the anchored tagrun scan —
+// including its per-match lines, which the batch layer must emit in
+// reference order — at several worker counts.
+func TestTagrunParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	spec := filepath.Join(t.TempDir(), "cascade_typed.json")
+	typed := `{
+  "edges": [
+    {"from": "X0", "to": "X1", "constraints": [{"min": 0, "max": 0, "gran": "b-day"}, {"min": 1, "max": 4, "gran": "hour"}]},
+    {"from": "X1", "to": "X2", "constraints": [{"min": 1, "max": 1, "gran": "b-day"}]}
+  ],
+  "assign": {"X0": "overheat-m0", "X1": "malfunction-m0", "X2": "shutdown-m0"}
+}`
+	if err := os.WriteFile(spec, []byte(typed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := runCLI(t, "./cmd/tagrun",
+		"-spec", spec, "-seq", "testdata/plant45.txt",
+		"-anchor", "overheat-m0", "-workers", "1")
+	for _, workers := range []string{"2", "8"} {
+		got := runCLI(t, "./cmd/tagrun",
+			"-spec", spec, "-seq", "testdata/plant45.txt",
+			"-anchor", "overheat-m0", "-workers", workers)
+		if string(got) != string(want) {
+			t.Fatalf("workers=%s output diverged from serial:\n--- serial ---\n%s--- workers=%s ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestChaosMiningParallel re-runs the fault-sweep recovery loop with the
+// worker pool active on both sides of the checkpoint: a parallel mine is
+// tripped at sampled work units, and the captured checkpoint — taken while
+// several workers held jobs — must resume (again in parallel) to the serial
+// answer.
+func TestChaosMiningParallel(t *testing.T) {
+	sys := tempo.DefaultSystem()
+	p, seq := chaosMiningProblem()
+	want, _, cp0, err := tempo.MineOptimizedCheckpoint(sys, p, seq, tempo.PipelineOptions{})
+	if err != nil || cp0 != nil {
+		t.Fatalf("unbounded mine: err=%v cp=%v", err, cp0)
+	}
+	if len(want) == 0 {
+		t.Fatal("uninterrupted mine found nothing; test is vacuous")
+	}
+	wantKeys := discoveryKeys(want)
+
+	op := func(cfg tempo.EngineConfig) error {
+		_, _, _, err := tempo.MineOptimizedCheckpoint(sys, p, seq, tempo.PipelineOptions{Workers: 4, Engine: cfg})
+		return err
+	}
+	w := findWork(t, "mining-parallel", op)
+
+	stride := w / 32
+	if stride < 1 {
+		stride = 1
+	}
+	for n := int64(1); n <= w; n += stride {
+		ds, _, cp, err := tempo.MineOptimizedCheckpoint(sys, p, seq, tempo.PipelineOptions{
+			Workers: 4,
+			Engine:  tempo.EngineConfig{Fault: &tempo.FaultPlan{TripAt: n}},
+		})
+		if err == nil {
+			// Unlike the serial sweep, a parallel mine may finish before a
+			// late fault point is reached on every schedule; just move on.
+			continue
+		}
+		if !errors.Is(err, tempo.ErrInterrupted) {
+			t.Fatalf("fault at %d: untyped error %v", n, err)
+		}
+		if ds != nil {
+			t.Fatalf("fault at %d: interrupted mine leaked discoveries", n)
+		}
+		if cp == nil {
+			t.Fatalf("fault at %d: no checkpoint", n)
+		}
+		got, _, cp2, err := tempo.MineResume(sys, p, seq, tempo.PipelineOptions{Workers: 4}, cp)
+		if err != nil {
+			t.Fatalf("fault at %d: parallel resume: %v", n, err)
+		}
+		if cp2 != nil {
+			t.Fatalf("fault at %d: clean resume returned a checkpoint", n)
+		}
+		gotKeys := discoveryKeys(got)
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("fault at %d: discovery sets differ: %v vs %v", n, gotKeys, wantKeys)
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("fault at %d: discovery sets differ: %v vs %v", n, gotKeys, wantKeys)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Parallel-scan benchmark gate.
+#
+# Runs the PR-3 benchmark quartet (E13 mining and TAG-batch, serial and
+# 8-worker parallel), writes the measurements plus machine shape to
+# BENCH_PR3.json, and — when a stored baseline exists — fails if any
+# benchmark regressed more than 20% against it.
+#
+# Usage:
+#   sh scripts/bench_compare.sh          # full run, regression gate
+#   sh scripts/bench_compare.sh smoke    # -benchtime=1x, no gate (CI wiring)
+#   sh scripts/bench_compare.sh baseline # full run, store the result as the
+#                                        # baseline for future gates
+#
+# The baseline lives at scripts/bench_baseline_pr3.json and is only
+# meaningful on the machine that produced it; regenerate it with `baseline`
+# after hardware or toolchain changes.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="BENCH_PR3.json"
+BASELINE="scripts/bench_baseline_pr3.json"
+BENCHES='BenchmarkE13MiningSerial|BenchmarkE13MiningParallel|BenchmarkTAGBatchSerial|BenchmarkTAGBatchParallel'
+
+case "$MODE" in
+smoke)    BENCHTIME="1x" ;;
+full|baseline) BENCHTIME="${BENCHTIME:-2s}" ;;
+*) echo "usage: $0 [smoke|full|baseline]" >&2; exit 2 ;;
+esac
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo ">> go test -run XXX -bench '$BENCHES' -benchtime=$BENCHTIME ."
+go test -run XXX -bench "$BENCHES" -benchtime="$BENCHTIME" -timeout 20m . | tee "$RAW"
+
+# Render the benchmark lines as JSON, with the machine shape the speedup
+# acceptance is conditioned on (the 2x target applies on 4+ core machines).
+awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[n] = $3; names[n] = name; n++
+}
+END {
+	printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+	for (i = 0; i < n; i++)
+		printf "    \"%s\": %s%s\n", names[i], ns[i], (i+1<n ? "," : "")
+	printf "  }"
+	for (i = 0; i < n; i++) { v[names[i]] = ns[i] }
+	if (("BenchmarkE13MiningSerial" in v) && ("BenchmarkE13MiningParallel" in v) && v["BenchmarkE13MiningParallel"] > 0)
+		printf ",\n  \"e13_speedup\": %.3f", v["BenchmarkE13MiningSerial"] / v["BenchmarkE13MiningParallel"]
+	if (("BenchmarkTAGBatchSerial" in v) && ("BenchmarkTAGBatchParallel" in v) && v["BenchmarkTAGBatchParallel"] > 0)
+		printf ",\n  \"tag_batch_speedup\": %.3f", v["BenchmarkTAGBatchSerial"] / v["BenchmarkTAGBatchParallel"]
+	printf "\n}\n"
+}' "$RAW" > "$OUT"
+echo ">> wrote $OUT"
+cat "$OUT"
+
+if [ "$MODE" = smoke ]; then
+	echo "bench_compare: smoke OK (no gate)"
+	exit 0
+fi
+
+if [ "$MODE" = baseline ]; then
+	cp "$OUT" "$BASELINE"
+	echo "bench_compare: baseline stored at $BASELINE"
+	exit 0
+fi
+
+# On a machine with real parallelism the 8-worker E13 scan must be at least
+# 2x the serial one; on fewer than 4 cores the pool can only tread water, so
+# the speedup is informational there (BENCH_PR3.json records the core count).
+awk '
+$1 == "\"cores\":" { gsub(/,/, "", $2); cores = $2 + 0 }
+$1 == "\"e13_speedup\":" { gsub(/,/, "", $2); speedup = $2 + 0 }
+END {
+	if (cores >= 4 && speedup < 2.0) {
+		printf "E13 parallel speedup %.2fx < 2x on a %d-core machine\n", speedup, cores
+		exit 1
+	}
+	if (cores >= 4) printf "E13 parallel speedup: %.2fx on %d cores\n", speedup, cores
+	else printf "E13 speedup gate skipped: only %d core(s)\n", cores
+}' "$OUT" || { echo "bench_compare: FAILED (parallel speedup)" >&2; exit 1; }
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench_compare: no baseline at $BASELINE; run '$0 baseline' first" >&2
+	exit 1
+fi
+
+# Gate: every benchmark must stay within 20% of its baseline ns/op.
+awk '
+FNR == NR {
+	if ($1 ~ /^"Benchmark/) { gsub(/[",:]/, "", $1); base[$1] = $2 + 0 }
+	next
+}
+{
+	if ($1 ~ /^"Benchmark/) { gsub(/[",:]/, "", $1); cur[$1] = $2 + 0 }
+}
+END {
+	bad = 0
+	for (k in base) {
+		if (!(k in cur)) { printf "missing benchmark %s in current run\n", k; bad = 1; continue }
+		if (base[k] > 0 && cur[k] > base[k] * 1.20) {
+			printf "REGRESSION %s: %.0f ns/op vs baseline %.0f (+%.1f%%)\n",
+				k, cur[k], base[k], (cur[k]/base[k] - 1) * 100
+			bad = 1
+		}
+	}
+	exit bad
+}' "$BASELINE" "$OUT" || { echo "bench_compare: FAILED (>20% regression)" >&2; exit 1; }
+echo "bench_compare: OK (within 20% of baseline)"

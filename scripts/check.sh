@@ -19,4 +19,6 @@ echo '>> go test -race ./...'
 go test -race ./...
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
+echo '>> bench smoke (parallel scan, no gate)'
+sh scripts/bench_compare.sh smoke
 echo 'check: OK'
