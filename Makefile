@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json serve-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ check:
 # Run every native fuzz target for a short burst (FUZZTIME=10s by default).
 fuzz-smoke:
 	sh scripts/fuzz_smoke.sh
+
+# Boot tempod on an ephemeral port and exercise every endpoint once:
+# health, a check, a streaming session, a mining job, a SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

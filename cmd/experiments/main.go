@@ -28,8 +28,13 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	md := flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+	version := cli.RegisterVersionFlag(flag.CommandLine)
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
 
 	if err := run(os.Stdout, *id, *quick, *list, *md, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

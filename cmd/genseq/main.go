@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/event"
 )
 
@@ -27,7 +28,12 @@ func main() {
 	accounts := flag.Int("accounts", 3, "atm: number of accounts")
 	machines := flag.Int("machines", 2, "plant: number of machines")
 	cascade := flag.Float64("cascade", 0.7, "plant: cascade probability")
+	version := cli.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
 
 	if err := run(os.Stdout, *kind, *days, *year, *seed, *symbols, *accounts, *machines, *cascade); err != nil {
 		fmt.Fprintln(os.Stderr, "genseq:", err)

@@ -35,7 +35,12 @@ func main() {
 	metrics := flag.String("metrics", "", "comma-separated k values: print minsize/maxsize/mingap")
 	relate := flag.String("relate", "", "a,b: classify the relationship of a versus b")
 	convert := flag.String("convert", "", `constraint conversion, e.g. "[0,5]b-day->week"`)
+	version := cli.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
 
 	if err := run(os.Stdout, *gransFlag, *list, *g, *at, *metrics, *relate, *convert); err != nil {
 		fmt.Fprintln(os.Stderr, "grantool:", err)

@@ -22,6 +22,9 @@
 // -workers N shards the step-5 candidate scans over N goroutines (default:
 // the problem spec's "workers", else one per core). Discoveries, stats and
 // checkpoints are byte-identical for every worker count.
+//
+// -json emits the canonical JSON result instead of text — byte-identical to
+// the "result" object of a tempod mining job for the same problem.
 package main
 
 import (
@@ -29,7 +32,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -47,18 +49,30 @@ func main() {
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	explain := flag.Int("explain", 0, "print up to N witness occurrences per discovery")
 	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
+	jsonOut := flag.Bool("json", false, "emit the canonical JSON result instead of text")
+	version := cli.RegisterVersionFlag(flag.CommandLine)
 	workers := cli.RegisterWorkersFlag(flag.CommandLine)
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
 
-	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *checkpoint, *tau, *naive, *explain, *workers, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *checkpoint, *tau, *naive, *jsonOut, *explain, *workers, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "miner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive bool, explain, workers int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive, jsonOut bool, explain, workers int, ef *cli.EngineFlags) error {
 	defer ef.Finish(out)
+	// Text mode streams notices (resume/checkpoint lines) as they happen;
+	// JSON mode suppresses them and emits one canonical document at the end.
+	textw := out
+	if jsonOut {
+		textw = io.Discard
+	}
 	sys, err := cli.LoadSystem(gransFlag)
 	if err != nil {
 		return err
@@ -85,6 +99,7 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 		if err != nil {
 			return err
 		}
+		tau = p.MinConfidence
 	case specPath != "" && ref != "":
 		s, assign, err := cli.LoadStructure(specPath)
 		if err != nil {
@@ -127,7 +142,7 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 			return lerr
 		}
 		if loaded {
-			fmt.Fprintf(out, "resumed from %s (stage %s)\n", cpPath, cp.Stage)
+			fmt.Fprintf(textw, "resumed from %s (stage %s)\n", cpPath, cp.Stage)
 			ds, stats, next, err = mining.Resume(sys, p, seq, opt, cp)
 		} else {
 			ds, stats, next, err = mining.OptimizedCheckpoint(sys, p, seq, opt)
@@ -136,7 +151,7 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 			if serr := cli.SaveCheckpoint(cpPath, next.Encode); serr != nil {
 				return serr
 			}
-			fmt.Fprintf(out, "checkpoint written to %s (stage %s)\n", cpPath, next.Stage)
+			fmt.Fprintf(textw, "checkpoint written to %s (stage %s)\n", cpPath, next.Stage)
 		} else if err == nil {
 			// The mine finished; a leftover snapshot would resume a done run.
 			os.Remove(cpPath)
@@ -145,48 +160,21 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 		opt.Engine = ef.Config()
 		ds, stats, err = mining.Optimized(sys, p, seq, opt)
 	}
+	var res *cli.MineResult
 	if err != nil {
-		if cli.ReportInterrupted(out, err) {
-			return nil
+		ii := cli.InterruptedFrom(err)
+		if ii == nil {
+			return err
 		}
-		return err
-	}
-	fmt.Fprintf(out, "events=%d (reduced %d) references=%d candidates=%d scanned=%d tagRuns=%d\n",
-		stats.SequenceEvents, stats.ReducedEvents, stats.ReferenceOccurrences,
-		stats.CandidatesTotal, stats.CandidatesScanned, stats.TagRuns)
-	if stats.Inconsistent {
-		fmt.Fprintln(out, "structure is inconsistent; no solutions possible")
-		return nil
-	}
-	if len(ds) == 0 {
-		fmt.Fprintf(out, "no complex event type exceeds confidence %.3f\n", tau)
-		return nil
-	}
-	for _, d := range ds {
-		vars := make([]string, 0, len(d.Assign))
-		for v := range d.Assign {
-			vars = append(vars, string(v))
-		}
-		sort.Strings(vars)
-		fmt.Fprintf(out, "freq=%.3f matches=%d:", d.Frequency, d.Matches)
-		for _, v := range vars {
-			fmt.Fprintf(out, " %s=%s", v, d.Assign[core.Variable(v)])
-		}
-		fmt.Fprintln(out)
-		if explain > 0 {
-			ws, err := mining.Explain(sys, p, seq, d, explain)
-			if err != nil {
-				return err
-			}
-			for _, w := range ws {
-				fmt.Fprintf(out, "  witness @ %s:", event.Civil(w.Reference.Time))
-				for _, v := range vars {
-					e := w.Binding[core.Variable(v)]
-					fmt.Fprintf(out, " %s=%s", v, event.Civil(e.Time))
-				}
-				fmt.Fprintln(out)
-			}
+		res = &cli.MineResult{Tau: tau, Interrupted: ii}
+	} else {
+		res, err = cli.BuildMineResult(sys, p, seq, ds, stats, tau, explain)
+		if err != nil {
+			return err
 		}
 	}
-	return nil
+	if jsonOut {
+		return res.EncodeJSON(out)
+	}
+	return res.RenderText(out)
 }

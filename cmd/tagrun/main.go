@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	tagrun -spec type.json -seq events.txt [-anchor TYPE] [-print]
+//	tagrun -spec type.json -seq events.txt [-anchor TYPE] [-print] [-json]
 //
 // The shared solver flags -timeout, -budget and -stats bound the simulation
 // and print the engine counter table; an interrupted scan reports
-// INTERRUPTED with the work done so far instead of failing.
+// INTERRUPTED with the work done so far instead of failing. -json emits the
+// canonical JSON result instead of text — the same encoding the tempod
+// server uses for TAG session responses.
 //
 // With -checkpoint FILE (unanchored runs only), an interrupted scan writes a
 // resumable snapshot to FILE before exiting, and a later invocation with the
@@ -29,7 +31,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -47,17 +48,23 @@ func main() {
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	dot := flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
 	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
+	jsonOut := flag.Bool("json", false, "emit the canonical JSON result instead of text")
+	version := cli.RegisterVersionFlag(flag.CommandLine)
 	workers := cli.RegisterWorkersFlag(flag.CommandLine)
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
 
-	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *checkpoint, *printTAG, *strict, *workers, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *checkpoint, *printTAG, *strict, *jsonOut, *workers, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tagrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict bool, workers int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict, jsonOut bool, workers int, ef *cli.EngineFlags) error {
 	eng := ef.Config()
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
@@ -84,10 +91,18 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath st
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "TAG: %d states, %d transitions, %d clocks\n",
-		a.NumStates(), a.NumTransitions(), len(a.Clocks()))
+	// Text mode streams the historical output as the run progresses; JSON
+	// mode collects everything into the shared result and emits it once at
+	// the end, so incidental notices go nowhere.
+	textw := out
+	if jsonOut {
+		textw = io.Discard
+	}
+	res := &cli.TagResult{Automaton: cli.AutomatonInfoOf(a)}
+	fmt.Fprintf(textw, "TAG: %d states, %d transitions, %d clocks\n",
+		res.Automaton.States, res.Automaton.Transitions, res.Automaton.Clocks)
 	if printTAG {
-		fmt.Fprint(out, a)
+		fmt.Fprint(textw, a)
 	}
 	if dotPath != "" {
 		df, err := os.Create(dotPath)
@@ -109,7 +124,7 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath st
 	}
 
 	if anchor == "" {
-		return runStream(out, a, sys, seq, tag.RunOptions{Strict: strict, Engine: eng}, cpPath)
+		return runStream(out, textw, a, sys, seq, tag.RunOptions{Strict: strict, Engine: eng}, cpPath, jsonOut, res)
 	}
 	if cpPath != "" {
 		return fmt.Errorf("-checkpoint is only supported for unanchored runs (drop -anchor)")
@@ -131,27 +146,45 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath st
 	verdicts, err := a.AcceptsBatch(ex, sys, seq, refIdx, 0, cli.ResolveWorkers(workers, 0),
 		tag.RunOptions{Strict: strict})
 	if err != nil {
-		if cli.ReportInterrupted(out, err) {
-			return nil
+		if ii := cli.InterruptedFrom(err); ii != nil {
+			res.Interrupted = ii
+			return emit(out, textw, res, jsonOut)
 		}
 		return err
 	}
-	matches := 0
+	ar := &cli.AnchoredResult{References: len(refIdx)}
 	for slot, ok := range verdicts {
 		if ok {
-			matches++
-			fmt.Fprintf(out, "match at %s\n", event.Civil(seq[refIdx[slot]].Time))
+			ar.MatchCount++
+			ar.Matches = append(ar.Matches, event.Civil(seq[refIdx[slot]].Time))
 		}
 	}
-	fmt.Fprintf(out, "references=%d matches=%d frequency=%.3f\n",
-		len(refIdx), matches, float64(matches)/float64(len(refIdx)))
+	ar.Frequency = float64(ar.MatchCount) / float64(ar.References)
+	res.Anchored = ar
+	return emit(out, textw, res, jsonOut)
+}
+
+// emit finishes the run: JSON mode writes the canonical document to out;
+// text mode renders the result body (the TAG header already streamed).
+func emit(out, textw io.Writer, res *cli.TagResult, jsonOut bool) error {
+	if jsonOut {
+		return res.EncodeJSON(out)
+	}
+	switch {
+	case res.Stream != nil:
+		return res.Stream.RenderText(textw)
+	case res.Anchored != nil:
+		return res.Anchored.RenderText(textw)
+	case res.Interrupted != nil:
+		fmt.Fprintf(textw, "INTERRUPTED (%s) after %d work units\n", res.Interrupted.Reason, res.Interrupted.Steps)
+	}
 	return nil
 }
 
 // runStream drives the unanchored scan as an online Runner so it can be
 // checkpointed: if cpPath holds a snapshot the scan resumes from it, and an
 // engine interruption writes a fresh snapshot there before reporting.
-func runStream(out io.Writer, a *tag.TAG, sys *granularity.System, seq event.Sequence, opt tag.RunOptions, cpPath string) error {
+func runStream(out, textw io.Writer, a *tag.TAG, sys *granularity.System, seq event.Sequence, opt tag.RunOptions, cpPath string, jsonOut bool, res *cli.TagResult) error {
 	var r *tag.Runner
 	skip := 0
 	if cpPath != "" {
@@ -173,12 +206,14 @@ func runStream(out io.Writer, a *tag.TAG, sys *granularity.System, seq event.Seq
 			if skip > len(seq) {
 				return fmt.Errorf("checkpoint consumed %d events but the sequence has %d", skip, len(seq))
 			}
-			fmt.Fprintf(out, "resumed from %s at event %d\n", cpPath, skip)
+			fmt.Fprintf(textw, "resumed from %s at event %d\n", cpPath, skip)
 		}
 	}
 	if r == nil {
 		r = a.NewRunner(sys, opt)
 	}
+	var acceptTime int64
+	haveAcceptTime := false
 	for _, e := range seq[skip:] {
 		acc, ok := r.Feed(e)
 		if !ok {
@@ -195,44 +230,25 @@ func runStream(out io.Writer, a *tag.TAG, sys *granularity.System, seq event.Seq
 				if err := cli.SaveCheckpoint(cpPath, cp.Encode); err != nil {
 					return err
 				}
-				fmt.Fprintf(out, "checkpoint written to %s at event %d\n", cpPath, cp.Steps)
+				fmt.Fprintf(textw, "checkpoint written to %s at event %d\n", cpPath, cp.Steps)
 			}
-			if cli.ReportInterrupted(out, r.Err()) {
-				return nil
+			if ii := cli.InterruptedFrom(r.Err()); ii != nil {
+				res.Interrupted = ii
+				return emit(out, textw, res, jsonOut)
 			}
 			return r.Err()
 		}
 		if acc {
+			acceptTime = e.Time
+			haveAcceptTime = true
 			break
 		}
 	}
-	ok := r.Accepted()
-	fmt.Fprintf(out, "events=%d accepted=%v steps=%d maxFrontier=%d\n",
-		len(seq), ok, r.Steps(), r.MaxFrontier())
-	if r.Degraded() {
-		fmt.Fprintln(out, "WARNING: run frontier overflowed; non-acceptance is not a verdict")
-	}
-	if ok {
-		idx := r.Steps() - 1
-		fmt.Fprintf(out, "first acceptance at event index %d (%s)\n",
-			idx, event.Civil(seq[idx].Time))
-		if b := r.Binding(); len(b) > 0 {
-			vars := make([]string, 0, len(b))
-			for v := range b {
-				vars = append(vars, v)
-			}
-			sort.Strings(vars)
-			fmt.Fprint(out, "binding:")
-			for _, v := range vars {
-				fmt.Fprintf(out, " %s=%d", v, b[v])
-			}
-			fmt.Fprintln(out)
-		}
-	}
+	res.Stream = cli.StreamResultFromRunner(r, len(seq), acceptTime, haveAcceptTime)
 	// The scan ran to a verdict; a leftover snapshot would resume a finished
 	// run, so drop it.
 	if cpPath != "" {
 		os.Remove(cpPath)
 	}
-	return nil
+	return emit(out, textw, res, jsonOut)
 }

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	tcgcheck -spec structure.json [-exact] [-from 1996] [-to 1999]
+//	tcgcheck -spec structure.json [-exact] [-from 1996] [-to 1999] [-json]
 //
 // The shared solver flags -timeout, -budget and -stats bound the solve and
 // print the engine counter table; an interrupted solve reports INTERRUPTED
-// with the work done so far instead of failing.
+// with the work done so far instead of failing. -json emits the canonical
+// JSON result instead of text — byte-identical to the tempod server's
+// POST /v1/check response for the same spec.
 //
 // The spec format is the JSON form of core.Spec, e.g.:
 //
@@ -24,9 +26,6 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
-	"repro/internal/event"
-	"repro/internal/exact"
-	"repro/internal/propagate"
 )
 
 func main() {
@@ -36,16 +35,22 @@ func main() {
 	toYear := flag.Int("to", 1999, "exact horizon end year")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	dot := flag.String("dot", "", "write the structure as Graphviz DOT to this file")
+	jsonOut := flag.Bool("json", false, "emit the canonical JSON result instead of text")
+	version := cli.RegisterVersionFlag(flag.CommandLine)
 	ef := cli.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
 
-	if err := run(os.Stdout, *specPath, *grans, *dot, *runExact, *fromYear, *toYear, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *grans, *dot, *runExact, *fromYear, *toYear, *jsonOut, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tcgcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, fromYear, toYear int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, fromYear, toYear int, jsonOut bool, ef *cli.EngineFlags) error {
 	eng := ef.Config()
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
@@ -69,8 +74,6 @@ func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, from
 			return err
 		}
 	}
-	fmt.Fprintln(out, "structure:")
-	fmt.Fprint(out, s)
 	if dotPath != "" {
 		df, err := os.Create(dotPath)
 		if err != nil {
@@ -85,42 +88,14 @@ func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, from
 		}
 	}
 
-	r, err := propagate.Run(sys, s, propagate.Options{Engine: eng})
+	res, err := cli.RunCheck(sys, s, cli.CheckOptions{
+		Exact: runExact, FromYear: fromYear, ToYear: toYear, Engine: eng,
+	})
 	if err != nil {
-		if cli.ReportInterrupted(out, err) {
-			return nil
-		}
 		return err
 	}
-	if !r.Consistent {
-		fmt.Fprintln(out, "propagation: INCONSISTENT (definitive)")
-		return nil
+	if jsonOut {
+		return res.EncodeJSON(out)
 	}
-	fmt.Fprintf(out, "propagation: not refuted (%d iterations); derived constraints:\n", r.Iterations)
-	if err := r.Render(out); err != nil {
-		return err
-	}
-	vars := s.Variables()
-	if !runExact {
-		return nil
-	}
-	start := event.At(fromYear, 1, 1, 0, 0, 0)
-	end := event.At(toYear, 12, 31, 23, 59, 59)
-	v, err := exact.Solve(sys, s, exact.Options{Start: start, End: end, Engine: eng})
-	if err != nil {
-		if cli.ReportInterrupted(out, err) {
-			return nil
-		}
-		return err
-	}
-	if !v.Satisfiable {
-		fmt.Fprintf(out, "exact: UNSATISFIABLE within [%s, %s] (%d nodes)\n",
-			event.Civil(start), event.Civil(end), v.Nodes)
-		return nil
-	}
-	fmt.Fprintf(out, "exact: SATISFIABLE (%d nodes); witness:\n", v.Nodes)
-	for _, x := range vars {
-		fmt.Fprintf(out, "  %s = %s\n", x, event.Civil(v.Witness[x]))
-	}
-	return nil
+	return res.RenderText(out)
 }

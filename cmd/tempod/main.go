@@ -1,0 +1,113 @@
+// Command tempod is the daemon form of the toolchain: consistency checks,
+// streaming TAG sessions and mining jobs over HTTP/JSON, with admission
+// control, checkpoint-backed crash recovery and Prometheus metrics.
+//
+// Usage:
+//
+//	tempod -data /var/lib/tempod                # listen on 127.0.0.1:8417
+//	tempod -data ./state -addr 127.0.0.1:0      # ephemeral port (printed)
+//
+// Endpoints:
+//
+//	POST   /v1/check                    consistency check (tcgcheck -json)
+//	POST   /v1/tag/sessions             open a streaming TAG session
+//	POST   /v1/tag/sessions/{id}/events feed events to a session
+//	GET    /v1/tag/sessions/{id}        poll a session
+//	DELETE /v1/tag/sessions/{id}        close a session
+//	POST   /v1/mining/jobs              submit an async mining job
+//	GET    /v1/mining/jobs/{id}         poll a job
+//	GET    /healthz                     liveness (503 while draining)
+//	GET    /metrics                     Prometheus text exposition
+//
+// SIGTERM/SIGINT drains gracefully: in-flight requests finish, sessions
+// checkpoint, running mining attempts park as resumable checkpoints, and
+// new requests are refused with 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8417", "listen address (port 0 picks an ephemeral port)")
+	data := flag.String("data", "", "state directory for session and job checkpoints (required)")
+	gransFlag := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	inflight := flag.Int("inflight", 8, "max concurrently running synchronous requests")
+	queue := flag.Int("queue", 16, "max synchronous requests waiting for a slot (beyond: 429)")
+	jobWorkers := flag.Int("job-workers", 2, "mining worker pool size")
+	jobQueue := flag.Int("job-queue", 64, "max queued mining jobs (beyond: 429)")
+	maxSessions := flag.Int("max-sessions", 1024, "max live streaming sessions")
+	scanWorkers := flag.Int("workers", 0, "default TAG scan fan-out per mining job (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a drain may wait for in-flight work")
+	version := cli.RegisterVersionFlag(flag.CommandLine)
+	flag.Parse()
+	if *version {
+		cli.PrintVersion(os.Stdout)
+		return
+	}
+
+	if err := run(os.Stdout, *addr, *data, *gransFlag, *inflight, *queue, *jobWorkers, *jobQueue,
+		*maxSessions, *scanWorkers, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "tempod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, addr, data, gransFlag string, inflight, queue, jobWorkers, jobQueue,
+	maxSessions, scanWorkers int, drainTimeout time.Duration) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	srv, err := server.New(server.Config{
+		DataDir:       data,
+		Grans:         gransFlag,
+		MaxInflight:   inflight,
+		QueueDepth:    queue,
+		JobWorkers:    jobWorkers,
+		JobQueueDepth: jobQueue,
+		MaxSessions:   maxSessions,
+		ScanWorkers:   scanWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "tempod listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(out, "tempod draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	fmt.Fprintln(out, "tempod stopped")
+	return drainErr
+}

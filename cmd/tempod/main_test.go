@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/event"
+	"repro/internal/server"
+)
+
+// The kill/restart tests need a real process to SIGKILL, so they run the
+// built binary rather than run() in-process.
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func tempodBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "tempod-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "tempod")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// daemon is one running tempod process.
+type daemon struct {
+	cmd  *exec.Cmd
+	url  string
+	out  *bytes.Buffer // stdout after the listening line
+	done chan error
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// wait blocks until the process exits (idempotent).
+func (d *daemon) wait() error {
+	d.waitOnce.Do(func() { d.waitErr = <-d.done })
+	return d.waitErr
+}
+
+// startDaemon boots tempod on an ephemeral port and scrapes the base URL
+// from its "tempod listening on http://..." line.
+func startDaemon(t *testing.T, dataDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(tempodBinary(t), "-addr", "127.0.0.1:0", "-data", dataDir, "-job-workers", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, out: &bytes.Buffer{}, done: make(chan error, 1)}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		d.wait()
+	})
+
+	lines := make(chan string, 1)
+	go func() {
+		r := bufio.NewReader(stdout)
+		line, err := r.ReadString('\n')
+		if err == nil {
+			lines <- line
+		}
+		d.out.ReadFrom(r)
+		d.done <- cmd.Wait()
+	}()
+	select {
+	case line := <-lines:
+		const marker = "tempod listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("unexpected first line %q", line)
+		}
+		d.url = strings.TrimSpace(line[i+len(marker):])
+	case <-time.After(20 * time.Second):
+		t.Fatal("tempod never reported its address")
+	}
+	return d
+}
+
+func httpJSON(t *testing.T, method, url string, body []byte, v any) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if v != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+			t.Fatalf("decoding %s %s: %v\n%s", method, url, err, buf.Bytes())
+		}
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func jobBody(t *testing.T, extra string) []byte {
+	t.Helper()
+	problem, err := os.ReadFile("../../testdata/cascade_problem.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cli.ReadSequence("../../testdata/plant45.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]map[string]any, 0, len(seq))
+	for _, e := range seq {
+		items = append(items, map[string]any{"time": e.Time, "type": string(e.Type)})
+	}
+	ij, _ := json.Marshal(items)
+	return []byte(`{"problem":` + strings.TrimSpace(string(problem)) + `,"events":` + string(ij) + extra + `}`)
+}
+
+func pollJobHTTP(t *testing.T, baseURL, id string, until func(*server.JobStatusResponse) bool) *server.JobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var js server.JobStatusResponse
+		status, body := httpJSON(t, http.MethodGet, baseURL+"/v1/mining/jobs/"+id, nil, &js)
+		if status != http.StatusOK {
+			t.Fatalf("poll status %d: %s", status, body)
+		}
+		if until(&js) {
+			return &js
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job never reached the expected state")
+	return nil
+}
+
+// TestSIGTERMDrains: a SIGTERM exits cleanly through the drain path, with
+// the session checkpoint surviving on disk.
+func TestSIGTERMDrains(t *testing.T) {
+	dataDir := t.TempDir()
+	d := startDaemon(t, dataDir)
+
+	var cr server.SessionCreateResponse
+	status, body := httpJSON(t, http.MethodPost, d.url+"/v1/tag/sessions",
+		[]byte(`{"spec":{"edges":[{"from":"X0","to":"X1","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"X0":"a","X1":"b"}}}`), &cr)
+	if status != http.StatusCreated {
+		t.Fatalf("session create: %d %s", status, body)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- d.wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("tempod exited with %v\n%s", err, d.out.Bytes())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("tempod did not exit after SIGTERM")
+	}
+	out := d.out.String()
+	if !strings.Contains(out, "tempod draining") || !strings.Contains(out, "tempod stopped") {
+		t.Fatalf("drain lines missing from output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "sessions", cr.ID+".json")); err != nil {
+		t.Fatalf("session record missing after drain: %v", err)
+	}
+}
+
+// TestKillRestartRecovery: SIGKILL the daemon (no drain), restart on the
+// same data dir, and verify the checkpointed session is byte-identical and
+// the interrupted mining job resumes to the same discovery set a fresh
+// unbounded job finds.
+func TestKillRestartRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	d1 := startDaemon(t, dataDir)
+
+	var cr server.SessionCreateResponse
+	status, body := httpJSON(t, http.MethodPost, d1.url+"/v1/tag/sessions",
+		[]byte(`{"spec":{"edges":[{"from":"X0","to":"X1","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"X0":"a","X1":"b"}}}`), &cr)
+	if status != http.StatusCreated {
+		t.Fatalf("session create: %d %s", status, body)
+	}
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	feed, _ := json.Marshal(map[string]any{"events": []map[string]any{
+		{"time": t0, "type": "a"}, {"time": t0 + 900, "type": "x"},
+	}})
+	if status, body := httpJSON(t, http.MethodPost, d1.url+"/v1/tag/sessions/"+cr.ID+"/events", feed, nil); status != http.StatusOK {
+		t.Fatalf("feed: %d %s", status, body)
+	}
+	_, sessionBefore := httpJSON(t, http.MethodGet, d1.url+"/v1/tag/sessions/"+cr.ID, nil, nil)
+
+	// Budget 250 interrupts the cascade mine mid-scan; resume finishes it.
+	var created server.JobStatusResponse
+	status, body = httpJSON(t, http.MethodPost, d1.url+"/v1/mining/jobs", jobBody(t, `,"budget":250`), &created)
+	if status != http.StatusAccepted {
+		t.Fatalf("job submit: %d %s", status, body)
+	}
+	pollJobHTTP(t, d1.url, created.ID, func(js *server.JobStatusResponse) bool {
+		return js.State == server.JobInterrupted
+	})
+	// Wait for the on-disk record before killing (state flips before the
+	// persist completes).
+	jobFile := filepath.Join(dataDir, "jobs", created.ID+".json")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(jobFile); err == nil && bytes.Contains(data, []byte(`"state": "interrupted"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interrupted job record never persisted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.wait()
+
+	var resumed *server.JobStatusResponse
+	var sessionAfter []byte
+	for restart := 0; restart < 10 && resumed == nil; restart++ {
+		d := startDaemon(t, dataDir)
+		if restart == 0 {
+			_, sessionAfter = httpJSON(t, http.MethodGet, d.url+"/v1/tag/sessions/"+cr.ID, nil, nil)
+		}
+		js := pollJobHTTP(t, d.url, created.ID, func(js *server.JobStatusResponse) bool {
+			return js.State != server.JobQueued && js.State != server.JobRunning
+		})
+		if js.State == server.JobDone || js.State == server.JobFailed {
+			resumed = js
+			// Reference: a fresh unbounded job on the live daemon.
+			var fresh server.JobStatusResponse
+			if status, body := httpJSON(t, http.MethodPost, d.url+"/v1/mining/jobs", jobBody(t, ""), &fresh); status != http.StatusAccepted {
+				t.Fatalf("reference submit: %d %s", status, body)
+			}
+			ref := pollJobHTTP(t, d.url, fresh.ID, func(js *server.JobStatusResponse) bool {
+				return js.State == server.JobDone || js.State == server.JobFailed
+			})
+			if resumed.State != server.JobDone || ref.State != server.JobDone {
+				t.Fatalf("resumed %q (%s), reference %q (%s)", resumed.State, resumed.Error, ref.State, ref.Error)
+			}
+			got, _ := json.Marshal(resumed.Result.Discoveries)
+			want, _ := json.Marshal(ref.Result.Discoveries)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("resumed discoveries differ:\ngot:  %s\nwant: %s", got, want)
+			}
+		}
+		d.cmd.Process.Kill()
+		d.wait()
+	}
+	if resumed == nil {
+		t.Fatal("job never finished across restarts")
+	}
+	if !bytes.Equal(sessionBefore, sessionAfter) {
+		t.Fatalf("restored session differs:\nbefore:\n%s\nafter:\n%s", sessionBefore, sessionAfter)
+	}
+}
+
+// TestVersionFlag: tempod honors the shared -version flag.
+func TestVersionFlag(t *testing.T) {
+	out, err := exec.Command(tempodBinary(t), "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "tempo ") {
+		t.Fatalf("version output %q", out)
+	}
+}

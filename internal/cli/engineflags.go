@@ -20,17 +20,23 @@ type EngineFlags struct {
 	Timeout time.Duration
 	Budget  int64
 	Stats   bool
+	// StatsFormat picks the -stats rendering: "table" (aligned two-column
+	// table) or "prom" (Prometheus text exposition, the same bytes tempod
+	// serves on /metrics).
+	StatsFormat string
 
 	counters *engine.Counters
 	cancel   context.CancelFunc
 }
 
-// RegisterEngineFlags registers -timeout, -budget and -stats on fs.
+// RegisterEngineFlags registers -timeout, -budget, -stats and
+// -stats-format on fs.
 func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	ef := &EngineFlags{}
 	fs.DurationVar(&ef.Timeout, "timeout", 0, "abort the solve after this wall-clock duration (0 = none)")
 	fs.Int64Var(&ef.Budget, "budget", 0, "abort the solve after this many work units (0 = unbounded)")
 	fs.BoolVar(&ef.Stats, "stats", false, "print engine counters and stage timings on exit")
+	fs.StringVar(&ef.StatsFormat, "stats-format", "table", "render -stats as 'table' or 'prom' (Prometheus text exposition)")
 	return ef
 }
 
@@ -58,7 +64,11 @@ func (ef *EngineFlags) Finish(w io.Writer) {
 		ef.cancel = nil
 	}
 	if ef.counters != nil {
-		ef.counters.WriteTable(w)
+		if ef.StatsFormat == "prom" {
+			engine.WriteMetricsText(w, ef.counters)
+		} else {
+			ef.counters.WriteTable(w)
+		}
 	}
 }
 

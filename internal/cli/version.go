@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"strings"
+)
+
+// RegisterVersionFlag registers the shared -version flag. Commands check
+// the returned pointer after flag.Parse and, when set, print
+// VersionString and exit instead of running.
+func RegisterVersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print the build version and exit")
+}
+
+// VersionString renders the module version plus the VCS revision and
+// commit time embedded by the Go toolchain (runtime/debug.ReadBuildInfo).
+// Builds without VCS stamping (e.g. `go test` binaries) degrade to the
+// module version alone.
+func VersionString() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "tempo (no build info)"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, dirty, when string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		case "vcs.time":
+			when = s.Value
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tempo %s", version)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&sb, " (%s%s", rev, dirty)
+		if when != "" {
+			fmt.Fprintf(&sb, ", %s", when)
+		}
+		sb.WriteString(")")
+	}
+	fmt.Fprintf(&sb, " %s", bi.GoVersion)
+	return sb.String()
+}
+
+// PrintVersion writes VersionString to w with a trailing newline.
+func PrintVersion(w io.Writer) {
+	fmt.Fprintln(w, VersionString())
+}

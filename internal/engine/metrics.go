@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMetricsText renders a counter set in the Prometheus text exposition
+// format (version 0.0.4): one `tempo_counter_total` sample per counter and
+// one `tempo_stage_seconds_total` / `tempo_stage_calls_total` pair per
+// stage timer, all labelled with the engine name so dotted counter names
+// like "tag.events.rejected" survive unmangled. Samples are sorted by
+// label, so equal counter sets render to identical bytes. The same text
+// backs the CLIs' `-stats -stats-format prom` output and tempod's /metrics
+// endpoint.
+func WriteMetricsText(w io.Writer, c *Counters) error {
+	bw := bufio.NewWriter(w)
+
+	counts := c.Snapshot()
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(bw, "# HELP tempo_counter_total Cumulative engine counter values.")
+	fmt.Fprintln(bw, "# TYPE tempo_counter_total counter")
+	for _, k := range names {
+		fmt.Fprintf(bw, "tempo_counter_total{name=%s} %d\n", promLabel(k), counts[k])
+	}
+
+	c.mu.RLock()
+	stages := make(map[string]float64, len(c.stages))
+	calls := make(map[string]int64, len(c.stages))
+	snames := make([]string, 0, len(c.stages))
+	for k, d := range c.stages {
+		stages[k] = d.Seconds()
+		calls[k] = c.calls[k]
+		snames = append(snames, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(snames)
+	fmt.Fprintln(bw, "# HELP tempo_stage_seconds_total Cumulative wall time spent per solver stage.")
+	fmt.Fprintln(bw, "# TYPE tempo_stage_seconds_total counter")
+	for _, k := range snames {
+		fmt.Fprintf(bw, "tempo_stage_seconds_total{stage=%s} %s\n",
+			promLabel(k), strconv.FormatFloat(stages[k], 'f', -1, 64))
+	}
+	fmt.Fprintln(bw, "# HELP tempo_stage_calls_total Stage timer invocations.")
+	fmt.Fprintln(bw, "# TYPE tempo_stage_calls_total counter")
+	for _, k := range snames {
+		fmt.Fprintf(bw, "tempo_stage_calls_total{stage=%s} %d\n", promLabel(k), calls[k])
+	}
+	return bw.Flush()
+}
+
+// promLabel quotes a label value per the exposition format: backslash,
+// double quote and newline are escaped.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `"` + r.Replace(v) + `"`
+}

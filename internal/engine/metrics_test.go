@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteMetricsText(t *testing.T) {
+	c := NewCounters()
+	c.Count("tag.events", 7)
+	c.Count("mining.tag_runs", 3)
+	c.Stage("mining.step5_scan", 1500*time.Millisecond)
+	c.Stage("mining.step5_scan", 500*time.Millisecond)
+
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# TYPE tempo_counter_total counter",
+		`tempo_counter_total{name="tag.events"} 7`,
+		`tempo_counter_total{name="mining.tag_runs"} 3`,
+		`tempo_stage_seconds_total{stage="mining.step5_scan"} 2`,
+		`tempo_stage_calls_total{stage="mining.step5_scan"} 2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, got)
+		}
+	}
+	// Deterministic: a second render of the same set is byte-identical.
+	var sb2 strings.Builder
+	if err := WriteMetricsText(&sb2, c); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Fatal("metrics text is not deterministic")
+	}
+}
+
+func TestWriteMetricsTextEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, NewCounters()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# TYPE tempo_counter_total counter") {
+		t.Fatalf("empty set should still emit metric headers:\n%s", sb.String())
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	got := promLabel("a\"b\\c\nd")
+	want := `"a\"b\\c\nd"`
+	if got != want {
+		t.Fatalf("promLabel = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errBusy rejects a request because the wait queue is full (HTTP 429);
+// errDraining rejects it because the daemon is shutting down (HTTP 503).
+var (
+	errBusy     = errors.New("server: at capacity, wait queue full")
+	errDraining = errors.New("server: draining, not accepting new work")
+)
+
+// limiter is the admission controller for synchronous solver requests:
+// at most `inflight` requests run concurrently, at most `depth` more wait
+// in a bounded queue, and everything beyond that is turned away
+// immediately so load cannot build up unboundedly inside the daemon.
+type limiter struct {
+	slots chan struct{} // one token per running request
+	queue chan struct{} // one token per waiting request
+	drain chan struct{} // closed when the daemon starts draining
+}
+
+func newLimiter(inflight, depth int) *limiter {
+	return &limiter{
+		slots: make(chan struct{}, inflight),
+		queue: make(chan struct{}, depth),
+		drain: make(chan struct{}),
+	}
+}
+
+// acquire admits one request, waiting in the bounded queue if all slots are
+// busy. It fails fast with errBusy when the queue is full, and with
+// errDraining when the daemon is shutting down (also while waiting).
+func (l *limiter) acquire(ctx context.Context) error {
+	if l.draining() {
+		return errDraining
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return errBusy
+	}
+	defer func() { <-l.queue }()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-l.drain:
+		return errDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an acquired slot.
+func (l *limiter) release() { <-l.slots }
+
+// startDrain flips the limiter into drain mode (idempotent): subsequent and
+// waiting acquires fail with errDraining; running requests are unaffected.
+func (l *limiter) startDrain() {
+	select {
+	case <-l.drain:
+	default:
+		close(l.drain)
+	}
+}
+
+// draining reports whether startDrain has been called.
+func (l *limiter) draining() bool {
+	select {
+	case <-l.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// inflight and waiting report current occupancy (for /healthz and /metrics).
+func (l *limiter) inflight() int { return len(l.slots) }
+func (l *limiter) waiting() int  { return len(l.queue) }

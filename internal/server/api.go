@@ -1,0 +1,250 @@
+// Package server is tempod's HTTP/JSON service layer: synchronous
+// consistency checks (POST /v1/check), stateful streaming TAG sessions
+// (POST /v1/tag/sessions, POST /v1/tag/sessions/{id}/events) and
+// asynchronous mining jobs (POST /v1/mining/jobs) on top of the solver
+// substrate — engine budgets and deadlines per request, admission control
+// with a bounded wait queue, checkpoint-backed crash recovery for
+// sessions and jobs, and /healthz + /metrics observability.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/mining"
+)
+
+// MaxRequestBytes caps every request body; larger bodies are rejected
+// before decoding.
+const MaxRequestBytes = 32 << 20
+
+// CheckRequest is the POST /v1/check body. The response body is the
+// cli.CheckResult JSON — byte-identical to `tcgcheck -json` for the same
+// spec and options.
+type CheckRequest struct {
+	// Spec is the event structure (core.Spec JSON form).
+	Spec core.Spec `json:"spec"`
+	// Exact also runs the exact bounded-horizon solver.
+	Exact bool `json:"exact,omitempty"`
+	// FromYear/ToYear bound the exact horizon (defaults 1996/1999, as the
+	// CLI's -from/-to).
+	FromYear int `json:"from_year,omitempty"`
+	ToYear   int `json:"to_year,omitempty"`
+	// TimeoutMS/Budget map onto the request's engine.Config: wall-clock
+	// deadline in milliseconds and work-unit cap (0 = server defaults).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Budget    int64 `json:"budget,omitempty"`
+}
+
+// SessionCreateRequest is the POST /v1/tag/sessions body.
+type SessionCreateRequest struct {
+	// Spec is the complex event type (structure + assign).
+	Spec core.Spec `json:"spec"`
+	// Strict applies the paper's strict gap semantics.
+	Strict bool `json:"strict,omitempty"`
+	// MaxFrontier caps the deduplicated run set (0 = unlimited).
+	MaxFrontier int `json:"max_frontier,omitempty"`
+	// Budget bounds the session's total simulation work (0 = unbounded).
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// SessionCreateResponse acknowledges a new session.
+type SessionCreateResponse struct {
+	ID        string            `json:"id"`
+	Automaton cli.AutomatonInfo `json:"automaton"`
+}
+
+// EventItem is one event of a session feed or a mining job sequence.
+type EventItem struct {
+	Time int64  `json:"time"`
+	Type string `json:"type"`
+}
+
+// EventsRequest is the POST /v1/tag/sessions/{id}/events body. Events must
+// be in non-decreasing timestamp order, continuing from the session's last
+// event.
+type EventsRequest struct {
+	Events []EventItem `json:"events"`
+}
+
+// RejectInfo reports the first refused event of a feed batch: its index in
+// the batch and the tag.RejectReason ("out-of-order", "interrupted",
+// "sealed"). Events after it were not consumed.
+type RejectInfo struct {
+	Index  int    `json:"index"`
+	Reason string `json:"reason"`
+}
+
+// SessionStateResponse is the session view returned by event feeds and
+// status polls: the same cli.StreamResult the tagrun CLI renders.
+type SessionStateResponse struct {
+	ID       string            `json:"id"`
+	Stream   *cli.StreamResult `json:"stream"`
+	Rejected *RejectInfo       `json:"rejected,omitempty"`
+}
+
+// SessionCloseResponse acknowledges a DELETE.
+type SessionCloseResponse struct {
+	ID     string `json:"id"`
+	Closed bool   `json:"closed"`
+}
+
+// JobCreateRequest is the POST /v1/mining/jobs body.
+type JobCreateRequest struct {
+	// Problem is the full event-discovery problem (mining.ProblemSpec).
+	Problem mining.ProblemSpec `json:"problem"`
+	// Events is the sequence to mine, in non-decreasing timestamp order.
+	Events []EventItem `json:"events"`
+	// TimeoutMS/Budget bound each run attempt of the job (0 = unbounded).
+	// An attempt cut short by its budget checkpoints and parks as
+	// "interrupted"; a daemon restart resumes it with a fresh budget.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Budget    int64 `json:"budget,omitempty"`
+	// Explain attaches up to N witness occurrences per discovery.
+	Explain int `json:"explain,omitempty"`
+	// Workers overrides the per-job scan fan-out (0 = problem spec, else
+	// server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Job states.
+const (
+	JobQueued      = "queued"
+	JobRunning     = "running"
+	JobDone        = "done"
+	JobFailed      = "failed"
+	JobInterrupted = "interrupted"
+)
+
+// JobStatusResponse is the GET /v1/mining/jobs/{id} body. Result is
+// present when State is "done" and is byte-identical (as a standalone
+// document) to `miner -json` for the same problem and sequence.
+type JobStatusResponse struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result *cli.MineResult `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string `json:"status"` // "ok" or "draining"
+	Sessions      int    `json:"sessions"`
+	JobsQueued    int    `json:"jobs_queued"`
+	JobsRunning   int    `json:"jobs_running"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// decodeStrict decodes one JSON document into v, rejecting unknown fields
+// and trailing garbage. It never panics on arbitrary input.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: decoding request: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("server: trailing data after request body")
+	}
+	return nil
+}
+
+// DecodeCheckRequest reads a CheckRequest, validating the embedded spec.
+func DecodeCheckRequest(r io.Reader) (*CheckRequest, *core.EventStructure, error) {
+	var req CheckRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, nil, err
+	}
+	s, err := req.Spec.Structure()
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.FromYear == 0 {
+		req.FromYear = 1996
+	}
+	if req.ToYear == 0 {
+		req.ToYear = 1999
+	}
+	if req.FromYear > req.ToYear {
+		return nil, nil, fmt.Errorf("server: from_year %d exceeds to_year %d", req.FromYear, req.ToYear)
+	}
+	if req.TimeoutMS < 0 || req.Budget < 0 {
+		return nil, nil, fmt.Errorf("server: timeout_ms and budget must be non-negative")
+	}
+	return &req, s, nil
+}
+
+// DecodeSessionCreateRequest reads a SessionCreateRequest, validating the
+// embedded complex type.
+func DecodeSessionCreateRequest(r io.Reader) (*SessionCreateRequest, *core.ComplexType, error) {
+	var req SessionCreateRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, nil, err
+	}
+	ct, err := req.Spec.ComplexType()
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.MaxFrontier < 0 || req.Budget < 0 {
+		return nil, nil, fmt.Errorf("server: max_frontier and budget must be non-negative")
+	}
+	return &req, ct, nil
+}
+
+// DecodeEventsRequest reads an EventsRequest.
+func DecodeEventsRequest(r io.Reader) (*EventsRequest, error) {
+	var req EventsRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Events) == 0 {
+		return nil, fmt.Errorf("server: events must be non-empty")
+	}
+	for i, e := range req.Events {
+		if e.Type == "" {
+			return nil, fmt.Errorf("server: event %d has no type", i)
+		}
+	}
+	return &req, nil
+}
+
+// DecodeJobCreateRequest reads a JobCreateRequest. The problem itself is
+// validated when the job first runs (ProblemSpec.Build needs the sequence).
+func DecodeJobCreateRequest(r io.Reader) (*JobCreateRequest, error) {
+	var req JobCreateRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if req.TimeoutMS < 0 || req.Budget < 0 || req.Explain < 0 || req.Workers < 0 {
+		return nil, fmt.Errorf("server: timeout_ms, budget, explain and workers must be non-negative")
+	}
+	return &req, nil
+}
+
+// toSequence converts wire events to an event.Sequence.
+func toSequence(items []EventItem) event.Sequence {
+	seq := make(event.Sequence, 0, len(items))
+	for _, it := range items {
+		seq = append(seq, event.Event{Time: it.Time, Type: event.Type(it.Type)})
+	}
+	return seq
+}
+
+// toItems converts a sequence to wire events.
+func toItems(seq event.Sequence) []EventItem {
+	items := make([]EventItem, 0, len(seq))
+	for _, e := range seq {
+		items = append(items, EventItem{Time: e.Time, Type: string(e.Type)})
+	}
+	return items
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCheckRequest: the HTTP request decoder must never panic on
+// untrusted bodies; accepted requests must carry a validated structure and
+// sane year bounds. Seeds wrap the core spec fuzz corpus in the request
+// envelope plus raw envelope-level garbage.
+func FuzzDecodeCheckRequest(f *testing.F) {
+	for _, spec := range []string{
+		`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":0,"gran":"day"}]}]}`,
+		`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"A":"x","B":"y"}}`,
+		`{"variables":["A"],"edges":[]}`,
+		`{"edges":[{"from":"A","to":"A","constraints":[{"min":0,"max":0,"gran":"day"}]}]}`,
+		`{"edges":[{"from":"A","to":"B","constraints":[{"min":5,"max":1,"gran":""}]}]}`,
+		`not json`,
+	} {
+		f.Add(`{"spec":` + spec + `}`)
+		f.Add(`{"spec":` + spec + `,"exact":true,"from_year":1996,"to_year":1996}`)
+	}
+	f.Add(`{"spec":{"edges":[]},"budget":-1}`)
+	f.Add(`{"spec":{"edges":[]}}{"trailing":true}`)
+	f.Add(`{"unknown":1}`)
+	f.Add(``)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		req, structure, err := DecodeCheckRequest(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		if structure == nil {
+			t.Fatal("accepted request without a structure")
+		}
+		if req.FromYear > req.ToYear {
+			t.Fatalf("accepted inverted year range %d..%d", req.FromYear, req.ToYear)
+		}
+	})
+}

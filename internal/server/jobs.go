@@ -1,0 +1,385 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/granularity"
+	"repro/internal/mining"
+)
+
+// jobRecordVersion is the wire version of the on-disk job record.
+const jobRecordVersion = 1
+
+// jobRecord is the durable form of a mining job: the full request (so an
+// unfinished job can be re-run or resumed after a restart), its state, and
+// — for interrupted jobs — the mining.Checkpoint to resume from. The
+// checkpoint's fingerprint re-binds it to the rebuilt problem and
+// sequence, so stale progress is re-run from scratch rather than trusted.
+type jobRecord struct {
+	Version    int                `json:"version"`
+	ID         string             `json:"id"`
+	Request    JobCreateRequest   `json:"request"`
+	State      string             `json:"state"`
+	Error      string             `json:"error,omitempty"`
+	Result     *cli.MineResult    `json:"result,omitempty"`
+	Checkpoint *mining.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// job is one mining job. Its mutex guards the mutable fields; the request
+// is immutable after submission.
+type job struct {
+	mu sync.Mutex
+
+	id     string
+	req    JobCreateRequest
+	state  string
+	errMsg string
+	result *cli.MineResult
+	cp     *mining.Checkpoint
+}
+
+// status snapshots the poll view.
+func (j *job) status() *JobStatusResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobStatusResponse{ID: j.id, State: j.state, Error: j.errMsg, Result: j.result}
+}
+
+// jobStore owns the mining jobs: a bounded FIFO queue drained by a fixed
+// worker pool, with every state transition persisted to <dir>/<id>.json.
+type jobStore struct {
+	mu             sync.Mutex
+	cond           *sync.Cond
+	dir            string
+	sys            *granularity.System
+	counters       *engine.Counters
+	depth          int
+	defaultWorkers int
+	jobs           map[string]*job
+	queue          []*job
+	running        int
+	closed         bool
+	nextID         int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int) (*jobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &jobStore{
+		dir:            dir,
+		sys:            sys,
+		counters:       counters,
+		depth:          depth,
+		defaultWorkers: defaultScanWorkers,
+		jobs:           make(map[string]*job),
+		nextID:         1,
+		ctx:            ctx,
+		cancel:         cancel,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go st.worker()
+	}
+	return st, nil
+}
+
+// submit enqueues a new job, persisting it as queued before returning the
+// ID. A full queue rejects with errBusy; a draining store with errDraining.
+func (st *jobStore) submit(req *JobCreateRequest) (*job, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, errDraining
+	}
+	if len(st.queue) >= st.depth {
+		st.mu.Unlock()
+		return nil, errBusy
+	}
+	id := fmt.Sprintf("j%06d", st.nextID)
+	st.nextID++
+	j := &job{id: id, req: *req, state: JobQueued}
+	st.jobs[id] = j
+	st.queue = append(st.queue, j)
+	st.mu.Unlock()
+
+	if err := st.persist(j); err != nil {
+		st.mu.Lock()
+		delete(st.jobs, id)
+		for i, q := range st.queue {
+			if q == j {
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				break
+			}
+		}
+		st.mu.Unlock()
+		return nil, err
+	}
+	st.counters.Count("server.jobs.submitted", 1)
+	st.mu.Lock()
+	st.cond.Signal()
+	st.mu.Unlock()
+	return j, nil
+}
+
+// get returns a job by ID.
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// stats reports queue occupancy and per-state job counts.
+func (st *jobStore) stats() (queued, running int, byState map[string]int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	byState = make(map[string]int)
+	for _, j := range st.jobs {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	return len(st.queue), st.running, byState
+}
+
+// worker drains the queue until shutdown.
+func (st *jobStore) worker() {
+	defer st.wg.Done()
+	for {
+		st.mu.Lock()
+		for len(st.queue) == 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if st.closed {
+			// Leave still-queued jobs on disk for the next start.
+			st.mu.Unlock()
+			return
+		}
+		j := st.queue[0]
+		st.queue = st.queue[1:]
+		st.running++
+		st.mu.Unlock()
+
+		st.run(j)
+
+		st.mu.Lock()
+		st.running--
+		st.mu.Unlock()
+	}
+}
+
+// run executes one attempt of a job: build the problem, run (or resume)
+// the optimized pipeline under the attempt's engine config, and persist
+// the outcome. An interrupted attempt (budget, deadline or drain) parks
+// the job as "interrupted" with its checkpoint; the next daemon start
+// resumes it.
+func (st *jobStore) run(j *job) {
+	j.mu.Lock()
+	j.state = JobRunning
+	resume := j.cp
+	req := j.req
+	j.mu.Unlock()
+	if err := st.persist(j); err != nil {
+		st.fail(j, fmt.Errorf("persisting job: %w", err))
+		return
+	}
+
+	seq := toSequence(req.Events)
+	p, work, opt, err := req.Problem.Build(st.sys, seq)
+	if err != nil {
+		st.fail(j, err)
+		return
+	}
+	opt.Workers = cli.ResolveWorkers(req.Workers, opt.Workers)
+	if opt.Workers <= 0 {
+		opt.Workers = st.defaultWorkers
+	}
+	ctx := st.ctx
+	var cancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	opt.Engine = engine.Config{Ctx: ctx, Budget: req.Budget, Observer: st.counters}
+
+	var (
+		ds    []mining.Discovery
+		stats mining.Stats
+		next  *mining.Checkpoint
+	)
+	if resume != nil {
+		ds, stats, next, err = mining.Resume(st.sys, p, work, opt, resume)
+		if err == nil || errors.Is(err, engine.ErrInterrupted) {
+			st.counters.Count("server.jobs.resumed", 1)
+		}
+	} else {
+		ds, stats, next, err = mining.OptimizedCheckpoint(st.sys, p, work, opt)
+	}
+	switch {
+	case err == nil:
+		res, berr := cli.BuildMineResult(st.sys, p, work, ds, stats, p.MinConfidence, req.Explain)
+		if berr != nil {
+			st.fail(j, berr)
+			return
+		}
+		j.mu.Lock()
+		j.state = JobDone
+		j.result = res
+		j.cp = nil
+		j.mu.Unlock()
+		st.counters.Count("server.jobs.completed", 1)
+	case next != nil:
+		j.mu.Lock()
+		j.state = JobInterrupted
+		j.cp = next
+		j.mu.Unlock()
+		st.counters.Count("server.jobs.interrupted", 1)
+	default:
+		st.fail(j, err)
+		return
+	}
+	if err := st.persist(j); err != nil {
+		st.fail(j, fmt.Errorf("persisting job: %w", err))
+	}
+}
+
+// fail marks a job failed and persists the terminal state (best effort).
+func (st *jobStore) fail(j *job, err error) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.errMsg = err.Error()
+	j.cp = nil
+	j.mu.Unlock()
+	st.counters.Count("server.jobs.failed", 1)
+	st.persist(j)
+}
+
+// path is the job's record file.
+func (st *jobStore) path(id string) string {
+	return filepath.Join(st.dir, id+".json")
+}
+
+// persist writes the job's record atomically.
+func (st *jobStore) persist(j *job) error {
+	j.mu.Lock()
+	rec := jobRecord{
+		Version:    jobRecordVersion,
+		ID:         j.id,
+		Request:    j.req,
+		State:      j.state,
+		Error:      j.errMsg,
+		Result:     j.result,
+		Checkpoint: j.cp,
+	}
+	j.mu.Unlock()
+	return cli.SaveCheckpoint(st.path(rec.ID), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&rec)
+	})
+}
+
+// restore reloads job records from disk. Finished jobs stay pollable;
+// queued, interrupted and (crashed mid-)running jobs are re-enqueued in ID
+// order — interrupted ones resume from their checkpoint. Unreadable
+// records are skipped with a log line.
+func (st *jobStore) restore(logger *log.Logger) error {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := st.restoreOne(name); err != nil {
+			logger.Printf("job record %s not restored: %v", name, err)
+		}
+	}
+	return nil
+}
+
+func (st *jobStore) restoreOne(name string) error {
+	f, err := os.Open(filepath.Join(st.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var rec jobRecord
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return err
+	}
+	if rec.Version != jobRecordVersion {
+		return fmt.Errorf("job record version %d, this build reads %d", rec.Version, jobRecordVersion)
+	}
+	switch rec.State {
+	case JobQueued, JobRunning, JobDone, JobFailed, JobInterrupted:
+	default:
+		return fmt.Errorf("job record has unknown state %q", rec.State)
+	}
+	j := &job{id: rec.ID, req: rec.Request, state: rec.State, errMsg: rec.Error, result: rec.Result, cp: rec.Checkpoint}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.jobs[rec.ID]; dup {
+		return fmt.Errorf("duplicate job id %s", rec.ID)
+	}
+	st.jobs[rec.ID] = j
+	if n := idNumber(rec.ID, "j"); n >= st.nextID {
+		st.nextID = n + 1
+	}
+	switch rec.State {
+	case JobQueued, JobRunning, JobInterrupted:
+		// A record still marked running means the previous daemon died
+		// mid-attempt; its checkpoint (if any) is the last persisted one.
+		j.state = JobQueued
+		st.queue = append(st.queue, j)
+		st.cond.Signal()
+		st.counters.Count("server.jobs.requeued", 1)
+	}
+	return nil
+}
+
+// shutdown interrupts running attempts (their checkpoints persist as
+// "interrupted"), stops the workers, and waits for them to exit. Queued
+// jobs stay queued on disk and run on the next start.
+func (st *jobStore) shutdown() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		st.wg.Wait()
+		return
+	}
+	st.closed = true
+	st.mu.Unlock()
+	st.cancel()
+	st.mu.Lock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	st.wg.Wait()
+}

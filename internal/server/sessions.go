@@ -1,0 +1,359 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/tag"
+)
+
+// sessionRecordVersion is the wire version of the on-disk session record.
+const sessionRecordVersion = 1
+
+// sessionRecord is the durable form of a streaming session: everything
+// needed to rebuild the automaton (the original spec and run options) plus
+// the latest tag.Checkpoint. The checkpoint's fingerprint re-binds it to
+// the recompiled automaton on restore, so a record from a different build
+// or granularity configuration is refused rather than silently resumed.
+type sessionRecord struct {
+	Version        int            `json:"version"`
+	ID             string         `json:"id"`
+	Spec           core.Spec      `json:"spec"`
+	Strict         bool           `json:"strict,omitempty"`
+	MaxFrontier    int            `json:"max_frontier,omitempty"`
+	Budget         int64          `json:"budget,omitempty"`
+	Events         int            `json:"events"`
+	AcceptTime     int64          `json:"accept_time,omitempty"`
+	HaveAcceptTime bool           `json:"have_accept_time,omitempty"`
+	Checkpoint     tag.Checkpoint `json:"checkpoint"`
+}
+
+// session is one live streaming TAG run. Its mutex serializes feeds, polls
+// and closure; the runner itself is not safe for concurrent use.
+type session struct {
+	mu sync.Mutex
+
+	id     string
+	spec   core.Spec
+	strict bool
+	maxFr  int
+	budget int64
+
+	auto   *tag.TAG
+	runner *tag.Runner
+
+	// events counts events presented (sticky post-acceptance feeds
+	// included), which is what the CLI's "events=" field reports.
+	events         int
+	acceptTime     int64
+	haveAcceptTime bool
+	closed         bool
+}
+
+// sessionStore owns the live sessions and their on-disk records
+// (<dir>/<id>.json).
+type sessionStore struct {
+	mu       sync.Mutex
+	dir      string
+	sys      *granularity.System
+	counters *engine.Counters
+	max      int
+	sessions map[string]*session
+	nextID   int
+}
+
+func newSessionStore(dir string, sys *granularity.System, counters *engine.Counters, max int) (*sessionStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &sessionStore{
+		dir:      dir,
+		sys:      sys,
+		counters: counters,
+		max:      max,
+		sessions: make(map[string]*session),
+		nextID:   1,
+	}, nil
+}
+
+// runOptions builds the engine-backed run options for a session's runner.
+// Restored runners get a fresh budget (RestoreRunner semantics), so Budget
+// bounds the work per daemon lifetime.
+func (st *sessionStore) runOptions(strict bool, maxFrontier int, budget int64) tag.RunOptions {
+	return tag.RunOptions{
+		Strict:      strict,
+		MaxFrontier: maxFrontier,
+		Engine:      engine.Config{Budget: budget, Observer: st.counters},
+	}
+}
+
+// create compiles the complex type and opens a new session, persisting its
+// initial record before returning the ID.
+func (st *sessionStore) create(req *SessionCreateRequest, ct *core.ComplexType) (*session, error) {
+	auto, err := tag.Compile(ct)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	if len(st.sessions) >= st.max {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("server: session limit (%d) reached: %w", st.max, errBusy)
+	}
+	id := fmt.Sprintf("s%06d", st.nextID)
+	st.nextID++
+	s := &session{
+		id:     id,
+		spec:   req.Spec,
+		strict: req.Strict,
+		maxFr:  req.MaxFrontier,
+		budget: req.Budget,
+		auto:   auto,
+		runner: auto.NewRunner(st.sys, st.runOptions(req.Strict, req.MaxFrontier, req.Budget)),
+	}
+	st.sessions[id] = s
+	st.mu.Unlock()
+
+	if err := st.persist(s); err != nil {
+		st.mu.Lock()
+		delete(st.sessions, id)
+		st.mu.Unlock()
+		return nil, err
+	}
+	st.counters.Count("server.sessions.created", 1)
+	return s, nil
+}
+
+// get returns a live session.
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	return s, ok
+}
+
+// close removes a session and its record.
+func (st *sessionStore) close(id string) bool {
+	st.mu.Lock()
+	s, ok := st.sessions[id]
+	delete(st.sessions, id)
+	st.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	os.Remove(st.path(id))
+	return true
+}
+
+// count returns the number of live sessions.
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// feed presents a batch of events to a session, checkpointing the session
+// record afterwards. It returns the resulting stream view and, when an
+// event was refused, which one and why (later events are not consumed).
+func (st *sessionStore) feed(s *session, items []EventItem) (*SessionStateResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: session %s is closed", s.id)
+	}
+	var rej *RejectInfo
+	for i, it := range items {
+		wasAccepted := s.runner.Accepted()
+		accepted, ok := s.runner.Feed(event.Event{Time: it.Time, Type: event.Type(it.Type)})
+		if !ok {
+			rej = &RejectInfo{Index: i, Reason: s.runner.LastReject().String()}
+			break
+		}
+		s.events++
+		if accepted && !wasAccepted {
+			s.acceptTime = it.Time
+			s.haveAcceptTime = true
+		}
+	}
+	if err := st.persist(s); err != nil {
+		return nil, err
+	}
+	st.counters.Count("server.sessions.events", int64(len(items)))
+	resp := &SessionStateResponse{ID: s.id, Stream: s.streamLocked(), Rejected: rej}
+	return resp, nil
+}
+
+// state returns the current stream view without feeding.
+func (st *sessionStore) state(s *session) *SessionStateResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &SessionStateResponse{ID: s.id, Stream: s.streamLocked()}
+}
+
+// streamLocked builds the shared cli.StreamResult; callers hold s.mu.
+func (s *session) streamLocked() *cli.StreamResult {
+	sr := cli.StreamResultFromRunner(s.runner, s.events, s.acceptTime, s.haveAcceptTime)
+	if err := s.runner.Err(); err != nil {
+		sr.Interrupted = cli.InterruptedFrom(err)
+	}
+	return sr
+}
+
+// path is the session's record file.
+func (st *sessionStore) path(id string) string {
+	return filepath.Join(st.dir, id+".json")
+}
+
+// persist checkpoints a session's record atomically; callers hold s.mu (or
+// the session is not yet published).
+func (st *sessionStore) persist(s *session) error {
+	cp, err := s.runner.Snapshot()
+	if err != nil {
+		return err
+	}
+	rec := sessionRecord{
+		Version:        sessionRecordVersion,
+		ID:             s.id,
+		Spec:           s.spec,
+		Strict:         s.strict,
+		MaxFrontier:    s.maxFr,
+		Budget:         s.budget,
+		Events:         s.events,
+		AcceptTime:     s.acceptTime,
+		HaveAcceptTime: s.haveAcceptTime,
+		Checkpoint:     cp,
+	}
+	return cli.SaveCheckpoint(st.path(s.id), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&rec)
+	})
+}
+
+// checkpointAll persists every live session (the drain path; per-feed
+// persistence makes this a formality unless a feed raced the drain).
+func (st *sessionStore) checkpointAll() error {
+	st.mu.Lock()
+	all := make([]*session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		all = append(all, s)
+	}
+	st.mu.Unlock()
+	var firstErr error
+	for _, s := range all {
+		s.mu.Lock()
+		err := st.persist(s)
+		s.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// restore reloads every session record from disk into a live runner. A
+// record that no longer validates (foreign fingerprint, changed build) is
+// skipped with a log line rather than taking the daemon down; its file is
+// left in place for inspection.
+func (st *sessionStore) restore(logger *log.Logger) error {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := st.restoreOne(name); err != nil {
+			logger.Printf("session record %s not restored: %v", name, err)
+			continue
+		}
+	}
+	return nil
+}
+
+func (st *sessionStore) restoreOne(name string) error {
+	f, err := os.Open(filepath.Join(st.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var rec sessionRecord
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return err
+	}
+	if rec.Version != sessionRecordVersion {
+		return fmt.Errorf("session record version %d, this build reads %d", rec.Version, sessionRecordVersion)
+	}
+	ct, err := rec.Spec.ComplexType()
+	if err != nil {
+		return err
+	}
+	auto, err := tag.Compile(ct)
+	if err != nil {
+		return err
+	}
+	runner, err := tag.RestoreRunner(auto, st.sys, st.runOptions(rec.Strict, rec.MaxFrontier, rec.Budget), &rec.Checkpoint)
+	if err != nil {
+		return err
+	}
+	s := &session{
+		id:             rec.ID,
+		spec:           rec.Spec,
+		strict:         rec.Strict,
+		maxFr:          rec.MaxFrontier,
+		budget:         rec.Budget,
+		auto:           auto,
+		runner:         runner,
+		events:         rec.Events,
+		acceptTime:     rec.AcceptTime,
+		haveAcceptTime: rec.HaveAcceptTime,
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.sessions[rec.ID]; dup {
+		return fmt.Errorf("duplicate session id %s", rec.ID)
+	}
+	st.sessions[rec.ID] = s
+	if n := idNumber(rec.ID, "s"); n >= st.nextID {
+		st.nextID = n + 1
+	}
+	st.counters.Count("server.sessions.restored", 1)
+	return nil
+}
+
+// idNumber extracts the numeric suffix of a "<prefix>NNNNNN" id (0 when
+// the id has another shape).
+func idNumber(id, prefix string) int {
+	if !strings.HasPrefix(id, prefix) {
+		return 0
+	}
+	n := 0
+	for _, c := range id[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

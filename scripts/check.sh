@@ -19,6 +19,8 @@ echo '>> go test -race ./...'
 go test -race ./...
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
+echo '>> serve smoke (tempod end to end)'
+sh scripts/serve_smoke.sh
 echo '>> bench smoke (parallel scan, no gate)'
 sh scripts/bench_compare.sh smoke
 echo 'check: OK'
