@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json serve-smoke
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json serve-smoke oracle-smoke cover
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,18 @@ test:
 # Full gate: build + vet + gofmt + race-enabled tests + short fuzz burst.
 check:
 	sh scripts/check.sh
+
+# Differential oracle: cross-check propagate, exact, TAG and mining
+# against brute-force ground truth over ORACLE_SEEDS random instances
+# (500 by default). A violation is shrunk and saved under testdata/oracle.
+oracle-smoke:
+	$(GO) run ./cmd/tempofuzz -seeds $${ORACLE_SEEDS:-500}
+
+# Coverage report: per-package numbers plus an HTML-able profile at
+# cover.out (DESIGN.md "Testing strategy" records the current baseline).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Run every native fuzz target for a short burst (FUZZTIME=10s by default).
 fuzz-smoke:

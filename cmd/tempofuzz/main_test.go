@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/granularity"
+	"repro/internal/oracle"
+	"repro/internal/propagate"
+	"repro/internal/stp"
+)
+
+func testOptions(t *testing.T) options {
+	t.Helper()
+	return options{
+		seeds:        40,
+		seedStart:    1,
+		workers:      2,
+		reproDir:     t.TempDir(),
+		shrinkChecks: 200,
+		knobs:        oracle.DefaultKnobs(),
+	}
+}
+
+func TestFuzzCleanRun(t *testing.T) {
+	opt := testOptions(t)
+	var out bytes.Buffer
+	rep, err := fuzz(&out, opt, oracle.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("clean tree reported a violation: %s: %s", rep.Contract, rep.Detail)
+	}
+	if !strings.Contains(out.String(), "seeds clean") {
+		t.Fatalf("summary missing from output:\n%s", out.String())
+	}
+	if entries, err := os.ReadDir(opt.reproDir); err == nil && len(entries) != 0 {
+		t.Fatalf("clean run wrote %d repro files", len(entries))
+	}
+}
+
+func TestFuzzCatchesMutantAndWritesRepro(t *testing.T) {
+	opt := testOptions(t)
+	opt.workers = 1 // deterministic first violation
+	broken := oracle.Hooks{
+		ConvertInterval: func(sys *granularity.System, src, dst string, lo, hi int64) (int64, int64) {
+			nlo, nhi := propagate.NewConverter(sys, src, dst).Interval(lo, hi)
+			if nlo > -stp.Inf && nlo < nhi {
+				nlo++
+			}
+			return nlo, nhi
+		},
+	}
+	var out bytes.Buffer
+	rep, err := fuzz(&out, opt, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatalf("mutant not caught in %d seeds:\n%s", opt.seeds, out.String())
+	}
+	if rep.Contract != oracle.ContractConversion {
+		t.Fatalf("caught contract %q, want %q", rep.Contract, oracle.ContractConversion)
+	}
+	if n := len(rep.Instance.Spec.Variables); n > 4 {
+		t.Fatalf("shrunk repro has %d variables, want <= 4", n)
+	}
+	files, err := filepath.Glob(filepath.Join(opt.reproDir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one repro file, got %v (%v)", files, err)
+	}
+	loaded, err := oracle.LoadRepro(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, _, err := loaded.Replay(opt.knobs, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 {
+		t.Fatal("saved repro does not reproduce under the mutant")
+	}
+	if recorded, _, err = loaded.Replay(opt.knobs, oracle.Hooks{}); err != nil || len(recorded) != 0 {
+		t.Fatalf("saved repro fails under clean code: %v, %v", recorded, err)
+	}
+}
+
+func TestFuzzDurationMode(t *testing.T) {
+	opt := testOptions(t)
+	opt.duration = 200 * time.Millisecond
+	var out bytes.Buffer
+	rep, err := fuzz(&out, opt, oracle.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("clean tree reported a violation in duration mode: %s", rep.Contract)
+	}
+}

@@ -1,14 +1,20 @@
-package core
+package core_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
 )
 
 // FuzzReadSpec: the JSON spec decoder and the constructors behind it must
 // never panic on untrusted input; accepted specs must materialize and
-// round-trip through ToSpec/WriteSpec.
+// round-trip through ToSpec/WriteSpec, and small accepted specs must pass
+// the full differential oracle (propagate vs exact vs brute force vs TAG
+// vs mining) — the solver layers stay mutually consistent on whatever the
+// decoder lets through.
 func FuzzReadSpec(f *testing.F) {
 	f.Add(`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":0,"gran":"day"}]}]}`)
 	f.Add(`{"edges":[{"from":"A","to":"B","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"A":"x","B":"y"}}`)
@@ -17,7 +23,7 @@ func FuzzReadSpec(f *testing.F) {
 	f.Add(`{"edges":[{"from":"A","to":"B","constraints":[{"min":5,"max":1,"gran":""}]}]}`)
 	f.Add(`not json`)
 	f.Fuzz(func(t *testing.T, in string) {
-		sp, err := ReadSpec(strings.NewReader(in))
+		sp, err := core.ReadSpec(strings.NewReader(in))
 		if err != nil {
 			return
 		}
@@ -36,15 +42,46 @@ func FuzzReadSpec(f *testing.F) {
 		}
 		// Round trip: a validated structure re-encodes and re-reads.
 		var buf bytes.Buffer
-		if err := WriteSpec(&buf, ToSpec(s, nil)); err != nil {
+		if err := core.WriteSpec(&buf, core.ToSpec(s, nil)); err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
-		sp2, err := ReadSpec(&buf)
+		sp2, err := core.ReadSpec(&buf)
 		if err != nil {
 			t.Fatalf("re-decode: %v", err)
 		}
 		if _, err := sp2.Structure(); err != nil {
 			t.Fatalf("round-tripped structure invalid: %v", err)
 		}
+		// Differential oracle on small instances: wrap the spec in a
+		// synthetic granularity system and cross-check every solver layer.
+		// A CheckInstance error means some layer rejected the instance
+		// upstream (unknown granularity, cycle) — nothing to cross-check.
+		if s.NumVariables() > 5 || !boundedIntervals(sp, 10_000) {
+			return
+		}
+		k := oracle.DefaultKnobs()
+		k.BruteCap = 200_000
+		k.ExactMaxNodes = 100_000
+		k.MiningMaxSpace = 50
+		inst := oracle.FromSpec(sp, 24)
+		if vs, _, err := oracle.CheckInstance(inst, k, oracle.Hooks{}); err == nil {
+			for _, v := range vs {
+				t.Errorf("oracle violation on accepted spec: %s", v)
+			}
+		}
 	})
+}
+
+// boundedIntervals reports whether every TCG interval stays within
+// [-bound, bound] — large magnitudes are legal but make the brute-force
+// oracle meaningless within its tiny horizon.
+func boundedIntervals(sp *core.Spec, bound int64) bool {
+	for _, e := range sp.Edges {
+		for _, c := range e.Constraints {
+			if c.Min < -bound || c.Min > bound || c.Max < -bound || c.Max > bound {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -126,7 +126,11 @@ func solveExec(ex *engine.Exec, sys *granularity.System, s *core.EventStructure,
 // boundaryPoints collects the sorted, deduplicated starts of every granule
 // interval of the named granularities intersecting [start, end].
 func boundaryPoints(sys *granularity.System, grans []string, start, end int64) []int64 {
-	set := make(map[int64]bool)
+	// The horizon start is always a candidate: a structure whose TCGs
+	// reference no granularity (or whose granules all lie outside the
+	// horizon) still needs a point to assign, and the snap-down argument
+	// already clamps below-horizon interval starts to start.
+	set := map[int64]bool{start: true}
 	for _, name := range grans {
 		g := sys.MustGet(name)
 		for z := granularity.FirstTouching(g, start); ; z++ {

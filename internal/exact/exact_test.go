@@ -327,3 +327,26 @@ func witnessBySampling(t *testing.T, s *core.EventStructure, start, end int64, r
 	}
 	return false
 }
+
+// TestSolveUnconstrainedStructure: a structure whose constraints reference
+// no granularity has no granule boundary points, yet it is trivially
+// satisfiable — the candidate set must still contain the horizon start.
+// Found by the differential oracle (exact vs brute force disagreed on
+// {"variables":["A"],"edges":[]}).
+func TestSolveUnconstrainedStructure(t *testing.T) {
+	s := core.NewStructure()
+	s.AddVariable("A")
+	s.AddVariable("B")
+	v, err := Solve(sys, s, Options{Start: 100, End: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Satisfiable {
+		t.Fatal("unconstrained structure reported unsatisfiable")
+	}
+	for x, tm := range v.Witness {
+		if tm < 100 || tm > 200 {
+			t.Fatalf("witness %s=%d outside the horizon", x, tm)
+		}
+	}
+}

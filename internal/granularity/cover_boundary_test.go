@@ -1,0 +1,104 @@
+package granularity
+
+import (
+	"testing"
+
+	"repro/internal/calendar"
+)
+
+// tickAt returns the granule index of g containing midnight of the given
+// civil date; it fails the test when that second falls in a gap of g.
+func tickAt(t *testing.T, g Granularity, y, m, d int) int64 {
+	t.Helper()
+	z, ok := g.TickOf(secondAt(y, m, d, 0, 0, 0))
+	if !ok {
+		t.Fatalf("%s.TickOf(%04d-%02d-%02d) undefined", g.Name(), y, m, d)
+	}
+	return z
+}
+
+// TestCoverBoundaryTable pins the exact edge behaviour of the paper's
+// cover operator ⌈z⌉ν_μ: gap ticks (source granule sits in a gap of ν, or
+// z indexes nothing at all), straddling ticks (source granule meets two ν
+// granules, including the one-off boundary between covered and not), and
+// non-convex granularities where the convex hull would say "covered" but
+// the paper's subset semantics say undefined. 1800-01-01 (rata day 1) is
+// a Wednesday, so the timeline's first Saturday is rata 4, week 1 is the
+// partial Wed-Sun run, and the first Monday (rata 6) opens week 2.
+func TestCoverBoundaryTable(t *testing.T) {
+	day, week, month := Day(), Week(), Month()
+	bday, bmonth, weekend := BDay(), BMonth(), Weekend()
+	bweekUS := NewBusinessWeek("b-week-us", calendar.USFederal())
+	bmonthUS := BMonthUS()
+
+	// 1996-07: July 1st is a Monday, so week zJulIn = Jul 8..14 lies fully
+	// inside the month while zJulOut = Jul 29..Aug 4 straddles into August.
+	zJulIn := tickAt(t, week, 1996, 7, 8)
+	zJulOut := tickAt(t, week, 1996, 7, 29)
+	zJuly := tickAt(t, month, 1996, 7, 1)
+	zWeekendJul := tickAt(t, weekend, 1996, 7, 13) // Sat 13th + Sun 14th
+	zBweekJul4 := tickAt(t, bweekUS, 1996, 7, 1)   // {Jul 1-3, Jul 5}: non-convex
+	zBmonthJuly := tickAt(t, bmonthUS, 1996, 7, 1)
+
+	cases := []struct {
+		name   string
+		nu, mu Granularity
+		z      int64
+		want   int64 // covering granule of nu; ignored when !wantOK
+		wantOK bool
+	}{
+		// Gap ticks.
+		{"z below 1 indexes no granule", month, day, 0, 0, false},
+		{"weekday sits in the weekend gap", weekend, day, 2, 0, false},
+		{"Sunday closes partial week 1", week, day, 5, 1, true},
+		{"the first Monday opens week 2", week, day, 6, 2, true},
+		{"Saturday sits in the b-day gap", bday, day, 4, 0, false},
+		{"Friday before it is b-day 3", bday, day, 3, 3, true},
+		{"weekend granule sits in a b-month internal gap", bmonth, weekend, zWeekendJul, 0, false},
+
+		// Straddling ticks.
+		{"week across the Jul/Aug boundary straddles", month, week, zJulOut, 0, false},
+		{"week one row earlier is inside July", month, week, zJulIn, zJuly, true},
+		{"day straddles its 24 hours", Hour(), day, 40, 0, false},
+		{"month/day boundary: rata 31 is still January", month, day, 31, 1, true},
+		{"month/day boundary: rata 32 opens February", month, day, 32, 2, true},
+
+		// Non-convex granularities.
+		{"hull covers but weekend sticks out of b-month", bmonth, week, zJulIn, 0, false},
+		{"non-convex b-week inside non-convex b-month", bmonthUS, bweekUS, zBweekJul4, zBmonthJuly, true},
+
+		// Identity.
+		{"a granule covers itself", day, day, 123, 123, true},
+	}
+	for _, tc := range cases {
+		z, ok := Cover(tc.nu, tc.mu, tc.z)
+		if ok != tc.wantOK {
+			t.Errorf("%s: Cover(%s, %s, %d) defined=%v, want %v",
+				tc.name, tc.nu.Name(), tc.mu.Name(), tc.z, ok, tc.wantOK)
+			continue
+		}
+		if ok && z != tc.want {
+			t.Errorf("%s: Cover(%s, %s, %d) = %d, want %d",
+				tc.name, tc.nu.Name(), tc.mu.Name(), tc.z, z, tc.want)
+		}
+	}
+}
+
+// TestCoverBweekUSNonConvex guards the setup assumption of the table
+// above: the 1996 week of July 4th really is a two-interval granule of
+// b-week-us (Mon-Wed, then Fri), so the defined-cover row genuinely
+// exercises a non-convex source against a non-convex target.
+func TestCoverBweekUSNonConvex(t *testing.T) {
+	bweekUS := NewBusinessWeek("b-week-us", calendar.USFederal())
+	z := tickAt(t, bweekUS, 1996, 7, 1)
+	ivs, ok := bweekUS.Intervals(z)
+	if !ok || len(ivs) != 2 {
+		t.Fatalf("b-week-us of 1996-07-01: intervals=%v ok=%v, want 2 intervals", ivs, ok)
+	}
+	if got := ivs[0].Len() / calendar.SecondsPerDay; got != 3 {
+		t.Fatalf("first run is %d days, want 3 (Mon-Wed)", got)
+	}
+	if got := ivs[1].Len() / calendar.SecondsPerDay; got != 1 {
+		t.Fatalf("second run is %d days, want 1 (Friday)", got)
+	}
+}

@@ -1,0 +1,122 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mining"
+)
+
+// TestRegenerateCorpus rebuilds the committed regression corpus under
+// testdata/oracle/ at the repository root. It only runs when
+// ORACLE_REGEN=1 is set:
+//
+//	ORACLE_REGEN=1 go test ./internal/oracle -run TestRegenerateCorpus
+//
+// The corpus holds the shrunk repro of the demonstration conversion
+// mutant plus one instance per contract family picked to exercise it
+// (unsatisfiable structure, witness-rich structure, accepting TAG run,
+// non-empty mining result). The repository-root replay test re-checks
+// every file on every go test run.
+func TestRegenerateCorpus(t *testing.T) {
+	if os.Getenv("ORACLE_REGEN") != "1" {
+		t.Skip("set ORACLE_REGEN=1 to rewrite testdata/oracle")
+	}
+	dir := filepath.Join("..", "..", "testdata", "oracle")
+	k := DefaultKnobs()
+
+	// The shrunk conversion-mutant repro (see
+	// TestOracleCatchesBrokenConversion): replays clean on real code.
+	broken := brokenMingapHooks()
+	for seed := int64(1); seed <= 200; seed++ {
+		in := GenInstance(seed, k)
+		vs, _, err := CheckInstance(in, k, broken)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := false
+		for _, v := range vs {
+			if v.Contract == ContractConversion {
+				hit = true
+			}
+		}
+		if !hit {
+			continue
+		}
+		shrunk := Shrink(in, ContractConversion, k, broken, 300)
+		shrunk.Seed = seed
+		save(t, dir, &Repro{
+			Contract: ContractConversion,
+			Detail:   "shrunk catch of an injected off-by-one in the Fig-3 mingap conversion; replays clean on real code",
+			Instance: shrunk,
+		})
+		break
+	}
+
+	// The unconstrained-structure bug the oracle found in the exact
+	// solver (no granularity-backed constraint ⇒ zero boundary points ⇒
+	// wrongly unsatisfiable): keep the minimal trigger forever.
+	save(t, dir, &Repro{
+		Contract: ContractConsistency,
+		Detail:   "exact returned unsatisfiable for a constraint-free structure (empty boundary-point set)",
+		Instance: &Instance{
+			Spec:         &core.Spec{Variables: []string{"A"}, Assign: map[string]string{"A": "a"}},
+			HorizonStart: 1,
+			HorizonEnd:   24,
+		},
+	})
+
+	// One instance per contract family.
+	var gotUnsat, gotWitness, gotTAG, gotMining bool
+	for seed := int64(1); seed <= 500 && !(gotUnsat && gotWitness && gotTAG && gotMining); seed++ {
+		in := GenInstance(seed, k)
+		sys, err := in.System()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := in.Structure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := BruteConsistency(sys, s, in.HorizonStart, in.HorizonEnd, k.BruteCap, 8)
+		switch {
+		case !gotUnsat && !brute.Capped && !brute.Satisfiable:
+			gotUnsat = true
+			save(t, dir, &Repro{Contract: ContractConsistency,
+				Detail: "regression corpus: unsatisfiable within the horizon", Instance: in})
+		case !gotWitness && !brute.Capped && len(brute.Witnesses) >= 4:
+			gotWitness = true
+			save(t, dir, &Repro{Contract: ContractDerivedBound,
+				Detail: "regression corpus: witness-rich structure for bound soundness", Instance: in})
+		}
+		if ct, err := in.ComplexType(); err == nil {
+			if !gotTAG && core.OccursBrute(sys, ct, in.Seq) {
+				gotTAG = true
+				save(t, dir, &Repro{Contract: ContractTAG,
+					Detail: "regression corpus: sequence with a genuine occurrence", Instance: in})
+			}
+			if root, err := s.Root(); err == nil && !gotMining && in.MinConfidence > 0 {
+				p := mining.Problem{Structure: s, MinConfidence: in.MinConfidence, Reference: ct.Assign[root]}
+				if ds, _, err := mining.Naive(sys, p, in.Seq); err == nil && len(ds) > 0 {
+					gotMining = true
+					save(t, dir, &Repro{Contract: ContractMining,
+						Detail: "regression corpus: non-empty discovery set", Instance: in})
+				}
+			}
+		}
+	}
+	if !(gotUnsat && gotWitness && gotTAG && gotMining) {
+		t.Fatalf("corpus incomplete: unsat=%v witness=%v tag=%v mining=%v", gotUnsat, gotWitness, gotTAG, gotMining)
+	}
+}
+
+func save(t *testing.T, dir string, r *Repro) {
+	t.Helper()
+	path, err := SaveRepro(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/periodic"
+)
+
+// FromSpec wraps an arbitrary decoded structure spec in an oracle
+// instance so fuzz targets can assert the differential contracts instead
+// of only "does not panic": every granularity name a TCG references
+// (other than "second") is registered as a small uniform periodic type
+// whose size is derived deterministically from the name, the horizon is
+// [1, horizonEnd], and the sequence is a deterministic planting of the
+// assignment's types. Malformed specs surface as CheckInstance errors,
+// which callers treat as "rejected upstream, nothing to cross-check".
+func FromSpec(sp *core.Spec, horizonEnd int64) *Instance {
+	in := &Instance{
+		Spec:         sp,
+		HorizonStart: 1,
+		HorizonEnd:   horizonEnd,
+	}
+	seen := map[string]bool{"second": true}
+	var names []string
+	for _, e := range sp.Edges {
+		for _, c := range e.Constraints {
+			if !seen[c.Gran] {
+				seen[c.Gran] = true
+				names = append(names, c.Gran)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		size := int64(2 + nameHash(name)%4) // sizes 2..5, stable per name
+		in.Grans = append(in.Grans, periodic.Spec{
+			Name: name, Period: size, Anchor: 1,
+			Granules: []periodic.Granule{{Spans: []periodic.Span{{First: 0, Last: size - 1}}}},
+		})
+	}
+	// Plant one near-occurrence when the spec has a total assignment, so
+	// the TAG and mining contracts have events to chew on.
+	if s, err := sp.Structure(); err == nil {
+		if order, err := s.TopoOrder(); err == nil {
+			t := in.HorizonStart + 1
+			used := map[int64]bool{}
+			for _, v := range order {
+				typ, ok := sp.Assign[string(v)]
+				if !ok || typ == "" {
+					in.Seq = nil
+					break
+				}
+				if t > in.HorizonEnd || used[t] {
+					break
+				}
+				used[t] = true
+				in.Seq = append(in.Seq, event.Event{Type: event.Type(typ), Time: t})
+				t += 3
+			}
+		}
+	}
+	in.Seq.Sort()
+	return in
+}
+
+// FromGranularity wraps one granularity in an oracle instance with a
+// trivial two-variable structure constrained in that granularity — enough
+// for the conversion, distinction, consistency and derived-bounds
+// contracts to exercise the granularity's cover and metric behaviour.
+func FromGranularity(sp periodic.Spec, horizonEnd int64) *Instance {
+	return &Instance{
+		Grans:        []periodic.Spec{sp},
+		HorizonStart: 1,
+		HorizonEnd:   horizonEnd,
+		Spec: &core.Spec{
+			Edges: []core.EdgeSpec{{
+				From: "X0", To: "X1",
+				Constraints: []core.TCGSpec{{Min: 0, Max: 1, Gran: sp.Name}},
+			}},
+			Assign: map[string]string{"X0": "a", "X1": "b"},
+		},
+		Seq: event.Sequence{
+			{Type: "a", Time: 2},
+			{Type: "b", Time: 4},
+			{Type: "a", Time: 7},
+			{Type: "b", Time: 8},
+		},
+	}
+}
+
+// nameHash is a tiny deterministic string hash (FNV-1a, 32-bit).
+func nameHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

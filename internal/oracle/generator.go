@@ -1,0 +1,284 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/periodic"
+)
+
+// Knobs sizes the generator. The defaults keep a single instance cheap
+// enough that thousands of seeds run in seconds while still exercising
+// multi-granularity conversion, gaps, diamonds and mining.
+type Knobs struct {
+	// MaxVars bounds the number of event variables (>= 2; the actual count
+	// is drawn from [2, MaxVars]).
+	MaxVars int
+	// ExtraEdgeProb is the chance of each admissible extra arc beyond the
+	// spanning tree (diamonds exercise path consistency and conversions).
+	ExtraEdgeProb float64
+	// MaxTCGsPerEdge bounds the conjunctive TCG set per arc.
+	MaxTCGsPerEdge int
+	// MaxMin and MaxWidth bound TCG intervals: Min in [0, MaxMin],
+	// Max = Min + [0, MaxWidth].
+	MaxMin, MaxWidth int64
+	// HorizonEnd bounds the brute-force/exact horizon [1, HorizonEnd].
+	// Kept small: the brute enumerator is exponential in MaxVars.
+	HorizonEnd int64
+	// SeqLen is the number of background events in generated sequences.
+	SeqLen int
+	// NumTypes is the size of the event-type pool.
+	NumTypes int
+	// BruteCap bounds the brute-force search nodes; instances exceeding it
+	// skip the brute-backed contracts (counted, never silently).
+	BruteCap int64
+	// ExactMaxNodes bounds the exact solver's search.
+	ExactMaxNodes int64
+	// MiningMaxSpace skips the mining contract when the candidate space
+	// exceeds it (the naive miner is exponential in the variables).
+	MiningMaxSpace int64
+}
+
+// DefaultKnobs returns the smoke configuration used by check.sh and the
+// committed oracle tests.
+func DefaultKnobs() Knobs {
+	return Knobs{
+		MaxVars:        4,
+		ExtraEdgeProb:  0.35,
+		MaxTCGsPerEdge: 2,
+		MaxMin:         2,
+		MaxWidth:       3,
+		HorizonEnd:     60,
+		SeqLen:         22,
+		NumTypes:       3,
+		BruteCap:       2_000_000,
+		ExactMaxNodes:  1_000_000,
+		MiningMaxSpace: 150,
+	}
+}
+
+// granZoo returns the synthetic granularity shapes the generator draws
+// from, parameterized by rng. Every shape is a periodic spec anchored near
+// the timeline origin so the brute horizon sees several granules:
+//
+//   - uniform types of small sizes (sizes sharing divisors give feasible
+//     conversion pairs, coprime sizes give straddling, infeasible ones);
+//   - gapped types (granules separated by uncovered seconds — the b-day
+//     weekend in miniature);
+//   - late-anchored types (an uncovered prefix of the timeline).
+func granZoo(rng *rand.Rand, n int) []periodic.Spec {
+	uniform := func(name string, size, anchor int64) periodic.Spec {
+		return periodic.Spec{
+			Name: name, Period: size, Anchor: anchor,
+			Granules: []periodic.Granule{{Spans: []periodic.Span{{First: 0, Last: size - 1}}}},
+		}
+	}
+	gapped := func(name string, period, a, b, c, d, anchor int64) periodic.Spec {
+		return periodic.Spec{
+			Name: name, Period: period, Anchor: anchor,
+			Granules: []periodic.Granule{
+				{Spans: []periodic.Span{{First: a, Last: b}}},
+				{Spans: []periodic.Span{{First: c, Last: d}}},
+			},
+		}
+	}
+	shapes := []func(i int) periodic.Spec{
+		func(i int) periodic.Spec { return uniform(fmt.Sprintf("u%d", i), 2+rng.Int63n(4), 1) },
+		func(i int) periodic.Spec { return uniform(fmt.Sprintf("v%d", i), 6+rng.Int63n(7), 1) },
+		func(i int) periodic.Spec {
+			// Anchored late: seconds before the anchor are a gap.
+			return uniform(fmt.Sprintf("w%d", i), 3+rng.Int63n(3), 2+rng.Int63n(4))
+		},
+		func(i int) periodic.Spec {
+			// Two granules per period with gaps between them.
+			p := 8 + rng.Int63n(6)
+			b := 1 + rng.Int63n(2)
+			c := b + 2
+			d := c + 1 + rng.Int63n(2)
+			if d > p-2 {
+				d = p - 2
+			}
+			return gapped(fmt.Sprintf("g%d", i), p, 0, b, c, d, 1)
+		},
+	}
+	out := make([]periodic.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, shapes[rng.Intn(len(shapes))](i))
+	}
+	return out
+}
+
+// GenInstance deterministically generates the instance for a seed.
+func GenInstance(seed int64, k Knobs) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &Instance{
+		Seed:         seed,
+		HorizonStart: 1,
+		HorizonEnd:   k.HorizonEnd/2 + rng.Int63n(k.HorizonEnd/2+1),
+	}
+	in.Grans = granZoo(rng, 2+rng.Intn(2))
+
+	// Granularity names available to TCGs: the custom types plus,
+	// occasionally, raw seconds (which also exercises the order group).
+	names := make([]string, 0, len(in.Grans)+1)
+	for _, sp := range in.Grans {
+		names = append(names, sp.Name)
+	}
+	if rng.Float64() < 0.3 {
+		names = append(names, "second")
+	}
+
+	nVars := 2 + rng.Intn(k.MaxVars-1)
+	vars := make([]string, nVars)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("X%d", i)
+	}
+	randTCG := func() core.TCGSpec {
+		g := names[rng.Intn(len(names))]
+		min := rng.Int63n(k.MaxMin + 1)
+		max := min + rng.Int63n(k.MaxWidth+1)
+		if g == "second" {
+			// Second-granularity constraints are literal distances; widen
+			// them a little so they are satisfiable within granule sizes.
+			min *= 2
+			max = min + rng.Int63n(3*k.MaxWidth+1)
+		}
+		return core.TCGSpec{Min: min, Max: max, Gran: g}
+	}
+	sp := &core.Spec{Variables: vars}
+	addEdge := func(from, to string) {
+		n := 1 + rng.Intn(k.MaxTCGsPerEdge)
+		cs := make([]core.TCGSpec, n)
+		for i := range cs {
+			cs[i] = randTCG()
+		}
+		sp.Edges = append(sp.Edges, core.EdgeSpec{From: from, To: to, Constraints: cs})
+	}
+	// Spanning tree rooted at X0, then extra forward arcs.
+	for i := 1; i < nVars; i++ {
+		addEdge(vars[rng.Intn(i)], vars[i])
+	}
+	for i := 0; i < nVars; i++ {
+		for j := i + 1; j < nVars; j++ {
+			if hasEdge(sp, vars[i], vars[j]) {
+				continue
+			}
+			if rng.Float64() < k.ExtraEdgeProb {
+				addEdge(vars[i], vars[j])
+			}
+		}
+	}
+
+	// Total type assignment; distinct variables may share a type.
+	types := make([]string, k.NumTypes)
+	for i := range types {
+		types[i] = string(rune('a' + i))
+	}
+	sp.Assign = make(map[string]string, nVars)
+	for _, v := range vars {
+		sp.Assign[v] = types[rng.Intn(len(types))]
+	}
+	in.Spec = sp
+
+	in.Seq = genSequence(rng, in, types, k)
+	confs := []float64{0, 0.25, 0.5}
+	in.MinConfidence = confs[rng.Intn(len(confs))]
+	return in
+}
+
+// hasEdge reports whether the spec already has the arc (from, to).
+func hasEdge(sp *core.Spec, from, to string) bool {
+	for _, e := range sp.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// genSequence builds a sequence with pairwise-distinct timestamps inside
+// the horizon: background noise plus, usually, one or two planted
+// near-occurrences (events in topological order with small gaps) so the
+// TAG and mining contracts sample positive cases too.
+func genSequence(rng *rand.Rand, in *Instance, types []string, k Knobs) event.Sequence {
+	used := make(map[int64]bool)
+	var seq event.Sequence
+	add := func(t int64, typ string) {
+		if t < in.HorizonStart || t > in.HorizonEnd || used[t] {
+			return
+		}
+		used[t] = true
+		seq = append(seq, event.Event{Type: event.Type(typ), Time: t})
+	}
+	for i := 0; i < k.SeqLen; i++ {
+		add(in.HorizonStart+rng.Int63n(in.HorizonEnd-in.HorizonStart+1), types[rng.Intn(len(types))])
+	}
+	s, err := in.Spec.Structure()
+	if err == nil {
+		if order, err := s.TopoOrder(); err == nil {
+			plants := 1 + rng.Intn(2)
+			for p := 0; p < plants; p++ {
+				if rng.Float64() < 0.15 {
+					continue
+				}
+				t := in.HorizonStart + rng.Int63n(in.HorizonEnd/2+1)
+				for _, v := range order {
+					add(t, in.Spec.Assign[string(v)])
+					t += 1 + rng.Int63n(6)
+				}
+			}
+		}
+	}
+	// The mining contract needs at least one reference occurrence; the
+	// planted runs usually provide one, but guarantee it.
+	if root, err := rootOf(in.Spec); err == nil {
+		ref := in.Spec.Assign[root]
+		have := false
+		for _, e := range seq {
+			if string(e.Type) == ref {
+				have = true
+				break
+			}
+		}
+		if !have {
+			for t := in.HorizonStart; t <= in.HorizonEnd; t++ {
+				if !used[t] {
+					add(t, ref)
+					break
+				}
+			}
+		}
+	}
+	seq.Sort()
+	return seq
+}
+
+// rootOf returns the structure's root variable name.
+func rootOf(sp *core.Spec) (string, error) {
+	s, err := sp.Structure()
+	if err != nil {
+		return "", err
+	}
+	r, err := s.Root()
+	if err != nil {
+		return "", err
+	}
+	return string(r), nil
+}
+
+// sortedTypes returns the distinct event types of the sequence, sorted.
+func sortedTypes(seq event.Sequence) []string {
+	set := map[string]bool{}
+	for _, e := range seq {
+		set[string(e.Type)] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

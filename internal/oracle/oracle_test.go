@@ -1,0 +1,209 @@
+package oracle
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/granularity"
+	"repro/internal/propagate"
+	"repro/internal/stp"
+)
+
+// TestSeedsClean runs the full contract suite over a block of seeds — the
+// in-tree slice of the tempofuzz campaign (scripts/check.sh runs the
+// binary over a larger block).
+func TestSeedsClean(t *testing.T) {
+	k := DefaultKnobs()
+	n := int64(120)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		in := GenInstance(seed, k)
+		vs, _, err := CheckInstance(in, k, Hooks{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d violated the contracts above", seed)
+		}
+	}
+}
+
+// TestGenInstanceDeterministic asserts the generator is a pure function of
+// the seed — repro files and failure reports depend on it.
+func TestGenInstanceDeterministic(t *testing.T) {
+	k := DefaultKnobs()
+	for seed := int64(1); seed <= 10; seed++ {
+		a := GenInstance(seed, k)
+		b := GenInstance(seed, k)
+		var ab, bb bytes.Buffer
+		if err := (&Repro{Contract: "x", Instance: a}).Encode(&ab); err != nil {
+			t.Fatal(err)
+		}
+		if err := (&Repro{Contract: "x", Instance: b}).Encode(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+			t.Fatalf("seed %d generated two different instances", seed)
+		}
+	}
+}
+
+// TestReproRoundTrip asserts encode→decode→encode is the identity on
+// generated instances.
+func TestReproRoundTrip(t *testing.T) {
+	k := DefaultKnobs()
+	for seed := int64(1); seed <= 10; seed++ {
+		r := &Repro{Contract: ContractTAG, Detail: "d", Instance: GenInstance(seed, k)}
+		var buf bytes.Buffer
+		if err := r.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+		dec, err := DecodeRepro(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Contract != r.Contract || dec.Detail != r.Detail {
+			t.Fatalf("metadata changed: %q/%q", dec.Contract, dec.Detail)
+		}
+		var again bytes.Buffer
+		if err := dec.Encode(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again.Bytes()) {
+			t.Fatalf("seed %d: repro not stable under round trip", seed)
+		}
+	}
+}
+
+// brokenMingapHooks returns a conversion hook with the classic off-by-one:
+// the converted lower bound (Figure 3's mingap side) is one too tight.
+func brokenMingapHooks() Hooks {
+	return Hooks{
+		ConvertInterval: func(sys *granularity.System, src, dst string, lo, hi int64) (int64, int64) {
+			nlo, nhi := propagate.NewConverter(sys, src, dst).Interval(lo, hi)
+			if nlo > -stp.Inf && nlo < nhi {
+				nlo++
+			}
+			return nlo, nhi
+		},
+	}
+}
+
+// TestOracleCatchesBrokenConversion is the mutant-kill acceptance
+// criterion: an off-by-one in the granularity conversion must be caught,
+// shrunk to at most 4 variables, and the shrunk repro must round-trip
+// through disk and keep failing under the mutant while passing clean code.
+func TestOracleCatchesBrokenConversion(t *testing.T) {
+	k := DefaultKnobs()
+	broken := brokenMingapHooks()
+	var caught *Instance
+	var badSeed int64
+	for seed := int64(1); seed <= 200; seed++ {
+		in := GenInstance(seed, k)
+		vs, _, err := CheckInstance(in, k, broken)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			if v.Contract == ContractConversion {
+				caught, badSeed = in, seed
+				break
+			}
+		}
+		if caught != nil {
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatal("200 seeds did not catch the off-by-one conversion mutant")
+	}
+	t.Logf("mutant caught at seed %d", badSeed)
+
+	shrunk := Shrink(caught, ContractConversion, k, broken, 300)
+	if n := len(shrunk.Spec.Variables); n > 4 {
+		t.Fatalf("shrunk repro has %d variables, want <= 4", n)
+	}
+	vs, _, err := CheckInstance(shrunk, k, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail string
+	for _, v := range vs {
+		if v.Contract == ContractConversion {
+			detail = v.Detail
+		}
+	}
+	if detail == "" {
+		t.Fatal("shrunk instance no longer violates the conversion contract")
+	}
+
+	dir := t.TempDir()
+	path, err := SaveRepro(dir, &Repro{Contract: ContractConversion, Detail: detail, Instance: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("repro saved to %s, want under %s", path, dir)
+	}
+	rep, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, _, err := rep.Replay(k, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 {
+		t.Fatal("reloaded repro does not reproduce under the mutant")
+	}
+	recorded, all, err := rep.Replay(k, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) != 0 {
+		t.Fatalf("reloaded repro fails under the real conversion: %v", recorded)
+	}
+	for _, v := range all {
+		t.Errorf("unexpected violation under clean code: %s", v)
+	}
+}
+
+// TestShrinkPreservesMalformedRejection asserts the shrinker never adopts
+// a mutant whose materialization fails (e.g. an instance whose structure
+// lost its root): CheckInstance's error path must count as "did not
+// reproduce".
+func TestShrinkPreservesMalformedRejection(t *testing.T) {
+	k := DefaultKnobs()
+	in := GenInstance(3, k)
+	out := Shrink(in, ContractConsistency, k, Hooks{}, 50)
+	if _, _, err := CheckInstance(out, k, Hooks{}); err != nil {
+		t.Fatalf("shrinker returned a malformed instance: %v", err)
+	}
+}
+
+// TestBrokenConversionSmokeFast mirrors the check.sh smoke: the mutant is
+// caught within the first few seeds, keeping CI cheap.
+func TestBrokenConversionSmokeFast(t *testing.T) {
+	k := DefaultKnobs()
+	broken := brokenMingapHooks()
+	for seed := int64(1); seed <= 25; seed++ {
+		in := GenInstance(seed, k)
+		vs, _, err := CheckInstance(in, k, broken)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			if v.Contract == ContractConversion {
+				return
+			}
+		}
+	}
+	t.Fatal("25 seeds did not catch the conversion mutant")
+}

@@ -1,0 +1,169 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/periodic"
+)
+
+// Repro is a persisted failing instance: the (shrunk) instance plus the
+// contract it violated and the violation detail at save time. Repro files
+// under testdata/oracle/ replay as ordinary go test cases (see the
+// repository-root oracle replay test) so a fixed bug stays fixed.
+type Repro struct {
+	Contract string
+	Detail   string
+	Instance *Instance
+}
+
+// reproJSON is the stable on-disk schema. It mirrors Instance with
+// explicit lowercase keys so repro files survive field renames in the
+// in-memory types.
+type reproJSON struct {
+	Contract      string      `json:"contract"`
+	Detail        string      `json:"detail,omitempty"`
+	Seed          int64       `json:"seed"`
+	Granularities []granJSON  `json:"granularities"`
+	Spec          *core.Spec  `json:"spec"`
+	HorizonStart  int64       `json:"horizon_start"`
+	HorizonEnd    int64       `json:"horizon_end"`
+	Sequence      []eventJSON `json:"sequence"`
+	MinConfidence float64     `json:"min_confidence"`
+}
+
+type granJSON struct {
+	Name     string       `json:"name"`
+	Period   int64        `json:"period"`
+	Anchor   int64        `json:"anchor"`
+	Granules [][]spanJSON `json:"granules"`
+}
+
+type spanJSON struct {
+	First int64 `json:"first"`
+	Last  int64 `json:"last"`
+}
+
+type eventJSON struct {
+	Type string `json:"type"`
+	Time int64  `json:"time"`
+}
+
+// Encode writes the repro as indented JSON.
+func (r *Repro) Encode(w io.Writer) error {
+	if r.Instance == nil {
+		return fmt.Errorf("oracle: repro has no instance")
+	}
+	in := r.Instance
+	rj := reproJSON{
+		Contract:      r.Contract,
+		Detail:        r.Detail,
+		Seed:          in.Seed,
+		Spec:          in.Spec,
+		HorizonStart:  in.HorizonStart,
+		HorizonEnd:    in.HorizonEnd,
+		MinConfidence: in.MinConfidence,
+	}
+	for _, sp := range in.Grans {
+		gj := granJSON{Name: sp.Name, Period: sp.Period, Anchor: sp.Anchor}
+		for _, g := range sp.Granules {
+			var spans []spanJSON
+			for _, s := range g.Spans {
+				spans = append(spans, spanJSON{First: s.First, Last: s.Last})
+			}
+			gj.Granules = append(gj.Granules, spans)
+		}
+		rj.Granularities = append(rj.Granularities, gj)
+	}
+	for _, e := range in.Seq {
+		rj.Sequence = append(rj.Sequence, eventJSON{Type: string(e.Type), Time: e.Time})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rj)
+}
+
+// DecodeRepro reads an Encode-formatted repro. Unknown fields are
+// rejected so schema drift is caught, not silently dropped.
+func DecodeRepro(r io.Reader) (*Repro, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rj reproJSON
+	if err := dec.Decode(&rj); err != nil {
+		return nil, fmt.Errorf("oracle: decoding repro: %w", err)
+	}
+	in := &Instance{
+		Seed:          rj.Seed,
+		Spec:          rj.Spec,
+		HorizonStart:  rj.HorizonStart,
+		HorizonEnd:    rj.HorizonEnd,
+		MinConfidence: rj.MinConfidence,
+	}
+	for _, gj := range rj.Granularities {
+		sp := periodic.Spec{Name: gj.Name, Period: gj.Period, Anchor: gj.Anchor}
+		for _, spans := range gj.Granules {
+			var g periodic.Granule
+			for _, s := range spans {
+				g.Spans = append(g.Spans, periodic.Span{First: s.First, Last: s.Last})
+			}
+			sp.Granules = append(sp.Granules, g)
+		}
+		in.Grans = append(in.Grans, sp)
+	}
+	for _, ej := range rj.Sequence {
+		in.Seq = append(in.Seq, event.Event{Type: event.Type(ej.Type), Time: ej.Time})
+	}
+	return &Repro{Contract: rj.Contract, Detail: rj.Detail, Instance: in}, nil
+}
+
+// SaveRepro writes the repro under dir as <contract>-seed<seed>.json,
+// creating dir if needed. It returns the file path.
+func SaveRepro(dir string, r *Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("oracle: creating repro dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.json", r.Contract, r.Instance.Seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("oracle: creating repro file: %w", err)
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRepro reads a repro file from disk.
+func LoadRepro(path string) (*Repro, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeRepro(f)
+}
+
+// Replay re-runs the full contract suite on the repro's instance under the
+// given knobs and returns the violations of the repro's recorded contract
+// (empty means the bug is fixed) plus all violations for context.
+func (r *Repro) Replay(k Knobs, h Hooks) (recorded, all []Violation, err error) {
+	all, _, err = CheckInstance(r.Instance, k, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range all {
+		if v.Contract == r.Contract {
+			recorded = append(recorded, v)
+		}
+	}
+	return recorded, all, nil
+}

@@ -1,0 +1,214 @@
+package oracle
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/periodic"
+)
+
+// Shrink greedily minimizes an instance that violates the named contract:
+// each pass proposes every single-step mutation of its kind (delete a
+// variable, delete a constraint, narrow an interval, drop events, drop
+// unused granularities, halve the horizon) and adopts the first mutant on
+// which the SAME contract still fails, restarting the pass from the
+// smaller instance. Passes repeat until a full sweep adopts nothing.
+// maxChecks bounds the total number of contract evaluations so shrinking
+// a pathological instance cannot hang the fuzzer.
+func Shrink(in *Instance, contract string, k Knobs, h Hooks, maxChecks int) *Instance {
+	cur := in.Clone()
+	checks := 0
+	fails := func(cand *Instance) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		vs, _, err := CheckInstance(cand, k, h)
+		if err != nil {
+			return false // malformed mutant: the violation did not reproduce
+		}
+		for _, v := range vs {
+			if v.Contract == contract {
+				return true
+			}
+		}
+		return false
+	}
+	passes := []func(*Instance) []*Instance{
+		dropVariableCandidates,
+		dropConstraintCandidates,
+		dropEventCandidates,
+		narrowIntervalCandidates,
+		dropGranularityCandidates,
+		halveHorizonCandidates,
+	}
+	for {
+		improved := false
+		for _, pass := range passes {
+		restart:
+			for _, cand := range pass(cur) {
+				if fails(cand) {
+					cur = cand
+					improved = true
+					goto restart
+				}
+			}
+		}
+		if !improved || checks >= maxChecks {
+			return cur
+		}
+	}
+}
+
+// dropVariableCandidates removes one non-root variable (with its arcs and
+// assignment) per candidate. The root stays so the TAG and mining
+// contracts remain runnable.
+func dropVariableCandidates(in *Instance) []*Instance {
+	if in.Spec == nil || len(in.Spec.Variables) <= 2 {
+		return nil
+	}
+	root, err := rootOf(in.Spec)
+	if err != nil {
+		root = in.Spec.Variables[0]
+	}
+	var out []*Instance
+	for i := len(in.Spec.Variables) - 1; i >= 0; i-- {
+		v := in.Spec.Variables[i]
+		if v == root {
+			continue
+		}
+		c := in.Clone()
+		c.Spec.Variables = append(c.Spec.Variables[:i:i], c.Spec.Variables[i+1:]...)
+		var edges []core.EdgeSpec
+		for _, e := range c.Spec.Edges {
+			if e.From != v && e.To != v {
+				edges = append(edges, e)
+			}
+		}
+		c.Spec.Edges = edges
+		delete(c.Spec.Assign, v)
+		c.invalidate()
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropConstraintCandidates removes one TCG per candidate; an arc losing
+// its last TCG is removed entirely, unless it is the only edge left.
+func dropConstraintCandidates(in *Instance) []*Instance {
+	if in.Spec == nil {
+		return nil
+	}
+	var out []*Instance
+	for i := len(in.Spec.Edges) - 1; i >= 0; i-- {
+		e := in.Spec.Edges[i]
+		for j := len(e.Constraints) - 1; j >= 0; j-- {
+			c := in.Clone()
+			switch {
+			case len(e.Constraints) > 1:
+				cs := c.Spec.Edges[i].Constraints
+				c.Spec.Edges[i].Constraints = append(cs[:j:j], cs[j+1:]...)
+			case len(in.Spec.Edges) > 1:
+				c.Spec.Edges = append(c.Spec.Edges[:i:i], c.Spec.Edges[i+1:]...)
+			default:
+				continue
+			}
+			c.invalidate()
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// narrowIntervalCandidates tightens one TCG per candidate: a wide interval
+// collapses to the point [Min, Min], a positive point interval steps down
+// toward [0, 0].
+func narrowIntervalCandidates(in *Instance) []*Instance {
+	if in.Spec == nil {
+		return nil
+	}
+	var out []*Instance
+	for i, e := range in.Spec.Edges {
+		for j, tc := range e.Constraints {
+			var min, max int64
+			switch {
+			case tc.Max > tc.Min:
+				min, max = tc.Min, tc.Min
+			case tc.Min > 0:
+				min, max = tc.Min-1, tc.Min-1
+			default:
+				continue
+			}
+			c := in.Clone()
+			c.Spec.Edges[i].Constraints[j].Min = min
+			c.Spec.Edges[i].Constraints[j].Max = max
+			c.invalidate()
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// dropEventCandidates proposes the first half of the sequence, the
+// sequence minus its last event, and the sequence minus each single event
+// — big bites first, then nibbles.
+func dropEventCandidates(in *Instance) []*Instance {
+	var out []*Instance
+	if len(in.Seq) > 4 {
+		c := in.Clone()
+		c.Seq = append(event.Sequence(nil), in.Seq[:(len(in.Seq)+1)/2]...)
+		c.invalidate()
+		out = append(out, c)
+	}
+	for i := len(in.Seq) - 1; i >= 0; i-- {
+		c := in.Clone()
+		c.Seq = append(append(event.Sequence(nil), in.Seq[:i]...), in.Seq[i+1:]...)
+		c.invalidate()
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropGranularityCandidates removes one custom granularity no TCG
+// references per candidate.
+func dropGranularityCandidates(in *Instance) []*Instance {
+	used := map[string]bool{}
+	if in.Spec != nil {
+		for _, e := range in.Spec.Edges {
+			for _, c := range e.Constraints {
+				used[c.Gran] = true
+			}
+		}
+	}
+	var out []*Instance
+	for i := len(in.Grans) - 1; i >= 0; i-- {
+		if used[in.Grans[i].Name] {
+			continue
+		}
+		c := in.Clone()
+		c.Grans = append(append([]periodic.Spec(nil), c.Grans[:i]...), c.Grans[i+1:]...)
+		c.invalidate()
+		out = append(out, c)
+	}
+	return out
+}
+
+// halveHorizonCandidates shrinks the brute/exact horizon (a smaller
+// horizon also speeds up every later shrink check), dropping events that
+// fall outside it.
+func halveHorizonCandidates(in *Instance) []*Instance {
+	span := in.HorizonEnd - in.HorizonStart
+	if span < 8 {
+		return nil
+	}
+	c := in.Clone()
+	c.HorizonEnd = in.HorizonStart + span/2
+	var seq event.Sequence
+	for _, e := range c.Seq {
+		if e.Time <= c.HorizonEnd {
+			seq = append(seq, e)
+		}
+	}
+	c.Seq = seq
+	c.invalidate()
+	return []*Instance{c}
+}

@@ -1,25 +1,50 @@
-package periodic
+package periodic_test
 
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/periodic"
 )
 
+// oracleCheck wraps an accepted granularity in a minimal two-variable
+// instance and runs the differential oracle: the cover, metric and
+// conversion behaviour of whatever the constructor accepts must keep the
+// solver layers mutually consistent. Granularities named "second" would
+// shadow the built-in order group, so they are skipped.
+func oracleCheck(t *testing.T, sp periodic.Spec) {
+	t.Helper()
+	if sp.Name == "" || sp.Name == "second" || sp.Period > 64 {
+		return
+	}
+	k := oracle.DefaultKnobs()
+	k.BruteCap = 200_000
+	k.ExactMaxNodes = 100_000
+	in := oracle.FromGranularity(sp, 24)
+	if vs, _, err := oracle.CheckInstance(in, k, oracle.Hooks{}); err == nil {
+		for _, v := range vs {
+			t.Errorf("oracle violation on accepted granularity %q: %s", sp.Name, v)
+		}
+	}
+}
+
 // FuzzDecode: the periodic-spec decoder must never panic; accepted specs
-// must validate, materialize, and round-trip through Encode.
+// must validate, materialize, round-trip through Encode, and pass the
+// differential oracle.
 func FuzzDecode(f *testing.F) {
 	f.Add("name x\nperiod 10\nanchor 1\ngranule 0-3\ngranule 5-8\n")
 	f.Add("name x\nperiod 10\nanchor 1\ngranule 0-2,4-6\n")
 	f.Add("junk")
 	f.Fuzz(func(t *testing.T, in string) {
-		sp, err := Decode(strings.NewReader(in))
+		sp, err := periodic.Decode(strings.NewReader(in))
 		if err != nil {
 			return
 		}
 		if err := sp.Validate(); err != nil {
 			t.Fatalf("decoder accepted an invalid spec: %v", err)
 		}
-		g, err := New(*sp)
+		g, err := periodic.New(*sp)
 		if err != nil {
 			t.Fatalf("validated spec failed to materialize: %v", err)
 		}
@@ -36,31 +61,33 @@ func FuzzDecode(f *testing.F) {
 			prevLast = iv.Last
 		}
 		var sb strings.Builder
-		if err := Encode(&sb, sp); err != nil {
+		if err := periodic.Encode(&sb, sp); err != nil {
 			t.Fatalf("accepted spec failed to encode: %v", err)
 		}
-		if _, err := Decode(strings.NewReader(sb.String())); err != nil {
+		if _, err := periodic.Decode(strings.NewReader(sb.String())); err != nil {
 			t.Fatalf("encoded spec failed to re-decode: %v", err)
 		}
+		oracleCheck(t, *sp)
 	})
 }
 
 // FuzzNew drives the error-returning constructor with raw, untrusted Spec
 // fields (the shape a decode path hands it): it must reject or accept with
-// an error, never panic, and accepted specs must behave monotonically.
+// an error, never panic; accepted specs must behave monotonically and
+// pass the differential oracle.
 func FuzzNew(f *testing.F) {
 	f.Add("x", int64(10), int64(1), []byte{0, 3, 5, 8})
 	f.Add("", int64(0), int64(-1), []byte{9, 2})
 	f.Add("y", int64(86400), int64(1), []byte{0, 0})
 	f.Add("z", int64(5), int64(3), []byte{})
 	f.Fuzz(func(t *testing.T, name string, period, anchor int64, raw []byte) {
-		sp := Spec{Name: name, Period: period, Anchor: anchor}
+		sp := periodic.Spec{Name: name, Period: period, Anchor: anchor}
 		// Decode raw bytes as span pairs, two granules alternating.
 		for i := 0; i+1 < len(raw); i += 2 {
-			g := Granule{Spans: []Span{{First: int64(raw[i]), Last: int64(raw[i+1])}}}
+			g := periodic.Granule{Spans: []periodic.Span{{First: int64(raw[i]), Last: int64(raw[i+1])}}}
 			sp.Granules = append(sp.Granules, g)
 		}
-		g, err := New(sp)
+		g, err := periodic.New(sp)
 		if err != nil {
 			return
 		}
@@ -78,5 +105,6 @@ func FuzzNew(f *testing.F) {
 			}
 			prevLast = iv.Last
 		}
+		oracleCheck(t, sp)
 	})
 }

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestMetricsGolden locks the /metrics exposition shape. After a fixed
+// request sequence touching every subsystem (a synchronous check, a full
+// TAG session lifecycle, a mining job run to completion) the scrape must
+// contain exactly the sample names, label sets, HELP/TYPE comments and
+// ordering recorded in testdata/metrics.golden. Sample values are
+// stripped before comparison — wall-clock stage timers and poll counts
+// vary run to run — so the golden file pins names and ordering only,
+// which is the contract dashboards and alert rules depend on.
+//
+// Regenerate after intentionally adding or renaming a counter with:
+//
+//	METRICS_GOLDEN_UPDATE=1 go test ./internal/server -run TestMetricsGolden
+func TestMetricsGolden(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	// One synchronous check.
+	readBody(t, post(t, ts.URL+"/v1/check", checkRequestJSON(t, "")))
+
+	// One session driven to acceptance, polled, then closed.
+	cr := createSession(t, ts.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	readBody(t, post(t, ts.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		eventsBody(EventItem{Time: t0, Type: "a"}, EventItem{Time: t0 + 3600, Type: "b"})))
+	readBody(t, get(t, ts.URL+"/v1/tag/sessions/"+cr.ID))
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tag/sessions/"+cr.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+
+	// One mining job, polled until terminal.
+	resp = post(t, ts.URL+"/v1/mining/jobs", jobRequestJSON(t, ""))
+	var created JobStatusResponse
+	if err := json.Unmarshal(readBody(t, resp), &created); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, created.ID, func(js *JobStatusResponse) bool {
+		return js.State == "done"
+	})
+
+	body := readBody(t, get(t, ts.URL+"/metrics"))
+	got := stripMetricValues(t, body)
+
+	const golden = "testdata/metrics.golden"
+	if os.Getenv("METRICS_GOLDEN_UPDATE") == "1" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want := mustReadFile(t, golden)
+	if !bytes.Equal(got, want) {
+		t.Errorf("metrics exposition shape changed (names/ordering).\n"+
+			"If intentional, rerun with METRICS_GOLDEN_UPDATE=1.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// stripMetricValues removes the trailing sample value from every
+// non-comment exposition line, leaving `name{labels}`. Values never
+// contain spaces (integers or fixed-notation floats), so cutting at the
+// last space is exact even when label values contain spaces.
+func stripMetricValues(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			out.WriteString(line)
+			out.WriteByte('\n')
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		out.WriteString(line[:i])
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

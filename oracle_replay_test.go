@@ -1,0 +1,47 @@
+package tempo_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+// TestOracleReproCorpus replays every persisted repro under
+// testdata/oracle/ through the full differential contract suite. Each file
+// is a (shrunk) instance that once violated a contract — or a corpus entry
+// chosen to stress one — so the whole suite must come back clean: a fixed
+// bug stays fixed, and the oracle itself stays runnable on the committed
+// corpus.
+func TestOracleReproCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "oracle", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no repro files under testdata/oracle — the committed corpus is missing")
+	}
+	k := oracle.DefaultKnobs()
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			rep, err := oracle.LoadRepro(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Contract == "" {
+				t.Fatal("repro has no recorded contract")
+			}
+			recorded, all, err := rep.Replay(k, oracle.Hooks{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range recorded {
+				t.Errorf("recorded contract regressed: %s", v)
+			}
+			for _, v := range all {
+				t.Errorf("violation on replay: %s", v)
+			}
+		})
+	}
+}

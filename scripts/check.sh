@@ -15,8 +15,10 @@ if [ -n "$fmt" ]; then
 	echo "$fmt" >&2
 	exit 1
 fi
-echo '>> go test -race ./...'
-go test -race ./...
+echo '>> go test -race -shuffle=on ./...'
+go test -race -shuffle=on ./...
+echo '>> oracle smoke (differential contracts over 200 seeds)'
+go run ./cmd/tempofuzz -seeds "${ORACLE_SEEDS:-200}" -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo '>> serve smoke (tempod end to end)'
