@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json serve-smoke oracle-smoke cover
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 serve-smoke oracle-smoke cover
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ race-stress:
 # baseline with `sh scripts/bench_compare.sh baseline`).
 bench-json:
 	sh scripts/bench_compare.sh
+
+# Compiled-core benchmark run; writes BENCH_PR6.json and gates the PR-6
+# acceptance speedups (>=3x single-thread TAG stepping vs the interpreter,
+# >=5x Fig-3 cover conversion vs direct calendar arithmetic) plus the
+# compiled core's allocs/op.
+bench-json-pr6:
+	sh scripts/bench_compare.sh pr6
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -66,6 +66,9 @@ func main() {
 }
 
 func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive, jsonOut bool, explain, workers int, ef *cli.EngineFlags) error {
+	if err := ef.Validate(); err != nil {
+		return err
+	}
 	defer ef.Finish(out)
 	// Text mode streams notices (resume/checkpoint lines) as they happen;
 	// JSON mode suppresses them and emits one canonical document at the end.
@@ -168,7 +171,7 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 		}
 		res = &cli.MineResult{Tau: tau, Interrupted: ii}
 	} else {
-		res, err = cli.BuildMineResult(sys, p, seq, ds, stats, tau, explain)
+		res, err = cli.BuildMineResult(sys, p, seq, ds, stats, tau, explain, ef.Mode())
 		if err != nil {
 			return err
 		}

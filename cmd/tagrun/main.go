@@ -65,6 +65,9 @@ func main() {
 }
 
 func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict, jsonOut bool, workers int, ef *cli.EngineFlags) error {
+	if err := ef.Validate(); err != nil {
+		return err
+	}
 	eng := ef.Config()
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)
@@ -144,7 +147,7 @@ func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath st
 	// below is byte-identical for every worker count.
 	ex := eng.Start()
 	verdicts, err := a.AcceptsBatch(ex, sys, seq, refIdx, 0, cli.ResolveWorkers(workers, 0),
-		tag.RunOptions{Strict: strict})
+		tag.RunOptions{Strict: strict, Engine: eng})
 	if err != nil {
 		if ii := cli.InterruptedFrom(err); ii != nil {
 			res.Interrupted = ii

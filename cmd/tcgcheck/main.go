@@ -51,6 +51,9 @@ func main() {
 }
 
 func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, fromYear, toYear int, jsonOut bool, ef *cli.EngineFlags) error {
+	if err := ef.Validate(); err != nil {
+		return err
+	}
 	eng := ef.Config()
 	defer ef.Finish(out)
 	sys, err := cli.LoadSystem(gransFlag)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	jobQueue := flag.Int("job-queue", 64, "max queued mining jobs (beyond: 429)")
 	maxSessions := flag.Int("max-sessions", 1024, "max live streaming sessions")
 	scanWorkers := flag.Int("workers", 0, "default TAG scan fan-out per mining job (0 = GOMAXPROCS)")
+	execMode := flag.String("exec", "compiled", "TAG execution core for sessions and jobs: 'compiled' or 'interp'")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a drain may wait for in-flight work")
 	version := cli.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
@@ -58,17 +60,21 @@ func main() {
 		return
 	}
 
-	if err := run(os.Stdout, *addr, *data, *gransFlag, *inflight, *queue, *jobWorkers, *jobQueue,
+	if err := run(os.Stdout, *addr, *data, *gransFlag, *execMode, *inflight, *queue, *jobWorkers, *jobQueue,
 		*maxSessions, *scanWorkers, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tempod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, addr, data, gransFlag string, inflight, queue, jobWorkers, jobQueue,
+func run(out io.Writer, addr, data, gransFlag, execMode string, inflight, queue, jobWorkers, jobQueue,
 	maxSessions, scanWorkers int, drainTimeout time.Duration) error {
 	if data == "" {
 		return fmt.Errorf("-data is required")
+	}
+	mode, err := engine.ParseExecMode(execMode)
+	if err != nil {
+		return err
 	}
 	srv, err := server.New(server.Config{
 		DataDir:       data,
@@ -79,6 +85,7 @@ func run(out io.Writer, addr, data, gransFlag string, inflight, queue, jobWorker
 		JobQueueDepth: jobQueue,
 		MaxSessions:   maxSessions,
 		ScanWorkers:   scanWorkers,
+		Exec:          mode,
 	})
 	if err != nil {
 		return err

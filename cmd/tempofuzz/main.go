@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,7 @@ func main() {
 	flag.StringVar(&opt.profile, "profile", "", "write a CPU profile to this file")
 	flag.BoolVar(&opt.verbose, "v", false, "log every seed")
 	flag.IntVar(&opt.shrinkChecks, "shrink-checks", 400, "contract evaluations the shrinker may spend")
+	contracts := flag.String("contracts", "", "comma-separated contract names to check (default: all); e.g. -contracts exec-equiv")
 	version := cli.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	if *version {
@@ -49,6 +51,13 @@ func main() {
 		return
 	}
 	opt.knobs = oracle.DefaultKnobs()
+	if *contracts != "" {
+		for _, c := range strings.Split(*contracts, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				opt.knobs.Only = append(opt.knobs.Only, c)
+			}
+		}
+	}
 
 	if opt.profile != "" {
 		f, err := os.Create(opt.profile)

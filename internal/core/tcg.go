@@ -64,20 +64,17 @@ func (c TCG) String() string {
 // Satisfied reports whether the ordered timestamp pair (t1, t2) satisfies
 // the constraint under the granularities registered in sys. Per the paper's
 // definition it requires (1) t1 <= t2, (2) both cover operations defined,
-// (3) Min <= ⌈t2⌉ − ⌈t1⌉ <= Max.
+// (3) Min <= ⌈t2⌉ − ⌈t1⌉ <= Max. The cover goes through sys's periodic
+// conversion table for the granularity when one exists.
 func (c TCG) Satisfied(sys *granularity.System, t1, t2 int64) bool {
 	if t1 > t2 {
 		return false
 	}
-	g, ok := sys.Get(c.Gran)
+	z1, ok := sys.TickOf(c.Gran, t1)
 	if !ok {
 		return false
 	}
-	z1, ok := granularity.CoverSecond(g, t1)
-	if !ok {
-		return false
-	}
-	z2, ok := granularity.CoverSecond(g, t2)
+	z2, ok := sys.TickOf(c.Gran, t2)
 	if !ok {
 		return false
 	}

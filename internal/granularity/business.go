@@ -103,6 +103,22 @@ func (b *BusinessDay) Span(z int64) (Interval, bool) {
 // Intervals implements Granularity.
 func (b *BusinessDay) Intervals(z int64) ([]Interval, bool) { return convexIntervals(b, z) }
 
+// gregorianCycleSeconds is the length of the 400-year Gregorian cycle, the
+// period after which the weekday (and thus holiday-rule) pattern repeats.
+const gregorianCycleSeconds = 146097 * calendar.SecondsPerDay
+
+// PeriodHint implements PeriodHint. Without holidays the business-day
+// pattern repeats weekly (5 granules per 7 days, starting on the Wednesday
+// the timeline opens on). Holiday-aware variants have a 400-year minimal
+// period with ~100k granules — beyond the table caps — so they declare no
+// hint and fall back to the direct implementation.
+func (b *BusinessDay) PeriodHint() (int64, int64) {
+	if b.holidays != nil {
+		return 0, 0
+	}
+	return 0, 5
+}
+
 // businessIn is a granularity whose granule z is the union of the business
 // days inside granule z of a base calendar granularity (week or month).
 // It realizes the paper's business-week and business-month examples of
@@ -179,6 +195,38 @@ func (g *businessIn) Intervals(z int64) ([]Interval, bool) {
 	return mergeAdjacent(ivs), true
 }
 
+// PeriodHint implements PeriodHint by lifting the base granularity's hint.
+// Without holidays the business pattern inherits the base period directly
+// (weekday structure is week-periodic and every base hint's period is a
+// whole number of weeks). With holidays the pattern only repeats with the
+// 400-year Gregorian cycle, so the base period is scaled up to one cycle;
+// b-month stays within the table caps (4800 granules), b-week does not
+// (20871 weeks) and correctly reports no usable hint via the cap check in
+// the builder.
+func (g *businessIn) PeriodHint() (int64, int64) {
+	ph, ok := g.base.(PeriodHint)
+	if !ok {
+		return 0, 0
+	}
+	prefix, n := ph.PeriodHint()
+	if n < 1 {
+		return 0, 0
+	}
+	if g.holidays == nil {
+		return prefix, n
+	}
+	s1, ok1 := g.base.Span(prefix + 1)
+	s2, ok2 := g.base.Span(prefix + n + 1)
+	if !ok1 || !ok2 {
+		return 0, 0
+	}
+	pb := s2.First - s1.First
+	if pb <= 0 || gregorianCycleSeconds%pb != 0 {
+		return 0, 0
+	}
+	return prefix, n * (gregorianCycleSeconds / pb)
+}
+
 // weekendG is the weekend granularity: granule z is the Saturday and Sunday
 // of week z (a single two-day interval).
 type weekendG struct{}
@@ -210,3 +258,7 @@ func (weekendG) Span(z int64) (Interval, bool) {
 }
 
 func (w weekendG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(w, z) }
+
+// PeriodHint implements PeriodHint: like week, weekend 1 sits in the
+// partial leading week; everything after repeats weekly.
+func (weekendG) PeriodHint() (int64, int64) { return 1, 1 }

@@ -46,6 +46,10 @@ func (weekG) Span(z int64) (Interval, bool) {
 
 func (w weekG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(w, z) }
 
+// PeriodHint implements PeriodHint: week 1 is the partial leading week, and
+// every week after it repeats with a 7-day period.
+func (weekG) PeriodHint() (int64, int64) { return 1, 1 }
+
 // monthG is the calendar month granularity; month 1 is January 1800.
 type monthG struct{}
 
@@ -70,6 +74,10 @@ func (monthG) Span(z int64) (Interval, bool) {
 }
 
 func (m monthG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(m, z) }
+
+// PeriodHint implements PeriodHint: the Gregorian calendar repeats exactly
+// every 400 years (146097 days), i.e. every 4800 months.
+func (monthG) PeriodHint() (int64, int64) { return 0, 4800 }
 
 // yearG is the calendar year granularity; year 1 is 1800 (the paper's own
 // anchoring example).
@@ -96,3 +104,6 @@ func (yearG) Span(z int64) (Interval, bool) {
 }
 
 func (y yearG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(y, z) }
+
+// PeriodHint implements PeriodHint: 400 Gregorian years per cycle.
+func (yearG) PeriodHint() (int64, int64) { return 0, 400 }

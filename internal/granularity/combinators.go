@@ -35,6 +35,23 @@ func Semester() Granularity { return GroupBy("semester", Month(), 6) }
 
 func (g *groupBy) Name() string { return g.name }
 
+// PeriodHint implements PeriodHint by lifting the base hint: grouping n
+// base granules repeats after lcm(baseN, n) base granules, i.e. lcm/n
+// grouped granules; any base prefix is absorbed into ceil(prefix/n) grouped
+// granules. The builder verifies the lifted hint against real spans.
+func (g *groupBy) PeriodHint() (int64, int64) {
+	ph, ok := g.base.(PeriodHint)
+	if !ok {
+		return 0, 0
+	}
+	prefix, nb := ph.PeriodHint()
+	if nb < 1 {
+		return 0, 0
+	}
+	l := lcm64(nb, g.n)
+	return (prefix + g.n - 1) / g.n, l / g.n
+}
+
 func (g *groupBy) TickOf(t int64) (int64, bool) {
 	z, ok := g.base.TickOf(t)
 	if !ok {

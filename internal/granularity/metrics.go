@@ -1,7 +1,5 @@
 package granularity
 
-import "sync"
-
 // Metrics computes the paper's minsize, maxsize and mingap functions for a
 // granularity: the minimum/maximum length, in primitive ticks (seconds), of
 // k consecutive granules, and the minimum distance between a granule and the
@@ -12,17 +10,25 @@ import "sync"
 // rule the paper's appendix names; the extrapolation is always on the sound
 // side for the conversion algorithm's uses (MinSize and MinGap are true
 // lower bounds, MaxSize a true upper bound).
+//
+// All exact values are precomputed at construction into flat arrays, so a
+// Metrics is immutable after NewMetrics and every lookup is a lock-free
+// array read (plus O(1) arithmetic beyond the exact range). This is the
+// conversion-table half of the compiled execution core: the Fig-3
+// conversion steps (ConvertUpper/ConvertLower, Converter.Interval) sit on
+// the mining and propagation hot paths and hit these tables for every
+// candidate bound.
 type Metrics struct {
 	g       Granularity
 	uniform int64 // >0 when closed forms apply
 
 	starts, ends []int64 // exact spans of granules 1..len(starts)
 
-	mu           sync.Mutex
-	minSizeCache map[int64]int64
-	maxSizeCache map[int64]int64
-	minGapCache  map[int64]int64
-	maxGap1      int64 // max gap between consecutive granules, lazily set (-1 = unset)
+	exactKv int64
+	// minSize[k], maxSize[k], minGap[k] are the exact metric values for
+	// 1 <= k <= exactKv (index 0 unused).
+	minSize, maxSize, minGap []int64
+	maxGap1                  int64 // max gap between consecutive granules
 }
 
 // DefaultHorizon is the number of granules scanned for exact metric values.
@@ -32,13 +38,7 @@ const DefaultHorizon = 720
 // NewMetrics builds a Metrics for g scanning the given number of granules
 // (DefaultHorizon when horizon <= 0).
 func NewMetrics(g Granularity, horizon int) *Metrics {
-	m := &Metrics{
-		g:            g,
-		minSizeCache: make(map[int64]int64),
-		maxSizeCache: make(map[int64]int64),
-		minGapCache:  make(map[int64]int64),
-		maxGap1:      -1,
-	}
+	m := &Metrics{g: g}
 	if u, ok := g.(*Uniform); ok {
 		m.uniform = u.uniformSize()
 		return m
@@ -57,6 +57,24 @@ func NewMetrics(g Granularity, horizon int) *Metrics {
 	if len(m.starts) < 2 {
 		panic("granularity: metrics horizon too small for " + g.Name())
 	}
+	m.exactKv = m.exactLimit() / 2
+	if m.exactKv < 1 {
+		m.exactKv = 1
+	}
+	m.minSize = make([]int64, m.exactKv+1)
+	m.maxSize = make([]int64, m.exactKv+1)
+	m.minGap = make([]int64, m.exactKv+1)
+	for k := int64(1); k <= m.exactKv; k++ {
+		m.minSize[k] = m.scanMinSize(k)
+		m.maxSize[k] = m.scanMaxSize(k)
+		m.minGap[k] = m.scanMinGap(k)
+	}
+	m.maxGap1 = 1
+	for i := int64(0); i+1 < m.exactLimit(); i++ {
+		if g := m.starts[i+1] - m.ends[i]; g > m.maxGap1 {
+			m.maxGap1 = g
+		}
+	}
 	return m
 }
 
@@ -69,13 +87,7 @@ func (m *Metrics) exactLimit() int64 { return int64(len(m.starts)) }
 // exactK returns the largest k treated as exact: half the horizon, so every
 // scan aggregates at least horizon/2 windows and captures the periodic
 // structure (e.g. leap years) instead of a single unlucky window.
-func (m *Metrics) exactK() int64 {
-	k := m.exactLimit() / 2
-	if k < 1 {
-		k = 1
-	}
-	return k
-}
+func (m *Metrics) exactK() int64 { return m.exactKv }
 
 // MinSize returns the paper's minsize(g, k): the minimum span, in seconds,
 // of k consecutive granules. k must be >= 1.
@@ -86,30 +98,18 @@ func (m *Metrics) MinSize(k int64) int64 {
 	if m.uniform > 0 {
 		return k * m.uniform
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.minSizeLocked(k)
-}
-
-func (m *Metrics) minSizeLocked(k int64) int64 {
-	if v, ok := m.minSizeCache[k]; ok {
-		return v
+	if k <= m.exactKv {
+		return m.minSize[k]
 	}
-	var v int64
-	if k <= m.exactK() {
-		v = m.scanMinSize(k)
-	} else {
-		// Superadditive chunking: span(k1+k2) >= minsize(k1)+minsize(k2),
-		// so summing exact chunks is a sound lower bound. Closed form so
-		// conversions of huge bounds stay O(1).
-		step := m.exactK()
-		q, r := k/step, k%step
-		v = q * m.minSizeLocked(step)
-		if r > 0 {
-			v += m.minSizeLocked(r)
-		}
+	// Superadditive chunking: span(k1+k2) >= minsize(k1)+minsize(k2), so
+	// summing exact chunks is a sound lower bound. Closed form so
+	// conversions of huge bounds stay O(1).
+	step := m.exactKv
+	q, r := k/step, k%step
+	v := q * m.minSize[step]
+	if r > 0 {
+		v += m.minSize[r]
 	}
-	m.minSizeCache[k] = v
 	return v
 }
 
@@ -133,33 +133,20 @@ func (m *Metrics) MaxSize(k int64) int64 {
 	if m.uniform > 0 {
 		return k * m.uniform
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.maxSizeLocked(k)
-}
-
-func (m *Metrics) maxSizeLocked(k int64) int64 {
-	if v, ok := m.maxSizeCache[k]; ok {
-		return v
+	if k <= m.exactKv {
+		return m.maxSize[k]
 	}
-	var v int64
-	if k <= m.exactK() {
-		v = m.scanMaxSize(k)
-	} else {
-		// span(k1+k2) <= maxsize(k1) + maxsize(k2) + maxgap(1) - 1:
-		// chunked sum is a sound upper bound, in closed form.
-		step := m.exactK()
-		q, r := k/step, k%step
-		v = q * m.maxSizeLocked(step)
-		junctions := q - 1
-		if r > 0 {
-			v += m.maxSizeLocked(r)
-			junctions++
-		}
-		v += junctions * (m.maxGapOne() - 1)
+	// span(k1+k2) <= maxsize(k1) + maxsize(k2) + maxgap(1) - 1:
+	// chunked sum is a sound upper bound, in closed form.
+	step := m.exactKv
+	q, r := k/step, k%step
+	v := q * m.maxSize[step]
+	junctions := q - 1
+	if r > 0 {
+		v += m.maxSize[r]
+		junctions++
 	}
-	m.maxSizeCache[k] = v
-	return v
+	return v + junctions*(m.maxGapOne()-1)
 }
 
 func (m *Metrics) scanMaxSize(k int64) int64 {
@@ -177,18 +164,7 @@ func (m *Metrics) maxGapOne() int64 {
 	if m.uniform > 0 {
 		return 1
 	}
-	if m.maxGap1 >= 0 {
-		return m.maxGap1
-	}
-	best := int64(1)
-	for i := int64(0); i+1 < m.exactLimit(); i++ {
-		g := m.starts[i+1] - m.ends[i]
-		if g > best {
-			best = g
-		}
-	}
-	m.maxGap1 = best
-	return best
+	return m.maxGap1
 }
 
 // MinGap returns the paper's mingap(g, k): the minimum distance, in seconds,
@@ -205,33 +181,20 @@ func (m *Metrics) MinGap(k int64) int64 {
 	if m.uniform > 0 {
 		return (k-1)*m.uniform + 1
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.minGapLocked(k)
-}
-
-func (m *Metrics) minGapLocked(k int64) int64 {
-	if v, ok := m.minGapCache[k]; ok {
-		return v
+	if k <= m.exactKv {
+		return m.minGap[k]
 	}
-	var v int64
-	limit := m.exactK()
-	if k <= limit {
-		v = m.scanMinGap(k)
-	} else {
-		// mingap(a+b) >= mingap(a) + mingap(b) + minsize(1) - 1:
-		// chunked sum is a sound lower bound, in closed form.
-		q, r := k/limit, k%limit
-		v = q * m.minGapLocked(limit)
-		junctions := q - 1
-		if r > 0 {
-			v += m.minGapLocked(r)
-			junctions++
-		}
-		v += junctions * (m.minSizeLocked(1) - 1)
+	// mingap(a+b) >= mingap(a) + mingap(b) + minsize(1) - 1:
+	// chunked sum is a sound lower bound, in closed form.
+	limit := m.exactKv
+	q, r := k/limit, k%limit
+	v := q * m.minGap[limit]
+	junctions := q - 1
+	if r > 0 {
+		v += m.minGap[r]
+		junctions++
 	}
-	m.minGapCache[k] = v
-	return v
+	return v + junctions*(m.minSize[1]-1)
 }
 
 func (m *Metrics) scanMinGap(k int64) int64 {

@@ -22,6 +22,7 @@ type System struct {
 	mu       sync.Mutex // serializes mutations (Add); readers never take it
 	reg      atomic.Pointer[registry]
 	metrics  sync.Map // string -> *metricsEntry
+	tables   sync.Map // string -> *tableEntry
 	feasible sync.Map // [2]string -> *coverEntry
 	coverAll sync.Map // [2]string -> *coverEntry
 	horizon  int
@@ -46,6 +47,13 @@ type metricsEntry struct {
 type coverEntry struct {
 	once sync.Once
 	v    bool
+}
+
+// tableEntry is the single-flight slot for periodic-table compilation; t
+// stays nil for granularities that are not periodizable.
+type tableEntry struct {
+	once sync.Once
+	t    *PeriodicTable
 }
 
 // NewSystem builds an empty system. horizon is the Metrics scanning horizon
@@ -83,6 +91,7 @@ func (s *System) Add(g Granularity) {
 	next.grans[name] = g
 	s.reg.Store(next)
 	s.metrics.Delete(name)
+	s.tables.Delete(name)
 	dropPairs := func(m *sync.Map) {
 		m.Range(func(key, _ any) bool {
 			k := key.([2]string)
@@ -133,6 +142,76 @@ func (s *System) Metrics(name string) *Metrics {
 		entry.m = NewMetrics(g, s.horizon)
 	})
 	return entry.m
+}
+
+// Table returns the compiled periodic table for the named granularity, or
+// nil when the name is unregistered or the type is not periodizable within
+// the builder's caps. The compilation is single-flight per name, like
+// Metrics; callers must treat nil as "use the direct implementation", never
+// as an error.
+func (s *System) Table(name string) *PeriodicTable {
+	// Load first: after the one-time fill this is the whole call, and it
+	// never allocates — LoadOrStore would build a discarded entry per call.
+	e, ok := s.tables.Load(name)
+	if !ok {
+		e, _ = s.tables.LoadOrStore(name, &tableEntry{})
+	}
+	entry := e.(*tableEntry)
+	entry.once.Do(func() {
+		if g, ok := s.Get(name); ok {
+			entry.t = NewPeriodicTable(g)
+		}
+	})
+	return entry.t
+}
+
+// TickOf returns the granule of the named granularity containing second t,
+// through the periodic table when one exists (O(log spans) arithmetic, no
+// locks) and the direct implementation otherwise. ok is false for unknown
+// names and uncovered seconds.
+func (s *System) TickOf(name string, t int64) (int64, bool) {
+	if tb := s.Table(name); tb != nil {
+		return tb.TickOf(t)
+	}
+	g, ok := s.Get(name)
+	if !ok {
+		return 0, false
+	}
+	return g.TickOf(t)
+}
+
+// Ticker returns the fastest available TickOf for the named granularity —
+// the periodic table's when one exists — resolved once so hot loops skip
+// the per-call cache lookup. ok is false for unknown names.
+func (s *System) Ticker(name string) (func(int64) (int64, bool), bool) {
+	if tb := s.Table(name); tb != nil {
+		return tb.TickOf, true
+	}
+	g, ok := s.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return g.TickOf, true
+}
+
+// CoverOf computes the paper's ⌈z⌉ν_μ for registered granularity names,
+// through the periodic tables when both sides have one and the direct
+// calendar computation otherwise. ok is false when either name is unknown
+// or the cover is undefined.
+func (s *System) CoverOf(nu, mu string, z int64) (int64, bool) {
+	nt, mt := s.Table(nu), s.Table(mu)
+	if nt != nil && mt != nil {
+		return mt.CoverIn(nt, z)
+	}
+	ng, ok := s.Get(nu)
+	if !ok {
+		return 0, false
+	}
+	mg, ok := s.Get(mu)
+	if !ok {
+		return 0, false
+	}
+	return Cover(ng, mg, z)
 }
 
 // ConversionFeasible reports whether a constraint in src may be soundly

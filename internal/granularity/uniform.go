@@ -48,6 +48,11 @@ func (u *Uniform) Intervals(z int64) ([]Interval, bool) {
 // uniformMetrics lets Metrics use closed forms for Uniform granularities.
 func (u *Uniform) uniformSize() int64 { return u.size }
 
+// PeriodHint implements PeriodHint trivially (one granule per period).
+// The table builder special-cases *Uniform before consulting hints; this
+// exists so wrappers (GroupBy) can lift it.
+func (u *Uniform) PeriodHint() (int64, int64) { return 0, 1 }
+
 // Standard uniform granularities. Each call returns a fresh value, but all
 // values with the same name are interchangeable.
 func Second() *Uniform { return NewUniform("second", 1) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/tag"
@@ -108,6 +109,12 @@ type Witness struct {
 // complex event type in the sequence, one per matching reference occurrence
 // in order: the evidence behind a Discovery's frequency.
 func Explain(sys *granularity.System, p Problem, seq event.Sequence, d Discovery, maxWitnesses int) ([]Witness, error) {
+	return ExplainMode(sys, p, seq, d, maxWitnesses, engine.ExecCompiled)
+}
+
+// ExplainMode is Explain with the TAG execution core pinned to mode, so a
+// mine run under -exec=interp extracts its witnesses on the same core.
+func ExplainMode(sys *granularity.System, p Problem, seq event.Sequence, d Discovery, maxWitnesses int, mode engine.ExecMode) ([]Witness, error) {
 	if maxWitnesses < 1 {
 		return nil, fmt.Errorf("mining: maxWitnesses must be positive")
 	}
@@ -133,7 +140,7 @@ func Explain(sys *granularity.System, p Problem, seq event.Sequence, d Discovery
 			continue
 		}
 		sub := seq[i:]
-		w, ok, _ := a.FindOccurrence(sys, sub, tag.RunOptions{Anchored: true})
+		w, ok, _ := a.FindOccurrence(sys, sub, tag.RunOptions{Anchored: true, Engine: engine.Config{Mode: mode}})
 		if !ok {
 			continue
 		}

@@ -124,16 +124,32 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 			return nil, stats, err
 		}
 		req := requiredGranularities(p.Structure)
+		// Resolve each granularity's ticker once — the table-backed TickOf
+		// when a periodic table exists — so the per-event loop below is
+		// pure arithmetic, no registry lookups.
+		tickers := map[string]func(int64) (int64, bool){}
+		for _, names := range req {
+			for _, name := range names {
+				if _, seen := tickers[name]; seen {
+					continue
+				}
+				tick, ok := sys.Ticker(name)
+				if !ok {
+					tick = nil // unknown granularity: never covered
+				}
+				tickers[name] = tick
+			}
+		}
 		work = seq.Filter(func(e event.Event) bool {
 			for _, names := range req {
 				ok := true
 				for _, name := range names {
-					g, found := sys.Get(name)
-					if !found {
+					tick := tickers[name]
+					if tick == nil {
 						ok = false
 						break
 					}
-					if _, covered := g.TickOf(e.Time); !covered {
+					if _, covered := tick(e.Time); !covered {
 						ok = false
 						break
 					}
@@ -368,7 +384,7 @@ func optimizedExec(ex *engine.Exec, sys *granularity.System, p Problem, seq even
 		}
 		refs := refByType[j.rootType]
 		a := baseTAG.Relabel(j.full)
-		m, rd, err := countMatchesExec(ex, sys, a, work, refs[j.refsDone:], scanWindow, &results[i].tagRuns)
+		m, rd, err := countMatchesExec(ex, sys, a, work, refs[j.refsDone:], scanWindow, &results[i].tagRuns, opt.Engine.Mode)
 		results[i].matches = j.matches + m
 		results[i].refsDone = j.refsDone + rd
 		results[i].tagRuns += j.tagRuns

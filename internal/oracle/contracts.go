@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/exact"
 	"repro/internal/granularity"
@@ -64,19 +65,30 @@ func CheckInstance(in *Instance, k Knobs, h Hooks) ([]Violation, CheckStats, err
 	if err != nil {
 		return nil, stats, fmt.Errorf("oracle: propagate: %w", err)
 	}
-	brute := BruteConsistency(sys, s, in.HorizonStart, in.HorizonEnd, k.BruteCap, 24)
+	var brute BruteResult
+	if k.enabled(ContractConsistency) || k.enabled(ContractDerivedBound) {
+		brute = BruteConsistency(sys, s, in.HorizonStart, in.HorizonEnd, k.BruteCap, 24)
+	}
 
 	var vs []Violation
 	add := func(contract, format string, args ...any) {
 		vs = append(vs, Violation{Contract: contract, Detail: fmt.Sprintf(format, args...)})
 	}
+	gate := func(contract string, run func()) {
+		if !k.enabled(contract) {
+			stats.skip(contract, "filtered by Only")
+			return
+		}
+		run()
+	}
 
-	checkConsistency(in, k, sys, s, prop, brute, &stats, add)
-	checkDerivedBounds(in, sys, s, prop, brute, &stats, add)
-	checkConversion(in, h, sys, s, &stats, add)
-	checkDistinction(in, sys, &stats, add)
-	checkTAG(in, sys, &stats, add)
-	checkMining(in, k, sys, s, &stats, add)
+	gate(ContractConsistency, func() { checkConsistency(in, k, sys, s, prop, brute, &stats, add) })
+	gate(ContractDerivedBound, func() { checkDerivedBounds(in, sys, s, prop, brute, &stats, add) })
+	gate(ContractConversion, func() { checkConversion(in, h, sys, s, &stats, add) })
+	gate(ContractDistinction, func() { checkDistinction(in, sys, &stats, add) })
+	gate(ContractTAG, func() { checkTAG(in, sys, &stats, add) })
+	gate(ContractMining, func() { checkMining(in, k, sys, s, &stats, add) })
+	gate(ContractExecEquiv, func() { checkExecEquiv(in, sys, &stats, add) })
 	return vs, stats, nil
 }
 
@@ -654,6 +666,193 @@ func diffDiscoveries(a, b []mining.Discovery) string {
 	for k := range bm {
 		if _, ok := am[k]; !ok {
 			return fmt.Sprintf("%s extra in the second set", k)
+		}
+	}
+	return ""
+}
+
+// checkExecEquiv is the compiled-vs-interpreted equivalence contract: the
+// two TAG execution cores (engine.ExecCompiled, engine.ExecInterp) must
+// agree byte for byte — verdicts, witness bindings, run stats, counter
+// totals, streaming snapshots, and checkpoints restored across modes. It
+// is the soak gate for retiring the interpreter.
+func checkExecEquiv(in *Instance, sys *granularity.System, stats *CheckStats, add func(string, string, ...any)) {
+	ct, err := in.ComplexType()
+	if err != nil {
+		stats.skip(ContractExecEquiv, "no total complex type: "+err.Error())
+		return
+	}
+	a, err := tag.Compile(ct)
+	if err != nil {
+		stats.skip(ContractExecEquiv, "not compilable: "+err.Error())
+		return
+	}
+	if len(in.Seq) == 0 {
+		stats.skip(ContractExecEquiv, "empty sequence")
+		return
+	}
+	stats.ran(ContractExecEquiv)
+
+	modes := [2]engine.ExecMode{engine.ExecCompiled, engine.ExecInterp}
+	optFor := func(m engine.ExecMode, obs engine.Observer) tag.RunOptions {
+		return tag.RunOptions{Engine: engine.Config{Mode: m, Observer: obs}}
+	}
+
+	// Batch witness search: verdict, binding, stats and counter totals.
+	type batchResult struct {
+		w      map[string]int
+		ok     bool
+		rs     tag.RunStats
+		counts map[string]int64
+	}
+	var batch [2]batchResult
+	for i, m := range modes {
+		cnt := engine.NewCounters()
+		w, ok, rs := a.FindOccurrence(sys, in.Seq, optFor(m, cnt))
+		batch[i] = batchResult{w: w, ok: ok, rs: rs, counts: cnt.Snapshot()}
+	}
+	if batch[0].ok != batch[1].ok {
+		add(ContractExecEquiv, "FindOccurrence: compiled says %v, interpreted says %v", batch[0].ok, batch[1].ok)
+		return
+	}
+	if batch[0].rs != batch[1].rs {
+		add(ContractExecEquiv, "FindOccurrence stats diverge: compiled %+v, interpreted %+v", batch[0].rs, batch[1].rs)
+		return
+	}
+	if d := diffBindings(batch[0].w, batch[1].w); d != "" {
+		add(ContractExecEquiv, "FindOccurrence witness diverges (%s): compiled %v, interpreted %v", d, batch[0].w, batch[1].w)
+		return
+	}
+	if d := diffCounts(batch[0].counts, batch[1].counts); d != "" {
+		add(ContractExecEquiv, "FindOccurrence counter totals diverge: %s", d)
+		return
+	}
+
+	// Streaming runners fed the same events: identical snapshots and
+	// counter totals at the end.
+	var snaps [2][]byte
+	var streamCounts [2]map[string]int64
+	for i, m := range modes {
+		cnt := engine.NewCounters()
+		r := a.NewRunner(sys, optFor(m, cnt))
+		for _, e := range in.Seq {
+			if _, ok := r.Feed(e); !ok {
+				add(ContractExecEquiv, "%s runner refused event: %v", m, r.LastReject())
+				return
+			}
+		}
+		b, err := snapshotBytes(r)
+		if err != nil {
+			add(ContractExecEquiv, "%s runner snapshot: %v", m, err)
+			return
+		}
+		snaps[i] = b
+		streamCounts[i] = cnt.Snapshot()
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		add(ContractExecEquiv, "final runner snapshots differ between compiled and interpreted")
+		return
+	}
+	if d := diffCounts(streamCounts[0], streamCounts[1]); d != "" {
+		add(ContractExecEquiv, "runner counter totals diverge: %s", d)
+		return
+	}
+
+	// Cross-mode restore: a snapshot taken under one core, round-tripped
+	// through the codec and restored under the other, must finish on the
+	// same final bytes.
+	mid := len(in.Seq) / 2
+	for i, m := range modes {
+		other := modes[1-i]
+		r := a.NewRunner(sys, optFor(m, nil))
+		for _, e := range in.Seq[:mid] {
+			r.Feed(e)
+		}
+		cp, err := r.Snapshot()
+		if err != nil {
+			add(ContractExecEquiv, "%s mid-stream snapshot: %v", m, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			add(ContractExecEquiv, "encoding %s snapshot: %v", m, err)
+			return
+		}
+		dec, err := tag.DecodeCheckpoint(&buf)
+		if err != nil {
+			add(ContractExecEquiv, "decoding %s snapshot: %v", m, err)
+			return
+		}
+		r2, err := tag.RestoreRunner(a, sys, optFor(other, nil), dec)
+		if err != nil {
+			add(ContractExecEquiv, "restoring %s snapshot into %s runner: %v", m, other, err)
+			return
+		}
+		for _, e := range in.Seq[mid:] {
+			r2.Feed(e)
+		}
+		resumed, err := snapshotBytes(r2)
+		if err != nil {
+			add(ContractExecEquiv, "snapshot of %s-resumed run: %v", other, err)
+			return
+		}
+		if !bytes.Equal(resumed, snaps[1-i]) {
+			add(ContractExecEquiv, "%s snapshot resumed under %s diverges from the straight %s run", m, other, other)
+			return
+		}
+	}
+
+	// Anchored batch: identical verdicts at every reference slot.
+	refIdx := make([]int, len(in.Seq))
+	for i := range refIdx {
+		refIdx[i] = i
+	}
+	var verdicts [2][]bool
+	for i, m := range modes {
+		v, err := a.AcceptsBatch(nil, sys, in.Seq, refIdx, 0, 1, optFor(m, nil))
+		if err != nil {
+			add(ContractExecEquiv, "%s anchored batch: %v", m, err)
+			return
+		}
+		verdicts[i] = v
+	}
+	for i := range refIdx {
+		if verdicts[0][i] != verdicts[1][i] {
+			add(ContractExecEquiv, "anchored verdicts diverge at reference %d: compiled %v, interpreted %v", i, verdicts[0][i], verdicts[1][i])
+			return
+		}
+	}
+}
+
+// diffBindings returns "" when the two witness bindings are identical, or
+// a short description of the first difference.
+func diffBindings(a, b map[string]int) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d vs %d variables", len(a), len(b))
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return k + " missing in the second"
+		}
+		if va != vb {
+			return fmt.Sprintf("%s=%d vs %d", k, va, vb)
+		}
+	}
+	return ""
+}
+
+// diffCounts returns "" when the two counter snapshots are identical, or a
+// description of the first differing counter.
+func diffCounts(a, b map[string]int64) string {
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return fmt.Sprintf("%s: %d vs %d", k, va, b[k])
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			return fmt.Sprintf("%s only in the second snapshot", k)
 		}
 	}
 	return ""

@@ -40,6 +40,24 @@ type Knobs struct {
 	// MiningMaxSpace skips the mining contract when the candidate space
 	// exceeds it (the naive miner is exponential in the variables).
 	MiningMaxSpace int64
+	// Only, when non-empty, restricts checking to the named contracts;
+	// everything else is skipped (and counted as skipped). Expensive shared
+	// precomputation (brute-force consistency) is elided when no enabled
+	// contract needs it, so a filtered campaign is proportionally cheaper.
+	Only []string
+}
+
+// enabled reports whether the contract passes the Only filter.
+func (k Knobs) enabled(contract string) bool {
+	if len(k.Only) == 0 {
+		return true
+	}
+	for _, c := range k.Only {
+		if c == contract {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultKnobs returns the smoke configuration used by check.sh and the

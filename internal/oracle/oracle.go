@@ -161,4 +161,5 @@ const (
 	ContractDistinction  = "distinction"
 	ContractTAG          = "tag"
 	ContractMining       = "mining"
+	ContractExecEquiv    = "exec-equiv"
 )

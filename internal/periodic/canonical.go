@@ -1,0 +1,125 @@
+package periodic
+
+// Canonical returns the minimal-periodic-set canonical form of the spec:
+// the unique smallest representation that denotes the same granularity with
+// the same granule numbering. Three normalizations compose:
+//
+//  1. touching spans inside a granule are merged (offsets ...-k, k+1-...
+//     describe one convex run);
+//  2. the anchor absorbs any leading offset, so the first granule's first
+//     span starts at offset 0;
+//  3. the period is reduced to the minimal sub-period: the smallest m
+//     dividing len(Granules) such that shifting the first m granule shapes
+//     by Period*m/n reproduces the rest of the pattern.
+//
+// Two specs denote the same granularity (with identical numbering) iff
+// their canonical forms are structurally equal, which makes Canonical the
+// equality test for user-defined types and keeps the conversion-table
+// builder's detection loop small: a canonicalized spec's declared period is
+// its true minimal period. The receiver is not modified.
+func (sp *Spec) Canonical() *Spec {
+	out := &Spec{Name: sp.Name, Period: sp.Period, Anchor: sp.Anchor}
+	out.Granules = make([]Granule, len(sp.Granules))
+	for i, g := range sp.Granules {
+		out.Granules[i] = Granule{Spans: mergeTouching(g.Spans)}
+	}
+	if len(out.Granules) == 0 || len(out.Granules[0].Spans) == 0 {
+		return out // invalid spec: nothing more to normalize
+	}
+	// Anchor shift: slide offsets so granule 1 starts at 0.
+	if shift := out.Granules[0].Spans[0].First; shift > 0 {
+		out.Anchor += shift
+		for i := range out.Granules {
+			spans := append([]Span(nil), out.Granules[i].Spans...)
+			for j := range spans {
+				spans[j].First -= shift
+				spans[j].Last -= shift
+			}
+			out.Granules[i].Spans = spans
+		}
+		// Period is untouched: granule z of period p sits at
+		// Anchor + p*Period + offset, and the +shift on Anchor cancels the
+		// -shift on every offset only if Period stays fixed.
+	}
+	// Period reduction: smallest m | n with an integral sub-period that
+	// regenerates the pattern.
+	n := int64(len(out.Granules))
+	for m := int64(1); m < n; m++ {
+		if n%m != 0 || (out.Period*m)%n != 0 {
+			continue
+		}
+		sub := out.Period * m / n
+		if reducesTo(out.Granules, m, sub) {
+			out.Granules = out.Granules[:m]
+			out.Period = sub
+			break
+		}
+	}
+	return out
+}
+
+// mergeTouching merges spans where one ends exactly where the next begins.
+func mergeTouching(spans []Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Span, 0, len(spans))
+	cur := spans[0]
+	for _, s := range spans[1:] {
+		if s.First == cur.Last+1 {
+			cur.Last = s.Last
+			continue
+		}
+		out = append(out, cur)
+		cur = s
+	}
+	return append(out, cur)
+}
+
+// reducesTo reports whether granule i+m equals granule i shifted by sub for
+// every i, and the first m granules fit inside [0, sub).
+func reducesTo(gs []Granule, m, sub int64) bool {
+	if sub <= 0 {
+		return false
+	}
+	for i := int64(0); i < m; i++ {
+		last := gs[i].Spans[len(gs[i].Spans)-1].Last
+		if last >= sub {
+			return false
+		}
+	}
+	for i := m; i < int64(len(gs)); i++ {
+		a, b := gs[i].Spans, gs[i-m].Spans
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j].First != b[j].First+sub || a[j].Last != b[j].Last+sub {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualCanonical reports whether two specs denote the same granularity with
+// the same granule numbering, by comparing canonical forms (names are
+// ignored: they label, they don't define).
+func EqualCanonical(a, b *Spec) bool {
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca.Period != cb.Period || ca.Anchor != cb.Anchor || len(ca.Granules) != len(cb.Granules) {
+		return false
+	}
+	for i := range ca.Granules {
+		sa, sb := ca.Granules[i].Spans, cb.Granules[i].Spans
+		if len(sa) != len(sb) {
+			return false
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -100,13 +100,16 @@ type flatSpan struct {
 	span    Span
 }
 
-// New materializes the spec as a Granularity. The spec is copied.
+// New materializes the spec as a Granularity. The spec is canonicalized
+// first (minimal period, merged spans, zero-based anchor offset), which
+// changes nothing observable — TickOf/Span/Intervals and granule numbering
+// are invariant under Canonical — but shrinks the runtime tables and lets
+// the conversion-table builder trust the declared period as minimal.
 func New(sp Spec) (granularity.Granularity, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	cp := sp
-	cp.Granules = append([]Granule(nil), sp.Granules...)
+	cp := *sp.Canonical()
 	g := &granType{spec: cp}
 	for gi, gr := range cp.Granules {
 		for _, s := range gr.Spans {
@@ -132,6 +135,11 @@ func (g *granType) Name() string { return g.spec.Name }
 
 // n returns the granules per period.
 func (g *granType) n() int64 { return int64(len(g.spec.Granules)) }
+
+// PeriodHint implements granularity.PeriodHint: the spec is canonicalized
+// at construction, so the pattern repeats every n() granules with no
+// irregular prefix and the conversion-table builder can trust it directly.
+func (g *granType) PeriodHint() (int64, int64) { return 0, g.n() }
 
 // TickOf implements Granularity.
 func (g *granType) TickOf(t int64) (int64, bool) {

@@ -68,6 +68,7 @@ type jobStore struct {
 	counters       *engine.Counters
 	depth          int
 	defaultWorkers int
+	mode           engine.ExecMode
 	jobs           map[string]*job
 	queue          []*job
 	running        int
@@ -79,7 +80,7 @@ type jobStore struct {
 	wg     sync.WaitGroup
 }
 
-func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int) (*jobStore, error) {
+func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int, mode engine.ExecMode) (*jobStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -90,6 +91,7 @@ func newJobStore(dir string, sys *granularity.System, counters *engine.Counters,
 		counters:       counters,
 		depth:          depth,
 		defaultWorkers: defaultScanWorkers,
+		mode:           mode,
 		jobs:           make(map[string]*job),
 		nextID:         1,
 		ctx:            ctx,
@@ -220,7 +222,7 @@ func (st *jobStore) run(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	opt.Engine = engine.Config{Ctx: ctx, Budget: req.Budget, Observer: st.counters}
+	opt.Engine = engine.Config{Ctx: ctx, Budget: req.Budget, Observer: st.counters, Mode: st.mode}
 
 	var (
 		ds    []mining.Discovery
@@ -237,7 +239,7 @@ func (st *jobStore) run(j *job) {
 	}
 	switch {
 	case err == nil:
-		res, berr := cli.BuildMineResult(st.sys, p, work, ds, stats, p.MinConfidence, req.Explain)
+		res, berr := cli.BuildMineResult(st.sys, p, work, ds, stats, p.MinConfidence, req.Explain, st.mode)
 		if berr != nil {
 			st.fail(j, berr)
 			return

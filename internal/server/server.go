@@ -46,6 +46,12 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on 429/503 responses, in seconds
 	// (default 1).
 	RetryAfter int
+	// Exec selects the TAG execution core for every session and mining
+	// job: engine.ExecCompiled (the default) or engine.ExecInterp, the
+	// pre-compilation interpreter kept for one release as the
+	// differential baseline. Session checkpoints restore across either
+	// setting.
+	Exec engine.ExecMode
 	// Logger receives restore/drain diagnostics (default: standard log).
 	Logger *log.Logger
 }
@@ -109,14 +115,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	counters := engine.NewCounters()
-	sessions, err := newSessionStore(filepath.Join(cfg.DataDir, "sessions"), sys, counters, cfg.MaxSessions)
+	sessions, err := newSessionStore(filepath.Join(cfg.DataDir, "sessions"), sys, counters, cfg.MaxSessions, cfg.Exec)
 	if err != nil {
 		return nil, err
 	}
 	if err := sessions.restore(cfg.Logger); err != nil {
 		return nil, err
 	}
-	jobs, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"), sys, counters, cfg.JobWorkers, cfg.JobQueueDepth, cfg.ScanWorkers)
+	jobs, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"), sys, counters, cfg.JobWorkers, cfg.JobQueueDepth, cfg.ScanWorkers, cfg.Exec)
 	if err != nil {
 		return nil, err
 	}

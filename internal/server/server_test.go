@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/mining"
@@ -278,7 +279,7 @@ func expectedMineBody(t *testing.T) []byte {
 	if err != nil || cp != nil {
 		t.Fatalf("reference mine: cp=%v err=%v", cp != nil, err)
 	}
-	res, err := cli.BuildMineResult(sys, p, work, ds, stats, p.MinConfidence, 0)
+	res, err := cli.BuildMineResult(sys, p, work, ds, stats, p.MinConfidence, 0, opt.Engine.Mode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestJobLifecycle(t *testing.T) {
 func TestJobQueueFull(t *testing.T) {
 	srv, ts := newTestServer(t, nil)
 	srv.jobs.shutdown()
-	idle, err := newJobStore(t.TempDir(), srv.sys, srv.counters, 0, 1, 0)
+	idle, err := newJobStore(t.TempDir(), srv.sys, srv.counters, 0, 1, 0, engine.ExecCompiled)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,11 +70,12 @@ type sessionStore struct {
 	sys      *granularity.System
 	counters *engine.Counters
 	max      int
+	mode     engine.ExecMode
 	sessions map[string]*session
 	nextID   int
 }
 
-func newSessionStore(dir string, sys *granularity.System, counters *engine.Counters, max int) (*sessionStore, error) {
+func newSessionStore(dir string, sys *granularity.System, counters *engine.Counters, max int, mode engine.ExecMode) (*sessionStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -83,6 +84,7 @@ func newSessionStore(dir string, sys *granularity.System, counters *engine.Count
 		sys:      sys,
 		counters: counters,
 		max:      max,
+		mode:     mode,
 		sessions: make(map[string]*session),
 		nextID:   1,
 	}, nil
@@ -95,7 +97,7 @@ func (st *sessionStore) runOptions(strict bool, maxFrontier int, budget int64) t
 	return tag.RunOptions{
 		Strict:      strict,
 		MaxFrontier: maxFrontier,
-		Engine:      engine.Config{Budget: budget, Observer: st.counters},
+		Engine:      engine.Config{Budget: budget, Observer: st.counters, Mode: st.mode},
 	}
 }
 

@@ -15,6 +15,30 @@ import (
 // Decoding rejects other versions.
 const CheckpointVersion = 1
 
+// ExecSchemaVersion identifies the execution-state schema this build writes
+// and reads: the meaning of the frontier encoding plus the
+// conversion-table layout the fingerprint digests. It is deliberately
+// independent of engine.ExecMode — compiled and interpreted runners share
+// one schema, which is what makes cross-mode restores legal — and bumps
+// only when the encoded execution state itself changes meaning.
+const ExecSchemaVersion = 1
+
+// SchemaMismatchError reports a checkpoint whose execution-state schema
+// differs from this build's. It is returned by RestoreRunner before any
+// fingerprint comparison: a schema mismatch means the bytes cannot be
+// interpreted, which is a different (and more fundamental) failure than
+// matching state taken under a different automaton.
+type SchemaMismatchError struct {
+	// Got is the schema version recorded in the checkpoint.
+	Got int
+	// Want is ExecSchemaVersion.
+	Want int
+}
+
+func (e *SchemaMismatchError) Error() string {
+	return fmt.Sprintf("tag: checkpoint uses execution schema %d, this build reads %d", e.Got, e.Want)
+}
+
 // Checkpoint is a serializable snapshot of a streaming Runner at an event
 // boundary: the deduplicated frontier with clock valuations and witness
 // bindings, the event count, the order watermark, and the semantic run
@@ -27,7 +51,12 @@ const CheckpointVersion = 1
 // fingerprint does not match, so stale or foreign state can never be
 // silently resumed against the wrong TAG.
 type Checkpoint struct {
-	Version     int    `json:"version"`
+	Version int `json:"version"`
+	// ExecSchema is the execution-state schema version the snapshot was
+	// written under (ExecSchemaVersion); restores refuse other schemas with
+	// a *SchemaMismatchError. Snapshots predating the field read as 0 and
+	// are refused the same way.
+	ExecSchema  int    `json:"exec_schema"`
 	Fingerprint string `json:"fingerprint"`
 	// Anchored / Strict record the semantic RunOptions the snapshot was
 	// taken under; restoring under different semantics is refused.
@@ -72,6 +101,7 @@ type CheckpointRun struct {
 // the system (so "same name, different definition" is caught too).
 func (a *TAG) Fingerprint(sys *granularity.System) string {
 	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\n", ExecSchemaVersion)
 	fmt.Fprintf(h, "states=%d\n", len(a.names))
 	for _, n := range a.names {
 		fmt.Fprintf(h, "n:%s\n", n)
@@ -96,6 +126,14 @@ func (a *TAG) Fingerprint(sys *granularity.System) string {
 			fmt.Fprintf(h, ":%v,%d,%d", ok, iv.First, iv.Last)
 		}
 		fmt.Fprintln(h)
+		// Digest the conversion-table layout too: the compiled core reads
+		// clocks through these tables, so "same granules, different table
+		// shape" must change the fingerprint with them.
+		if pt := sys.Table(c.Gran); pt != nil {
+			fmt.Fprintf(h, "table:%s:%s\n", c.Gran, pt.Signature())
+		} else {
+			fmt.Fprintf(h, "table:%s:none\n", c.Gran)
+		}
 	}
 	for from, ts := range a.trans {
 		for _, t := range ts {
@@ -113,6 +151,7 @@ func (a *TAG) Fingerprint(sys *granularity.System) string {
 func (r *Runner) Snapshot() (Checkpoint, error) {
 	cp := Checkpoint{
 		Version:     CheckpointVersion,
+		ExecSchema:  ExecSchemaVersion,
 		Fingerprint: r.a.Fingerprint(r.sys),
 		Anchored:    r.opt.Anchored,
 		Strict:      r.opt.Strict,
@@ -123,22 +162,8 @@ func (r *Runner) Snapshot() (Checkpoint, error) {
 		Binding:     copyBinding(r.binding),
 		MaxFrontier: r.maxFront,
 		Degraded:    r.degraded,
-		Frontier:    make([]CheckpointRun, 0, len(r.frontier)),
 	}
-	keys := make([]string, 0, len(r.frontier))
-	for k := range r.frontier {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		rs := r.frontier[k]
-		cp.Frontier = append(cp.Frontier, CheckpointRun{
-			State:   rs.state,
-			Vals:    append([]int64(nil), rs.vals...),
-			Invalid: append([]bool(nil), rs.invalid...),
-			Binding: copyBinding(rs.binding),
-		})
-	}
+	cp.Frontier = r.snapshotFrontier()
 	return cp, nil
 }
 
@@ -149,6 +174,12 @@ func (r *Runner) Snapshot() (Checkpoint, error) {
 // Feeding the events the snapshot had not yet consumed continues the run
 // exactly where it left off.
 func RestoreRunner(a *TAG, sys *granularity.System, opt RunOptions, cp *Checkpoint) (*Runner, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("tag: nil checkpoint")
+	}
+	if cp.ExecSchema != ExecSchemaVersion {
+		return nil, &SchemaMismatchError{Got: cp.ExecSchema, Want: ExecSchemaVersion}
+	}
 	if err := cp.validate(a); err != nil {
 		return nil, err
 	}
@@ -168,16 +199,10 @@ func RestoreRunner(a *TAG, sys *granularity.System, opt RunOptions, cp *Checkpoi
 	r.maxFront = cp.MaxFrontier
 	r.degraded = cp.Degraded
 	// NewRunner seeded the initial frontier; replace it with the snapshot's
-	// (at Steps == 0 they coincide).
-	r.frontier = make(map[string]runState, len(cp.Frontier))
-	for _, cr := range cp.Frontier {
-		rs := runState{
-			state:   cr.State,
-			vals:    append([]int64(nil), cr.Vals...),
-			invalid: append([]bool(nil), cr.Invalid...),
-			binding: copyBinding(cr.Binding),
-		}
-		r.frontier[rs.key()] = rs
+	// (at Steps == 0 they coincide). The snapshot may come from either
+	// execution mode — the wire format is mode-independent.
+	if err := r.loadFrontier(cp.Frontier); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -197,6 +222,14 @@ func (cp *Checkpoint) validate(a *TAG) error {
 	if len(cp.CurOK) != nc {
 		return fmt.Errorf("tag: checkpoint has %d clock flags, automaton has %d clocks", len(cp.CurOK), nc)
 	}
+	binders := make(map[string]bool)
+	for _, ts := range a.trans {
+		for _, t := range ts {
+			if t.Binds != "" {
+				binders[t.Binds] = true
+			}
+		}
+	}
 	for i, cr := range cp.Frontier {
 		if cr.State < 0 || cr.State >= len(a.names) {
 			return fmt.Errorf("tag: checkpoint run %d references state %d of %d", i, cr.State, len(a.names))
@@ -206,12 +239,18 @@ func (cp *Checkpoint) validate(a *TAG) error {
 				i, len(cr.Vals), len(cr.Invalid), nc)
 		}
 		for v, idx := range cr.Binding {
+			if !binders[v] {
+				return fmt.Errorf("tag: checkpoint run %d binds %q, which no transition of the automaton binds", i, v)
+			}
 			if idx < 0 || idx >= cp.Steps {
 				return fmt.Errorf("tag: checkpoint run %d binds %s to event %d of %d consumed", i, v, idx, cp.Steps)
 			}
 		}
 	}
 	for v, idx := range cp.Binding {
+		if !binders[v] {
+			return fmt.Errorf("tag: checkpoint binds %q, which no transition of the automaton binds", v)
+		}
 		if idx < 0 || idx >= cp.Steps {
 			return fmt.Errorf("tag: checkpoint binds %s to event %d of %d consumed", v, idx, cp.Steps)
 		}

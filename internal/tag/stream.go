@@ -56,7 +56,13 @@ type Runner struct {
 	a        *TAG
 	sys      *granularity.System
 	opt      RunOptions
+	mode     engine.ExecMode
 	frontier map[string]runState
+	// p/ps hold the compiled core's program and flat frontier when mode is
+	// ExecCompiled; curCover/curOK/prevOK then alias ps's arrays so both
+	// modes share the accessor and checkpoint plumbing.
+	p        *program
+	ps       *progScratch
 	curCover []int64
 	curOK    []bool
 	prevOK   []bool
@@ -72,40 +78,63 @@ type Runner struct {
 	degraded bool
 }
 
-// NewRunner starts an online simulation.
+// NewRunner starts an online simulation using the execution core selected
+// by opt.Engine.Mode.
 func (a *TAG) NewRunner(sys *granularity.System, opt RunOptions) *Runner {
 	r := &Runner{
-		a:        a,
-		sys:      sys,
-		opt:      opt,
-		frontier: make(map[string]runState),
-		curCover: make([]int64, len(a.clocks)),
-		curOK:    make([]bool, len(a.clocks)),
-		prevOK:   make([]bool, len(a.clocks)),
-		progress: make([][]Transition, len(a.trans)),
-		ex:       opt.Engine.Start(),
+		a:    a,
+		sys:  sys,
+		opt:  opt,
+		mode: opt.Engine.Mode,
+		ex:   opt.Engine.Start(),
 	}
-	for s, ts := range a.trans {
-		for _, t := range ts {
-			if t.To != t.From {
-				r.progress[s] = append(r.progress[s], t)
+	if r.mode.Interpreted() {
+		r.frontier = make(map[string]runState)
+		r.curCover = make([]int64, len(a.clocks))
+		r.curOK = make([]bool, len(a.clocks))
+		r.prevOK = make([]bool, len(a.clocks))
+		r.progress = make([][]Transition, len(a.trans))
+		for s, ts := range a.trans {
+			for _, t := range ts {
+				if t.To != t.From {
+					r.progress[s] = append(r.progress[s], t)
+				}
 			}
 		}
+		for _, s := range a.starts {
+			if a.accept[s] {
+				r.accepted = true
+				r.binding = map[string]int{}
+				continue
+			}
+			rs := runState{
+				state:   s,
+				vals:    make([]int64, len(a.clocks)),
+				invalid: make([]bool, len(a.clocks)),
+			}
+			r.frontier[rs.key()] = rs
+		}
+		return r
 	}
-	for _, s := range a.starts {
-		if a.accept[s] {
+	r.p = a.program()
+	r.ps = r.p.newScratch(sys)
+	r.curCover, r.curOK, r.prevOK = r.ps.curCover, r.ps.curOK, r.ps.prevOK
+	for _, s := range r.p.starts {
+		if r.p.accept[s] {
 			r.accepted = true
 			r.binding = map[string]int{}
-			continue
 		}
-		rs := runState{
-			state:   s,
-			vals:    make([]int64, len(a.clocks)),
-			invalid: make([]bool, len(a.clocks)),
-		}
-		r.frontier[rs.key()] = rs
 	}
+	r.ps.cur.seed(r.p, r.p.nClocks, len(r.p.vars))
 	return r
+}
+
+// frontierLen returns the current deduplicated run count in either mode.
+func (r *Runner) frontierLen() int {
+	if r.mode.Interpreted() {
+		return len(r.frontier)
+	}
+	return r.ps.cur.n
 }
 
 // Accepted reports whether an accepting run has been reached.
@@ -159,7 +188,7 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 		r.ex.Count("tag.events.rejected", 1)
 		return false, false
 	}
-	if err := r.ex.Step(1 + int64(len(r.frontier))); err != nil {
+	if err := r.ex.Step(1 + int64(r.frontierLen())); err != nil {
 		r.err = r.ex.Seal(err)
 		r.reject = RejectInterrupted
 		r.ex.Count("tag.events.rejected", 1)
@@ -167,9 +196,18 @@ func (r *Runner) Feed(e event.Event) (accepted, ok bool) {
 	}
 	r.reject = RejectNone
 	r.ex.Count("tag.events", 1)
-	r.ex.Count("tag.runs.alive", int64(len(r.frontier)))
+	r.ex.Count("tag.runs.alive", int64(r.frontierLen()))
 	idx := r.steps
 	r.steps++
+	if !r.mode.Interpreted() {
+		return r.feedCompiled(e, idx)
+	}
+	return r.feedInterp(e, idx)
+}
+
+// feedInterp is the interpreted Runner step; Feed's prologue has already
+// run and idx is the 0-based position of e in the fed sequence.
+func (r *Runner) feedInterp(e event.Event, idx int) (accepted, ok bool) {
 	copy(r.prevOK, r.curOK)
 	for ci, c := range r.a.clocks {
 		g, found := r.sys.Get(c.Gran)

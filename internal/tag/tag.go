@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/event"
@@ -35,6 +36,9 @@ type TAG struct {
 	trans  [][]Transition // outgoing, indexed by From
 	// clockIndex maps a clock to its slot in run valuations.
 	clockIndex map[Clock]int
+	// prog caches the compiled flat-array form (see program.go); it is
+	// invalidated by shape changes and rebuilt lazily.
+	prog atomic.Pointer[program]
 }
 
 // NewTAG builds an empty automaton; use AddState/AddTransition.
@@ -254,7 +258,8 @@ func (a *TAG) Accepts(sys *granularity.System, seq event.Sequence, opt RunOption
 }
 
 // AcceptsExec is Accepts under a caller-supplied execution carrier
-// (opt.Engine is ignored). Unlike Accepts, an interruption surfaces as the
+// (opt.Engine's budget/observer are ignored; opt.Engine.Mode still selects
+// the execution core). Unlike Accepts, an interruption surfaces as the
 // carrier's typed error alongside the partial stats.
 func (a *TAG) AcceptsExec(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions) (bool, RunStats, error) {
 	_, ok, stats, err := a.run(ex, sys, seq, opt, false)
@@ -276,14 +281,26 @@ func (a *TAG) FindOccurrence(sys *granularity.System, seq event.Sequence, opt Ru
 }
 
 // FindOccurrenceExec is FindOccurrence under a caller-supplied execution
-// carrier (opt.Engine is ignored); interruptions surface as the carrier's
+// carrier (opt.Engine's budget/observer are ignored; opt.Engine.Mode still
+// selects the execution core); interruptions surface as the carrier's
 // typed error.
 func (a *TAG) FindOccurrenceExec(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions) (map[string]int, bool, RunStats, error) {
 	w, ok, stats, err := a.run(ex, sys, seq, opt, true)
 	return w, ok, stats, ex.Seal(err)
 }
 
+// run dispatches to the execution core selected by opt.Engine.Mode: the
+// compiled flat-array program by default, the interpreted walker when the
+// caller asked for it (differential testing, one-release migration escape
+// hatch). Both produce identical verdicts, witnesses, stats and counters.
 func (a *TAG) run(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions, witness bool) (map[string]int, bool, RunStats, error) {
+	if opt.Engine.Mode.Interpreted() {
+		return a.runInterp(ex, sys, seq, opt, witness)
+	}
+	return a.runCompiled(ex, sys, seq, opt, witness)
+}
+
+func (a *TAG) runInterp(ex *engine.Exec, sys *granularity.System, seq event.Sequence, opt RunOptions, witness bool) (map[string]int, bool, RunStats, error) {
 	stats := RunStats{AcceptedAt: -1}
 	frontier := make(map[string]runState)
 	addRun := func(r runState) {

@@ -11,6 +11,12 @@
 #   sh scripts/bench_compare.sh smoke    # -benchtime=1x, no gate (CI wiring)
 #   sh scripts/bench_compare.sh baseline # full run, store the result as the
 #                                        # baseline for future gates
+#   sh scripts/bench_compare.sh pr6      # compiled-vs-interpreted core and
+#                                        # conversion-table benchmarks; writes
+#                                        # BENCH_PR6.json and gates >=3x step
+#                                        # and >=5x Fig-3 cover speedups
+#   sh scripts/bench_compare.sh pr6-smoke# short pr6 run; gates only the
+#                                        # compiled core's allocs/op
 #
 # The baseline lives at scripts/bench_baseline_pr3.json and is only
 # meaningful on the machine that produced it; regenerate it with `baseline`
@@ -19,6 +25,82 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+# ---- PR-6: compiled execution core + periodic conversion tables ----------
+if [ "$MODE" = pr6 ] || [ "$MODE" = pr6-smoke ]; then
+	OUT="BENCH_PR6.json"
+	BENCHES='BenchmarkTAGStepSerialCompiled|BenchmarkTAGStepSerialInterp|BenchmarkCoverTableLookup|BenchmarkCoverDirect|BenchmarkFig3CoverTable|BenchmarkFig3CoverDirect'
+	if [ "$MODE" = pr6-smoke ]; then
+		BENCHTIME="${BENCHTIME:-100x}"
+	else
+		BENCHTIME="${BENCHTIME:-2s}"
+	fi
+	RAW="$(mktemp)"
+	trap 'rm -f "$RAW"' EXIT
+	echo ">> go test -run XXX -bench '$BENCHES' -benchtime=$BENCHTIME ."
+	go test -run XXX -bench "$BENCHES" -benchtime="$BENCHTIME" -timeout 20m . | tee "$RAW"
+
+	awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+	BEGIN { n = 0 }
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		names[n] = name; ns[n] = $3; allocs[n] = ($8 == "allocs/op" ? $7 : -1); n++
+	}
+	END {
+		printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", names[i], ns[i], allocs[i], (i+1<n ? "," : "")
+		printf "  }"
+		for (i = 0; i < n; i++) v[names[i]] = ns[i]
+		if (("BenchmarkTAGStepSerialInterp" in v) && v["BenchmarkTAGStepSerialCompiled"] > 0)
+			printf ",\n  \"step_speedup\": %.3f", v["BenchmarkTAGStepSerialInterp"] / v["BenchmarkTAGStepSerialCompiled"]
+		if (("BenchmarkFig3CoverDirect" in v) && v["BenchmarkFig3CoverTable"] > 0)
+			printf ",\n  \"fig3_cover_speedup\": %.3f", v["BenchmarkFig3CoverDirect"] / v["BenchmarkFig3CoverTable"]
+		if (("BenchmarkCoverDirect" in v) && v["BenchmarkCoverTableLookup"] > 0)
+			printf ",\n  \"tick_speedup\": %.3f", v["BenchmarkCoverDirect"] / v["BenchmarkCoverTableLookup"]
+		printf "\n}\n"
+	}' "$RAW" > "$OUT"
+	echo ">> wrote $OUT"
+	cat "$OUT"
+
+	# Alloc gate (both modes): the compiled core must stay lean. The whole
+	# anchored batch (hundreds of runs) is one op; 800 allocs/op is ~2x the
+	# measured 315 and far under the interpreter's ~1500.
+	awk '
+	$1 ~ /^BenchmarkTAGStepSerialCompiled/ && $8 == "allocs/op" {
+		if ($7 + 0 > 800) {
+			printf "compiled step allocs/op %s > 800\n", $7
+			exit 1
+		}
+		printf "compiled step allocs/op: %s (gate: <=800)\n", $7
+		found = 1
+	}
+	END { if (!found) { print "BenchmarkTAGStepSerialCompiled allocs not found"; exit 1 } }
+	' "$RAW" || { echo "bench_compare: FAILED (pr6 alloc gate)" >&2; exit 1; }
+
+	if [ "$MODE" = pr6-smoke ]; then
+		echo "bench_compare: pr6-smoke OK (alloc gate only)"
+		exit 0
+	fi
+
+	# Speedup gates: ISSUE-6 acceptance is >=3x single-thread TAG stepping
+	# and >=5x on the Fig-3 cover conversion.
+	awk '
+	$1 == "\"step_speedup\":" { gsub(/,/, "", $2); step = $2 + 0 }
+	$1 == "\"fig3_cover_speedup\":" { gsub(/,/, "", $2); fig3 = $2 + 0 }
+	END {
+		bad = 0
+		if (step < 3.0) { printf "TAG step speedup %.2fx < 3x\n", step; bad = 1 }
+		else printf "TAG step speedup: %.2fx (gate: >=3x)\n", step
+		if (fig3 < 5.0) { printf "Fig-3 cover speedup %.2fx < 5x\n", fig3; bad = 1 }
+		else printf "Fig-3 cover speedup: %.2fx (gate: >=5x)\n", fig3
+		exit bad
+	}' "$OUT" || { echo "bench_compare: FAILED (pr6 speedup gate)" >&2; exit 1; }
+	echo "bench_compare: pr6 OK"
+	exit 0
+fi
+# --------------------------------------------------------------------------
 OUT="BENCH_PR3.json"
 BASELINE="scripts/bench_baseline_pr3.json"
 BENCHES='BenchmarkE13MiningSerial|BenchmarkE13MiningParallel|BenchmarkTAGBatchSerial|BenchmarkTAGBatchParallel'

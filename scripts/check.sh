@@ -19,10 +19,14 @@ echo '>> go test -race -shuffle=on ./...'
 go test -race -shuffle=on ./...
 echo '>> oracle smoke (differential contracts over 200 seeds)'
 go run ./cmd/tempofuzz -seeds "${ORACLE_SEEDS:-200}" -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
+echo '>> exec-equiv oracle smoke (compiled vs interpreted core over 300 seeds)'
+go run ./cmd/tempofuzz -seeds "${EXEC_EQUIV_SEEDS:-300}" -contracts exec-equiv -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo '>> serve smoke (tempod end to end)'
 sh scripts/serve_smoke.sh
 echo '>> bench smoke (parallel scan, no gate)'
 sh scripts/bench_compare.sh smoke
+echo '>> bench smoke (compiled core, allocs/op gate)'
+sh scripts/bench_compare.sh pr6-smoke
 echo 'check: OK'
