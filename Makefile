@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 serve-smoke oracle-smoke cover
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 serve-smoke oracle-smoke crash-smoke cover
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ serve-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Reduced-depth crash sweep over the fault-injected filesystem plus the
+# process-level kill-during-append recovery test (CRASH_SWEEP_SEEDS=60 by
+# default; the full 21-seed-per-point sweep runs in `make test`).
+crash-smoke:
+	CRASH_SWEEP_SEEDS=$${CRASH_SWEEP_SEEDS:-60} $(GO) test -count=1 -run 'TestCrashSweep|TestErrorSweep' ./internal/store/
+	$(GO) test -count=1 -run 'TestKillDuringAppend' ./cmd/tempod/
+
 # The parallel-determinism stress surface under the race detector: TAG
 # batches, mining worker pool, granularity cache fills, counter snapshots.
 race-stress:
@@ -53,6 +60,11 @@ bench-json:
 # compiled core's allocs/op.
 bench-json-pr6:
 	sh scripts/bench_compare.sh pr6
+
+# Event-store benchmark run; writes BENCH_PR7.json (append ns/op with and
+# without fsync, full-scan recovery) and gates the append path's allocs/op.
+bench-json-pr7:
+	sh scripts/bench_compare.sh pr7
 
 experiments:
 	$(GO) run ./cmd/experiments

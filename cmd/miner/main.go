@@ -28,6 +28,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -141,6 +142,11 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 			cp, derr = mining.DecodeCheckpoint(rd)
 			return derr
 		})
+		var corrupt *cli.CorruptCheckpointError
+		if errors.As(lerr, &corrupt) {
+			fmt.Fprintf(textw, "warning: %v; starting fresh\n", corrupt)
+			loaded, lerr = false, nil
+		}
 		if lerr != nil {
 			return lerr
 		}

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -197,6 +198,11 @@ func runStream(out, textw io.Writer, a *tag.TAG, sys *granularity.System, seq ev
 			cp, derr = tag.DecodeCheckpoint(rd)
 			return derr
 		})
+		var corrupt *cli.CorruptCheckpointError
+		if errors.As(err, &corrupt) {
+			fmt.Fprintf(textw, "warning: %v; starting fresh\n", corrupt)
+			loaded, err = false, nil
+		}
 		if err != nil {
 			return err
 		}

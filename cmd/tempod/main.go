@@ -43,7 +43,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8417", "listen address (port 0 picks an ephemeral port)")
-	data := flag.String("data", "", "state directory for session and job checkpoints (required)")
+	data := flag.String("data", "", "state directory for checkpoints and event logs (required)")
+	flag.StringVar(data, "data-dir", "", "alias for -data")
 	gransFlag := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
 	inflight := flag.Int("inflight", 8, "max concurrently running synchronous requests")
 	queue := flag.Int("queue", 16, "max synchronous requests waiting for a slot (beyond: 429)")
@@ -52,6 +53,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 1024, "max live streaming sessions")
 	scanWorkers := flag.Int("workers", 0, "default TAG scan fan-out per mining job (0 = GOMAXPROCS)")
 	execMode := flag.String("exec", "compiled", "TAG execution core for sessions and jobs: 'compiled' or 'interp'")
+	ckptEvery := flag.Int("checkpoint-every", 8, "rewrite a session's checkpoint every Nth fed event (the event log covers the gap)")
+	eventLog := flag.Bool("event-log", true, "keep durable per-session and per-job event logs under the state directory")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a drain may wait for in-flight work")
 	version := cli.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
@@ -61,14 +64,14 @@ func main() {
 	}
 
 	if err := run(os.Stdout, *addr, *data, *gransFlag, *execMode, *inflight, *queue, *jobWorkers, *jobQueue,
-		*maxSessions, *scanWorkers, *drainTimeout); err != nil {
+		*maxSessions, *scanWorkers, *ckptEvery, *eventLog, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tempod:", err)
 		os.Exit(1)
 	}
 }
 
 func run(out io.Writer, addr, data, gransFlag, execMode string, inflight, queue, jobWorkers, jobQueue,
-	maxSessions, scanWorkers int, drainTimeout time.Duration) error {
+	maxSessions, scanWorkers, ckptEvery int, eventLog bool, drainTimeout time.Duration) error {
 	if data == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -77,15 +80,17 @@ func run(out io.Writer, addr, data, gransFlag, execMode string, inflight, queue,
 		return err
 	}
 	srv, err := server.New(server.Config{
-		DataDir:       data,
-		Grans:         gransFlag,
-		MaxInflight:   inflight,
-		QueueDepth:    queue,
-		JobWorkers:    jobWorkers,
-		JobQueueDepth: jobQueue,
-		MaxSessions:   maxSessions,
-		ScanWorkers:   scanWorkers,
-		Exec:          mode,
+		DataDir:         data,
+		Grans:           gransFlag,
+		MaxInflight:     inflight,
+		QueueDepth:      queue,
+		JobWorkers:      jobWorkers,
+		JobQueueDepth:   jobQueue,
+		MaxSessions:     maxSessions,
+		ScanWorkers:     scanWorkers,
+		CheckpointEvery: ckptEvery,
+		NoEventLog:      !eventLog,
+		Exec:            mode,
 	})
 	if err != nil {
 		return err

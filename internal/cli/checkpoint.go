@@ -6,12 +6,15 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 )
 
 // SaveCheckpoint writes a checkpoint file atomically: the encoder's output
 // goes to a temporary sibling which is fsynced and renamed over path, so a
 // crash mid-write can never leave a truncated checkpoint — the previous one
-// (or none) survives instead.
+// (or none) survives instead. The parent directory is fsynced after the
+// rename; without that, a power loss can forget the rename itself and
+// resurface the old checkpoint (or none) even though the call returned.
 func SaveCheckpoint(path string, encode func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -36,11 +39,48 @@ func SaveCheckpoint(path string, encode func(io.Writer) error) error {
 		os.Remove(tmp)
 		return fmt.Errorf("cli: installing checkpoint: %w", err)
 	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("cli: syncing checkpoint directory: %w", err)
+	}
 	return nil
 }
 
+// SyncDir fsyncs a directory so renames and creates inside it survive a
+// power loss.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// CorruptCheckpointError reports a checkpoint file that exists but does
+// not decode — truncated, torn or otherwise damaged. LoadCheckpoint has
+// already renamed the damaged file to Quarantine when the error is
+// returned, so a retry (or a restart) finds no checkpoint and starts
+// fresh instead of crash-looping on the same bad bytes.
+type CorruptCheckpointError struct {
+	Path       string // the checkpoint that failed to decode
+	Quarantine string // where the damaged bytes were moved ("" if the move failed)
+	Err        error  // the decoder's complaint
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	if e.Quarantine != "" {
+		return fmt.Sprintf("cli: corrupt checkpoint %s (moved to %s): %v", e.Path, e.Quarantine, e.Err)
+	}
+	return fmt.Sprintf("cli: corrupt checkpoint %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptCheckpointError) Unwrap() error { return e.Err }
+
 // LoadCheckpoint opens a checkpoint file and feeds it to decode. A missing
-// file is not an error: it reports (false, nil) so callers start fresh.
+// file is not an error: it reports (false, nil) so callers start fresh. A
+// file that fails to decode is renamed to path+".corrupt" (keeping the
+// evidence, clearing the way) and reported as a *CorruptCheckpointError;
+// callers that treat it as soft can errors.As for it and start fresh too.
 func LoadCheckpoint(path string, decode func(io.Reader) error) (loaded bool, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -51,7 +91,13 @@ func LoadCheckpoint(path string, decode func(io.Reader) error) (loaded bool, err
 	}
 	defer f.Close()
 	if err := decode(f); err != nil {
-		return false, err
+		cerr := &CorruptCheckpointError{Path: path, Err: err}
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr == nil {
+			cerr.Quarantine = quarantine
+			SyncDir(filepath.Dir(path))
+		}
+		return false, cerr
 	}
 	return true, nil
 }

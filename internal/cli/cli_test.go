@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -187,5 +188,42 @@ func TestCheckpointHelpers(t *testing.T) {
 	// Decoder errors propagate.
 	if _, err := LoadCheckpoint(path, func(io.Reader) error { return os.ErrInvalid }); err == nil {
 		t.Fatal("decoder error swallowed")
+	}
+}
+
+// TestCorruptCheckpointQuarantine covers the hardened load path: a
+// checkpoint that fails to decode is renamed to <path>.corrupt, the error
+// is the typed *CorruptCheckpointError, and the next load starts fresh.
+func TestCorruptCheckpointQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := os.WriteFile(path, []byte("torn gibberi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path, func(io.Reader) error { return os.ErrInvalid })
+	if loaded {
+		t.Fatal("corrupt checkpoint reported loaded")
+	}
+	var corrupt *CorruptCheckpointError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("error %v (%T) is not a *CorruptCheckpointError", err, err)
+	}
+	if corrupt.Path != path || corrupt.Quarantine != path+".corrupt" {
+		t.Fatalf("bad quarantine bookkeeping: %+v", corrupt)
+	}
+	if !errors.Is(err, os.ErrInvalid) {
+		t.Fatal("decoder cause not wrapped")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt checkpoint still in place")
+	}
+	evidence, err := os.ReadFile(path + ".corrupt")
+	if err != nil || string(evidence) != "torn gibberi" {
+		t.Fatalf("evidence file: %q, %v", evidence, err)
+	}
+	// The retry finds no checkpoint and starts fresh — no crash loop.
+	loaded, err = LoadCheckpoint(path, func(io.Reader) error { t.Fatal("decode called"); return nil })
+	if loaded || err != nil {
+		t.Fatalf("retry after quarantine: loaded=%v err=%v", loaded, err)
 	}
 }

@@ -57,11 +57,15 @@ func (f *FaultPlan) offset(w int64) int64 {
 	if f.Seed == 0 {
 		return f.Every
 	}
-	return splitmix(uint64(f.Seed)^uint64(w))%f.Every + 1
+	return SplitMix64(uint64(f.Seed)^uint64(w))%f.Every + 1
 }
 
-// splitmix is the SplitMix64 finalizer: a cheap deterministic scrambler.
-func splitmix(x uint64) int64 {
+// SplitMix64 is the SplitMix64 finalizer: a cheap deterministic scrambler
+// returning a non-negative int64. FaultPlan derives its per-window trip
+// offsets from it, and the store's fault-injecting filesystem derives its
+// crash-time data-retention decisions from the same function so every
+// chaos harness in the repository is seeded the same way.
+func SplitMix64(x uint64) int64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb

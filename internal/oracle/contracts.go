@@ -12,6 +12,7 @@ import (
 	"repro/internal/granularity"
 	"repro/internal/mining"
 	"repro/internal/propagate"
+	"repro/internal/store"
 	"repro/internal/tag"
 )
 
@@ -89,6 +90,7 @@ func CheckInstance(in *Instance, k Knobs, h Hooks) ([]Violation, CheckStats, err
 	gate(ContractTAG, func() { checkTAG(in, sys, &stats, add) })
 	gate(ContractMining, func() { checkMining(in, k, sys, s, &stats, add) })
 	gate(ContractExecEquiv, func() { checkExecEquiv(in, sys, &stats, add) })
+	gate(ContractStoreReplay, func() { checkStoreReplay(in, sys, &stats, add) })
 	return vs, stats, nil
 }
 
@@ -856,4 +858,165 @@ func diffCounts(a, b map[string]int64) string {
 		}
 	}
 	return ""
+}
+
+// storeAppendRun opens a store on fsys and appends seq one event at a
+// time with fsync-per-append, returning how many appends were
+// acknowledged before the first error (the crash, when a fault is armed).
+func storeAppendRun(fsys store.FS, sys *granularity.System, grans []string, seq event.Sequence) (int, error) {
+	st, _, err := store.Open("log", store.Options{
+		FS: fsys, System: sys, Grans: grans, SegmentMaxBytes: 256, SyncEvery: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	acked := 0
+	for _, e := range seq {
+		if _, err := st.Append(e); err != nil {
+			st.Close()
+			return acked, err
+		}
+		acked++
+	}
+	return acked, st.Close()
+}
+
+// checkStoreReplay cross-checks the durable event store against the
+// instance's sequence under a seeded mid-run crash: every
+// fsync-acknowledged append must survive filesystem recovery, the
+// recovered log must be an exact prefix of the appended sequence,
+// re-appending the lost suffix must converge to the full sequence, and
+// ScanFromTick must agree with a brute-force filter over the system's
+// tick functions. Tiny segments force rolls so the seal/manifest paths
+// sit inside the crash window too.
+func checkStoreReplay(in *Instance, sys *granularity.System,
+	stats *CheckStats, add func(string, string, ...any)) {
+
+	if len(in.Seq) == 0 {
+		stats.skip(ContractStoreReplay, "empty sequence")
+		return
+	}
+	for i, e := range in.Seq {
+		if e.Time < 1 || e.Type == "" || (i > 0 && e.Time < in.Seq[i-1].Time) {
+			stats.skip(ContractStoreReplay, "sequence not appendable")
+			return
+		}
+	}
+	grans := []string{"second"}
+	for i := range in.Grans {
+		grans = append(grans, in.Grans[i].Name)
+	}
+
+	// Fault-free run on a pristine filesystem sizes the crash window.
+	dry := store.NewMemFS()
+	if n, err := storeAppendRun(dry, sys, grans, in.Seq); err != nil {
+		add(ContractStoreReplay, "fault-free append failed after %d of %d events: %v", n, len(in.Seq), err)
+		return
+	}
+	total := dry.OpCount(store.OpAny)
+	if total < 1 {
+		stats.skip(ContractStoreReplay, "no mutating filesystem operations to crash at")
+		return
+	}
+	stats.ran(ContractStoreReplay)
+
+	// Crash at a seeded mutating operation, settle the disk, reopen.
+	h := uint64(engine.SplitMix64(uint64(in.Seed) ^ 0x73746f7265)) // "store"
+	nth := 1 + int64(h%uint64(total))
+	fsys := store.NewMemFS()
+	fsys.SetFault(&store.Fault{Op: store.OpAny, Nth: nth, Mode: store.FaultCrash, Seed: engine.SplitMix64(h)})
+	acked, _ := storeAppendRun(fsys, sys, grans, in.Seq)
+	fsys.Recover()
+
+	st, _, err := store.Open("log", store.Options{
+		FS: fsys, System: sys, Grans: grans, SegmentMaxBytes: 256, SyncEvery: 1,
+	})
+	if err != nil {
+		add(ContractStoreReplay, "reopen after crash at op %d/%d: %v", nth, total, err)
+		return
+	}
+	defer st.Close()
+	if deg, q := st.Degraded(); deg {
+		add(ContractStoreReplay, "crash at op %d/%d quarantined fully-synced segments %v", nth, total, q)
+		return
+	}
+	got, err := st.Events()
+	if err != nil {
+		add(ContractStoreReplay, "reading recovered log after crash at op %d/%d: %v", nth, total, err)
+		return
+	}
+	if len(got) < acked || len(got) > len(in.Seq) {
+		add(ContractStoreReplay, "crash at op %d/%d: recovered %d events, want between %d acked and %d sent",
+			nth, total, len(got), acked, len(in.Seq))
+		return
+	}
+	for i := range got {
+		if got[i] != in.Seq[i] {
+			add(ContractStoreReplay, "crash at op %d/%d: recovered event %d is %v, want %v",
+				nth, total, i, got[i], in.Seq[i])
+			return
+		}
+	}
+
+	// Re-append the lost suffix; the log must converge to the sequence.
+	for _, e := range in.Seq[len(got):] {
+		if _, err := st.Append(e); err != nil {
+			add(ContractStoreReplay, "re-appending lost suffix after crash at op %d/%d: %v", nth, total, err)
+			return
+		}
+	}
+	final, err := st.Events()
+	if err != nil {
+		add(ContractStoreReplay, "reading converged log: %v", err)
+		return
+	}
+	if len(final) != len(in.Seq) {
+		add(ContractStoreReplay, "converged log has %d events, want %d", len(final), len(in.Seq))
+		return
+	}
+	for i := range final {
+		if final[i] != in.Seq[i] {
+			add(ContractStoreReplay, "converged event %d is %v, want %v", i, final[i], in.Seq[i])
+			return
+		}
+	}
+
+	// ScanFromTick at a seeded probe per granularity must agree with a
+	// brute-force filter: the suffix starts at the first covered record
+	// whose granule is >= the probe tick.
+	for gi, gran := range grans {
+		j := int(uint64(engine.SplitMix64(h^uint64(gi+1))) % uint64(len(in.Seq)))
+		tick, ok := sys.TickOf(gran, in.Seq[j].Time)
+		if !ok {
+			continue
+		}
+		recs, err := st.ScanFromTick(gran, tick)
+		if err != nil {
+			add(ContractStoreReplay, "ScanFromTick(%s, %d): %v", gran, tick, err)
+			return
+		}
+		start := -1
+		for i, e := range in.Seq {
+			if z, ok := sys.TickOf(gran, e.Time); ok && z >= tick {
+				start = i
+				break
+			}
+		}
+		want := 0
+		if start >= 0 {
+			want = len(in.Seq) - start
+		}
+		if len(recs) != want {
+			add(ContractStoreReplay, "ScanFromTick(%s, %d) returned %d records, brute filter says %d",
+				gran, tick, len(recs), want)
+			return
+		}
+		for i, r := range recs {
+			if r.Index != int64(start+i) || r.Event != in.Seq[start+i] {
+				add(ContractStoreReplay, "ScanFromTick(%s, %d)[%d] = {%d %v}, want {%d %v}",
+					gran, tick, i, r.Index, r.Event, start+i, in.Seq[start+i])
+				return
+			}
+		}
+	}
 }

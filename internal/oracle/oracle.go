@@ -162,4 +162,5 @@ const (
 	ContractTAG          = "tag"
 	ContractMining       = "mining"
 	ContractExecEquiv    = "exec-equiv"
+	ContractStoreReplay  = "store-replay"
 )

@@ -207,3 +207,31 @@ func TestBrokenConversionSmokeFast(t *testing.T) {
 	}
 	t.Fatal("25 seeds did not catch the conversion mutant")
 }
+
+// TestStoreReplayRuns asserts the crash-recovery contract actually
+// exercises generated instances rather than skipping them all (an empty
+// or unappendable sequence skips; the generator should rarely produce
+// one).
+func TestStoreReplayRuns(t *testing.T) {
+	k := DefaultKnobs()
+	k.Only = []string{ContractStoreReplay}
+	ran := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		in := GenInstance(seed, k)
+		vs, stats, err := CheckInstance(in, k, Hooks{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		for _, c := range stats.Ran {
+			if c == ContractStoreReplay {
+				ran++
+			}
+		}
+	}
+	if ran < 30 {
+		t.Fatalf("store-replay ran on only %d of 40 seeds", ran)
+	}
+}

@@ -65,8 +65,8 @@ type EventItem struct {
 }
 
 // EventsRequest is the POST /v1/tag/sessions/{id}/events body. Events must
-// be in non-decreasing timestamp order, continuing from the session's last
-// event.
+// carry positive timestamps in non-decreasing order, continuing from the
+// session's last event.
 type EventsRequest struct {
 	Events []EventItem `json:"events"`
 }
@@ -213,6 +213,9 @@ func DecodeEventsRequest(r io.Reader) (*EventsRequest, error) {
 	for i, e := range req.Events {
 		if e.Type == "" {
 			return nil, fmt.Errorf("server: event %d has no type", i)
+		}
+		if e.Time < 1 {
+			return nil, fmt.Errorf("server: event %d has non-positive time %d", i, e.Time)
 		}
 	}
 	return &req, nil

@@ -16,12 +16,17 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/engine"
+	"repro/internal/event"
 	"repro/internal/granularity"
 	"repro/internal/mining"
+	"repro/internal/store"
 )
 
-// jobRecordVersion is the wire version of the on-disk job record.
-const jobRecordVersion = 1
+// jobRecordVersion is the wire version of the on-disk job record. Version
+// 2 added EventsLogged: the input sequence lives in the job's append-only
+// event log (<id>.events/) and the record omits it. Version 1 records
+// (inline events) still restore.
+const jobRecordVersion = 2
 
 // jobRecord is the durable form of a mining job: the full request (so an
 // unfinished job can be re-run or resumed after a restart), its state, and
@@ -29,26 +34,32 @@ const jobRecordVersion = 1
 // checkpoint's fingerprint re-binds it to the rebuilt problem and
 // sequence, so stale progress is re-run from scratch rather than trusted.
 type jobRecord struct {
-	Version    int                `json:"version"`
-	ID         string             `json:"id"`
-	Request    JobCreateRequest   `json:"request"`
-	State      string             `json:"state"`
-	Error      string             `json:"error,omitempty"`
-	Result     *cli.MineResult    `json:"result,omitempty"`
-	Checkpoint *mining.Checkpoint `json:"checkpoint,omitempty"`
+	Version int              `json:"version"`
+	ID      string           `json:"id"`
+	Request JobCreateRequest `json:"request"`
+	// EventsLogged, when positive, is the number of input events stored in
+	// the job's event log; Request.Events is omitted from the record then,
+	// and restore reads the sequence back from the log (refusing a log
+	// that is degraded or holds a different count).
+	EventsLogged int64              `json:"events_logged,omitempty"`
+	State        string             `json:"state"`
+	Error        string             `json:"error,omitempty"`
+	Result       *cli.MineResult    `json:"result,omitempty"`
+	Checkpoint   *mining.Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // job is one mining job. Its mutex guards the mutable fields; the request
-// is immutable after submission.
+// and eventsLogged are immutable after submission.
 type job struct {
 	mu sync.Mutex
 
-	id     string
-	req    JobCreateRequest
-	state  string
-	errMsg string
-	result *cli.MineResult
-	cp     *mining.Checkpoint
+	id           string
+	req          JobCreateRequest
+	eventsLogged int64
+	state        string
+	errMsg       string
+	result       *cli.MineResult
+	cp           *mining.Checkpoint
 }
 
 // status snapshots the poll view.
@@ -69,6 +80,7 @@ type jobStore struct {
 	depth          int
 	defaultWorkers int
 	mode           engine.ExecMode
+	noLog          bool
 	jobs           map[string]*job
 	queue          []*job
 	running        int
@@ -80,7 +92,7 @@ type jobStore struct {
 	wg     sync.WaitGroup
 }
 
-func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int, mode engine.ExecMode) (*jobStore, error) {
+func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int, mode engine.ExecMode, noLog bool) (*jobStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -92,6 +104,7 @@ func newJobStore(dir string, sys *granularity.System, counters *engine.Counters,
 		depth:          depth,
 		defaultWorkers: defaultScanWorkers,
 		mode:           mode,
+		noLog:          noLog,
 		jobs:           make(map[string]*job),
 		nextID:         1,
 		ctx:            ctx,
@@ -106,7 +119,9 @@ func newJobStore(dir string, sys *granularity.System, counters *engine.Counters,
 }
 
 // submit enqueues a new job, persisting it as queued before returning the
-// ID. A full queue rejects with errBusy; a draining store with errDraining.
+// ID. The input sequence goes to the job's event log first, so the durable
+// record stays small and the events are checksummed on disk. A full queue
+// rejects with errBusy; a draining store with errDraining.
 func (st *jobStore) submit(req *JobCreateRequest) (*job, error) {
 	st.mu.Lock()
 	if st.closed {
@@ -121,26 +136,113 @@ func (st *jobStore) submit(req *JobCreateRequest) (*job, error) {
 	st.nextID++
 	j := &job{id: id, req: *req, state: JobQueued}
 	st.jobs[id] = j
-	st.queue = append(st.queue, j)
 	st.mu.Unlock()
 
+	// The job is visible for polling but not yet queued: the log and the
+	// record land before a worker can pick it up.
+	if !st.noLog && len(req.Events) > 0 {
+		if seq := toSequence(req.Events); seq.Validate() == nil {
+			if n, err := st.writeEventLog(id, seq); err == nil {
+				j.eventsLogged = n
+			} else {
+				// Fall back to an inline sequence in the record.
+				st.counters.Count("server.jobs.log_degraded", 1)
+			}
+		}
+	}
 	if err := st.persist(j); err != nil {
 		st.mu.Lock()
 		delete(st.jobs, id)
-		for i, q := range st.queue {
-			if q == j {
-				st.queue = append(st.queue[:i], st.queue[i+1:]...)
-				break
-			}
-		}
 		st.mu.Unlock()
+		os.RemoveAll(st.logDir(id))
 		return nil, err
 	}
 	st.counters.Count("server.jobs.submitted", 1)
 	st.mu.Lock()
+	st.queue = append(st.queue, j)
 	st.cond.Signal()
 	st.mu.Unlock()
 	return j, nil
+}
+
+// logDir is the job's event-log directory.
+func (st *jobStore) logDir(id string) string {
+	return filepath.Join(st.dir, id+".events")
+}
+
+// logOptions configures a job event log. Job logs are written once at
+// submit, so syncing is deferred to Close (which fsyncs the tail).
+func (st *jobStore) logOptions() store.Options {
+	return store.Options{
+		System:          st.sys,
+		Grans:           []string{"day"},
+		SegmentMaxBytes: 1 << 20,
+		SyncEvery:       1 << 20,
+	}
+}
+
+// writeEventLog persists a job's input sequence to its own append-only
+// log. Appends go in chunks so large sequences roll across segments.
+func (st *jobStore) writeEventLog(id string, seq event.Sequence) (int64, error) {
+	dir := st.logDir(id)
+	os.RemoveAll(dir) // a crashed predecessor may have left a partial log
+	lg, _, err := store.Open(dir, st.logOptions())
+	if err != nil {
+		return 0, err
+	}
+	const chunk = 512
+	for i := 0; i < len(seq); i += chunk {
+		end := min(i+chunk, len(seq))
+		if _, err := lg.Append(seq[i:end]...); err != nil {
+			lg.Close()
+			os.RemoveAll(dir)
+			return 0, err
+		}
+	}
+	if err := lg.Close(); err != nil {
+		os.RemoveAll(dir)
+		return 0, err
+	}
+	return int64(len(seq)), nil
+}
+
+// readEventLog loads a job's input sequence back from its log, refusing a
+// log that is missing, degraded, or holds a different number of events
+// than the record claims — a job must re-run on its exact input or not at
+// all.
+func (st *jobStore) readEventLog(id string, want int64) (event.Sequence, store.Recovery, error) {
+	dir := st.logDir(id)
+	if _, err := os.Stat(dir); err != nil {
+		return nil, store.Recovery{}, fmt.Errorf("event log missing: %w", err)
+	}
+	lg, rec, err := store.Open(dir, st.logOptions())
+	if err != nil {
+		return nil, rec, err
+	}
+	defer lg.Close()
+	if deg, q := lg.Degraded(); deg {
+		return nil, rec, fmt.Errorf("event log degraded (quarantined %s)", strings.Join(q, ", "))
+	}
+	seq, err := lg.Events()
+	if err != nil {
+		return nil, rec, err
+	}
+	if int64(len(seq)) != want {
+		return nil, rec, fmt.Errorf("event log holds %d event(s), the record says %d", len(seq), want)
+	}
+	return seq, rec, nil
+}
+
+// removeEventLog drops a terminal job's event log. Callers persist the
+// terminal record first: a crash between the two leaves a harmless orphan
+// directory, never a live record pointing at a missing log.
+func (st *jobStore) removeEventLog(j *job) {
+	j.mu.Lock()
+	had := j.eventsLogged > 0
+	j.mu.Unlock()
+	if had {
+		os.RemoveAll(st.logDir(j.id))
+	}
 }
 
 // get returns a job by ID.
@@ -262,10 +364,18 @@ func (st *jobStore) run(j *job) {
 	}
 	if err := st.persist(j); err != nil {
 		st.fail(j, fmt.Errorf("persisting job: %w", err))
+		return
+	}
+	j.mu.Lock()
+	terminal := j.state == JobDone || j.state == JobFailed
+	j.mu.Unlock()
+	if terminal {
+		st.removeEventLog(j)
 	}
 }
 
-// fail marks a job failed and persists the terminal state (best effort).
+// fail marks a job failed and persists the terminal state (best effort);
+// the event log goes away only once the terminal record is durable.
 func (st *jobStore) fail(j *job, err error) {
 	j.mu.Lock()
 	j.state = JobFailed
@@ -273,7 +383,9 @@ func (st *jobStore) fail(j *job, err error) {
 	j.cp = nil
 	j.mu.Unlock()
 	st.counters.Count("server.jobs.failed", 1)
-	st.persist(j)
+	if st.persist(j) == nil {
+		st.removeEventLog(j)
+	}
 }
 
 // path is the job's record file.
@@ -281,19 +393,24 @@ func (st *jobStore) path(id string) string {
 	return filepath.Join(st.dir, id+".json")
 }
 
-// persist writes the job's record atomically.
+// persist writes the job's record atomically. When the input sequence is
+// in the event log, the record omits its inline copy.
 func (st *jobStore) persist(j *job) error {
 	j.mu.Lock()
 	rec := jobRecord{
-		Version:    jobRecordVersion,
-		ID:         j.id,
-		Request:    j.req,
-		State:      j.state,
-		Error:      j.errMsg,
-		Result:     j.result,
-		Checkpoint: j.cp,
+		Version:      jobRecordVersion,
+		ID:           j.id,
+		Request:      j.req,
+		EventsLogged: j.eventsLogged,
+		State:        j.state,
+		Error:        j.errMsg,
+		Result:       j.result,
+		Checkpoint:   j.cp,
 	}
 	j.mu.Unlock()
+	if rec.EventsLogged > 0 {
+		rec.Request.Events = nil
+	}
 	return cli.SaveCheckpoint(st.path(rec.ID), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -303,53 +420,94 @@ func (st *jobStore) persist(j *job) error {
 
 // restore reloads job records from disk. Finished jobs stay pollable;
 // queued, interrupted and (crashed mid-)running jobs are re-enqueued in ID
-// order — interrupted ones resume from their checkpoint. Unreadable
-// records are skipped with a log line.
-func (st *jobStore) restore(logger *log.Logger) error {
+// order — interrupted ones resume from their checkpoint, and their input
+// sequences come back from the per-job event logs. Records that fail to
+// decode are quarantined to <name>.corrupt; other unrestorable records are
+// skipped with a log line. Orphaned event-log directories (their record
+// gone) are swept away. It reports the aggregate log recovery and how many
+// jobs came back.
+func (st *jobStore) restore(logger *log.Logger) (agg store.Recovery, restored int, err error) {
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
-		return err
+		return agg, 0, err
 	}
-	names := make([]string, 0, len(entries))
+	var names, logDirs []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+		switch {
+		case !e.IsDir() && strings.HasSuffix(e.Name(), ".json"):
 			names = append(names, e.Name())
+		case e.IsDir() && strings.HasSuffix(e.Name(), ".events"):
+			logDirs = append(logDirs, e.Name())
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := st.restoreOne(name); err != nil {
-			logger.Printf("job record %s not restored: %v", name, err)
+		rec, rerr := st.restoreOne(name)
+		agg.Add(rec)
+		if rerr != nil {
+			logger.Printf("job record %s not restored: %v", name, rerr)
+			continue
 		}
+		restored++
 	}
-	return nil
+	for _, d := range logDirs {
+		id := strings.TrimSuffix(d, ".events")
+		if _, serr := os.Stat(st.path(id)); serr == nil {
+			continue
+		}
+		// Keep the log when its record was quarantined — it is evidence.
+		if _, serr := os.Stat(st.path(id) + ".corrupt"); serr == nil {
+			continue
+		}
+		os.RemoveAll(filepath.Join(st.dir, d))
+	}
+	return agg, restored, nil
 }
 
-func (st *jobStore) restoreOne(name string) error {
-	f, err := os.Open(filepath.Join(st.dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+func (st *jobStore) restoreOne(name string) (store.Recovery, error) {
+	path := filepath.Join(st.dir, name)
 	var rec jobRecord
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rec); err != nil {
-		return err
+	loaded, err := cli.LoadCheckpoint(path, func(r io.Reader) error {
+		dec := json.NewDecoder(r)
+		dec.DisallowUnknownFields()
+		return dec.Decode(&rec)
+	})
+	if err != nil {
+		return store.Recovery{}, err
 	}
-	if rec.Version != jobRecordVersion {
-		return fmt.Errorf("job record version %d, this build reads %d", rec.Version, jobRecordVersion)
+	if !loaded {
+		return store.Recovery{}, fmt.Errorf("record vanished during restore")
+	}
+	if rec.Version != 1 && rec.Version != jobRecordVersion {
+		return store.Recovery{}, fmt.Errorf("job record version %d, this build reads %d", rec.Version, jobRecordVersion)
 	}
 	switch rec.State {
 	case JobQueued, JobRunning, JobDone, JobFailed, JobInterrupted:
 	default:
-		return fmt.Errorf("job record has unknown state %q", rec.State)
+		return store.Recovery{}, fmt.Errorf("job record has unknown state %q", rec.State)
 	}
-	j := &job{id: rec.ID, req: rec.Request, state: rec.State, errMsg: rec.Error, result: rec.Result, cp: rec.Checkpoint}
+	j := &job{id: rec.ID, req: rec.Request, eventsLogged: rec.EventsLogged, state: rec.State, errMsg: rec.Error, result: rec.Result, cp: rec.Checkpoint}
+	var srec store.Recovery
+	switch rec.State {
+	case JobQueued, JobRunning, JobInterrupted:
+		if rec.EventsLogged > 0 {
+			seq, lrec, lerr := st.readEventLog(rec.ID, rec.EventsLogged)
+			srec = lrec
+			if lerr != nil {
+				return srec, fmt.Errorf("reading event log: %w", lerr)
+			}
+			j.req.Events = toItems(seq)
+		}
+	default:
+		// Terminal jobs no longer need their input; drop any leftover log
+		// (the daemon may have crashed between persisting the terminal
+		// record and removing the log).
+		os.RemoveAll(st.logDir(rec.ID))
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, dup := st.jobs[rec.ID]; dup {
-		return fmt.Errorf("duplicate job id %s", rec.ID)
+		return srec, fmt.Errorf("duplicate job id %s", rec.ID)
 	}
 	st.jobs[rec.ID] = j
 	if n := idNumber(rec.ID, "j"); n >= st.nextID {
@@ -364,7 +522,7 @@ func (st *jobStore) restoreOne(name string) error {
 		st.cond.Signal()
 		st.counters.Count("server.jobs.requeued", 1)
 	}
-	return nil
+	return srec, nil
 }
 
 // shutdown interrupts running attempts (their checkpoints persist as

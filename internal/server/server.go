@@ -39,6 +39,15 @@ type Config struct {
 	JobQueueDepth int
 	// MaxSessions bounds live streaming sessions (default 1024).
 	MaxSessions int
+	// CheckpointEvery strides session checkpoints: with the event log on,
+	// a session's JSON record is rewritten every Nth fed event instead of
+	// on every batch (default 8). Recovery replays the log tail past the
+	// last checkpoint, so the two together lose nothing.
+	CheckpointEvery int
+	// NoEventLog disables the durable per-session and per-job event logs
+	// under DataDir, reverting to checkpoint-per-feed persistence and
+	// inline job sequences. Existing logs are absorbed on the next start.
+	NoEventLog bool
 	// ScanWorkers is the default per-job TAG scan fan-out when neither
 	// the request nor the problem spec sets one (default
 	// cli.ResolveWorkers: GOMAXPROCS).
@@ -71,6 +80,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
@@ -115,21 +127,27 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	counters := engine.NewCounters()
-	sessions, err := newSessionStore(filepath.Join(cfg.DataDir, "sessions"), sys, counters, cfg.MaxSessions, cfg.Exec)
+	sessions, err := newSessionStore(filepath.Join(cfg.DataDir, "sessions"), sys, counters, cfg.MaxSessions, cfg.Exec, cfg.CheckpointEvery, cfg.NoEventLog)
 	if err != nil {
 		return nil, err
 	}
-	if err := sessions.restore(cfg.Logger); err != nil {
-		return nil, err
-	}
-	jobs, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"), sys, counters, cfg.JobWorkers, cfg.JobQueueDepth, cfg.ScanWorkers, cfg.Exec)
+	sessRec, nSessions, replayed, err := sessions.restore(cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
-	if err := jobs.restore(cfg.Logger); err != nil {
+	jobs, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"), sys, counters, cfg.JobWorkers, cfg.JobQueueDepth, cfg.ScanWorkers, cfg.Exec, cfg.NoEventLog)
+	if err != nil {
+		return nil, err
+	}
+	jobRec, nJobs, err := jobs.restore(cfg.Logger)
+	if err != nil {
 		jobs.shutdown()
 		return nil, err
 	}
+	agg := sessRec
+	agg.Add(jobRec)
+	cfg.Logger.Printf("tempod recovery: restored %d session(s) (%d event(s) replayed from logs) and %d job(s); event logs: %s",
+		nSessions, replayed, nJobs, agg.Summary())
 	s := &Server{
 		cfg:      cfg,
 		sys:      sys,
@@ -330,8 +348,14 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Reject unbuildable problems at submit time, not on the worker.
-	if _, _, _, err := req.Problem.Build(s.sys, toSequence(req.Events)); err != nil {
+	// Reject malformed sequences and unbuildable problems at submit time,
+	// not on the worker.
+	seq := toSequence(req.Events)
+	if err := seq.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, _, _, err := req.Problem.Build(s.sys, seq); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}

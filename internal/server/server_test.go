@@ -339,7 +339,7 @@ func TestJobLifecycle(t *testing.T) {
 func TestJobQueueFull(t *testing.T) {
 	srv, ts := newTestServer(t, nil)
 	srv.jobs.shutdown()
-	idle, err := newJobStore(t.TempDir(), srv.sys, srv.counters, 0, 1, 0, engine.ExecCompiled)
+	idle, err := newJobStore(t.TempDir(), srv.sys, srv.counters, 0, 1, 0, engine.ExecCompiled, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -783,4 +783,227 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("missing job: %d", resp.StatusCode)
 	}
 	readBody(t, resp)
+}
+
+// TestSessionLogReplayRecovery: with a wide checkpoint stride, feeds land
+// only in the event log; a crash (no drain) and restart must replay the
+// log tail past the stale checkpoint and reproduce the exact session view.
+func TestSessionLogReplayRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Config{DataDir: dir, CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	cr := createSession(t, ts1.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	for i, typ := range []string{"a", "x", "b"} {
+		readBody(t, post(t, ts1.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+			eventsBody(EventItem{Time: t0 + int64(i)*60, Type: typ})))
+	}
+	before := readBody(t, get(t, ts1.URL+"/v1/tag/sessions/"+cr.ID))
+	ts1.Close()
+	srv1.jobs.shutdown()
+
+	// The on-disk checkpoint must be stale — the events live in the log.
+	var rec sessionRecord
+	if err := json.Unmarshal(mustReadFile(t, filepath.Join(dir, "sessions", cr.ID+".json")), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events != 0 {
+		t.Fatalf("checkpoint covers %d events; the stride should have deferred it", rec.Events)
+	}
+
+	srv2, err := New(Config{DataDir: dir, CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.jobs.shutdown()
+	after := readBody(t, get(t, ts2.URL+"/v1/tag/sessions/"+cr.ID))
+	if !bytes.Equal(before, after) {
+		t.Fatalf("replayed session differs:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// The replay must also be checkpointed, so a second restart without the
+	// log would still know the event count.
+	if err := json.Unmarshal(mustReadFile(t, filepath.Join(dir, "sessions", cr.ID+".json")), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events != 3 {
+		t.Fatalf("post-replay checkpoint covers %d events, want 3", rec.Events)
+	}
+}
+
+// TestSessionLogDamagedReset: a session whose event log cannot cover its
+// checkpoint restores from the checkpoint alone; the unusable log moves to
+// <id>.events.damaged and a fresh log takes over.
+func TestSessionLogDamagedReset(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Config{DataDir: dir, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	cr := createSession(t, ts1.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	readBody(t, post(t, ts1.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		eventsBody(EventItem{Time: t0, Type: "a"}, EventItem{Time: t0 + 60, Type: "x"})))
+	before := readBody(t, get(t, ts1.URL+"/v1/tag/sessions/"+cr.ID))
+	ts1.Close()
+	srv1.jobs.shutdown()
+
+	// Destroy the log: now it holds fewer records than the checkpoint covers.
+	logDir := filepath.Join(dir, "sessions", cr.ID+".events")
+	if err := os.RemoveAll(logDir); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(Config{DataDir: dir, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.jobs.shutdown()
+	after := readBody(t, get(t, ts2.URL+"/v1/tag/sessions/"+cr.ID))
+	if !bytes.Equal(before, after) {
+		t.Fatalf("checkpoint-only restore differs:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if _, err := os.Stat(logDir + ".damaged"); err != nil {
+		t.Fatalf("unusable log not set aside: %v", err)
+	}
+	// The session keeps working on a fresh log.
+	resp := post(t, ts2.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		eventsBody(EventItem{Time: t0 + 3600, Type: "b"}))
+	var st SessionStateResponse
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stream.Accepted || st.Stream.Events != 3 {
+		t.Fatalf("feed after reset: %+v", st.Stream)
+	}
+}
+
+// TestJobEventLogLifecycle: a job's input sequence lives in its event log
+// (the record omits the inline copy) and the log is removed once the job
+// reaches a terminal state with its record already durable.
+func TestJobEventLogLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{DataDir: dir, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.shutdown()
+	resp := post(t, ts.URL+"/v1/mining/jobs", jobRequestJSON(t, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var created JobStatusResponse
+	if err := json.Unmarshal(readBody(t, resp), &created); err != nil {
+		t.Fatal(err)
+	}
+	done := pollJob(t, ts.URL, created.ID, func(js *JobStatusResponse) bool {
+		return js.State == JobDone || js.State == JobFailed
+	})
+	if done.State != JobDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(mustReadFile(t, filepath.Join(dir, "jobs", created.ID+".json")), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != jobRecordVersion || rec.EventsLogged == 0 || len(rec.Request.Events) != 0 {
+		t.Fatalf("record: version=%d events_logged=%d inline=%d", rec.Version, rec.EventsLogged, len(rec.Request.Events))
+	}
+	logDir := filepath.Join(dir, "jobs", created.ID+".events")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(logDir); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job's event log not removed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNoEventLogMigration: a daemon restarted with the event log disabled
+// absorbs existing session logs into covering checkpoints and removes them.
+func TestNoEventLogMigration(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Config{DataDir: dir, CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	cr := createSession(t, ts1.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	readBody(t, post(t, ts1.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		eventsBody(EventItem{Time: t0, Type: "a"}, EventItem{Time: t0 + 60, Type: "b"})))
+	before := readBody(t, get(t, ts1.URL+"/v1/tag/sessions/"+cr.ID))
+	ts1.Close()
+	srv1.jobs.shutdown()
+
+	srv2, err := New(Config{DataDir: dir, NoEventLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.jobs.shutdown()
+	after := readBody(t, get(t, ts2.URL+"/v1/tag/sessions/"+cr.ID))
+	if !bytes.Equal(before, after) {
+		t.Fatalf("migrated session differs:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sessions", cr.ID+".events")); !os.IsNotExist(err) {
+		t.Fatalf("event log survived NoEventLog migration: %v", err)
+	}
+	var rec sessionRecord
+	if err := json.Unmarshal(mustReadFile(t, filepath.Join(dir, "sessions", cr.ID+".json")), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events != 2 {
+		t.Fatalf("migrated checkpoint covers %d events, want 2", rec.Events)
+	}
+}
+
+// TestRestoreQuarantineAndOrphanSweep: a corrupt session record is
+// quarantined to .corrupt (daemon still starts), its event log is kept as
+// evidence, and an ownerless event-log directory is swept away.
+func TestRestoreQuarantineAndOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	sessDir := filepath.Join(dir, "sessions")
+	if err := os.MkdirAll(sessDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sessDir, "s000007.json"), []byte("torn gib"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(sessDir, "s000007.events"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(sessDir, "s000042.events"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.jobs.shutdown()
+	if _, err := os.Stat(filepath.Join(sessDir, "s000007.json.corrupt")); err != nil {
+		t.Fatalf("corrupt record not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sessDir, "s000007.events")); err != nil {
+		t.Fatalf("quarantined session's log swept: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sessDir, "s000042.events")); !os.IsNotExist(err) {
+		t.Fatalf("orphan log dir not swept: %v", err)
+	}
+	if got := srv.sessions.count(); got != 0 {
+		t.Fatalf("restored %d sessions from garbage", got)
+	}
 }

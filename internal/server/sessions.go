@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/granularity"
+	"repro/internal/store"
 	"repro/internal/tag"
 )
 
@@ -28,16 +29,20 @@ const sessionRecordVersion = 1
 // the recompiled automaton on restore, so a record from a different build
 // or granularity configuration is refused rather than silently resumed.
 type sessionRecord struct {
-	Version        int            `json:"version"`
-	ID             string         `json:"id"`
-	Spec           core.Spec      `json:"spec"`
-	Strict         bool           `json:"strict,omitempty"`
-	MaxFrontier    int            `json:"max_frontier,omitempty"`
-	Budget         int64          `json:"budget,omitempty"`
-	Events         int            `json:"events"`
-	AcceptTime     int64          `json:"accept_time,omitempty"`
-	HaveAcceptTime bool           `json:"have_accept_time,omitempty"`
-	Checkpoint     tag.Checkpoint `json:"checkpoint"`
+	Version        int       `json:"version"`
+	ID             string    `json:"id"`
+	Spec           core.Spec `json:"spec"`
+	Strict         bool      `json:"strict,omitempty"`
+	MaxFrontier    int       `json:"max_frontier,omitempty"`
+	Budget         int64     `json:"budget,omitempty"`
+	Events         int       `json:"events"`
+	AcceptTime     int64     `json:"accept_time,omitempty"`
+	HaveAcceptTime bool      `json:"have_accept_time,omitempty"`
+	// LogStart is the session event count at which the durable event log
+	// begins: log record i holds session event LogStart+i. Recovery feeds
+	// the log tail past Events-LogStart back into the restored runner.
+	LogStart   int64          `json:"log_start,omitempty"`
+	Checkpoint tag.Checkpoint `json:"checkpoint"`
 }
 
 // session is one live streaming TAG run. Its mutex serializes feeds, polls
@@ -54,6 +59,14 @@ type session struct {
 	auto   *tag.TAG
 	runner *tag.Runner
 
+	// log is the session's durable event log (nil when disabled or after
+	// an append failure degraded the session to checkpoint-per-feed).
+	// logStart is the session event count at which the log begins;
+	// sinceCkpt counts events fed since the last persisted checkpoint.
+	log       *store.Store
+	logStart  int64
+	sinceCkpt int
+
 	// events counts events presented (sticky post-acceptance feeds
 	// included), which is what the CLI's "events=" field reports.
 	events         int
@@ -65,29 +78,52 @@ type session struct {
 // sessionStore owns the live sessions and their on-disk records
 // (<dir>/<id>.json).
 type sessionStore struct {
-	mu       sync.Mutex
-	dir      string
-	sys      *granularity.System
-	counters *engine.Counters
-	max      int
-	mode     engine.ExecMode
-	sessions map[string]*session
-	nextID   int
+	mu        sync.Mutex
+	dir       string
+	sys       *granularity.System
+	counters  *engine.Counters
+	max       int
+	mode      engine.ExecMode
+	ckptEvery int
+	noLog     bool
+	sessions  map[string]*session
+	nextID    int
 }
 
-func newSessionStore(dir string, sys *granularity.System, counters *engine.Counters, max int, mode engine.ExecMode) (*sessionStore, error) {
+func newSessionStore(dir string, sys *granularity.System, counters *engine.Counters, max int, mode engine.ExecMode, ckptEvery int, noLog bool) (*sessionStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if ckptEvery < 1 {
+		ckptEvery = 1
+	}
 	return &sessionStore{
-		dir:      dir,
-		sys:      sys,
-		counters: counters,
-		max:      max,
-		mode:     mode,
-		sessions: make(map[string]*session),
-		nextID:   1,
+		dir:       dir,
+		sys:       sys,
+		counters:  counters,
+		max:       max,
+		mode:      mode,
+		ckptEvery: ckptEvery,
+		noLog:     noLog,
+		sessions:  make(map[string]*session),
+		nextID:    1,
 	}, nil
+}
+
+// logDir is the session's durable event-log directory.
+func (st *sessionStore) logDir(id string) string {
+	return filepath.Join(st.dir, id+".events")
+}
+
+// logOptions configures a session event log. SyncEvery stays at the
+// default (every append) so an acknowledged feed is on disk before any
+// checkpoint can claim to cover it.
+func (st *sessionStore) logOptions() store.Options {
+	return store.Options{
+		System:          st.sys,
+		Grans:           []string{"day"},
+		SegmentMaxBytes: 256 << 10,
+	}
 }
 
 // runOptions builds the engine-backed run options for a session's runner.
@@ -127,10 +163,24 @@ func (st *sessionStore) create(req *SessionCreateRequest, ct *core.ComplexType) 
 	st.sessions[id] = s
 	st.mu.Unlock()
 
+	if !st.noLog {
+		lg, _, err := store.Open(st.logDir(id), st.logOptions())
+		if err != nil {
+			// No log is a robustness downgrade, not a failure: the session
+			// falls back to checkpoint-per-feed persistence.
+			st.counters.Count("server.sessions.log_degraded", 1)
+		} else {
+			s.log = lg
+		}
+	}
 	if err := st.persist(s); err != nil {
 		st.mu.Lock()
 		delete(st.sessions, id)
 		st.mu.Unlock()
+		if s.log != nil {
+			s.log.Close()
+		}
+		os.RemoveAll(st.logDir(id))
 		return nil, err
 	}
 	st.counters.Count("server.sessions.created", 1)
@@ -145,7 +195,7 @@ func (st *sessionStore) get(id string) (*session, bool) {
 	return s, ok
 }
 
-// close removes a session and its record.
+// close removes a session, its record and its event log.
 func (st *sessionStore) close(id string) bool {
 	st.mu.Lock()
 	s, ok := st.sessions[id]
@@ -156,8 +206,13 @@ func (st *sessionStore) close(id string) bool {
 	}
 	s.mu.Lock()
 	s.closed = true
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
 	s.mu.Unlock()
 	os.Remove(st.path(id))
+	os.RemoveAll(st.logDir(id))
 	return true
 }
 
@@ -168,9 +223,12 @@ func (st *sessionStore) count() int {
 	return len(st.sessions)
 }
 
-// feed presents a batch of events to a session, checkpointing the session
-// record afterwards. It returns the resulting stream view and, when an
-// event was refused, which one and why (later events are not consumed).
+// feed presents a batch of events to a session. Every consumed event is
+// appended (and fsynced) to the session's event log before the feed is
+// acknowledged; the JSON checkpoint is only rewritten every ckptEvery
+// events — recovery replays the log tail past the last checkpoint. It
+// returns the resulting stream view and, when an event was refused, which
+// one and why (later events are not consumed).
 func (st *sessionStore) feed(s *session, items []EventItem) (*SessionStateResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -180,19 +238,35 @@ func (st *sessionStore) feed(s *session, items []EventItem) (*SessionStateRespon
 	var rej *RejectInfo
 	for i, it := range items {
 		wasAccepted := s.runner.Accepted()
-		accepted, ok := s.runner.Feed(event.Event{Time: it.Time, Type: event.Type(it.Type)})
+		ev := event.Event{Time: it.Time, Type: event.Type(it.Type)}
+		accepted, ok := s.runner.Feed(ev)
 		if !ok {
 			rej = &RejectInfo{Index: i, Reason: s.runner.LastReject().String()}
 			break
 		}
 		s.events++
+		s.sinceCkpt++
+		// The guard skips events already on disk: after an interrupted
+		// replay the runner lags the log, and re-appending the same event
+		// would duplicate it.
+		if s.log != nil && int64(s.events)-s.logStart > s.log.Len() {
+			if _, err := s.log.Append(ev); err != nil {
+				// Log storage failed (disk error, degraded store): degrade
+				// to checkpoint-per-feed rather than refusing feeds.
+				s.log.Close()
+				s.log = nil
+				st.counters.Count("server.sessions.log_degraded", 1)
+			}
+		}
 		if accepted && !wasAccepted {
 			s.acceptTime = it.Time
 			s.haveAcceptTime = true
 		}
 	}
-	if err := st.persist(s); err != nil {
-		return nil, err
+	if s.log == nil || rej != nil || s.sinceCkpt >= st.ckptEvery {
+		if err := st.persist(s); err != nil {
+			return nil, err
+		}
 	}
 	st.counters.Count("server.sessions.events", int64(len(items)))
 	resp := &SessionStateResponse{ID: s.id, Stream: s.streamLocked(), Rejected: rej}
@@ -237,13 +311,18 @@ func (st *sessionStore) persist(s *session) error {
 		Events:         s.events,
 		AcceptTime:     s.acceptTime,
 		HaveAcceptTime: s.haveAcceptTime,
+		LogStart:       s.logStart,
 		Checkpoint:     cp,
 	}
-	return cli.SaveCheckpoint(st.path(s.id), func(w io.Writer) error {
+	if err := cli.SaveCheckpoint(st.path(s.id), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&rec)
-	})
+	}); err != nil {
+		return err
+	}
+	s.sinceCkpt = 0
+	return nil
 }
 
 // checkpointAll persists every live session (the drain path; per-feed
@@ -267,57 +346,82 @@ func (st *sessionStore) checkpointAll() error {
 	return firstErr
 }
 
-// restore reloads every session record from disk into a live runner. A
-// record that no longer validates (foreign fingerprint, changed build) is
-// skipped with a log line rather than taking the daemon down; its file is
-// left in place for inspection.
-func (st *sessionStore) restore(logger *log.Logger) error {
+// restore reloads every session record from disk into a live runner and
+// replays each session's event-log tail past its last checkpoint. A record
+// that fails to decode is quarantined to <name>.corrupt; one that no
+// longer validates (foreign fingerprint, changed build) is skipped with a
+// log line rather than taking the daemon down, its file left in place for
+// inspection. Event-log directories whose record is gone (a close or
+// failed create that crashed between the two deletes) are swept away.
+// It reports the aggregate log recovery, how many sessions came back, and
+// how many events were replayed from logs.
+func (st *sessionStore) restore(logger *log.Logger) (agg store.Recovery, restored int, replayed int64, err error) {
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
-		return err
+		return agg, 0, 0, err
 	}
-	names := make([]string, 0, len(entries))
+	var names, logDirs []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+		switch {
+		case !e.IsDir() && strings.HasSuffix(e.Name(), ".json"):
 			names = append(names, e.Name())
+		case e.IsDir() && strings.HasSuffix(e.Name(), ".events"):
+			logDirs = append(logDirs, e.Name())
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := st.restoreOne(name); err != nil {
-			logger.Printf("session record %s not restored: %v", name, err)
+		rec, n, rerr := st.restoreOne(name, logger)
+		agg.Add(rec)
+		replayed += n
+		if rerr != nil {
+			logger.Printf("session record %s not restored: %v", name, rerr)
 			continue
 		}
+		restored++
 	}
-	return nil
+	for _, d := range logDirs {
+		id := strings.TrimSuffix(d, ".events")
+		if _, serr := os.Stat(st.path(id)); serr == nil {
+			continue
+		}
+		// Keep the log when its record was quarantined — it is evidence.
+		if _, serr := os.Stat(st.path(id) + ".corrupt"); serr == nil {
+			continue
+		}
+		os.RemoveAll(filepath.Join(st.dir, d))
+	}
+	return agg, restored, replayed, nil
 }
 
-func (st *sessionStore) restoreOne(name string) error {
-	f, err := os.Open(filepath.Join(st.dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+func (st *sessionStore) restoreOne(name string, logger *log.Logger) (store.Recovery, int64, error) {
+	path := filepath.Join(st.dir, name)
 	var rec sessionRecord
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rec); err != nil {
-		return err
+	loaded, err := cli.LoadCheckpoint(path, func(r io.Reader) error {
+		dec := json.NewDecoder(r)
+		dec.DisallowUnknownFields()
+		return dec.Decode(&rec)
+	})
+	if err != nil {
+		return store.Recovery{}, 0, err
+	}
+	if !loaded {
+		return store.Recovery{}, 0, fmt.Errorf("record vanished during restore")
 	}
 	if rec.Version != sessionRecordVersion {
-		return fmt.Errorf("session record version %d, this build reads %d", rec.Version, sessionRecordVersion)
+		return store.Recovery{}, 0, fmt.Errorf("session record version %d, this build reads %d", rec.Version, sessionRecordVersion)
 	}
 	ct, err := rec.Spec.ComplexType()
 	if err != nil {
-		return err
+		return store.Recovery{}, 0, err
 	}
 	auto, err := tag.Compile(ct)
 	if err != nil {
-		return err
+		return store.Recovery{}, 0, err
 	}
 	runner, err := tag.RestoreRunner(auto, st.sys, st.runOptions(rec.Strict, rec.MaxFrontier, rec.Budget), &rec.Checkpoint)
 	if err != nil {
-		return err
+		return store.Recovery{}, 0, err
 	}
 	s := &session{
 		id:             rec.ID,
@@ -330,18 +434,131 @@ func (st *sessionStore) restoreOne(name string) error {
 		events:         rec.Events,
 		acceptTime:     rec.AcceptTime,
 		haveAcceptTime: rec.HaveAcceptTime,
+		logStart:       rec.LogStart,
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, dup := st.sessions[rec.ID]; dup {
-		return fmt.Errorf("duplicate session id %s", rec.ID)
+	_, dup := st.sessions[rec.ID]
+	st.mu.Unlock()
+	if dup {
+		return store.Recovery{}, 0, fmt.Errorf("duplicate session id %s", rec.ID)
 	}
+	srec, replayed, err := st.attachAndReplay(s, logger)
+	if err != nil {
+		return srec, replayed, err
+	}
+	st.mu.Lock()
 	st.sessions[rec.ID] = s
 	if n := idNumber(rec.ID, "s"); n >= st.nextID {
 		st.nextID = n + 1
 	}
+	st.mu.Unlock()
 	st.counters.Count("server.sessions.restored", 1)
-	return nil
+	return srec, replayed, nil
+}
+
+// attachAndReplay opens the session's event log and feeds the tail past
+// the checkpoint's coverage back into the runner. A log that is degraded
+// or shorter than what the checkpoint covers cannot be trusted to extend
+// the session: it is set aside as <id>.events.damaged and a fresh log
+// starts at the current event count — the checkpoint itself is intact, so
+// nothing acknowledged is lost, only unreplayable tail evidence moves
+// aside. With logging disabled, a leftover log is replayed once into a
+// covering checkpoint and then removed.
+func (st *sessionStore) attachAndReplay(s *session, logger *log.Logger) (store.Recovery, int64, error) {
+	dir := st.logDir(s.id)
+	if st.noLog {
+		if _, err := os.Stat(dir); err != nil {
+			return store.Recovery{}, 0, nil
+		}
+		lg, rec, err := store.Open(dir, st.logOptions())
+		if err != nil {
+			return store.Recovery{}, 0, err
+		}
+		replayed, rerr := st.replay(s, lg)
+		lg.Close()
+		if rerr != nil {
+			return rec, replayed, rerr
+		}
+		// The checkpoint must cover the replayed events before the log —
+		// their only other durable copy — is dropped.
+		if err := st.persist(s); err != nil {
+			return rec, replayed, err
+		}
+		s.logStart = 0
+		os.RemoveAll(dir)
+		return rec, replayed, nil
+	}
+
+	lg, rec, err := store.Open(dir, st.logOptions())
+	if err != nil {
+		return store.Recovery{}, 0, err
+	}
+	expected := int64(s.events) - s.logStart
+	degraded, _ := lg.Degraded()
+	have := lg.Len()
+	if degraded || expected < 0 || have < expected {
+		lg.Close()
+		damaged := dir + ".damaged"
+		os.RemoveAll(damaged)
+		if rerr := os.Rename(dir, damaged); rerr != nil {
+			return rec, 0, fmt.Errorf("setting aside unusable event log: %w", rerr)
+		}
+		cli.SyncDir(st.dir)
+		logger.Printf("session %s: event log unusable (degraded=%v, %d record(s) where the checkpoint covers %d); moved to %s",
+			s.id, degraded, have, expected, filepath.Base(damaged))
+		st.counters.Count("server.sessions.log_reset", 1)
+		fresh, frec, err := store.Open(dir, st.logOptions())
+		rec.Add(frec)
+		if err != nil {
+			st.counters.Count("server.sessions.log_degraded", 1)
+		} else {
+			s.log = fresh
+		}
+		s.logStart = int64(s.events)
+		if err := st.persist(s); err != nil {
+			logger.Printf("session %s: checkpoint after log reset failed: %v", s.id, err)
+		}
+		return rec, 0, nil
+	}
+	s.log = lg
+	replayed, rerr := st.replay(s, lg)
+	if rerr != nil {
+		lg.Close()
+		s.log = nil
+		return rec, replayed, rerr
+	}
+	if replayed > 0 {
+		if err := st.persist(s); err != nil {
+			logger.Printf("session %s: checkpoint after replay failed: %v", s.id, err)
+		}
+	}
+	return rec, replayed, nil
+}
+
+// replay feeds the log records past the checkpoint's coverage into the
+// runner. Replay stops at the first refused event (an interrupted runner
+// keeps the rest of the tail on disk for the next restart — the feed path
+// never re-appends events the log already holds).
+func (st *sessionStore) replay(s *session, lg *store.Store) (int64, error) {
+	recs, err := lg.ReadFrom(int64(s.events) - s.logStart)
+	if err != nil {
+		return 0, err
+	}
+	var replayed int64
+	for _, r := range recs {
+		wasAccepted := s.runner.Accepted()
+		accepted, ok := s.runner.Feed(r.Event)
+		if !ok {
+			break
+		}
+		s.events++
+		replayed++
+		if accepted && !wasAccepted {
+			s.acceptTime = r.Event.Time
+			s.haveAcceptTime = true
+		}
+	}
+	return replayed, nil
 }
 
 // idNumber extracts the numeric suffix of a "<prefix>NNNNNN" id (0 when

@@ -1,0 +1,131 @@
+// Package store is the durable, crash-safe, append-only event log behind
+// tempod's sessions and mining jobs: segment files of CRC32C-checksummed,
+// length-prefixed records, a sparse per-granularity tick index per segment
+// (spans computed through granularity.System's periodic tables), and an
+// atomically-replaced manifest. All I/O goes through the FS interface so
+// the same code runs against the real filesystem (DirFS) and against the
+// deterministic fault-injecting in-memory filesystem (MemFS) the crash
+// sweep drives: the recovery guarantees are property-tested at every
+// write/sync/rename, not argued.
+//
+// Durability discipline (the contract recovery relies on):
+//
+//   - record data is appended to the tail segment and fsynced before an
+//     Append returns (SyncEvery batches acknowledged-but-unsynced appends
+//     explicitly, for callers that batch);
+//   - new files (segments, indexes) are created, filled, fsynced, and then
+//     their directory entry is fsynced — rename alone does not survive
+//     power loss;
+//   - the manifest is replaced via temp + fsync + rename + dir fsync, so
+//     it is always either the old or the new one, never a torn mix.
+//
+// Recovery scans the tail segment record by record, truncates at the
+// first torn or corrupt record, and quarantines undecodable sealed
+// segments into read-only degraded mode instead of refusing to start.
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle surface the store needs: sequential reads and
+// appends, plus explicit durability. *os.File implements it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// FS is the filesystem surface the store runs on. Paths are slash-joined
+// absolute or relative names exactly as the host filesystem understands
+// them; the store only ever touches files inside its own directory.
+//
+// Implementations: DirFS (the real filesystem) and MemFS (in-memory, with
+// deterministic fault injection and simulated crashes for the chaos
+// harness).
+type FS interface {
+	// OpenFile opens name with os-style flags (the store uses O_RDONLY,
+	// O_WRONLY|O_CREATE|O_TRUNC and O_WRONLY|O_APPEND).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to size bytes (the recovery path's torn-tail
+	// repair).
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(name string, perm fs.FileMode) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(name string) ([]string, error)
+	// SyncDir flushes a directory entry table to stable storage; required
+	// after creates, renames and removes for the new entry to survive
+	// power loss.
+	SyncDir(name string) error
+	// Size returns a file's length in bytes.
+	Size(name string) (int64, error)
+}
+
+// DirFS is the production FS: a thin veneer over the os package.
+type DirFS struct{}
+
+// OpenFile opens the named file through os.OpenFile.
+func (DirFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames through os.Rename.
+func (DirFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove removes through os.Remove.
+func (DirFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate truncates through os.Truncate.
+func (DirFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll creates directories through os.MkdirAll.
+func (DirFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+// ReadDir lists a directory's file names, sorted.
+func (DirFS) ReadDir(name string) ([]string, error) {
+	entries, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir fsyncs a directory.
+func (DirFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Size stats a file.
+func (DirFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// dirOf is the parent directory of a path, for SyncDir calls.
+func dirOf(path string) string { return filepath.Dir(path) }

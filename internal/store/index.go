@@ -1,0 +1,206 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// The sparse per-granularity tick index. For every indexed granularity,
+// a segment carries one entry per distinct granule ("tick") observed in
+// its records: the tick, the segment-relative record ordinal of the first
+// record in that tick, and its byte offset. Ticks are computed through
+// granularity.System's periodic tables (System.Ticker), so on the hot
+// append path an index update is O(1) span arithmetic. The index is
+// derived data: a missing or corrupt sidecar is rebuilt by scanning the
+// segment, never trusted and never fatal.
+//
+// Sidecar file (seg-<base>.idx):
+//
+//	magic "TIDX1" (5 bytes) | version (1 byte)
+//	payloadLen (4 bytes LE) | crc32c(payload) (4 bytes LE) | payload
+//
+// Payload:
+//
+//	uvarint granCount, then per granularity:
+//	    uvarint len(name), name bytes, uvarint entryCount,
+//	    then per entry: uvarint tick, uvarint record, uvarint offset
+
+// tickEntry marks the first record of one granule within a segment.
+type tickEntry struct {
+	Tick int64 // granule number (>= 1)
+	Rec  int64 // segment-relative record ordinal (0-based)
+	Off  int64 // byte offset of the record in the segment file
+}
+
+// segIndex is one segment's sparse index: granularity name -> entries in
+// ascending tick (== ascending record) order.
+type segIndex map[string][]tickEntry
+
+// encodeIndex renders a segment index as a sidecar file image.
+func encodeIndex(idx segIndex) []byte {
+	names := make([]string, 0, len(idx))
+	for name := range idx {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var payload []byte
+	var b [binary.MaxVarintLen64]byte
+	putUv := func(v int64) {
+		n := binary.PutUvarint(b[:], uint64(v))
+		payload = append(payload, b[:n]...)
+	}
+	putUv(int64(len(names)))
+	for _, name := range names {
+		putUv(int64(len(name)))
+		payload = append(payload, name...)
+		entries := idx[name]
+		putUv(int64(len(entries)))
+		for _, e := range entries {
+			putUv(e.Tick)
+			putUv(e.Rec)
+			putUv(e.Off)
+		}
+	}
+
+	out := append([]byte(nil), idxMagic...)
+	out = append(out, segVersion)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	out = append(out, hdr[:]...)
+	return append(out, payload...)
+}
+
+// decodeIndex parses a sidecar image. Any violation returns an error; the
+// caller rebuilds from the segment instead.
+func decodeIndex(data []byte) (segIndex, error) {
+	if len(data) < 6+8 {
+		return nil, fmt.Errorf("%w: index file short", ErrTorn)
+	}
+	if string(data[:5]) != string(idxMagic) {
+		return nil, fmt.Errorf("%w: bad index magic %q", ErrCorrupt, data[:5])
+	}
+	if data[5] != segVersion {
+		return nil, fmt.Errorf("%w: index version %d", ErrCorrupt, data[5])
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[6:10]))
+	wantCRC := binary.LittleEndian.Uint32(data[10:14])
+	if payloadLen != len(data)-14 {
+		return nil, fmt.Errorf("%w: index payload length %d of %d", ErrTorn, payloadLen, len(data)-14)
+	}
+	payload := data[14:]
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return nil, fmt.Errorf("%w: index crc mismatch", ErrCorrupt)
+	}
+
+	pos := 0
+	getUv := func() (int64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 || v > 1<<62 {
+			return 0, fmt.Errorf("%w: bad index varint", ErrCorrupt)
+		}
+		pos += n
+		return int64(v), nil
+	}
+	nGrans, err := getUv()
+	if err != nil || nGrans > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible granularity count", ErrCorrupt)
+	}
+	idx := segIndex{}
+	for g := int64(0); g < nGrans; g++ {
+		nameLen, err := getUv()
+		if err != nil || nameLen > maxTypeLen || pos+int(nameLen) > len(payload) {
+			return nil, fmt.Errorf("%w: bad index name", ErrCorrupt)
+		}
+		name := string(payload[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		nEntries, err := getUv()
+		if err != nil || nEntries > 1<<30 {
+			return nil, fmt.Errorf("%w: implausible entry count", ErrCorrupt)
+		}
+		entries := make([]tickEntry, 0, nEntries)
+		var prev tickEntry
+		for i := int64(0); i < nEntries; i++ {
+			var e tickEntry
+			if e.Tick, err = getUv(); err != nil {
+				return nil, err
+			}
+			if e.Rec, err = getUv(); err != nil {
+				return nil, err
+			}
+			if e.Off, err = getUv(); err != nil {
+				return nil, err
+			}
+			if i > 0 && (e.Tick <= prev.Tick || e.Rec <= prev.Rec || e.Off <= prev.Off) {
+				return nil, fmt.Errorf("%w: index entries not ascending", ErrCorrupt)
+			}
+			prev = e
+			entries = append(entries, e)
+		}
+		idx[name] = entries
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%w: trailing index bytes", ErrCorrupt)
+	}
+	return idx, nil
+}
+
+// buildIndex computes a segment's index from its scanned events, using
+// the store's resolved tickers.
+func (s *Store) buildIndex(sc ScanResult) segIndex {
+	idx := segIndex{}
+	if len(s.tickers) == 0 {
+		return idx
+	}
+	off := int64(segHeaderSize)
+	last := map[string]int64{}
+	for rec, ev := range sc.Events {
+		for name, tick := range s.ticks(ev.Time) {
+			if prev, ok := last[name]; !ok || tick != prev {
+				idx[name] = append(idx[name], tickEntry{Tick: tick, Rec: int64(rec), Off: off})
+				last[name] = tick
+			}
+		}
+		off += recordSize(ev)
+	}
+	return idx
+}
+
+// ticks maps a timestamp to its granule in every indexed granularity
+// (granularities not covering the second are omitted).
+func (s *Store) ticks(t int64) map[string]int64 {
+	out := make(map[string]int64, len(s.tickers))
+	for name, tick := range s.tickers {
+		if z, ok := tick(t); ok {
+			out[name] = z
+		}
+	}
+	return out
+}
+
+// writeIndexFile persists a segment's sidecar: create, write, fsync, and
+// fsync the directory. Sidecars are advisory, so the caller may treat
+// failures as non-fatal.
+func (s *Store) writeIndexFile(name string, idx segIndex) error {
+	path := s.join(name)
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeIndex(idx)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fsys.SyncDir(s.dir)
+}

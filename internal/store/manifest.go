@@ -1,0 +1,101 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The manifest (manifest.json) records the sealed segments a store has
+// vouched for: once a segment is sealed its bytes never change, so a
+// manifest entry whose byte count matches the file on disk lets recovery
+// skip the full scan for that segment. The manifest is advisory — it is
+// always either an old or a new complete copy (temp + fsync + rename +
+// dir fsync), and when it is missing, stale or corrupt, recovery falls
+// back to scanning everything. The tail segment is never vouched: it is
+// scanned record by record on every open regardless.
+
+const (
+	manifestName    = "manifest.json"
+	manifestTmpName = "manifest.json.tmp"
+	manifestVersion = 1
+)
+
+// manifestSegment is one sealed segment's vouched shape.
+type manifestSegment struct {
+	Name     string `json:"name"`
+	Base     int64  `json:"base"`
+	Records  int64  `json:"records"`
+	Bytes    int64  `json:"bytes"`
+	LastTime int64  `json:"last_time"`
+}
+
+// manifest is the on-disk manifest document.
+type manifest struct {
+	Version  int               `json:"version"`
+	Segments []manifestSegment `json:"segments"`
+}
+
+// readFile slurps a file through the store's FS. A missing file returns
+// (nil, fs-level error) for the caller to classify via os.IsNotExist.
+func readFile(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// loadManifest reads and decodes the manifest. ok is false — with a nil
+// error — when the manifest is missing or undecodable; recovery then
+// rebuilds it from a full scan.
+func loadManifest(fsys FS, dir string) (m manifest, ok bool) {
+	data, err := readFile(fsys, dir+"/"+manifestName)
+	if err != nil {
+		return manifest{}, false
+	}
+	if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion {
+		return manifest{}, false
+	}
+	prevEnd := int64(-1)
+	for _, seg := range m.Segments {
+		if seg.Base < 0 || seg.Records < 0 || seg.Bytes < segHeaderSize || seg.Base < prevEnd {
+			return manifest{}, false
+		}
+		prevEnd = seg.Base + seg.Records
+	}
+	return m, true
+}
+
+// writeManifest atomically replaces the manifest: temp file, fsync,
+// rename over the live name, directory fsync.
+func writeManifest(fsys FS, dir string, m manifest) error {
+	m.Version = manifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := dir + "/" + manifestTmpName
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, dir+"/"+manifestName); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,586 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Op names a class of mutating filesystem operation for fault planning.
+type Op string
+
+// The mutating operations MemFS counts. OpAny matches all of them.
+const (
+	OpAny     Op = ""
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpRename  Op = "rename"
+	OpCreate  Op = "create"
+	OpRemove  Op = "remove"
+	OpTrunc   Op = "truncate"
+	OpSyncDir Op = "syncdir"
+)
+
+// FaultMode selects what happens when a fault trips.
+type FaultMode int
+
+const (
+	// FaultError makes the tripped operation return ErrInjected without
+	// applying; the filesystem stays alive (a transient I/O error).
+	FaultError FaultMode = iota
+	// FaultCrash simulates the process dying at the tripped operation: the
+	// op applies partially (a write keeps a seeded prefix of its bytes),
+	// every later operation returns ErrCrashed, and Recover() then settles
+	// the disk to what would have survived the power loss — synced data
+	// plus a seeded, possibly torn, prefix of each file's unsynced tail,
+	// minus directory entries whose directories were never fsynced.
+	FaultCrash
+)
+
+// Fault is a deterministic filesystem fault plan, seeded in the style of
+// engine.FaultPlan: the Nth operation of kind Op trips, and Seed drives
+// every "how much survived" decision reproducibly.
+type Fault struct {
+	Op   Op
+	Nth  int64 // 1-based; <= 0 disables the plan
+	Mode FaultMode
+	Seed int64
+}
+
+// ErrInjected is returned by an operation tripped in FaultError mode.
+var ErrInjected = errors.New("store: injected fault")
+
+// ErrCrashed is returned by every operation after a FaultCrash tripped
+// (the process is "dead"); call Recover to settle the disk and reopen.
+var ErrCrashed = errors.New("store: filesystem crashed")
+
+// memFile is one file's state: its live content and the prefix length
+// guaranteed durable (grown by Sync).
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+func (f *memFile) clone() *memFile {
+	return &memFile{data: append([]byte(nil), f.data...), synced: f.synced}
+}
+
+// durable returns the content that survives a crash: the synced prefix
+// plus a seeded portion of the unsynced tail — possibly with its final
+// byte torn (bit-flipped), as a real partial sector write would leave it.
+func (f *memFile) durable(seed int64, path string) []byte {
+	unsynced := len(f.data) - f.synced
+	if unsynced <= 0 {
+		return append([]byte(nil), f.data[:f.synced]...)
+	}
+	h := uint64(seed)
+	for _, c := range path {
+		h = h*1099511628211 + uint64(c)
+	}
+	keep := int(uint64(engine.SplitMix64(h)) % uint64(unsynced+1))
+	out := append([]byte(nil), f.data[:f.synced+keep]...)
+	// One crash in three tears the last kept unsynced byte.
+	if keep > 0 && engine.SplitMix64(h^0xdead)%3 == 0 {
+		out[len(out)-1] ^= 0x5a
+	}
+	return out
+}
+
+// dirOp journals one unsynced directory mutation so a crash can revert it.
+type dirOp struct {
+	kind     Op
+	name     string   // created/removed name, or rename destination
+	oldName  string   // rename source
+	prev     *memFile // durable snapshot of the entry the op destroyed
+	prevOld  *memFile // durable snapshot of a rename's source
+	prevSeed int64
+}
+
+// MemFS is the deterministic in-memory filesystem behind the crash sweep.
+// It tracks, per file, which prefix has been fsynced, and per directory,
+// which entry mutations (creates, renames, removes) have not yet been
+// made durable by SyncDir — exactly the state a power loss erases. A
+// Fault plan trips the Nth operation of a kind with either a transient
+// error or a simulated crash; Recover then settles the disk to a
+// legal post-crash state derived from the seed, so every recovery claim
+// can be tested against every reachable crash state.
+//
+// MemFS is safe for concurrent use, though the store serializes anyway.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool     // existing directories
+	journal map[string][]*dirOp // unsynced entry ops per directory
+	counts  map[Op]int64
+	fault   *Fault
+	tripped bool
+	crashed bool
+}
+
+// NewMemFS builds an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   map[string]*memFile{},
+		dirs:    map[string]bool{"": true, ".": true, "/": true},
+		journal: map[string][]*dirOp{},
+		counts:  map[Op]int64{},
+	}
+}
+
+// SetFault installs (or clears, with nil) the fault plan. Counters are
+// not reset; use OpCount to aim Nth at an absolute operation index.
+func (m *MemFS) SetFault(f *Fault) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fault = f
+	m.tripped = false
+}
+
+// OpCount reports how many operations of kind op have run (OpAny: all).
+func (m *MemFS) OpCount(op Op) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if op == OpAny {
+		var n int64
+		for _, c := range m.counts {
+			n += c
+		}
+		return n
+	}
+	return m.counts[op]
+}
+
+// Crashed reports whether a FaultCrash has tripped (or CrashNow ran).
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// CrashNow kills the filesystem immediately, as a tripped FaultCrash
+// would, using seed for the Recover decisions.
+func (m *MemFS) CrashNow(seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = true
+	m.fault = &Fault{Mode: FaultCrash, Seed: seed}
+	m.tripped = true
+}
+
+// step counts one operation of kind op and reports what the fault plan
+// wants: inject an error, crash, or proceed. Callers hold m.mu.
+func (m *MemFS) step(op Op) (injectErr, crash bool) {
+	if m.crashed {
+		return false, true
+	}
+	m.counts[op]++
+	f := m.fault
+	if f == nil || m.tripped || f.Nth <= 0 {
+		return false, false
+	}
+	if f.Op != OpAny && f.Op != op {
+		return false, false
+	}
+	var n int64
+	if f.Op == OpAny {
+		for _, c := range m.counts {
+			n += c
+		}
+	} else {
+		n = m.counts[op]
+	}
+	if n != f.Nth {
+		return false, false
+	}
+	m.tripped = true
+	if f.Mode == FaultError {
+		return true, false
+	}
+	m.crashed = true
+	return false, true
+}
+
+// seed returns the active fault seed (0 when no plan is installed).
+func (m *MemFS) seed() int64 {
+	if m.fault != nil {
+		return m.fault.Seed
+	}
+	return 0
+}
+
+// Recover settles the disk to a post-crash state and revives the
+// filesystem: every file keeps its durable content (synced prefix plus a
+// seeded, possibly torn, portion of the unsynced tail), and for each
+// directory a seeded number of its oldest unsynced entry ops survive
+// while the rest revert — a created file vanishes, a rename un-happens
+// (restoring what it overwrote), a removed file reappears. Counters and
+// the fault plan are cleared so the caller can reopen the store and keep
+// injecting.
+func (m *MemFS) Recover() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seed := m.seed()
+
+	// Revert a seeded suffix of each directory's unsynced entry ops, newest
+	// first (undo order matters for chains like create→rename).
+	dirNames := make([]string, 0, len(m.journal))
+	for d := range m.journal {
+		dirNames = append(dirNames, d)
+	}
+	sort.Strings(dirNames)
+	for _, d := range dirNames {
+		ops := m.journal[d]
+		if len(ops) == 0 {
+			continue
+		}
+		h := uint64(seed) ^ 0xfeed
+		for _, c := range d {
+			h = h*1099511628211 + uint64(c)
+		}
+		keep := int(uint64(engine.SplitMix64(h)) % uint64(len(ops)+1))
+		for i := len(ops) - 1; i >= keep; i-- {
+			m.revert(ops[i])
+		}
+	}
+
+	// Settle every surviving file to its durable content.
+	for path, f := range m.files {
+		data := f.durable(seed, path)
+		f.data = data
+		f.synced = len(data)
+	}
+	m.journal = map[string][]*dirOp{}
+	m.counts = map[Op]int64{}
+	m.fault = nil
+	m.tripped = false
+	m.crashed = false
+}
+
+// revert undoes one journaled directory op. Callers hold m.mu.
+func (m *MemFS) revert(op *dirOp) {
+	switch op.kind {
+	case OpCreate:
+		delete(m.files, op.name)
+	case OpRename:
+		if f, ok := m.files[op.name]; ok {
+			m.files[op.oldName] = f
+		} else if op.prevOld != nil {
+			m.files[op.oldName] = op.prevOld
+		}
+		if op.prev != nil {
+			m.files[op.name] = op.prev
+		} else {
+			delete(m.files, op.name)
+		}
+	case OpRemove:
+		if op.prev != nil {
+			m.files[op.name] = op.prev
+		}
+	}
+}
+
+// journalOp records an unsynced entry mutation in the parent's journal.
+func (m *MemFS) journalOp(op *dirOp, path string) {
+	d := dirOf(path)
+	m.journal[d] = append(m.journal[d], op)
+}
+
+// durableSnapshot captures what a file would retain across a crash at
+// this moment (for journal undo records).
+func (m *MemFS) durableSnapshot(f *memFile) *memFile {
+	if f == nil {
+		return nil
+	}
+	return &memFile{data: append([]byte(nil), f.data[:f.synced]...), synced: f.synced}
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs     *MemFS
+	path   string
+	f      *memFile
+	pos    int
+	append bool
+	write  bool
+	closed bool
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, exists := m.files[name]
+	creating := flag&os.O_CREATE != 0 && (!exists || flag&os.O_TRUNC != 0)
+	if creating {
+		if inject, crash := m.step(OpCreate); inject {
+			return nil, fmt.Errorf("creating %s: %w", name, ErrInjected)
+		} else if crash {
+			return nil, ErrCrashed
+		}
+		if !m.dirs[dirOf(name)] {
+			return nil, fmt.Errorf("open %s: %w", name, fs.ErrNotExist)
+		}
+		prev := m.durableSnapshot(f)
+		f = &memFile{}
+		m.files[name] = f
+		if exists {
+			// O_TRUNC of an existing file: journal as a remove + create so a
+			// crash can restore the old durable content.
+			m.journalOp(&dirOp{kind: OpRemove, name: name, prev: prev}, name)
+		}
+		m.journalOp(&dirOp{kind: OpCreate, name: name}, name)
+	} else if !exists {
+		return nil, fmt.Errorf("open %s: %w", name, fs.ErrNotExist)
+	}
+	h := &memHandle{fs: m, path: name, f: f, append: flag&os.O_APPEND != 0,
+		write: flag&(os.O_WRONLY|os.O_RDWR|os.O_APPEND) != 0}
+	if h.append {
+		h.pos = len(f.data)
+	}
+	return h, nil
+}
+
+// Read implements io.Reader.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.pos >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+// Write implements io.Writer; a tripped crash applies a seeded prefix of
+// the write (the torn write) before the filesystem dies.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if !h.write {
+		return 0, fmt.Errorf("write %s: read-only handle", h.path)
+	}
+	inject, crash := h.fs.step(OpWrite)
+	if inject {
+		return 0, fmt.Errorf("writing %s: %w", h.path, ErrInjected)
+	}
+	if h.append {
+		h.pos = len(h.f.data)
+	}
+	if crash {
+		part := int(uint64(engine.SplitMix64(uint64(h.fs.seed())^uint64(len(h.f.data)))) % uint64(len(p)+1))
+		h.f.data = append(h.f.data[:h.pos], p[:part]...)
+		return 0, ErrCrashed
+	}
+	h.f.data = append(h.f.data[:h.pos], p...)
+	h.pos += len(p)
+	return len(p), nil
+}
+
+// Sync marks the file's current content durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	inject, crash := h.fs.step(OpSync)
+	if inject {
+		return fmt.Errorf("syncing %s: %w", h.path, ErrInjected)
+	}
+	if crash {
+		// Died inside fsync: nothing further is promised durable.
+		return ErrCrashed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+// Close implements io.Closer (no durability implied).
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	inject, crash := m.step(OpRename)
+	if inject {
+		return fmt.Errorf("renaming %s: %w", oldname, ErrInjected)
+	}
+	if crash {
+		return ErrCrashed
+	}
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	op := &dirOp{
+		kind:    OpRename,
+		name:    newname,
+		oldName: oldname,
+		prev:    m.durableSnapshot(m.files[newname]),
+		prevOld: m.durableSnapshot(f),
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	m.journalOp(op, newname)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	inject, crash := m.step(OpRemove)
+	if inject {
+		return fmt.Errorf("removing %s: %w", name, ErrInjected)
+	}
+	if crash {
+		return ErrCrashed
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("remove %s: %w", name, fs.ErrNotExist)
+	}
+	m.journalOp(&dirOp{kind: OpRemove, name: name, prev: m.durableSnapshot(f)}, name)
+	delete(m.files, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	inject, crash := m.step(OpTrunc)
+	if inject {
+		return fmt.Errorf("truncating %s: %w", name, ErrInjected)
+	}
+	if crash {
+		return ErrCrashed
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("truncate %s: %w", name, fs.ErrNotExist)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("truncate %s to %d: out of range", name, size)
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// MkdirAll implements FS. Directory creation is journaled implicitly via
+// the files inside; directories themselves always survive (the store
+// creates its directory once, before any data it cares about).
+func (m *MemFS) MkdirAll(name string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	for p := name; p != "" && p != "." && p != "/"; p = dirOf(p) {
+		m.dirs[p] = true
+		if dirOf(p) == p {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(name string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if !m.dirs[name] {
+		return nil, fmt.Errorf("readdir %s: %w", name, fs.ErrNotExist)
+	}
+	var names []string
+	for p := range m.files {
+		if dirOf(p) == name {
+			names = append(names, strings.TrimPrefix(p[len(name):], "/"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir makes a directory's current entry table durable: the journal of
+// unsynced creates, renames and removes under it is cleared.
+func (m *MemFS) SyncDir(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	inject, crash := m.step(OpSyncDir)
+	if inject {
+		return fmt.Errorf("syncing dir %s: %w", name, ErrInjected)
+	}
+	if crash {
+		return ErrCrashed
+	}
+	delete(m.journal, name)
+	return nil
+}
+
+// Size implements FS.
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("stat %s: %w", name, fs.ErrNotExist)
+	}
+	return int64(len(f.data)), nil
+}

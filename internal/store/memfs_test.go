@@ -1,0 +1,261 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func writeBytes(t *testing.T, fsys FS, path string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readBytes(t *testing.T, fsys FS, path string) []byte {
+	t.Helper()
+	data, err := readFile(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestMemFSBasics(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeBytes(t, m, "a/b/x", []byte("hello"), true)
+	if got := string(readBytes(t, m, "a/b/x")); got != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	if size, _ := m.Size("a/b/x"); size != 5 {
+		t.Fatalf("Size = %d", size)
+	}
+	names, err := m.ReadDir("a/b")
+	if err != nil || len(names) != 1 || names[0] != "x" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := m.Rename("a/b/x", "a/b/y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenFile("a/b/x", os.O_RDONLY, 0); err == nil {
+		t.Fatal("source survived rename")
+	}
+	if err := m.Remove("a/b/y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenFile("a/b/missing", os.O_RDONLY, 0); err == nil {
+		t.Fatal("opened a missing file")
+	}
+	// Append semantics.
+	writeBytes(t, m, "a/b/z", []byte("one"), true)
+	f, err := m.OpenFile("a/b/z", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("two"))
+	f.Close()
+	if got := string(readBytes(t, m, "a/b/z")); got != "onetwo" {
+		t.Fatalf("append produced %q", got)
+	}
+	// Reads hit EOF.
+	r, _ := m.OpenFile("a/b/z", os.O_RDONLY, 0)
+	io.ReadAll(r)
+	var one [1]byte
+	if _, err := r.Read(one[:]); err != io.EOF {
+		t.Fatalf("read past end: %v", err)
+	}
+}
+
+func TestMemFSFaultError(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	writeBytes(t, m, "d/a", []byte("abc"), true)
+	m.SetFault(&Fault{Op: OpWrite, Nth: m.OpCount(OpWrite) + 2, Mode: FaultError})
+	f, _ := m.OpenFile("d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	if _, err := f.Write([]byte("1")); err != nil {
+		t.Fatalf("write before Nth: %v", err)
+	}
+	if _, err := f.Write([]byte("2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Nth write: %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("3")); err != nil {
+		t.Fatalf("fault must trip once: %v", err)
+	}
+	f.Close()
+	if got := string(readBytes(t, m, "d/a")); got != "abc13" {
+		t.Fatalf("content %q: injected write must not apply", got)
+	}
+}
+
+func TestMemFSCrashDropsUnsynced(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	writeBytes(t, m, "d/a", []byte("synced."), true)
+	f, _ := m.OpenFile("d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("unsynced"))
+	f.Close()
+	m.SyncDir("d")
+	m.CrashNow(1)
+	if _, err := m.OpenFile("d/a", os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op on crashed fs: %v", err)
+	}
+	m.Recover()
+	got := readBytes(t, m, "d/a")
+	if len(got) < len("synced.") || string(got[:7]) != "synced." {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if len(got) > len("synced.unsynced") {
+		t.Fatalf("recovered more than written: %q", got)
+	}
+	// Different seeds must reach different keep decisions somewhere.
+	outcomes := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		m2 := NewMemFS()
+		m2.MkdirAll("d", 0o755)
+		writeBytes(t, m2, "d/a", []byte("synced."), true)
+		f, _ := m2.OpenFile("d/a", os.O_WRONLY|os.O_APPEND, 0o644)
+		f.Write([]byte("unsynced"))
+		f.Close()
+		m2.SyncDir("d")
+		m2.CrashNow(seed)
+		m2.Recover()
+		outcomes[len(readBytes(t, m2, "d/a"))] = true
+	}
+	if len(outcomes) < 2 {
+		t.Fatalf("20 seeds produced a single keep length: %v", outcomes)
+	}
+}
+
+func TestMemFSCrashRevertsUnsyncedDirOps(t *testing.T) {
+	// Seed 0 with one journaled op: keep ∈ {0, 1} deterministically; try a
+	// few seeds and require both behaviors observed across them.
+	reverted, kept := false, false
+	for seed := int64(0); seed < 30; seed++ {
+		m := NewMemFS()
+		m.MkdirAll("d", 0o755)
+		writeBytes(t, m, "d/new", []byte("x"), true) // create not dir-synced
+		m.CrashNow(seed)
+		m.Recover()
+		if _, err := m.OpenFile("d/new", os.O_RDONLY, 0); err != nil {
+			reverted = true
+		} else {
+			kept = true
+		}
+	}
+	if !reverted || !kept {
+		t.Fatalf("unsynced create: reverted=%v kept=%v — both must be reachable", reverted, kept)
+	}
+
+	// A dir-synced create always survives.
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	writeBytes(t, m, "d/new", []byte("x"), true)
+	m.SyncDir("d")
+	m.CrashNow(3)
+	m.Recover()
+	if _, err := m.OpenFile("d/new", os.O_RDONLY, 0); err != nil {
+		t.Fatalf("dir-synced create lost: %v", err)
+	}
+}
+
+func TestMemFSCrashRenameRevert(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := NewMemFS()
+		m.MkdirAll("d", 0o755)
+		writeBytes(t, m, "d/live", []byte("old-live"), true)
+		writeBytes(t, m, "d/tmp", []byte("new-content"), true)
+		m.SyncDir("d")
+		if err := m.Rename("d/tmp", "d/live"); err != nil {
+			t.Fatal(err)
+		}
+		// Crash before SyncDir: the rename may or may not have survived,
+		// but d/live must hold exactly one of the two complete contents —
+		// the atomic-replace guarantee the manifest depends on.
+		m.CrashNow(seed)
+		m.Recover()
+		got := string(readBytes(t, m, "d/live"))
+		if got != "old-live" && got != "new-content" {
+			t.Fatalf("seed %d: rename left torn state %q", seed, got)
+		}
+	}
+}
+
+func TestMemFSTruncate(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	writeBytes(t, m, "d/a", []byte("0123456789"), true)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate("d/a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readBytes(t, m, "d/a")); got != "0123" {
+		t.Fatalf("truncated to %q", got)
+	}
+	if err := m.Truncate("d/a", 100); err == nil {
+		t.Fatal("grow-truncate accepted")
+	}
+	// Synced watermark must not exceed the new length.
+	m.CrashNow(0)
+	m.Recover()
+	if got := string(readBytes(t, m, "d/a")); got != "0123" {
+		t.Fatalf("post-crash content %q", got)
+	}
+}
+
+func TestMemFSOpAnyFault(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	m.SetFault(&Fault{Op: OpAny, Nth: 3, Mode: FaultError})
+	writeBytes(t, m, "d/a", []byte("x"), false) // create(1) + write(2)
+	f, err := m.OpenFile("d/b", os.O_WRONLY|os.O_CREATE, 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd op: err=%v f=%v, want ErrInjected", err, f)
+	}
+}
+
+func TestDirFSImplementsContract(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = DirFS{}
+	if err := fsys.MkdirAll(dir+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeBytes(t, fsys, dir+"/sub/f", []byte("data"), true)
+	if err := fsys.SyncDir(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.ReadDir(dir + "/sub")
+	if err != nil || len(names) != 1 || names[0] != "f" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if size, err := fsys.Size(dir + "/sub/f"); err != nil || size != 4 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	if err := fsys.Truncate(dir+"/sub/f", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(dir+"/sub/f", dir+"/sub/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(dir + "/sub/g"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/event"
+)
+
+// On-disk formats.
+//
+// Segment file:
+//
+//	magic "TSEG1" (5 bytes) | version (1 byte) | baseIndex (8 bytes LE)
+//	record*
+//
+// Record:
+//
+//	payloadLen (4 bytes LE) | crc32c(payload) (4 bytes LE) | payload
+//
+// Record payload (one event):
+//
+//	uvarint time | uvarint len(type) | type bytes
+//
+// Times are absolute (no deltas): every record decodes on its own, so a
+// scan that stops at the first torn or corrupt record loses nothing
+// before it. CRC32C (Castagnoli) detects torn and bit-flipped payloads; a
+// torn length field is caught by the remaining-bytes and cap checks.
+
+var (
+	segMagic = []byte("TSEG1")
+	idxMagic = []byte("TIDX1")
+)
+
+const (
+	segVersion    = 1
+	segHeaderSize = 5 + 1 + 8
+	recHeaderSize = 8
+	// maxRecordPayload caps a single record; anything larger is corruption
+	// (event types are capped far below this).
+	maxRecordPayload = 1 << 16
+	// maxTypeLen mirrors the event binary codec's plausibility cap.
+	maxTypeLen = 4096
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn reports a record cut off by a torn write (recoverable: truncate
+// and continue). ErrCorrupt reports a record that is present but wrong
+// (CRC mismatch, malformed payload).
+var (
+	ErrTorn    = errors.New("store: torn record")
+	ErrCorrupt = errors.New("store: corrupt record")
+)
+
+// appendSegmentHeader appends a segment header for baseIndex to dst.
+func appendSegmentHeader(dst []byte, baseIndex int64) []byte {
+	dst = append(dst, segMagic...)
+	dst = append(dst, segVersion)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(baseIndex))
+	return append(dst, b[:]...)
+}
+
+// parseSegmentHeader reads a segment header, returning the base index.
+func parseSegmentHeader(data []byte) (baseIndex int64, err error) {
+	if len(data) < segHeaderSize {
+		return 0, fmt.Errorf("%w: segment header short (%d bytes)", ErrTorn, len(data))
+	}
+	if string(data[:5]) != string(segMagic) {
+		return 0, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, data[:5])
+	}
+	if data[5] != segVersion {
+		return 0, fmt.Errorf("%w: segment version %d, this build reads %d", ErrCorrupt, data[5], segVersion)
+	}
+	base := int64(binary.LittleEndian.Uint64(data[6:14]))
+	if base < 0 {
+		return 0, fmt.Errorf("%w: negative base index %d", ErrCorrupt, base)
+	}
+	return base, nil
+}
+
+// appendRecord appends one framed event record to dst.
+func appendRecord(dst []byte, ev event.Event) []byte {
+	var scratch [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(ev.Time))
+	n += binary.PutUvarint(scratch[n:], uint64(len(ev.Type)))
+	payloadLen := n + len(ev.Type)
+
+	var hdr [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	start := len(dst)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, scratch[:n]...)
+	dst = append(dst, ev.Type...)
+	crc := crc32.Checksum(dst[start+recHeaderSize:], crcTable)
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc)
+	return dst
+}
+
+// recordSize returns the framed size of an event record.
+func recordSize(ev event.Event) int64 {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(ev.Time))
+	n += binary.PutUvarint(scratch[:], uint64(len(ev.Type)))
+	return int64(recHeaderSize + n + len(ev.Type))
+}
+
+// uvarintLen is the minimal encoded length of v; decoding rejects padded
+// (non-minimal) varints so every record has exactly one byte encoding and
+// decode∘encode is the identity on valid prefixes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// parseRecord decodes the record at the head of data. It returns the
+// event and the framed length consumed. A short or overlong frame is
+// ErrTorn; a CRC or payload violation is ErrCorrupt.
+func parseRecord(data []byte) (ev event.Event, n int, err error) {
+	if len(data) < recHeaderSize {
+		return event.Event{}, 0, fmt.Errorf("%w: %d header bytes", ErrTorn, len(data))
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[0:4]))
+	if payloadLen > maxRecordPayload {
+		return event.Event{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, payloadLen)
+	}
+	if len(data) < recHeaderSize+payloadLen {
+		return event.Event{}, 0, fmt.Errorf("%w: payload needs %d bytes, have %d", ErrTorn, payloadLen, len(data)-recHeaderSize)
+	}
+	payload := data[recHeaderSize : recHeaderSize+payloadLen]
+	wantCRC := binary.LittleEndian.Uint32(data[4:8])
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return event.Event{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	t, m := binary.Uvarint(payload)
+	if m <= 0 || m != uvarintLen(t) || t == 0 || t > 1<<62 {
+		return event.Event{}, 0, fmt.Errorf("%w: bad timestamp", ErrCorrupt)
+	}
+	tl, k := binary.Uvarint(payload[m:])
+	if k <= 0 || k != uvarintLen(tl) || tl == 0 || tl > maxTypeLen {
+		return event.Event{}, 0, fmt.Errorf("%w: bad type length", ErrCorrupt)
+	}
+	if int(tl) != payloadLen-m-k {
+		return event.Event{}, 0, fmt.Errorf("%w: type length %d does not fill payload", ErrCorrupt, tl)
+	}
+	typ := string(payload[m+k:])
+	return event.Event{Time: int64(t), Type: event.Type(typ)}, recHeaderSize + payloadLen, nil
+}
+
+// ScanResult is one segment's decoded content plus where (and why) the
+// scan stopped.
+type ScanResult struct {
+	BaseIndex int64
+	Events    []event.Event
+	// Good is the byte length of the valid prefix (header + whole records).
+	Good int64
+	// Err is nil when the segment decoded to its end, ErrTorn/ErrCorrupt
+	// (wrapped, with detail) when the scan stopped early.
+	Err error
+}
+
+// ScanSegment decodes a whole segment image record by record, stopping at
+// the first torn or corrupt record. It never panics on arbitrary input.
+// A segment whose header itself is damaged reports Good == 0.
+func ScanSegment(data []byte) ScanResult {
+	res := ScanResult{}
+	base, err := parseSegmentHeader(data)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.BaseIndex = base
+	res.Good = segHeaderSize
+	off := int64(segHeaderSize)
+	prev := int64(0)
+	for off < int64(len(data)) {
+		ev, n, err := parseRecord(data[off:])
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if ev.Time < prev {
+			res.Err = fmt.Errorf("%w: timestamp %d after %d", ErrCorrupt, ev.Time, prev)
+			return res
+		}
+		prev = ev.Time
+		res.Events = append(res.Events, ev)
+		off += int64(n)
+		res.Good = off
+	}
+	return res
+}
+
+// EncodeSegment renders a segment image: header plus one record per
+// event. The inverse of ScanSegment for valid inputs.
+func EncodeSegment(baseIndex int64, events []event.Event) []byte {
+	out := appendSegmentHeader(nil, baseIndex)
+	for _, ev := range events {
+		out = appendRecord(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,744 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/granularity"
+)
+
+// Store is an append-only event log over segment files. See the package
+// comment for the on-disk format and the durability discipline. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	fsys FS
+	opts Options
+
+	segs     []*segment // ascending base; last is the tail when unsealed
+	tailFile File       // append handle for the tail, nil until first append
+	lastTime int64      // newest timestamp in the log (0 when empty)
+	unsynced int        // Append calls acknowledged but not yet fsynced
+	broken   error      // sticky append-path failure; reopen to clear
+
+	tickers  map[string]func(int64) (int64, bool)
+	lastTick map[string]int64 // last indexed tick per granularity, tail only
+
+	degraded []string // quarantined segment file names, read-only when set
+	closed   bool
+}
+
+// segment is the in-memory shape of one segment file.
+type segment struct {
+	name     string
+	base     int64 // global index of the segment's first record
+	records  int64
+	bytes    int64 // file length of the valid prefix, header included
+	lastTime int64
+	sealed   bool
+	idx      segIndex
+	idxOK    bool
+	events   []event.Event // cached decoded records (tail, or post-scan)
+	eventsOK bool
+}
+
+func (sg *segment) end() int64 { return sg.base + sg.records }
+
+// Options configures Open. The zero value is usable: real filesystem, no
+// tick indexes, 4 MiB segments, fsync on every append.
+type Options struct {
+	// FS is the filesystem; nil means the real one (DirFS).
+	FS FS
+	// System resolves the granularities named in Grans; required when
+	// Grans is non-empty.
+	System *granularity.System
+	// Grans lists the granularities to maintain sparse tick indexes for.
+	Grans []string
+	// SegmentMaxBytes rolls the tail to a new segment once it would exceed
+	// this many bytes (default 4 MiB). A single oversized batch still lands
+	// in one segment.
+	SegmentMaxBytes int64
+	// SyncEvery fsyncs after every Nth Append call; <= 1 means every call.
+	// With a larger stride callers must Sync explicitly before treating
+	// appends as durable.
+	SyncEvery int
+}
+
+// Recovery reports what Open had to do to reach a consistent state. It is
+// the payload of tempod's one-line startup recovery summary.
+type Recovery struct {
+	// SegmentsScanned counts segments decoded record by record (the tail
+	// always is; sealed segments only when the manifest could not vouch).
+	SegmentsScanned int
+	// RecordsReplayed counts records decoded during those scans.
+	RecordsReplayed int64
+	// BytesTruncated counts bytes cut from the tail (torn or corrupt
+	// suffix, or an unborn tail segment removed whole).
+	BytesTruncated int64
+	// Quarantined lists sealed segments renamed aside as undecodable; the
+	// store is read-only (degraded) when non-empty.
+	Quarantined []string
+	// ManifestRebuilt is set when segments existed but the manifest was
+	// missing, stale or corrupt and had to be reconstructed.
+	ManifestRebuilt bool
+	// Records is the live record count after recovery.
+	Records int64
+}
+
+// Summary renders the recovery as one log line.
+func (r Recovery) Summary() string {
+	s := fmt.Sprintf("recovered %d records (segments scanned %d, records replayed %d, bytes truncated %d)",
+		r.Records, r.SegmentsScanned, r.RecordsReplayed, r.BytesTruncated)
+	if len(r.Quarantined) > 0 {
+		s += fmt.Sprintf(", quarantined %d segment(s) — store degraded read-only", len(r.Quarantined))
+	}
+	if r.ManifestRebuilt {
+		s += ", manifest rebuilt"
+	}
+	return s
+}
+
+// Add merges another recovery into r — the aggregate a daemon reports when
+// it opens several logs at startup.
+func (r *Recovery) Add(o Recovery) {
+	r.SegmentsScanned += o.SegmentsScanned
+	r.RecordsReplayed += o.RecordsReplayed
+	r.BytesTruncated += o.BytesTruncated
+	r.Quarantined = append(r.Quarantined, o.Quarantined...)
+	r.ManifestRebuilt = r.ManifestRebuilt || o.ManifestRebuilt
+	r.Records += o.Records
+}
+
+// ErrDegraded reports an append on a store running degraded (a sealed
+// segment was quarantined at open); the log is readable but frozen.
+var ErrDegraded = errors.New("store: degraded (quarantined segment), read-only")
+
+const segPrefix, segSuffix, quarantineSuffix, idxSuffix = "seg-", ".log", ".quarantine", ".idx"
+
+// segName is the file name of the segment whose first record has global
+// index base. The base is in the name as well as the header so each is a
+// check on the other.
+func segName(base int64) string { return fmt.Sprintf("seg-%020d%s", base, segSuffix) }
+
+// idxName is the index sidecar name for a segment file name.
+func idxName(name string) string { return strings.TrimSuffix(name, segSuffix) + idxSuffix }
+
+// parseSegName extracts the base index from a segment file name.
+func parseSegName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(digits) != 20 {
+		return 0, false
+	}
+	base, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || base < 0 {
+		return 0, false
+	}
+	return base, true
+}
+
+func (s *Store) join(name string) string { return s.dir + "/" + name }
+
+// Open opens (or creates) the store in dir and runs recovery: sealed
+// segments the manifest vouches for (byte count matches disk) are
+// trusted; everything else is scanned record by record. The tail is
+// always scanned and truncated at the first torn or corrupt record. A
+// sealed segment that does not decode is renamed aside (".quarantine")
+// and the store comes up read-only. Open never refuses to start over
+// damage it can classify; it returns an error only for environmental
+// failures (I/O errors, bad Options).
+func Open(dir string, opts Options) (*Store, Recovery, error) {
+	if opts.FS == nil {
+		opts.FS = DirFS{}
+	}
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = 4 << 20
+	}
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	s := &Store{dir: dir, fsys: opts.FS, opts: opts, tickers: map[string]func(int64) (int64, bool){}, lastTick: map[string]int64{}}
+	for _, name := range opts.Grans {
+		if opts.System == nil {
+			return nil, Recovery{}, fmt.Errorf("store: granularity %q requested with nil System", name)
+		}
+		tick, ok := opts.System.Ticker(name)
+		if !ok {
+			return nil, Recovery{}, fmt.Errorf("store: unknown granularity %q", name)
+		}
+		s.tickers[name] = tick
+	}
+
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	names, err := s.fsys.ReadDir(dir)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: list %s: %w", dir, err)
+	}
+
+	var segNames []string
+	for _, name := range names {
+		if _, ok := parseSegName(name); ok {
+			segNames = append(segNames, name)
+		} else if strings.HasSuffix(name, quarantineSuffix) {
+			s.degraded = append(s.degraded, name)
+		}
+	}
+	sort.Strings(segNames) // zero-padded bases: lexicographic == numeric
+
+	man, manOK := loadManifest(s.fsys, dir)
+	vouched := map[string]manifestSegment{}
+	if manOK {
+		for _, e := range man.Segments {
+			vouched[e.Name] = e
+		}
+	}
+
+	rec := Recovery{}
+	if !manOK && len(segNames) > 0 {
+		rec.ManifestRebuilt = true
+	}
+	manifestDirty := rec.ManifestRebuilt
+
+	for i, name := range segNames {
+		isTail := i == len(segNames)-1
+		nameBase, _ := parseSegName(name)
+		path := s.join(name)
+
+		if !isTail {
+			if e, ok := vouched[name]; ok && e.Base == nameBase {
+				if size, err := s.fsys.Size(path); err == nil && size == e.Bytes {
+					s.segs = append(s.segs, &segment{name: name, base: e.Base, records: e.Records, bytes: e.Bytes, lastTime: e.LastTime, sealed: true})
+					continue
+				}
+			}
+		}
+
+		data, err := readFile(s.fsys, path)
+		if err != nil {
+			return nil, Recovery{}, fmt.Errorf("store: read %s: %w", name, err)
+		}
+		sc := ScanSegment(data)
+		rec.SegmentsScanned++
+		rec.RecordsReplayed += int64(len(sc.Events))
+
+		headerBad := sc.Good == 0 || sc.BaseIndex != nameBase
+		switch {
+		case headerBad && isTail:
+			// The tail's header is written and fsynced before any record is
+			// acknowledged, so a tail that cannot state its own base holds no
+			// acknowledged data: remove it and let the next append recreate
+			// the tail at the right base.
+			rec.BytesTruncated += int64(len(data))
+			if err := s.fsys.Remove(path); err != nil {
+				return nil, Recovery{}, fmt.Errorf("store: remove unborn tail %s: %w", name, err)
+			}
+			s.fsys.Remove(s.join(idxName(name)))
+			if err := s.fsys.SyncDir(dir); err != nil {
+				return nil, Recovery{}, fmt.Errorf("store: sync dir after removing %s: %w", name, err)
+			}
+			manifestDirty = true
+		case headerBad, !isTail && sc.Err != nil:
+			// A sealed segment that does not decode end to end: its records
+			// were once acknowledged, so deleting them would be silent data
+			// loss. Set it aside and freeze the log instead.
+			qname := name + quarantineSuffix
+			if err := s.fsys.Rename(path, s.join(qname)); err != nil {
+				return nil, Recovery{}, fmt.Errorf("store: quarantine %s: %w", name, err)
+			}
+			s.fsys.Remove(s.join(idxName(name)))
+			if err := s.fsys.SyncDir(dir); err != nil {
+				return nil, Recovery{}, fmt.Errorf("store: sync dir after quarantining %s: %w", name, err)
+			}
+			rec.Quarantined = append(rec.Quarantined, name)
+			s.degraded = append(s.degraded, qname)
+			manifestDirty = true
+		default:
+			if isTail && sc.Good < int64(len(data)) {
+				// Torn or corrupt suffix past the last whole record: cut it.
+				rec.BytesTruncated += int64(len(data)) - sc.Good
+				if err := s.truncateTail(path, sc.Good); err != nil {
+					return nil, Recovery{}, err
+				}
+			}
+			sg := &segment{name: name, base: sc.BaseIndex, records: int64(len(sc.Events)), bytes: sc.Good, sealed: !isTail, events: sc.Events, eventsOK: true}
+			if n := len(sc.Events); n > 0 {
+				sg.lastTime = sc.Events[n-1].Time
+			}
+			sg.idx = s.buildIndex(sc)
+			sg.idxOK = true
+			s.segs = append(s.segs, sg)
+			if !isTail {
+				manifestDirty = true
+			}
+		}
+	}
+
+	// Seed append state from the newest surviving segment.
+	if n := len(s.segs); n > 0 {
+		last := s.segs[n-1]
+		s.lastTime = last.lastTime
+		if !last.sealed {
+			for _, ev := range last.events {
+				for name, tick := range s.ticks(ev.Time) {
+					s.lastTick[name] = tick
+				}
+			}
+			f, err := s.fsys.OpenFile(s.join(last.name), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, Recovery{}, fmt.Errorf("store: reopen tail %s: %w", last.name, err)
+			}
+			s.tailFile = f
+		}
+	}
+
+	if manifestDirty {
+		// Best-effort: the manifest is advisory, and every state it could
+		// fail in (old copy, missing) just means a slower next open.
+		writeManifest(s.fsys, dir, s.manifestLocked())
+	}
+
+	rec.Records = s.recordsLocked()
+	if len(s.degraded) > 0 && len(rec.Quarantined) == 0 {
+		// Quarantined files from an earlier open: still degraded.
+		rec.Quarantined = append(rec.Quarantined, s.degraded...)
+	}
+	return s, rec, nil
+}
+
+// truncateTail cuts the tail file to size and makes the cut durable.
+func (s *Store) truncateTail(path string, size int64) error {
+	if err := s.fsys.Truncate(path, size); err != nil {
+		return fmt.Errorf("store: truncate %s: %w", path, err)
+	}
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen %s after truncate: %w", path, err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s after truncate: %w", path, err)
+	}
+	return nil
+}
+
+// manifestLocked renders the current sealed-segment set as a manifest.
+func (s *Store) manifestLocked() manifest {
+	m := manifest{Version: manifestVersion, Segments: []manifestSegment{}}
+	for _, sg := range s.segs {
+		if sg.sealed {
+			m.Segments = append(m.Segments, manifestSegment{Name: sg.name, Base: sg.base, Records: sg.records, Bytes: sg.bytes, LastTime: sg.lastTime})
+		}
+	}
+	return m
+}
+
+// recordsLocked is the live record count (holes from quarantined segments
+// excluded).
+func (s *Store) recordsLocked() int64 {
+	var n int64
+	for _, sg := range s.segs {
+		n += sg.records
+	}
+	return n
+}
+
+// Append writes the events to the log in order and, unless SyncEvery
+// batches, fsyncs before returning. It returns the global index of the
+// first appended event. Timestamps must be positive and non-decreasing
+// with respect to the log's newest record.
+func (s *Store) Append(evs ...event.Event) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("store: closed")
+	}
+	if s.broken != nil {
+		return 0, fmt.Errorf("store: append path broken (reopen to recover): %w", s.broken)
+	}
+	if len(s.degraded) > 0 {
+		return 0, ErrDegraded
+	}
+	if len(evs) == 0 {
+		return s.endLocked(), nil
+	}
+	prev := s.lastTime
+	for _, ev := range evs {
+		if ev.Time < 1 {
+			return 0, fmt.Errorf("store: non-positive timestamp %d", ev.Time)
+		}
+		if ev.Time < prev {
+			return 0, fmt.Errorf("store: timestamp %d before log tail %d", ev.Time, prev)
+		}
+		if ev.Type == "" {
+			return 0, errors.New("store: empty event type")
+		}
+		if len(ev.Type) > maxTypeLen {
+			return 0, fmt.Errorf("store: event type longer than %d bytes", maxTypeLen)
+		}
+		prev = ev.Time
+	}
+
+	var buf []byte
+	for _, ev := range evs {
+		buf = appendRecord(buf, ev)
+	}
+
+	tail := s.tailLocked()
+	if tail != nil && tail.records > 0 && tail.bytes+int64(len(buf)) > s.opts.SegmentMaxBytes {
+		if err := s.sealTailLocked(); err != nil {
+			return 0, err
+		}
+		tail = nil
+	}
+	if tail == nil {
+		if err := s.newSegmentLocked(); err != nil {
+			return 0, err
+		}
+		tail = s.tailLocked()
+	}
+
+	first := tail.end()
+	if _, err := s.tailFile.Write(buf); err != nil {
+		s.repairTailLocked(tail)
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+
+	off := tail.bytes
+	for _, ev := range evs {
+		for name, tick := range s.ticks(ev.Time) {
+			if last, ok := s.lastTick[name]; !ok || tick != last {
+				tail.idx[name] = append(tail.idx[name], tickEntry{Tick: tick, Rec: tail.records, Off: off})
+				s.lastTick[name] = tick
+			}
+		}
+		tail.events = append(tail.events, ev)
+		tail.records++
+		off += recordSize(ev)
+	}
+	tail.bytes = off
+	tail.lastTime = evs[len(evs)-1].Time
+	s.lastTime = tail.lastTime
+
+	s.unsynced++
+	if s.unsynced >= s.opts.SyncEvery {
+		if err := s.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// repairTailLocked rolls the tail file back to its last known-good length
+// after a failed write. If the rollback itself fails, the append path is
+// marked broken: only a reopen (which re-runs recovery) clears it.
+func (s *Store) repairTailLocked(tail *segment) {
+	if s.tailFile != nil {
+		s.tailFile.Close()
+		s.tailFile = nil
+	}
+	if err := s.truncateTail(s.join(tail.name), tail.bytes); err != nil {
+		s.broken = err
+		return
+	}
+	f, err := s.fsys.OpenFile(s.join(tail.name), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.broken = err
+		return
+	}
+	s.tailFile = f
+}
+
+// Sync makes all acknowledged appends durable. A no-op when nothing is
+// pending.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.broken != nil {
+		return fmt.Errorf("store: append path broken (reopen to recover): %w", s.broken)
+	}
+	if s.unsynced == 0 {
+		return nil
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.tailFile == nil {
+		s.unsynced = 0
+		return nil
+	}
+	if err := s.tailFile.Sync(); err != nil {
+		s.broken = err
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	s.unsynced = 0
+	return nil
+}
+
+// tailLocked is the unsealed tail segment, nil when none exists.
+func (s *Store) tailLocked() *segment {
+	if n := len(s.segs); n > 0 && !s.segs[n-1].sealed {
+		return s.segs[n-1]
+	}
+	return nil
+}
+
+// endLocked is the next global index to be assigned.
+func (s *Store) endLocked() int64 {
+	if n := len(s.segs); n > 0 {
+		return s.segs[n-1].end()
+	}
+	return 0
+}
+
+// sealTailLocked freezes the tail: fsync its data, persist its tick-index
+// sidecar, vouch for it in the manifest. Sidecar and manifest writes are
+// best-effort (advisory data); the data fsync is not.
+func (s *Store) sealTailLocked() error {
+	tail := s.tailLocked()
+	if tail == nil {
+		return nil
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	if err := s.tailFile.Close(); err != nil {
+		return fmt.Errorf("store: close sealed segment: %w", err)
+	}
+	s.tailFile = nil
+	tail.sealed = true
+	s.writeIndexFile(idxName(tail.name), tail.idx)
+	writeManifest(s.fsys, s.dir, s.manifestLocked())
+	return nil
+}
+
+// newSegmentLocked creates the next tail segment: file, header, fsync,
+// directory fsync.
+func (s *Store) newSegmentLocked() error {
+	base := s.endLocked()
+	name := segName(base)
+	f, err := s.fsys.OpenFile(s.join(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment %s: %w", name, err)
+	}
+	if _, err := f.Write(appendSegmentHeader(nil, base)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync segment header: %w", err)
+	}
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync dir after segment create: %w", err)
+	}
+	s.tailFile = f
+	s.segs = append(s.segs, &segment{name: name, base: base, bytes: segHeaderSize, idx: segIndex{}, idxOK: true, eventsOK: true})
+	s.lastTick = map[string]int64{}
+	return nil
+}
+
+// Len is the next global index (== total records ever appended, counting
+// quarantined holes).
+func (s *Store) Len() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.endLocked()
+}
+
+// FirstIndex is the global index of the oldest readable record (0 on an
+// empty store).
+func (s *Store) FirstIndex() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) > 0 {
+		return s.segs[0].base
+	}
+	return 0
+}
+
+// LastTime is the newest timestamp in the log, 0 when empty.
+func (s *Store) LastTime() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTime
+}
+
+// Degraded reports whether the store is read-only because segments were
+// quarantined, and which files hold the unreadable data.
+func (s *Store) Degraded() (bool, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.degraded) > 0, append([]string(nil), s.degraded...)
+}
+
+// Close fsyncs pending appends and releases the tail handle. The store is
+// unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.tailFile != nil {
+		if s.unsynced > 0 && s.broken == nil {
+			if err := s.tailFile.Sync(); err != nil {
+				first = err
+			}
+		}
+		if err := s.tailFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.tailFile = nil
+	}
+	return first
+}
+
+// loadEventsLocked materializes a segment's decoded records, scanning the
+// file on first use.
+func (s *Store) loadEventsLocked(sg *segment) ([]event.Event, error) {
+	if sg.eventsOK {
+		return sg.events, nil
+	}
+	data, err := readFile(s.fsys, s.join(sg.name))
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", sg.name, err)
+	}
+	sc := ScanSegment(data)
+	if sc.Err != nil || int64(len(sc.Events)) < sg.records {
+		return nil, fmt.Errorf("store: sealed segment %s no longer decodes: %w", sg.name, sc.Err)
+	}
+	sg.events = sc.Events[:sg.records]
+	sg.eventsOK = true
+	return sg.events, nil
+}
+
+// loadIndexLocked materializes a segment's tick index: the live one for
+// the tail, the sidecar when it decodes and fits, a rebuild from the
+// segment otherwise.
+func (s *Store) loadIndexLocked(sg *segment) (segIndex, error) {
+	if sg.idxOK {
+		return sg.idx, nil
+	}
+	if data, err := readFile(s.fsys, s.join(idxName(sg.name))); err == nil {
+		if idx, err := decodeIndex(data); err == nil && indexFits(idx, sg) {
+			sg.idx = idx
+			sg.idxOK = true
+			return sg.idx, nil
+		}
+	}
+	events, err := s.loadEventsLocked(sg)
+	if err != nil {
+		return nil, err
+	}
+	sg.idx = s.buildIndex(ScanResult{BaseIndex: sg.base, Events: events})
+	sg.idxOK = true
+	return sg.idx, nil
+}
+
+// indexFits sanity-checks a decoded sidecar against the segment's shape.
+func indexFits(idx segIndex, sg *segment) bool {
+	for _, entries := range idx {
+		for _, e := range entries {
+			if e.Rec >= sg.records || e.Off < segHeaderSize || e.Off >= sg.bytes {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Rec is one read record: its global index and event.
+type Rec struct {
+	Index int64
+	Event event.Event
+}
+
+// ReadFrom returns all records with global index >= from, in order.
+// Quarantined holes are skipped (indexes jump). The snapshot is taken at
+// call time; concurrent appends after the call are not included.
+func (s *Store) ReadFrom(from int64) ([]Rec, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readFromLocked(from)
+}
+
+func (s *Store) readFromLocked(from int64) ([]Rec, error) {
+	var out []Rec
+	for _, sg := range s.segs {
+		if sg.end() <= from {
+			continue
+		}
+		events, err := s.loadEventsLocked(sg)
+		if err != nil {
+			return nil, err
+		}
+		start := int64(0)
+		if from > sg.base {
+			start = from - sg.base
+		}
+		for i := start; i < int64(len(events)); i++ {
+			out = append(out, Rec{Index: sg.base + i, Event: events[i]})
+		}
+	}
+	return out, nil
+}
+
+// Events returns every readable record's event in order — the log as an
+// event.Sequence.
+func (s *Store) Events() (event.Sequence, error) {
+	recs, err := s.ReadFrom(0)
+	if err != nil {
+		return nil, err
+	}
+	seq := make(event.Sequence, len(recs))
+	for i, r := range recs {
+		seq[i] = r.Event
+	}
+	return seq, nil
+}
+
+// ScanFromTick returns the suffix of the log starting at the first record
+// whose granule in gran (per the store's periodic tables) is >= tick.
+// Records whose timestamp the granularity does not cover neither start
+// nor end the suffix: the suffix begins at the first covered record with
+// granule >= tick and runs to the end of the log. gran must be one of the
+// indexed granularities from Options.Grans.
+func (s *Store) ScanFromTick(gran string, tick int64) ([]Rec, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tickers[gran]; !ok {
+		return nil, fmt.Errorf("store: granularity %q not indexed", gran)
+	}
+	for _, sg := range s.segs {
+		idx, err := s.loadIndexLocked(sg)
+		if err != nil {
+			return nil, err
+		}
+		entries := idx[gran]
+		// First entry with Tick >= tick; entries are ascending in Tick.
+		lo := sort.Search(len(entries), func(i int) bool { return entries[i].Tick >= tick })
+		if lo == len(entries) {
+			continue
+		}
+		return s.readFromLocked(sg.base + entries[lo].Rec)
+	}
+	return nil, nil
+}

@@ -17,6 +17,11 @@
 #                                        # and >=5x Fig-3 cover speedups
 #   sh scripts/bench_compare.sh pr6-smoke# short pr6 run; gates only the
 #                                        # compiled core's allocs/op
+#   sh scripts/bench_compare.sh pr7      # event-store append and recovery
+#                                        # benchmarks; writes BENCH_PR7.json
+#                                        # and gates the append path's
+#                                        # allocs/op
+#   sh scripts/bench_compare.sh pr7-smoke# short pr7 run, same alloc gate
 #
 # The baseline lives at scripts/bench_baseline_pr3.json and is only
 # meaningful on the machine that produced it; regenerate it with `baseline`
@@ -25,6 +30,65 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+# ---- PR-7: append-only event store -------------------------------------
+if [ "$MODE" = pr7 ] || [ "$MODE" = pr7-smoke ]; then
+	OUT="BENCH_PR7.json"
+	BENCHES='BenchmarkStoreAppendNoSync|BenchmarkStoreAppendSynced|BenchmarkStoreRecover'
+	if [ "$MODE" = pr7-smoke ]; then
+		BENCHTIME="${BENCHTIME:-50x}"
+	else
+		BENCHTIME="${BENCHTIME:-2s}"
+	fi
+	RAW="$(mktemp)"
+	trap 'rm -f "$RAW"' EXIT
+	echo ">> go test -run XXX -bench '$BENCHES' -benchtime=$BENCHTIME ."
+	go test -run XXX -bench "$BENCHES" -benchtime="$BENCHTIME" -timeout 20m . | tee "$RAW"
+
+	awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+	BEGIN { n = 0 }
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		names[n] = name; ns[n] = $3; allocs[n] = ($8 == "allocs/op" ? $7 : -1); n++
+	}
+	END {
+		printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", names[i], ns[i], allocs[i], (i+1<n ? "," : "")
+		printf "  }"
+		for (i = 0; i < n; i++) v[names[i]] = ns[i]
+		if (("BenchmarkStoreAppendSynced" in v) && v["BenchmarkStoreAppendNoSync"] > 0)
+			printf ",\n  \"fsync_cost\": %.3f", v["BenchmarkStoreAppendSynced"] / v["BenchmarkStoreAppendNoSync"]
+		if ("BenchmarkStoreRecover" in v)
+			printf ",\n  \"recover_ns_per_record\": %.1f", v["BenchmarkStoreRecover"] / 10000
+		printf "\n}\n"
+	}' "$RAW" > "$OUT"
+	echo ">> wrote $OUT"
+	cat "$OUT"
+
+	# Alloc gate (both modes): the append hot path must stay lean. 16
+	# allocs/op is ~5x the measured 3 — headroom for encoding changes, far
+	# under anything accidental (a per-append buffer copy alone adds more).
+	awk '
+	$1 ~ /^BenchmarkStoreAppend/ && $8 == "allocs/op" {
+		found++
+		if ($7 + 0 > 16) {
+			printf "%s allocs/op %s > 16\n", $1, $7
+			bad = 1
+			next
+		}
+		printf "%s allocs/op: %s (gate: <=16)\n", $1, $7
+	}
+	END {
+		if (found < 2) { print "store append benchmarks not found"; exit 1 }
+		exit bad
+	}
+	' "$RAW" || { echo "bench_compare: FAILED (pr7 alloc gate)" >&2; exit 1; }
+	echo "bench_compare: $MODE OK"
+	exit 0
+fi
+# --------------------------------------------------------------------------
 
 # ---- PR-6: compiled execution core + periodic conversion tables ----------
 if [ "$MODE" = pr6 ] || [ "$MODE" = pr6-smoke ]; then

@@ -25,8 +25,13 @@ echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo '>> serve smoke (tempod end to end)'
 sh scripts/serve_smoke.sh
+echo '>> crash smoke (fault-injected store sweep + kill -9 tempod recovery)'
+CRASH_SWEEP_SEEDS="${CRASH_SWEEP_SEEDS:-60}" go test -count=1 -run 'TestCrashSweep|TestErrorSweep' ./internal/store/
+go test -count=1 -run 'TestKillDuringAppend' ./cmd/tempod/
 echo '>> bench smoke (parallel scan, no gate)'
 sh scripts/bench_compare.sh smoke
 echo '>> bench smoke (compiled core, allocs/op gate)'
 sh scripts/bench_compare.sh pr6-smoke
+echo '>> bench smoke (event store, allocs/op gate)'
+sh scripts/bench_compare.sh pr7-smoke
 echo 'check: OK'

@@ -9,7 +9,26 @@ cd "$(dirname "$0")/.."
 CURL="curl -sS --max-time 30"
 DATA=$(mktemp -d)
 LOG="$DATA/tempod.log"
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT INT TERM
+PID=""
+
+# cleanup asks the daemon to drain, waits for it to die (escalating to
+# SIGKILL if it will not), and only then removes the state directory — a
+# bare `kill; rm -rf` can yank the directory out from under a daemon that
+# is still checkpointing its drain.
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -TERM "$PID" 2>/dev/null || true
+		i=0
+		while kill -0 "$PID" 2>/dev/null && [ $i -lt 50 ]; do
+			i=$((i + 1))
+			sleep 0.1
+		done
+		kill -KILL "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$DATA"
+}
+trap cleanup EXIT INT TERM
 
 go build -o "$DATA/tempod" ./cmd/tempod
 "$DATA/tempod" -addr 127.0.0.1:0 -data "$DATA/state" >"$LOG" 2>&1 &
@@ -75,6 +94,8 @@ while kill -0 "$PID" 2>/dev/null; do
 	sleep 0.1
 done
 wait "$PID" || { echo "tempod exited non-zero" >&2; cat "$LOG" >&2; exit 1; }
+PID=""
+grep -q 'tempod recovery:' "$LOG"
 grep -q 'tempod draining' "$LOG"
 grep -q 'tempod stopped' "$LOG"
 ls "$DATA/state/sessions" >/dev/null
