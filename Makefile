@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 serve-smoke oracle-smoke crash-smoke cover
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 bench-json-pr8 serve-smoke oracle-smoke crash-smoke cover
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,12 @@ bench-json-pr6:
 # without fsync, full-scan recovery) and gates the append path's allocs/op.
 bench-json-pr7:
 	sh scripts/bench_compare.sh pr7
+
+# Incremental-mining benchmark run; writes BENCH_PR8.json (append+snapshot
+# against a 100k-event stream vs a full batch re-mine) and gates the
+# no-rescan property (>=20x).
+bench-json-pr8:
+	sh scripts/bench_compare.sh pr8
 
 experiments:
 	$(GO) run ./cmd/experiments

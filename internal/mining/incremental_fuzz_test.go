@@ -1,0 +1,93 @@
+package mining
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzIncrementalLogLen is the durable log length the fuzz harness restores
+// against: short enough that full-stream checkpoints exercise the
+// high-water-beyond-log refusal.
+const fuzzIncrementalLogLen = int64(8)
+
+// FuzzIncrementalCheckpoint throws arbitrary bytes at the incremental
+// restore path: whatever DecodeCheckpoint accepts is handed to
+// RestoreIncremental against a fixed problem and a short durable log, and
+// the contract is
+//
+//   - restore never panics, whatever the checkpoint claims;
+//   - a high-water mark past the log end is refused with the typed
+//     ErrHighWaterBeyondLog (callers branch on it to re-append the lost
+//     tail), never accepted;
+//   - a restore that succeeds yields a miner whose position really is
+//     inside the log, and whose Snapshot/Checkpoint calls are safe.
+//
+// The committed corpus under testdata/fuzz/FuzzIncrementalCheckpoint seeds
+// a valid mid-stream consolidation, a full-stream checkpoint whose
+// high-water mark exceeds the harness log (the typed-refusal branch), and
+// structurally hostile JSON.
+func FuzzIncrementalCheckpoint(f *testing.F) {
+	p := incrementalProblem(0)
+	seq := plantWorkload(5, 6, 0.7)
+
+	// Seed a live consolidation cut below the harness log length and one cut
+	// at the full stream (beyond it).
+	for _, n := range []int{int(fuzzIncrementalLogLen), len(seq)} {
+		inc, err := NewIncremental(sys, p, PipelineOptions{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := inc.AppendAll(seq[:n]); err != nil {
+			f.Fatal(err)
+		}
+		cp, err := inc.Checkpoint()
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":2,"stage":"incremental"}`))
+	f.Add([]byte(`{"version":2,"stage":"incremental","incremental":{"high_water":9000}}`))
+	f.Add([]byte(`{"version":2,"stage":"incremental","incremental":{"high_water":-1,"replay_from":5}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		inc, err := RestoreIncremental(sys, p, PipelineOptions{}, cp, fuzzIncrementalLogLen)
+		if err != nil {
+			if errors.Is(err, ErrHighWaterBeyondLog) &&
+				(cp.Incremental == nil || cp.Incremental.HighWater <= fuzzIncrementalLogLen) {
+				t.Fatalf("beyond-log refusal for in-range mark: %+v", cp.Incremental)
+			}
+			return
+		}
+		if cp.Incremental.HighWater > fuzzIncrementalLogLen {
+			t.Fatalf("restore accepted high-water %d past log end %d",
+				cp.Incremental.HighWater, fuzzIncrementalLogLen)
+		}
+		// The restored miner must be usable: replay the retained frontier and
+		// the un-consolidated suffix, then snapshot and re-checkpoint.
+		for j := cp.Incremental.ReplayFrom; j < fuzzIncrementalLogLen; j++ {
+			if err := inc.Append(seq[j]); err != nil {
+				return // e.g. restored last_time past the real stream: refused, not absorbed
+			}
+		}
+		if inc.Pos() < fuzzIncrementalLogLen {
+			return // replay refused part-way; miner stays pre-consolidation
+		}
+		if _, _, err := inc.Snapshot(); err != nil {
+			_ = err // mining-level errors (no references, bounds) are legal
+		}
+		if _, err := inc.Checkpoint(); err != nil {
+			t.Fatalf("re-checkpoint after full replay: %v", err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -91,6 +92,7 @@ func CheckInstance(in *Instance, k Knobs, h Hooks) ([]Violation, CheckStats, err
 	gate(ContractMining, func() { checkMining(in, k, sys, s, &stats, add) })
 	gate(ContractExecEquiv, func() { checkExecEquiv(in, sys, &stats, add) })
 	gate(ContractStoreReplay, func() { checkStoreReplay(in, sys, &stats, add) })
+	gate(ContractIncrementalEquiv, func() { checkIncrementalEquiv(in, k, sys, s, &stats, add) })
 	return vs, stats, nil
 }
 
@@ -1016,6 +1018,270 @@ func checkStoreReplay(in *Instance, sys *granularity.System,
 				add(ContractStoreReplay, "ScanFromTick(%s, %d)[%d] = {%d %v}, want {%d %v}",
 					gran, tick, i, r.Index, r.Event, start+i, in.Seq[start+i])
 				return
+			}
+		}
+	}
+}
+
+// diffIncrementalPrefix compares one prefix's incremental snapshot against
+// a batch run: identical error presence and message, identical stats
+// (TagRuns excluded — running fewer automata is the incremental miner's
+// purpose) and an identical ordered discovery list.
+func diffIncrementalPrefix(ids []mining.Discovery, ist mining.Stats, ierr error,
+	bds []mining.Discovery, bst mining.Stats, berr error) string {
+	if (ierr == nil) != (berr == nil) {
+		return fmt.Sprintf("incremental err %v, batch err %v", ierr, berr)
+	}
+	if ierr != nil {
+		if ierr.Error() != berr.Error() {
+			return fmt.Sprintf("incremental err %q, batch err %q", ierr, berr)
+		}
+		return ""
+	}
+	ist.TagRuns, bst.TagRuns = 0, 0
+	if ist != bst {
+		return fmt.Sprintf("stats %+v, batch %+v", ist, bst)
+	}
+	if len(ids) != len(bds) {
+		return fmt.Sprintf("%d discoveries, batch %d", len(ids), len(bds))
+	}
+	for i := range ids {
+		if mining.AssignKey(ids[i].Assign) != mining.AssignKey(bds[i].Assign) ||
+			ids[i].Matches != bds[i].Matches || ids[i].Frequency != bds[i].Frequency {
+			return fmt.Sprintf("discovery %d = %s (%d, %v), batch %s (%d, %v)", i,
+				mining.AssignKey(ids[i].Assign), ids[i].Matches, ids[i].Frequency,
+				mining.AssignKey(bds[i].Assign), bds[i].Matches, bds[i].Frequency)
+		}
+	}
+	return ""
+}
+
+// checkIncrementalEquiv proves the incremental miner equal to batch
+// Optimized at EVERY prefix of the instance's sequence, through a live
+// stream and through a seeded crash: at a seeded split the miner's
+// checkpoint is consolidated, the event store (on a fault-injecting MemFS
+// with batched fsyncs, so acknowledged-but-unsynced tail records can die)
+// is crashed and recovered, and the contract requires
+//
+//   - a recovered log shorter than the checkpoint's high-water mark is
+//     refused with the typed ErrHighWaterBeyondLog, and converges after
+//     the lost tail is re-appended;
+//   - the restored miner, after replaying the store's retained suffix,
+//     matches batch Optimized on the split prefix and on every later
+//     prefix as the remaining events stream in;
+//   - at the full sequence, the witness bindings Explain extracts for the
+//     incremental discoveries are identical to the batch ones.
+func checkIncrementalEquiv(in *Instance, k Knobs, sys *granularity.System, s *core.EventStructure,
+	stats *CheckStats, add func(string, string, ...any)) {
+
+	ct, err := in.ComplexType()
+	if err != nil {
+		stats.skip(ContractIncrementalEquiv, "no total complex type: "+err.Error())
+		return
+	}
+	root, err := s.Root()
+	if err != nil {
+		stats.skip(ContractIncrementalEquiv, "structure has no root: "+err.Error())
+		return
+	}
+	ref := ct.Assign[root]
+	refSeen := false
+	for _, e := range in.Seq {
+		if e.Type == ref {
+			refSeen = true
+		}
+	}
+	if !refSeen {
+		stats.skip(ContractIncrementalEquiv, "no reference occurrence in the sequence")
+		return
+	}
+	if len(in.Seq) == 0 {
+		stats.skip(ContractIncrementalEquiv, "empty sequence")
+		return
+	}
+	for i, e := range in.Seq {
+		if e.Time < 1 || e.Type == "" || (i > 0 && e.Time < in.Seq[i-1].Time) {
+			stats.skip(ContractIncrementalEquiv, "sequence not appendable")
+			return
+		}
+	}
+	types := sortedTypes(in.Seq)
+	vars, err := s.TopoOrder()
+	if err != nil {
+		stats.skip(ContractIncrementalEquiv, "structure is cyclic: "+err.Error())
+		return
+	}
+	space := int64(1)
+	for i := 1; i < len(vars) && space <= k.MiningMaxSpace; i++ {
+		space *= int64(len(types))
+	}
+	if space > k.MiningMaxSpace {
+		stats.skip(ContractIncrementalEquiv, fmt.Sprintf("candidate space %d exceeds the bound %d", space, k.MiningMaxSpace))
+		return
+	}
+	stats.ran(ContractIncrementalEquiv)
+
+	p := mining.Problem{Structure: s, MinConfidence: in.MinConfidence, Reference: ref}
+	batch := func(n int) ([]mining.Discovery, mining.Stats, error) {
+		return mining.Optimized(sys, p, in.Seq[:n], mining.PipelineOptions{})
+	}
+	inc, err := mining.NewIncremental(sys, p, mining.PipelineOptions{})
+	if err != nil {
+		add(ContractIncrementalEquiv, "NewIncremental: %v", err)
+		return
+	}
+
+	h := uint64(engine.SplitMix64(uint64(in.Seed) ^ 0x696e6372)) // "incr"
+	split := 1 + int(h%uint64(len(in.Seq)))
+
+	// Live stream: every prefix up to the split must match batch.
+	var cpBytes []byte
+	for i := 0; i < split; i++ {
+		if err := inc.Append(in.Seq[i]); err != nil {
+			add(ContractIncrementalEquiv, "append %d: %v", i, err)
+			return
+		}
+		ids, ist, ierr := inc.Snapshot()
+		bds, bst, berr := batch(i + 1)
+		if d := diffIncrementalPrefix(ids, ist, ierr, bds, bst, berr); d != "" {
+			add(ContractIncrementalEquiv, "prefix %d: %s", i+1, d)
+			return
+		}
+	}
+	cp, err := inc.Checkpoint()
+	if err != nil {
+		add(ContractIncrementalEquiv, "checkpoint at %d: %v", split, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		add(ContractIncrementalEquiv, "encode checkpoint: %v", err)
+		return
+	}
+	cpBytes = buf.Bytes()
+
+	// Crash leg: the split prefix goes into a store whose fsyncs are
+	// batched, so the crash can drop an acknowledged-but-unsynced tail and
+	// leave the recovered log SHORTER than the checkpoint's high-water
+	// mark — the restore refusal the consolidation protocol depends on.
+	grans := []string{"second"}
+	for i := range in.Grans {
+		grans = append(grans, in.Grans[i].Name)
+	}
+	fsys := store.NewMemFS()
+	st, _, err := store.Open("log", store.Options{
+		FS: fsys, System: sys, Grans: grans, SegmentMaxBytes: 256, SyncEvery: 4,
+	})
+	if err != nil {
+		add(ContractIncrementalEquiv, "open store: %v", err)
+		return
+	}
+	for i := 0; i < split; i++ {
+		if _, err := st.Append(in.Seq[i]); err != nil {
+			add(ContractIncrementalEquiv, "store append %d: %v", i, err)
+			st.Close()
+			return
+		}
+	}
+	fsys.CrashNow(int64(engine.SplitMix64(h)))
+	st.Close()
+	fsys.Recover()
+	st, _, err = store.Open("log", store.Options{
+		FS: fsys, System: sys, Grans: grans, SegmentMaxBytes: 256, SyncEvery: 1,
+	})
+	if err != nil {
+		add(ContractIncrementalEquiv, "reopen after crash: %v", err)
+		return
+	}
+	defer st.Close()
+	recovered := st.Len()
+	if recovered > int64(split) {
+		add(ContractIncrementalEquiv, "recovered %d events from a %d-event prefix", recovered, split)
+		return
+	}
+
+	cp2, err := mining.DecodeCheckpoint(bytes.NewReader(cpBytes))
+	if err != nil {
+		add(ContractIncrementalEquiv, "decode checkpoint: %v", err)
+		return
+	}
+	inc2, err := mining.RestoreIncremental(sys, p, mining.PipelineOptions{}, cp2, recovered)
+	if recovered < cp2.Incremental.HighWater {
+		// The crash dropped consolidated events; restore must refuse with
+		// the typed error, and succeed once the lost tail is re-appended.
+		if !errors.Is(err, mining.ErrHighWaterBeyondLog) {
+			add(ContractIncrementalEquiv, "restore against %d-event log (mark %d): got %v, want ErrHighWaterBeyondLog",
+				recovered, cp2.Incremental.HighWater, err)
+			return
+		}
+		for i := recovered; i < int64(split); i++ {
+			if _, err := st.Append(in.Seq[i]); err != nil {
+				add(ContractIncrementalEquiv, "re-append lost event %d: %v", i, err)
+				return
+			}
+		}
+		inc2, err = mining.RestoreIncremental(sys, p, mining.PipelineOptions{}, cp2, int64(split))
+	}
+	if err != nil {
+		add(ContractIncrementalEquiv, "restore: %v", err)
+		return
+	}
+	recs, err := st.ReadFrom(cp2.Incremental.ReplayFrom)
+	if err != nil {
+		add(ContractIncrementalEquiv, "ReadFrom(%d): %v", cp2.Incremental.ReplayFrom, err)
+		return
+	}
+	for _, r := range recs {
+		if r.Event != in.Seq[r.Index] {
+			add(ContractIncrementalEquiv, "recovered record %d is %v, want %v", r.Index, r.Event, in.Seq[r.Index])
+			return
+		}
+		if err := inc2.Append(r.Event); err != nil {
+			add(ContractIncrementalEquiv, "replay record %d: %v", r.Index, err)
+			return
+		}
+	}
+
+	// The restored miner streams the rest; every remaining prefix must
+	// match batch, and the final discovery list is kept for witnesses.
+	var finalIDs []mining.Discovery
+	for n := split; n <= len(in.Seq); n++ {
+		if n > split {
+			if err := inc2.Append(in.Seq[n-1]); err != nil {
+				add(ContractIncrementalEquiv, "restored append %d: %v", n-1, err)
+				return
+			}
+		}
+		ids, ist, ierr := inc2.Snapshot()
+		bds, bst, berr := batch(n)
+		if d := diffIncrementalPrefix(ids, ist, ierr, bds, bst, berr); d != "" {
+			add(ContractIncrementalEquiv, "restored prefix %d: %s", n, d)
+			return
+		}
+		if n == len(in.Seq) && ierr == nil {
+			finalIDs = bds // == ids by the diff above
+			_ = ids
+		}
+	}
+
+	// Witness bindings: Explain over the full sequence must extract the
+	// same evidence for the incrementally-discovered set.
+	for _, d := range finalIDs {
+		iw, err := mining.Explain(sys, p, in.Seq, d, 2)
+		if err != nil {
+			add(ContractIncrementalEquiv, "explain %s: %v", mining.AssignKey(d.Assign), err)
+			return
+		}
+		if len(iw) == 0 {
+			add(ContractIncrementalEquiv, "discovery %s has no witness", mining.AssignKey(d.Assign))
+			return
+		}
+		for _, w := range iw {
+			for v, e := range w.Binding {
+				if e.Type == "" {
+					add(ContractIncrementalEquiv, "witness for %s binds %s to an empty event", mining.AssignKey(d.Assign), v)
+					return
+				}
 			}
 		}
 	}

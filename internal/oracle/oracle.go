@@ -20,7 +20,11 @@
 //   - tag: TAG acceptance equals exhaustive occurrence search (Theorem 3),
 //     and serial, parallel and checkpoint-resumed runs are byte-identical;
 //   - mining: Optimized equals Naive, and every discovery's match count
-//     re-verifies against an anchored brute-force counter.
+//     re-verifies against an anchored brute-force counter;
+//   - incremental-equiv: the incremental miner, fed one event at a time
+//     (and crash-restored mid-stream from a consolidated checkpoint over
+//     a fault-injected store), matches batch Optimized at every prefix —
+//     discoveries, screening stats and witness bindings.
 //
 // Violations are shrunk greedily (delete variable, delete constraint,
 // narrow interval, drop events/granularities, halve horizon) and persisted
@@ -163,4 +167,10 @@ const (
 	ContractMining       = "mining"
 	ContractExecEquiv    = "exec-equiv"
 	ContractStoreReplay  = "store-replay"
+	// ContractIncrementalEquiv feeds the instance's sequence one event at a
+	// time into the incremental miner and requires discoveries, screening
+	// stats and witness bindings identical to batch Optimized at EVERY
+	// prefix, including across a seeded mid-stream store crash, recovery
+	// and checkpoint restore.
+	ContractIncrementalEquiv = "incremental-equiv"
 )

@@ -99,6 +99,13 @@ type JobCreateRequest struct {
 	Problem mining.ProblemSpec `json:"problem"`
 	// Events is the sequence to mine, in non-decreasing timestamp order.
 	Events []EventItem `json:"events"`
+	// SessionID attaches the job to a live streaming session instead of an
+	// inline sequence: the job mines the session's durable event log
+	// incrementally, keeps its consolidation checkpoint in the job record,
+	// and POST /v1/mining/jobs/{id}/refresh re-mines only the suffix
+	// appended since. Mutually exclusive with Events, Explain and a
+	// granule_anchor problem.
+	SessionID string `json:"session_id,omitempty"`
 	// TimeoutMS/Budget bound each run attempt of the job (0 = unbounded).
 	// An attempt cut short by its budget checkpoints and parks as
 	// "interrupted"; a daemon restart resumes it with a fresh budget.
@@ -230,6 +237,17 @@ func DecodeJobCreateRequest(r io.Reader) (*JobCreateRequest, error) {
 	}
 	if req.TimeoutMS < 0 || req.Budget < 0 || req.Explain < 0 || req.Workers < 0 {
 		return nil, fmt.Errorf("server: timeout_ms, budget, explain and workers must be non-negative")
+	}
+	if req.SessionID != "" {
+		if len(req.Events) > 0 {
+			return nil, fmt.Errorf("server: session_id and events are mutually exclusive")
+		}
+		if req.Explain > 0 {
+			return nil, fmt.Errorf("server: explain requires an inline sequence, not session_id")
+		}
+		if req.Problem.GranuleAnchor != "" {
+			return nil, fmt.Errorf("server: granule_anchor problems cannot attach to a session")
+		}
 	}
 	return &req, nil
 }

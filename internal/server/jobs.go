@@ -22,6 +22,9 @@ import (
 	"repro/internal/store"
 )
 
+// errNoJob reports a refresh against an unknown job ID (HTTP 404).
+var errNoJob = errors.New("server: no such job")
+
 // jobRecordVersion is the wire version of the on-disk job record. Version
 // 2 added EventsLogged: the input sequence lives in the job's append-only
 // event log (<id>.events/) and the record omits it. Version 1 records
@@ -69,6 +72,13 @@ func (j *job) status() *JobStatusResponse {
 	return &JobStatusResponse{ID: j.id, State: j.state, Error: j.errMsg, Result: j.result}
 }
 
+// sessionTailFunc reads a live session's durable event log for an
+// attached incremental mining job: the records from index `from` onward
+// (fromTime, when positive, is the timestamp at `from`, letting the read
+// resume from the last consolidated tick instead of scanning the whole
+// log) plus the log's current length — the attempt's high-water mark.
+type sessionTailFunc func(id string, from, fromTime int64) ([]store.Rec, int64, error)
+
 // jobStore owns the mining jobs: a bounded FIFO queue drained by a fixed
 // worker pool, with every state transition persisted to <dir>/<id>.json.
 type jobStore struct {
@@ -81,6 +91,7 @@ type jobStore struct {
 	defaultWorkers int
 	mode           engine.ExecMode
 	noLog          bool
+	sessionTail    sessionTailFunc
 	jobs           map[string]*job
 	queue          []*job
 	running        int
@@ -92,7 +103,7 @@ type jobStore struct {
 	wg     sync.WaitGroup
 }
 
-func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int, mode engine.ExecMode, noLog bool) (*jobStore, error) {
+func newJobStore(dir string, sys *granularity.System, counters *engine.Counters, workers, depth, defaultScanWorkers int, mode engine.ExecMode, noLog bool, sessionTail sessionTailFunc) (*jobStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -105,6 +116,7 @@ func newJobStore(dir string, sys *granularity.System, counters *engine.Counters,
 		defaultWorkers: defaultScanWorkers,
 		mode:           mode,
 		noLog:          noLog,
+		sessionTail:    sessionTail,
 		jobs:           make(map[string]*job),
 		nextID:         1,
 		ctx:            ctx,
@@ -307,6 +319,10 @@ func (st *jobStore) run(j *job) {
 		st.fail(j, fmt.Errorf("persisting job: %w", err))
 		return
 	}
+	if req.SessionID != "" {
+		st.runIncremental(j, req, resume)
+		return
+	}
 
 	seq := toSequence(req.Events)
 	p, work, opt, err := req.Problem.Build(st.sys, seq)
@@ -372,6 +388,125 @@ func (st *jobStore) run(j *job) {
 	if terminal {
 		st.removeEventLog(j)
 	}
+}
+
+// runIncremental executes one attempt of a session-attached job: read the
+// session log's suffix past the last consolidation point, feed it to the
+// (restored) incremental miner, snapshot, and keep the new consolidation
+// checkpoint on the done job — a later refresh or a restarted daemon
+// re-mines only what the session appended since, never the whole log. A
+// checkpoint the current log cannot honor (a high-water mark past the log
+// end after a session log reset, or a changed problem) falls back to a
+// full re-mine rather than trusting stale state.
+func (st *jobStore) runIncremental(j *job, req JobCreateRequest, resume *mining.Checkpoint) {
+	if st.sessionTail == nil {
+		st.fail(j, fmt.Errorf("server: session-attached jobs are not wired to a session store"))
+		return
+	}
+	p, _, opt, err := req.Problem.Build(st.sys, nil)
+	if err != nil {
+		st.fail(j, err)
+		return
+	}
+	opt.Engine = engine.Config{Observer: st.counters, Mode: st.mode}
+
+	from, fromTime := int64(0), int64(0)
+	if resume != nil && resume.Stage == mining.StageIncremental && resume.Incremental != nil {
+		from, fromTime = resume.Incremental.ReplayFrom, resume.Incremental.ReplayTime
+	} else {
+		resume = nil
+	}
+	recs, logLen, err := st.sessionTail(req.SessionID, from, fromTime)
+	if err != nil {
+		st.fail(j, err)
+		return
+	}
+	var inc *mining.Incremental
+	if resume != nil {
+		inc, err = mining.RestoreIncremental(st.sys, p, opt, resume, logLen)
+		if err != nil {
+			st.counters.Count("server.jobs.incremental_restarted", 1)
+			resume = nil
+			if recs, logLen, err = st.sessionTail(req.SessionID, 0, 0); err != nil {
+				st.fail(j, err)
+				return
+			}
+		} else {
+			st.counters.Count("server.jobs.incremental_resumed", 1)
+		}
+	}
+	if resume == nil {
+		if inc, err = mining.NewIncremental(st.sys, p, opt); err != nil {
+			st.fail(j, err)
+			return
+		}
+	}
+	for _, r := range recs {
+		if err := inc.Append(r.Event); err != nil {
+			st.fail(j, fmt.Errorf("replaying session log record %d: %w", r.Index, err))
+			return
+		}
+	}
+	ds, stats, err := inc.Snapshot()
+	if err != nil {
+		st.fail(j, err)
+		return
+	}
+	res, err := cli.BuildMineResult(st.sys, p, nil, ds, stats, p.MinConfidence, 0, st.mode)
+	if err != nil {
+		st.fail(j, err)
+		return
+	}
+	cp, err := inc.Checkpoint()
+	if err != nil {
+		st.fail(j, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = res
+	j.cp = cp // retained: the next refresh resumes from this high-water mark
+	j.mu.Unlock()
+	st.counters.Count("server.jobs.completed", 1)
+	if err := st.persist(j); err != nil {
+		st.fail(j, fmt.Errorf("persisting job: %w", err))
+	}
+}
+
+// refresh re-enqueues a done session-attached job so its next attempt
+// re-mines only the suffix the session appended since the job's last
+// consolidation checkpoint. A job already queued or running is returned
+// as-is (refresh is idempotent while an attempt is pending).
+func (st *jobStore) refresh(id string) (*job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, errNoJob
+	}
+	if st.closed {
+		return nil, errDraining
+	}
+	j.mu.Lock()
+	if j.req.SessionID == "" {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("server: job %s is not attached to a session", id)
+	}
+	if j.state == JobQueued || j.state == JobRunning {
+		j.mu.Unlock()
+		return j, nil
+	}
+	if len(st.queue) >= st.depth {
+		j.mu.Unlock()
+		return nil, errBusy
+	}
+	j.state = JobQueued
+	j.errMsg = ""
+	j.mu.Unlock()
+	st.queue = append(st.queue, j)
+	st.cond.Signal()
+	st.counters.Count("server.jobs.refreshed", 1)
+	return j, nil
 }
 
 // fail marks a job failed and persists the terminal state (best effort);

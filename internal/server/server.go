@@ -135,7 +135,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	jobs, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"), sys, counters, cfg.JobWorkers, cfg.JobQueueDepth, cfg.ScanWorkers, cfg.Exec, cfg.NoEventLog)
+	jobs, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"), sys, counters, cfg.JobWorkers, cfg.JobQueueDepth, cfg.ScanWorkers, cfg.Exec, cfg.NoEventLog, sessions.tail)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/tag/sessions/{id}", s.handleSessionClose)
 	s.mux.HandleFunc("POST /v1/mining/jobs", s.handleJobCreate)
 	s.mux.HandleFunc("GET /v1/mining/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("POST /v1/mining/jobs/{id}/refresh", s.handleJobRefresh)
 	return s, nil
 }
 
@@ -348,16 +349,27 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Reject malformed sequences and unbuildable problems at submit time,
-	// not on the worker.
-	seq := toSequence(req.Events)
-	if err := seq.Validate(); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if _, _, _, err := req.Problem.Build(s.sys, seq); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
+	// Reject malformed sequences, unbuildable problems and dead sessions at
+	// submit time, not on the worker.
+	if req.SessionID != "" {
+		if _, ok := s.sessions.get(req.SessionID); !ok {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("server: no session %q", req.SessionID))
+			return
+		}
+		if _, _, _, err := req.Problem.Build(s.sys, nil); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		seq := toSequence(req.Events)
+		if err := seq.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, _, _, err := req.Problem.Build(s.sys, seq); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	j, err := s.jobs.submit(req)
 	switch err {
@@ -372,6 +384,36 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleJobRefresh re-enqueues a done session-attached job: the next
+// attempt re-mines only the suffix the session appended since the job's
+// last consolidation checkpoint.
+func (s *Server) handleJobRefresh(w http.ResponseWriter, r *http.Request) {
+	if s.lim.draining() {
+		s.counters.Count("server.rejected.draining", 1)
+		s.writeBackoffError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	j, err := s.jobs.refresh(r.PathValue("id"))
+	switch {
+	case err == nil:
+	case errors.Is(err, errNoJob):
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("server: no job %q", r.PathValue("id")))
+		return
+	case errors.Is(err, errBusy):
+		s.counters.Count("server.rejected.busy", 1)
+		s.writeBackoffError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, errDraining):
+		s.counters.Count("server.rejected.draining", 1)
+		s.writeBackoffError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		s.writeError(w, http.StatusConflict, err)
 		return
 	}
 	s.writeJSON(w, http.StatusAccepted, j.status())

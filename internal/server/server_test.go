@@ -339,7 +339,7 @@ func TestJobLifecycle(t *testing.T) {
 func TestJobQueueFull(t *testing.T) {
 	srv, ts := newTestServer(t, nil)
 	srv.jobs.shutdown()
-	idle, err := newJobStore(t.TempDir(), srv.sys, srv.counters, 0, 1, 0, engine.ExecCompiled, false)
+	idle, err := newJobStore(t.TempDir(), srv.sys, srv.counters, 0, 1, 0, engine.ExecCompiled, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -273,6 +273,47 @@ func (st *sessionStore) feed(s *session, items []EventItem) (*SessionStateRespon
 	return resp, nil
 }
 
+// tail reads a session's durable event log for an attached incremental
+// mining job: the records from index `from` onward plus the log's current
+// length. When fromTime is known (the timestamp at `from`, recorded in the
+// job's consolidation checkpoint), the read resumes from that day's tick
+// via ScanFromTick — the sparse per-granularity index narrows the load to
+// the consolidated suffix instead of walking the whole log — and the exact
+// index filter drops the already-covered records of the same day. A
+// session without a live log (closed, disabled, or degraded) cannot back
+// an incremental job.
+func (st *sessionStore) tail(id string, from, fromTime int64) ([]store.Rec, int64, error) {
+	s, ok := st.get(id)
+	if !ok {
+		return nil, 0, fmt.Errorf("server: no session %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.log == nil {
+		return nil, 0, fmt.Errorf("server: session %s has no live event log", id)
+	}
+	n := s.log.Len()
+	if from > 0 && fromTime > 0 {
+		if tick, ok := st.sys.TickOf("day", fromTime); ok {
+			recs, err := s.log.ScanFromTick("day", tick)
+			// The scan must reach back to `from` (the record at `from` has
+			// time fromTime, so its tick is >= the probe); if it somehow
+			// does not, fall through to the exact read.
+			if err == nil && len(recs) > 0 && recs[0].Index <= from {
+				out := recs[:0:0]
+				for _, r := range recs {
+					if r.Index >= from {
+						out = append(out, r)
+					}
+				}
+				return out, n, nil
+			}
+		}
+	}
+	recs, err := s.log.ReadFrom(from)
+	return recs, n, err
+}
+
 // state returns the current stream view without feeding.
 func (st *sessionStore) state(s *session) *SessionStateResponse {
 	s.mu.Lock()

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/granularity"
+	"repro/internal/mining"
+)
+
+// The consolidation crash sweep extends the store's crash sweep to the
+// incremental-mining consolidation protocol: a live session appends events
+// to the store (each Append synced before it is acknowledged), feeds them
+// to an incremental miner, and every few acks consolidates the miner's
+// checkpoint to ckpt.json through WriteFileAtomic. A simulated power loss
+// is injected at EVERY mutating filesystem operation that lifecycle
+// performs — including the checkpoint's own temp/sync/rename/dir-sync —
+// and after recovery the sweep proves:
+//
+//  1. the store recovers a prefix covering every acknowledged event;
+//  2. ckpt.json is either absent or a complete, decodable checkpoint —
+//     never a torn mix (the WriteFileAtomic invariant);
+//  3. the checkpoint's high-water mark NEVER acknowledges unconsolidated
+//     state: restoring against the recovered log length must not return
+//     ErrHighWaterBeyondLog, because checkpoints are only ever cut from
+//     events the store had already made durable;
+//  4. restoring the checkpoint and replaying the store's suffix yields
+//     discoveries and stats identical to a from-scratch batch run over
+//     the recovered log.
+
+// ckptPath is where the consolidation workload parks the miner state.
+const ckptPath = "data/ckpt.json"
+
+// consolidationEvents plants the A -> B (next b-day morning) -> C (same
+// b-day, within hours) pattern deterministically over business days, with
+// decoys, so the miner has real screening and discovery work to do at
+// every prefix.
+func consolidationEvents() event.Sequence {
+	var s event.Sequence
+	day0 := event.At(1996, 1, 1, 0, 0, 0) // Monday
+	var bdays []int64
+	for d := 0; len(bdays) < 7; d++ {
+		t := day0 + int64(d)*86400
+		if _, ok := granularity.BDay().TickOf(t); ok {
+			bdays = append(bdays, t)
+		}
+	}
+	for i := 0; i+1 < len(bdays); i++ {
+		s = append(s, event.Event{Type: "A", Time: bdays[i] + 9*3600 + int64(i)*60})
+		if i%3 != 2 { // plant the pattern for two of every three anchors
+			tb := bdays[i+1] + 8*3600 + int64(i)*120
+			s = append(s, event.Event{Type: "B", Time: tb})
+			s = append(s, event.Event{Type: "C", Time: tb + 3600 + int64(i)*300})
+		}
+		if i%2 == 0 {
+			s = append(s, event.Event{Type: "D", Time: bdays[i] + 12*3600})
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// consolidationProblem is the planted pattern's mining problem.
+func consolidationProblem() mining.Problem {
+	st := core.NewStructure()
+	st.MustConstrain("X0", "X1", core.MustTCG(1, 1, "b-day"))
+	st.MustConstrain("X1", "X2", core.MustTCG(0, 0, "b-day"), core.MustTCG(0, 4, "hour"))
+	return mining.Problem{Structure: st, MinConfidence: 0.5, Reference: "A"}
+}
+
+// consolidationRun drives one session lifecycle on fsys: append to the
+// store, feed the miner, consolidate every fourth ack. Returns how many
+// events the store acknowledged durable before the first error.
+func consolidationRun(fsys FS, p mining.Problem, evs event.Sequence) (acked int, err error) {
+	s, _, err := Open("data", testOptions(fsys))
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	inc, err := mining.NewIncremental(granularity.Default(), p, mining.PipelineOptions{})
+	if err != nil {
+		return 0, err
+	}
+	for i, e := range evs {
+		if _, err := s.Append(e); err != nil {
+			return acked, err
+		}
+		acked = i + 1
+		if err := inc.Append(e); err != nil {
+			return acked, err
+		}
+		if acked%4 == 0 {
+			cp, err := inc.Checkpoint()
+			if err != nil {
+				return acked, err
+			}
+			var buf bytes.Buffer
+			if err := cp.Encode(&buf); err != nil {
+				return acked, err
+			}
+			if err := WriteFileAtomic(fsys, ckptPath, buf.Bytes()); err != nil {
+				return acked, err
+			}
+		}
+	}
+	return acked, s.Close()
+}
+
+// verifyConsolidated checks invariants 1-4 after a crash and recovery.
+func verifyConsolidated(t *testing.T, fsys FS, p mining.Problem, evs event.Sequence, acked int, tag string) {
+	t.Helper()
+	s, _, err := Open("data", testOptions(fsys))
+	if err != nil {
+		t.Fatalf("%s: reopen after recovery: %v", tag, err)
+	}
+	defer s.Close()
+	if ok, q := s.Degraded(); ok {
+		t.Fatalf("%s: crash degraded the store (quarantined %v)", tag, q)
+	}
+	got, err := s.Events()
+	if err != nil {
+		t.Fatalf("%s: Events: %v", tag, err)
+	}
+	if len(got) > len(evs) {
+		t.Fatalf("%s: recovered %d events, more than the %d attempted", tag, len(got), len(evs))
+	}
+	for i := range got {
+		if got[i] != evs[i] {
+			t.Fatalf("%s: recovered event %d = %v, want %v (not a prefix)", tag, i, got[i], evs[i])
+		}
+	}
+	if len(got) < acked {
+		t.Fatalf("%s: recovered %d events but %d were acknowledged durable", tag, len(got), acked)
+	}
+	logLen := int64(len(got))
+	sys := granularity.Default()
+
+	var inc *mining.Incremental
+	replayFrom := int64(0)
+	data, err := ReadFile(fsys, ckptPath)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Crash before the first consolidation completed: mine from scratch.
+		inc, err = mining.NewIncremental(sys, p, mining.PipelineOptions{})
+		if err != nil {
+			t.Fatalf("%s: fresh miner: %v", tag, err)
+		}
+	case err != nil:
+		t.Fatalf("%s: read checkpoint: %v", tag, err)
+	default:
+		cp, err := mining.DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: consolidated checkpoint torn or undecodable: %v", tag, err)
+		}
+		inc, err = mining.RestoreIncremental(sys, p, mining.PipelineOptions{}, cp, logLen)
+		if errors.Is(err, mining.ErrHighWaterBeyondLog) {
+			t.Fatalf("%s: high-water mark %d acknowledges unconsolidated state (recovered log has %d)",
+				tag, cp.Incremental.HighWater, logLen)
+		}
+		if err != nil {
+			t.Fatalf("%s: restore: %v", tag, err)
+		}
+		replayFrom = cp.Incremental.ReplayFrom
+	}
+
+	recs, err := s.ReadFrom(replayFrom)
+	if err != nil {
+		t.Fatalf("%s: ReadFrom(%d): %v", tag, replayFrom, err)
+	}
+	for _, r := range recs {
+		if err := inc.Append(r.Event); err != nil {
+			t.Fatalf("%s: replay record %d: %v", tag, r.Index, err)
+		}
+	}
+	ids, ist, ierr := inc.Snapshot()
+	bds, bst, berr := mining.Optimized(sys, p, event.Sequence(got), mining.PipelineOptions{})
+	if (ierr == nil) != (berr == nil) || (ierr != nil && ierr.Error() != berr.Error()) {
+		t.Fatalf("%s: restored err %v, batch err %v", tag, ierr, berr)
+	}
+	if ierr != nil {
+		return
+	}
+	ist.TagRuns, bst.TagRuns = 0, 0
+	if ist != bst {
+		t.Fatalf("%s: restored stats %+v, batch %+v", tag, ist, bst)
+	}
+	if len(ids) != len(bds) {
+		t.Fatalf("%s: restored %d discoveries, batch %d", tag, len(ids), len(bds))
+	}
+	for i := range ids {
+		if mining.AssignKey(ids[i].Assign) != mining.AssignKey(bds[i].Assign) ||
+			ids[i].Matches != bds[i].Matches || ids[i].Frequency != bds[i].Frequency {
+			t.Fatalf("%s: discovery %d = %v (%d, %v), batch %v (%d, %v)", tag, i,
+				mining.AssignKey(ids[i].Assign), ids[i].Matches, ids[i].Frequency,
+				mining.AssignKey(bds[i].Assign), bds[i].Matches, bds[i].Frequency)
+		}
+	}
+}
+
+func TestConsolidationCrashSweep(t *testing.T) {
+	evs := consolidationEvents()
+	p := consolidationProblem()
+	seeds := crashSweepSeeds(t)
+	if seeds > 5 {
+		seeds = 5 // unsynced-survival variance saturates quickly here
+	}
+
+	// Baseline: count every operation kind a clean lifecycle performs.
+	base := NewMemFS()
+	if acked, err := consolidationRun(base, p, evs); err != nil || acked != len(evs) {
+		t.Fatalf("baseline run: acked %d of %d, err %v", acked, len(evs), err)
+	}
+	kinds := []Op{OpWrite, OpSync, OpRename, OpCreate, OpRemove, OpTrunc, OpSyncDir}
+	total := int64(0)
+	for _, k := range kinds {
+		total += base.OpCount(k)
+	}
+	t.Logf("sweeping %d injection points x %d seeds", total, seeds)
+
+	runs := 0
+	for _, kind := range kinds {
+		max := base.OpCount(kind)
+		for nth := int64(1); nth <= max; nth++ {
+			for seed := int64(0); seed < seeds; seed++ {
+				tag := fmt.Sprintf("consolidation crash op=%s nth=%d seed=%d", kind, nth, seed)
+				fsys := NewMemFS()
+				fsys.SetFault(&Fault{Op: kind, Nth: nth, Mode: FaultCrash, Seed: seed})
+				acked, err := consolidationRun(fsys, p, evs)
+				if !fsys.Crashed() {
+					if err != nil {
+						t.Fatalf("%s: error without crash: %v", tag, err)
+					}
+					continue // injection point past this run's ops
+				}
+				fsys.Recover()
+				verifyConsolidated(t, fsys, p, evs, acked, tag)
+				runs++
+			}
+		}
+	}
+	if runs == 0 {
+		t.Fatal("sweep executed no crash runs")
+	}
+	t.Logf("consolidation crash sweep: %d runs", runs)
+}

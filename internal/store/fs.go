@@ -72,6 +72,39 @@ type FS interface {
 	Size(name string) (int64, error)
 }
 
+// WriteFileAtomic durably replaces path with data: temp file, fsync, rename
+// over the live name, directory fsync. Readers only ever observe the old or
+// the new complete contents — the invariant consolidation checkpoints rely
+// on so a crash mid-write can never surface a torn high-water mark.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dirOf(path))
+}
+
+// ReadFile slurps path through fsys; a missing file surfaces the FS's own
+// not-exist error for the caller to classify.
+func ReadFile(fsys FS, path string) ([]byte, error) {
+	return readFile(fsys, path)
+}
+
 // DirFS is the production FS: a thin veneer over the os package.
 type DirFS struct{}
 

@@ -18,7 +18,6 @@ import (
 
 const (
 	manifestName    = "manifest.json"
-	manifestTmpName = "manifest.json.tmp"
 	manifestVersion = 1
 )
 
@@ -78,24 +77,5 @@ func writeManifest(fsys FS, dir string, m manifest) error {
 		return fmt.Errorf("store: encode manifest: %w", err)
 	}
 	data = append(data, '\n')
-	tmp := dir + "/" + manifestTmpName
-	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := fsys.Rename(tmp, dir+"/"+manifestName); err != nil {
-		return err
-	}
-	return fsys.SyncDir(dir)
+	return WriteFileAtomic(fsys, dir+"/"+manifestName, data)
 }

@@ -22,6 +22,11 @@
 #                                        # and gates the append path's
 #                                        # allocs/op
 #   sh scripts/bench_compare.sh pr7-smoke# short pr7 run, same alloc gate
+#   sh scripts/bench_compare.sh pr8      # incremental-vs-batch mining
+#                                        # benchmarks; writes BENCH_PR8.json
+#                                        # and gates the no-rescan property
+#                                        # (>=20x over a full re-mine)
+#   sh scripts/bench_compare.sh pr8-smoke# short pr8 run, same gate
 #
 # The baseline lives at scripts/bench_baseline_pr3.json and is only
 # meaningful on the machine that produced it; regenerate it with `baseline`
@@ -30,6 +35,56 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+# ---- PR-8: incremental mining over the event store -----------------------
+if [ "$MODE" = pr8 ] || [ "$MODE" = pr8-smoke ]; then
+	OUT="BENCH_PR8.json"
+	BENCHES='BenchmarkIncrementalAppend100k|BenchmarkBatchRemine100k'
+	if [ "$MODE" = pr8-smoke ]; then
+		BENCHTIME="${BENCHTIME:-5x}"
+	else
+		BENCHTIME="${BENCHTIME:-2s}"
+	fi
+	RAW="$(mktemp)"
+	trap 'rm -f "$RAW"' EXIT
+	echo ">> go test -run XXX -bench '$BENCHES' -benchtime=$BENCHTIME ."
+	go test -run XXX -bench "$BENCHES" -benchtime="$BENCHTIME" -timeout 20m . | tee "$RAW"
+
+	awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+	BEGIN { n = 0 }
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		names[n] = name; ns[n] = $3; allocs[n] = ($8 == "allocs/op" ? $7 : -1); n++
+	}
+	END {
+		printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", names[i], ns[i], allocs[i], (i+1<n ? "," : "")
+		printf "  }"
+		for (i = 0; i < n; i++) v[names[i]] = ns[i]
+		if (("BenchmarkBatchRemine100k" in v) && v["BenchmarkIncrementalAppend100k"] > 0)
+			printf ",\n  \"incremental_speedup\": %.3f", v["BenchmarkBatchRemine100k"] / v["BenchmarkIncrementalAppend100k"]
+		printf "\n}\n"
+	}' "$RAW" > "$OUT"
+	echo ">> wrote $OUT"
+	cat "$OUT"
+
+	# No-rescan gate (both modes): appending one event to a 100k-event
+	# stream must beat a full batch re-mine by >=20x. The measured margin is
+	# ~3 orders of magnitude; 20x only fails if the incremental miner starts
+	# walking history on append or snapshot.
+	awk '
+	$1 == "\"incremental_speedup\":" { gsub(/,/, "", $2); speedup = $2 + 0; found = 1 }
+	END {
+		if (!found) { print "incremental speedup not computed (benchmarks missing)"; exit 1 }
+		if (speedup < 20.0) { printf "incremental append %.2fx over batch < 20x\n", speedup; exit 1 }
+		printf "incremental append speedup: %.2fx (gate: >=20x)\n", speedup
+	}' "$OUT" || { echo "bench_compare: FAILED (pr8 no-rescan gate)" >&2; exit 1; }
+	echo "bench_compare: $MODE OK"
+	exit 0
+fi
+# --------------------------------------------------------------------------
 
 # ---- PR-7: append-only event store -------------------------------------
 if [ "$MODE" = pr7 ] || [ "$MODE" = pr7-smoke ]; then

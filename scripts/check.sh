@@ -21,6 +21,8 @@ echo '>> oracle smoke (differential contracts over 200 seeds)'
 go run ./cmd/tempofuzz -seeds "${ORACLE_SEEDS:-200}" -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> exec-equiv oracle smoke (compiled vs interpreted core over 300 seeds)'
 go run ./cmd/tempofuzz -seeds "${EXEC_EQUIV_SEEDS:-300}" -contracts exec-equiv -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
+echo '>> incremental-equiv oracle smoke (incremental vs batch mining over 300 seeds)'
+go run ./cmd/tempofuzz -seeds "${INCR_EQUIV_SEEDS:-300}" -contracts incremental-equiv -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo '>> serve smoke (tempod end to end)'
@@ -34,4 +36,6 @@ echo '>> bench smoke (compiled core, allocs/op gate)'
 sh scripts/bench_compare.sh pr6-smoke
 echo '>> bench smoke (event store, allocs/op gate)'
 sh scripts/bench_compare.sh pr7-smoke
+echo '>> bench smoke (incremental mining, no-rescan gate)'
+sh scripts/bench_compare.sh pr8-smoke
 echo 'check: OK'
