@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 bench-json-pr8 serve-smoke oracle-smoke crash-smoke cover
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 bench-json-pr8 bench-json-pr9 serve-smoke cluster-smoke oracle-smoke crash-smoke cover
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ fuzz-smoke:
 # health, a check, a streaming session, a mining job, a SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Boot one router over two worker tempods, feed a session through the
+# router, drain the session's owner (a live rebalance-by-checkpoint
+# handover), assert byte-identical reads across the migration, then take
+# the whole cluster down with one SIGTERM to the router.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -71,6 +78,13 @@ bench-json-pr7:
 # no-rescan property (>=20x).
 bench-json-pr8:
 	sh scripts/bench_compare.sh pr8
+
+# Cluster-tier benchmark run; writes BENCH_PR9.json (router proxy overhead
+# on /v1/check, 10k-event session migration) and gates proxy overhead
+# <=2x standalone plus the migration's no-rescan property (replayed/op
+# under the checkpoint stride).
+bench-json-pr9:
+	sh scripts/bench_compare.sh pr9
 
 experiments:
 	$(GO) run ./cmd/experiments

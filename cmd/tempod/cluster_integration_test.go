@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/server"
+)
+
+// startProc boots one tempod process with explicit args and scrapes its
+// base URL from the line carrying marker.
+func startProc(t *testing.T, marker string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(tempodBinary(t), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOut := &bytes.Buffer{}
+	cmd.Stderr = errOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, out: &bytes.Buffer{}, errOut: errOut, done: make(chan error, 1)}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		d.wait()
+	})
+
+	lines := make(chan string, 1)
+	go func() {
+		r := bufio.NewReader(stdout)
+		line, err := r.ReadString('\n')
+		if err == nil {
+			lines <- line
+		}
+		d.out.ReadFrom(r)
+		d.done <- cmd.Wait()
+	}()
+	select {
+	case line := <-lines:
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("unexpected first line %q (want %q)", line, marker)
+		}
+		rest := strings.TrimSpace(line[i+len(marker):])
+		d.url = strings.Fields(rest)[0] // router line appends "(N workers)"
+	case <-time.After(20 * time.Second):
+		t.Fatal("tempod never reported its address")
+	}
+	return d
+}
+
+func startWorker(t *testing.T, dataDir, addr string) *daemon {
+	t.Helper()
+	return startProc(t, "tempod worker listening on ",
+		"-role", "worker", "-addr", addr, "-data", dataDir,
+		"-job-workers", "1", "-checkpoint-every", "4")
+}
+
+func startRouter(t *testing.T, peers string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-role", "router", "-addr", "127.0.0.1:0", "-peers", peers}, extra...)
+	return startProc(t, "tempod router listening on ", args...)
+}
+
+// ownerOf probes each worker directly for the resource and returns its
+// index, or -1.
+func ownerOf(t *testing.T, workers []*daemon, path string) int {
+	t.Helper()
+	for i, w := range workers {
+		if status, _ := httpJSON(t, http.MethodGet, w.url+path, nil, nil); status == http.StatusOK {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestClusterNoAckedEventLost is the cluster form of TestKillDuringAppend:
+// three processes (router + 2 workers), a client streaming single-event
+// feeds through the router, SIGKILL of the owning worker mid-stream, and a
+// restart on the same port and data dir. Every acknowledged event must
+// survive (acked <= recovered <= sent) and the recovered session must be
+// byte-identical to a fresh session fed the same prefix.
+func TestClusterNoAckedEventLost(t *testing.T) {
+	w1Data, w2Data := t.TempDir(), t.TempDir()
+	w1 := startWorker(t, w1Data, "127.0.0.1:0")
+	w2 := startWorker(t, w2Data, "127.0.0.1:0")
+	rt := startRouter(t, "w1="+w1.url+",w2="+w2.url)
+
+	spec := []byte(`{"spec":{"edges":[{"from":"X0","to":"X1","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"X0":"a","X1":"b"}}}`)
+	var cr server.SessionCreateResponse
+	status, body := httpJSON(t, http.MethodPost, rt.url+"/v1/tag/sessions", spec, &cr)
+	if status != http.StatusCreated {
+		t.Fatalf("session create: %d %s", status, body)
+	}
+	workers := []*daemon{w1, w2}
+	dataDirs := []string{w1Data, w2Data}
+	owner := ownerOf(t, workers, "/v1/tag/sessions/"+cr.ID)
+	if owner < 0 {
+		t.Fatal("no worker owns the session")
+	}
+
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	types := []string{"a", "x", "b"}
+	item := func(i int) map[string]any {
+		return map[string]any{"time": t0 + int64(i)*60, "type": types[i%len(types)]}
+	}
+	var mu sync.Mutex
+	sent, acked := 0, 0
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		for i := 0; ; i++ {
+			feed, _ := json.Marshal(map[string]any{"events": []map[string]any{item(i)}})
+			mu.Lock()
+			sent = i + 1
+			mu.Unlock()
+			resp, err := http.Post(rt.url+"/v1/tag/sessions/"+cr.ID+"/events", "application/json", bytes.NewReader(feed))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return // the router answered 503 worker_unavailable after the kill
+			}
+			mu.Lock()
+			acked = i + 1
+			mu.Unlock()
+		}
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		n := acked
+		mu.Unlock()
+		if n >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("feeder never reached 20 acknowledged events")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := workers[owner].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	workers[owner].wait()
+	<-stopped
+	mu.Lock()
+	ackedFinal, sentFinal := acked, sent
+	mu.Unlock()
+
+	// Restart the worker on the SAME port and data dir; the router's
+	// placement map still points there, so service resumes transparently.
+	addr := strings.TrimPrefix(workers[owner].url, "http://")
+	revived := startWorker(t, dataDirs[owner], addr)
+
+	var st server.SessionStateResponse
+	if status, body := httpJSON(t, http.MethodGet, rt.url+"/v1/tag/sessions/"+cr.ID, nil, &st); status != http.StatusOK {
+		t.Fatalf("recovered session via router: %d %s", status, body)
+	}
+	n := st.Stream.Events
+	if n < ackedFinal || n > sentFinal {
+		t.Fatalf("recovered %d events; acknowledged %d, sent %d", n, ackedFinal, sentFinal)
+	}
+
+	// Reference: a fresh session fed the same prefix in one batch.
+	var ref server.SessionCreateResponse
+	if status, body := httpJSON(t, http.MethodPost, rt.url+"/v1/tag/sessions", spec, &ref); status != http.StatusCreated {
+		t.Fatalf("reference create: %d %s", status, body)
+	}
+	items := make([]map[string]any, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, item(i))
+	}
+	feed, _ := json.Marshal(map[string]any{"events": items})
+	var refSt server.SessionStateResponse
+	if status, body := httpJSON(t, http.MethodPost, rt.url+"/v1/tag/sessions/"+ref.ID+"/events", feed, &refSt); status != http.StatusOK {
+		t.Fatalf("reference feed: %d %s", status, body)
+	}
+	got, _ := json.Marshal(st.Stream)
+	want, _ := json.Marshal(refSt.Stream)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered stream differs from reference:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// The revived worker announced the log replay on startup.
+	revived.cmd.Process.Kill()
+	revived.wait()
+	if !strings.Contains(revived.errOut.String(), "tempod recovery:") {
+		t.Fatalf("no recovery summary on the revived worker's stderr:\n%s", revived.errOut.String())
+	}
+}
+
+// TestClusterMiningMatchesStandalone: a mining job submitted through the
+// router discovers exactly what a standalone tempod discovers, and its
+// done-state record survives a drain-triggered migration byte-identically.
+func TestClusterMiningMatchesStandalone(t *testing.T) {
+	w1 := startWorker(t, t.TempDir(), "127.0.0.1:0")
+	w2 := startWorker(t, t.TempDir(), "127.0.0.1:0")
+	rt := startRouter(t, "w1="+w1.url+",w2="+w2.url)
+
+	var created server.JobStatusResponse
+	status, body := httpJSON(t, http.MethodPost, rt.url+"/v1/mining/jobs", jobBody(t, ""), &created)
+	if status != http.StatusAccepted {
+		t.Fatalf("cluster job submit: %d %s", status, body)
+	}
+	clusterJob := pollJobHTTP(t, rt.url, created.ID, func(js *server.JobStatusResponse) bool {
+		return js.State == server.JobDone || js.State == server.JobFailed
+	})
+	if clusterJob.State != server.JobDone {
+		t.Fatalf("cluster job failed: %s", clusterJob.Error)
+	}
+
+	sa := startDaemon(t, t.TempDir())
+	var saCreated server.JobStatusResponse
+	if status, body := httpJSON(t, http.MethodPost, sa.url+"/v1/mining/jobs", jobBody(t, ""), &saCreated); status != http.StatusAccepted {
+		t.Fatalf("standalone job submit: %d %s", status, body)
+	}
+	saJob := pollJobHTTP(t, sa.url, saCreated.ID, func(js *server.JobStatusResponse) bool {
+		return js.State == server.JobDone || js.State == server.JobFailed
+	})
+	if saJob.State != server.JobDone {
+		t.Fatalf("standalone job failed: %s", saJob.Error)
+	}
+	got, _ := json.Marshal(clusterJob.Result.Discoveries)
+	want, _ := json.Marshal(saJob.Result.Discoveries)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster discoveries differ from standalone:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// Drain the worker holding the job: the done record migrates to the
+	// survivor and the router's answer does not change by a byte.
+	_, before := httpJSON(t, http.MethodGet, rt.url+"/v1/mining/jobs/"+created.ID, nil, nil)
+	owner := ownerOf(t, []*daemon{w1, w2}, "/v1/mining/jobs/"+created.ID)
+	if owner < 0 {
+		t.Fatal("no worker owns the job")
+	}
+	name := []string{"w1", "w2"}[owner]
+	if status, body := httpJSON(t, http.MethodPost, rt.url+"/cluster/workers/"+name+"/drain", nil, nil); status != http.StatusOK {
+		t.Fatalf("drain %s: %d %s", name, status, body)
+	}
+	status, after := httpJSON(t, http.MethodGet, rt.url+"/v1/mining/jobs/"+created.ID, nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("post-drain poll: %d %s", status, after)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("job state changed across the drain:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+// TestClusterRouterSIGTERM: SIGTERM on the router drains the whole
+// cluster — every worker quiesces, and with -shutdown-workers each worker
+// process exits through its own graceful path.
+func TestClusterRouterSIGTERM(t *testing.T) {
+	w1 := startWorker(t, t.TempDir(), "127.0.0.1:0")
+	w2 := startWorker(t, t.TempDir(), "127.0.0.1:0")
+	rt := startRouter(t, "w1="+w1.url+",w2="+w2.url, "-shutdown-workers")
+
+	// Some state so the drain has work to checkpoint.
+	spec := []byte(`{"spec":{"edges":[{"from":"X0","to":"X1","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"X0":"a","X1":"b"}}}`)
+	var cr server.SessionCreateResponse
+	if status, body := httpJSON(t, http.MethodPost, rt.url+"/v1/tag/sessions", spec, &cr); status != http.StatusCreated {
+		t.Fatalf("session create: %d %s", status, body)
+	}
+
+	var h cluster.ClusterHealthResponse
+	if status, _ := httpJSON(t, http.MethodGet, rt.url+"/healthz", nil, &h); status != http.StatusOK || len(h.Workers) != 2 {
+		t.Fatalf("cluster health: %d %+v", status, h)
+	}
+
+	if err := rt.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*daemon{rt, w1, w2} {
+		exited := make(chan error, 1)
+		go func() { exited <- d.wait() }()
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Fatalf("process exited with %v\n%s\n%s", err, d.out.Bytes(), d.errOut.Bytes())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("a process did not exit after the router drain")
+		}
+	}
+	if out := rt.out.String(); !strings.Contains(out, "tempod router draining cluster") || !strings.Contains(out, "tempod router stopped") {
+		t.Fatalf("router drain lines missing:\n%s", out)
+	}
+	for _, w := range []*daemon{w1, w2} {
+		if out := w.out.String(); !strings.Contains(out, "tempod draining") || !strings.Contains(out, "tempod stopped") {
+			t.Fatalf("worker drain lines missing:\n%s", out)
+		}
+	}
+}

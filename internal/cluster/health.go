@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// WorkerHealth is one worker's slice of the cluster health report.
+type WorkerHealth struct {
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	Up          bool   `json:"up"`
+	Status      string `json:"status,omitempty"` // the worker's own status
+	Sessions    int    `json:"sessions"`
+	JobsQueued  int    `json:"jobs_queued"`
+	JobsRunning int    `json:"jobs_running"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ClusterHealthResponse is the router's GET /healthz body: the aggregate
+// over every worker plus the router's own state.
+type ClusterHealthResponse struct {
+	Status        string         `json:"status"` // "ok", "degraded" or "draining"
+	Epoch         int64          `json:"epoch"`
+	Workers       []WorkerHealth `json:"workers"`
+	Sessions      int            `json:"sessions"`
+	JobsQueued    int            `json:"jobs_queued"`
+	JobsRunning   int            `json:"jobs_running"`
+	UptimeSeconds int64          `json:"uptime_seconds"`
+}
+
+// clusterHealth polls every worker and aggregates.
+func (rt *Router) clusterHealth(ctx context.Context) ClusterHealthResponse {
+	rt.mu.Lock()
+	draining := rt.draining
+	epoch := rt.epoch
+	rt.mu.Unlock()
+	out := ClusterHealthResponse{
+		Status:        "ok",
+		Epoch:         epoch,
+		UptimeSeconds: int64(time.Since(rt.start).Seconds()),
+	}
+	for _, wk := range rt.allWorkers() {
+		wh := WorkerHealth{Name: wk.name, URL: wk.url}
+		var h server.HealthResponse
+		if err := rt.internalJSON(ctx, wk, http.MethodGet, "/healthz", nil, &h); err != nil {
+			wh.Error = err.Error()
+			out.Status = "degraded"
+		} else {
+			wh.Up = true
+			wh.Status = h.Status
+			wh.Sessions = h.Sessions
+			wh.JobsQueued = h.JobsQueued
+			wh.JobsRunning = h.JobsRunning
+			out.Sessions += h.Sessions
+			out.JobsQueued += h.JobsQueued
+			out.JobsRunning += h.JobsRunning
+		}
+		out.Workers = append(out.Workers, wh)
+	}
+	if draining {
+		out.Status = "draining"
+	}
+	return out
+}
+
+// handleHealth serves the aggregated cluster health. A draining router
+// answers 503 so load balancers stop routing to the cluster; a degraded
+// one still answers 200 (the surviving workers keep serving their
+// shards).
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := rt.clusterHealth(r.Context())
+	code := http.StatusOK
+	if h.Status == "draining" {
+		code = http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, code, h)
+}
+
+// handleMetrics serves the router's counters plus cluster-level gauges:
+// per-worker liveness and load, aggregate session/job occupancy, and
+// per-tenant quota usage.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := engine.WriteMetricsText(w, rt.counters); err != nil {
+		return
+	}
+	h := rt.clusterHealth(r.Context())
+	fmt.Fprintf(w, "# HELP tempod_cluster_epoch Current ownership epoch.\n")
+	fmt.Fprintf(w, "# TYPE tempod_cluster_epoch gauge\n")
+	fmt.Fprintf(w, "tempod_cluster_epoch %d\n", h.Epoch)
+	fmt.Fprintf(w, "# HELP tempod_cluster_worker_up Worker liveness by name.\n")
+	fmt.Fprintf(w, "# TYPE tempod_cluster_worker_up gauge\n")
+	for _, wh := range h.Workers {
+		up := 0
+		if wh.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "tempod_cluster_worker_up{worker=%q} %d\n", wh.Name, up)
+		fmt.Fprintf(w, "tempod_cluster_worker_sessions{worker=%q} %d\n", wh.Name, wh.Sessions)
+		fmt.Fprintf(w, "tempod_cluster_worker_jobs_queued{worker=%q} %d\n", wh.Name, wh.JobsQueued)
+	}
+	fmt.Fprintf(w, "# HELP tempod_cluster_sessions Live sessions across all workers.\n")
+	fmt.Fprintf(w, "# TYPE tempod_cluster_sessions gauge\n")
+	fmt.Fprintf(w, "tempod_cluster_sessions %d\n", h.Sessions)
+	fmt.Fprintf(w, "tempod_cluster_jobs_queued %d\n", h.JobsQueued)
+	fmt.Fprintf(w, "tempod_cluster_jobs_running %d\n", h.JobsRunning)
+	fmt.Fprintf(w, "# HELP tempod_tenant_usage Per-tenant quota usage by resource.\n")
+	fmt.Fprintf(w, "# TYPE tempod_tenant_usage gauge\n")
+	usage := rt.tenants.snapshot()
+	tenants := make([]string, 0, len(usage))
+	for name := range usage {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		ts := usage[name]
+		label := tenantLabel(name)
+		fmt.Fprintf(w, "tempod_tenant_usage{tenant=%q,resource=\"inflight\"} %d\n", label, ts.inflight)
+		fmt.Fprintf(w, "tempod_tenant_usage{tenant=%q,resource=\"sessions\"} %d\n", label, ts.sessions)
+		fmt.Fprintf(w, "tempod_tenant_usage{tenant=%q,resource=\"jobs\"} %d\n", label, ts.jobs)
+	}
+}
+
+// handleWorkers lists the ring membership and per-worker health.
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.clusterHealth(r.Context()))
+}
+
+// handleWorkerDrain migrates everything off one worker and quiesces it;
+// ?shutdown=1 also asks the worker process to exit.
+func (rt *Router) handleWorkerDrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	shutdown := r.URL.Query().Get("shutdown") == "1"
+	if err := rt.DrainWorker(r.Context(), name, shutdown); err != nil {
+		rt.writeError(w, http.StatusConflict, "", err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, rt.clusterHealth(r.Context()))
+}
+
+// handleSteal runs one work-stealing pass on demand.
+func (rt *Router) handleSteal(w http.ResponseWriter, r *http.Request) {
+	moved, err := rt.StealOnce(r.Context())
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "", err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]bool{"moved": moved})
+}

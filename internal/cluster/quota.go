@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TenantHeader names the tenant a request acts for; absent means the
+// anonymous tenant "".
+const TenantHeader = "X-Tempo-Tenant"
+
+// Quota bounds one tenant's share of the cluster. Zero fields are
+// unlimited.
+type Quota struct {
+	// MaxInflight caps the tenant's concurrently proxied requests.
+	MaxInflight int
+	// MaxSessions caps the tenant's live streaming sessions.
+	MaxSessions int
+	// MaxJobs caps the tenant's resident mining jobs (done jobs stay
+	// resident and pollable, so this bounds total footprint, not just the
+	// queue).
+	MaxJobs int
+}
+
+// ParseQuotas reads the -tenant-quotas flag syntax:
+// "name=inflight,sessions,jobs;name2=...". The name "*" sets the default
+// quota applied to tenants not named. A field left empty (or 0) is
+// unlimited. Example: "acme=8,100,50;free=1,2,2;*=4,16,16".
+func ParseQuotas(spec string) (map[string]Quota, error) {
+	out := make(map[string]Quota)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, vals, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: quota %q wants name=inflight,sessions,jobs", part)
+		}
+		name = strings.TrimSpace(name)
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("cluster: tenant %q quoted twice", name)
+		}
+		fields := strings.Split(vals, ",")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("cluster: quota %q has %d fields, max 3 (inflight,sessions,jobs)", part, len(fields))
+		}
+		var q Quota
+		dst := []*int{&q.MaxInflight, &q.MaxSessions, &q.MaxJobs}
+		for i, f := range fields {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("cluster: quota %q field %d: want a non-negative integer, got %q", part, i+1, f)
+			}
+			*dst[i] = n
+		}
+		out[name] = q
+	}
+	return out, nil
+}
+
+// tenantState tracks one tenant's live usage on the router.
+type tenantState struct {
+	inflight int
+	sessions int
+	jobs     int
+}
+
+// tenantTable enforces per-tenant quotas and keeps the usage gauges that
+// /metrics aggregates. Fairness is structural: each tenant draws against
+// its own inflight cap, so one tenant saturating its share never starves
+// another's admission.
+type tenantTable struct {
+	mu       sync.Mutex
+	quotas   map[string]Quota
+	fallback Quota // the "*" entry; zero = unlimited
+	state    map[string]*tenantState
+}
+
+func newTenantTable(quotas map[string]Quota) *tenantTable {
+	t := &tenantTable{
+		quotas: make(map[string]Quota),
+		state:  make(map[string]*tenantState),
+	}
+	for name, q := range quotas {
+		if name == "*" {
+			t.fallback = q
+			continue
+		}
+		t.quotas[name] = q
+	}
+	return t
+}
+
+func (t *tenantTable) quotaOf(tenant string) Quota {
+	if q, ok := t.quotas[tenant]; ok {
+		return q
+	}
+	return t.fallback
+}
+
+func (t *tenantTable) stateOf(tenant string) *tenantState {
+	ts, ok := t.state[tenant]
+	if !ok {
+		ts = &tenantState{}
+		t.state[tenant] = ts
+	}
+	return ts
+}
+
+// acquire admits one proxied request for tenant, reporting false when the
+// tenant's inflight cap is spent. The caller must call the release on
+// success.
+func (t *tenantTable) acquire(tenant string) (release func(), ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q := t.quotaOf(tenant)
+	ts := t.stateOf(tenant)
+	if q.MaxInflight > 0 && ts.inflight >= q.MaxInflight {
+		return nil, false
+	}
+	ts.inflight++
+	return func() {
+		t.mu.Lock()
+		ts.inflight--
+		t.mu.Unlock()
+	}, true
+}
+
+// reserveSession claims one session slot for tenant (false: over quota).
+func (t *tenantTable) reserveSession(tenant string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q := t.quotaOf(tenant)
+	ts := t.stateOf(tenant)
+	if q.MaxSessions > 0 && ts.sessions >= q.MaxSessions {
+		return false
+	}
+	ts.sessions++
+	return true
+}
+
+// releaseSession returns a session slot (close, or a create that failed
+// downstream).
+func (t *tenantTable) releaseSession(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts := t.stateOf(tenant); ts.sessions > 0 {
+		ts.sessions--
+	}
+}
+
+// reserveJob claims one resident-job slot for tenant.
+func (t *tenantTable) reserveJob(tenant string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q := t.quotaOf(tenant)
+	ts := t.stateOf(tenant)
+	if q.MaxJobs > 0 && ts.jobs >= q.MaxJobs {
+		return false
+	}
+	ts.jobs++
+	return true
+}
+
+func (t *tenantTable) releaseJob(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts := t.stateOf(tenant); ts.jobs > 0 {
+		ts.jobs--
+	}
+}
+
+// snapshot copies the usage table for /metrics.
+func (t *tenantTable) snapshot() map[string]tenantState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]tenantState, len(t.state))
+	for name, ts := range t.state {
+		out[name] = *ts
+	}
+	return out
+}

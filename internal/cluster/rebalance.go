@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// internalJSON issues one /internal call and decodes the JSON reply into
+// out (skipped when out is nil). Non-2xx answers become errors carrying
+// the worker's error body.
+func (rt *Router) internalJSON(ctx context.Context, wk *worker, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	hdr := http.Header{}
+	if payload != nil {
+		hdr.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.forward(ctx, wk, method, path, hdr, payload)
+	if err != nil {
+		return fmt.Errorf("cluster: %s %s on %s: %w", method, path, wk.name, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, server.MaxRequestBytes))
+	if err != nil {
+		return fmt.Errorf("cluster: reading %s reply from %s: %w", path, wk.name, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e server.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("cluster: %s on %s: %d %s", path, wk.name, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("cluster: %s on %s: status %d", path, wk.name, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// pushEpoch announces the current epoch to every worker (best effort: a
+// dead worker adopts it from the first stamped request after it returns).
+func (rt *Router) pushEpoch(ctx context.Context) {
+	epoch := rt.Epoch()
+	for _, wk := range rt.allWorkers() {
+		if err := rt.internalJSON(ctx, wk, http.MethodPost, "/internal/epoch", server.EpochRequest{Epoch: epoch}, nil); err != nil {
+			rt.cfg.Logger.Printf("cluster: epoch %d push to %s: %v", epoch, wk.name, err)
+		}
+	}
+}
+
+// bumpEpoch starts a new ownership era and announces it. Every rebalance
+// bumps first, so any write still carrying the old epoch is fenced by the
+// workers before state starts moving.
+func (rt *Router) bumpEpoch(ctx context.Context) int64 {
+	rt.mu.Lock()
+	rt.epoch++
+	epoch := rt.epoch
+	rt.mu.Unlock()
+	rt.pushEpoch(ctx)
+	rt.counters.Count("cluster.rebalances", 1)
+	return epoch
+}
+
+// AddWorker joins a worker to the ring and rebalances the keys that now
+// hash to it (each arrives by checkpoint handover from its old owner).
+func (rt *Router) AddWorker(ctx context.Context, spec WorkerSpec) error {
+	if spec.Name == "" || spec.URL == "" {
+		return fmt.Errorf("cluster: worker needs a name and a url")
+	}
+	rt.mu.Lock()
+	if _, dup := rt.workers[spec.Name]; dup {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: worker %q already joined", spec.Name)
+	}
+	rt.workers[spec.Name] = &worker{name: spec.Name, url: spec.URL}
+	rt.rebuildRingLocked()
+	rt.mu.Unlock()
+	return rt.rebalance(ctx)
+}
+
+// DrainWorker migrates everything off one worker (it leaves the ring, so
+// its keys re-hash to the survivors), then quiesces it and — when
+// shutdown is set — asks its process to exit. The worker keeps serving
+// until its state is safely elsewhere.
+func (rt *Router) DrainWorker(ctx context.Context, name string, shutdown bool) error {
+	rt.mu.Lock()
+	wk, ok := rt.workers[name]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: no worker %q", name)
+	}
+	if len(rt.workers) == 1 {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: cannot drain the last worker %q", name)
+	}
+	wk.draining = true
+	rt.rebuildRingLocked()
+	rt.mu.Unlock()
+
+	if err := rt.rebalance(ctx); err != nil {
+		return fmt.Errorf("cluster: draining %s: %w", name, err)
+	}
+	// Anything still placed on the drained worker failed to move; keep the
+	// worker in service rather than losing it.
+	if n := rt.placedOn(name); n > 0 {
+		rt.mu.Lock()
+		wk.draining = false
+		rt.rebuildRingLocked()
+		rt.mu.Unlock()
+		rt.pushEpoch(ctx)
+		return fmt.Errorf("cluster: %d placement(s) could not leave %s; worker kept in service", n, name)
+	}
+	if err := rt.internalJSON(ctx, wk, http.MethodPost, "/internal/quiesce", nil, nil); err != nil {
+		return err
+	}
+	if shutdown {
+		if err := rt.internalJSON(ctx, wk, http.MethodPost, "/internal/shutdown", nil, nil); err != nil {
+			return err
+		}
+	}
+	rt.mu.Lock()
+	delete(rt.workers, name)
+	rt.mu.Unlock()
+	rt.counters.Count("cluster.workers.drained", 1)
+	return nil
+}
+
+// placedOn counts placements currently on a worker.
+func (rt *Router) placedOn(name string) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, p := range rt.place {
+		if p.worker == name {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuildRingLocked recomputes the ring from the non-draining workers;
+// callers hold rt.mu.
+func (rt *Router) rebuildRingLocked() {
+	names := make([]string, 0, len(rt.workers))
+	for name, wk := range rt.workers {
+		if !wk.draining {
+			names = append(names, name)
+		}
+	}
+	rt.ring = NewRing(names, rt.cfg.Replicas)
+}
+
+// rebalance moves every placement whose ring owner changed: sessions
+// first (each by checkpoint handover), then the jobs pinned to them and
+// the detached jobs that re-hashed. Failures leave the affected placement
+// on its old owner (the bundle's seal is rolled back) and are reported
+// together; the rest of the moves still happen.
+func (rt *Router) rebalance(ctx context.Context) error {
+	rt.bumpEpoch(ctx)
+	rt.mu.Lock()
+	var moves []*placement
+	for _, p := range rt.place {
+		if target := rt.ring.Owner(p.key); target != "" && target != p.worker {
+			moves = append(moves, p)
+		}
+	}
+	rt.mu.Unlock()
+	sort.Slice(moves, func(i, j int) bool {
+		// Sessions move before jobs so a pinned job's session is already
+		// on the target when the job's inject checks co-location.
+		if moves[i].kind != moves[j].kind {
+			return moves[i].kind == "session"
+		}
+		return moves[i].id < moves[j].id
+	})
+	var errs []error
+	for _, p := range moves {
+		rt.mu.Lock()
+		target := rt.ring.Owner(p.key)
+		from := rt.workers[p.worker]
+		to := rt.workers[target]
+		rt.mu.Unlock()
+		if from == nil || to == nil || target == "" {
+			errs = append(errs, fmt.Errorf("cluster: %s %s has no live target", p.kind, p.id))
+			continue
+		}
+		var err error
+		if p.kind == "session" {
+			err = rt.migrateSession(ctx, p, from, to)
+		} else {
+			err = rt.migrateJob(ctx, p, from, to)
+		}
+		if err != nil {
+			rt.counters.Count("cluster.migrations.failed", 1)
+			rt.cfg.Logger.Printf("cluster: migrating %s %s %s -> %s: %v", p.kind, p.id, from.name, to.name, err)
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// migrateSession hands one session from old to new owner: export (seals
+// the session), import (the new owner runs the restart-restore path over
+// the bundle), optionally verify both owners serve byte-identical state,
+// then forget on the old owner. Any failure unseals the original instead.
+func (rt *Router) migrateSession(ctx context.Context, p *placement, from, to *worker) error {
+	var before []byte
+	if !rt.cfg.DisableVerify {
+		var err error
+		if before, err = rt.readState(ctx, from, "/v1/tag/sessions/"+p.id); err != nil {
+			return err
+		}
+	}
+	var bundle server.SessionBundle
+	if err := rt.internalJSON(ctx, from, http.MethodPost, "/internal/sessions/"+p.id+"/export", nil, &bundle); err != nil {
+		return err
+	}
+	unseal := func() {
+		if uerr := rt.internalJSON(ctx, from, http.MethodPost, "/internal/sessions/"+p.id+"/unseal", nil, nil); uerr != nil {
+			rt.cfg.Logger.Printf("cluster: unsealing %s on %s: %v", p.id, from.name, uerr)
+		}
+	}
+	var imported server.ImportResponse
+	if err := rt.internalJSON(ctx, to, http.MethodPost, "/internal/sessions/import", &bundle, &imported); err != nil {
+		unseal()
+		return err
+	}
+	if !rt.cfg.DisableVerify {
+		after, err := rt.readState(ctx, to, "/v1/tag/sessions/"+p.id)
+		if err == nil && !bytes.Equal(before, after) {
+			err = fmt.Errorf("cluster: session %s state diverged across migration (%d vs %d bytes)", p.id, len(before), len(after))
+		}
+		if err != nil {
+			// The copy on the new owner is suspect: discard it, restore the
+			// original to service.
+			if ferr := rt.internalJSON(ctx, to, http.MethodPost, "/internal/sessions/"+p.id+"/forget", nil, nil); ferr != nil {
+				rt.cfg.Logger.Printf("cluster: discarding suspect import of %s on %s: %v", p.id, to.name, ferr)
+			}
+			unseal()
+			return err
+		}
+	}
+	if err := rt.internalJSON(ctx, from, http.MethodPost, "/internal/sessions/"+p.id+"/forget", nil, nil); err != nil {
+		// The new owner is authoritative now; the sealed leftover refuses
+		// writes and will be cleaned up by a later forget. Log, don't fail.
+		rt.cfg.Logger.Printf("cluster: forgetting migrated session %s on %s: %v", p.id, from.name, err)
+	}
+	rt.mu.Lock()
+	p.worker = to.name
+	rt.mu.Unlock()
+	rt.counters.Count("cluster.migrations.sessions", 1)
+	rt.counters.Count("cluster.migrations.replayed_events", imported.Replayed)
+	return nil
+}
+
+// migrateJob hands one job across workers: export (dequeues it on the old
+// owner), import (re-enqueued like a restart), forget — or reinstate on
+// failure.
+func (rt *Router) migrateJob(ctx context.Context, p *placement, from, to *worker) error {
+	var bundle server.JobBundle
+	if err := rt.internalJSON(ctx, from, http.MethodPost, "/internal/jobs/"+p.id+"/export", nil, &bundle); err != nil {
+		return err
+	}
+	if err := rt.internalJSON(ctx, to, http.MethodPost, "/internal/jobs/import", &bundle, nil); err != nil {
+		if rerr := rt.internalJSON(ctx, from, http.MethodPost, "/internal/jobs/"+p.id+"/reinstate", nil, nil); rerr != nil {
+			rt.cfg.Logger.Printf("cluster: reinstating %s on %s: %v", p.id, from.name, rerr)
+		}
+		return err
+	}
+	if err := rt.internalJSON(ctx, from, http.MethodPost, "/internal/jobs/"+p.id+"/forget", nil, nil); err != nil {
+		rt.cfg.Logger.Printf("cluster: forgetting migrated job %s on %s: %v", p.id, from.name, err)
+	}
+	rt.mu.Lock()
+	p.worker = to.name
+	rt.mu.Unlock()
+	rt.counters.Count("cluster.migrations.jobs", 1)
+	return nil
+}
+
+// readState fetches one resource's canonical JSON body from a worker.
+func (rt *Router) readState(ctx context.Context, wk *worker, path string) ([]byte, error) {
+	resp, err := rt.forward(ctx, wk, http.MethodGet, path, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, server.MaxRequestBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s on %s: status %d", path, wk.name, resp.StatusCode)
+	}
+	return raw, nil
+}
+
+// StealOnce runs one work-stealing pass: the most loaded worker's newest
+// queued, non-session-pinned job moves to an idle worker. It reports
+// whether a job moved. Stealing reuses the migration protocol (export →
+// import → forget, reinstate on failure), so a half-stolen job is never
+// lost or duplicated.
+func (rt *Router) StealOnce(ctx context.Context) (bool, error) {
+	workers := rt.liveWorkers()
+	if len(workers) < 2 {
+		return false, nil
+	}
+	type load struct {
+		wk     *worker
+		queued int
+		busy   int
+	}
+	var loads []load
+	for _, wk := range workers {
+		var h server.HealthResponse
+		if err := rt.internalJSON(ctx, wk, http.MethodGet, "/healthz", nil, &h); err != nil {
+			continue // a dead worker neither donates nor receives
+		}
+		loads = append(loads, load{wk: wk, queued: h.JobsQueued, busy: h.JobsRunning})
+	}
+	if len(loads) < 2 {
+		return false, nil
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		return loads[i].queued+loads[i].busy > loads[j].queued+loads[j].busy
+	})
+	donor, thief := loads[0], loads[len(loads)-1]
+	// Steal only when it helps: the donor has backlog and the thief has
+	// idle capacity.
+	if donor.queued == 0 || thief.queued+thief.busy > 0 {
+		return false, nil
+	}
+	var bundle server.JobBundle
+	if err := rt.internalJSON(ctx, donor.wk, http.MethodPost, "/internal/jobs/steal", nil, &bundle); err != nil {
+		return false, err
+	}
+	if bundle.ID == "" {
+		return false, nil // nothing stealable (all queued jobs pinned)
+	}
+	if err := rt.internalJSON(ctx, thief.wk, http.MethodPost, "/internal/jobs/import", &bundle, nil); err != nil {
+		if rerr := rt.internalJSON(ctx, donor.wk, http.MethodPost, "/internal/jobs/"+bundle.ID+"/reinstate", nil, nil); rerr != nil {
+			rt.cfg.Logger.Printf("cluster: reinstating stolen job %s on %s: %v", bundle.ID, donor.wk.name, rerr)
+		}
+		return false, err
+	}
+	if err := rt.internalJSON(ctx, donor.wk, http.MethodPost, "/internal/jobs/"+bundle.ID+"/forget", nil, nil); err != nil {
+		rt.cfg.Logger.Printf("cluster: forgetting stolen job %s on %s: %v", bundle.ID, donor.wk.name, err)
+	}
+	rt.mu.Lock()
+	if p, ok := rt.place[bundle.ID]; ok {
+		p.worker = thief.wk.name
+	} else {
+		rt.place[bundle.ID] = &placement{id: bundle.ID, kind: "job", key: bundle.ID, worker: thief.wk.name}
+	}
+	rt.mu.Unlock()
+	rt.counters.Count("cluster.jobs.steals", 1)
+	rt.cfg.Logger.Printf("cluster: stole job %s from %s for %s", bundle.ID, donor.wk.name, thief.wk.name)
+	return true, nil
+}
+
+// Drain is the cluster-wide graceful shutdown: stop admitting new work,
+// then quiesce every worker in sequence (each parks its sessions and
+// mining attempts in checkpoints) and — when shutdown is set — ask each
+// process to exit. State stays sharded across the workers' data dirs; the
+// same cluster comes back with a plain restart.
+func (rt *Router) Drain(ctx context.Context, shutdown bool) error {
+	rt.mu.Lock()
+	rt.draining = true
+	rt.mu.Unlock()
+	rt.Close()
+	var errs []error
+	for _, wk := range rt.allWorkers() {
+		path := "/internal/quiesce"
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				path += "?timeout_ms=" + strconv.FormatInt(ms, 10)
+			}
+		}
+		if err := rt.internalJSON(ctx, wk, http.MethodPost, path, nil, nil); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if shutdown {
+			if err := rt.internalJSON(ctx, wk, http.MethodPost, "/internal/shutdown", nil, nil); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,100 @@
+// Package cluster is tempod's horizontal tier split: a Router owns the
+// public HTTP surface and places streaming TAG sessions and mining jobs on
+// a consistent-hash ring of worker tempods, each running the ordinary
+// server.Server in worker mode (Config.Internal). Moving state between
+// workers is rebalance-by-checkpoint: the fingerprint-bound session and
+// job checkpoints — already proven byte-identical across save/restore —
+// are the migration primitive, so a handover is exactly a crash recovery
+// on the new owner.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per worker: enough that the
+// keyspace splits evenly across a handful of workers without making ring
+// rebuilds (every join/leave) noticeable.
+const defaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring: each worker appears as
+// `replicas` virtual points, a key belongs to the first point clockwise
+// from its hash. Rebuilding the ring on membership change moves only the
+// keys between a departed worker's points and their successors.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	names  []string    // sorted member names
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// NewRing builds a ring over the named workers. replicas <= 0 takes the
+// default.
+func NewRing(names []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{names: append([]string(nil), names...)}
+	sort.Strings(r.names)
+	for _, name := range r.names {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", name, i)), name: name})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break deterministically by name so
+		// every router instance agrees on the owner.
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// Owner returns the worker owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is a circle
+	}
+	return r.points[i].name
+}
+
+// Members returns the worker names on the ring, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.names...) }
+
+// Has reports whether name is a ring member.
+func (r *Ring) Has(name string) bool {
+	i := sort.SearchStrings(r.names, name)
+	return i < len(r.names) && r.names[i] == name
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the murmur3 finalizer. Raw FNV of labels that differ only in
+// trailing digits ("w2#0".."w2#63") lands within a narrow band — the last
+// FNV step spreads a one-digit difference by at most ~2^44 of the 2^64
+// space — which collapses a worker's virtual nodes into a few arcs and
+// can starve it of keys entirely. Full avalanche restores the spread.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: two rings built from the same membership agree on
+// every owner, regardless of input order.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"w1", "w2", "w3"}, 64)
+	b := NewRing([]string{"w3", "w1", "w2"}, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cs%06d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %s: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingStability: removing one member moves only that member's keys;
+// every key owned by a survivor keeps its owner. This is the consistent-
+// hashing property the rebalance protocol leans on — a drain never
+// reshuffles state between surviving workers.
+func TestRingStability(t *testing.T) {
+	before := NewRing([]string{"w1", "w2", "w3"}, 64)
+	after := NewRing([]string{"w1", "w3"}, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("cs%06d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was == "w2" {
+			moved++
+			if is == "w2" {
+				t.Fatalf("key %s still owned by the removed worker", key)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though %s survived", key, was, is, was)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingSpread: with enough virtual nodes every worker owns a
+// non-trivial share of the keyspace.
+func TestRingSpread(t *testing.T) {
+	r := NewRing([]string{"w1", "w2", "w3"}, 64)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("cs%06d", i))]++
+	}
+	for _, name := range r.Members() {
+		if c := counts[name]; c < n/10 {
+			t.Fatalf("worker %s owns only %d/%d keys", name, c, n)
+		}
+	}
+}
+
+// TestRingEmptyAndMembership: edge cases.
+func TestRingEmptyAndMembership(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("x"); owner != "" {
+		t.Fatalf("empty ring owner %q", owner)
+	}
+	r := NewRing([]string{"b", "a"}, 4)
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("members %v", got)
+	}
+	if !r.Has("a") || r.Has("c") {
+		t.Fatal("membership check wrong")
+	}
+}
+
+// TestParseQuotas: the -tenant-quotas flag syntax.
+func TestParseQuotas(t *testing.T) {
+	q, err := ParseQuotas("acme=8,100,50;free=1,2,2;*=4,,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q["acme"]; got != (Quota{MaxInflight: 8, MaxSessions: 100, MaxJobs: 50}) {
+		t.Fatalf("acme = %+v", got)
+	}
+	if got := q["free"]; got != (Quota{MaxInflight: 1, MaxSessions: 2, MaxJobs: 2}) {
+		t.Fatalf("free = %+v", got)
+	}
+	if got := q["*"]; got != (Quota{MaxInflight: 4, MaxJobs: 16}) {
+		t.Fatalf("default = %+v", got)
+	}
+	if m, err := ParseQuotas("  "); err != nil || len(m) != 0 {
+		t.Fatalf("blank spec: %v %v", m, err)
+	}
+	for _, bad := range []string{"acme", "acme=1,2,3,4", "acme=-1", "acme=x", "a=1;a=2"} {
+		if _, err := ParseQuotas(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestTenantTableFairness: one tenant exhausting its inflight share does
+// not consume another tenant's slots, and the fallback quota binds unnamed
+// tenants.
+func TestTenantTableFairness(t *testing.T) {
+	tbl := newTenantTable(map[string]Quota{"free": {MaxInflight: 1}, "*": {MaxInflight: 2}})
+	rel1, ok := tbl.acquire("free")
+	if !ok {
+		t.Fatal("first free acquire refused")
+	}
+	if _, ok := tbl.acquire("free"); ok {
+		t.Fatal("free exceeded its inflight cap")
+	}
+	// Another tenant still admits under the fallback quota.
+	relA, ok := tbl.acquire("acme")
+	if !ok {
+		t.Fatal("acme starved by free's saturation")
+	}
+	relB, ok := tbl.acquire("acme")
+	if !ok {
+		t.Fatal("acme second slot refused")
+	}
+	if _, ok := tbl.acquire("acme"); ok {
+		t.Fatal("acme exceeded the fallback cap")
+	}
+	rel1()
+	if rel, ok := tbl.acquire("free"); !ok {
+		t.Fatal("release did not free the slot")
+	} else {
+		rel()
+	}
+	relA()
+	relB()
+
+	// Session slots: reserve/release pairs.
+	tbl2 := newTenantTable(map[string]Quota{"free": {MaxSessions: 1}})
+	if !tbl2.reserveSession("free") {
+		t.Fatal("first session refused")
+	}
+	if tbl2.reserveSession("free") {
+		t.Fatal("session quota not enforced")
+	}
+	if !tbl2.reserveSession("other") {
+		t.Fatal("unquoted tenant refused")
+	}
+	tbl2.releaseSession("free")
+	if !tbl2.reserveSession("free") {
+		t.Fatal("released session slot not reusable")
+	}
+}

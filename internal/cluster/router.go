@@ -1,0 +1,766 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// WorkerSpec names one worker tempod and its base URL.
+type WorkerSpec struct {
+	Name string
+	URL  string
+}
+
+// Config sizes a Router. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the initial ring membership.
+	Workers []WorkerSpec
+	// Replicas is the virtual-node count per worker (default 64).
+	Replicas int
+	// Quotas maps tenant names to their quotas; the "*" entry is the
+	// default for unnamed tenants. Empty means no quotas.
+	Quotas map[string]Quota
+	// RetryAfter is the Retry-After hint on 429/503 responses, in seconds
+	// (default 1).
+	RetryAfter int
+	// Retries bounds the router's own attempts for idempotent operations
+	// against a failing worker (default 3). Non-idempotent operations are
+	// never retried by the router: the client gets a retryable
+	// "worker_unavailable" error instead of a possible duplicate side
+	// effect.
+	Retries int
+	// RequestTimeout bounds each proxied attempt (default 60s).
+	RequestTimeout time.Duration
+	// StealInterval, when positive, runs the work-stealing pass on a
+	// timer; zero leaves stealing to explicit StealOnce calls (tests, the
+	// /cluster/steal admin endpoint).
+	StealInterval time.Duration
+	// VerifyMoves re-reads a migrated session from both owners and
+	// requires byte-identical state bodies before the old copy is
+	// forgotten (default on; DisableVerify turns it off).
+	DisableVerify bool
+	// Client overrides the proxy HTTP client (tests).
+	Client *http.Client
+	// Logger receives migration and drain diagnostics.
+	Logger *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = defaultReplicas
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// worker is one ring member.
+type worker struct {
+	name     string
+	url      string
+	draining bool
+}
+
+// placement records where one session or job currently lives. key is the
+// ring key: the session's own ID, or — for a session-attached job — the
+// session's ID, which pins the job to the session's worker through every
+// rebalance.
+type placement struct {
+	id     string
+	kind   string // "session" or "job"
+	key    string
+	worker string
+	tenant string
+}
+
+// Router is the cluster's API tier: it owns the public /v1 surface,
+// places sessions and jobs on the worker ring, proxies and retries, and
+// drives rebalancing, work stealing, quotas and cluster-wide drain.
+type Router struct {
+	cfg      Config
+	client   *http.Client
+	counters *engine.Counters
+	tenants  *tenantTable
+	mux      *http.ServeMux
+	start    time.Time
+
+	mu        sync.Mutex
+	ring      *Ring
+	workers   map[string]*worker
+	place     map[string]*placement
+	epoch     int64
+	nextSess  int64
+	nextJob   int64
+	nextCheck int64
+	draining  bool
+
+	stopSteal chan struct{}
+	stealWG   sync.WaitGroup
+}
+
+// New builds a Router over the given workers and announces the initial
+// ownership epoch to each (best effort — a worker that is down adopts it
+// from the first proxied write it sees).
+func New(cfg Config) (*Router, error) {
+	cfg.fill()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: a router needs at least one worker")
+	}
+	rt := &Router{
+		cfg:      cfg,
+		client:   cfg.Client,
+		counters: engine.NewCounters(),
+		tenants:  newTenantTable(cfg.Quotas),
+		start:    time.Now(),
+		workers:  make(map[string]*worker),
+		place:    make(map[string]*placement),
+		epoch:    1,
+	}
+	names := make([]string, 0, len(cfg.Workers))
+	for _, spec := range cfg.Workers {
+		if spec.Name == "" || spec.URL == "" {
+			return nil, fmt.Errorf("cluster: worker needs a name and a url")
+		}
+		if _, dup := rt.workers[spec.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker name %q", spec.Name)
+		}
+		rt.workers[spec.Name] = &worker{name: spec.Name, url: strings.TrimRight(spec.URL, "/")}
+		names = append(names, spec.Name)
+	}
+	rt.ring = NewRing(names, cfg.Replicas)
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/check", rt.handleCheck)
+	rt.mux.HandleFunc("POST /v1/tag/sessions", rt.handleSessionCreate)
+	rt.mux.HandleFunc("GET /v1/tag/sessions/{id}", rt.handleSessionRead)
+	rt.mux.HandleFunc("POST /v1/tag/sessions/{id}/events", rt.handleSessionWrite)
+	rt.mux.HandleFunc("DELETE /v1/tag/sessions/{id}", rt.handleSessionClose)
+	rt.mux.HandleFunc("POST /v1/mining/jobs", rt.handleJobCreate)
+	rt.mux.HandleFunc("GET /v1/mining/jobs/{id}", rt.handleJobRead)
+	rt.mux.HandleFunc("POST /v1/mining/jobs/{id}/refresh", rt.handleJobWrite)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /cluster/workers", rt.handleWorkers)
+	rt.mux.HandleFunc("POST /cluster/workers/{name}/drain", rt.handleWorkerDrain)
+	rt.mux.HandleFunc("POST /cluster/steal", rt.handleSteal)
+	rt.pushEpoch(context.Background())
+	if cfg.StealInterval > 0 {
+		rt.stopSteal = make(chan struct{})
+		rt.stealWG.Add(1)
+		go rt.stealLoop(cfg.StealInterval)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler tree.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Counters exposes the router's own metrics (the /metrics source).
+func (rt *Router) Counters() *engine.Counters { return rt.counters }
+
+// Epoch returns the current ownership epoch.
+func (rt *Router) Epoch() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.epoch
+}
+
+// Close stops the background steal loop (if any).
+func (rt *Router) Close() {
+	if rt.stopSteal != nil {
+		close(rt.stopSteal)
+		rt.stealWG.Wait()
+		rt.stopSteal = nil
+	}
+}
+
+func (rt *Router) stealLoop(every time.Duration) {
+	defer rt.stealWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopSteal:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.RequestTimeout)
+			if _, err := rt.StealOnce(ctx); err != nil {
+				rt.cfg.Logger.Printf("cluster steal pass: %v", err)
+			}
+			cancel()
+		}
+	}
+}
+
+// --- placement bookkeeping ---
+
+func (rt *Router) workerByName(name string) (*worker, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	wk, ok := rt.workers[name]
+	return wk, ok
+}
+
+// liveWorkers snapshots the non-draining ring members, sorted by name.
+func (rt *Router) liveWorkers() []*worker {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*worker, 0, len(rt.workers))
+	for _, wk := range rt.workers {
+		if !wk.draining {
+			out = append(out, wk)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// allWorkers snapshots every known worker, draining included.
+func (rt *Router) allWorkers() []*worker {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*worker, 0, len(rt.workers))
+	for _, wk := range rt.workers {
+		out = append(out, wk)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// recordPlacement publishes where an id lives.
+func (rt *Router) recordPlacement(p *placement) {
+	rt.mu.Lock()
+	rt.place[p.id] = p
+	rt.mu.Unlock()
+}
+
+func (rt *Router) dropPlacement(id string) (*placement, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	p, ok := rt.place[id]
+	delete(rt.place, id)
+	return p, ok
+}
+
+// placementFor resolves where an id lives. A miss (router restarted with
+// an empty table) probes the ring owner first and then every other
+// worker with an idempotent GET, re-learning the placement from whichever
+// worker holds the state.
+func (rt *Router) placementFor(ctx context.Context, kind, id string) (*placement, bool) {
+	rt.mu.Lock()
+	if p, ok := rt.place[id]; ok {
+		rt.mu.Unlock()
+		return p, true
+	}
+	owner := rt.ring.Owner(id)
+	rt.mu.Unlock()
+
+	probe := "/v1/tag/sessions/" + id
+	if kind == "job" {
+		probe = "/v1/mining/jobs/" + id
+	}
+	tried := map[string]bool{}
+	candidates := []*worker{}
+	if wk, ok := rt.workerByName(owner); ok {
+		candidates = append(candidates, wk)
+	}
+	candidates = append(candidates, rt.allWorkers()...)
+	for _, wk := range candidates {
+		if tried[wk.name] {
+			continue
+		}
+		tried[wk.name] = true
+		resp, err := rt.forward(ctx, wk, http.MethodGet, probe, nil, nil)
+		if err != nil {
+			continue
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusOK {
+			p := &placement{id: id, kind: kind, key: id, worker: wk.name}
+			rt.recordPlacement(p)
+			rt.counters.Count("cluster.placements.relearned", 1)
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// --- proxying ---
+
+// forward issues one request to a worker, stamping the ownership epoch.
+func (rt *Router) forward(ctx context.Context, wk *worker, method, pathq string, hdr http.Header, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+	req, err := http.NewRequestWithContext(ctx, method, wk.url+pathq, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	req.Header.Set(server.EpochHeader, strconv.FormatInt(rt.Epoch(), 10))
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody ties a per-attempt context to the response body's lifetime.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// relay copies a worker response to the client byte-for-byte (status,
+// headers — Retry-After included — and body).
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// readBody buffers a request body for (re)forwarding.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxRequestBytes))
+}
+
+// passHeaders picks the request headers worth forwarding.
+func passHeaders(r *http.Request) http.Header {
+	h := http.Header{}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	if tn := r.Header.Get(TenantHeader); tn != "" {
+		h.Set(TenantHeader, tn)
+	}
+	return h
+}
+
+// writeJSON mirrors the worker tier's canonical encoding (two-space
+// indent, trailing newline).
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, code int, errCode string, err error) {
+	rt.writeJSON(w, code, server.ErrorResponse{Error: err.Error(), Code: errCode})
+}
+
+// writeBackoffError adds the Retry-After hint (429/503).
+func (rt *Router) writeBackoffError(w http.ResponseWriter, code int, errCode string, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(rt.cfg.RetryAfter))
+	rt.writeError(w, code, errCode, err)
+}
+
+// writeUnavailable reports a worker the router could not reach. The
+// operation did not observably happen; the client may retry safely.
+func (rt *Router) writeUnavailable(w http.ResponseWriter, wk *worker, err error) {
+	rt.counters.Count("cluster.proxy.unavailable", 1)
+	rt.writeBackoffError(w, http.StatusServiceUnavailable, server.CodeWorkerUnavailable,
+		fmt.Errorf("cluster: worker %s unavailable: %v", wk.name, err))
+}
+
+// admitTenant runs per-tenant admission for one proxied request.
+func (rt *Router) admitTenant(w http.ResponseWriter, r *http.Request) (tenant string, release func(), ok bool) {
+	tenant = r.Header.Get(TenantHeader)
+	release, ok = rt.tenants.acquire(tenant)
+	if !ok {
+		rt.counters.Count("cluster.quota.rejected.inflight."+tenantLabel(tenant), 1)
+		rt.writeBackoffError(w, http.StatusTooManyRequests, server.CodeBusy,
+			fmt.Errorf("cluster: tenant %q is over its inflight quota", tenant))
+		return "", nil, false
+	}
+	return tenant, release, true
+}
+
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// --- /v1 handlers ---
+
+// handleCheck proxies a stateless consistency check to any live worker,
+// failing over across workers: the check is pure computation, so retrying
+// elsewhere can never duplicate a side effect.
+func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
+	_, release, ok := rt.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	body, err := readBody(w, r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	workers := rt.liveWorkers()
+	if len(workers) == 0 {
+		rt.writeBackoffError(w, http.StatusServiceUnavailable, server.CodeWorkerUnavailable,
+			fmt.Errorf("cluster: no live workers"))
+		return
+	}
+	// Spread checks round robin across the live workers.
+	rt.mu.Lock()
+	rt.nextCheck++
+	seq := rt.nextCheck
+	rt.mu.Unlock()
+	start := int(seq) % len(workers)
+	var lastErr error
+	var lastWk *worker
+	for i := 0; i < len(workers) && i < rt.cfg.Retries+1; i++ {
+		wk := workers[(start+i)%len(workers)]
+		lastWk = wk
+		resp, ferr := rt.forward(r.Context(), wk, http.MethodPost, "/v1/check", passHeaders(r), body)
+		if ferr != nil {
+			lastErr = ferr
+			rt.counters.Count("cluster.proxy.retries", 1)
+			continue
+		}
+		rt.counters.Count("cluster.proxy.check", 1)
+		rt.relay(w, resp)
+		return
+	}
+	rt.writeUnavailable(w, lastWk, lastErr)
+}
+
+// handleSessionCreate places a new session on the ring. The router picks
+// the ID (so the key determines the owner) and hands it to the worker via
+// the assignment header; an ID collision with pre-existing worker state
+// (a router restart reset the sequence) retries with a fresh ID.
+func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	tenant, release, ok := rt.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if !rt.tenants.reserveSession(tenant) {
+		rt.counters.Count("cluster.quota.rejected.sessions."+tenantLabel(tenant), 1)
+		rt.writeBackoffError(w, http.StatusTooManyRequests, server.CodeBusy,
+			fmt.Errorf("cluster: tenant %q is over its session quota", tenant))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		rt.tenants.releaseSession(tenant)
+		rt.writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		rt.mu.Lock()
+		rt.nextSess++
+		id := fmt.Sprintf("cs%06d", rt.nextSess)
+		owner := rt.ring.Owner(id)
+		wk := rt.workers[owner]
+		rt.mu.Unlock()
+		if wk == nil {
+			rt.tenants.releaseSession(tenant)
+			rt.writeBackoffError(w, http.StatusServiceUnavailable, server.CodeWorkerUnavailable,
+				fmt.Errorf("cluster: no live workers"))
+			return
+		}
+		hdr := passHeaders(r)
+		hdr.Set(server.AssignIDHeader, id)
+		resp, ferr := rt.forward(r.Context(), wk, http.MethodPost, "/v1/tag/sessions", hdr, body)
+		if ferr != nil {
+			// The create may or may not have landed; surface a retryable
+			// error instead of risking a duplicate. The orphan (if any) is
+			// reaped when the client's retry gets a fresh ID and the old one
+			// is never referenced again.
+			rt.tenants.releaseSession(tenant)
+			rt.writeUnavailable(w, wk, ferr)
+			return
+		}
+		if resp.StatusCode == http.StatusUnprocessableEntity && attempt < 2 {
+			// Possible ID collision with state from a previous router
+			// incarnation: peek at the error and try a fresh ID.
+			buf, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if bytes.Contains(buf, []byte("already exists")) {
+				rt.counters.Count("cluster.sessions.id_collisions", 1)
+				continue
+			}
+			rt.tenants.releaseSession(tenant)
+			rt.replayBuffered(w, resp, buf)
+			return
+		}
+		if resp.StatusCode == http.StatusCreated {
+			rt.recordPlacement(&placement{id: id, kind: "session", key: id, worker: wk.name, tenant: tenant})
+			rt.counters.Count("cluster.sessions.created", 1)
+		} else {
+			rt.tenants.releaseSession(tenant)
+		}
+		rt.relay(w, resp)
+		return
+	}
+	rt.tenants.releaseSession(tenant)
+	rt.writeError(w, http.StatusInternalServerError, "", fmt.Errorf("cluster: could not assign a fresh session id"))
+}
+
+// replayBuffered relays a response whose body was already consumed.
+func (rt *Router) replayBuffered(w http.ResponseWriter, resp *http.Response, body []byte) {
+	resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// handleSessionRead proxies a status poll (idempotent: retried against
+// the owner before giving up).
+func (rt *Router) handleSessionRead(w http.ResponseWriter, r *http.Request) {
+	rt.proxyRead(w, r, "session", r.PathValue("id"), "/v1/tag/sessions/"+r.PathValue("id"))
+}
+
+// handleJobRead proxies a job poll.
+func (rt *Router) handleJobRead(w http.ResponseWriter, r *http.Request) {
+	rt.proxyRead(w, r, "job", r.PathValue("id"), "/v1/mining/jobs/"+r.PathValue("id"))
+}
+
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, kind, id, path string) {
+	_, release, ok := rt.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	p, found := rt.placementFor(r.Context(), kind, id)
+	if !found {
+		rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no %s %q", kind, id))
+		return
+	}
+	wk, ok := rt.workerByName(p.worker)
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no %s %q", kind, id))
+		return
+	}
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 25 * time.Millisecond)
+			rt.counters.Count("cluster.proxy.retries", 1)
+		}
+		resp, ferr := rt.forward(r.Context(), wk, http.MethodGet, path, passHeaders(r), nil)
+		if ferr != nil {
+			lastErr = ferr
+			continue
+		}
+		rt.relay(w, resp)
+		return
+	}
+	rt.writeUnavailable(w, wk, lastErr)
+}
+
+// handleSessionWrite proxies an event feed to the session's owner. Feeds
+// are not retried by the router (a lost ack could mean a consumed batch);
+// clients retry safely with the events.after guard.
+func (rt *Router) handleSessionWrite(w http.ResponseWriter, r *http.Request) {
+	rt.proxyWrite(w, r, "session", r.PathValue("id"), "/v1/tag/sessions/"+r.PathValue("id")+"/events")
+}
+
+// handleJobWrite proxies a refresh to the job's owner.
+func (rt *Router) handleJobWrite(w http.ResponseWriter, r *http.Request) {
+	rt.proxyWrite(w, r, "job", r.PathValue("id"), "/v1/mining/jobs/"+r.PathValue("id")+"/refresh")
+}
+
+func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, kind, id, path string) {
+	_, release, ok := rt.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	body, err := readBody(w, r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	p, found := rt.placementFor(r.Context(), kind, id)
+	if !found {
+		rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no %s %q", kind, id))
+		return
+	}
+	wk, ok := rt.workerByName(p.worker)
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no %s %q", kind, id))
+		return
+	}
+	resp, ferr := rt.forward(r.Context(), wk, http.MethodPost, path, passHeaders(r), body)
+	if ferr != nil {
+		rt.writeUnavailable(w, wk, ferr)
+		return
+	}
+	rt.counters.Count("cluster.proxy.writes", 1)
+	rt.relay(w, resp)
+}
+
+// handleSessionClose deletes a session wherever it lives and frees the
+// tenant's slot.
+func (rt *Router) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	_, release, ok := rt.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	id := r.PathValue("id")
+	p, found := rt.placementFor(r.Context(), "session", id)
+	if !found {
+		rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no session %q", id))
+		return
+	}
+	wk, ok := rt.workerByName(p.worker)
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no session %q", id))
+		return
+	}
+	resp, ferr := rt.forward(r.Context(), wk, http.MethodDelete, "/v1/tag/sessions/"+id, passHeaders(r), nil)
+	if ferr != nil {
+		rt.writeUnavailable(w, wk, ferr)
+		return
+	}
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound {
+		if old, had := rt.dropPlacement(id); had {
+			rt.tenants.releaseSession(old.tenant)
+		}
+	}
+	rt.relay(w, resp)
+}
+
+// handleJobCreate places a mining job. A session-attached job is pinned
+// to its session's worker (the incremental miner reads the session's
+// event log locally); a detached job hashes by its own ID.
+func (rt *Router) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	tenant, release, ok := rt.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if !rt.tenants.reserveJob(tenant) {
+		rt.counters.Count("cluster.quota.rejected.jobs."+tenantLabel(tenant), 1)
+		rt.writeBackoffError(w, http.StatusTooManyRequests, server.CodeBusy,
+			fmt.Errorf("cluster: tenant %q is over its job quota", tenant))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		rt.tenants.releaseJob(tenant)
+		rt.writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	// Peek at session_id for placement; full validation stays on the
+	// worker.
+	var peek struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		rt.tenants.releaseJob(tenant)
+		rt.writeError(w, http.StatusBadRequest, "", fmt.Errorf("cluster: decoding request: %w", err))
+		return
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		rt.mu.Lock()
+		rt.nextJob++
+		id := fmt.Sprintf("cj%06d", rt.nextJob)
+		rt.mu.Unlock()
+		key := id
+		var wk *worker
+		if peek.SessionID != "" {
+			p, found := rt.placementFor(r.Context(), "session", peek.SessionID)
+			if !found {
+				rt.tenants.releaseJob(tenant)
+				rt.writeError(w, http.StatusNotFound, "", fmt.Errorf("cluster: no session %q", peek.SessionID))
+				return
+			}
+			key = peek.SessionID
+			wk, _ = rt.workerByName(p.worker)
+		} else {
+			rt.mu.Lock()
+			wk = rt.workers[rt.ring.Owner(key)]
+			rt.mu.Unlock()
+		}
+		if wk == nil {
+			rt.tenants.releaseJob(tenant)
+			rt.writeBackoffError(w, http.StatusServiceUnavailable, server.CodeWorkerUnavailable,
+				fmt.Errorf("cluster: no live workers"))
+			return
+		}
+		hdr := passHeaders(r)
+		hdr.Set(server.AssignIDHeader, id)
+		resp, ferr := rt.forward(r.Context(), wk, http.MethodPost, "/v1/mining/jobs", hdr, body)
+		if ferr != nil {
+			rt.tenants.releaseJob(tenant)
+			rt.writeUnavailable(w, wk, ferr)
+			return
+		}
+		if resp.StatusCode == http.StatusInternalServerError && attempt < 2 {
+			buf, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if bytes.Contains(buf, []byte("already exists")) {
+				rt.counters.Count("cluster.jobs.id_collisions", 1)
+				continue
+			}
+			rt.tenants.releaseJob(tenant)
+			rt.replayBuffered(w, resp, buf)
+			return
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			rt.recordPlacement(&placement{id: id, kind: "job", key: key, worker: wk.name, tenant: tenant})
+			rt.counters.Count("cluster.jobs.created", 1)
+		} else {
+			rt.tenants.releaseJob(tenant)
+		}
+		rt.relay(w, resp)
+		return
+	}
+	rt.tenants.releaseJob(tenant)
+	rt.writeError(w, http.StatusInternalServerError, "", fmt.Errorf("cluster: could not assign a fresh job id"))
+}

@@ -372,15 +372,26 @@ func (inc *Incremental) Pos() int64 { return inc.pos }
 // folding into counters — every reference whose horizon the stream passed.
 // No TAG runs here: those are deferred to close and Snapshot time.
 func (inc *Incremental) Append(e event.Event) error {
+	live, err := inc.ingest(e)
+	if err != nil || !live {
+		return err
+	}
+	return inc.consolidate()
+}
+
+// ingest is the per-event fold without the consolidation tail. It reports
+// whether the event was a live append (as opposed to a restore-replay
+// filler); consolidation is only due after live events.
+func (inc *Incremental) ingest(e event.Event) (bool, error) {
 	if e.Type == "" {
-		return fmt.Errorf("mining: empty event type")
+		return false, fmt.Errorf("mining: empty event type")
 	}
 	filler := inc.pos < inc.hw // restore replay of already-consolidated events
 	if !filler && inc.restoredLast > inc.lastTime {
 		inc.lastTime = inc.restoredLast
 	}
 	if e.Time < inc.lastTime {
-		return fmt.Errorf("mining: event at %d out of order (stream is at %d)", e.Time, inc.lastTime)
+		return false, fmt.Errorf("mining: event at %d out of order (stream is at %d)", e.Time, inc.lastTime)
 	}
 	origIdx := inc.pos
 	inc.pos++
@@ -389,7 +400,7 @@ func (inc *Incremental) Append(e event.Event) error {
 		if !filler {
 			inc.seqEvents++
 		}
-		return nil
+		return !filler, nil
 	}
 	if !filler {
 		inc.seqEvents++
@@ -409,7 +420,7 @@ func (inc *Incremental) Append(e event.Event) error {
 				inc.typeSeen[e.Type] = true
 				inc.typeOrder = append(inc.typeOrder, e.Type)
 				if err := inc.birthCandidates(); err != nil {
-					return err
+					return false, err
 				}
 			}
 		}
@@ -432,12 +443,16 @@ func (inc *Incremental) Append(e event.Event) error {
 			})
 		}
 	}
-	if !filler {
-		if err := inc.closeRefs(); err != nil {
-			return err
-		}
-		inc.compact()
+	return !filler, nil
+}
+
+// consolidate is the post-append sweep: close every reference whose
+// horizon the stream clock passed, then compact the frontier.
+func (inc *Incremental) consolidate() error {
+	if err := inc.closeRefs(); err != nil {
+		return err
 	}
+	inc.compact()
 	return nil
 }
 
@@ -449,6 +464,46 @@ func (inc *Incremental) AppendAll(seq event.Sequence) error {
 		}
 	}
 	return nil
+}
+
+// AppendBatch folds a batch of events in order, with two differences from
+// per-event Append. First, the whole batch is validated up front — a typing
+// or ordering error anywhere in it rejects the batch before any state
+// mutates, so callers need no partial-failure recovery. Second, the
+// consolidation sweep (closing references past their horizon, compacting
+// the frontier) runs once at batch end instead of once per event. Deferring
+// the close is exact: a reference closes only when the stream clock passes
+// its horizon, and every later event in the batch is at or past that clock,
+// hence outside every window the closed reference consults — its bits and
+// verdicts cannot change. The result is byte-identical to appending the
+// events one at a time.
+func (inc *Incremental) AppendBatch(seq event.Sequence) error {
+	clock, pos := inc.lastTime, inc.pos
+	for i, e := range seq {
+		if e.Type == "" {
+			return fmt.Errorf("mining: batch event %d: empty event type", i)
+		}
+		if pos >= inc.hw && inc.restoredLast > clock {
+			clock = inc.restoredLast
+		}
+		if e.Time < clock {
+			return fmt.Errorf("mining: batch event %d at %d out of order (stream is at %d)", i, e.Time, clock)
+		}
+		clock = e.Time
+		pos++
+	}
+	live := false
+	for _, e := range seq {
+		l, err := inc.ingest(e)
+		if err != nil {
+			return err // unreachable after validation; defensive
+		}
+		live = live || l
+	}
+	if !live {
+		return nil
+	}
+	return inc.consolidate()
 }
 
 // birthCandidates (re-)enumerates the full assignment space against the

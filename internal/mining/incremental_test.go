@@ -271,3 +271,76 @@ func TestIncrementalRejectsOutOfOrder(t *testing.T) {
 		t.Fatal("empty-type append accepted")
 	}
 }
+
+// TestIncrementalAppendBatch: folding a batch must equal appending its
+// events one at a time (discoveries and stats), at every batch boundary
+// and for every batch size, across checkpoint shapes.
+func TestIncrementalAppendBatch(t *testing.T) {
+	for seed := int64(0); seed <= 5; seed++ {
+		seq := plantWorkload(seed, 6, 0.6)
+		p := incrementalProblem(seed)
+		for _, size := range []int{1, 3, 7, len(seq)} {
+			batched, err := NewIncremental(sys, p, PipelineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := NewIncremental(sys, p, PipelineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for at := 0; at < len(seq); at += size {
+				end := min(at+size, len(seq))
+				if err := batched.AppendBatch(seq[at:end]); err != nil {
+					t.Fatalf("seed %d size %d: batch at %d: %v", seed, size, at, err)
+				}
+				for _, e := range seq[at:end] {
+					if err := serial.Append(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				bds, bst, berr := batched.Snapshot()
+				sds, sst, serr := serial.Snapshot()
+				if d := diffIncremental(bds, bst, berr, sds, sst, serr); d != "" {
+					t.Fatalf("seed %d size %d after %d events: %s", seed, size, end, d)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalAppendBatchAtomic: a bad event anywhere in a batch rejects
+// the whole batch before any state mutates — the snapshot is unchanged and
+// the valid prefix can be resubmitted.
+func TestIncrementalAppendBatchAtomic(t *testing.T) {
+	p := incrementalProblem(0)
+	inc, err := NewIncremental(sys, p, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := event.At(1996, 1, 1, 12, 0, 0)
+	if err := inc.AppendBatch(event.Sequence{{Type: "A", Time: t0}, {Type: "B", Time: t0 + 60}}); err != nil {
+		t.Fatal(err)
+	}
+	before, bst, berr := inc.Snapshot()
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	bad := []event.Sequence{
+		{{Type: "C", Time: t0 + 120}, {Type: "D", Time: t0 + 90}, {Type: "E", Time: t0 + 180}}, // out of order mid-batch
+		{{Type: "C", Time: t0 + 120}, {Type: "", Time: t0 + 180}},                              // empty type
+		{{Type: "C", Time: t0 - 1}}, // behind the stream clock
+	}
+	for i, seq := range bad {
+		if err := inc.AppendBatch(seq); err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+		after, ast, aerr := inc.Snapshot()
+		if d := diffIncremental(after, ast, aerr, before, bst, berr); d != "" {
+			t.Fatalf("bad batch %d mutated state: %s", i, d)
+		}
+	}
+	// The valid events from a rejected batch land fine on their own.
+	if err := inc.AppendBatch(event.Sequence{{Type: "C", Time: t0 + 120}, {Type: "E", Time: t0 + 180}}); err != nil {
+		t.Fatalf("resubmitting the valid prefix: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/granularity"
+	"repro/internal/server"
+	"repro/internal/tag"
+)
+
+// checkClusterRebalance is the distributed-tier contract: streaming the
+// instance's sequence into a TAG session through a router over two worker
+// tempods, then draining the owning worker mid-stream (a full
+// rebalance-by-checkpoint handover: export, epoch bump, import with
+// fingerprint validation, byte-verify), must be observationally identical
+// to a single standalone tempod fed the same events. Three claims at once:
+//
+//   - the session's state bytes do not change across the migration (the
+//     router's own byte-verify is on, so a divergent handover fails the
+//     drain outright);
+//   - the cluster keeps accepting the rest of the stream after the move,
+//     and the final stream view equals the standalone run's — placement,
+//     proxying and migration are invisible to the protocol;
+//   - the drain bumps the ownership epoch (the fencing precondition).
+func checkClusterRebalance(in *Instance, sys *granularity.System,
+	stats *CheckStats, add func(string, string, ...any)) {
+
+	ct, err := in.ComplexType()
+	if err != nil {
+		stats.skip(ContractClusterRebalance, "no total complex type: "+err.Error())
+		return
+	}
+	if _, err := tag.Compile(ct); err != nil {
+		stats.skip(ContractClusterRebalance, "not compilable: "+err.Error())
+		return
+	}
+	if len(in.Seq) < 2 {
+		stats.skip(ContractClusterRebalance, "sequence too short to split around a drain")
+		return
+	}
+	for i, e := range in.Seq {
+		if e.Time < 1 || e.Type == "" || (i > 0 && e.Time < in.Seq[i-1].Time) {
+			stats.skip(ContractClusterRebalance, "sequence not appendable")
+			return
+		}
+	}
+	stats.ran(ContractClusterRebalance)
+
+	// Two in-process workers behind a router, plus a standalone control.
+	// CheckpointEvery 4 keeps the strided-checkpoint + tail-replay path of
+	// the migration protocol exercised on the oracle's short sequences.
+	newServer := func() (*server.Server, func(), error) {
+		dir, err := os.MkdirTemp("", "oracle-cluster")
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.New(server.Config{
+			DataDir: dir, System: sys, Internal: true,
+			CheckpointEvery: 4, JobWorkers: 1,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		cleanup := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			srv.Drain(ctx)
+			cancel()
+			os.RemoveAll(dir)
+		}
+		return srv, cleanup, nil
+	}
+	type workerProc struct {
+		name string
+		ts   *httptest.Server
+	}
+	var workers []workerProc
+	for _, name := range []string{"w1", "w2"} {
+		srv, cleanup, err := newServer()
+		if err != nil {
+			add(ContractClusterRebalance, "booting worker %s: %v", name, err)
+			return
+		}
+		defer cleanup()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		workers = append(workers, workerProc{name: name, ts: ts})
+	}
+	rt, err := cluster.New(cluster.Config{
+		Workers: []cluster.WorkerSpec{
+			{Name: workers[0].name, URL: workers[0].ts.URL},
+			{Name: workers[1].name, URL: workers[1].ts.URL},
+		},
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		add(ContractClusterRebalance, "building router: %v", err)
+		return
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	control, controlCleanup, err := newServer()
+	if err != nil {
+		add(ContractClusterRebalance, "booting control: %v", err)
+		return
+	}
+	defer controlCleanup()
+	cts := httptest.NewServer(control.Handler())
+	defer cts.Close()
+
+	post := func(url string, body []byte) (int, []byte, error) {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, data, err
+	}
+	get := func(url string) (int, []byte, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, data, err
+	}
+
+	specBody, err := json.Marshal(struct {
+		Spec *core.Spec `json:"spec"`
+	}{in.Spec})
+	if err != nil {
+		add(ContractClusterRebalance, "encoding spec: %v", err)
+		return
+	}
+	status, body, err := post(rts.URL+"/v1/tag/sessions", specBody)
+	if err != nil {
+		add(ContractClusterRebalance, "create via router: %v", err)
+		return
+	}
+	if status == http.StatusUnprocessableEntity {
+		stats.Ran = stats.Ran[:len(stats.Ran)-1]
+		stats.skip(ContractClusterRebalance, "spec not servable: "+string(body))
+		return
+	}
+	if status != http.StatusCreated {
+		add(ContractClusterRebalance, "create via router: status %d: %s", status, body)
+		return
+	}
+	var cr server.SessionCreateResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		add(ContractClusterRebalance, "decoding create response: %v", err)
+		return
+	}
+
+	feed := func(base, id string, es []struct {
+		Time int64  `json:"time"`
+		Type string `json:"type"`
+	}) error {
+		body, _ := json.Marshal(map[string]any{"events": es})
+		status, data, err := post(base+"/v1/tag/sessions/"+id+"/events", body)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d: %s", status, data)
+		}
+		return nil
+	}
+	items := make([]struct {
+		Time int64  `json:"time"`
+		Type string `json:"type"`
+	}, len(in.Seq))
+	for i, e := range in.Seq {
+		items[i].Time, items[i].Type = e.Time, string(e.Type)
+	}
+
+	split := len(in.Seq) / 2
+	for i := 0; i < split; i++ { // one event per request: the streaming shape
+		if err := feed(rts.URL, cr.ID, items[i:i+1]); err != nil {
+			add(ContractClusterRebalance, "feeding event %d via router: %v", i, err)
+			return
+		}
+	}
+	_, before, err := get(rts.URL + "/v1/tag/sessions/" + cr.ID)
+	if err != nil {
+		add(ContractClusterRebalance, "pre-drain read: %v", err)
+		return
+	}
+
+	// Find and drain the owner. The router's byte-verify runs inside the
+	// drain, so a corrupted handover surfaces here as a non-200.
+	owner := ""
+	for _, wk := range workers {
+		if status, _, err := get(wk.ts.URL + "/v1/tag/sessions/" + cr.ID); err == nil && status == http.StatusOK {
+			owner = wk.name
+		}
+	}
+	if owner == "" {
+		add(ContractClusterRebalance, "no worker serves session %s", cr.ID)
+		return
+	}
+	status, body, err = post(rts.URL+"/cluster/workers/"+owner+"/drain", nil)
+	if err != nil || status != http.StatusOK {
+		add(ContractClusterRebalance, "draining owner %s: status %d err %v: %s", owner, status, err, body)
+		return
+	}
+
+	status, after, err := get(rts.URL + "/v1/tag/sessions/" + cr.ID)
+	if err != nil || status != http.StatusOK {
+		add(ContractClusterRebalance, "post-drain read: status %d err %v", status, err)
+		return
+	}
+	if !bytes.Equal(before, after) {
+		add(ContractClusterRebalance, "session state changed across the migration:\nbefore: %s\nafter: %s", before, after)
+		return
+	}
+
+	for i := split; i < len(in.Seq); i++ {
+		if err := feed(rts.URL, cr.ID, items[i:i+1]); err != nil {
+			add(ContractClusterRebalance, "feeding event %d after the drain: %v", i, err)
+			return
+		}
+	}
+	_, final, err := get(rts.URL + "/v1/tag/sessions/" + cr.ID)
+	if err != nil {
+		add(ContractClusterRebalance, "final read: %v", err)
+		return
+	}
+
+	// Control: the same spec and events into one standalone tempod, fed in
+	// a single batch. The stream views (IDs aside) must be identical.
+	status, body, err = post(cts.URL+"/v1/tag/sessions", specBody)
+	if err != nil || status != http.StatusCreated {
+		add(ContractClusterRebalance, "control create: status %d err %v: %s", status, err, body)
+		return
+	}
+	var ctrl server.SessionCreateResponse
+	if err := json.Unmarshal(body, &ctrl); err != nil {
+		add(ContractClusterRebalance, "decoding control create: %v", err)
+		return
+	}
+	if err := feed(cts.URL, ctrl.ID, items); err != nil {
+		add(ContractClusterRebalance, "control feed: %v", err)
+		return
+	}
+	_, controlBody, err := get(cts.URL + "/v1/tag/sessions/" + ctrl.ID)
+	if err != nil {
+		add(ContractClusterRebalance, "control read: %v", err)
+		return
+	}
+	var clusterState, controlState server.SessionStateResponse
+	if err := json.Unmarshal(final, &clusterState); err != nil {
+		add(ContractClusterRebalance, "decoding cluster state: %v", err)
+		return
+	}
+	if err := json.Unmarshal(controlBody, &controlState); err != nil {
+		add(ContractClusterRebalance, "decoding control state: %v", err)
+		return
+	}
+	gotStream, _ := json.Marshal(clusterState.Stream)
+	wantStream, _ := json.Marshal(controlState.Stream)
+	if !bytes.Equal(gotStream, wantStream) {
+		add(ContractClusterRebalance, "cluster stream diverges from the standalone run:\ncluster: %s\ncontrol: %s", gotStream, wantStream)
+		return
+	}
+	if clusterState.Rejected != controlState.Rejected {
+		add(ContractClusterRebalance, "cluster rejected %d events, standalone rejected %d", clusterState.Rejected, controlState.Rejected)
+		return
+	}
+
+	// The drain is a rebalance, so the ownership epoch must have advanced
+	// past its initial value — otherwise stale-writer fencing has no bite.
+	if rt.Epoch() < 2 {
+		add(ContractClusterRebalance, "epoch still %d after a drain", rt.Epoch())
+	}
+}

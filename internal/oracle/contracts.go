@@ -93,6 +93,7 @@ func CheckInstance(in *Instance, k Knobs, h Hooks) ([]Violation, CheckStats, err
 	gate(ContractExecEquiv, func() { checkExecEquiv(in, sys, &stats, add) })
 	gate(ContractStoreReplay, func() { checkStoreReplay(in, sys, &stats, add) })
 	gate(ContractIncrementalEquiv, func() { checkIncrementalEquiv(in, k, sys, s, &stats, add) })
+	gate(ContractClusterRebalance, func() { checkClusterRebalance(in, sys, &stats, add) })
 	return vs, stats, nil
 }
 

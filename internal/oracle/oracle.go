@@ -173,4 +173,10 @@ const (
 	// prefix, including across a seeded mid-stream store crash, recovery
 	// and checkpoint restore.
 	ContractIncrementalEquiv = "incremental-equiv"
+	// ContractClusterRebalance streams the instance's sequence into a TAG
+	// session through a router over two in-process worker tempods, drains
+	// the owning worker mid-stream (a full rebalance-by-checkpoint
+	// handover with byte-verify and an epoch bump), and requires the final
+	// stream view identical to a standalone tempod fed the same events.
+	ContractClusterRebalance = "cluster-rebalance"
 )

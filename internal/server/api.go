@@ -69,6 +69,12 @@ type EventItem struct {
 // session's last event.
 type EventsRequest struct {
 	Events []EventItem `json:"events"`
+	// After, when present, makes the feed exactly-once: it must equal the
+	// number of events the session has already consumed, or the whole batch
+	// is refused with a 409 "feed_conflict" error naming the actual count.
+	// A client that lost an ack (worker died mid-response) retries with the
+	// same After and either lands the batch or learns it already did.
+	After *int64 `json:"after,omitempty"`
 }
 
 // RejectInfo reports the first refused event of a feed batch: its index in
@@ -137,9 +143,77 @@ type JobStatusResponse struct {
 	Result *cli.MineResult `json:"result,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Code, when present,
+// is a stable machine-readable discriminator (the human-readable reason
+// stays in Error): "feed_conflict" (events.after mismatch), "stale_epoch"
+// (a fenced write from a pre-rebalance owner), "migrating" (the session is
+// mid-migration), "refresh_conflict" (a refresh the job cannot honor),
+// "busy"/"draining" (admission), "worker_unavailable" (a router could not
+// reach the owning worker; safe to retry).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Error codes used in ErrorResponse.Code.
+const (
+	CodeFeedConflict      = "feed_conflict"
+	CodeStaleEpoch        = "stale_epoch"
+	CodeMigrating         = "migrating"
+	CodeRefreshConflict   = "refresh_conflict"
+	CodeBusy              = "busy"
+	CodeDraining          = "draining"
+	CodeWorkerUnavailable = "worker_unavailable"
+)
+
+// EpochHeader carries the router's ownership epoch on proxied writes; a
+// worker whose adopted epoch is higher fences the request (409
+// "stale_epoch") so a stale owner can never mutate migrated state.
+const EpochHeader = "X-Tempo-Epoch"
+
+// AssignIDHeader lets a router choose the ID of a session or job it
+// places, so the ID alone determines ownership on the hash ring.
+const AssignIDHeader = "X-Tempo-Assign-Id"
+
+// SessionBundle is the migration form of one streaming session: the
+// durable record exactly as persisted (checkpoint, fingerprint and exec
+// schema included, so the importer re-validates it like a restart would)
+// plus the session's event log. POST /internal/sessions/{id}/export
+// returns it; POST /internal/sessions/import installs it.
+type SessionBundle struct {
+	ID string `json:"id"`
+	// Record is the session's JSON record, byte-identical to the exporter's
+	// on-disk copy.
+	Record json.RawMessage `json:"record"`
+	// Events is the session's durable event log (the records from LogStart
+	// onward, in order).
+	Events []EventItem `json:"events"`
+}
+
+// JobBundle is the migration form of one mining job: its record with the
+// input sequence inlined (the importer re-logs it under its own data dir).
+type JobBundle struct {
+	ID     string          `json:"id"`
+	Record json.RawMessage `json:"record"`
+}
+
+// EpochRequest is the POST /internal/epoch body.
+type EpochRequest struct {
+	Epoch int64 `json:"epoch"`
+}
+
+// EpochResponse reports a worker's adopted epoch.
+type EpochResponse struct {
+	Epoch int64 `json:"epoch"`
+}
+
+// ImportResponse acknowledges a session or job import. Replayed counts the
+// log-tail events fed past the checkpoint during restore — for a session
+// checkpointed every N events it is < N, never the log length (migration
+// reuses the strided checkpoint, it does not re-simulate history).
+type ImportResponse struct {
+	ID       string `json:"id"`
+	Replayed int64  `json:"replayed"`
 }
 
 // HealthResponse is the GET /healthz body.
@@ -216,6 +290,9 @@ func DecodeEventsRequest(r io.Reader) (*EventsRequest, error) {
 	}
 	if len(req.Events) == 0 {
 		return nil, fmt.Errorf("server: events must be non-empty")
+	}
+	if req.After != nil && *req.After < 0 {
+		return nil, fmt.Errorf("server: after must be non-negative")
 	}
 	for i, e := range req.Events {
 		if e.Type == "" {

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// newWorkerServer is newTestServer with the /internal surface mounted.
+func newWorkerServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, func(c *Config) {
+		c.Internal = true
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+func postJSON(t *testing.T, url string, v any, hdr map[string]string) *http.Response {
+	t.Helper()
+	var body []byte
+	if v != nil {
+		var err error
+		if body, err = json.Marshal(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, val := range hdr {
+		req.Header.Set(k, val)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeError(t *testing.T, resp *http.Response) ErrorResponse {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(readBody(t, resp), &e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEpochFencing: the dedicated stale-owner proof. After a worker adopts
+// epoch 5, a write stamped 4 is refused with the typed 409 "stale_epoch"
+// and mutates nothing; the same write stamped 5 proceeds; a write stamped 7
+// is adopted (monotone) so 5 is then fenced too. Unstamped standalone
+// requests always pass.
+func TestEpochFencing(t *testing.T) {
+	srv, ts := newWorkerServer(t, nil)
+	cr := createSession(t, ts.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	feed := func(at int64, epoch string) *http.Response {
+		hdr := map[string]string{}
+		if epoch != "" {
+			hdr[EpochHeader] = epoch
+		}
+		return postJSON(t, ts.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+			EventsRequest{Events: []EventItem{{Time: at, Type: "a"}}}, hdr)
+	}
+
+	resp := postJSON(t, ts.URL+"/internal/epoch", EpochRequest{Epoch: 5}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch set status %d", resp.StatusCode)
+	}
+	readBody(t, resp)
+	if got := srv.Epoch(); got != 5 {
+		t.Fatalf("adopted epoch %d, want 5", got)
+	}
+
+	resp = feed(t0, "4")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale write status %d, want 409", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != CodeStaleEpoch {
+		t.Fatalf("stale write code %q, want %q", e.Code, CodeStaleEpoch)
+	}
+	if got := srv.counters.Get("server.rejected.stale_epoch"); got != 1 {
+		t.Fatalf("stale_epoch counter = %d, want 1", got)
+	}
+
+	// The fenced write left no trace: the session still has zero events.
+	var st SessionStateResponse
+	if err := json.Unmarshal(readBody(t, get(t, ts.URL+"/v1/tag/sessions/"+cr.ID)), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stream.Events != 0 {
+		t.Fatalf("fenced write landed: %d events", st.Stream.Events)
+	}
+
+	if resp := feed(t0, "5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("current-epoch write status %d: %s", resp.StatusCode, readBody(t, resp))
+	} else {
+		readBody(t, resp)
+	}
+	if resp := feed(t0+60, "7"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("future-epoch write status %d", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+	if got := srv.Epoch(); got != 7 {
+		t.Fatalf("epoch after header adoption = %d, want 7", got)
+	}
+	if resp := feed(t0+120, "5"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-adoption stale write status %d, want 409", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+	if resp := feed(t0+120, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unstamped write status %d", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+}
+
+// TestSessionExportImportRoundTrip: export seals the source (feeds get the
+// retryable 409 "migrating"), the bundle restores on a second worker
+// through the restart path with only the checkpoint tail replayed, both
+// workers serve byte-identical session state, and forget/unseal finish or
+// roll back the handover.
+func TestSessionExportImportRoundTrip(t *testing.T) {
+	srvA, tsA := newWorkerServer(t, func(c *Config) { c.CheckpointEvery = 8 })
+	_, tsB := newWorkerServer(t, func(c *Config) { c.CheckpointEvery = 8 })
+
+	cr := createSession(t, tsA.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	items := make([]EventItem, 0, 21)
+	types := []string{"a", "x", "b"}
+	for i := 0; i < 21; i++ {
+		items = append(items, EventItem{Time: t0 + int64(i)*60, Type: types[i%len(types)]})
+	}
+	feedSession(t, tsA.URL, cr.ID, items...)
+	before := readBody(t, get(t, tsA.URL+"/v1/tag/sessions/"+cr.ID))
+
+	resp := postJSON(t, tsA.URL+"/internal/sessions/"+cr.ID+"/export", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var bundle SessionBundle
+	if err := json.Unmarshal(readBody(t, resp), &bundle); err != nil {
+		t.Fatal(err)
+	}
+	if bundle.ID != cr.ID || len(bundle.Events) != len(items) {
+		t.Fatalf("bundle id=%q events=%d, want id=%q events=%d", bundle.ID, len(bundle.Events), cr.ID, len(items))
+	}
+	// The bundled record carries the exporter's disk copy (the transport
+	// re-indents the raw JSON; the content must be identical).
+	disk := mustReadFile(t, filepath.Join(srvA.cfg.DataDir, "sessions", cr.ID+".json"))
+	var diskC, recC bytes.Buffer
+	if err := json.Compact(&diskC, disk); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&recC, bundle.Record); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(diskC.Bytes(), recC.Bytes()) {
+		t.Fatal("bundle record differs from the on-disk record")
+	}
+
+	// Sealed: feeds are refused with the typed migrating error...
+	resp = postJSON(t, tsA.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		EventsRequest{Events: []EventItem{{Time: t0 + 9999, Type: "a"}}}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("sealed feed status %d, want 409", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != CodeMigrating {
+		t.Fatalf("sealed feed code %q, want %q", e.Code, CodeMigrating)
+	}
+	// ...but reads keep working.
+	if resp := get(t, tsA.URL+"/v1/tag/sessions/"+cr.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sealed read status %d", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+
+	resp = postJSON(t, tsB.URL+"/internal/sessions/import", &bundle, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("import status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var imported ImportResponse
+	if err := json.Unmarshal(readBody(t, resp), &imported); err != nil {
+		t.Fatal(err)
+	}
+	// The migration gate: restore replays only the tail past the strided
+	// checkpoint, never the whole log.
+	if imported.Replayed >= int64(len(items)) || imported.Replayed >= 8 {
+		t.Fatalf("import replayed %d of %d events; must be < CheckpointEvery (8)", imported.Replayed, len(items))
+	}
+	after := readBody(t, get(t, tsB.URL+"/v1/tag/sessions/"+cr.ID))
+	if !bytes.Equal(before, after) {
+		t.Fatalf("migrated state diverged:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+
+	// A duplicate import is refused (the new owner already has it).
+	resp = postJSON(t, tsB.URL+"/internal/sessions/import", &bundle, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate import status %d, want 409", resp.StatusCode)
+	}
+	readBody(t, resp)
+
+	// Forget removes the sealed original; unseal would have restored it.
+	resp = postJSON(t, tsA.URL+"/internal/sessions/"+cr.ID+"/forget", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forget status %d", resp.StatusCode)
+	}
+	readBody(t, resp)
+	if resp := get(t, tsA.URL+"/v1/tag/sessions/"+cr.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("forgotten session still served: %d", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+
+	// The new owner accepts further feeds: the handover did not strand the
+	// stream.
+	feedSession(t, tsB.URL, cr.ID, EventItem{Time: t0 + 100000, Type: "a"})
+}
+
+// TestSessionUnsealRestoresService: a failed handover rolls back with
+// unseal and the original session accepts feeds again.
+func TestSessionUnsealRestoresService(t *testing.T) {
+	_, ts := newWorkerServer(t, nil)
+	cr := createSession(t, ts.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	feedSession(t, ts.URL, cr.ID, EventItem{Time: t0, Type: "a"})
+
+	resp := postJSON(t, ts.URL+"/internal/sessions/"+cr.ID+"/export", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+	readBody(t, resp)
+	resp = postJSON(t, ts.URL+"/internal/sessions/"+cr.ID+"/unseal", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unseal status %d", resp.StatusCode)
+	}
+	readBody(t, resp)
+	feedSession(t, ts.URL, cr.ID, EventItem{Time: t0 + 60, Type: "b"})
+}
+
+// TestJobStealAndInject: steal pops the newest queued detached job (pinned
+// jobs are skipped), inject re-homes it on another worker, and a terminal
+// job's bundle installs without re-running. Also proves inject refuses a
+// session-attached job whose session is elsewhere.
+func TestJobStealAndInject(t *testing.T) {
+	srvA, tsA := newWorkerServer(t, nil)
+	_, tsB := newWorkerServer(t, nil)
+
+	// Stop A's worker pool first so staged queue entries stay queued: this
+	// test drives the steal/export protocol, not job execution.
+	srvA.jobs.shutdown()
+
+	// Stage queued jobs directly.
+	mkJob := func(id, sessionID string) *job {
+		return &job{id: id, req: JobCreateRequest{SessionID: sessionID}, state: JobQueued}
+	}
+	pinned := mkJob("j000001", "s000001")
+	detachedOld := mkJob("j000002", "")
+	detachedNew := mkJob("j000003", "")
+	srvA.jobs.mu.Lock()
+	for _, j := range []*job{pinned, detachedOld, detachedNew} {
+		srvA.jobs.jobs[j.id] = j
+		srvA.jobs.queue = append(srvA.jobs.queue, j)
+	}
+	srvA.jobs.mu.Unlock()
+
+	resp := postJSON(t, tsA.URL+"/internal/jobs/steal", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("steal status %d", resp.StatusCode)
+	}
+	var bundle JobBundle
+	if err := json.Unmarshal(readBody(t, resp), &bundle); err != nil {
+		t.Fatal(err)
+	}
+	if bundle.ID != "j000003" {
+		t.Fatalf("stole %q, want the newest detached job j000003", bundle.ID)
+	}
+
+	// Reinstate undoes the steal: the job is queued again and a second
+	// steal can take it.
+	resp = postJSON(t, tsA.URL+"/internal/jobs/"+bundle.ID+"/reinstate", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reinstate status %d", resp.StatusCode)
+	}
+	readBody(t, resp)
+	resp = postJSON(t, tsA.URL+"/internal/jobs/steal", nil, nil)
+	if err := json.Unmarshal(readBody(t, resp), &bundle); err != nil {
+		t.Fatal(err)
+	}
+	if bundle.ID != "j000003" {
+		t.Fatalf("re-steal got %q, want j000003", bundle.ID)
+	}
+
+	// A pinned job whose session lives elsewhere is refused by inject.
+	resp = postJSON(t, tsA.URL+"/internal/jobs/"+pinned.id+"/export", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned export status %d", resp.StatusCode)
+	}
+	var pinnedBundle JobBundle
+	if err := json.Unmarshal(readBody(t, resp), &pinnedBundle); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, tsB.URL+"/internal/jobs/import", &pinnedBundle, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("co-location import status %d, want 409", resp.StatusCode)
+	}
+	readBody(t, resp)
+
+	// Forget on the donor completes the steal; the thief runs the stolen
+	// job from its bundle. (An empty JobCreateRequest fails validation —
+	// what matters here is that it runs on B, not that it succeeds.)
+	resp = postJSON(t, tsB.URL+"/internal/jobs/import", &bundle, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("steal import status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+	resp = postJSON(t, tsA.URL+"/internal/jobs/"+bundle.ID+"/forget", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forget status %d", resp.StatusCode)
+	}
+	readBody(t, resp)
+	if resp := get(t, tsB.URL+"/v1/mining/jobs/"+bundle.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stolen job not served by thief: %d", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+
+	// LIFO continues with the older detached job; once only the pinned job
+	// remains queued there is nothing stealable and the reply is an empty
+	// bundle, not an error.
+	resp = postJSON(t, tsA.URL+"/internal/jobs/steal", nil, nil)
+	var second JobBundle
+	if err := json.Unmarshal(readBody(t, resp), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != detachedOld.id {
+		t.Fatalf("second steal got %q, want %q", second.ID, detachedOld.id)
+	}
+	resp = postJSON(t, tsA.URL+"/internal/jobs/steal", nil, nil)
+	var empty JobBundle
+	if err := json.Unmarshal(readBody(t, resp), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.ID != "" {
+		t.Fatalf("stole %q with only a pinned job queued", empty.ID)
+	}
+}
+
+// TestFeedAfterGuard: the events.after exactly-once guard accepts a feed
+// whose precondition matches the stream and refuses a stale retry with the
+// typed 409 "feed_conflict" without applying it twice.
+func TestFeedAfterGuard(t *testing.T) {
+	_, ts := newWorkerServer(t, nil)
+	cr := createSession(t, ts.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	after := int64(0)
+	resp := postJSON(t, ts.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		EventsRequest{Events: []EventItem{{Time: t0, Type: "a"}}, After: &after}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("guarded feed status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+
+	// A duplicate delivery of the same batch (same precondition) conflicts.
+	resp = postJSON(t, ts.URL+"/v1/tag/sessions/"+cr.ID+"/events",
+		EventsRequest{Events: []EventItem{{Time: t0, Type: "a"}}, After: &after}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("replayed feed status %d, want 409", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != CodeFeedConflict {
+		t.Fatalf("replayed feed code %q, want %q", e.Code, CodeFeedConflict)
+	}
+	var st SessionStateResponse
+	if err := json.Unmarshal(readBody(t, get(t, ts.URL+"/v1/tag/sessions/"+cr.ID)), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stream.Events != 1 {
+		t.Fatalf("stream has %d events after replayed feed, want 1", st.Stream.Events)
+	}
+}
+
+// TestRefreshConflictStructured: satellite check — the refresh 409 carries
+// a machine-readable error code alongside the message, with the status
+// unchanged.
+func TestRefreshConflictStructured(t *testing.T) {
+	_, ts := newWorkerServer(t, nil)
+	// Refreshing a detached (non-session) job conflicts.
+	body := jobRequestJSON(t, "")
+	resp := post(t, ts.URL+"/v1/mining/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var created JobStatusResponse
+	if err := json.Unmarshal(readBody(t, resp), &created); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, created.ID, func(js *JobStatusResponse) bool {
+		return js.State == JobDone || js.State == JobFailed
+	})
+	resp = post(t, ts.URL+"/v1/mining/jobs/"+created.ID+"/refresh", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("refresh status %d, want 409", resp.StatusCode)
+	}
+	e := decodeError(t, resp)
+	if e.Code != CodeRefreshConflict || e.Error == "" {
+		t.Fatalf("refresh error = %+v, want code %q with a message", e, CodeRefreshConflict)
+	}
+}
+
+// TestQuiesceKeepsServing: /internal/quiesce drains in place — new
+// sessions are refused, but existing state stays exportable over HTTP,
+// which is what lets a cluster drain migrate state off a quiesced worker.
+func TestQuiesceKeepsServing(t *testing.T) {
+	_, ts := newWorkerServer(t, nil)
+	cr := createSession(t, ts.URL, sessionSpec)
+	t0 := event.At(1996, 7, 1, 9, 0, 0)
+	feedSession(t, ts.URL, cr.ID, EventItem{Time: t0, Type: "a"})
+
+	resp := postJSON(t, ts.URL+"/internal/quiesce?timeout_ms=10000", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quiesce status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(readBody(t, resp), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("quiesce status %q, want draining", h.Status)
+	}
+	if resp := post(t, ts.URL+"/v1/tag/sessions", []byte(sessionSpec)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create on quiesced worker: %d, want 503", resp.StatusCode)
+	} else {
+		readBody(t, resp)
+	}
+	resp = postJSON(t, ts.URL+"/internal/sessions/"+cr.ID+"/export", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export on quiesced worker: %d", resp.StatusCode)
+	}
+	var bundle SessionBundle
+	if err := json.Unmarshal(readBody(t, resp), &bundle); err != nil {
+		t.Fatal(err)
+	}
+	if bundle.ID != cr.ID {
+		t.Fatalf("export bundle id %q", bundle.ID)
+	}
+}
+
+// TestAssignedIDs: the router's assignment header fixes the session/job ID
+// (so the ID alone determines ring ownership), and a duplicate assignment
+// is refused rather than silently renamed.
+func TestAssignedIDs(t *testing.T) {
+	_, ts := newWorkerServer(t, nil)
+	resp := postJSON(t, ts.URL+"/v1/tag/sessions", json.RawMessage(sessionSpec),
+		map[string]string{AssignIDHeader: "cs000042"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("assigned create status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var cr SessionCreateResponse
+	if err := json.Unmarshal(readBody(t, resp), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ID != "cs000042" {
+		t.Fatalf("assigned id %q, want cs000042", cr.ID)
+	}
+	resp = postJSON(t, ts.URL+"/v1/tag/sessions", json.RawMessage(sessionSpec),
+		map[string]string{AssignIDHeader: "cs000042"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate assigned create status %d, want 422", resp.StatusCode)
+	}
+	if body := readBody(t, resp); !bytes.Contains(body, []byte("already exists")) {
+		t.Fatalf("duplicate assigned create body %s", body)
+	}
+	resp = postJSON(t, ts.URL+"/v1/tag/sessions", json.RawMessage(sessionSpec),
+		map[string]string{AssignIDHeader: "../evil"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed assigned id status %d, want 422", resp.StatusCode)
+	}
+	readBody(t, resp)
+}

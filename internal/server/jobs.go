@@ -63,6 +63,10 @@ type job struct {
 	errMsg       string
 	result       *cli.MineResult
 	cp           *mining.Checkpoint
+	// exported marks a job mid-migration (bundled for another worker, off
+	// the queue): refresh refuses it until forget or reinstate resolves
+	// the handover.
+	exported bool
 }
 
 // status snapshots the poll view.
@@ -133,8 +137,13 @@ func newJobStore(dir string, sys *granularity.System, counters *engine.Counters,
 // submit enqueues a new job, persisting it as queued before returning the
 // ID. The input sequence goes to the job's event log first, so the durable
 // record stays small and the events are checksummed on disk. A full queue
-// rejects with errBusy; a draining store with errDraining.
-func (st *jobStore) submit(req *JobCreateRequest) (*job, error) {
+// rejects with errBusy; a draining store with errDraining. A non-empty
+// assignID (a router placing the job on its hash ring) overrides the local
+// j%06d scheme; it must be unused.
+func (st *jobStore) submit(req *JobCreateRequest, assignID string) (*job, error) {
+	if err := validAssignedID(assignID); err != nil {
+		return nil, err
+	}
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
@@ -144,8 +153,14 @@ func (st *jobStore) submit(req *JobCreateRequest) (*job, error) {
 		st.mu.Unlock()
 		return nil, errBusy
 	}
-	id := fmt.Sprintf("j%06d", st.nextID)
-	st.nextID++
+	id := assignID
+	if id == "" {
+		id = fmt.Sprintf("j%06d", st.nextID)
+		st.nextID++
+	} else if _, dup := st.jobs[id]; dup {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("server: job %q already exists", id)
+	}
 	j := &job{id: id, req: *req, state: JobQueued}
 	st.jobs[id] = j
 	st.mu.Unlock()
@@ -294,6 +309,12 @@ func (st *jobStore) worker() {
 		j := st.queue[0]
 		st.queue = st.queue[1:]
 		st.running++
+		// Claim the job before releasing st.mu: export (cluster.go) checks
+		// the state under st.mu, so it can never bundle a job a worker has
+		// already picked up.
+		j.mu.Lock()
+		j.state = JobRunning
+		j.mu.Unlock()
 		st.mu.Unlock()
 
 		st.run(j)
@@ -441,9 +462,17 @@ func (st *jobStore) runIncremental(j *job, req JobCreateRequest, resume *mining.
 			return
 		}
 	}
-	for _, r := range recs {
-		if err := inc.Append(r.Event); err != nil {
-			st.fail(j, fmt.Errorf("replaying session log record %d: %w", r.Index, err))
+	// Batches amortize the per-event consolidation sweep; chunking keeps
+	// the reference frontier from outgrowing its steady-state size.
+	const batch = 1024
+	for i := 0; i < len(recs); i += batch {
+		end := min(i+batch, len(recs))
+		seq := make(event.Sequence, 0, end-i)
+		for _, r := range recs[i:end] {
+			seq = append(seq, r.Event)
+		}
+		if err := inc.AppendBatch(seq); err != nil {
+			st.fail(j, fmt.Errorf("replaying session log records [%d, %d): %w", recs[i].Index, recs[end-1].Index+1, err))
 			return
 		}
 	}
@@ -488,6 +517,10 @@ func (st *jobStore) refresh(id string) (*job, error) {
 		return nil, errDraining
 	}
 	j.mu.Lock()
+	if j.exported {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("server: job %s is mid-migration: %w", id, errMigrating)
+	}
 	if j.req.SessionID == "" {
 		j.mu.Unlock()
 		return nil, fmt.Errorf("server: job %s is not attached to a session", id)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cli"
@@ -61,6 +62,18 @@ type Config struct {
 	// differential baseline. Session checkpoints restore across either
 	// setting.
 	Exec engine.ExecMode
+	// System, when non-nil, is the granularity system to use instead of
+	// loading one from Grans — embedders (tests, the differential oracle)
+	// inject synthetic systems this way.
+	System *granularity.System
+	// Internal registers the /internal/* cluster endpoints: ownership
+	// epochs, session/job export-import migration, work stealing, quiesce.
+	// A worker tempod behind a cluster router runs with Internal set; a
+	// standalone daemon leaves them off its surface.
+	Internal bool
+	// RequestShutdown, when non-nil, is invoked by POST /internal/shutdown
+	// (worker mode) to trigger the process's graceful drain-and-exit path.
+	RequestShutdown func()
 	// Logger receives restore/drain diagnostics (default: standard log).
 	Logger *log.Logger
 }
@@ -106,6 +119,11 @@ type Server struct {
 	start    time.Time
 	wg       sync.WaitGroup // admitted synchronous requests
 
+	// epoch is the adopted ownership epoch (worker mode): monotonically
+	// raised by rebalances, it fences writes from stale owners. See
+	// cluster.go.
+	epoch atomic.Int64
+
 	// holdCheck, when non-nil, is called inside POST /v1/check between
 	// admission and the solve; the drain tests use it to park an
 	// in-flight request at a known point.
@@ -116,9 +134,12 @@ type Server struct {
 // from cfg.DataDir and starting the mining workers.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	sys, err := cli.LoadSystem(cfg.Grans)
-	if err != nil {
-		return nil, err
+	sys := cfg.System
+	if sys == nil {
+		var err error
+		if sys, err = cli.LoadSystem(cfg.Grans); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("server: DataDir is required")
@@ -168,6 +189,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/mining/jobs", s.handleJobCreate)
 	s.mux.HandleFunc("GET /v1/mining/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("POST /v1/mining/jobs/{id}/refresh", s.handleJobRefresh)
+	if cfg.Internal {
+		s.registerInternal()
+	}
 	return s, nil
 }
 
@@ -269,6 +293,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionCreate opens a streaming TAG session.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceEpoch(w, r) {
+		return
+	}
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -279,7 +306,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.sessions.create(req, ct)
+	sess, err := s.sessions.create(req, ct, r.Header.Get(AssignIDHeader))
 	if err != nil {
 		if errors.Is(err, errBusy) {
 			s.counters.Count("server.rejected.busy", 1)
@@ -292,8 +319,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusCreated, SessionCreateResponse{ID: sess.id, Automaton: cli.AutomatonInfoOf(sess.auto)})
 }
 
-// handleSessionEvents feeds a batch of events to a session.
+// handleSessionEvents feeds a batch of events to a session. Conflict
+// responses carry machine-readable codes: "feed_conflict" (the after
+// guard mismatched — the batch may already have landed) and "migrating"
+// (the session is sealed mid-handover; retry against the new owner).
 func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceEpoch(w, r) {
+		return
+	}
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -309,8 +342,16 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.sessions.feed(sess, req.Events)
-	if err != nil {
+	resp, err := s.sessions.feed(sess, req.Events, req.After)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFeedConflict):
+		s.writeCodedError(w, http.StatusConflict, CodeFeedConflict, err)
+		return
+	case errors.Is(err, errMigrating):
+		s.writeCodedError(w, http.StatusConflict, CodeMigrating, err)
+		return
+	default:
 		s.writeError(w, http.StatusConflict, err)
 		return
 	}
@@ -329,6 +370,9 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionClose deletes a session and its checkpoint.
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceEpoch(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	if !s.sessions.close(id) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("server: no session %q", id))
@@ -339,6 +383,9 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 
 // handleJobCreate submits an asynchronous mining job.
 func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceEpoch(w, r) {
+		return
+	}
 	if s.lim.draining() {
 		s.counters.Count("server.rejected.draining", 1)
 		s.writeBackoffError(w, http.StatusServiceUnavailable, errDraining)
@@ -371,7 +418,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.jobs.submit(req)
+	j, err := s.jobs.submit(req, r.Header.Get(AssignIDHeader))
 	switch err {
 	case nil:
 	case errBusy:
@@ -391,8 +438,13 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 
 // handleJobRefresh re-enqueues a done session-attached job: the next
 // attempt re-mines only the suffix the session appended since the job's
-// last consolidation checkpoint.
+// last consolidation checkpoint. A refresh the job cannot honor (detached
+// job, failed job, exported job) answers 409 with a structured
+// "refresh_conflict" error body.
 func (s *Server) handleJobRefresh(w http.ResponseWriter, r *http.Request) {
+	if !s.fenceEpoch(w, r) {
+		return
+	}
 	if s.lim.draining() {
 		s.counters.Count("server.rejected.draining", 1)
 		s.writeBackoffError(w, http.StatusServiceUnavailable, errDraining)
@@ -412,8 +464,11 @@ func (s *Server) handleJobRefresh(w http.ResponseWriter, r *http.Request) {
 		s.counters.Count("server.rejected.draining", 1)
 		s.writeBackoffError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, errMigrating):
+		s.writeCodedError(w, http.StatusConflict, CodeMigrating, err)
+		return
 	default:
-		s.writeError(w, http.StatusConflict, err)
+		s.writeCodedError(w, http.StatusConflict, CodeRefreshConflict, err)
 		return
 	}
 	s.writeJSON(w, http.StatusAccepted, j.status())
@@ -510,8 +565,19 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }
 
-// writeBackoffError is writeError plus a Retry-After hint (429/503).
+// writeCodedError writes an ErrorResponse carrying a machine-readable
+// discriminator alongside the human-readable reason.
+func (s *Server) writeCodedError(w http.ResponseWriter, code int, errCode string, err error) {
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error(), Code: errCode})
+}
+
+// writeBackoffError is writeError plus a Retry-After hint (429/503) and
+// the matching "busy"/"draining" code.
 func (s *Server) writeBackoffError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
-	s.writeError(w, code, err)
+	errCode := CodeBusy
+	if code == http.StatusServiceUnavailable {
+		errCode = CodeDraining
+	}
+	s.writeCodedError(w, code, errCode, err)
 }

@@ -73,6 +73,10 @@ type session struct {
 	acceptTime     int64
 	haveAcceptTime bool
 	closed         bool
+	// sealed marks a session mid-migration: feeds are refused with a typed
+	// "migrating" error until the router either forgets the session (import
+	// on the new owner succeeded) or unseals it (migration rolled back).
+	sealed bool
 }
 
 // sessionStore owns the live sessions and their on-disk records
@@ -119,9 +123,16 @@ func (st *sessionStore) logDir(id string) string {
 // default (every append) so an acknowledged feed is on disk before any
 // checkpoint can claim to cover it.
 func (st *sessionStore) logOptions() store.Options {
+	// The "day" tick index accelerates ScanFromTick; a custom system (an
+	// embedder injecting Config.System) may not define it, and the log must
+	// still open — the index is an optimization, never a requirement.
+	var grans []string
+	if _, ok := st.sys.Ticker("day"); ok {
+		grans = []string{"day"}
+	}
 	return store.Options{
 		System:          st.sys,
-		Grans:           []string{"day"},
+		Grans:           grans,
 		SegmentMaxBytes: 256 << 10,
 	}
 }
@@ -138,8 +149,13 @@ func (st *sessionStore) runOptions(strict bool, maxFrontier int, budget int64) t
 }
 
 // create compiles the complex type and opens a new session, persisting its
-// initial record before returning the ID.
-func (st *sessionStore) create(req *SessionCreateRequest, ct *core.ComplexType) (*session, error) {
+// initial record before returning the ID. A non-empty assignID (a router
+// placing the session on its hash ring) overrides the local s%06d scheme;
+// it must be unused.
+func (st *sessionStore) create(req *SessionCreateRequest, ct *core.ComplexType, assignID string) (*session, error) {
+	if err := validAssignedID(assignID); err != nil {
+		return nil, err
+	}
 	auto, err := tag.Compile(ct)
 	if err != nil {
 		return nil, err
@@ -149,8 +165,14 @@ func (st *sessionStore) create(req *SessionCreateRequest, ct *core.ComplexType) 
 		st.mu.Unlock()
 		return nil, fmt.Errorf("server: session limit (%d) reached: %w", st.max, errBusy)
 	}
-	id := fmt.Sprintf("s%06d", st.nextID)
-	st.nextID++
+	id := assignID
+	if id == "" {
+		id = fmt.Sprintf("s%06d", st.nextID)
+		st.nextID++
+	} else if _, dup := st.sessions[id]; dup {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("server: session %q already exists", id)
+	}
 	s := &session{
 		id:     id,
 		spec:   req.Spec,
@@ -229,11 +251,18 @@ func (st *sessionStore) count() int {
 // events — recovery replays the log tail past the last checkpoint. It
 // returns the resulting stream view and, when an event was refused, which
 // one and why (later events are not consumed).
-func (st *sessionStore) feed(s *session, items []EventItem) (*SessionStateResponse, error) {
+func (st *sessionStore) feed(s *session, items []EventItem, after *int64) (*SessionStateResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("server: session %s is closed", s.id)
+	}
+	if s.sealed {
+		return nil, fmt.Errorf("server: session %s is migrating: %w", s.id, errMigrating)
+	}
+	if after != nil && *after != int64(s.events) {
+		return nil, fmt.Errorf("server: feed expects after=%d but session %s has consumed %d event(s): %w",
+			*after, s.id, s.events, errFeedConflict)
 	}
 	var rej *RejectInfo
 	for i, it := range items {

@@ -701,6 +701,28 @@ func (s *Store) readFromLocked(from int64) ([]Rec, error) {
 	return out, nil
 }
 
+// ExportRange returns the records with global index in [from, to), in
+// order — the migration primitive: a session handover ships its log as one
+// range read instead of stitching segment files. to past the end clamps to
+// the snapshot taken at call time (like ReadFrom); a negative from or a to
+// before from is an error. Quarantined holes are skipped.
+func (s *Store) ExportRange(from, to int64) ([]Rec, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("store: bad export range [%d, %d)", from, to)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs, err := s.readFromLocked(from)
+	if err != nil {
+		return nil, err
+	}
+	n := len(recs)
+	for n > 0 && recs[n-1].Index >= to {
+		n--
+	}
+	return recs[:n], nil
+}
+
 // Events returns every readable record's event in order — the log as an
 // event.Sequence.
 func (s *Store) Events() (event.Sequence, error) {

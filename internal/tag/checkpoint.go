@@ -277,6 +277,17 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("tag: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
 	}
+	// An explicit empty binding ({}) decodes as a non-nil map, but omitempty
+	// drops it on the next encode, which would re-decode as nil — normalize
+	// to nil here so decode∘encode is the identity on accepted checkpoints.
+	if len(cp.Binding) == 0 {
+		cp.Binding = nil
+	}
+	for i := range cp.Frontier {
+		if len(cp.Frontier[i].Binding) == 0 {
+			cp.Frontier[i].Binding = nil
+		}
+	}
 	return &cp, nil
 }
 

@@ -27,6 +27,16 @@
 #                                        # and gates the no-rescan property
 #                                        # (>=20x over a full re-mine)
 #   sh scripts/bench_compare.sh pr8-smoke# short pr8 run, same gate
+#   sh scripts/bench_compare.sh pr9      # cluster-tier benchmarks: router
+#                                        # proxy overhead on /v1/check and a
+#                                        # 10k-event session migration; writes
+#                                        # BENCH_PR9.json and gates proxy
+#                                        # overhead <=2x standalone plus the
+#                                        # no-rescan migration property
+#                                        # (replayed/op under the checkpoint
+#                                        # stride)
+#   sh scripts/bench_compare.sh pr9-smoke# short pr9 run; gates only the
+#                                        # migration no-rescan property
 #
 # The baseline lives at scripts/bench_baseline_pr3.json and is only
 # meaningful on the machine that produced it; regenerate it with `baseline`
@@ -35,6 +45,78 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+# ---- PR-9: router/worker cluster tier ------------------------------------
+if [ "$MODE" = pr9 ] || [ "$MODE" = pr9-smoke ]; then
+	OUT="BENCH_PR9.json"
+	BENCHES='BenchmarkStandaloneCheck|BenchmarkRouterProxyCheck|BenchmarkSessionMigration10k'
+	if [ "$MODE" = pr9-smoke ]; then
+		BENCHTIME="${BENCHTIME:-5x}"
+	else
+		BENCHTIME="${BENCHTIME:-2s}"
+	fi
+	RAW="$(mktemp)"
+	trap 'rm -f "$RAW"' EXIT
+	echo ">> go test -run XXX -bench '$BENCHES' -benchtime=$BENCHTIME ."
+	go test -run XXX -bench "$BENCHES" -benchtime="$BENCHTIME" -timeout 20m . | tee "$RAW"
+
+	# The migration benchmark appends a custom "replayed/op" metric, which
+	# shifts columns — scan tokens instead of assuming positions.
+	awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+	BEGIN { n = 0; replayed = -1 }
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		names[n] = name; ns[n] = $3; n++
+		for (i = 5; i <= NF; i++)
+			if ($i == "replayed/op") replayed = $(i-1) + 0
+	}
+	END {
+		printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": {\"ns_op\": %s}%s\n", names[i], ns[i], (i+1<n ? "," : "")
+		printf "  }"
+		for (i = 0; i < n; i++) v[names[i]] = ns[i]
+		if (("BenchmarkRouterProxyCheck" in v) && v["BenchmarkStandaloneCheck"] > 0)
+			printf ",\n  \"proxy_overhead\": %.3f", v["BenchmarkRouterProxyCheck"] / v["BenchmarkStandaloneCheck"]
+		if (replayed >= 0)
+			printf ",\n  \"migration_replayed_per_op\": %.3f", replayed
+		printf "\n}\n"
+	}' "$RAW" > "$OUT"
+	echo ">> wrote $OUT"
+	cat "$OUT"
+
+	# No-rescan gate (both modes): importing a migrated 10k-event session
+	# must restore from the strided checkpoint and replay only the log tail
+	# behind it — under CheckpointEvery (8) events per op. A full log rescan
+	# on import would report ~10000.
+	awk '
+	$1 == "\"migration_replayed_per_op\":" { gsub(/,/, "", $2); replayed = $2 + 0; found = 1 }
+	END {
+		if (!found) { print "migration replayed/op not measured (benchmark missing)"; exit 1 }
+		if (replayed >= 8.0) { printf "migration replays %.1f events/op >= checkpoint stride 8\n", replayed; exit 1 }
+		printf "migration replayed/op: %.3f (gate: < 8, full rescan would be ~10000)\n", replayed
+	}' "$OUT" || { echo "bench_compare: FAILED (pr9 no-rescan gate)" >&2; exit 1; }
+
+	if [ "$MODE" = pr9-smoke ]; then
+		echo "bench_compare: pr9-smoke OK (no-rescan gate only)"
+		exit 0
+	fi
+
+	# Proxy-overhead gate (full mode only; too noisy at smoke iteration
+	# counts): a routed /v1/check pays two HTTP hops instead of one and must
+	# stay within 2x of the direct worker call.
+	awk '
+	$1 == "\"proxy_overhead\":" { gsub(/,/, "", $2); overhead = $2 + 0; found = 1 }
+	END {
+		if (!found) { print "proxy overhead not computed (benchmarks missing)"; exit 1 }
+		if (overhead > 2.0) { printf "router proxy overhead %.2fx > 2x standalone\n", overhead; exit 1 }
+		printf "router proxy overhead: %.2fx (gate: <=2x)\n", overhead
+	}' "$OUT" || { echo "bench_compare: FAILED (pr9 proxy gate)" >&2; exit 1; }
+	echo "bench_compare: pr9 OK"
+	exit 0
+fi
+# --------------------------------------------------------------------------
 
 # ---- PR-8: incremental mining over the event store -----------------------
 if [ "$MODE" = pr8 ] || [ "$MODE" = pr8-smoke ]; then

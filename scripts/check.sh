@@ -23,10 +23,14 @@ echo '>> exec-equiv oracle smoke (compiled vs interpreted core over 300 seeds)'
 go run ./cmd/tempofuzz -seeds "${EXEC_EQUIV_SEEDS:-300}" -contracts exec-equiv -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> incremental-equiv oracle smoke (incremental vs batch mining over 300 seeds)'
 go run ./cmd/tempofuzz -seeds "${INCR_EQUIV_SEEDS:-300}" -contracts incremental-equiv -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
+echo '>> cluster-rebalance oracle smoke (router drain vs standalone over 300 seeds)'
+go run ./cmd/tempofuzz -seeds "${CLUSTER_REBALANCE_SEEDS:-300}" -contracts cluster-rebalance -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo '>> serve smoke (tempod end to end)'
 sh scripts/serve_smoke.sh
+echo '>> cluster smoke (router + 2 workers, live drain, byte-identical reads)'
+sh scripts/cluster_smoke.sh
 echo '>> crash smoke (fault-injected store sweep + kill -9 tempod recovery)'
 CRASH_SWEEP_SEEDS="${CRASH_SWEEP_SEEDS:-60}" go test -count=1 -run 'TestCrashSweep|TestErrorSweep' ./internal/store/
 go test -count=1 -run 'TestKillDuringAppend' ./cmd/tempod/
@@ -38,4 +42,6 @@ echo '>> bench smoke (event store, allocs/op gate)'
 sh scripts/bench_compare.sh pr7-smoke
 echo '>> bench smoke (incremental mining, no-rescan gate)'
 sh scripts/bench_compare.sh pr8-smoke
+echo '>> bench smoke (cluster tier, migration no-rescan gate)'
+sh scripts/bench_compare.sh pr9-smoke
 echo 'check: OK'

@@ -1,0 +1,138 @@
+#!/bin/sh
+# cluster_smoke.sh — boot one tempod router over two worker tempods and
+# exercise the cluster tier end to end: aggregated /healthz, a streaming
+# TAG session fed through the router, a live drain of the session's owner
+# (a full rebalance-by-checkpoint handover), byte-identical session reads
+# across the migration, cluster /metrics, and a cluster-wide SIGTERM drain
+# that takes the workers down with the router. `make cluster-smoke` runs
+# this; check.sh includes it.
+set -eu
+cd "$(dirname "$0")/.."
+
+CURL="curl -sS --max-time 30"
+DATA=$(mktemp -d)
+W1PID="" W2PID="" RPID=""
+
+# cleanup escalates TERM -> KILL on every process still alive before
+# removing the state directory (a live worker may still be checkpointing).
+stop() {
+	[ -n "$1" ] || return 0
+	kill -0 "$1" 2>/dev/null || return 0
+	kill -TERM "$1" 2>/dev/null || true
+	i=0
+	while kill -0 "$1" 2>/dev/null && [ $i -lt 50 ]; do
+		i=$((i + 1))
+		sleep 0.1
+	done
+	kill -KILL "$1" 2>/dev/null || true
+	wait "$1" 2>/dev/null || true
+}
+cleanup() {
+	stop "$RPID"
+	stop "$W1PID"
+	stop "$W2PID"
+	rm -rf "$DATA"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$DATA/tempod" ./cmd/tempod
+
+# scrape_url waits for a daemon's listen line and prints the URL after it.
+scrape_url() { # logfile pid marker
+	j=0
+	while [ $j -lt 100 ]; do
+		URL=$(awk -v m="$3" 'index($0, m) { print substr($0, index($0, m) + length(m)); exit }' "$1" 2>/dev/null | awk '{print $1}' || true)
+		[ -n "$URL" ] && { echo "$URL"; return 0; }
+		kill -0 "$2" 2>/dev/null || { echo "process died:" >&2; cat "$1" >&2; return 1; }
+		j=$((j + 1))
+		sleep 0.1
+	done
+	echo "daemon never reported its address" >&2
+	cat "$1" >&2
+	return 1
+}
+
+"$DATA/tempod" -role worker -addr 127.0.0.1:0 -data "$DATA/w1" \
+	-checkpoint-every 4 -job-workers 1 >"$DATA/w1.log" 2>&1 &
+W1PID=$!
+"$DATA/tempod" -role worker -addr 127.0.0.1:0 -data "$DATA/w2" \
+	-checkpoint-every 4 -job-workers 1 >"$DATA/w2.log" 2>&1 &
+W2PID=$!
+W1=$(scrape_url "$DATA/w1.log" "$W1PID" "tempod worker listening on ")
+W2=$(scrape_url "$DATA/w2.log" "$W2PID" "tempod worker listening on ")
+grep -q 'tempod recovery:' "$DATA/w1.log"
+grep -q 'tempod recovery:' "$DATA/w2.log"
+
+"$DATA/tempod" -role router -addr 127.0.0.1:0 \
+	-peers "w1=$W1,w2=$W2" -shutdown-workers >"$DATA/router.log" 2>&1 &
+RPID=$!
+BASE=$(scrape_url "$DATA/router.log" "$RPID" "tempod router listening on ")
+echo ">> router at $BASE over w1=$W1 w2=$W2"
+
+echo '>> GET /healthz (aggregated, 2 workers up)'
+$CURL "$BASE/healthz" >"$DATA/health.json"
+grep -q '"status": "ok"' "$DATA/health.json"
+[ "$(grep -c '"up": true' "$DATA/health.json")" = 2 ]
+
+echo '>> streaming session through the router'
+SID=$($CURL -X POST --data-binary \
+	'{"spec":{"edges":[{"from":"X0","to":"X1","constraints":[{"min":0,"max":2,"gran":"hour"}]}],"assign":{"X0":"a","X1":"b"}}}' \
+	"$BASE/v1/tag/sessions" | awk -F'"' '/"id"/{print $4; exit}')
+[ -n "$SID" ] || { echo "no session id" >&2; exit 1; }
+$CURL -X POST --data-binary \
+	'{"events":[{"time":6185159083,"type":"a"},{"time":6185162683,"type":"b"},{"time":6185166283,"type":"a"}]}' \
+	"$BASE/v1/tag/sessions/$SID/events" | grep -q '"accepted"'
+$CURL "$BASE/v1/tag/sessions/$SID" >"$DATA/before.json"
+grep -q "\"id\": \"$SID\"" "$DATA/before.json"
+
+# The ring placed the session on exactly one worker; find it directly.
+OWNER=""
+$CURL -o /dev/null -w '%{http_code}' "$W1/v1/tag/sessions/$SID" | grep -q 200 && OWNER=w1
+$CURL -o /dev/null -w '%{http_code}' "$W2/v1/tag/sessions/$SID" | grep -q 200 && OWNER=w2
+[ -n "$OWNER" ] || { echo "no worker serves $SID" >&2; exit 1; }
+
+echo ">> drain $OWNER (rebalance-by-checkpoint handover)"
+$CURL -X POST "$BASE/cluster/workers/$OWNER/drain" >"$DATA/drain.json"
+grep -q '"status": "ok"' "$DATA/drain.json"
+grep -q '"epoch": 2' "$DATA/drain.json"
+
+echo '>> session reads byte-identical across the migration'
+$CURL "$BASE/v1/tag/sessions/$SID" >"$DATA/after.json"
+cmp "$DATA/before.json" "$DATA/after.json"
+
+echo '>> cluster keeps accepting events after the drain'
+$CURL -X POST --data-binary '{"events":[{"time":6185169883,"type":"b"}]}' \
+	"$BASE/v1/tag/sessions/$SID/events" | grep -q '"accepted"'
+
+echo '>> GET /metrics (migration counted, epoch gauge advanced)'
+$CURL "$BASE/metrics" >"$DATA/metrics.txt"
+grep -q '^tempo_counter_total{name="cluster.migrations.sessions"} 1$' "$DATA/metrics.txt"
+grep -q '^tempod_cluster_epoch 2$' "$DATA/metrics.txt"
+
+echo '>> SIGTERM router: cluster-wide drain takes the worker down too'
+kill -TERM "$RPID"
+i=0
+while kill -0 "$RPID" 2>/dev/null; do
+	i=$((i + 1))
+	[ $i -gt 100 ] && { echo "router did not exit" >&2; cat "$DATA/router.log" >&2; exit 1; }
+	sleep 0.1
+done
+wait "$RPID" || { echo "router exited non-zero" >&2; cat "$DATA/router.log" >&2; exit 1; }
+RPID=""
+grep -q 'tempod router draining cluster' "$DATA/router.log"
+grep -q 'tempod router stopped' "$DATA/router.log"
+# The surviving worker was asked to exit by the router's drain
+# (-shutdown-workers); the drained one left the cluster earlier and is
+# reaped by cleanup.
+SURVIVOR_PID=$W2PID SURVIVOR_LOG="$DATA/w2.log"
+[ "$OWNER" = w2 ] && { SURVIVOR_PID=$W1PID SURVIVOR_LOG="$DATA/w1.log"; }
+i=0
+while kill -0 "$SURVIVOR_PID" 2>/dev/null; do
+	i=$((i + 1))
+	[ $i -gt 100 ] && { echo "surviving worker did not exit" >&2; cat "$SURVIVOR_LOG" >&2; exit 1; }
+	sleep 0.1
+done
+grep -q 'tempod draining' "$SURVIVOR_LOG"
+grep -q 'tempod stopped' "$SURVIVOR_LOG"
+
+echo 'cluster-smoke: OK'
