@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 bench-json-pr8 bench-json-pr9 serve-smoke cluster-smoke oracle-smoke crash-smoke cover
+.PHONY: build test check bench experiments fuzz-smoke race-stress bench-json bench-json-pr6 bench-json-pr7 bench-json-pr8 bench-json-pr9 bench-json-pr10 serve-smoke cluster-smoke oracle-smoke crash-smoke cover
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,12 @@ bench-json-pr7:
 # no-rescan property (>=20x).
 bench-json-pr8:
 	sh scripts/bench_compare.sh pr8
+
+# Calendar-zoo benchmark run; writes BENCH_PR10.json (zoned/fiscal/trading
+# tick resolution through the conversion tables vs direct arithmetic) and
+# gates the in-bound table lookups at allocs/op == 0.
+bench-json-pr10:
+	sh scripts/bench_compare.sh pr10
 
 # Cluster-tier benchmark run; writes BENCH_PR9.json (router proxy overhead
 # on /v1/check, 10k-event session migration) and gates proxy overhead

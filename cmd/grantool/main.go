@@ -29,6 +29,8 @@ import (
 
 func main() {
 	gransFlag := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	var defines cli.DefineFlags
+	defines.Var()
 	list := flag.Bool("list", false, "list registered granularities")
 	g := flag.String("g", "", "granularity to inspect")
 	at := flag.String("at", "", "civil date (YYYY-MM-DD[THH:MM:SS]): show the covering granule and its neighbours")
@@ -42,14 +44,14 @@ func main() {
 		return
 	}
 
-	if err := run(os.Stdout, *gransFlag, *list, *g, *at, *metrics, *relate, *convert); err != nil {
+	if err := run(os.Stdout, *gransFlag, defines, *list, *g, *at, *metrics, *relate, *convert); err != nil {
 		fmt.Fprintln(os.Stderr, "grantool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, gransFlag string, list bool, gName, at, metricsArg, relateArg, convertArg string) error {
-	sys, err := cli.LoadSystem(gransFlag)
+func run(out io.Writer, gransFlag string, defines []string, list bool, gName, at, metricsArg, relateArg, convertArg string) error {
+	sys, err := cli.LoadSystem(gransFlag, defines)
 	if err != nil {
 		return err
 	}

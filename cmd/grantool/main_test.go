@@ -9,7 +9,7 @@ import (
 func runTool(t *testing.T, list bool, g, at, metrics, relate, convert string) (string, error) {
 	t.Helper()
 	var out bytes.Buffer
-	err := run(&out, "", list, g, at, metrics, relate, convert)
+	err := run(&out, "", nil, list, g, at, metrics, relate, convert)
 	return out.String(), err
 }
 

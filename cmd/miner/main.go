@@ -48,6 +48,8 @@ func main() {
 	tau := flag.Float64("tau", 0.5, "minimum confidence threshold")
 	naive := flag.Bool("naive", false, "use the naive algorithm instead of the optimized pipeline")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	var defines cli.DefineFlags
+	defines.Var()
 	explain := flag.Int("explain", 0, "print up to N witness occurrences per discovery")
 	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
 	jsonOut := flag.Bool("json", false, "emit the canonical JSON result instead of text")
@@ -60,13 +62,13 @@ func main() {
 		return
 	}
 
-	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, *checkpoint, *tau, *naive, *jsonOut, *explain, *workers, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *problemPath, *seqPath, *ref, *grans, defines, *checkpoint, *tau, *naive, *jsonOut, *explain, *workers, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "miner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath string, tau float64, naive, jsonOut bool, explain, workers int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag string, defines []string, cpPath string, tau float64, naive, jsonOut bool, explain, workers int, ef *cli.EngineFlags) error {
 	if err := ef.Validate(); err != nil {
 		return err
 	}
@@ -77,7 +79,7 @@ func run(out io.Writer, specPath, problemPath, seqPath, ref, gransFlag, cpPath s
 	if jsonOut {
 		textw = io.Discard
 	}
-	sys, err := cli.LoadSystem(gransFlag)
+	sys, err := cli.LoadSystem(gransFlag, defines)
 	if err != nil {
 		return err
 	}

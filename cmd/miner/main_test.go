@@ -43,10 +43,10 @@ func writeMinerFiles(t *testing.T) (spec, seq string) {
 func TestMinerOptimizedAndNaiveAgree(t *testing.T) {
 	spec, seq := writeMinerFiles(t)
 	var opt, naive bytes.Buffer
-	if err := run(&opt, spec, "", seq, "overheat-m0", "", "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&opt, spec, "", seq, "overheat-m0", "", nil, "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&naive, spec, "", seq, "overheat-m0", "", "", 0.5, true, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&naive, spec, "", seq, "overheat-m0", "", nil, "", 0.5, true, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	wantLine := "X0=overheat-m0 X1=malfunction-m0 X2=shutdown-m0"
@@ -80,7 +80,7 @@ func TestMinerOptimizedAndNaiveAgree(t *testing.T) {
 func TestMinerNoSolutions(t *testing.T) {
 	spec, seq := writeMinerFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, "", seq, "overheat-m0", "", "", 0.999, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, spec, "", seq, "overheat-m0", "", nil, "", 0.999, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "no complex event type exceeds confidence") {
@@ -90,14 +90,14 @@ func TestMinerNoSolutions(t *testing.T) {
 
 func TestMinerErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "x", "", "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, "", "", "", "x", "", nil, "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	spec, seq := writeMinerFiles(t)
-	if err := run(&out, spec, "", seq, "", "", "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, spec, "", seq, "", "", nil, "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("missing reference accepted")
 	}
-	if err := run(&out, spec, "", seq, "ghost", "", "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, spec, "", seq, "ghost", "", nil, "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("absent reference accepted")
 	}
 }
@@ -122,7 +122,7 @@ func TestMinerProblemSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, "", problem, seq, "", "", "", 0, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, "", problem, seq, "", "", nil, "", 0, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "X1=malfunction-m0 X2=shutdown-m0") {
@@ -144,7 +144,7 @@ func TestMinerProblemSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(&out, "", anchored, seq, "", "", "", 0, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, "", anchored, seq, "", "", nil, "", 0, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "references=") {
@@ -155,7 +155,7 @@ func TestMinerProblemSpec(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"structure":{"edges":[]},"min_confidence":0.5}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&out, "", bad, seq, "", "", "", 0, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, "", bad, seq, "", "", nil, "", 0, false, false, 0, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("empty structure and no reference accepted")
 	}
 }
@@ -163,7 +163,7 @@ func TestMinerProblemSpec(t *testing.T) {
 func TestMinerExplain(t *testing.T) {
 	spec, seq := writeMinerFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, "", seq, "overheat-m0", "", "", 0.5, false, false, 2, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, spec, "", seq, "overheat-m0", "", nil, "", 0.5, false, false, 2, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -183,7 +183,7 @@ func TestMinerDSLSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, dsl, "", seq, "overheat-m0", "", "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, dsl, "", seq, "overheat-m0", "", nil, "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "X1=malfunction-m0 X2=shutdown-m0") {
@@ -197,7 +197,7 @@ func TestMinerDSLSpec(t *testing.T) {
 func TestMinerCheckpointResume(t *testing.T) {
 	spec, seq := writeMinerFiles(t)
 	var want bytes.Buffer
-	if err := run(&want, spec, "", seq, "overheat-m0", "", "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&want, spec, "", seq, "overheat-m0", "", nil, "", 0.5, false, false, 0, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	filter := func(s string) []string {
@@ -218,7 +218,7 @@ func TestMinerCheckpointResume(t *testing.T) {
 			t.Fatal("no convergence in 40 resumed mines")
 		}
 		var out bytes.Buffer
-		if err := run(&out, spec, "", seq, "overheat-m0", "", cp, 0.5, false, false, 0, 0, &cli.EngineFlags{Budget: budget}); err != nil {
+		if err := run(&out, spec, "", seq, "overheat-m0", "", nil, cp, 0.5, false, false, 0, 0, &cli.EngineFlags{Budget: budget}); err != nil {
 			t.Fatal(err)
 		}
 		last = out.String()
@@ -256,7 +256,7 @@ func TestMinerCheckpointResume(t *testing.T) {
 func TestMinerCheckpointNaiveRefused(t *testing.T) {
 	spec, seq := writeMinerFiles(t)
 	var out bytes.Buffer
-	err := run(&out, spec, "", seq, "overheat-m0", "", filepath.Join(t.TempDir(), "c"), 0.5, true, false, 0, 0, &cli.EngineFlags{})
+	err := run(&out, spec, "", seq, "overheat-m0", "", nil, filepath.Join(t.TempDir(), "c"), 0.5, true, false, 0, 0, &cli.EngineFlags{})
 	if err == nil {
 		t.Fatal("-checkpoint with -naive accepted")
 	}

@@ -47,6 +47,8 @@ func main() {
 	printTAG := flag.Bool("print", false, "print the compiled automaton")
 	strict := flag.Bool("strict", false, "use the paper's strict gap semantics")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	var defines cli.DefineFlags
+	defines.Var()
 	dot := flag.String("dot", "", "write the compiled automaton as Graphviz DOT to this file")
 	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot here on interruption; load it if present")
 	jsonOut := flag.Bool("json", false, "emit the canonical JSON result instead of text")
@@ -59,19 +61,19 @@ func main() {
 		return
 	}
 
-	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, *dot, *checkpoint, *printTAG, *strict, *jsonOut, *workers, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *seqPath, *anchor, *grans, defines, *dot, *checkpoint, *printTAG, *strict, *jsonOut, *workers, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tagrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, seqPath, anchor, gransFlag, dotPath, cpPath string, printTAG, strict, jsonOut bool, workers int, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, seqPath, anchor, gransFlag string, defines []string, dotPath, cpPath string, printTAG, strict, jsonOut bool, workers int, ef *cli.EngineFlags) error {
 	if err := ef.Validate(); err != nil {
 		return err
 	}
 	eng := ef.Config()
 	defer ef.Finish(out)
-	sys, err := cli.LoadSystem(gransFlag)
+	sys, err := cli.LoadSystem(gransFlag, defines)
 	if err != nil {
 		return err
 	}

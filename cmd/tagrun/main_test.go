@@ -48,7 +48,7 @@ func writeFiles(t *testing.T) (spec, seq string) {
 func TestRunWholeSequence(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, seq, "", "", "", "", true, false, false, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, spec, seq, "", "", nil, "", "", true, false, false, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -63,7 +63,7 @@ func TestRunWholeSequence(t *testing.T) {
 func TestRunAnchored(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	if err := run(&out, spec, seq, "deposit", "", "", "", false, false, false, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, spec, seq, "deposit", "", nil, "", "", false, false, false, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -75,11 +75,11 @@ func TestRunAnchored(t *testing.T) {
 
 func TestRunErrorsTagrun(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "", "", "", false, false, false, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, "", "", "", "", nil, "", "", false, false, false, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	spec, seq := writeFiles(t)
-	if err := run(&out, spec, seq, "ghost-type", "", "", "", false, false, false, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, spec, seq, "ghost-type", "", nil, "", "", false, false, false, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("absent anchor accepted")
 	}
 	// Spec without an assignment is rejected.
@@ -91,7 +91,7 @@ func TestRunErrorsTagrun(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(&out, noAssign, seq, "", "", "", "", false, false, false, 0, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, noAssign, seq, "", "", nil, "", "", false, false, false, 0, &cli.EngineFlags{}); err == nil {
 		t.Fatal("spec without assignment accepted")
 	}
 }
@@ -135,7 +135,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	f.Close()
 
 	var want bytes.Buffer
-	if err := run(&want, spec, seq, "", "", "", "", false, false, false, 0, &cli.EngineFlags{}); err != nil {
+	if err := run(&want, spec, seq, "", "", nil, "", "", false, false, false, 0, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(want.String(), "accepted=true") {
@@ -150,7 +150,7 @@ func TestRunCheckpointResume(t *testing.T) {
 			t.Fatal("no convergence in 200 resumed runs")
 		}
 		var out bytes.Buffer
-		if err := run(&out, spec, seq, "", "", "", cp, false, false, false, 0, &cli.EngineFlags{Budget: 6}); err != nil {
+		if err := run(&out, spec, seq, "", "", nil, "", cp, false, false, false, 0, &cli.EngineFlags{Budget: 6}); err != nil {
 			t.Fatal(err)
 		}
 		last = out.String()
@@ -179,7 +179,7 @@ func TestRunCheckpointResume(t *testing.T) {
 func TestRunCheckpointAnchoredRefused(t *testing.T) {
 	spec, seq := writeFiles(t)
 	var out bytes.Buffer
-	err := run(&out, spec, seq, "deposit", "", "", filepath.Join(t.TempDir(), "c"), false, false, false, 0, &cli.EngineFlags{})
+	err := run(&out, spec, seq, "deposit", "", nil, "", filepath.Join(t.TempDir(), "c"), false, false, false, 0, &cli.EngineFlags{})
 	if err == nil {
 		t.Fatal("-checkpoint with -anchor accepted")
 	}

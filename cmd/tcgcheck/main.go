@@ -34,6 +34,8 @@ func main() {
 	fromYear := flag.Int("from", 1996, "exact horizon start year")
 	toYear := flag.Int("to", 1999, "exact horizon end year")
 	grans := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	var defines cli.DefineFlags
+	defines.Var()
 	dot := flag.String("dot", "", "write the structure as Graphviz DOT to this file")
 	jsonOut := flag.Bool("json", false, "emit the canonical JSON result instead of text")
 	version := cli.RegisterVersionFlag(flag.CommandLine)
@@ -44,19 +46,19 @@ func main() {
 		return
 	}
 
-	if err := run(os.Stdout, *specPath, *grans, *dot, *runExact, *fromYear, *toYear, *jsonOut, ef); err != nil {
+	if err := run(os.Stdout, *specPath, *grans, defines, *dot, *runExact, *fromYear, *toYear, *jsonOut, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "tcgcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, specPath, gransFlag, dotPath string, runExact bool, fromYear, toYear int, jsonOut bool, ef *cli.EngineFlags) error {
+func run(out io.Writer, specPath, gransFlag string, defines []string, dotPath string, runExact bool, fromYear, toYear int, jsonOut bool, ef *cli.EngineFlags) error {
 	if err := ef.Validate(); err != nil {
 		return err
 	}
 	eng := ef.Config()
 	defer ef.Finish(out)
-	sys, err := cli.LoadSystem(gransFlag)
+	sys, err := cli.LoadSystem(gransFlag, defines)
 	if err != nil {
 		return err
 	}

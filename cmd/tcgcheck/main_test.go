@@ -31,7 +31,7 @@ const fig1aSpec = `{
 func TestRunPropagationOnly(t *testing.T) {
 	path := writeSpec(t, fig1aSpec)
 	var out bytes.Buffer
-	if err := run(&out, path, "", "", false, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, path, "", nil, "", false, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -45,7 +45,7 @@ func TestRunPropagationOnly(t *testing.T) {
 func TestRunExact(t *testing.T) {
 	path := writeSpec(t, fig1aSpec)
 	var out bytes.Buffer
-	if err := run(&out, path, "", "", true, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, path, "", nil, "", true, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "exact: SATISFIABLE") {
@@ -58,7 +58,7 @@ func TestRunInconsistent(t *testing.T) {
 		{"min":0,"max":0,"gran":"day"},{"min":30,"max":40,"gran":"hour"}]}]}`
 	path := writeSpec(t, spec)
 	var out bytes.Buffer
-	if err := run(&out, path, "", "", false, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, path, "", nil, "", false, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "INCONSISTENT") {
@@ -68,11 +68,11 @@ func TestRunInconsistent(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, filepath.Join(t.TempDir(), "missing.json"), "", "", false, 1996, 1996, false, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, filepath.Join(t.TempDir(), "missing.json"), "", nil, "", false, 1996, 1996, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := writeSpec(t, `{"edges":[]}`)
-	if err := run(&out, bad, "", "", false, 1996, 1996, false, &cli.EngineFlags{}); err == nil {
+	if err := run(&out, bad, "", nil, "", false, 1996, 1996, false, &cli.EngineFlags{}); err == nil {
 		t.Fatal("empty structure accepted")
 	}
 }
@@ -81,7 +81,7 @@ func TestRunDOT(t *testing.T) {
 	path := writeSpec(t, fig1aSpec)
 	dotPath := filepath.Join(t.TempDir(), "s.dot")
 	var out bytes.Buffer
-	if err := run(&out, path, "", dotPath, false, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
+	if err := run(&out, path, "", nil, dotPath, false, 1996, 1996, false, &cli.EngineFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dotPath)

@@ -63,6 +63,8 @@ func main() {
 	data := flag.String("data", "", "state directory for checkpoints and event logs (required unless -role router)")
 	flag.StringVar(data, "data-dir", "", "alias for -data")
 	gransFlag := flag.String("grans", "", "comma-separated periodic-granularity spec files to register")
+	var defines cli.DefineFlags
+	defines.Var()
 	inflight := flag.Int("inflight", 8, "max concurrently running synchronous requests")
 	queue := flag.Int("queue", 16, "max synchronous requests waiting for a slot (beyond: 429)")
 	jobWorkers := flag.Int("job-workers", 2, "mining worker pool size")
@@ -87,7 +89,7 @@ func main() {
 	var err error
 	switch *role {
 	case "standalone", "worker":
-		err = run(os.Stdout, *role == "worker", *addr, *data, *gransFlag, *execMode, *inflight, *queue,
+		err = run(os.Stdout, *role == "worker", *addr, *data, *gransFlag, defines, *execMode, *inflight, *queue,
 			*jobWorkers, *jobQueue, *maxSessions, *scanWorkers, *ckptEvery, *eventLog, *drainTimeout)
 	case "router":
 		err = runRouter(os.Stdout, *addr, *peers, *quotasFlag, *stealEvery, *shutdownWorkers, *drainTimeout)
@@ -100,7 +102,7 @@ func main() {
 	}
 }
 
-func run(out io.Writer, workerMode bool, addr, data, gransFlag, execMode string, inflight, queue, jobWorkers, jobQueue,
+func run(out io.Writer, workerMode bool, addr, data, gransFlag string, defines []string, execMode string, inflight, queue, jobWorkers, jobQueue,
 	maxSessions, scanWorkers, ckptEvery int, eventLog bool, drainTimeout time.Duration) error {
 	if data == "" {
 		return fmt.Errorf("-data is required")
@@ -116,6 +118,7 @@ func run(out io.Writer, workerMode bool, addr, data, gransFlag, execMode string,
 	cfg := server.Config{
 		DataDir:         data,
 		Grans:           gransFlag,
+		Defines:         defines,
 		MaxInflight:     inflight,
 		QueueDepth:      queue,
 		JobWorkers:      jobWorkers,

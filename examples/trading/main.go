@@ -1,0 +1,116 @@
+// Trading: the calendar zoo end to end. An earnings-drift pattern is
+// expressed directly in exchange time — "the NEXT trading session", not
+// "the next day" — so weekends, the July-4 holiday and the Christmas-Eve
+// half day are handled by the granularity, not by the pattern. We check
+// the pattern's consistency, compile its TAG, run it over two months of
+// synthetic 1996 tape, and mine which reaction type actually follows
+// earnings at high confidence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	tempo "repro"
+)
+
+func main() {
+	// The default system already registers an NYSE-style calendar:
+	// "session" (09:30–16:00 ET-style days, US federal holidays, two
+	// half days) and "t-week" (one non-convex granule per calendar week,
+	// covering only its sessions).
+	sys := tempo.DefaultSystem()
+	session, _ := sys.Get("session")
+
+	// "Earnings land late in a session; the stock gaps up at the NEXT
+	// session; the move fades later the same trading week."
+	s := tempo.NewStructure()
+	s.MustConstrain("Earnings", "GapUp", tempo.MustTCG(1, 1, "session"))
+	s.MustConstrain("GapUp", "Fade",
+		tempo.MustTCG(0, 0, "t-week"), tempo.MustTCG(1, 3, "session"))
+
+	res, err := tempo.Propagate(sys, s, tempo.PropagateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent (not refuted): %v\n", res.Consistent)
+
+	// What the session granularity buys: July 4th 1996 is a holiday (and
+	// July 3 a 13:00 early close), so the session after Wednesday July 3
+	// is Friday July 5 — two calendar days later, yet [1,1]session
+	// accepts it. The same clock distance across ordinary days spans two
+	// sessions and is rejected.
+	next := tempo.MustTCG(1, 1, "session")
+	fmt.Printf("holiday-aware [1,1]session: Jul3->Jul5 %v, Jul8->Jul10 %v\n",
+		next.Satisfied(sys, tempo.At(1996, 7, 3, 12, 0, 0), tempo.At(1996, 7, 5, 10, 0, 0)),
+		next.Satisfied(sys, tempo.At(1996, 7, 8, 12, 0, 0), tempo.At(1996, 7, 10, 10, 0, 0)))
+
+	ct, err := tempo.NewComplexType(s, map[tempo.Variable]tempo.EventType{
+		"Earnings": "earnings", "GapUp": "gap-up", "Fade": "fade",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := tempo.CompileTAG(ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TAG: %d states, %d transitions\n", a.NumStates(), a.NumTransitions())
+
+	// Two months of synthetic tape, generated ON the exchange calendar:
+	// events only exist inside session granules, pulled straight from the
+	// granularity. Every 7th session an earnings release goes out late in
+	// the session; the gap-up follows at the next open, and usually (not
+	// always — that is what mining measures) a fade or a flat close later
+	// the same trading week.
+	z0, ok := session.TickOf(tempo.At(1996, 6, 3, 14, 0, 0))
+	if !ok {
+		log.Fatal("1996-06-03 14:00 is not inside a session")
+	}
+	var seq tempo.Sequence
+	for k := int64(0); k < 44; k++ {
+		sp, ok := session.Span(z0 + k)
+		if !ok {
+			log.Fatal("session ran out")
+		}
+		seq = append(seq, tempo.Event{Type: "tick", Time: sp.First + 60})
+		switch k % 7 {
+		case 0:
+			seq = append(seq, tempo.Event{Type: "earnings", Time: sp.Last - 900})
+		case 1:
+			seq = append(seq, tempo.Event{Type: "gap-up", Time: sp.First + 300})
+		case 3:
+			// Same trading week as the gap-up only when the burst did
+			// not start on a Thursday or Friday; the t-week constraint
+			// filters those, which keeps the confidence below 1.
+			seq = append(seq, tempo.Event{Type: "fade", Time: sp.First + 3600})
+			seq = append(seq, tempo.Event{Type: "flat-close", Time: sp.Last - 300})
+		}
+	}
+	seq.Sort()
+	okRun, stats := a.Accepts(sys, seq, tempo.RunOptions{})
+	fmt.Printf("pattern occurs on the tape: %v (accepted at event %d)\n", okRun, stats.AcceptedAt)
+
+	// Mining: which reaction type follows earnings with confidence > 0.4?
+	problem := tempo.Problem{
+		Structure:     s,
+		MinConfidence: 0.4,
+		Reference:     "earnings",
+		Candidates: map[tempo.Variable][]tempo.EventType{
+			"GapUp": {"gap-up"},
+			"Fade":  {"fade", "flat-close", "tick"},
+		},
+	}
+	ds, mstats, err := tempo.MineOptimized(sys, problem, seq, tempo.PipelineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mining: %d references, %d/%d candidates, %d TAG runs\n",
+		mstats.ReferenceOccurrences, mstats.CandidatesScanned, mstats.CandidatesTotal, mstats.TagRuns)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Frequency > ds[j].Frequency })
+	for _, d := range ds {
+		fmt.Printf("  freq=%.3f: GapUp=%s Fade=%s\n",
+			d.Frequency, d.Assign["GapUp"], d.Assign["Fade"])
+	}
+}

@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		"plant":      "both solvers found",
 		"roster":     "three-shift pattern occurs: true",
 		"intrusion":  "first incident on host 0",
+		"trading":    "holiday-aware [1,1]session: Jul3->Jul5 true, Jul8->Jul10 false",
 	}
 	entries, err := os.ReadDir("examples")
 	if err != nil {

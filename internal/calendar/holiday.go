@@ -114,6 +114,13 @@ func (rs *RuleSet) computeYear(year int) map[int64]bool {
 	return days
 }
 
+// NthWeekday returns the rata day of the Nth (1-based, -1 = last) Weekday of
+// the month, or ok=false if the month has no such occurrence. Exported for
+// the fiscal-calendar year-end rule ("last Saturday of January").
+func NthWeekday(year, month int, w Weekday, n int) (int64, bool) {
+	return nthWeekday(year, month, w, n)
+}
+
 // nthWeekday returns the rata day of the Nth (1-based, -1 = last) Weekday of
 // the month, or ok=false if the month has no such occurrence.
 func nthWeekday(year, month int, w Weekday, n int) (int64, bool) {
@@ -167,6 +174,16 @@ func USFederal() *RuleSet {
 		{Name: "Labor Day", Kind: KindNthWeekday, Month: 9, Weekday: Monday, N: 1},
 		{Name: "Thanksgiving Day", Kind: KindNthWeekday, Month: 11, Weekday: Thursday, N: 4},
 		{Name: "Christmas Day", Kind: KindFixed, Month: 12, Day: 25, Observed: true},
+	})
+}
+
+// USHalfDays returns the early-closure days US exchanges conventionally
+// shorten: Independence Eve and Christmas Eve. Like USFederal, the rules are
+// proleptic and deterministic rather than historically exact.
+func USHalfDays() *RuleSet {
+	return NewRuleSet([]HolidayRule{
+		{Name: "Independence Eve", Kind: KindFixed, Month: 7, Day: 3},
+		{Name: "Christmas Eve", Kind: KindFixed, Month: 12, Day: 24},
 	})
 }
 

@@ -1,0 +1,227 @@
+package calendar
+
+import "fmt"
+
+// Zone is an arithmetic time-zone description: a standard UTC offset plus an
+// optional pair of DST transition rules, evaluated proleptically over the
+// whole timeline with the same nth-weekday machinery the holiday rules use.
+// No stdlib time.LoadLocation is involved anywhere, so zone arithmetic is
+// deterministic, allocation-free and independent of the host tzdata.
+//
+// The timeline's second index s occupies the instant range [s-1, s) measured
+// in seconds since the timeline epoch (taken as UTC). A zone maps instants to
+// local instants by adding the offset in effect: local = instant + OffsetAt.
+//
+// Only northern-style rule pairs are supported: DST starts and ends within
+// the same civil year (StartMonth < EndMonth). That covers the US and EU
+// shapes the zoo needs while keeping the transition order provable.
+type Zone struct {
+	name string
+	std  int64 // standard offset, seconds east of UTC
+	dst  int64 // offset while DST is in effect
+
+	rules bool // whether DST rules are present
+	start ZoneRule
+	end   ZoneRule
+}
+
+// ZoneRule pins one annual DST transition: the Nth Weekday of Month (N == -1
+// for the last), at Local seconds after local midnight. Local is interpreted
+// in the offset in effect *before* the transition (standard time for the
+// start rule, DST for the end rule), matching civil usage ("2:00 am local").
+type ZoneRule struct {
+	Month   int
+	Weekday Weekday
+	N       int
+	Local   int64
+}
+
+// NewZone builds a fixed-offset zone (no DST). The offset must be within
+// ±18h, mirroring real-world bounds.
+func NewZone(name string, stdOffset int64) (*Zone, error) {
+	if err := checkOffset(stdOffset); err != nil {
+		return nil, err
+	}
+	return &Zone{name: name, std: stdOffset, dst: stdOffset}, nil
+}
+
+// NewDSTZone builds a zone with annual DST transitions. Constraints, all
+// enforced: offsets within ±18h and distinct, start.Month < end.Month, and
+// both transition times strictly inside the day (1h..23h after local
+// midnight) so local midnight is never skipped or repeated — the zoned
+// granularities rely on every local day existing.
+func NewDSTZone(name string, stdOffset, dstOffset int64, start, end ZoneRule) (*Zone, error) {
+	if err := checkOffset(stdOffset); err != nil {
+		return nil, err
+	}
+	if err := checkOffset(dstOffset); err != nil {
+		return nil, err
+	}
+	if stdOffset == dstOffset {
+		return nil, fmt.Errorf("calendar: zone %q: identical std and dst offsets; use NewZone", name)
+	}
+	for _, r := range []ZoneRule{start, end} {
+		if r.Month < 1 || r.Month > 12 {
+			return nil, fmt.Errorf("calendar: zone %q: rule month %d out of range", name, r.Month)
+		}
+		if r.Weekday < Monday || r.Weekday > Sunday {
+			return nil, fmt.Errorf("calendar: zone %q: rule weekday %d out of range", name, int(r.Weekday))
+		}
+		if r.N != -1 && (r.N < 1 || r.N > 4) {
+			return nil, fmt.Errorf("calendar: zone %q: rule n %d out of range (1..4 or -1)", name, r.N)
+		}
+		if r.Local < 3600 || r.Local > SecondsPerDay-3600 {
+			return nil, fmt.Errorf("calendar: zone %q: transition %ds after midnight; must be 1h..23h in", name, r.Local)
+		}
+	}
+	if start.Month >= end.Month {
+		return nil, fmt.Errorf("calendar: zone %q: DST must start before it ends within the year (start month %d, end month %d)", name, start.Month, end.Month)
+	}
+	return &Zone{name: name, std: stdOffset, dst: dstOffset, rules: true, start: start, end: end}, nil
+}
+
+func checkOffset(off int64) error {
+	if off < -18*3600 || off > 18*3600 {
+		return fmt.Errorf("calendar: zone offset %d out of ±18h range", off)
+	}
+	return nil
+}
+
+// MustZone panics on error; for the hardcoded builders below.
+func MustZone(z *Zone, err error) *Zone {
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// USEastern returns a US-Eastern-shaped zone: UTC−5 standard, UTC−4 DST,
+// spring forward on the 2nd Sunday of March at 02:00 local, fall back on the
+// 1st Sunday of November at 02:00 local. Rules are applied proleptically
+// across the whole timeline (the zoo needs a deterministic gap structure,
+// not tzdata history).
+func USEastern() *Zone {
+	return MustZone(NewDSTZone("us-eastern", -5*3600, -4*3600,
+		ZoneRule{Month: 3, Weekday: Sunday, N: 2, Local: 2 * 3600},
+		ZoneRule{Month: 11, Weekday: Sunday, N: 1, Local: 2 * 3600}))
+}
+
+// CentralEuropean returns a CET-shaped zone: UTC+1 standard, UTC+2 DST,
+// transitions on the last Sundays of March and October at 02:00/03:00 local.
+func CentralEuropean() *Zone {
+	return MustZone(NewDSTZone("cet", 1*3600, 2*3600,
+		ZoneRule{Month: 3, Weekday: Sunday, N: -1, Local: 2 * 3600},
+		ZoneRule{Month: 10, Weekday: Sunday, N: -1, Local: 3 * 3600}))
+}
+
+// Name returns the zone's name.
+func (z *Zone) Name() string { return z.name }
+
+// StdOffset returns the standard offset in seconds east of UTC.
+func (z *Zone) StdOffset() int64 { return z.std }
+
+// DSTOffset returns the offset in effect during DST (== StdOffset for
+// fixed-offset zones).
+func (z *Zone) DSTOffset() int64 { return z.dst }
+
+// HasDST reports whether the zone has DST transitions.
+func (z *Zone) HasDST() bool { return z.rules }
+
+// transitionsInYear returns the two transition instants of civil year y:
+// toDST (offset becomes dst) and toStd (offset becomes std). Instants are
+// seconds since the timeline epoch. ok is false when a rule has no
+// occurrence that year (cannot happen for valid N, kept for safety).
+func (z *Zone) transitionsInYear(y int) (toDST, toStd int64, ok bool) {
+	rs, ok1 := nthWeekday(y, z.start.Month, z.start.Weekday, z.start.N)
+	re, ok2 := nthWeekday(y, z.end.Month, z.end.Weekday, z.end.N)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	// The start transition's local time is in standard time, the end's in DST.
+	toDST = (rs-1)*SecondsPerDay + z.start.Local - z.std
+	toStd = (re-1)*SecondsPerDay + z.end.Local - z.dst
+	return toDST, toStd, true
+}
+
+// OffsetAt returns the offset in effect at an absolute instant (seconds
+// since the timeline epoch; the timeline's second index s covers [s-1, s)).
+func (z *Zone) OffsetAt(instant int64) int64 {
+	if !z.rules {
+		return z.std
+	}
+	// Civil year of the instant under the standard offset; the transitions
+	// of that year and its neighbour bracket the instant because both rules
+	// sit strictly inside the year (months 1..12, >=1h from midnight).
+	rata := floorDiv(instant+z.std, SecondsPerDay) + 1
+	y := DateOf(rata).Year
+	toDST, toStd, ok := z.transitionsInYear(y)
+	if !ok {
+		return z.std
+	}
+	if instant < toDST {
+		// Before this year's spring-forward: standard, unless the estimate
+		// landed us just past new year while still in the previous year's
+		// DST window — impossible for northern rules (DST ended in year-1's
+		// end month), so standard time it is.
+		return z.std
+	}
+	if instant < toStd {
+		return z.dst
+	}
+	return z.std
+}
+
+// LocalRataOf returns the local civil day (as a rata number) containing the
+// timeline second s (s >= 1).
+func (z *Zone) LocalRataOf(s int64) int64 {
+	return floorDiv(s-1+z.OffsetAt(s-1), SecondsPerDay) + 1
+}
+
+// StartOfLocalDay returns the first timeline second index belonging to local
+// day rata, and ok=false when that instant falls before the timeline start.
+// Because transitions are >=1h away from midnight, local midnight always
+// exists exactly once and a single offset refinement converges.
+func (z *Zone) StartOfLocalDay(rata int64) (int64, bool) {
+	target := (rata - 1) * SecondsPerDay // local instant of local midnight
+	abs := target - z.std
+	for i := 0; i < 4; i++ {
+		cand := target - z.OffsetAt(abs)
+		if cand == abs {
+			break
+		}
+		abs = cand
+	}
+	s := abs + 1 // instant -> second index covering it
+	if s < 1 {
+		return 0, false
+	}
+	return s, true
+}
+
+// TransitionInstants returns the DST transition instants that fall within
+// civil years [fromYear, toYear], in order. Empty for fixed-offset zones.
+// The granularity layer uses these as boundary hints for the oracle
+// generator (DST days are where the 23h/25h behaviour lives).
+func (z *Zone) TransitionInstants(fromYear, toYear int) []int64 {
+	if !z.rules {
+		return nil
+	}
+	var out []int64
+	for y := fromYear; y <= toYear; y++ {
+		toDST, toStd, ok := z.transitionsInYear(y)
+		if !ok {
+			continue
+		}
+		out = append(out, toDST, toStd)
+	}
+	return out
+}
+
+// floorDiv is floored (not truncated) integer division.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,117 @@
+package calendar
+
+import "testing"
+
+func TestZoneValidation(t *testing.T) {
+	if _, err := NewZone("bad", 19*3600); err == nil {
+		t.Error("offset beyond 18h accepted")
+	}
+	cases := []struct {
+		std, dst   int64
+		start, end ZoneRule
+	}{
+		// Identical offsets.
+		{-5 * 3600, -5 * 3600, ZoneRule{Month: 3, Weekday: Sunday, N: 2, Local: 7200}, ZoneRule{Month: 11, Weekday: Sunday, N: 1, Local: 7200}},
+		// Transition at local midnight (would skip/repeat midnight).
+		{-5 * 3600, -4 * 3600, ZoneRule{Month: 3, Weekday: Sunday, N: 2, Local: 0}, ZoneRule{Month: 11, Weekday: Sunday, N: 1, Local: 7200}},
+		// DST "starts" after it ends.
+		{-5 * 3600, -4 * 3600, ZoneRule{Month: 11, Weekday: Sunday, N: 1, Local: 7200}, ZoneRule{Month: 3, Weekday: Sunday, N: 2, Local: 7200}},
+		// Month out of range.
+		{-5 * 3600, -4 * 3600, ZoneRule{Month: 0, Weekday: Sunday, N: 2, Local: 7200}, ZoneRule{Month: 11, Weekday: Sunday, N: 1, Local: 7200}},
+		// N out of range.
+		{-5 * 3600, -4 * 3600, ZoneRule{Month: 3, Weekday: Sunday, N: 5, Local: 7200}, ZoneRule{Month: 11, Weekday: Sunday, N: 1, Local: 7200}},
+	}
+	for i, c := range cases {
+		if _, err := NewDSTZone("bad", c.std, c.dst, c.start, c.end); err == nil {
+			t.Errorf("case %d: invalid zone accepted", i)
+		}
+	}
+}
+
+// TestZoneOffsets pins the 2026 US-Eastern transitions: spring forward on
+// 2026-03-08 at 02:00 EST (07:00 UTC), fall back on 2026-11-01 at 02:00 EDT
+// (06:00 UTC).
+func TestZoneOffsets(t *testing.T) {
+	z := USEastern()
+	springRata := RataOf(Date{Year: 2026, Month: 3, Day: 8})
+	spring := (springRata-1)*SecondsPerDay + 7*3600 // UTC instant of the jump
+	fallRata := RataOf(Date{Year: 2026, Month: 11, Day: 1})
+	fall := (fallRata-1)*SecondsPerDay + 6*3600
+	cases := []struct {
+		instant int64
+		want    int64
+	}{
+		{spring - 1, -5 * 3600},
+		{spring, -4 * 3600},
+		{fall - 1, -4 * 3600},
+		{fall, -5 * 3600},
+		// Deep winter / deep summer.
+		{(RataOf(Date{Year: 2026, Month: 1, Day: 15}) - 1) * SecondsPerDay, -5 * 3600},
+		{(RataOf(Date{Year: 2026, Month: 7, Day: 15}) - 1) * SecondsPerDay, -4 * 3600},
+		// Proleptic application: the same rules hold in 1800.
+		{(RataOf(Date{Year: 1800, Month: 1, Day: 15}) - 1) * SecondsPerDay, -5 * 3600},
+		{(RataOf(Date{Year: 1800, Month: 7, Day: 15}) - 1) * SecondsPerDay, -4 * 3600},
+	}
+	for _, c := range cases {
+		if got := z.OffsetAt(c.instant); got != c.want {
+			t.Errorf("OffsetAt(%d) = %d, want %d", c.instant, got, c.want)
+		}
+	}
+}
+
+// TestZoneLocalDays checks that every local day exists exactly once and that
+// DST days have 23h/25h lengths, by walking StartOfLocalDay differences
+// across a transition year.
+func TestZoneLocalDays(t *testing.T) {
+	for _, z := range []*Zone{USEastern(), CentralEuropean()} {
+		firstRata := RataOf(Date{Year: 2026, Month: 1, Day: 1})
+		lastRata := RataOf(Date{Year: 2026, Month: 12, Day: 31})
+		var n23, n25 int
+		prev, ok := z.StartOfLocalDay(firstRata)
+		if !ok {
+			t.Fatalf("%s: StartOfLocalDay(%d) not ok", z.Name(), firstRata)
+		}
+		for r := firstRata + 1; r <= lastRata+1; r++ {
+			cur, ok := z.StartOfLocalDay(r)
+			if !ok {
+				t.Fatalf("%s: StartOfLocalDay(%d) not ok", z.Name(), r)
+			}
+			switch cur - prev {
+			case 23 * 3600:
+				n23++
+			case 24 * 3600:
+			case 25 * 3600:
+				n25++
+			default:
+				t.Fatalf("%s: local day %d has length %d", z.Name(), r-1, cur-prev)
+			}
+			// TickOf consistency: the first second of the local day must map
+			// back to it, and the second before must map to the previous day.
+			if got := z.LocalRataOf(cur); got != r {
+				t.Fatalf("%s: LocalRataOf(start of %d) = %d", z.Name(), r, got)
+			}
+			if got := z.LocalRataOf(cur - 1); got != r-1 {
+				t.Fatalf("%s: LocalRataOf(just before %d) = %d", z.Name(), r, got)
+			}
+			prev = cur
+		}
+		if n23 != 1 || n25 != 1 {
+			t.Errorf("%s: 2026 has %d 23h days and %d 25h days, want 1 and 1", z.Name(), n23, n25)
+		}
+		tr := z.TransitionInstants(2026, 2026)
+		if len(tr) != 2 || tr[0] >= tr[1] {
+			t.Errorf("%s: TransitionInstants(2026) = %v", z.Name(), tr)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {-4, 2, -2}, {0, 5, 0}, {-1, 86400, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -14,14 +15,61 @@ import (
 	"repro/internal/periodic"
 )
 
+// DefineFlags collects repeated -define name=expr flags. Each entry
+// registers a granularity built from a calendar expression
+// (granularity.ParseExpr) under the given name: zoned days, fiscal 4-4-5
+// calendars, trading sessions, and compositions (group, shift, nth,
+// intersect) of those and any registered name. Definitions are applied in
+// order and see the registry plus every earlier definition.
+type DefineFlags []string
+
+// String renders the collected definitions (flag.Value).
+func (d *DefineFlags) String() string { return strings.Join(*d, "; ") }
+
+// Set appends one name=expr definition (flag.Value).
+func (d *DefineFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+// Var registers the -define flag on the default flag set.
+func (d *DefineFlags) Var() {
+	flag.Var(d, "define", "name=expr calendar definition (repeatable), e.g. -define nyse='trading(09:30, 16:00, us, 13:00)'")
+}
+
 // LoadSystem returns the default granularity system, extended with the
 // periodic granularities from the given spec files (comma-separated paths;
-// empty string loads none). Each file holds one periodic.Spec in its line
-// format.
-func LoadSystem(gransFlag string) (*granularity.System, error) {
+// empty string loads none) and the calendar-expression definitions
+// (name=expr entries, applied after the spec files so expressions can
+// reference them). Each file holds one periodic.Spec in its line format.
+func LoadSystem(gransFlag string, defines []string) (*granularity.System, error) {
 	sys := granularity.Default()
+	if err := loadSpecFiles(sys, gransFlag); err != nil {
+		return nil, err
+	}
+	for _, def := range defines {
+		name, src, ok := strings.Cut(def, "=")
+		name = strings.TrimSpace(name)
+		src = strings.TrimSpace(src)
+		if !ok || name == "" || src == "" {
+			return nil, fmt.Errorf("-define %q: want name=expr", def)
+		}
+		if _, exists := sys.Get(name); exists {
+			return nil, fmt.Errorf("-define %s: granularity %q already defined", def, name)
+		}
+		g, err := granularity.ParseExpr(name, src, sys.Get)
+		if err != nil {
+			return nil, fmt.Errorf("-define %s: %w", name, err)
+		}
+		sys.Add(g)
+	}
+	return sys, nil
+}
+
+// loadSpecFiles registers the periodic-spec files listed in gransFlag.
+func loadSpecFiles(sys *granularity.System, gransFlag string) error {
 	if gransFlag == "" {
-		return sys, nil
+		return nil
 	}
 	for _, path := range strings.Split(gransFlag, ",") {
 		path = strings.TrimSpace(path)
@@ -30,23 +78,23 @@ func LoadSystem(gransFlag string) (*granularity.System, error) {
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sp, err := periodic.Decode(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		g, err := periodic.New(*sp)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		if _, exists := sys.Get(g.Name()); exists {
-			return nil, fmt.Errorf("%s: granularity %q already defined", path, g.Name())
+			return fmt.Errorf("%s: granularity %q already defined", path, g.Name())
 		}
 		sys.Add(g)
 	}
-	return sys, nil
+	return nil
 }
 
 // ReadSequence reads an event sequence from the given path, or from stdin

@@ -27,7 +27,7 @@ func writeFile(t *testing.T, name, body string) string {
 }
 
 func TestLoadSystemDefault(t *testing.T) {
-	sys, err := LoadSystem("")
+	sys, err := LoadSystem("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestLoadSystemDefault(t *testing.T) {
 
 func TestLoadSystemWithPeriodic(t *testing.T) {
 	path := writeFile(t, "roster.gran", rosterSpec)
-	sys, err := LoadSystem(path)
+	sys, err := LoadSystem(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,21 +57,21 @@ func TestLoadSystemWithPeriodic(t *testing.T) {
 }
 
 func TestLoadSystemErrors(t *testing.T) {
-	if _, err := LoadSystem("/does/not/exist.gran"); err == nil {
+	if _, err := LoadSystem("/does/not/exist.gran", nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := writeFile(t, "bad.gran", "name x\nperiod notanumber\n")
-	if _, err := LoadSystem(bad); err == nil {
+	if _, err := LoadSystem(bad, nil); err == nil {
 		t.Fatal("malformed spec accepted")
 	}
 	// Clashing with a builtin name is rejected.
 	clash := writeFile(t, "clash.gran", "name day\nperiod 86400\nanchor 1\ngranule 0-86399\n")
-	if _, err := LoadSystem(clash); err == nil {
+	if _, err := LoadSystem(clash, nil); err == nil {
 		t.Fatal("name clash accepted")
 	}
 	// Several files, comma separated (with blanks tolerated).
 	a := writeFile(t, "a.gran", rosterSpec)
-	sys, err := LoadSystem(a + ", ")
+	sys, err := LoadSystem(a+", ", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,13 +134,13 @@ func TestLoadSystemMalformedSpec(t *testing.T) {
 		"binary-junk":  "\x00\x01\x02\xff",
 	}
 	for name, body := range cases {
-		if _, err := LoadSystem(writeFile(t, name+".gran", body)); err == nil {
+		if _, err := LoadSystem(writeFile(t, name+".gran", body), nil); err == nil {
 			t.Errorf("%s: malformed spec accepted", name)
 		}
 	}
 	// A shadowing redefinition of a built-in is refused too.
 	dup := "name day\nperiod 86400\nanchor 1\ngranule 0-86399\n"
-	if _, err := LoadSystem(writeFile(t, "dup.gran", dup)); err == nil {
+	if _, err := LoadSystem(writeFile(t, "dup.gran", dup), nil); err == nil {
 		t.Error("redefinition of built-in granularity accepted")
 	}
 }
@@ -225,5 +225,43 @@ func TestCorruptCheckpointQuarantine(t *testing.T) {
 	loaded, err = LoadCheckpoint(path, func(io.Reader) error { t.Fatal("decode called"); return nil })
 	if loaded || err != nil {
 		t.Fatalf("retry after quarantine: loaded=%v err=%v", loaded, err)
+	}
+}
+
+func TestLoadSystemDefines(t *testing.T) {
+	sys, err := LoadSystem("", []string{
+		"nyse=trading(09:30, 16:00, us, 13:00)",
+		"nyse-week = group(nyse, 5)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := sys.Get("nyse")
+	if !ok {
+		t.Fatal("nyse not registered")
+	}
+	// 1996-07-04 10:00 ET is a closed holiday; the prior session is Jul 3.
+	if _, ok := g.TickOf(event.At(1996, 7, 4, 14, 0, 0)); ok {
+		t.Error("July 4th session should not exist")
+	}
+	if _, ok := sys.Get("nyse-week"); !ok {
+		t.Fatal("definition could not reference an earlier definition")
+	}
+
+	for _, bad := range []string{
+		"nodelimiter",
+		"=day",
+		"x=",
+		"day=group(hour, 24)",      // clashes with a builtin
+		"x=zoned(day, mars)",       // bad expression
+		"x=group(missing-name, 2)", // unknown identifier
+	} {
+		if _, err := LoadSystem("", []string{bad}); err == nil {
+			t.Errorf("-define %q accepted", bad)
+		}
+	}
+	// A define clashing with an earlier define is rejected too.
+	if _, err := LoadSystem("", []string{"x=day", "x=week"}); err == nil {
+		t.Error("duplicate definition accepted")
 	}
 }

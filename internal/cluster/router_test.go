@@ -308,7 +308,7 @@ func TestClusterSessionJobPinnedAndMigrated(t *testing.T) {
 
 	// The cluster's discoveries equal a local batch mine of the same
 	// sequence (the distributed path changes nothing about the answer).
-	sys, err := cli.LoadSystem("")
+	sys, err := cli.LoadSystem("", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,6 +132,29 @@ func (s *shifted) Intervals(z int64) ([]Interval, bool) {
 	return s.base.Intervals(z + s.offset)
 }
 
+// PeriodHint implements PeriodHint by lifting the base hint: dropping the
+// first offset granules eats into the base prefix, and once the offset
+// reaches into the periodic part the result is periodic from granule 1 with
+// the same n (possibly phase-shifted — the builder verifies the phase).
+// Silently dropping the hint here forced FiscalYear (GroupBy over Shift)
+// onto the slow detector path; the regression test over the registry pins
+// the fix.
+func (s *shifted) PeriodHint() (int64, int64) {
+	ph, ok := s.base.(PeriodHint)
+	if !ok {
+		return 0, 0
+	}
+	prefix, n := ph.PeriodHint()
+	if n < 1 {
+		return 0, 0
+	}
+	prefix -= s.offset
+	if prefix < 0 {
+		prefix = 0
+	}
+	return prefix, n
+}
+
 // FiscalYear returns a 12-month grouping whose year starts at the given
 // calendar month (1 = January, 10 = October for the US federal fiscal
 // year). Fiscal year 1 is the first complete fiscal year on the timeline.

@@ -84,6 +84,154 @@ func TestCoverBoundaryTable(t *testing.T) {
 	}
 }
 
+// tickAtTime is tickAt for a specific UTC hour of the day, for granularities
+// (zoned days, trading sessions) whose granules do not contain UTC midnight.
+func tickAtTime(t *testing.T, g Granularity, y, m, d, hh int) int64 {
+	t.Helper()
+	z, ok := g.TickOf(secondAt(y, m, d, hh, 0, 0))
+	if !ok {
+		t.Fatalf("%s.TickOf(%04d-%02d-%02d %02d:00) undefined", g.Name(), y, m, d, hh)
+	}
+	return z
+}
+
+// TestCoverZooBoundaryTable extends the boundary table to the calendar zoo:
+// DST transition days (23/25-hour local days against UTC granularities),
+// fiscal 53-week years and the week-phase mismatch between fiscal and
+// calendar weeks, and trading sessions across holiday gaps and half days.
+func TestCoverZooBoundaryTable(t *testing.T) {
+	day, week, month := Day(), Week(), Month()
+	dayET := NewZonedDay("day-et", calendar.USEastern())
+	monthET := NewZonedMonth("month-et", calendar.USEastern())
+	f := defaultFiscal()
+	fweek := NewFiscalWeek("f-week", f)
+	fmonth := NewFiscalMonth("f-month", f)
+	fyear := NewFiscalYear("f-year", f)
+	session := mustGran(NewTradingSession("session", defaultTradingConfig()))
+	tweek := mustGran(NewTradingWeek("t-week", defaultTradingConfig()))
+	bweekUS := NewBusinessWeek("b-week-us", calendar.USFederal())
+	payday := NthOf("payday", Month(), BDay(), -1)
+
+	// 2026 US-Eastern transitions: the 23h local day is Mar 8 (05:00 UTC ->
+	// 04:00 UTC next day), the 25h one Nov 1 (04:00 UTC -> 05:00 UTC next
+	// day). Local day Mar 31 runs 04:00 UTC Mar 31 -> 04:00 UTC Apr 1, so it
+	// straddles the UTC month boundary that the local month absorbs.
+	zSpring := tickAtTime(t, dayET, 2026, 3, 8, 16)
+	zFall := tickAtTime(t, dayET, 2026, 11, 1, 17)
+	zMar31ET := tickAtTime(t, dayET, 2026, 3, 31, 12)
+	zMarET := tickAtTime(t, monthET, 2026, 3, 15, 12)
+	zNovET := tickAtTime(t, monthET, 2026, 11, 15, 12)
+
+	// Fiscal years end on the last Saturday of January, so fiscal weeks run
+	// Sunday..Saturday — phase-shifted against Monday-start calendar weeks.
+	// 1996-07-07 is a Sunday; January 1996 contains the year boundary
+	// (Jan 27), July 1996 does not.
+	zFWJul := tickAt(t, fweek, 1996, 7, 7)
+	zFMJul := tickAt(t, fmonth, 1996, 7, 7)
+	zFYJul := tickAt(t, fyear, 1996, 7, 7)
+	var zY53, zW53 int64
+	for z := int64(1); z <= 60; z++ {
+		sp, ok := fyear.Span(z)
+		if !ok {
+			t.Fatal("fiscal year span exhausted before a 53-week year")
+		}
+		if sp.Len() == 371*calendar.SecondsPerDay {
+			zY53 = z
+			zW53, _ = fweek.TickOf(sp.Last)
+			break
+		}
+	}
+	if zY53 == 0 {
+		t.Fatal("no 53-week fiscal year in the first 60")
+	}
+
+	// Trading sessions: 1996-07-08 is a plain Monday, 1996-07-05 the Friday
+	// after the July 4th holiday, 1996-12-24 a Tuesday half day. The t-week
+	// of 1996-07-29 spans sessions in both July and August.
+	zSess := tickAtTime(t, session, 1996, 7, 8, 10)
+	zSessJul5 := tickAtTime(t, session, 1996, 7, 5, 10)
+	zSessHalf := tickAtTime(t, session, 1996, 12, 24, 10)
+	zTW := tickAtTime(t, tweek, 1996, 7, 8, 10)
+	zTWStraddle := tickAtTime(t, tweek, 1996, 7, 29, 10)
+	zBweekJul4 := tickAt(t, bweekUS, 1996, 7, 1)
+
+	cases := []struct {
+		name   string
+		nu, mu Granularity
+		z      int64
+		want   int64
+		wantOK bool
+	}{
+		// DST transition days.
+		{"23h local day straddles UTC days", day, dayET, zSpring, 0, false},
+		{"UTC day straddles two local days", dayET, day, tickAt(t, day, 2026, 3, 8), 0, false},
+		{"23h local day sits inside its local month", monthET, dayET, zSpring, zMarET, true},
+		{"25h local day sits inside its local month", monthET, dayET, zFall, zNovET, true},
+		{"UTC hour at the spring-forward instant is covered", dayET, Hour(), tickAtTime(t, Hour(), 2026, 3, 8, 7), zSpring, true},
+		{"UTC hour in the repeated local hour is covered", dayET, Hour(), tickAtTime(t, Hour(), 2026, 11, 1, 6), zFall, true},
+		{"local day across the UTC month boundary straddles month", month, dayET, zMar31ET, 0, false},
+		{"but the UTC day sits inside the local month", monthET, day, tickAt(t, day, 2026, 3, 31), zMarET, true},
+
+		// Fiscal calendars.
+		{"calendar week straddles Sunday-start fiscal weeks", fweek, week, tickAt(t, week, 1996, 7, 8), 0, false},
+		{"fiscal week sits inside its fiscal month", fmonth, fweek, zFWJul, zFMJul, true},
+		{"53rd week belongs to its fiscal year", fyear, fweek, zW53, zY53, true},
+		{"calendar July sits inside one fiscal year", fyear, month, tickAt(t, month, 1996, 7, 1), zFYJul, true},
+		{"calendar January straddles fiscal years", fyear, month, tickAt(t, month, 1996, 1, 1), 0, false},
+
+		// Trading sessions.
+		{"session sits inside its UTC day", day, session, zSess, tickAt(t, day, 1996, 7, 8), true},
+		{"a UTC day is never inside a session", session, day, tickAt(t, day, 1996, 7, 8), 0, false},
+		{"post-holiday session inside the non-convex b-week", bweekUS, session, zSessJul5, zBweekJul4, true},
+		{"half-day session sits inside its UTC day", day, session, zSessHalf, tickAt(t, day, 1996, 12, 24), true},
+		{"session sits inside its trading week", tweek, session, zSess, zTW, true},
+		{"trading week sits inside its calendar week", week, tweek, zTW, tickAt(t, week, 1996, 7, 8), true},
+		{"month-straddling trading week", month, tweek, zTWStraddle, 0, false},
+		{"payday sits inside its month", month, payday, 7, 7, true},
+	}
+	for _, tc := range cases {
+		z, ok := Cover(tc.nu, tc.mu, tc.z)
+		if ok != tc.wantOK {
+			t.Errorf("%s: Cover(%s, %s, %d) defined=%v, want %v",
+				tc.name, tc.nu.Name(), tc.mu.Name(), tc.z, ok, tc.wantOK)
+			continue
+		}
+		if ok && z != tc.want {
+			t.Errorf("%s: Cover(%s, %s, %d) = %d, want %d",
+				tc.name, tc.nu.Name(), tc.mu.Name(), tc.z, z, tc.want)
+		}
+	}
+}
+
+// TestZooMetricsBoundaries pins the Fig-3 conversion metrics on the zoo
+// families. The zone rules are proleptic, so the 1800-1801 metric horizon
+// (DefaultHorizon = 720 granules) already contains both DST transitions and
+// the exchange half days.
+func TestZooMetricsBoundaries(t *testing.T) {
+	mET := NewMetrics(NewZonedDay("day-et", calendar.USEastern()), 0)
+	if got := mET.MinSize(1); got != 23*3600 {
+		t.Errorf("minsize(day-et, 1) = %d, want 82800 (the 23h day)", got)
+	}
+	if got := mET.MaxSize(1); got != 25*3600 {
+		t.Errorf("maxsize(day-et, 1) = %d, want 90000 (the 25h day)", got)
+	}
+	if got := mET.MinGap(1); got != 1 {
+		t.Errorf("mingap(day-et, 1) = %d, want 1 (local days are contiguous)", got)
+	}
+
+	mSess := NewMetrics(mustGran(NewTradingSession("session", defaultTradingConfig())), 0)
+	if got := mSess.MinSize(1); got != 12600 {
+		t.Errorf("minsize(session, 1) = %d, want 12600 (the 13:00 early close)", got)
+	}
+	if got := mSess.MaxSize(1); got != 23400 {
+		t.Errorf("maxsize(session, 1) = %d, want 23400 (the regular 6.5h session)", got)
+	}
+	// Overnight gap: 16:00 close to 09:30:01 next open.
+	if got := mSess.MinGap(1); got != 63001 {
+		t.Errorf("mingap(session, 1) = %d, want 63001", got)
+	}
+}
+
 // TestCoverBweekUSNonConvex guards the setup assumption of the table
 // above: the 1996 week of July 4th really is a two-interval granule of
 // b-week-us (Mon-Wed, then Fri), so the defined-cover row genuinely

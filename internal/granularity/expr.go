@@ -1,0 +1,478 @@
+package granularity
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/calendar"
+)
+
+// This file implements the composed-calendar-expression constructor: a tiny
+// textual algebra over the registry's combinators, in the spirit of the
+// BMW periodic-sets calendar algebra. Grammar (whitespace-insensitive):
+//
+//	expr  := ident                         registered granularity name
+//	       | group(expr, n)                union of n consecutive granules
+//	       | shift(expr, n)                drop the first n granules
+//	       | nth(expr, expr, n)            n-th inner granule per outer (n<0 from the end)
+//	       | intersect(expr, expr)         first restricted to the second's coverage
+//	       | zoned(day|week|month, zone)   zone-local unit; zone := us-eastern|cet|utc|utc+H|utc-H
+//	       | fiscal(year|quarter|month|week, P-P-P, endMonth, weekday)
+//	       | trading(HH:MM, HH:MM[, none|us[, HH:MM]])   session open/close, holidays, early close
+//	       | tweek(HH:MM, HH:MM[, none|us[, HH:MM]])     trading week over the same schedule
+//
+// Every malformed input returns an error — zero-length sessions, degenerate
+// 4-4-5 patterns, unknown names, absurd compositions — and no input panics;
+// the FuzzCalendarExpr target enforces exactly that.
+
+const (
+	exprMaxLen   = 512
+	exprMaxDepth = 8
+	// exprMaxInnerPerOuter bounds how many inner/b granules may fall inside
+	// one outer/a granule of a selection composition; beyond it the
+	// expression is rejected instead of silently costing O(count) per probe
+	// (nth(year, second, 5) would scan 31 million granules per pick).
+	exprMaxInnerPerOuter = 200000
+)
+
+// ParseExpr parses src into a granularity named name. resolve maps bare
+// identifiers to already-registered granularities (nil rejects all idents).
+func ParseExpr(name, src string, resolve func(string) (Granularity, bool)) (Granularity, error) {
+	if len(src) > exprMaxLen {
+		return nil, fmt.Errorf("granularity: expression longer than %d bytes", exprMaxLen)
+	}
+	p := &exprParser{toks: lexExpr(src), resolve: resolve}
+	g, err := p.parse(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("granularity: trailing input %q in expression", strings.Join(p.toks[p.pos:], ""))
+	}
+	return Rename(name, g), nil
+}
+
+// lexExpr splits src into "(", ")", "," and atom tokens.
+func lexExpr(src string) []string {
+	var toks []string
+	atom := strings.Builder{}
+	flush := func() {
+		if atom.Len() > 0 {
+			toks = append(toks, atom.String())
+			atom.Reset()
+		}
+	}
+	for _, r := range src {
+		switch r {
+		case '(', ')', ',':
+			flush()
+			toks = append(toks, string(r))
+		case ' ', '\t', '\n', '\r':
+			flush()
+		default:
+			atom.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+type exprParser struct {
+	toks    []string
+	pos     int
+	resolve func(string) (Granularity, bool)
+}
+
+func (p *exprParser) next() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, true
+}
+
+func (p *exprParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *exprParser) expect(tok string) error {
+	t, ok := p.next()
+	if !ok || t != tok {
+		return fmt.Errorf("granularity: expected %q, got %q", tok, t)
+	}
+	return nil
+}
+
+// parse parses one expression. Inner nodes are named by their canonical
+// source text so error messages and Signature digests stay readable.
+func (p *exprParser) parse(depth int) (Granularity, error) {
+	if depth > exprMaxDepth {
+		return nil, fmt.Errorf("granularity: expression nested deeper than %d", exprMaxDepth)
+	}
+	start := p.pos
+	head, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("granularity: empty expression")
+	}
+	if head == "(" || head == ")" || head == "," {
+		return nil, fmt.Errorf("granularity: unexpected %q", head)
+	}
+	if p.peek() != "(" {
+		if p.resolve != nil {
+			if g, ok := p.resolve(head); ok {
+				return g, nil
+			}
+		}
+		return nil, fmt.Errorf("granularity: unknown granularity %q", head)
+	}
+	p.pos++ // consume "("
+	var g Granularity
+	var err error
+	switch head {
+	case "group", "shift":
+		g, err = p.parseUnary(head, depth)
+	case "nth":
+		g, err = p.parseNth(depth)
+	case "intersect":
+		g, err = p.parseIntersect(depth)
+	case "zoned":
+		g, err = p.parseZoned()
+	case "fiscal":
+		g, err = p.parseFiscal()
+	case "trading", "tweek":
+		g, err = p.parseTrading(head)
+	default:
+		return nil, fmt.Errorf("granularity: unknown constructor %q", head)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return Rename(strings.Join(p.toks[start:p.pos], ""), g), nil
+}
+
+func (p *exprParser) parseInt(lo, hi int64) (int64, error) {
+	t, ok := p.next()
+	if !ok {
+		return 0, fmt.Errorf("granularity: expected a number")
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("granularity: bad number %q", t)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("granularity: number %d outside [%d, %d]", n, lo, hi)
+	}
+	return n, nil
+}
+
+func (p *exprParser) parseUnary(head string, depth int) (Granularity, error) {
+	base, err := p.parse(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	switch head {
+	case "group":
+		n, err := p.parseInt(1, 1_000_000)
+		if err != nil {
+			return nil, err
+		}
+		return GroupBy("", base, n), nil
+	default: // shift
+		n, err := p.parseInt(0, 1_000_000)
+		if err != nil {
+			return nil, err
+		}
+		return Shift("", base, n), nil
+	}
+}
+
+func (p *exprParser) parseNth(depth int) (Granularity, error) {
+	outer, err := p.parse(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	inner, err := p.parse(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	n, err := p.parseInt(-1000, 1000)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("granularity: nth selector must be non-zero")
+	}
+	if err := checkSelectionDensity(outer, inner); err != nil {
+		return nil, err
+	}
+	return NthOf("", outer, inner, int(n)), nil
+}
+
+func (p *exprParser) parseIntersect(depth int) (Granularity, error) {
+	a, err := p.parse(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	b, err := p.parse(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSelectionDensity(a, b); err != nil {
+		return nil, err
+	}
+	return Intersect("", a, b), nil
+}
+
+// checkSelectionDensity rejects compositions where one granule of outer
+// contains an absurd number of inner granules (each later probe would walk
+// them all).
+func checkSelectionDensity(outer, inner Granularity) error {
+	span, ok := outer.Span(1)
+	if !ok {
+		return fmt.Errorf("granularity: outer component has no granule 1")
+	}
+	zlo := FirstTouching(inner, span.First)
+	zhi := FirstTouching(inner, span.Last)
+	if zhi-zlo > exprMaxInnerPerOuter {
+		return fmt.Errorf("granularity: composition too fine: %d inner granules per outer granule (max %d)",
+			zhi-zlo, exprMaxInnerPerOuter)
+	}
+	return nil
+}
+
+func (p *exprParser) parseZoned() (Granularity, error) {
+	unit, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("granularity: expected a zoned unit")
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	zname, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("granularity: expected a zone")
+	}
+	zone, err := lookupZone(zname)
+	if err != nil {
+		return nil, err
+	}
+	switch unit {
+	case "day":
+		return NewZonedDay("", zone), nil
+	case "week":
+		return NewZonedWeek("", zone), nil
+	case "month":
+		return NewZonedMonth("", zone), nil
+	default:
+		return nil, fmt.Errorf("granularity: unknown zoned unit %q (day, week or month)", unit)
+	}
+}
+
+// lookupZone resolves a zone atom: the named builders plus utc / utc+H /
+// utc-H fixed offsets.
+func lookupZone(name string) (*calendar.Zone, error) {
+	switch name {
+	case "us-eastern":
+		return calendar.USEastern(), nil
+	case "cet":
+		return calendar.CentralEuropean(), nil
+	case "utc":
+		z, err := calendar.NewZone("utc", 0)
+		return z, err
+	}
+	if rest, ok := strings.CutPrefix(name, "utc"); ok && rest != "" {
+		h, err := strconv.ParseInt(rest, 10, 64)
+		if err == nil && h >= -18 && h <= 18 {
+			return calendar.NewZone(name, h*3600)
+		}
+	}
+	return nil, fmt.Errorf("granularity: unknown zone %q", name)
+}
+
+func (p *exprParser) parseFiscal() (Granularity, error) {
+	kind, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("granularity: expected a fiscal unit")
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	patTok, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("granularity: expected a quarter pattern")
+	}
+	parts := strings.Split(patTok, "-")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("granularity: quarter pattern %q is not P-P-P", patTok)
+	}
+	var pattern [3]int
+	for i, s := range parts {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("granularity: bad quarter pattern %q", patTok)
+		}
+		pattern[i] = n
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	endMonth, err := p.parseInt(1, 12)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	wdTok, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("granularity: expected a weekday")
+	}
+	wd, err := parseWeekday(wdTok)
+	if err != nil {
+		return nil, err
+	}
+	f, err := NewFiscal(FiscalConfig{EndMonth: int(endMonth), EndWeekday: wd, Pattern: pattern})
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "year":
+		return NewFiscalYear("", f), nil
+	case "quarter":
+		return GroupBy("", NewFiscalMonth("", f), 3), nil
+	case "month":
+		return NewFiscalMonth("", f), nil
+	case "week":
+		return NewFiscalWeek("", f), nil
+	default:
+		return nil, fmt.Errorf("granularity: unknown fiscal unit %q (year, quarter, month or week)", kind)
+	}
+}
+
+func parseWeekday(s string) (calendar.Weekday, error) {
+	days := map[string]calendar.Weekday{
+		"mon": calendar.Monday, "tue": calendar.Tuesday, "wed": calendar.Wednesday,
+		"thu": calendar.Thursday, "fri": calendar.Friday, "sat": calendar.Saturday,
+		"sun": calendar.Sunday,
+	}
+	if w, ok := days[s]; ok {
+		return w, nil
+	}
+	return 0, fmt.Errorf("granularity: unknown weekday %q (mon..sun)", s)
+}
+
+func (p *exprParser) parseTrading(head string) (Granularity, error) {
+	open, err := p.parseTime()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	clo, err := p.parseTime()
+	if err != nil {
+		return nil, err
+	}
+	cfg := TradingConfig{Open: open, Close: clo}
+	if p.peek() == "," {
+		p.pos++
+		hol, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("granularity: expected a holiday set")
+		}
+		switch hol {
+		case "none":
+		case "us":
+			cfg.Holidays = calendar.USFederal()
+		default:
+			return nil, fmt.Errorf("granularity: unknown holiday set %q (none or us)", hol)
+		}
+		if p.peek() == "," {
+			p.pos++
+			early, err := p.parseTime()
+			if err != nil {
+				return nil, err
+			}
+			cfg.HalfDays = calendar.USHalfDays()
+			cfg.EarlyClose = early
+		}
+	}
+	if head == "tweek" {
+		return NewTradingWeek("", cfg)
+	}
+	return NewTradingSession("", cfg)
+}
+
+// parseTime parses an HH:MM atom into seconds after midnight.
+func (p *exprParser) parseTime() (int64, error) {
+	t, ok := p.next()
+	if !ok {
+		return 0, fmt.Errorf("granularity: expected a time")
+	}
+	hh, mm, ok := strings.Cut(t, ":")
+	if !ok {
+		return 0, fmt.Errorf("granularity: bad time %q (want HH:MM)", t)
+	}
+	h, err1 := strconv.ParseInt(hh, 10, 64)
+	m, err2 := strconv.ParseInt(mm, 10, 64)
+	if err1 != nil || err2 != nil || h < 0 || h > 24 || m < 0 || m > 59 || (h == 24 && m != 0) {
+		return 0, fmt.Errorf("granularity: bad time %q (want HH:MM)", t)
+	}
+	return h*3600 + m*60, nil
+}
+
+// renamed wraps a granularity under a different name; the constructor uses
+// it to give inner expression nodes their canonical-source names and the
+// whole expression the caller's.
+type renamed struct {
+	Granularity
+	name string
+}
+
+// Rename returns g under a new name (g itself when the name already
+// matches). The wrapper forwards PeriodHint and InterestingSeconds so
+// renaming never costs a periodic table or a boundary hint.
+func Rename(name string, g Granularity) Granularity {
+	if name == "" || g.Name() == name {
+		return g
+	}
+	return &renamed{Granularity: g, name: name}
+}
+
+func (r *renamed) Name() string { return r.name }
+
+// PeriodHint forwards the wrapped hint.
+func (r *renamed) PeriodHint() (int64, int64) {
+	if ph, ok := r.Granularity.(PeriodHint); ok {
+		return ph.PeriodHint()
+	}
+	return 0, 0
+}
+
+// InterestingSeconds forwards the wrapped boundary hints.
+func (r *renamed) InterestingSeconds() []int64 {
+	if bh, ok := r.Granularity.(interface{ InterestingSeconds() []int64 }); ok {
+		return bh.InterestingSeconds()
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package granularity
+
+import (
+	"fmt"
+
+	"repro/internal/calendar"
+)
+
+// This file implements 52/53-week fiscal calendars (4-4-5 and friends): the
+// retail-style accounting calendar where every fiscal year is a whole number
+// of weeks ending on a fixed weekday near the end of a fixed month, quarters
+// split into months of 4, 4 and 5 weeks (in a configurable order), and every
+// fifth year or so carries a 53rd week. All arithmetic is closed-form over
+// the rata day line — year ends are "last <weekday> of <month>" dates, which
+// the holiday machinery's nthWeekday already computes — so fiscal types need
+// no memoization at all.
+
+// FiscalConfig describes a 52/53-week fiscal calendar.
+type FiscalConfig struct {
+	// EndMonth/EndWeekday pin each fiscal year's last day: the last
+	// EndWeekday of EndMonth in the corresponding calendar year.
+	EndMonth   int
+	EndWeekday calendar.Weekday
+	// Pattern is the weeks-per-month split of each 13-week quarter:
+	// {4,4,5}, {4,5,4} or {5,4,4}. Any positive split summing to 13 is
+	// accepted. A 53rd week extends the fiscal year's final month.
+	Pattern [3]int
+}
+
+// Validate reports whether the config describes a well-formed calendar.
+func (c FiscalConfig) Validate() error {
+	if c.EndMonth < 1 || c.EndMonth > 12 {
+		return fmt.Errorf("granularity: fiscal end month %d out of range", c.EndMonth)
+	}
+	if c.EndWeekday < calendar.Monday || c.EndWeekday > calendar.Sunday {
+		return fmt.Errorf("granularity: fiscal end weekday %d out of range", int(c.EndWeekday))
+	}
+	sum := 0
+	for _, w := range c.Pattern {
+		if w < 1 {
+			return fmt.Errorf("granularity: fiscal quarter pattern %v has a degenerate month", c.Pattern)
+		}
+		sum += w
+	}
+	if sum != 13 {
+		return fmt.Errorf("granularity: fiscal quarter pattern %v sums to %d weeks, want 13", c.Pattern, sum)
+	}
+	return nil
+}
+
+// Fiscal is the shared arithmetic core of one fiscal calendar's granularity
+// family. It is stateless and safe for concurrent use.
+type Fiscal struct {
+	cfg   FiscalConfig
+	year0 int // calendar year of fiscal year 1 (first complete on timeline)
+}
+
+// NewFiscal builds the calendar core, validating the config.
+func NewFiscal(cfg FiscalConfig) (*Fiscal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fiscal{cfg: cfg}
+	// Fiscal year 1 is the first whose start day is on the timeline.
+	y := calendar.AnchorYear
+	for f.endOf(y-1)+1 < 1 {
+		y++
+	}
+	f.year0 = y
+	return f, nil
+}
+
+// endOf returns the rata of fiscal-year-(for calendar year y)'s last day:
+// the last EndWeekday of EndMonth in y.
+func (f *Fiscal) endOf(y int) int64 {
+	r, _ := calendar.NthWeekday(y, f.cfg.EndMonth, f.cfg.EndWeekday, -1)
+	return r
+}
+
+// yearDays returns the inclusive rata range of fiscal year z (z >= 1).
+func (f *Fiscal) yearDays(z int64) (first, last int64) {
+	y := f.year0 + int(z) - 1
+	return f.endOf(y-1) + 1, f.endOf(y)
+}
+
+// yearWeeks returns the number of weeks (52 or 53) in fiscal year z.
+func (f *Fiscal) yearWeeks(z int64) int64 {
+	first, last := f.yearDays(z)
+	return (last - first + 1) / 7
+}
+
+// yearOfRata returns the fiscal year containing rata day r, or 0 when r
+// precedes fiscal year 1.
+func (f *Fiscal) yearOfRata(r int64) int64 {
+	y := calendar.DateOf(r).Year
+	// r falls in the fiscal year labelled y, y+1 or (rarely) y-1.
+	for _, cand := range []int{y + 1, y, y - 1} {
+		if f.endOf(cand-1) < r && r <= f.endOf(cand) {
+			z := int64(cand - f.year0 + 1)
+			if z < 1 {
+				return 0
+			}
+			return z
+		}
+	}
+	return 0
+}
+
+// monthWeeks returns the number of weeks in fiscal month m (1..12) of a
+// fiscal year with the given week count (52 or 53); the 53rd week extends
+// the year's final month.
+func (f *Fiscal) monthWeeks(m int, weeks int64) int64 {
+	w := int64(f.cfg.Pattern[(m-1)%3])
+	if m == 12 && weeks == 53 {
+		w++
+	}
+	return w
+}
+
+// monthDays returns the inclusive rata range of fiscal month m of year z.
+func (f *Fiscal) monthDays(z int64, m int) (first, last int64) {
+	yFirst, _ := f.yearDays(z)
+	weeks := f.yearWeeks(z)
+	var before int64
+	for i := 1; i < m; i++ {
+		before += f.monthWeeks(i, weeks)
+	}
+	first = yFirst + before*7
+	return first, first + f.monthWeeks(m, weeks)*7 - 1
+}
+
+// fiscalYearG / fiscalMonthG / fiscalWeekG wrap the core as granularities.
+type fiscalYearG struct {
+	name string
+	f    *Fiscal
+}
+
+// NewFiscalYear returns the fiscal-year granularity of f.
+func NewFiscalYear(name string, f *Fiscal) Granularity { return &fiscalYearG{name: name, f: f} }
+
+func (g *fiscalYearG) Name() string { return g.name }
+
+func (g *fiscalYearG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	z := g.f.yearOfRata(rataOfSecond(t))
+	return z, z >= 1
+}
+
+func (g *fiscalYearG) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	first, last := g.f.yearDays(z)
+	return secondsOfDays(first, last), true
+}
+
+func (g *fiscalYearG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(g, z) }
+
+// PeriodHint implements PeriodHint: year ends are last-weekday-of-month
+// dates, which repeat exactly with the 400-year Gregorian weekday cycle —
+// 400 fiscal years per cycle.
+func (g *fiscalYearG) PeriodHint() (int64, int64) { return 0, 400 }
+
+// InterestingSeconds implements the oracle's BoundaryHint: the year-end
+// boundaries of the first few 53-week years, where the calendar's
+// irregularity lives.
+func (g *fiscalYearG) InterestingSeconds() []int64 { return g.f.interesting() }
+
+type fiscalMonthG struct {
+	name string
+	f    *Fiscal
+}
+
+// NewFiscalMonth returns the fiscal-month granularity of f (12 per year,
+// with pattern-length weeks).
+func NewFiscalMonth(name string, f *Fiscal) Granularity { return &fiscalMonthG{name: name, f: f} }
+
+func (g *fiscalMonthG) Name() string { return g.name }
+
+func (g *fiscalMonthG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	r := rataOfSecond(t)
+	z := g.f.yearOfRata(r)
+	if z < 1 {
+		return 0, false
+	}
+	yFirst, _ := g.f.yearDays(z)
+	weeks := g.f.yearWeeks(z)
+	week := (r - yFirst) / 7 // 0-based week within the year
+	var before int64
+	for m := 1; m <= 12; m++ {
+		before += g.f.monthWeeks(m, weeks)
+		if week < before {
+			return (z-1)*12 + int64(m), true
+		}
+	}
+	return 0, false
+}
+
+func (g *fiscalMonthG) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	year := (z-1)/12 + 1
+	m := int((z-1)%12) + 1
+	first, last := g.f.monthDays(year, m)
+	return secondsOfDays(first, last), true
+}
+
+func (g *fiscalMonthG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(g, z) }
+
+// PeriodHint implements PeriodHint: 4800 fiscal months per 400-year cycle.
+func (g *fiscalMonthG) PeriodHint() (int64, int64) { return 0, 4800 }
+
+// InterestingSeconds implements the oracle's BoundaryHint.
+func (g *fiscalMonthG) InterestingSeconds() []int64 { return g.f.interesting() }
+
+type fiscalWeekG struct {
+	name string
+	f    *Fiscal
+}
+
+// NewFiscalWeek returns the fiscal-week granularity of f: since every
+// fiscal year is a whole number of weeks, fiscal weeks are just contiguous
+// 7-day blocks from fiscal year 1's first day — trivially periodic.
+func NewFiscalWeek(name string, f *Fiscal) Granularity { return &fiscalWeekG{name: name, f: f} }
+
+func (g *fiscalWeekG) Name() string { return g.name }
+
+func (g *fiscalWeekG) TickOf(t int64) (int64, bool) {
+	if t < 1 {
+		return 0, false
+	}
+	r := rataOfSecond(t)
+	start, _ := g.f.yearDays(1)
+	if r < start {
+		return 0, false
+	}
+	return (r-start)/7 + 1, true
+}
+
+func (g *fiscalWeekG) Span(z int64) (Interval, bool) {
+	if z < 1 {
+		return Interval{}, false
+	}
+	start, _ := g.f.yearDays(1)
+	first := start + (z-1)*7
+	return secondsOfDays(first, first+6), true
+}
+
+func (g *fiscalWeekG) Intervals(z int64) ([]Interval, bool) { return convexIntervals(g, z) }
+
+// PeriodHint implements PeriodHint: 7-day blocks, period one granule.
+func (g *fiscalWeekG) PeriodHint() (int64, int64) { return 0, 1 }
+
+// interesting returns the seconds just after the first few 53-week years
+// end (the extra-week boundary the Fig-3 conversions must survive).
+func (f *Fiscal) interesting() []int64 {
+	var out []int64
+	for z := int64(1); z <= 8 && len(out) < 3; z++ {
+		if f.yearWeeks(z) == 53 {
+			_, last := f.yearDays(z)
+			out = append(out, secondsOfDays(last, last).Last+1)
+		}
+	}
+	return out
+}

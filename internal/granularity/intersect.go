@@ -1,0 +1,169 @@
+package granularity
+
+import "sync"
+
+// intersectG is the BMW algebra's selecting intersection: granule z is the
+// z-th granule of a whose second set meets b's covered seconds, restricted
+// to those seconds. Granules of a that become empty under the restriction
+// are skipped, so result indices are dense and do NOT align with a's (the
+// same renumbering NthOf performs).
+//
+//	Intersect("b-day-et", ZonedDay(et), BDay())  // eastern hours ∩ weekdays
+type intersectG struct {
+	name string
+	a, b Granularity
+
+	mu sync.Mutex
+	// keep[i] is the a-granule realizing result granule i+1.
+	keep  []int64
+	nextA int64
+}
+
+// Intersect builds the intersection granularity over a restricted by b.
+func Intersect(name string, a, b Granularity) Granularity {
+	return &intersectG{name: name, a: a, b: b, nextA: 1}
+}
+
+func (g *intersectG) Name() string { return g.name }
+
+// restrict intersects a-granule k with b's coverage. exists is false when a
+// has no granule k.
+func (g *intersectG) restrict(k int64) (ivs []Interval, exists bool) {
+	aivs, ok := g.a.Intervals(k)
+	if !ok || len(aivs) == 0 {
+		return nil, false
+	}
+	lo, hi := aivs[0].First, aivs[len(aivs)-1].Last
+	// Collect b's intervals overlapping [lo, hi].
+	var bivs []Interval
+	for z := FirstTouching(g.b, lo); ; z++ {
+		sub, ok := g.b.Intervals(z)
+		if !ok || len(sub) == 0 || sub[0].First > hi {
+			break
+		}
+		bivs = append(bivs, sub...)
+	}
+	// Two-pointer intersection of the sorted disjoint lists.
+	var out []Interval
+	i, j := 0, 0
+	for i < len(aivs) && j < len(bivs) {
+		f, l := aivs[i].First, aivs[i].Last
+		if bivs[j].First > f {
+			f = bivs[j].First
+		}
+		if bivs[j].Last < l {
+			l = bivs[j].Last
+		}
+		if f <= l {
+			out = append(out, Interval{First: f, Last: l})
+		}
+		if aivs[i].Last < bivs[j].Last {
+			i++
+		} else {
+			j++
+		}
+	}
+	return mergeAdjacent(out), true
+}
+
+// extend materializes kept a-granules until count result granules exist,
+// a is exhausted, or stallLimit consecutive a-granules vanished.
+func (g *intersectG) extend(count int64) {
+	stalls := 0
+	for int64(len(g.keep)) < count {
+		ivs, exists := g.restrict(g.nextA)
+		if !exists {
+			return
+		}
+		k := g.nextA
+		g.nextA++
+		if len(ivs) > 0 {
+			g.keep = append(g.keep, k)
+			stalls = 0
+		} else {
+			stalls++
+			if stalls >= stallLimit {
+				return
+			}
+		}
+	}
+}
+
+// sourceOf returns the a-granule behind result granule z, materializing as
+// needed.
+func (g *intersectG) sourceOf(z int64) (int64, bool) {
+	if z < 1 {
+		return 0, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.extend(z)
+	if int64(len(g.keep)) < z {
+		return 0, false
+	}
+	return g.keep[z-1], true
+}
+
+func (g *intersectG) TickOf(t int64) (int64, bool) {
+	za, ok := g.a.TickOf(t)
+	if !ok {
+		return 0, false
+	}
+	if _, ok := g.b.TickOf(t); !ok {
+		return 0, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Materialize until the kept list reaches za.
+	for {
+		before := int64(len(g.keep))
+		g.extend(before + 64)
+		n := int64(len(g.keep))
+		if n > 0 && g.keep[n-1] >= za {
+			break
+		}
+		if n == before {
+			return 0, false
+		}
+	}
+	lo, hi := int64(0), int64(len(g.keep))-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.keep[mid] == za:
+			return mid + 1, true
+		case g.keep[mid] < za:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return 0, false
+}
+
+func (g *intersectG) Span(z int64) (Interval, bool) {
+	ivs, ok := g.Intervals(z)
+	if !ok || len(ivs) == 0 {
+		return Interval{}, false
+	}
+	return Interval{First: ivs[0].First, Last: ivs[len(ivs)-1].Last}, true
+}
+
+func (g *intersectG) Intervals(z int64) ([]Interval, bool) {
+	k, ok := g.sourceOf(z)
+	if !ok {
+		return nil, false
+	}
+	ivs, _ := g.restrict(k)
+	return ivs, true
+}
+
+// PeriodHint implements PeriodHint via the shared selection simulation:
+// when both components are hinted periodic, the restriction pattern repeats
+// with the lcm of their periods.
+func (g *intersectG) PeriodHint() (int64, int64) {
+	return selectionHint(g.a, func(k int64) (bool, bool) {
+		ivs, exists := g.restrict(k)
+		return len(ivs) > 0, exists
+	}, g.b)
+}

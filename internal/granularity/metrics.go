@@ -218,12 +218,33 @@ func (m *Metrics) scanMinGap(k int64) int64 {
 // intervals) and asks whether src covers any second inside one — so the
 // verification horizon is measured on the coarse side, where gaps live, and
 // a fine-grained src (e.g. second) cannot defeat the sampling.
+//
+// The walk runs twice: once from dst's first granule, and once anchored at
+// src's first covered second. The second window closes a sampling hole with
+// late-anchored sources: a trading session's first granule sits more than a
+// day into the timeline, so a small-period gapped dst exhausts its first
+// nGranules granules before src covers anything and the origin walk is
+// vacuous — yet src plainly straddles dst's gaps where it does live.
 func Covers(dst, src Granularity, nGranules int64) bool {
 	if nGranules <= 0 {
 		nGranules = 256
 	}
-	pos := int64(1) // next uncovered-candidate second
-	for z := int64(1); z <= nGranules; z++ {
+	if !coversWindow(dst, src, 1, 1, nGranules) {
+		return false
+	}
+	if sp, ok := src.Span(1); ok {
+		if z := FirstTouching(dst, sp.First); z > nGranules {
+			return coversWindow(dst, src, z, sp.First, nGranules)
+		}
+	}
+	return true
+}
+
+// coversWindow walks the gaps of dst's granules zStart..zStart+nGranules-1,
+// ignoring seconds before pos, and reports false iff src covers a second
+// inside one of them.
+func coversWindow(dst, src Granularity, zStart, pos, nGranules int64) bool {
+	for z := zStart; z < zStart+nGranules; z++ {
 		ivs, ok := dst.Intervals(z)
 		if !ok {
 			break // finite dst: everything after is a gap
@@ -257,6 +278,27 @@ func AlwaysCovered(dst, src Granularity, nGranules int64) bool {
 		}
 		if _, ok := Cover(dst, src, z); !ok {
 			return false
+		}
+	}
+	// Straddles live at dst's granule boundaries, which may sit far past
+	// src's first nGranules granules: a small-period src drifts through
+	// every phase of a large-period dst, but only after many of its own
+	// granules. Sample the src granules touching each boundary of dst's
+	// first nGranules granules too — for periodic pairs the boundary phases
+	// cycle within min(period) boundaries, so the sample sees every phase.
+	for z := int64(1); z <= nGranules; z++ {
+		sp, ok := dst.Span(z)
+		if !ok {
+			break
+		}
+		for _, t := range []int64{sp.Last, sp.Last + 1} {
+			zs := FirstTouching(src, t)
+			if _, ok := src.Span(zs); !ok {
+				break
+			}
+			if _, ok := Cover(dst, src, zs); !ok {
+				return false
+			}
 		}
 	}
 	return true

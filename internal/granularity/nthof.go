@@ -52,24 +52,13 @@ const stallLimit = 4096
 func (g *nthOf) extend(count int64) {
 	stalls := 0
 	for int64(len(g.picks)) < count {
-		span, ok := g.outer.Span(g.nextOuter)
-		if !ok {
+		pick, picked, more := g.pickForOuter(g.nextOuter)
+		if !more {
 			return // finite outer: nothing more to select
 		}
-		inside := g.innerWithin(span)
 		g.nextOuter++
-		picked := false
-		if len(inside) > 0 {
-			idx := g.n
-			if idx > 0 && idx <= len(inside) {
-				g.picks = append(g.picks, inside[idx-1])
-				picked = true
-			} else if idx < 0 && -idx <= len(inside) {
-				g.picks = append(g.picks, inside[len(inside)+idx])
-				picked = true
-			}
-		}
 		if picked {
+			g.picks = append(g.picks, pick)
 			stalls = 0
 		} else {
 			stalls++
@@ -78,6 +67,25 @@ func (g *nthOf) extend(count int64) {
 			}
 		}
 	}
+}
+
+// pickForOuter computes the selection for outer granule k without touching
+// the memo: the inner granule picked (if any), and whether outer granule k
+// exists at all.
+func (g *nthOf) pickForOuter(k int64) (pick int64, picked, exists bool) {
+	span, ok := g.outer.Span(k)
+	if !ok {
+		return 0, false, false
+	}
+	inside := g.innerWithin(span)
+	idx := g.n
+	if idx > 0 && idx <= len(inside) {
+		return inside[idx-1], true, true
+	}
+	if idx < 0 && -idx <= len(inside) {
+		return inside[len(inside)+idx], true, true
+	}
+	return 0, false, true
 }
 
 // innerWithin lists the inner granule indices fully contained in the span.
@@ -94,6 +102,18 @@ func (g *nthOf) innerWithin(span Interval) []int64 {
 		}
 	}
 	return out
+}
+
+// PeriodHint implements PeriodHint by simulating the selection over one
+// joint period of the outer and inner patterns (see selectionhint.go).
+// NthOf used to declare no hint at all, which pushed every composed
+// selection onto the slow registry path; now e.g. "last b-day of month"
+// compiles a full 400-year periodic table (4800 picks per cycle).
+func (g *nthOf) PeriodHint() (int64, int64) {
+	return selectionHint(g.outer, func(k int64) (bool, bool) {
+		_, picked, exists := g.pickForOuter(k)
+		return picked, exists
+	}, g.inner)
 }
 
 func (g *nthOf) TickOf(t int64) (int64, bool) {

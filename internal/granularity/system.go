@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/calendar"
 )
 
 // System is a granularity system: a named collection of temporal types with
@@ -244,22 +246,121 @@ func (s *System) CoverAlways(src, dst string) bool {
 	return entry.v
 }
 
-// Default returns a system preloaded with the standard types the paper uses:
-// second, minute, hour, day, week, month, year, b-day, b-week, b-month and
-// weekend (holiday-free business types; register BDayUS etc. for holiday-
-// aware variants).
+// familyBuilders is the single source of truth for the default registry:
+// every family the default System carries, in registration order. The
+// oracle generator samples families from this exact list (via FamilyNames),
+// so a family added here is automatically enrolled in the differential
+// zoo — TestZooCoverage fails loudly if sampling ever misses one.
+var familyBuilders = []struct {
+	name  string
+	build func() Granularity
+}{
+	// The paper's standard types.
+	{"second", func() Granularity { return Second() }},
+	{"minute", func() Granularity { return Minute() }},
+	{"hour", func() Granularity { return Hour() }},
+	{"day", func() Granularity { return Day() }},
+	{"week", func() Granularity { return Week() }},
+	{"month", func() Granularity { return Month() }},
+	{"year", func() Granularity { return Year() }},
+	{"b-day", func() Granularity { return BDay() }},
+	{"b-week", func() Granularity { return BWeek() }},
+	{"b-month", func() Granularity { return BMonth() }},
+	{"weekend", func() Granularity { return Weekend() }},
+	// The calendar zoo: zone-local civil units with DST shifts (23h/25h
+	// days), 4-4-5 fiscal types, exchange trading sessions, and a composed
+	// selection expression.
+	{"day-et", func() Granularity { return NewZonedDay("day-et", calendar.USEastern()) }},
+	{"week-et", func() Granularity { return NewZonedWeek("week-et", calendar.USEastern()) }},
+	{"month-et", func() Granularity { return NewZonedMonth("month-et", calendar.USEastern()) }},
+	{"day-cet", func() Granularity { return NewZonedDay("day-cet", calendar.CentralEuropean()) }},
+	{"f-week", func() Granularity { return NewFiscalWeek("f-week", defaultFiscal()) }},
+	{"f-month", func() Granularity { return NewFiscalMonth("f-month", defaultFiscal()) }},
+	{"f-quarter", func() Granularity {
+		return GroupBy("f-quarter", NewFiscalMonth("f-quarter-months", defaultFiscal()), 3)
+	}},
+	{"f-year", func() Granularity { return NewFiscalYear("f-year", defaultFiscal()) }},
+	{"session", func() Granularity { return mustGran(NewTradingSession("session", defaultTradingConfig())) }},
+	{"t-week", func() Granularity { return mustGran(NewTradingWeek("t-week", defaultTradingConfig())) }},
+	{"payday", func() Granularity { return NthOf("payday", Month(), BDay(), -1) }},
+}
+
+// defaultFiscal is the registry's fiscal calendar: 4-4-5 quarters, years
+// ending on the last Saturday of January (the NRF retail convention, with
+// the 4-4-5 split).
+func defaultFiscal() *Fiscal {
+	f, err := NewFiscal(FiscalConfig{EndMonth: 1, EndWeekday: calendar.Saturday, Pattern: [3]int{4, 4, 5}})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// defaultTradingConfig is the registry's exchange schedule: NYSE-shaped
+// 09:30–16:00 sessions, US federal holidays, 13:00 early closes.
+func defaultTradingConfig() TradingConfig {
+	return TradingConfig{
+		Open:       9*3600 + 30*60,
+		Close:      16 * 3600,
+		Holidays:   calendar.USFederal(),
+		HalfDays:   calendar.USHalfDays(),
+		EarlyClose: 13 * 3600,
+	}
+}
+
+func mustGran(g Granularity, err error) Granularity {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// familyCache shares one granularity object per family process-wide, so the
+// memoized state inside business-day scans, NthOf picks and the like is
+// paid once no matter how many Systems (or oracle instances) are alive.
+// Every family object is safe for concurrent use.
+var familyCache struct {
+	once sync.Once
+	m    map[string]Granularity
+}
+
+func sharedFamilies() map[string]Granularity {
+	familyCache.once.Do(func() {
+		familyCache.m = make(map[string]Granularity, len(familyBuilders))
+		for _, fb := range familyBuilders {
+			familyCache.m[fb.name] = fb.build()
+		}
+	})
+	return familyCache.m
+}
+
+// FamilyNames returns the names of every default-registry family, in
+// registration order. This is the sampling pool of the oracle generator.
+func FamilyNames() []string {
+	names := make([]string, len(familyBuilders))
+	for i, fb := range familyBuilders {
+		names[i] = fb.name
+	}
+	return names
+}
+
+// NewFamily returns the shared granularity object for a default-registry
+// family name, or false for unknown names.
+func NewFamily(name string) (Granularity, bool) {
+	g, ok := sharedFamilies()[name]
+	return g, ok
+}
+
+// Default returns a system preloaded with the full registry: the paper's
+// standard types (second, minute, hour, day, week, month, year, b-day,
+// b-week, b-month, weekend) plus the calendar zoo — US-Eastern and CET
+// zone-local units with DST shifts, the 4-4-5 fiscal family, NYSE-shaped
+// trading sessions and the payday selection. Register BDayUS etc. for
+// holiday-aware business variants.
 func Default() *System {
 	s := NewSystem(0, 0)
-	s.Add(Second())
-	s.Add(Minute())
-	s.Add(Hour())
-	s.Add(Day())
-	s.Add(Week())
-	s.Add(Month())
-	s.Add(Year())
-	s.Add(BDay())
-	s.Add(BWeek())
-	s.Add(BMonth())
-	s.Add(Weekend())
+	for _, fb := range familyBuilders {
+		s.Add(sharedFamilies()[fb.name])
+	}
 	return s
 }

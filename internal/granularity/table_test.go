@@ -34,9 +34,6 @@ func TestTableLayout(t *testing.T) {
 		{"b-month", true, 0, 4800},
 		{"quarter", true, 0, 1600},
 		{"2-month", true, 0, 2400},
-		// The 400-year holiday cycle has ~100k b-day granules: beyond the
-		// cap, so no table — the direct path stays in charge.
-		{"b-day-us", false, 0, 0},
 	}
 	for _, c := range cases {
 		tb := s.Table(c.name)
@@ -57,6 +54,14 @@ func TestTableLayout(t *testing.T) {
 		t.Errorf("b-month-us: want a holiday-aware 400-year table, got none")
 	} else if tb.PeriodGranules() != 4800 {
 		t.Errorf("b-month-us: n=%d, want 4800", tb.PeriodGranules())
+	}
+	// The 400-year holiday cycle has ~100k b-day granules: beyond the cap,
+	// so b-day-us gets the bounded fallback form instead of a periodic one.
+	if tb := s.Table("b-day-us"); tb == nil {
+		t.Errorf("b-day-us: want a bounded fallback table, got none")
+	} else if !tb.Bounded() || tb.Prefix() == 0 || tb.Bound() == 0 {
+		t.Errorf("b-day-us: table not in bounded form (bounded=%v prefix=%d bound=%d)",
+			tb.Bounded(), tb.Prefix(), tb.Bound())
 	}
 }
 

@@ -314,8 +314,8 @@ func checkConversion(in *Instance, h Hooks, sys *granularity.System, s *core.Eve
 // second, which no pure second-window constraint can do.
 func checkDistinction(in *Instance, sys *granularity.System, stats *CheckStats, add func(string, string, ...any)) {
 	ranAny := false
-	for _, sp := range in.Grans {
-		g, ok := sys.Get(sp.Name)
+	for _, name := range in.granNames() {
+		g, ok := sys.Get(name)
 		if !ok {
 			continue
 		}
@@ -341,13 +341,13 @@ func checkDistinction(in *Instance, sys *granularity.System, stats *CheckStats, 
 			continue // e.g. gapped granularities have no adjacent straddle
 		}
 		ranAny = true
-		c := core.TCG{Min: 0, Max: 0, Gran: sp.Name}
+		c := core.TCG{Min: 0, Max: 0, Gran: name}
 		if !c.Satisfied(sys, within[0], within[1]) {
-			add(ContractDistinction, "[0,0]%s rejects the within-granule pair (%d,%d)", sp.Name, within[0], within[1])
+			add(ContractDistinction, "[0,0]%s rejects the within-granule pair (%d,%d)", name, within[0], within[1])
 			return
 		}
 		if c.Satisfied(sys, straddle[0], straddle[1]) {
-			add(ContractDistinction, "[0,0]%s accepts the straddling pair (%d,%d)", sp.Name, straddle[0], straddle[1])
+			add(ContractDistinction, "[0,0]%s accepts the straddling pair (%d,%d)", name, straddle[0], straddle[1])
 			return
 		}
 		// Both pairs are 1 second apart, so every [m,n]second constraint
@@ -905,10 +905,7 @@ func checkStoreReplay(in *Instance, sys *granularity.System,
 			return
 		}
 	}
-	grans := []string{"second"}
-	for i := range in.Grans {
-		grans = append(grans, in.Grans[i].Name)
-	}
+	grans := append([]string{"second"}, in.granNames()...)
 
 	// Fault-free run on a pristine filesystem sizes the crash window.
 	dry := store.NewMemFS()
@@ -1165,10 +1162,7 @@ func checkIncrementalEquiv(in *Instance, k Knobs, sys *granularity.System, s *co
 	// batched, so the crash can drop an acknowledged-but-unsynced tail and
 	// leave the recovered log SHORTER than the checkpoint's high-water
 	// mark — the restore refusal the consolidation protocol depends on.
-	grans := []string{"second"}
-	for i := range in.Grans {
-		grans = append(grans, in.Grans[i].Name)
-	}
+	grans := append([]string{"second"}, in.granNames()...)
 	fsys := store.NewMemFS()
 	st, _, err := store.Open("log", store.Options{
 		FS: fsys, System: sys, Grans: grans, SegmentMaxBytes: 256, SyncEvery: 4,

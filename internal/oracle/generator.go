@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/granularity"
 	"repro/internal/periodic"
 )
 
@@ -138,6 +139,7 @@ func GenInstance(seed int64, k Knobs) *Instance {
 		HorizonEnd:   k.HorizonEnd/2 + rng.Int63n(k.HorizonEnd/2+1),
 	}
 	in.Grans = granZoo(rng, 2+rng.Intn(2))
+	sampleFamilies(rng, in)
 
 	// Granularity names available to TCGs: the custom types plus,
 	// occasionally, raw seconds (which also exercises the order group).
@@ -147,6 +149,9 @@ func GenInstance(seed int64, k Knobs) *Instance {
 	}
 	if rng.Float64() < 0.3 {
 		names = append(names, "second")
+	}
+	if len(in.Families) > 0 && rng.Float64() < 0.35 {
+		names = append(names, in.Families[rng.Intn(len(in.Families))])
 	}
 
 	nVars := 2 + rng.Intn(k.MaxVars-1)
@@ -207,6 +212,49 @@ func GenInstance(seed int64, k Knobs) *Instance {
 	return in
 }
 
+// sampleFamilies enrolls one or two default-registry calendar families in
+// the instance (80% of seeds) and re-anchors the brute-force horizon near
+// one of their interesting boundaries — a DST transition, a 53-week fiscal
+// year end, a post-holiday session start — falling back to an ordinary
+// early granule boundary for families with no declared hot spots. The
+// horizon span is preserved; only its position moves, so the exponential
+// contracts cost the same as at the origin.
+func sampleFamilies(rng *rand.Rand, in *Instance) {
+	if rng.Float64() >= 0.8 {
+		return
+	}
+	fams := granularity.FamilyNames()
+	perm := rng.Perm(len(fams))
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		in.Families = append(in.Families, fams[perm[i]])
+	}
+	anchor, ok := granularity.NewFamily(in.Families[rng.Intn(len(in.Families))])
+	if !ok {
+		return
+	}
+	var boundary int64
+	if bh, isHinted := anchor.(granularity.BoundaryHint); isHinted {
+		if bs := bh.InterestingSeconds(); len(bs) > 0 {
+			boundary = bs[rng.Intn(len(bs))]
+		}
+	}
+	if boundary == 0 {
+		if sp, ok := anchor.Span(2 + rng.Int63n(6)); ok {
+			boundary = sp.First
+		}
+	}
+	if boundary == 0 {
+		return
+	}
+	span := in.HorizonEnd - in.HorizonStart
+	start := boundary - span/2
+	if start < 1 {
+		start = 1
+	}
+	in.HorizonStart = start
+	in.HorizonEnd = start + span
+}
+
 // hasEdge reports whether the spec already has the arc (from, to).
 func hasEdge(sp *core.Spec, from, to string) bool {
 	for _, e := range sp.Edges {
@@ -242,7 +290,7 @@ func genSequence(rng *rand.Rand, in *Instance, types []string, k Knobs) event.Se
 				if rng.Float64() < 0.15 {
 					continue
 				}
-				t := in.HorizonStart + rng.Int63n(in.HorizonEnd/2+1)
+				t := in.HorizonStart + rng.Int63n((in.HorizonEnd-in.HorizonStart)/2+1)
 				for _, v := range order {
 					add(t, in.Spec.Assign[string(v)])
 					t += 1 + rng.Int63n(6)

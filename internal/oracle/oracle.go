@@ -50,6 +50,13 @@ type Instance struct {
 	// Grans are the custom granularities of the instance's system, as
 	// periodic specs. The system additionally always registers "second".
 	Grans []periodic.Spec
+	// Families names default-registry calendar families (see
+	// granularity.FamilyNames) additionally registered in the system — real
+	// zoned/fiscal/trading types the generator samples so the contracts run
+	// over DST shifts, 53-week years and holiday gaps, not just synthetic
+	// periodic shapes. The horizon is anchored near one of their interesting
+	// boundaries.
+	Families []string
 	// Spec is the event structure plus its (total) type assignment.
 	Spec *core.Spec
 	// HorizonStart/HorizonEnd bound the brute-force and exact searches
@@ -82,8 +89,34 @@ func (in *Instance) System() (*granularity.System, error) {
 		}
 		sys.Add(g)
 	}
+	for _, name := range in.Families {
+		if _, ok := sys.Get(name); ok {
+			continue // "second" is always registered
+		}
+		g, ok := granularity.NewFamily(name)
+		if !ok {
+			return nil, fmt.Errorf("oracle: unknown calendar family %q", name)
+		}
+		sys.Add(g)
+	}
 	in.sys = sys
 	return sys, nil
+}
+
+// granNames returns every granularity name of the instance's system beyond
+// the implicit "second": the synthetic periodic types plus the enrolled
+// calendar families.
+func (in *Instance) granNames() []string {
+	names := make([]string, 0, len(in.Grans)+len(in.Families))
+	for i := range in.Grans {
+		names = append(names, in.Grans[i].Name)
+	}
+	for _, f := range in.Families {
+		if f != "second" {
+			names = append(names, f)
+		}
+	}
+	return names
 }
 
 // Structure materializes the event structure.
@@ -113,6 +146,7 @@ func (in *Instance) Clone() *Instance {
 		HorizonEnd:    in.HorizonEnd,
 		MinConfidence: in.MinConfidence,
 	}
+	out.Families = append([]string(nil), in.Families...)
 	out.Grans = make([]periodic.Spec, len(in.Grans))
 	for i, sp := range in.Grans {
 		cp := sp

@@ -30,6 +30,7 @@ type reproJSON struct {
 	Detail        string      `json:"detail,omitempty"`
 	Seed          int64       `json:"seed"`
 	Granularities []granJSON  `json:"granularities"`
+	Families      []string    `json:"families,omitempty"`
 	Spec          *core.Spec  `json:"spec"`
 	HorizonStart  int64       `json:"horizon_start"`
 	HorizonEnd    int64       `json:"horizon_end"`
@@ -64,6 +65,7 @@ func (r *Repro) Encode(w io.Writer) error {
 		Contract:      r.Contract,
 		Detail:        r.Detail,
 		Seed:          in.Seed,
+		Families:      in.Families,
 		Spec:          in.Spec,
 		HorizonStart:  in.HorizonStart,
 		HorizonEnd:    in.HorizonEnd,
@@ -99,6 +101,7 @@ func DecodeRepro(r io.Reader) (*Repro, error) {
 	}
 	in := &Instance{
 		Seed:          rj.Seed,
+		Families:      rj.Families,
 		Spec:          rj.Spec,
 		HorizonStart:  rj.HorizonStart,
 		HorizonEnd:    rj.HorizonEnd,

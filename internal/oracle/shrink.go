@@ -39,6 +39,7 @@ func Shrink(in *Instance, contract string, k Knobs, h Hooks, maxChecks int) *Ins
 		dropEventCandidates,
 		narrowIntervalCandidates,
 		dropGranularityCandidates,
+		dropFamilyCandidates,
 		halveHorizonCandidates,
 	}
 	for {
@@ -186,6 +187,30 @@ func dropGranularityCandidates(in *Instance) []*Instance {
 		}
 		c := in.Clone()
 		c.Grans = append(append([]periodic.Spec(nil), c.Grans[:i]...), c.Grans[i+1:]...)
+		c.invalidate()
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropFamilyCandidates removes one enrolled calendar family no TCG
+// references per candidate.
+func dropFamilyCandidates(in *Instance) []*Instance {
+	used := map[string]bool{}
+	if in.Spec != nil {
+		for _, e := range in.Spec.Edges {
+			for _, c := range e.Constraints {
+				used[c.Gran] = true
+			}
+		}
+	}
+	var out []*Instance
+	for i := len(in.Families) - 1; i >= 0; i-- {
+		if used[in.Families[i]] {
+			continue
+		}
+		c := in.Clone()
+		c.Families = append(append([]string(nil), c.Families[:i]...), c.Families[i+1:]...)
 		c.invalidate()
 		out = append(out, c)
 	}

@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/granularity"
+)
+
+// TestZooCoverage asserts the generator actually exercises the whole
+// calendar zoo: over a block of 300 seeds, every family in the default
+// registry (granularity.FamilyNames) is enrolled in at least one instance,
+// and every enrolled instance materializes a working system. This is the
+// auto-enrollment guarantee — adding a family to the registry without the
+// oracle sampling it fails here, not silently.
+func TestZooCoverage(t *testing.T) {
+	k := DefaultKnobs()
+	want := granularity.FamilyNames()
+	seen := make(map[string]int, len(want))
+	enrolled := 0
+	for seed := int64(0); seed < 300; seed++ {
+		in := GenInstance(seed, k)
+		if len(in.Families) == 0 {
+			continue
+		}
+		enrolled++
+		for _, f := range in.Families {
+			seen[f]++
+		}
+		if _, err := in.System(); err != nil {
+			t.Fatalf("seed %d (families %v): System: %v", seed, in.Families, err)
+		}
+	}
+	// ~80% of seeds enroll families; far fewer means the sampler broke.
+	if enrolled < 150 {
+		t.Fatalf("only %d/300 seeds enrolled calendar families", enrolled)
+	}
+	for _, f := range want {
+		if seen[f] == 0 {
+			t.Errorf("family %q never enrolled across 300 seeds", f)
+		}
+	}
+	for f := range seen {
+		found := false
+		for _, w := range want {
+			if f == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("enrolled family %q is not in the registry", f)
+		}
+	}
+	t.Logf("enrolled %d/300 seeds across %d families", enrolled, len(seen))
+}
+
+// TestZooAnchoredHorizons asserts enrolled instances re-anchor their brute
+// horizon away from the origin when a family declares hot spots, while
+// preserving the span (the exponential contracts' cost budget).
+func TestZooAnchoredHorizons(t *testing.T) {
+	k := DefaultKnobs()
+	anchored := 0
+	for seed := int64(0); seed < 300; seed++ {
+		in := GenInstance(seed, k)
+		span := in.HorizonEnd - in.HorizonStart
+		if span <= 0 || span > k.HorizonEnd {
+			t.Fatalf("seed %d: horizon span %d out of budget [1, %d]", seed, span, k.HorizonEnd)
+		}
+		if len(in.Families) > 0 && in.HorizonStart > k.HorizonEnd {
+			anchored++
+		}
+	}
+	if anchored < 100 {
+		t.Fatalf("only %d/300 seeds anchored their horizon at a calendar boundary", anchored)
+	}
+}

@@ -29,6 +29,9 @@ type Config struct {
 	// Grans is the CLI's -grans value: comma-separated periodic
 	// granularity spec files extending the default system.
 	Grans string
+	// Defines are the CLI's -define values: name=expr calendar-expression
+	// definitions registered after the Grans files.
+	Defines []string
 	// MaxInflight bounds concurrently running synchronous requests
 	// (default 8); QueueDepth bounds how many more may wait (default 16).
 	// Beyond that, requests are rejected with 429.
@@ -137,7 +140,7 @@ func New(cfg Config) (*Server, error) {
 	sys := cfg.System
 	if sys == nil {
 		var err error
-		if sys, err = cli.LoadSystem(cfg.Grans); err != nil {
+		if sys, err = cli.LoadSystem(cfg.Grans, cfg.Defines); err != nil {
 			return nil, err
 		}
 	}

@@ -37,6 +37,14 @@
 #                                        # stride)
 #   sh scripts/bench_compare.sh pr9-smoke# short pr9 run; gates only the
 #                                        # migration no-rescan property
+#   sh scripts/bench_compare.sh pr10     # calendar-zoo tick resolution
+#                                        # (zoned / fiscal / trading families
+#                                        # through the conversion tables vs
+#                                        # direct calendar arithmetic); writes
+#                                        # BENCH_PR10.json and gates the
+#                                        # in-bound table lookups at
+#                                        # allocs/op == 0
+#   sh scripts/bench_compare.sh pr10-smoke# short pr10 run, same alloc gate
 #
 # The baseline lives at scripts/bench_baseline_pr3.json and is only
 # meaningful on the machine that produced it; regenerate it with `baseline`
@@ -45,6 +53,65 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+# ---- PR-10: calendar-zoo tick resolution ---------------------------------
+if [ "$MODE" = pr10 ] || [ "$MODE" = pr10-smoke ]; then
+	OUT="BENCH_PR10.json"
+	BENCHES='BenchmarkZonedDayTick|BenchmarkFiscalMonthTick|BenchmarkSessionTick'
+	if [ "$MODE" = pr10-smoke ]; then
+		BENCHTIME="${BENCHTIME:-100x}"
+	else
+		BENCHTIME="${BENCHTIME:-2s}"
+	fi
+	RAW="$(mktemp)"
+	trap 'rm -f "$RAW"' EXIT
+	echo ">> go test -run XXX -bench '$BENCHES' -benchtime=$BENCHTIME ."
+	go test -run XXX -bench "$BENCHES" -benchtime="$BENCHTIME" -timeout 20m . | tee "$RAW"
+
+	awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+	BEGIN { n = 0 }
+	$1 ~ /^Benchmark/ && $4 == "ns/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		names[n] = name; ns[n] = $3; allocs[n] = ($8 == "allocs/op" ? $7 : -1); n++
+	}
+	END {
+		printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+		for (i = 0; i < n; i++)
+			printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", names[i], ns[i], allocs[i], (i+1<n ? "," : "")
+		printf "  }"
+		for (i = 0; i < n; i++) v[names[i]] = ns[i]
+		if (("BenchmarkFiscalMonthTickDirect" in v) && v["BenchmarkFiscalMonthTickTable"] > 0)
+			printf ",\n  \"fiscal_tick_speedup\": %.3f", v["BenchmarkFiscalMonthTickDirect"] / v["BenchmarkFiscalMonthTickTable"]
+		if (("BenchmarkSessionTickDirect" in v) && v["BenchmarkSessionTickTable"] > 0)
+			printf ",\n  \"session_tick_speedup\": %.3f", v["BenchmarkSessionTickDirect"] / v["BenchmarkSessionTickTable"]
+		printf "\n}\n"
+	}' "$RAW" > "$OUT"
+	echo ">> wrote $OUT"
+	cat "$OUT"
+
+	# Alloc gate (both modes): every in-bound table lookup must be pure
+	# flat-array arithmetic — zero allocations per op. The *Direct twins are
+	# informational (they measure the calendar arithmetic being replaced).
+	awk '
+	$1 ~ /^Benchmark.*TickTable/ && $8 == "allocs/op" {
+		found++
+		if ($7 + 0 != 0) {
+			printf "%s allocs/op %s != 0\n", $1, $7
+			bad = 1
+			next
+		}
+		printf "%s allocs/op: %s (gate: ==0)\n", $1, $7
+	}
+	END {
+		if (found < 3) { print "zoo table-lookup benchmarks not found"; exit 1 }
+		exit bad
+	}
+	' "$RAW" || { echo "bench_compare: FAILED (pr10 alloc gate)" >&2; exit 1; }
+	echo "bench_compare: $MODE OK"
+	exit 0
+fi
+# --------------------------------------------------------------------------
 
 # ---- PR-9: router/worker cluster tier ------------------------------------
 if [ "$MODE" = pr9 ] || [ "$MODE" = pr9-smoke ]; then

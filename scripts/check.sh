@@ -25,6 +25,9 @@ echo '>> incremental-equiv oracle smoke (incremental vs batch mining over 300 se
 go run ./cmd/tempofuzz -seeds "${INCR_EQUIV_SEEDS:-300}" -contracts incremental-equiv -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
 echo '>> cluster-rebalance oracle smoke (router drain vs standalone over 300 seeds)'
 go run ./cmd/tempofuzz -seeds "${CLUSTER_REBALANCE_SEEDS:-300}" -contracts cluster-rebalance -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
+echo '>> calendar-zoo oracle smoke (conversion + distinction over the zoo, 300 seeds)'
+go run ./cmd/tempofuzz -seeds "${ZOO_SEEDS:-300}" -contracts conversion,distinction -repro-dir "${TMPDIR:-/tmp}/oracle-smoke-repros"
+go test -count=1 -run 'TestZooCoverage|TestZooAnchoredHorizons' ./internal/oracle/
 echo '>> fuzz smoke'
 FUZZTIME="${FUZZTIME:-2s}" sh scripts/fuzz_smoke.sh
 echo '>> serve smoke (tempod end to end)'
@@ -44,4 +47,6 @@ echo '>> bench smoke (incremental mining, no-rescan gate)'
 sh scripts/bench_compare.sh pr8-smoke
 echo '>> bench smoke (cluster tier, migration no-rescan gate)'
 sh scripts/bench_compare.sh pr9-smoke
+echo '>> bench smoke (calendar-zoo tables, allocs/op gate)'
+sh scripts/bench_compare.sh pr10-smoke
 echo 'check: OK'

@@ -30,6 +30,7 @@
 package tempo
 
 import (
+	"repro/internal/calendar"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/episode"
@@ -244,6 +245,56 @@ var (
 	Shift = granularity.Shift
 	// FiscalYear groups 12 months starting at a chosen calendar month.
 	FiscalYear = granularity.FiscalYear
+)
+
+// Calendar zoo: zone-aware civil time with DST, fiscal 4-4-5 calendars,
+// exchange trading sessions, and a one-line expression composer over all
+// of them. The default system (DefaultSystem) registers a family of each —
+// see FamilyNames — and user systems can add parameterized variants.
+type (
+	// Zone is a civil time zone with optional DST rules, evaluated by
+	// proleptic arithmetic (no tzdata dependency).
+	Zone = calendar.Zone
+	// FiscalConfig parameterizes a 4-4-5-style fiscal calendar (pattern,
+	// year-end month and weekday).
+	FiscalConfig = granularity.FiscalConfig
+	// Fiscal is a validated fiscal calendar shared by its granularities.
+	Fiscal = granularity.Fiscal
+	// TradingConfig parameterizes an exchange calendar: open/close
+	// seconds-of-day, a holiday calendar and early-close days.
+	TradingConfig = granularity.TradingConfig
+)
+
+var (
+	// USEastern is US Eastern civil time with the 2007-rule DST schedule.
+	USEastern = calendar.USEastern
+	// CentralEuropean is CET/CEST with the EU last-Sunday rules.
+	CentralEuropean = calendar.CentralEuropean
+	// NewZonedDay / NewZonedWeek / NewZonedMonth build civil granularities
+	// in a zone: granules follow local midnights, so DST days are 23 or 25
+	// hours long.
+	NewZonedDay   = granularity.NewZonedDay
+	NewZonedWeek  = granularity.NewZonedWeek
+	NewZonedMonth = granularity.NewZonedMonth
+	// NewFiscal validates a fiscal calendar; NewFiscalYear, NewFiscalMonth
+	// and NewFiscalWeek build granularities over it.
+	NewFiscal      = granularity.NewFiscal
+	NewFiscalYear  = granularity.NewFiscalYear
+	NewFiscalMonth = granularity.NewFiscalMonth
+	NewFiscalWeek  = granularity.NewFiscalWeek
+	// NewTradingSession builds one granule per exchange session (gappy:
+	// holidays and overnights are uncovered); NewTradingWeek groups the
+	// sessions of a calendar week into one non-convex granule.
+	NewTradingSession = granularity.NewTradingSession
+	NewTradingWeek    = granularity.NewTradingWeek
+	// ParseExpr builds a granularity from a calendar expression like
+	// "nth(fiscal(month, 4-4-5, 1, sat), b-day, -1)"; the resolver maps
+	// bare identifiers (pass sys.Get).
+	ParseExpr = granularity.ParseExpr
+	// NewFamily instantiates a default-registry family by name;
+	// FamilyNames lists them.
+	NewFamily   = granularity.NewFamily
+	FamilyNames = granularity.FamilyNames
 )
 
 // Structure building.
